@@ -1,0 +1,441 @@
+//! Heterogeneous parallel matrix multiplication (paper §4.1).
+//!
+//! The application multiplies dense `N × N` matrices partitioned over a
+//! 2D column-based arrangement of processes (Beaumont et al. \[2\]), with
+//! a blocking factor `b` controlling granularity. At every iteration of
+//! the main loop the pivot block-column of `A` and block-row of `B` are
+//! broadcast and every process updates its rectangle of `C` with one
+//! GEMM call.
+//!
+//! Two execution paths are provided:
+//!
+//! * [`run_threaded`] — a *real* run on worker threads exchanging data
+//!   through [`ThreadComm`], numerically verified against serial GEMM;
+//!   it validates that the 2D partition computes the right answer.
+//! * [`simulate`] — a *simulated-time* run on a synthetic heterogeneous
+//!   [`Platform`], used by the experiments to compare partitioning
+//!   strategies at scales no laptop could multiply for real.
+
+use fupermod_core::matrix2d::{column_partition, ColumnPartition};
+use fupermod_core::model::Model;
+use fupermod_core::partition::Partitioner;
+use fupermod_core::{CoreError, Point};
+use fupermod_kernels::gemm::gemm_blocked;
+use fupermod_platform::comm::SimComm;
+use fupermod_platform::{Platform, ThreadComm, WorkloadProfile};
+
+use crate::workload::DenseMatrix;
+
+/// Configuration of the simulated matmul run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatMulConfig {
+    /// Matrix dimension in blocks (`N = n_blocks · block` elements).
+    pub n_blocks: u64,
+    /// Blocking factor `b`.
+    pub block: usize,
+}
+
+/// Outcome of a simulated matmul run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Simulated wall time of the whole multiplication, in seconds.
+    pub total_time: f64,
+    /// Per-process compute time of one (representative) iteration.
+    pub iter_compute_times: Vec<f64>,
+    /// Total simulated seconds spent communicating, summed over ranks.
+    pub comm_seconds: f64,
+    /// Sum of rectangle half-perimeters of the 2D partition, in blocks.
+    pub half_perimeters: u64,
+    /// The 2D partition used.
+    pub partition: ColumnPartition,
+}
+
+/// Benchmarks every device of `platform` at the given sizes and builds
+/// one model per device. The generic parameter picks the model type.
+///
+/// # Errors
+///
+/// Propagates benchmark and model errors.
+pub fn build_device_models<M: Model + Default>(
+    platform: &Platform,
+    profile: &WorkloadProfile,
+    sizes: &[u64],
+    precision: &fupermod_core::Precision,
+) -> Result<Vec<M>, CoreError> {
+    use fupermod_core::benchmark::Benchmark;
+    use fupermod_core::kernel::DeviceKernel;
+
+    let bench = Benchmark::new(precision);
+    let mut models = Vec::with_capacity(platform.size());
+    for dev in platform.devices() {
+        let mut kernel = DeviceKernel::new(dev.clone(), profile.clone());
+        let mut model = M::default();
+        for &d in sizes {
+            let point = bench.measure(&mut kernel, d)?;
+            model.update(point)?;
+        }
+        models.push(model);
+    }
+    Ok(models)
+}
+
+/// Partitions the total block area `n_blocks²` over the devices with
+/// the given partitioner and returns per-device areas (in blocks).
+///
+/// # Errors
+///
+/// Propagates partitioning errors.
+pub fn partition_areas(
+    partitioner: &dyn Partitioner,
+    n_blocks: u64,
+    models: &[&dyn Model],
+) -> Result<Vec<u64>, CoreError> {
+    let dist = partitioner.partition(n_blocks * n_blocks, models)?;
+    Ok(dist.sizes())
+}
+
+/// Simulates the full heterogeneous matmul on `platform` with the given
+/// per-device block areas.
+///
+/// The schedule is the paper's: `n_blocks` iterations; in each, the
+/// pivot block-column/row is broadcast (each process receives data
+/// proportional to its rectangle's half-perimeter) and every process
+/// updates its rectangle (its full area, once per iteration) — compute
+/// times come from the device ground-truth models with per-iteration
+/// noise.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Partition`] if the areas cannot tile the grid.
+///
+/// # Panics
+///
+/// Panics if `areas.len()` differs from the platform size.
+pub fn simulate(
+    platform: &Platform,
+    areas: &[u64],
+    cfg: &MatMulConfig,
+) -> Result<SimReport, CoreError> {
+    let mut comm = SimComm::new(platform.size(), platform.link());
+    simulate_on(platform, areas, cfg, &mut comm)
+}
+
+/// Like [`simulate`], but additionally returns the Gantt-style
+/// [`TraceEvent`](fupermod_platform::TraceEvent) timeline of the run —
+/// per-rank compute/communication/idle intervals.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate`].
+pub fn simulate_traced(
+    platform: &Platform,
+    areas: &[u64],
+    cfg: &MatMulConfig,
+) -> Result<(SimReport, Vec<fupermod_platform::TraceEvent>), CoreError> {
+    let mut comm = SimComm::new(platform.size(), platform.link());
+    comm.enable_trace();
+    let report = simulate_on(platform, areas, cfg, &mut comm)?;
+    Ok((report, comm.trace().to_vec()))
+}
+
+fn simulate_on(
+    platform: &Platform,
+    areas: &[u64],
+    cfg: &MatMulConfig,
+    comm: &mut SimComm,
+) -> Result<SimReport, CoreError> {
+    assert_eq!(areas.len(), platform.size(), "one area per device");
+    let partition = column_partition(cfg.n_blocks, areas)?;
+    let profile = WorkloadProfile::matrix_update(cfg.block);
+    let bytes_per_block = (cfg.block * cfg.block * 8) as f64;
+    let p = platform.size();
+    let rounds = (usize::BITS - (p.max(2) - 1).leading_zeros()) as f64;
+
+    let mut iter_compute_times = vec![0.0; p];
+    let mut comm_secs = 0.0;
+
+    for iter in 0..cfg.n_blocks {
+        for (rank, rect) in partition.rects().iter().enumerate() {
+            // Receive the pivot parts intersecting this rectangle: a
+            // (h×1 + 1×w) block strip per iteration, via a tree bcast.
+            let bytes = rect.half_perimeter() as f64 * bytes_per_block;
+            if bytes > 0.0 {
+                let cost = rounds * platform.link().cost(bytes);
+                comm.advance(rank, cost);
+                comm_secs += cost;
+            }
+            // Update the whole rectangle once.
+            let units = rect.area();
+            if units > 0 {
+                let t = platform
+                    .device(rank)
+                    .measured_time(units, &profile, iter);
+                comm.advance(rank, t);
+                if iter == 0 {
+                    iter_compute_times[rank] = t;
+                }
+            }
+        }
+        // The next pivot depends on updated data: synchronise.
+        comm.barrier();
+    }
+
+    Ok(SimReport {
+        total_time: comm.max_time(),
+        iter_compute_times,
+        comm_seconds: comm_secs + comm.comm_seconds(),
+        half_perimeters: partition.sum_half_perimeters(),
+        partition,
+    })
+}
+
+/// Builds experimental points for one device by "benchmarking" the
+/// matmul kernel at the given sizes on the simulated platform —
+/// convenience used by the dynamic experiments.
+///
+/// # Errors
+///
+/// Propagates benchmark errors.
+pub fn measure_device_point(
+    platform: &Platform,
+    rank: usize,
+    profile: &WorkloadProfile,
+    d: u64,
+    precision: &fupermod_core::Precision,
+) -> Result<Point, CoreError> {
+    use fupermod_core::benchmark::Benchmark;
+    use fupermod_core::kernel::DeviceKernel;
+    let mut kernel = DeviceKernel::new(platform.device(rank).clone(), profile.clone());
+    Benchmark::new(precision).measure(&mut kernel, d)
+}
+
+/// Executes the distributed multiplication for real on worker threads:
+/// each process owns one rectangle of `C`, receives the full `A` row
+/// band and `B` column band it needs through [`ThreadComm`], computes
+/// with blocked GEMM, and the assembled product is returned.
+///
+/// `a` and `b` must be square `N × N` with `N = n_blocks · block` where
+/// `n_blocks` is derived from `areas` tiling; the function checks
+/// divisibility.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Partition`] on geometry errors and
+/// [`CoreError::Kernel`] on dimension mismatches.
+pub fn run_threaded(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    block: usize,
+    areas: &[u64],
+) -> Result<DenseMatrix, CoreError> {
+    let n = a.rows;
+    if a.cols != n || b.rows != n || b.cols != n {
+        return Err(CoreError::Kernel("matrices must be square and equal".to_owned()));
+    }
+    if block == 0 || !n.is_multiple_of(block) {
+        return Err(CoreError::Kernel(format!(
+            "matrix size {n} not divisible by block {block}"
+        )));
+    }
+    let n_blocks = (n / block) as u64;
+    let partition = column_partition(n_blocks, areas)?;
+
+    let comms = ThreadComm::create(areas.len());
+    let results: Vec<(usize, Vec<f64>)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (comm, rect) in comms.into_iter().zip(partition.rects().iter().copied()) {
+            let a = &a.data;
+            let b = &b.data;
+            handles.push(scope.spawn(move || {
+                let rank = comm.rank();
+                // Element-space bounds of this process's C rectangle.
+                let row0 = rect.y as usize * block;
+                let rows = rect.h as usize * block;
+                let col0 = rect.x as usize * block;
+                let cols = rect.w as usize * block;
+                if rows == 0 || cols == 0 {
+                    comm.barrier();
+                    return (rank, Vec::new());
+                }
+                // "Receive" the needed bands: in this in-process
+                // setting the matrices are shared read-only; the
+                // barrier stands in for the broadcast arrival.
+                comm.barrier();
+                // Pack the B column band (strided) and the A row band
+                // (contiguous), exactly the pivot-buffer copies of the
+                // paper's kernel.
+                let a_band = &a[row0 * n..(row0 + rows) * n];
+                let mut b_band = vec![0.0; n * cols];
+                for r in 0..n {
+                    b_band[r * cols..(r + 1) * cols]
+                        .copy_from_slice(&b[r * n + col0..r * n + col0 + cols]);
+                }
+                let mut c = vec![0.0; rows * cols];
+                gemm_blocked(rows, cols, n, a_band, &b_band, &mut c);
+                (rank, c)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("matmul worker panicked"))
+            .collect()
+    });
+
+    // Assemble C from the rectangles.
+    let mut c = vec![0.0; n * n];
+    for (rank, data) in results {
+        let rect = partition.rects()[rank];
+        let row0 = rect.y as usize * block;
+        let rows = rect.h as usize * block;
+        let col0 = rect.x as usize * block;
+        let cols = rect.w as usize * block;
+        for r in 0..rows {
+            c[(row0 + r) * n + col0..(row0 + r) * n + col0 + cols]
+                .copy_from_slice(&data[r * cols..(r + 1) * cols]);
+        }
+    }
+    Ok(DenseMatrix {
+        rows: n,
+        cols: n,
+        data: c,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::random_matrix;
+    use fupermod_core::model::AkimaModel;
+    use fupermod_core::partition::{EvenPartitioner, NumericalPartitioner};
+    use fupermod_core::Precision;
+
+    fn serial_product(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+        let n = a.rows;
+        let mut c = vec![0.0; n * n];
+        gemm_blocked(n, n, n, &a.data, &b.data, &mut c);
+        DenseMatrix {
+            rows: n,
+            cols: n,
+            data: c,
+        }
+    }
+
+    #[test]
+    fn threaded_matmul_matches_serial() {
+        let n = 48;
+        let a = random_matrix(n, n, 1);
+        let b = random_matrix(n, n, 2);
+        // 4 processes with skewed areas: 6×6 = 36 blocks total.
+        let c = run_threaded(&a, &b, 8, &[18, 9, 6, 3]).unwrap();
+        let reference = serial_product(&a, &b);
+        for (x, y) in c.data.iter().zip(&reference.data) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn threaded_matmul_handles_zero_area_process() {
+        let n = 32;
+        let a = random_matrix(n, n, 3);
+        let b = random_matrix(n, n, 4);
+        let c = run_threaded(&a, &b, 8, &[8, 0, 8]).unwrap();
+        let reference = serial_product(&a, &b);
+        for (x, y) in c.data.iter().zip(&reference.data) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn threaded_matmul_rejects_bad_block() {
+        let a = random_matrix(10, 10, 1);
+        let b = random_matrix(10, 10, 2);
+        assert!(run_threaded(&a, &b, 3, &[4]).is_err());
+    }
+
+    #[test]
+    fn simulate_produces_positive_times() {
+        let platform = Platform::two_speed(2, 2, 9);
+        let cfg = MatMulConfig {
+            n_blocks: 24,
+            block: 16,
+        };
+        let areas = vec![144; 4]; // even split of 576 blocks
+        let report = simulate(&platform, &areas, &cfg).unwrap();
+        assert!(report.total_time > 0.0);
+        assert!(report.comm_seconds > 0.0);
+        assert_eq!(report.partition.rects().len(), 4);
+    }
+
+    #[test]
+    fn traced_simulation_matches_untraced_and_covers_timeline() {
+        use fupermod_platform::Activity;
+        let platform = Platform::two_speed(1, 1, 33);
+        let cfg = MatMulConfig {
+            n_blocks: 16,
+            block: 16,
+        };
+        let areas = vec![160, 96];
+        let plain = simulate(&platform, &areas, &cfg).unwrap();
+        let (traced, trace) = simulate_traced(&platform, &areas, &cfg).unwrap();
+        assert_eq!(plain.total_time, traced.total_time);
+        assert!(!trace.is_empty());
+        // Compute time recorded for both ranks; intervals within range.
+        for rank in 0..2 {
+            assert!(trace
+                .iter()
+                .any(|e| e.rank == rank && e.activity == Activity::Compute));
+        }
+        for e in &trace {
+            assert!(e.end > e.start && e.end <= traced.total_time + 1e-12);
+        }
+    }
+
+    #[test]
+    fn model_based_partition_beats_even_on_heterogeneous_platform() {
+        let platform = Platform::two_speed(2, 2, 17);
+        let profile = WorkloadProfile::matrix_update(16);
+        let cfg = MatMulConfig {
+            n_blocks: 48,
+            block: 16,
+        };
+        let total = cfg.n_blocks * cfg.n_blocks;
+
+        let models: Vec<AkimaModel> = build_device_models(
+            &platform,
+            &profile,
+            &[64, 256, 1024, 2304],
+            &Precision::default(),
+        )
+        .unwrap();
+        let refs: Vec<&dyn Model> = models.iter().map(|m| m as &dyn Model).collect();
+
+        let fpm_areas = partition_areas(&NumericalPartitioner::default(), cfg.n_blocks, &refs)
+            .unwrap();
+        let even_areas = EvenPartitioner
+            .partition(total, &refs)
+            .unwrap()
+            .sizes();
+
+        let fpm = simulate(&platform, &fpm_areas, &cfg).unwrap();
+        let even = simulate(&platform, &even_areas, &cfg).unwrap();
+        assert!(
+            fpm.total_time < even.total_time,
+            "FPM {} should beat even {}",
+            fpm.total_time,
+            even.total_time
+        );
+    }
+
+    #[test]
+    fn build_device_models_collects_all_sizes() {
+        let platform = Platform::uniform(2, 5);
+        let profile = WorkloadProfile::matrix_update(16);
+        let models: Vec<AkimaModel> =
+            build_device_models(&platform, &profile, &[10, 100, 500], &Precision::quick())
+                .unwrap();
+        assert_eq!(models.len(), 2);
+        for m in &models {
+            assert_eq!(m.points().len(), 3);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Deterministic workload generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense row-major matrix with its dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// Row-major data, `rows × cols`.
+    pub data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c]
+    }
+}
+
+/// Generates a `rows × cols` matrix with entries uniform in `[-1, 1]`,
+/// deterministically from `seed`.
+pub fn random_matrix(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    DenseMatrix {
+        rows,
+        cols,
+        data: (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    }
+}
+
+/// A linear system `A x = b` with a known solution, for convergence
+/// checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearSystem {
+    /// Coefficient matrix, `n × n`, strictly diagonally dominant so the
+    /// Jacobi iteration converges.
+    pub a: DenseMatrix,
+    /// Right-hand side.
+    pub b: Vec<f64>,
+    /// The solution the system was built from.
+    pub x_true: Vec<f64>,
+}
+
+/// Generates a strictly diagonally dominant `n × n` system with a known
+/// random solution, deterministically from `seed`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn dominant_system(n: usize, seed: u64) -> LinearSystem {
+    assert!(n > 0, "system size must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut a = vec![0.0; n * n];
+    for i in 0..n {
+        let mut off_sum = 0.0;
+        for j in 0..n {
+            if j != i {
+                let v: f64 = rng.gen_range(-1.0..1.0);
+                a[i * n + j] = v;
+                off_sum += v.abs();
+            }
+        }
+        // Strict dominance with margin.
+        a[i * n + i] = off_sum + rng.gen_range(1.0..2.0);
+    }
+    let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+    let b: Vec<f64> = (0..n)
+        .map(|i| (0..n).map(|j| a[i * n + j] * x_true[j]).sum())
+        .collect();
+    LinearSystem {
+        a: DenseMatrix {
+            rows: n,
+            cols: n,
+            data: a,
+        },
+        b,
+        x_true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_matrix_is_deterministic() {
+        assert_eq!(random_matrix(5, 7, 3), random_matrix(5, 7, 3));
+        assert_ne!(random_matrix(5, 7, 3), random_matrix(5, 7, 4));
+    }
+
+    #[test]
+    fn dominant_system_is_dominant() {
+        let sys = dominant_system(20, 11);
+        let n = 20;
+        for i in 0..n {
+            let diag = sys.a.at(i, i).abs();
+            let off: f64 = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| sys.a.at(i, j).abs())
+                .sum();
+            assert!(diag > off, "row {i} not dominant");
+        }
+    }
+
+    #[test]
+    fn dominant_system_rhs_matches_solution() {
+        let sys = dominant_system(10, 5);
+        for i in 0..10 {
+            let lhs: f64 = (0..10).map(|j| sys.a.at(i, j) * sys.x_true[j]).sum();
+            assert!((lhs - sys.b[i]).abs() < 1e-9);
+        }
+    }
+}

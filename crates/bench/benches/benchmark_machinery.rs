@@ -1,0 +1,54 @@
+//! Criterion bench: overhead of the measurement machinery itself —
+//! the statistical loop around a (simulated, hence nearly free) kernel,
+//! and the synchronised group variant.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fupermod_core::benchmark::Benchmark;
+use fupermod_core::kernel::{DeviceKernel, Kernel};
+use fupermod_core::Precision;
+use fupermod_platform::{cluster, WorkloadProfile};
+
+fn bench_single(c: &mut Criterion) {
+    let profile = WorkloadProfile::matrix_update(16);
+    let precision = Precision {
+        reps_min: 3,
+        reps_max: 10,
+        cl: 0.95,
+        rel_err: 0.05,
+        max_seconds: 1e9,
+    };
+    c.bench_function("benchmark_single_device", |b| {
+        b.iter(|| {
+            let mut k = DeviceKernel::new(cluster::fast_cpu("c", 7), profile.clone());
+            Benchmark::new(&precision)
+                .measure(&mut k, black_box(500))
+                .unwrap()
+        })
+    });
+}
+
+fn bench_group(c: &mut Criterion) {
+    let profile = WorkloadProfile::matrix_update(16);
+    let precision = Precision {
+        reps_min: 3,
+        reps_max: 6,
+        cl: 0.95,
+        rel_err: 0.05,
+        max_seconds: 1e9,
+    };
+    c.bench_function("benchmark_group_of_4", |b| {
+        b.iter(|| {
+            let mut ks: Vec<DeviceKernel> = (0..4)
+                .map(|i| DeviceKernel::new(cluster::fast_cpu("c", i), profile.clone()))
+                .collect();
+            let mut refs: Vec<&mut dyn Kernel> =
+                ks.iter_mut().map(|k| k as &mut dyn Kernel).collect();
+            Benchmark::new(&precision)
+                .measure_group(&mut refs, black_box(&[100, 200, 300, 400]))
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_single, bench_group);
+criterion_main!(benches);

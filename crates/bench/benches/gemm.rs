@@ -1,0 +1,37 @@
+//! Criterion bench: GEMM throughput, naive vs blocked — the host-side
+//! stand-ins for the paper's Netlib vs optimised BLAS kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fupermod_kernels::gemm::{gemm_blocked, gemm_naive};
+
+fn matrices(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let a: Vec<f64> = (0..n * n).map(|i| ((i * 7) % 13) as f64 * 0.1).collect();
+    let b: Vec<f64> = (0..n * n).map(|i| ((i * 3) % 11) as f64 * 0.2).collect();
+    (a, b)
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for n in [64usize, 128, 256] {
+        let (a, b) = matrices(n);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, &n| {
+            let mut cbuf = vec![0.0; n * n];
+            bch.iter(|| {
+                cbuf.fill(0.0);
+                gemm_naive(n, n, n, black_box(&a), black_box(&b), &mut cbuf);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, &n| {
+            let mut cbuf = vec![0.0; n * n];
+            bch.iter(|| {
+                cbuf.fill(0.0);
+                gemm_blocked(n, n, n, black_box(&a), black_box(&b), &mut cbuf);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench: cost of building and evaluating the two FPM
+//! interpolants — the per-step overhead the dynamic algorithms pay.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fupermod_num::interp::{AkimaSpline, Interpolation, PiecewiseLinear};
+
+fn dataset(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let xs: Vec<f64> = (1..=n).map(|i| (i * i) as f64).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| x / (1.0 + (x / 500.0).sin().abs())).collect();
+    (xs, ys)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interp_build");
+    for n in [8usize, 32, 128] {
+        let (xs, ys) = dataset(n);
+        group.bench_with_input(BenchmarkId::new("piecewise", n), &n, |b, _| {
+            b.iter(|| PiecewiseLinear::new(black_box(&xs), black_box(&ys)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("akima", n), &n, |b, _| {
+            b.iter(|| AkimaSpline::new(black_box(&xs), black_box(&ys)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interp_eval");
+    let (xs, ys) = dataset(64);
+    let pw = PiecewiseLinear::new(&xs, &ys).unwrap();
+    let ak = AkimaSpline::new(&xs, &ys).unwrap();
+    group.bench_function("piecewise", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                acc += pw.value(black_box(10.0 + i as f64 * 40.0));
+            }
+            acc
+        })
+    });
+    group.bench_function("akima", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                acc += ak.value(black_box(10.0 + i as f64 * 40.0));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_eval);
+criterion_main!(benches);

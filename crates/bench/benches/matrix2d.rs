@@ -1,0 +1,20 @@
+//! Criterion bench: the Beaumont column-arrangement DP as the process
+//! count grows — cubic in `p` but `p` is small on real platforms.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fupermod_core::matrix2d::column_partition;
+
+fn bench_column_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix2d");
+    for p in [4usize, 16, 64, 128] {
+        let areas: Vec<u64> = (0..p).map(|i| 100 + (i as u64 * 37) % 400).collect();
+        let n = 1024u64;
+        group.bench_with_input(BenchmarkId::new("column_dp", p), &p, |b, _| {
+            b.iter(|| column_partition(black_box(n), black_box(&areas)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_column_partition);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! EXP2 — Cost of dynamic partial estimation vs building full models
+//! (paper §4.3/§4.4: "building full functional performance models is
+//! not suitable for an application that is run a small number of
+//! times").
+//!
+//! Compares, on each testbed, (a) building full FPMs over a size grid
+//! and partitioning once, against (b) the dynamic partitioner that only
+//! benchmarks at the sizes its own iterations visit. Reported costs are
+//! the virtual seconds spent benchmarking (time × repetitions); quality
+//! is the ground-truth imbalance of the final distribution.
+//!
+//! Output: CSV `platform,total,approach,bench_cost_s,steps,imbalance`.
+
+use fupermod_bench::{
+    evaluate_partitioner, ground_truth_imbalance, ground_truth_times, print_csv_row, size_grid,
+};
+use fupermod_core::dynamic::DynamicContext;
+use fupermod_core::model::{Model, PiecewiseModel};
+use fupermod_core::partition::GeometricPartitioner;
+use fupermod_core::Precision;
+use fupermod_platform::{Platform, WorkloadProfile};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let profile = WorkloadProfile::matrix_update(16);
+    let platforms = vec![
+        Platform::two_speed(2, 2, 201),
+        Platform::hybrid_node(4, 202),
+        Platform::grid_site(203),
+    ];
+    let total: u64 = if quick { 20_000 } else { 100_000 };
+
+    print_csv_row(&[
+        "platform".into(),
+        "total".into(),
+        "approach".into(),
+        "bench_cost_s".into(),
+        "steps".into(),
+        "imbalance".into(),
+    ]);
+
+    for platform in &platforms {
+        // --- (a) full models ---
+        let sizes = size_grid(16, total, if quick { 8 } else { 16 });
+        let mut full_cost = 0.0;
+        let mut models = Vec::new();
+        for rank in 0..platform.size() {
+            let mut m = PiecewiseModel::new();
+            full_cost += fupermod_bench::build_model_for_device(
+                platform,
+                rank,
+                &profile,
+                &sizes,
+                &Precision::thorough(),
+                &mut m,
+            )
+            .expect("full model build failed");
+            models.push(m);
+        }
+        let refs: Vec<&dyn Model> = models.iter().map(|m| m as &dyn Model).collect();
+        let eval = evaluate_partitioner(
+            platform,
+            &profile,
+            total,
+            &GeometricPartitioner::default(),
+            &refs,
+        )
+        .expect("full-model partition failed");
+        print_csv_row(&[
+            platform.name().to_owned(),
+            total.to_string(),
+            "full-fpm".to_owned(),
+            format!("{full_cost:.3}"),
+            sizes.len().to_string(),
+            format!("{:.4}", eval.imbalance),
+        ]);
+
+        // --- (b) dynamic partial estimation ---
+        let partials: Vec<Box<dyn Model>> = (0..platform.size())
+            .map(|_| Box::new(PiecewiseModel::new()) as Box<dyn Model>)
+            .collect();
+        let mut ctx = DynamicContext::new(
+            Box::new(GeometricPartitioner::default()),
+            partials,
+            total,
+            0.05,
+        );
+        let mut dyn_cost = 0.0;
+        let mut steps = 0;
+        for _ in 0..25 {
+            let step = ctx
+                .partition_iterate(|rank, d| {
+                    let p = fupermod_bench::quick_measure(platform, rank, &profile, d)?;
+                    dyn_cost += p.t * p.reps as f64;
+                    Ok(p)
+                })
+                .expect("dynamic step failed");
+            steps += 1;
+            if step.converged {
+                break;
+            }
+        }
+        let final_sizes = ctx.dist().sizes();
+        let times = ground_truth_times(platform, &profile, &final_sizes);
+        print_csv_row(&[
+            platform.name().to_owned(),
+            total.to_string(),
+            "dynamic-partial".to_owned(),
+            format!("{dyn_cost:.3}"),
+            steps.to_string(),
+            format!("{:.4}", ground_truth_imbalance(&times)),
+        ]);
+    }
+}

@@ -1,0 +1,41 @@
+//! EXP4 — Communication volume of the column-based 2D arrangement vs
+//! 1D row strips (Beaumont et al. \[2\], used by the paper's matmul).
+//!
+//! For growing process counts and a heterogeneous area mix, compares
+//! the sum of rectangle half-perimeters (proportional to the data
+//! broadcast per matmul iteration) of the column-based DP arrangement
+//! against naive 1D row strips. Columns should win, and the gap should
+//! grow with `p` (strips cost `p·n + n`; columns approach `2n√p`).
+//!
+//! Output: CSV `p,n_blocks,columns_hp,strips_hp,ratio`.
+
+use fupermod_bench::print_csv_row;
+use fupermod_core::matrix2d::{column_partition, row_strip_half_perimeters};
+
+fn main() {
+    let n_blocks: u64 = 512;
+    print_csv_row(&[
+        "p".into(),
+        "n_blocks".into(),
+        "columns_hp".into(),
+        "strips_hp".into(),
+        "ratio".into(),
+    ]);
+    for p in [2usize, 4, 8, 16, 32, 64] {
+        // Heterogeneous mix: geometric speeds, normalised to the grid.
+        let weights: Vec<f64> = (0..p).map(|i| 1.25f64.powi((i % 8) as i32)).collect();
+        let total = n_blocks * n_blocks;
+        let areas = fupermod_num::apportion::largest_remainder(&weights, total)
+            .expect("apportionment failed");
+        let columns = column_partition(n_blocks, &areas).expect("column partition failed");
+        let strips = row_strip_half_perimeters(n_blocks, &areas).expect("strip partition failed");
+        let chp = columns.sum_half_perimeters();
+        print_csv_row(&[
+            p.to_string(),
+            n_blocks.to_string(),
+            chp.to_string(),
+            strips.to_string(),
+            format!("{:.3}", strips as f64 / chp as f64),
+        ]);
+    }
+}

@@ -1,0 +1,156 @@
+#![warn(missing_docs)]
+
+//! Shared harness for the figure/experiment regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one figure or experiment of
+//! the paper (see DESIGN.md's experiment index) and prints CSV to
+//! stdout, so results can be diffed, plotted, or recorded in
+//! EXPERIMENTS.md. This library holds the pieces they share.
+
+use fupermod_core::model::Model;
+use fupermod_core::partition::Partitioner;
+use fupermod_core::{CoreError, Point, Precision};
+use fupermod_platform::{Platform, WorkloadProfile};
+
+/// A geometric grid of problem sizes from `lo` to `hi` (inclusive-ish)
+/// with `n` points — the usual sampling for building full models.
+pub fn size_grid(lo: u64, hi: u64, n: usize) -> Vec<u64> {
+    assert!(lo >= 1 && hi > lo && n >= 2, "degenerate size grid");
+    let ratio = (hi as f64 / lo as f64).powf(1.0 / (n as f64 - 1.0));
+    let mut sizes: Vec<u64> = (0..n)
+        .map(|i| (lo as f64 * ratio.powi(i as i32)).round() as u64)
+        .collect();
+    sizes.dedup();
+    sizes
+}
+
+/// Benchmarks device `rank` of `platform` at the given sizes and feeds
+/// the points into `model`. Returns the total (virtual) benchmarking
+/// cost in seconds — time × repetitions summed over all measurements,
+/// the cost metric EXP2 compares.
+///
+/// # Errors
+///
+/// Propagates benchmark/model errors.
+pub fn build_model_for_device(
+    platform: &Platform,
+    rank: usize,
+    profile: &WorkloadProfile,
+    sizes: &[u64],
+    precision: &Precision,
+    model: &mut dyn Model,
+) -> Result<f64, CoreError> {
+    use fupermod_core::benchmark::Benchmark;
+    use fupermod_core::kernel::DeviceKernel;
+    let mut kernel = DeviceKernel::new(platform.device(rank).clone(), profile.clone());
+    let bench = Benchmark::new(precision);
+    let mut cost = 0.0;
+    for &d in sizes {
+        let point = bench.measure(&mut kernel, d)?;
+        cost += point.t * point.reps as f64;
+        model.update(point)?;
+    }
+    Ok(cost)
+}
+
+/// Ground-truth evaluation of a distribution: per-device ideal times
+/// and their relative imbalance. This is what the paper would measure
+/// on the real machine after partitioning.
+pub fn ground_truth_times(
+    platform: &Platform,
+    profile: &WorkloadProfile,
+    sizes: &[u64],
+) -> Vec<f64> {
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(rank, &d)| platform.device(rank).ideal_time(d, profile))
+        .collect()
+}
+
+/// Max over min-style imbalance of ground-truth times (0 = perfect).
+pub fn ground_truth_imbalance(times: &[f64]) -> f64 {
+    fupermod_core::partition::Distribution::imbalance_of(times)
+}
+
+/// Partitions `total` with `partitioner` over `models` and returns
+/// (sizes, ground-truth times, imbalance, makespan).
+///
+/// # Errors
+///
+/// Propagates partitioning errors.
+pub fn evaluate_partitioner(
+    platform: &Platform,
+    profile: &WorkloadProfile,
+    total: u64,
+    partitioner: &dyn Partitioner,
+    models: &[&dyn Model],
+) -> Result<PartitionEvaluation, CoreError> {
+    let dist = partitioner.partition(total, models)?;
+    let sizes = dist.sizes();
+    let times = ground_truth_times(platform, profile, &sizes);
+    let imbalance = ground_truth_imbalance(&times);
+    let makespan = times.iter().fold(0.0_f64, |m, t| m.max(*t));
+    Ok(PartitionEvaluation {
+        sizes,
+        times,
+        imbalance,
+        makespan,
+    })
+}
+
+/// Outcome of evaluating one partitioner against ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionEvaluation {
+    /// Assigned sizes per device.
+    pub sizes: Vec<u64>,
+    /// Ground-truth times per device.
+    pub times: Vec<f64>,
+    /// Relative imbalance of those times.
+    pub imbalance: f64,
+    /// Max ground-truth time.
+    pub makespan: f64,
+}
+
+/// Measures one device point for dynamic loops (quick precision).
+///
+/// # Errors
+///
+/// Propagates benchmark errors.
+pub fn quick_measure(
+    platform: &Platform,
+    rank: usize,
+    profile: &WorkloadProfile,
+    d: u64,
+) -> Result<Point, CoreError> {
+    use fupermod_core::benchmark::Benchmark;
+    use fupermod_core::kernel::DeviceKernel;
+    let mut kernel = DeviceKernel::new(platform.device(rank).clone(), profile.clone());
+    Benchmark::new(&Precision::quick()).measure(&mut kernel, d)
+}
+
+/// Prints a CSV header and rows through a tiny helper so every binary
+/// formats identically.
+pub fn print_csv_row(fields: &[String]) {
+    println!("{}", fields.join(","));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_grid_is_geometric_and_bounded() {
+        let grid = size_grid(10, 1000, 5);
+        assert_eq!(grid.first(), Some(&10));
+        assert_eq!(grid.last(), Some(&1000));
+        for w in grid.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn imbalance_of_equal_times_is_zero() {
+        assert_eq!(ground_truth_imbalance(&[2.0, 2.0]), 0.0);
+    }
+}

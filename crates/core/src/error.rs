@@ -1,0 +1,44 @@
+use std::error::Error;
+use std::fmt;
+
+use fupermod_num::NumError;
+
+/// Error type for the FuPerMod core framework.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A numerical routine failed (interpolation, solving, statistics).
+    Num(NumError),
+    /// A kernel could not be initialised or executed.
+    Kernel(String),
+    /// A performance model rejected an update or query.
+    Model(String),
+    /// A partitioning algorithm could not produce a distribution.
+    Partition(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Num(e) => write!(f, "numerical error: {e}"),
+            CoreError::Kernel(msg) => write!(f, "kernel error: {msg}"),
+            CoreError::Model(msg) => write!(f, "model error: {msg}"),
+            CoreError::Partition(msg) => write!(f, "partition error: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Num(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumError> for CoreError {
+    fn from(e: NumError) -> Self {
+        CoreError::Num(e)
+    }
+}

@@ -1,0 +1,314 @@
+//! Hierarchical (two-level) data partitioning.
+//!
+//! The paper's target platform is "a hierarchical heterogeneous
+//! distributed-memory system": clusters of nodes, nodes of cores and
+//! accelerators. FuPerMod models this by *aggregating*: the experimental
+//! points can describe "the performance of CPU core(s), or the bundled
+//! performance of a GPU and its dedicated CPU core, or the total
+//! performance of a multi-CPU/GPU node" (§4.1). This module implements
+//! the aggregation step in model space:
+//!
+//! * [`AggregateModel`] — a [`Model`] describing a *group* of processes
+//!   as one super-process: its time function `T(x)` is the optimally
+//!   load-balanced makespan of the group for `x` units (computed with
+//!   an inner partitioner), so `x / T(x)` is the group's combined
+//!   speed.
+//! * [`partition_hierarchical`] — partitions a workload across groups
+//!   using their aggregate models, then splits each group's share
+//!   between its members — e.g. across nodes first, then within each
+//!   node.
+
+use crate::model::Model;
+use crate::partition::{Distribution, GeometricPartitioner, Partitioner};
+use crate::{CoreError, Point};
+
+/// A group of process models viewed as a single super-process.
+///
+/// The aggregate's time function is evaluated lazily: `time(x)` runs
+/// the inner partitioner over the members for `⌈x⌉` units and returns
+/// the predicted makespan. The derivative is obtained by a central
+/// difference, which is smooth enough for the outer numerical
+/// partitioner because the balanced makespan varies smoothly with the
+/// total.
+pub struct AggregateModel<'a> {
+    members: Vec<&'a dyn Model>,
+    inner: GeometricPartitioner,
+    /// Representative points (the union of member points, re-expressed
+    /// at group level), used only for reporting.
+    points: Vec<Point>,
+}
+
+impl<'a> AggregateModel<'a> {
+    /// Aggregates a non-empty group of member models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Model`] if the group is empty or any member
+    /// has no data.
+    pub fn new(members: Vec<&'a dyn Model>) -> Result<Self, CoreError> {
+        if members.is_empty() {
+            return Err(CoreError::Model("aggregate of zero members".to_owned()));
+        }
+        for (i, m) in members.iter().enumerate() {
+            if !m.is_ready() {
+                return Err(CoreError::Model(format!(
+                    "aggregate member {i} has no experimental points"
+                )));
+            }
+        }
+        // Group-level representative points: for each distinct member
+        // point size (scaled by the member count, approximating "all
+        // members loaded alike"), record the balanced group time.
+        let mut sizes: Vec<u64> = members
+            .iter()
+            .flat_map(|m| m.points().iter().map(|p| p.d * members.len() as u64))
+            .collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        let inner = GeometricPartitioner::default();
+        let mut points = Vec::with_capacity(sizes.len());
+        for &d in &sizes {
+            if let Ok(dist) = inner.partition(d, &members) {
+                points.push(Point::single(d, dist.predicted_makespan()));
+            }
+        }
+        Ok(Self {
+            members,
+            inner,
+            points,
+        })
+    }
+
+    /// The member models.
+    pub fn members(&self) -> &[&'a dyn Model] {
+        &self.members
+    }
+
+    fn balanced_makespan(&self, x: f64) -> Option<f64> {
+        if x <= 0.0 {
+            return Some(0.0);
+        }
+        self.inner
+            .partition(x.round().max(1.0) as u64, &self.members)
+            .ok()
+            .map(|d| d.predicted_makespan())
+    }
+}
+
+impl std::fmt::Debug for AggregateModel<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AggregateModel")
+            .field("members", &self.members.len())
+            .field("points", &self.points.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Model for AggregateModel<'_> {
+    fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    fn update(&mut self, _point: Point) -> Result<(), CoreError> {
+        Err(CoreError::Model(
+            "aggregate models are derived; update the member models instead".to_owned(),
+        ))
+    }
+
+    fn time(&self, x: f64) -> Option<f64> {
+        self.balanced_makespan(x)
+    }
+
+    fn time_derivative(&self, x: f64) -> Option<f64> {
+        let h = (x.abs() * 1e-3).max(1.0);
+        let hi = self.time(x + h)?;
+        let lo = self.time((x - h).max(0.0))?;
+        Some((hi - lo) / (x + h - (x - h).max(0.0)))
+    }
+
+    fn speed(&self, x: f64) -> Option<f64> {
+        if x <= 0.0 {
+            // Sum of member speeds at zero: the group's peak rate.
+            let mut sum = 0.0;
+            for m in &self.members {
+                sum += m.speed(0.0)?;
+            }
+            return Some(sum);
+        }
+        let t = self.time(x)?;
+        if t <= 0.0 {
+            None
+        } else {
+            Some(x / t)
+        }
+    }
+}
+
+/// A two-level distribution: the per-group split and the per-member
+/// split within each group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchicalDistribution {
+    /// Units per group, in group order.
+    pub group_shares: Vec<u64>,
+    /// Per-group member distributions (same order as the input groups).
+    pub group_dists: Vec<Distribution>,
+}
+
+impl HierarchicalDistribution {
+    /// Flattened member sizes in group-major order.
+    pub fn flat_sizes(&self) -> Vec<u64> {
+        self.group_dists
+            .iter()
+            .flat_map(|d| d.sizes())
+            .collect()
+    }
+
+    /// Total units assigned across all members.
+    pub fn total_assigned(&self) -> u64 {
+        self.group_dists.iter().map(|d| d.total_assigned()).sum()
+    }
+
+    /// The predicted makespan: the slowest member anywhere.
+    pub fn predicted_makespan(&self) -> f64 {
+        self.group_dists
+            .iter()
+            .map(|d| d.predicted_makespan())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Partitions `total` units over `groups` of process models in two
+/// levels: first across groups (via their [`AggregateModel`]s, with
+/// `outer`), then within each group (with `inner`).
+///
+/// # Errors
+///
+/// Propagates aggregation and partitioning errors.
+pub fn partition_hierarchical(
+    total: u64,
+    groups: &[Vec<&dyn Model>],
+    outer: &dyn Partitioner,
+    inner: &dyn Partitioner,
+) -> Result<HierarchicalDistribution, CoreError> {
+    if groups.is_empty() {
+        return Err(CoreError::Partition("no groups to partition over".to_owned()));
+    }
+    let aggregates: Vec<AggregateModel<'_>> = groups
+        .iter()
+        .map(|g| AggregateModel::new(g.clone()))
+        .collect::<Result<_, _>>()?;
+    let agg_refs: Vec<&dyn Model> = aggregates.iter().map(|a| a as &dyn Model).collect();
+    let across = outer.partition(total, &agg_refs)?;
+
+    let mut group_dists = Vec::with_capacity(groups.len());
+    for (group, part) in groups.iter().zip(across.parts()) {
+        group_dists.push(inner.partition(part.d, group)?);
+    }
+    Ok(HierarchicalDistribution {
+        group_shares: across.sizes(),
+        group_dists,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PiecewiseModel;
+    use crate::partition::GeometricPartitioner;
+
+    fn model(speed: f64) -> PiecewiseModel {
+        let mut m = PiecewiseModel::new();
+        for d in [100u64, 1000, 10000] {
+            m.update(Point::single(d, d as f64 / speed)).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn aggregate_speed_is_the_sum_of_member_speeds() {
+        let m1 = model(100.0);
+        let m2 = model(300.0);
+        let agg = AggregateModel::new(vec![&m1, &m2]).unwrap();
+        // 400 u/s combined: 4000 units in ~10 s.
+        let t = agg.time(4000.0).unwrap();
+        assert!((t - 10.0).abs() < 0.05, "t = {t}");
+        let s = agg.speed(4000.0).unwrap();
+        assert!((s - 400.0).abs() < 2.0, "s = {s}");
+    }
+
+    #[test]
+    fn aggregate_rejects_updates_and_empty_groups() {
+        let m1 = model(100.0);
+        let mut agg = AggregateModel::new(vec![&m1]).unwrap();
+        assert!(agg.update(Point::single(10, 1.0)).is_err());
+        assert!(AggregateModel::new(vec![]).is_err());
+        let empty = PiecewiseModel::new();
+        assert!(AggregateModel::new(vec![&empty]).is_err());
+    }
+
+    #[test]
+    fn two_level_partition_conserves_and_balances() {
+        // Node A: 100 + 300 u/s; node B: 50 + 50 u/s. Combined 400 vs
+        // 100 → A should take ~80%.
+        let a1 = model(100.0);
+        let a2 = model(300.0);
+        let b1 = model(50.0);
+        let b2 = model(50.0);
+        let groups: Vec<Vec<&dyn Model>> = vec![vec![&a1, &a2], vec![&b1, &b2]];
+        let part = partition_hierarchical(
+            10_000,
+            &groups,
+            &GeometricPartitioner::default(),
+            &GeometricPartitioner::default(),
+        )
+        .unwrap();
+        assert_eq!(part.total_assigned(), 10_000);
+        let shares = &part.group_shares;
+        assert!(
+            (7600..=8400).contains(&shares[0]),
+            "group A got {}",
+            shares[0]
+        );
+        // Inner splits proportional too: a2 gets ~3x a1.
+        let a_sizes = part.group_dists[0].sizes();
+        let ratio = a_sizes[1] as f64 / a_sizes[0] as f64;
+        assert!((2.5..=3.5).contains(&ratio), "intra ratio {ratio}");
+    }
+
+    #[test]
+    fn hierarchical_matches_flat_quality_on_uniform_members() {
+        // With identical members everywhere, two-level and flat both
+        // produce the even split.
+        let ms: Vec<PiecewiseModel> = (0..4).map(|_| model(100.0)).collect();
+        let groups: Vec<Vec<&dyn Model>> = vec![
+            vec![&ms[0], &ms[1]],
+            vec![&ms[2], &ms[3]],
+        ];
+        let part = partition_hierarchical(
+            4000,
+            &groups,
+            &GeometricPartitioner::default(),
+            &GeometricPartitioner::default(),
+        )
+        .unwrap();
+        assert_eq!(part.flat_sizes(), vec![1000, 1000, 1000, 1000]);
+    }
+
+    #[test]
+    fn predicted_makespan_covers_all_members() {
+        let a1 = model(10.0);
+        let b1 = model(1000.0);
+        let groups: Vec<Vec<&dyn Model>> = vec![vec![&a1], vec![&b1]];
+        let part = partition_hierarchical(
+            5000,
+            &groups,
+            &GeometricPartitioner::default(),
+            &GeometricPartitioner::default(),
+        )
+        .unwrap();
+        // Both members should finish at roughly the same time.
+        let t0 = part.group_dists[0].predicted_makespan();
+        let t1 = part.group_dists[1].predicted_makespan();
+        assert!((t0 - t1).abs() / t0.max(t1) < 0.1, "{t0} vs {t1}");
+    }
+}

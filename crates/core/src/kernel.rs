@@ -1,0 +1,185 @@
+//! The computation-kernel abstraction (the paper's `fupermod_kernel`).
+//!
+//! An application exposes its core computation as a [`Kernel`]: a
+//! serial piece of code whose work is measured in *computation units*
+//! and which can be set up for any size `d`, executed, and torn down.
+//! The same interface covers both real kernels (the `fupermod-kernels`
+//! crate implements GEMM and Jacobi sweeps on the host) and simulated
+//! devices ([`DeviceKernel`] wraps a ground-truth device model so the
+//! benchmarking machinery can be exercised on synthetic heterogeneous
+//! platforms).
+
+use std::time::Duration;
+
+use fupermod_platform::{Device, WorkloadProfile};
+
+use crate::CoreError;
+
+/// A computation kernel: the `complexity`/`initialize`/`execute`/
+/// `finalize` quartet of the paper's `fupermod_kernel`, in idiomatic
+/// Rust form. `initialize`/`finalize` become the creation and drop of a
+/// [`KernelContext`].
+pub trait Kernel {
+    /// Number of arithmetic operations performed for `d` computation
+    /// units, used to convert measured time into flop/s for reporting.
+    fn complexity(&self, d: u64) -> f64;
+
+    /// Allocates and initialises the execution context (the data
+    /// buffers) for a problem of `d` computation units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Kernel`] if the problem size is unsupported
+    /// or allocation fails.
+    fn context(&mut self, d: u64) -> Result<Box<dyn KernelContext>, CoreError>;
+}
+
+/// Execution context of a kernel at a fixed problem size. Created by
+/// [`Kernel::context`]; dropped to free the data.
+///
+/// Contexts are `Send` so that groups of kernels can be executed on
+/// worker threads in lockstep, reproducing the paper's synchronised
+/// measurement of resource-sharing processes.
+pub trait KernelContext: Send {
+    /// Executes the kernel once and reports how long it took.
+    ///
+    /// Real kernels time themselves with a monotonic clock; simulated
+    /// kernels return the device model's (noisy) virtual time without
+    /// sleeping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Kernel`] if execution fails.
+    fn run(&mut self) -> Result<Duration, CoreError>;
+}
+
+/// A simulated kernel: executing `d` units on a modelled [`Device`]
+/// under a given [`WorkloadProfile`].
+///
+/// Each `run` draws the next noisy measurement from the device's
+/// deterministic noise stream, so repeated runs scatter realistically
+/// while the whole experiment stays reproducible.
+#[derive(Debug, Clone)]
+pub struct DeviceKernel {
+    device: Device,
+    profile: WorkloadProfile,
+    runs: u64,
+}
+
+impl DeviceKernel {
+    /// Wraps a device model and workload profile as a kernel.
+    pub fn new(device: Device, profile: WorkloadProfile) -> Self {
+        Self {
+            device,
+            profile,
+            runs: 0,
+        }
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The workload profile.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+}
+
+impl Kernel for DeviceKernel {
+    fn complexity(&self, d: u64) -> f64 {
+        self.profile.complexity(d)
+    }
+
+    fn context(&mut self, d: u64) -> Result<Box<dyn KernelContext>, CoreError> {
+        // Hand the context its own slice of the noise stream; reserve a
+        // generous block so successive contexts never overlap.
+        let base = self.runs;
+        self.runs += 1 << 20;
+        Ok(Box::new(DeviceKernelContext {
+            device: self.device.clone(),
+            profile: self.profile.clone(),
+            d,
+            next_run: base,
+        }))
+    }
+}
+
+struct DeviceKernelContext {
+    device: Device,
+    profile: WorkloadProfile,
+    d: u64,
+    next_run: u64,
+}
+
+impl KernelContext for DeviceKernelContext {
+    fn run(&mut self) -> Result<Duration, CoreError> {
+        let t = self
+            .device
+            .measured_time(self.d, &self.profile, self.next_run);
+        self.next_run += 1;
+        if !t.is_finite() || t < 0.0 {
+            return Err(CoreError::Kernel(format!(
+                "device '{}' produced invalid time {t} for d={}",
+                self.device.name(),
+                self.d
+            )));
+        }
+        Ok(Duration::from_secs_f64(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fupermod_platform::cluster;
+
+    #[test]
+    fn device_kernel_reports_profile_complexity() {
+        let dev = cluster::fast_cpu("c", 0);
+        let profile = WorkloadProfile::matrix_update(16);
+        let k = DeviceKernel::new(dev, profile.clone());
+        assert_eq!(k.complexity(10), profile.complexity(10));
+    }
+
+    #[test]
+    fn runs_scatter_but_stay_near_ideal() {
+        let dev = cluster::fast_cpu("c", 3);
+        let profile = WorkloadProfile::matrix_update(16);
+        let ideal = dev.ideal_time(500, &profile);
+        let mut k = DeviceKernel::new(dev, profile);
+        let mut ctx = k.context(500).unwrap();
+        let mut times = Vec::new();
+        for _ in 0..50 {
+            times.push(ctx.run().unwrap().as_secs_f64());
+        }
+        let mean: f64 = times.iter().sum::<f64>() / times.len() as f64;
+        assert!((mean / ideal - 1.0).abs() < 0.05);
+        // Noise actually present.
+        assert!(times.iter().any(|t| (t - times[0]).abs() > 0.0));
+    }
+
+    #[test]
+    fn separate_contexts_use_disjoint_noise_streams() {
+        let dev = cluster::fast_cpu("c", 3);
+        let profile = WorkloadProfile::matrix_update(16);
+        let mut k = DeviceKernel::new(dev, profile);
+        let mut a = k.context(100).unwrap();
+        let mut b = k.context(100).unwrap();
+        // Different streams → first samples differ (same device, size).
+        let ta = a.run().unwrap();
+        let tb = b.run().unwrap();
+        assert_ne!(ta, tb);
+    }
+
+    #[test]
+    fn contexts_are_send() {
+        fn assert_send<T: Send>(_: T) {}
+        let mut k = DeviceKernel::new(
+            cluster::fast_cpu("c", 0),
+            WorkloadProfile::matrix_update(16),
+        );
+        assert_send(k.context(10).unwrap());
+    }
+}

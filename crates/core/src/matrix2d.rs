@@ -1,0 +1,355 @@
+//! Column-based two-dimensional matrix partitioning (Beaumont, Boudet,
+//! Rastello, Robert \[2\]).
+//!
+//! The paper's matrix-multiplication use case partitions the matrices
+//! "over a 2D arrangement of heterogeneous processors so that the area
+//! of each rectangle is proportional to the speed of the processor",
+//! arranging the submatrices "to be as square as possible, minimising
+//! the total volume of communications". This module implements that
+//! arrangement:
+//!
+//! * processors are sorted by area and grouped into *columns* of the
+//!   unit square (a dynamic program finds the grouping that minimises
+//!   the sum of half-perimeters — the communication volume of one
+//!   matmul iteration);
+//! * the continuous layout is then rounded to an exact tiling of the
+//!   `n × n` block grid (no block lost, none covered twice).
+
+use serde::{Deserialize, Serialize};
+
+use fupermod_num::apportion::largest_remainder;
+
+use crate::CoreError;
+
+/// An axis-aligned rectangle of blocks assigned to one process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Owning process (index into the original `areas` slice).
+    pub owner: usize,
+    /// Left column of the rectangle, in blocks.
+    pub x: u64,
+    /// Top row of the rectangle, in blocks.
+    pub y: u64,
+    /// Width in blocks.
+    pub w: u64,
+    /// Height in blocks.
+    pub h: u64,
+}
+
+impl Rect {
+    /// Area in blocks.
+    pub fn area(&self) -> u64 {
+        self.w * self.h
+    }
+
+    /// Half-perimeter in blocks — proportional to the data this process
+    /// sends/receives per iteration of the paper's matmul.
+    pub fn half_perimeter(&self) -> u64 {
+        self.w + self.h
+    }
+}
+
+/// A column-based 2D partition of an `n × n` block grid.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnPartition {
+    n: u64,
+    /// Process indices per column, in layout order.
+    columns: Vec<Vec<usize>>,
+    /// One rectangle per process, indexed by process.
+    rects: Vec<Rect>,
+}
+
+impl ColumnPartition {
+    /// Grid dimension in blocks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The column structure: process indices per column.
+    pub fn columns(&self) -> &[Vec<usize>] {
+        &self.columns
+    }
+
+    /// Rectangles indexed by process.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Sum of half-perimeters over all rectangles — the communication
+    /// metric of Beaumont et al.
+    pub fn sum_half_perimeters(&self) -> u64 {
+        self.rects.iter().map(Rect::half_perimeter).sum()
+    }
+}
+
+/// Partitions the `n × n` block grid into one rectangle per process
+/// with areas proportional to `areas`, using the column-based
+/// arrangement that minimises the sum of half-perimeters.
+///
+/// `areas` are relative (typically the `d` values of a 1D partition of
+/// `n²` units); zero areas are allowed and receive empty rectangles.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Partition`] if `areas` is empty, all areas are
+/// zero, or `n` is zero.
+pub fn column_partition(n: u64, areas: &[u64]) -> Result<ColumnPartition, CoreError> {
+    if areas.is_empty() {
+        return Err(CoreError::Partition(
+            "2D partition needs at least one process".to_owned(),
+        ));
+    }
+    if n == 0 {
+        return Err(CoreError::Partition("grid dimension must be positive".to_owned()));
+    }
+    let total: u64 = areas.iter().sum();
+    if total == 0 {
+        return Err(CoreError::Partition("all areas are zero".to_owned()));
+    }
+
+    // Processes with positive area, sorted by area descending (ties by
+    // index for determinism). The Beaumont DP assumes this order.
+    let mut order: Vec<usize> = (0..areas.len()).filter(|&i| areas[i] > 0).collect();
+    order.sort_by(|&a, &b| areas[b].cmp(&areas[a]).then(a.cmp(&b)));
+    let fractions: Vec<f64> = order.iter().map(|&i| areas[i] as f64 / total as f64).collect();
+
+    let groups = optimal_columns(&fractions);
+
+    // Integer column widths proportional to column areas.
+    let col_areas: Vec<f64> = groups
+        .iter()
+        .map(|g| g.iter().map(|&k| fractions[k]).sum())
+        .collect();
+    let widths = largest_remainder(&col_areas, n).map_err(CoreError::from)?;
+
+    let mut rects = vec![
+        Rect {
+            owner: 0,
+            x: 0,
+            y: 0,
+            w: 0,
+            h: 0,
+        };
+        areas.len()
+    ];
+    // Give every process its owner id even if its rectangle is empty.
+    for (owner, r) in rects.iter_mut().enumerate() {
+        r.owner = owner;
+    }
+
+    let mut x = 0u64;
+    let mut columns = Vec::with_capacity(groups.len());
+    for (group, &w) in groups.iter().zip(&widths) {
+        // Heights within the column proportional to member areas.
+        let member_areas: Vec<f64> = group.iter().map(|&k| fractions[k]).collect();
+        let heights = largest_remainder(&member_areas, n).map_err(CoreError::from)?;
+        let mut y = 0u64;
+        let mut col_members = Vec::with_capacity(group.len());
+        for (&k, &h) in group.iter().zip(&heights) {
+            let owner = order[k];
+            rects[owner] = Rect { owner, x, y, w, h };
+            y += h;
+            col_members.push(owner);
+        }
+        columns.push(col_members);
+        x += w;
+    }
+
+    Ok(ColumnPartition { n, columns, rects })
+}
+
+/// Sum of half-perimeters of the trivial 1D row-strip partition of the
+/// same grid — the baseline the column arrangement is compared against
+/// (EXP4).
+pub fn row_strip_half_perimeters(n: u64, areas: &[u64]) -> Result<u64, CoreError> {
+    let total: u64 = areas.iter().sum();
+    if areas.is_empty() || total == 0 || n == 0 {
+        return Err(CoreError::Partition("invalid strip partition input".to_owned()));
+    }
+    let weights: Vec<f64> = areas.iter().map(|&a| a as f64).collect();
+    let heights = largest_remainder(&weights, n).map_err(CoreError::from)?;
+    Ok(heights
+        .iter()
+        .filter(|&&h| h > 0)
+        .map(|&h| n + h)
+        .sum())
+}
+
+/// Finds the column grouping (contiguous in sorted order) minimising
+/// `Σ_j n_j · A_j + c` over the normalised areas, by dynamic
+/// programming over (processes used, columns formed).
+///
+/// Returns index groups into the sorted order.
+#[allow(clippy::needless_range_loop)] // DP index arithmetic is clearer explicit
+fn optimal_columns(fractions: &[f64]) -> Vec<Vec<usize>> {
+    let p = fractions.len();
+    let mut prefix = vec![0.0; p + 1];
+    for (i, f) in fractions.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + f;
+    }
+    let col_cost = |i: usize, j: usize| (j - i) as f64 * (prefix[j] - prefix[i]);
+
+    // dp[c][i]: best cost of packing the first i processes into c columns.
+    let mut dp = vec![vec![f64::INFINITY; p + 1]; p + 1];
+    let mut back = vec![vec![0usize; p + 1]; p + 1];
+    dp[0][0] = 0.0;
+    for c in 1..=p {
+        for i in c..=p {
+            for k in (c - 1)..i {
+                let cost = dp[c - 1][k] + col_cost(k, i);
+                if cost < dp[c][i] {
+                    dp[c][i] = cost;
+                    back[c][i] = k;
+                }
+            }
+        }
+    }
+
+    // Total metric includes +1 per column (the heights of a column sum
+    // to the full edge).
+    let mut best_c = 1;
+    let mut best = f64::INFINITY;
+    for c in 1..=p {
+        let cost = dp[c][p] + c as f64;
+        if cost < best - 1e-15 {
+            best = cost;
+            best_c = c;
+        }
+    }
+
+    let mut groups = Vec::with_capacity(best_c);
+    let mut i = p;
+    let mut c = best_c;
+    while c > 0 {
+        let k = back[c][i];
+        groups.push((k..i).collect::<Vec<usize>>());
+        i = k;
+        c -= 1;
+    }
+    groups.reverse();
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_exact_tiling(part: &ColumnPartition) {
+        let n = part.n();
+        // Total area covers the grid.
+        let covered: u64 = part.rects().iter().map(Rect::area).sum();
+        assert_eq!(covered, n * n, "tiling does not cover the grid");
+        // No overlaps: paint the grid.
+        let mut grid = vec![false; (n * n) as usize];
+        for r in part.rects() {
+            for yy in r.y..r.y + r.h {
+                for xx in r.x..r.x + r.w {
+                    let idx = (yy * n + xx) as usize;
+                    assert!(!grid[idx], "overlap at ({xx},{yy})");
+                    grid[idx] = true;
+                }
+            }
+        }
+        assert!(grid.iter().all(|&b| b), "hole in tiling");
+    }
+
+    #[test]
+    fn four_equal_processes_tile_two_by_two() {
+        let part = column_partition(8, &[16, 16, 16, 16]).unwrap();
+        assert_exact_tiling(&part);
+        assert_eq!(part.columns().len(), 2);
+        // Each rectangle is 4×4 → half-perimeter 8, total 32.
+        assert_eq!(part.sum_half_perimeters(), 32);
+    }
+
+    #[test]
+    fn single_process_takes_whole_grid() {
+        let part = column_partition(10, &[100]).unwrap();
+        assert_exact_tiling(&part);
+        assert_eq!(part.rects()[0].w, 10);
+        assert_eq!(part.rects()[0].h, 10);
+    }
+
+    #[test]
+    fn heterogeneous_areas_are_respected_approximately() {
+        // Process 0 has 3/4 of the area.
+        let part = column_partition(16, &[192, 32, 32]).unwrap();
+        assert_exact_tiling(&part);
+        let a0 = part.rects()[0].area() as f64;
+        assert!((a0 / 256.0 - 0.75).abs() < 0.1, "area {a0}");
+    }
+
+    #[test]
+    fn zero_area_processes_get_empty_rectangles() {
+        let part = column_partition(8, &[32, 0, 32]).unwrap();
+        assert_exact_tiling(&part);
+        assert_eq!(part.rects()[1].area(), 0);
+        assert_eq!(part.rects()[1].owner, 1);
+    }
+
+    #[test]
+    fn beats_row_strips_for_many_processes() {
+        let areas = vec![10u64; 16];
+        let n = 40;
+        let part = column_partition(n, &areas.iter().map(|a| a * 10).collect::<Vec<_>>()).unwrap();
+        let strips = row_strip_half_perimeters(n, &areas).unwrap();
+        assert!(
+            part.sum_half_perimeters() < strips,
+            "columns {} vs strips {strips}",
+            part.sum_half_perimeters()
+        );
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_small_inputs() {
+        // Brute-force over all contiguous groupings for p = 5.
+        let fracs = [0.35, 0.25, 0.2, 0.12, 0.08];
+        let groups = optimal_columns(&fracs);
+        let dp_cost: f64 = groups
+            .iter()
+            .map(|g| {
+                let a: f64 = g.iter().map(|&k| fracs[k]).sum();
+                g.len() as f64 * a
+            })
+            .sum::<f64>()
+            + groups.len() as f64;
+
+        // Enumerate all compositions of 5 into contiguous groups.
+        let mut best = f64::INFINITY;
+        let p = fracs.len();
+        for mask in 0..(1u32 << (p - 1)) {
+            let mut cost = 0.0;
+            let mut cols = 0;
+            let mut start = 0;
+            for i in 0..p {
+                let boundary = i == p - 1 || (mask >> i) & 1 == 1;
+                if boundary {
+                    let a: f64 = fracs[start..=i].iter().sum();
+                    cost += (i - start + 1) as f64 * a;
+                    cols += 1;
+                    start = i + 1;
+                }
+            }
+            best = best.min(cost + cols as f64);
+        }
+        assert!(
+            (dp_cost - best).abs() < 1e-12,
+            "dp {dp_cost} vs brute force {best}"
+        );
+    }
+
+    #[test]
+    fn tiling_is_exact_for_awkward_sizes() {
+        // Prime grid, uneven areas.
+        let part = column_partition(13, &[70, 45, 30, 15, 9]).unwrap();
+        assert_exact_tiling(&part);
+        assert_eq!(part.rects().len(), 5);
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert!(column_partition(8, &[]).is_err());
+        assert!(column_partition(8, &[0, 0]).is_err());
+        assert!(column_partition(0, &[1]).is_err());
+    }
+}

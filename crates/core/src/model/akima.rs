@@ -1,0 +1,184 @@
+use serde::{Deserialize, Serialize};
+
+use fupermod_num::interp::{AkimaSpline, Interpolation};
+
+use super::{insert_point, Model};
+use crate::{CoreError, Point};
+
+/// The Akima-spline functional performance model of Rychkov et al.
+/// \[15\]: the time function is interpolated by an Akima spline through
+/// the experimental points, anchored at the origin (`t(0) = 0`).
+///
+/// Unlike [`PiecewiseModel`](super::PiecewiseModel) there are no shape
+/// restrictions — real, non-canonical speed functions (Fig. 2(b) of the
+/// paper) are represented faithfully — and the interpolant has a
+/// continuous first derivative, which the Newton-based numerical
+/// partitioner relies on.
+///
+/// With a single experimental point the model degenerates to the
+/// constant model (a line through the origin).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AkimaModel {
+    points: Vec<Point>,
+    spline: Option<AkimaSpline>,
+}
+
+impl AkimaModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn refresh(&mut self) -> Result<(), CoreError> {
+        if self.points.is_empty() {
+            self.spline = None;
+            return Ok(());
+        }
+        // Anchor the time function at the origin: zero units take zero
+        // time. This both reflects reality and gives the spline (and
+        // the solvers probing small sizes) sane behaviour below the
+        // first measured point.
+        let mut xs = Vec::with_capacity(self.points.len() + 1);
+        let mut ys = Vec::with_capacity(self.points.len() + 1);
+        xs.push(0.0);
+        ys.push(0.0);
+        for p in &self.points {
+            xs.push(p.d as f64);
+            ys.push(p.t);
+        }
+        self.spline = Some(AkimaSpline::new(&xs, &ys).map_err(CoreError::from)?);
+        Ok(())
+    }
+
+    /// A floor for predicted times: a tiny fraction of the fastest
+    /// observed per-unit time, so spline undershoot near the origin can
+    /// never produce zero or negative times (which would blow up
+    /// speeds).
+    fn time_floor(&self, x: f64) -> f64 {
+        let best: f64 = self
+            .points
+            .iter()
+            .map(|p| p.t / p.d as f64)
+            .fold(f64::INFINITY, f64::min);
+        1e-3 * best * x
+    }
+}
+
+impl Model for AkimaModel {
+    fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    fn update(&mut self, point: Point) -> Result<(), CoreError> {
+        insert_point(&mut self.points, point)?;
+        self.refresh()
+    }
+
+    fn time(&self, x: f64) -> Option<f64> {
+        let spline = self.spline.as_ref()?;
+        if x <= 0.0 {
+            return Some(0.0);
+        }
+        Some(spline.value(x).max(self.time_floor(x)))
+    }
+
+    fn time_derivative(&self, x: f64) -> Option<f64> {
+        let spline = self.spline.as_ref()?;
+        Some(spline.derivative(x.max(0.0)))
+    }
+
+    fn speed(&self, x: f64) -> Option<f64> {
+        if x <= 0.0 {
+            // Continuous extension: lim_{x→0} x / t(x) = 1 / t'(0).
+            let d0 = self.time_derivative(0.0)?;
+            return Some(if d0 > 0.0 { 1.0 / d0 } else { 0.0 });
+        }
+        let t = self.time(x)?;
+        Some(x / t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_from(data: &[(u64, f64)]) -> AkimaModel {
+        let mut m = AkimaModel::new();
+        for &(d, t) in data {
+            m.update(Point::single(d, t)).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn single_point_is_a_line_through_origin() {
+        let m = model_from(&[(100, 2.0)]);
+        assert!((m.time(50.0).unwrap() - 1.0).abs() < 1e-12);
+        assert!((m.time(200.0).unwrap() - 4.0).abs() < 1e-12);
+        assert!((m.speed(10.0).unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolates_measured_points_exactly() {
+        let data = [(10u64, 0.5), (50, 3.0), (200, 20.0), (800, 160.0)];
+        let m = model_from(&data);
+        for &(d, t) in &data {
+            assert!(
+                (m.time(d as f64).unwrap() - t).abs() < 1e-9,
+                "mismatch at d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn represents_non_canonical_speed_functions() {
+        // A speed bump the piecewise model would flatten: the Akima
+        // model reproduces it.
+        let m = model_from(&[(10, 1.0), (60, 10.0), (900, 100.0), (4000, 1000.0)]);
+        // Raw speed at 900 is 9 units/s; the spline passes through it.
+        assert!((m.speed(900.0).unwrap() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_at_and_below_zero_is_zero() {
+        let m = model_from(&[(10, 1.0), (100, 12.0)]);
+        assert_eq!(m.time(0.0), Some(0.0));
+        assert_eq!(m.time(-3.0), Some(0.0));
+    }
+
+    #[test]
+    fn speed_at_zero_is_the_derivative_limit() {
+        // Linear time t = 0.1 x → speed 10 everywhere, including 0.
+        let m = model_from(&[(10, 1.0), (20, 2.0), (30, 3.0)]);
+        assert!((m.speed(0.0).unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derivative_is_continuous_where_piecewise_is_not() {
+        let m = model_from(&[(10, 1.0), (100, 15.0), (500, 120.0), (1000, 400.0)]);
+        // Sample the derivative across a node; no jumps.
+        let before = m.time_derivative(99.999).unwrap();
+        let after = m.time_derivative(100.001).unwrap();
+        assert!((before - after).abs() < 1e-3 * before.abs().max(1.0));
+    }
+
+    #[test]
+    fn time_floor_prevents_nonpositive_predictions() {
+        // Wild oscillation in measured times; floor keeps t(x) > 0 for
+        // all positive x.
+        let m = model_from(&[(10, 5.0), (11, 0.001), (12, 5.0), (100, 6.0)]);
+        for i in 1..200 {
+            let x = i as f64;
+            assert!(m.time(x).unwrap() > 0.0, "non-positive time at {x}");
+        }
+    }
+
+    #[test]
+    fn merges_repeated_measurements() {
+        let mut m = AkimaModel::new();
+        m.update(Point::single(10, 1.0)).unwrap();
+        m.update(Point::single(10, 3.0)).unwrap();
+        assert_eq!(m.points().len(), 1);
+        assert!((m.time(10.0).unwrap() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+use serde::{Deserialize, Serialize};
+
+use super::{insert_point, Model};
+use crate::{CoreError, Point};
+
+/// The constant performance model (CPM): the process's speed is a
+/// single number, independent of problem size.
+///
+/// The paper's CPM "requires only one experimental point"; like the
+/// adaptive CPM of Yang et al. \[17\], this implementation averages all
+/// points it has been given (weighted by repetitions), so it can also
+/// serve as the accumulator in dynamic schemes.
+///
+/// # Examples
+///
+/// ```
+/// use fupermod_core::model::{ConstantModel, Model};
+/// use fupermod_core::Point;
+///
+/// # fn main() -> Result<(), fupermod_core::CoreError> {
+/// let mut cpm = ConstantModel::new();
+/// cpm.update(Point::single(100, 2.0))?; // 50 units/s
+/// assert_eq!(cpm.speed(400.0), Some(50.0));
+/// assert_eq!(cpm.time(400.0), Some(8.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConstantModel {
+    points: Vec<Point>,
+    /// Cached speed in units/s: repetition-weighted mean of point speeds.
+    speed: Option<f64>,
+}
+
+impl ConstantModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn refresh(&mut self) {
+        let mut weight = 0.0;
+        let mut acc = 0.0;
+        for p in &self.points {
+            let w = p.reps.max(1) as f64;
+            acc += p.speed() * w;
+            weight += w;
+        }
+        self.speed = if weight > 0.0 { Some(acc / weight) } else { None };
+    }
+}
+
+impl Model for ConstantModel {
+    fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    fn update(&mut self, point: Point) -> Result<(), CoreError> {
+        insert_point(&mut self.points, point)?;
+        self.refresh();
+        Ok(())
+    }
+
+    fn time(&self, x: f64) -> Option<f64> {
+        self.speed.map(|s| if x <= 0.0 { 0.0 } else { x / s })
+    }
+
+    fn time_derivative(&self, _x: f64) -> Option<f64> {
+        self.speed.map(|s| 1.0 / s)
+    }
+
+    fn speed(&self, _x: f64) -> Option<f64> {
+        self.speed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_model_answers_none() {
+        let m = ConstantModel::new();
+        assert!(!m.is_ready());
+        assert_eq!(m.time(10.0), None);
+        assert_eq!(m.speed(10.0), None);
+    }
+
+    #[test]
+    fn single_point_defines_speed() {
+        let mut m = ConstantModel::new();
+        m.update(Point::single(200, 4.0)).unwrap();
+        assert_eq!(m.speed(1.0), Some(50.0));
+        assert_eq!(m.speed(1e6), Some(50.0));
+    }
+
+    #[test]
+    fn multiple_points_average_weighted_by_reps() {
+        let mut m = ConstantModel::new();
+        m.update(Point {
+            d: 100,
+            t: 1.0,
+            reps: 3,
+            ci: 0.0,
+        })
+        .unwrap(); // 100 u/s, weight 3
+        m.update(Point {
+            d: 100,
+            t: 2.0,
+            reps: 1,
+            ci: 0.0,
+        })
+        .unwrap(); // merged into one point: t = 1.25
+        // Merged point speed: 100/1.25 = 80.
+        assert_eq!(m.speed(5.0), Some(80.0));
+    }
+
+    #[test]
+    fn time_is_linear_and_zero_at_origin() {
+        let mut m = ConstantModel::new();
+        m.update(Point::single(10, 1.0)).unwrap();
+        assert_eq!(m.time(0.0), Some(0.0));
+        assert_eq!(m.time(20.0), Some(2.0));
+        assert_eq!(m.time_derivative(123.0), Some(0.1));
+    }
+}

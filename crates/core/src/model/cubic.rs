@@ -1,0 +1,165 @@
+use serde::{Deserialize, Serialize};
+
+use fupermod_num::interp::{CubicSpline, Interpolation};
+
+use super::{insert_point, Model};
+use crate::{CoreError, Point};
+
+/// A functional performance model based on a *natural cubic spline*
+/// interpolation of the time function.
+///
+/// Included as the ablation counterpart of
+/// [`AkimaModel`](super::AkimaModel): natural cubic splines are C²
+/// smooth but *global* — a memory-hierarchy cliff in the data induces
+/// oscillation several segments away, which can make the predicted
+/// time dip below reality (or below zero) near the cliff. The
+/// `exp8_interpolation_error` experiment quantifies this against the
+/// Akima model; the paper's choice of Akima interpolation for the FPM
+/// \[15\] is exactly about avoiding this failure mode.
+///
+/// Like the Akima model, the time function is anchored at the origin
+/// and predictions are floored at a small positive value.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CubicModel {
+    points: Vec<Point>,
+    spline: Option<CubicSpline>,
+}
+
+impl CubicModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn refresh(&mut self) -> Result<(), CoreError> {
+        if self.points.is_empty() {
+            self.spline = None;
+            return Ok(());
+        }
+        let mut xs = Vec::with_capacity(self.points.len() + 1);
+        let mut ys = Vec::with_capacity(self.points.len() + 1);
+        xs.push(0.0);
+        ys.push(0.0);
+        for p in &self.points {
+            xs.push(p.d as f64);
+            ys.push(p.t);
+        }
+        self.spline = Some(CubicSpline::new(&xs, &ys).map_err(CoreError::from)?);
+        Ok(())
+    }
+
+    fn time_floor(&self, x: f64) -> f64 {
+        let best: f64 = self
+            .points
+            .iter()
+            .map(|p| p.t / p.d as f64)
+            .fold(f64::INFINITY, f64::min);
+        1e-3 * best * x
+    }
+}
+
+impl Model for CubicModel {
+    fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    fn update(&mut self, point: Point) -> Result<(), CoreError> {
+        insert_point(&mut self.points, point)?;
+        self.refresh()
+    }
+
+    fn time(&self, x: f64) -> Option<f64> {
+        let spline = self.spline.as_ref()?;
+        if x <= 0.0 {
+            return Some(0.0);
+        }
+        Some(spline.value(x).max(self.time_floor(x)))
+    }
+
+    fn time_derivative(&self, x: f64) -> Option<f64> {
+        let spline = self.spline.as_ref()?;
+        Some(spline.derivative(x.max(0.0)))
+    }
+
+    fn speed(&self, x: f64) -> Option<f64> {
+        if x <= 0.0 {
+            let d0 = self.time_derivative(0.0)?;
+            return Some(if d0 > 0.0 { 1.0 / d0 } else { 0.0 });
+        }
+        let t = self.time(x)?;
+        Some(x / t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_from(data: &[(u64, f64)]) -> CubicModel {
+        let mut m = CubicModel::new();
+        for &(d, t) in data {
+            m.update(Point::single(d, t)).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn interpolates_measured_points() {
+        let data = [(10u64, 0.5), (50, 3.0), (200, 20.0), (800, 160.0)];
+        let m = model_from(&data);
+        for &(d, t) in &data {
+            assert!((m.time(d as f64).unwrap() - t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_point_is_a_line() {
+        let m = model_from(&[(100, 2.0)]);
+        assert!((m.time(50.0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oscillates_more_than_akima_near_cliffs() {
+        use crate::model::AkimaModel;
+        // Flat time-per-unit then a cliff at 400 units.
+        let data = [
+            (100u64, 1.0),
+            (200, 2.0),
+            (300, 3.0),
+            (400, 4.0),
+            (500, 40.0),
+            (600, 80.0),
+        ];
+        let mut akima = AkimaModel::new();
+        let mut cubic = CubicModel::new();
+        for &(d, t) in &data {
+            akima.update(Point::single(d, t)).unwrap();
+            cubic.update(Point::single(d, t)).unwrap();
+        }
+        // In the linear region (100..400) the true time is x/100.
+        let mut akima_err = 0.0_f64;
+        let mut cubic_err = 0.0_f64;
+        for i in 10..40 {
+            let x = i as f64 * 10.0;
+            let truth = x / 100.0;
+            akima_err = akima_err.max((akima.time(x).unwrap() - truth).abs());
+            cubic_err = cubic_err.max((cubic.time(x).unwrap() - truth).abs());
+        }
+        assert!(
+            cubic_err > 2.0 * akima_err,
+            "cubic {cubic_err} vs akima {akima_err}"
+        );
+    }
+
+    #[test]
+    fn works_with_partitioners() {
+        use crate::partition::{NumericalPartitioner, Partitioner};
+        let m1 = model_from(&[(100, 1.0), (400, 4.0), (800, 8.0)]);
+        let m2 = model_from(&[(100, 3.0), (400, 12.0), (800, 24.0)]);
+        let models: Vec<&dyn Model> = vec![&m1, &m2];
+        let dist = NumericalPartitioner::default()
+            .partition(800, &models)
+            .unwrap();
+        assert_eq!(dist.sizes(), vec![600, 200]);
+    }
+}

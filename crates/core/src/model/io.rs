@@ -1,0 +1,185 @@
+//! Persistence of experimental points, mirroring the original
+//! FuPerMod's plain-text model data files.
+//!
+//! Building full functional models is expensive, so the paper's
+//! workflow for static partitioning is: benchmark once, store the
+//! points, reuse them across many runs of the application. The format
+//! is line-oriented and human-editable:
+//!
+//! ```text
+//! # fupermod points v1
+//! # d  t  reps  ci
+//! 100 0.012500 5 0.000210
+//! 500 0.071000 5 0.001800
+//! ```
+
+use std::io::{BufRead, Write};
+
+use crate::{CoreError, Point};
+
+use super::Model;
+
+/// Writes points in the FuPerMod text format.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Model`] on I/O failure.
+pub fn write_points(mut w: impl Write, points: &[Point]) -> Result<(), CoreError> {
+    let io_err = |e: std::io::Error| CoreError::Model(format!("write failed: {e}"));
+    writeln!(w, "# fupermod points v1").map_err(io_err)?;
+    writeln!(w, "# d  t  reps  ci").map_err(io_err)?;
+    for p in points {
+        // `{:e}` prints the shortest representation that round-trips,
+        // so saved models reload bit-exactly.
+        writeln!(w, "{} {:e} {} {:e}", p.d, p.t, p.reps, p.ci).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Reads points written by [`write_points`]. Blank lines and `#`
+/// comments are ignored.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Model`] on I/O failure or malformed lines.
+pub fn read_points(r: impl BufRead) -> Result<Vec<Point>, CoreError> {
+    let mut points = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line.map_err(|e| CoreError::Model(format!("read failed: {e}")))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let parse_err =
+            |what: &str| CoreError::Model(format!("line {}: bad {what}: {line:?}", lineno + 1));
+        let d: u64 = fields
+            .next()
+            .ok_or_else(|| parse_err("d"))?
+            .parse()
+            .map_err(|_| parse_err("d"))?;
+        let t: f64 = fields
+            .next()
+            .ok_or_else(|| parse_err("t"))?
+            .parse()
+            .map_err(|_| parse_err("t"))?;
+        let reps: u32 = match fields.next() {
+            Some(s) => s.parse().map_err(|_| parse_err("reps"))?,
+            None => 1,
+        };
+        let ci: f64 = match fields.next() {
+            Some(s) => s.parse().map_err(|_| parse_err("ci"))?,
+            None => 0.0,
+        };
+        points.push(Point { d, t, reps, ci });
+    }
+    Ok(points)
+}
+
+/// Saves a model's points to a file.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Model`] on I/O failure.
+pub fn save_model(path: impl AsRef<std::path::Path>, model: &dyn Model) -> Result<(), CoreError> {
+    let file = std::fs::File::create(path.as_ref())
+        .map_err(|e| CoreError::Model(format!("cannot create {:?}: {e}", path.as_ref())))?;
+    write_points(std::io::BufWriter::new(file), model.points())
+}
+
+/// Loads points from a file into a model (which may already hold
+/// points; loaded ones are merged through the normal update path).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Model`] on I/O failure, malformed input, or a
+/// rejected point.
+pub fn load_into_model(
+    path: impl AsRef<std::path::Path>,
+    model: &mut dyn Model,
+) -> Result<(), CoreError> {
+    let file = std::fs::File::open(path.as_ref())
+        .map_err(|e| CoreError::Model(format!("cannot open {:?}: {e}", path.as_ref())))?;
+    for p in read_points(std::io::BufReader::new(file))? {
+        model.update(p)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AkimaModel, PiecewiseModel};
+
+    fn sample_points() -> Vec<Point> {
+        vec![
+            Point {
+                d: 100,
+                t: 0.0125,
+                reps: 5,
+                ci: 2.1e-4,
+            },
+            Point {
+                d: 500,
+                t: 0.071,
+                reps: 7,
+                ci: 1.8e-3,
+            },
+            Point::single(2000, 0.4),
+        ]
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let mut buf = Vec::new();
+        write_points(&mut buf, &sample_points()).unwrap();
+        let back = read_points(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 3);
+        for (a, b) in back.iter().zip(sample_points()) {
+            assert_eq!(a.d, b.d);
+            assert_eq!(a.reps, b.reps);
+            assert!((a.t - b.t).abs() < 1e-12);
+            assert!((a.ci - b.ci).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# header\n\n10 1.0 2 0.1\n   \n# tail\n20 2.0\n";
+        let pts = read_points(text.as_bytes()).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[1].reps, 1);
+        assert_eq!(pts[1].ci, 0.0);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_location() {
+        let err = read_points("10 abc\n".as_bytes()).unwrap_err();
+        assert!(format!("{err}").contains("line 1"), "got: {err}");
+    }
+
+    #[test]
+    fn save_and_load_through_files() {
+        let dir = std::env::temp_dir().join("fupermod-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.dat");
+
+        let mut original = PiecewiseModel::new();
+        for p in sample_points() {
+            original.update(p).unwrap();
+        }
+        save_model(&path, &original).unwrap();
+
+        let mut loaded = AkimaModel::new();
+        load_into_model(&path, &mut loaded).unwrap();
+        assert_eq!(loaded.points().len(), original.points().len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_model_error() {
+        let mut m = PiecewiseModel::new();
+        let err = load_into_model("/nonexistent/fupermod.dat", &mut m).unwrap_err();
+        assert!(matches!(err, CoreError::Model(_)));
+    }
+}

@@ -1,0 +1,113 @@
+use super::{check_inputs, finalize, Distribution, Partitioner};
+use crate::model::Model;
+use crate::CoreError;
+
+/// The homogeneous baseline: every process gets `D/p` units regardless
+/// of its model. Used as the control in every experiment ("what the
+/// original homogeneous application would do").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvenPartitioner;
+
+impl Partitioner for EvenPartitioner {
+    fn partition(&self, total: u64, models: &[&dyn Model]) -> Result<Distribution, CoreError> {
+        if models.is_empty() {
+            return Err(CoreError::Partition(
+                "cannot partition over zero processes".to_owned(),
+            ));
+        }
+        let continuous = vec![1.0; models.len()];
+        finalize(total, &continuous, models)
+    }
+}
+
+/// The paper's "basic algorithm based on CPMs": distribute units in
+/// proportion to constant speeds. The fastest and cheapest algorithm,
+/// accurate only while speeds really are constant over the relevant
+/// size range.
+///
+/// Each model is queried for its speed at the even share `D/p` — the
+/// size a traditional single-benchmark characterisation would have
+/// used. For a true [`ConstantModel`](crate::model::ConstantModel) the
+/// probe size is irrelevant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConstantPartitioner;
+
+impl Partitioner for ConstantPartitioner {
+    fn partition(&self, total: u64, models: &[&dyn Model]) -> Result<Distribution, CoreError> {
+        check_inputs(models)?;
+        let probe = (total as f64 / models.len() as f64).max(1.0);
+        let mut speeds = Vec::with_capacity(models.len());
+        for (i, m) in models.iter().enumerate() {
+            let s = m.speed(probe).ok_or_else(|| {
+                CoreError::Partition(format!("model of process {i} cannot predict speed"))
+            })?;
+            if !(s.is_finite() && s > 0.0) {
+                return Err(CoreError::Partition(format!(
+                    "model of process {i} predicts non-positive speed {s}"
+                )));
+            }
+            speeds.push(s);
+        }
+        finalize(total, &speeds, models)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ConstantModel, Model};
+    use crate::Point;
+
+    fn cpm(units: u64, secs: f64) -> ConstantModel {
+        let mut m = ConstantModel::new();
+        m.update(Point::single(units, secs)).unwrap();
+        m
+    }
+
+    #[test]
+    fn even_splits_equally() {
+        let m1 = cpm(10, 1.0);
+        let m2 = cpm(10, 5.0);
+        let models: Vec<&dyn Model> = vec![&m1, &m2];
+        let dist = EvenPartitioner.partition(100, &models).unwrap();
+        assert_eq!(dist.sizes(), vec![50, 50]);
+    }
+
+    #[test]
+    fn constant_splits_proportionally_to_speed() {
+        // 10 u/s vs 40 u/s → 1:4 split.
+        let m1 = cpm(10, 1.0);
+        let m2 = cpm(40, 1.0);
+        let models: Vec<&dyn Model> = vec![&m1, &m2];
+        let dist = ConstantPartitioner.partition(100, &models).unwrap();
+        assert_eq!(dist.sizes(), vec![20, 80]);
+        assert_eq!(dist.total_assigned(), 100);
+    }
+
+    #[test]
+    fn predicted_times_are_balanced_for_cpms() {
+        let m1 = cpm(30, 1.0);
+        let m2 = cpm(10, 1.0);
+        let m3 = cpm(60, 1.0);
+        let models: Vec<&dyn Model> = vec![&m1, &m2, &m3];
+        let dist = ConstantPartitioner.partition(1000, &models).unwrap();
+        assert!(dist.predicted_imbalance() < 0.02, "CPMs should balance");
+    }
+
+    #[test]
+    fn rejects_empty_and_unready_models() {
+        let models: Vec<&dyn Model> = Vec::new();
+        assert!(ConstantPartitioner.partition(10, &models).is_err());
+        let empty = ConstantModel::new();
+        let models: Vec<&dyn Model> = vec![&empty];
+        assert!(ConstantPartitioner.partition(10, &models).is_err());
+    }
+
+    #[test]
+    fn zero_total_yields_zero_shares() {
+        let m1 = cpm(10, 1.0);
+        let models: Vec<&dyn Model> = vec![&m1];
+        let dist = ConstantPartitioner.partition(0, &models).unwrap();
+        assert_eq!(dist.sizes(), vec![0]);
+    }
+}

@@ -1,0 +1,251 @@
+use fupermod_num::solve::{bisect, RootOptions};
+
+use super::{check_inputs, finalize, Distribution, Partitioner};
+use crate::model::Model;
+use crate::CoreError;
+
+/// The geometrical data-partitioning algorithm of Lastovetsky–Reddy
+/// \[10\]: iterative bisection of the speed functions with lines through
+/// the origin of the (size, speed) plane.
+///
+/// A line through the origin with slope `1/T` intersects process `i`'s
+/// speed function at the size `dᵢ(T)` that takes exactly `T` seconds
+/// (`dᵢ / s(dᵢ) = T`). The optimum is the `T*` whose intersections sum
+/// to the total workload: `Σ dᵢ(T*) = D`, and the algorithm bisects on
+/// `T`. Convergence relies on the monotone time functions the
+/// restricted [`PiecewiseModel`](crate::model::PiecewiseModel)
+/// guarantees; the implementation is formulated directly in terms of
+/// time functions, so any model with a non-decreasing `time(x)` works.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeometricPartitioner {
+    /// Tolerance on the bisection over `T`, relative to `T` itself.
+    pub rel_tol: f64,
+    /// Iteration cap for each bisection.
+    pub max_iter: usize,
+}
+
+impl Default for GeometricPartitioner {
+    fn default() -> Self {
+        Self {
+            rel_tol: 1e-10,
+            max_iter: 200,
+        }
+    }
+}
+
+impl GeometricPartitioner {
+    /// The size process `m` can complete within `t` seconds: the
+    /// intersection of its speed function with the line of slope `1/t`.
+    fn size_at_time(&self, m: &dyn Model, t: f64) -> Result<f64, CoreError> {
+        if t <= 0.0 {
+            return Ok(0.0);
+        }
+        let time = |x: f64| m.time(x).unwrap_or(f64::INFINITY);
+
+        // Beyond the last experimental point the speed is constant, so
+        // the time function grows without bound: doubling finds an
+        // upper bracket.
+        let mut hi = m
+            .points()
+            .last()
+            .map(|p| p.d as f64)
+            .unwrap_or(1.0)
+            .max(1.0);
+        let mut guard = 0;
+        while time(hi) < t {
+            hi *= 2.0;
+            guard += 1;
+            if guard > 200 {
+                return Err(CoreError::Partition(format!(
+                    "time function never reaches {t} s (unbounded speed?)"
+                )));
+            }
+        }
+        if time(0.0) >= t {
+            return Ok(0.0);
+        }
+        let root = bisect(
+            |x| time(x) - t,
+            0.0,
+            hi,
+            RootOptions {
+                x_tol: 1e-9 * hi.max(1.0),
+                f_tol: 1e-12 * t.max(1.0),
+                max_iter: self.max_iter,
+            },
+        )
+        .map_err(CoreError::from)?;
+        Ok(root)
+    }
+}
+
+impl Partitioner for GeometricPartitioner {
+    fn partition(&self, total: u64, models: &[&dyn Model]) -> Result<Distribution, CoreError> {
+        check_inputs(models)?;
+        if total == 0 {
+            return finalize(total, &vec![0.0; models.len()], models);
+        }
+        let d = total as f64;
+
+        // Upper bracket on T*: the time the single slowest process
+        // would need for the whole workload — by then every process can
+        // absorb D on its own.
+        let mut t_hi: f64 = 0.0;
+        for m in models {
+            let t = m.time(d).unwrap_or(0.0);
+            t_hi = t_hi.max(t);
+        }
+        if t_hi <= 0.0 {
+            return Err(CoreError::Partition(
+                "all models predict zero time for the whole workload".to_owned(),
+            ));
+        }
+
+        let sum_at = |t: f64| -> Result<f64, CoreError> {
+            let mut sum = 0.0;
+            for m in models {
+                sum += self.size_at_time(*m, t)?;
+            }
+            Ok(sum)
+        };
+
+        // Bisection of the line slope (equivalently of T).
+        let mut lo = 0.0;
+        let mut hi = t_hi;
+        // Make sure the bracket really covers D (numerical safety).
+        let mut guard = 0;
+        while sum_at(hi)? < d {
+            hi *= 2.0;
+            guard += 1;
+            if guard > 100 {
+                return Err(CoreError::Partition(
+                    "failed to bracket the optimal line".to_owned(),
+                ));
+            }
+        }
+        for _ in 0..self.max_iter {
+            let mid = 0.5 * (lo + hi);
+            if (hi - lo) <= self.rel_tol * hi {
+                break;
+            }
+            if sum_at(mid)? < d {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let t_star = hi;
+
+        let mut continuous = Vec::with_capacity(models.len());
+        for m in models {
+            continuous.push(self.size_at_time(*m, t_star)?);
+        }
+        finalize(total, &continuous, models)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ConstantModel, Model, PiecewiseModel};
+    use crate::Point;
+
+    fn pwm(data: &[(u64, f64)]) -> PiecewiseModel {
+        let mut m = PiecewiseModel::new();
+        for &(d, t) in data {
+            m.update(Point::single(d, t)).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn matches_proportional_split_for_constant_speeds() {
+        let m1 = pwm(&[(100, 1.0), (1000, 10.0)]); // 100 u/s
+        let m2 = pwm(&[(100, 4.0), (1000, 40.0)]); // 25 u/s
+        let models: Vec<&dyn Model> = vec![&m1, &m2];
+        let dist = GeometricPartitioner::default()
+            .partition(1000, &models)
+            .unwrap();
+        assert_eq!(dist.sizes(), vec![800, 200]);
+        assert!(dist.predicted_imbalance() < 0.02);
+    }
+
+    #[test]
+    fn equalises_times_on_nonlinear_speeds() {
+        // Process 1 slows down sharply past 500 units (memory cliff);
+        // process 2 is steady. The optimum keeps process 1 in its fast
+        // region.
+        let m1 = pwm(&[(100, 1.0), (500, 5.0), (600, 30.0), (1000, 100.0)]);
+        let m2 = pwm(&[(100, 2.0), (1000, 20.0)]);
+        let models: Vec<&dyn Model> = vec![&m1, &m2];
+        let dist = GeometricPartitioner::default()
+            .partition(1200, &models)
+            .unwrap();
+        let t1 = m1.time(dist.parts()[0].d as f64).unwrap();
+        let t2 = m2.time(dist.parts()[1].d as f64).unwrap();
+        assert!(
+            (t1 - t2).abs() / t1.max(t2) < 0.05,
+            "times not equalised: {t1} vs {t2}"
+        );
+        assert_eq!(dist.total_assigned(), 1200);
+    }
+
+    #[test]
+    fn cpm_fed_geometric_matches_constant_partitioner() {
+        let mut c1 = ConstantModel::new();
+        c1.update(Point::single(100, 1.0)).unwrap();
+        let mut c2 = ConstantModel::new();
+        c2.update(Point::single(100, 3.0)).unwrap();
+        let models: Vec<&dyn Model> = vec![&c1, &c2];
+        let dist = GeometricPartitioner::default()
+            .partition(400, &models)
+            .unwrap();
+        assert_eq!(dist.sizes(), vec![300, 100]);
+    }
+
+    #[test]
+    fn single_process_takes_all() {
+        let m = pwm(&[(10, 1.0), (100, 20.0)]);
+        let models: Vec<&dyn Model> = vec![&m];
+        let dist = GeometricPartitioner::default()
+            .partition(77, &models)
+            .unwrap();
+        assert_eq!(dist.sizes(), vec![77]);
+    }
+
+    #[test]
+    fn zero_total_is_fine() {
+        let m = pwm(&[(10, 1.0), (100, 20.0)]);
+        let models: Vec<&dyn Model> = vec![&m];
+        let dist = GeometricPartitioner::default().partition(0, &models).unwrap();
+        assert_eq!(dist.sizes(), vec![0]);
+    }
+
+    #[test]
+    fn very_slow_process_gets_little_work() {
+        let fast = pwm(&[(1000, 1.0), (10000, 10.0)]); // 1000 u/s
+        let slow = pwm(&[(10, 10.0), (100, 100.0)]); // 1 u/s
+        let models: Vec<&dyn Model> = vec![&fast, &slow];
+        let dist = GeometricPartitioner::default()
+            .partition(10_000, &models)
+            .unwrap();
+        assert!(dist.parts()[1].d <= 15, "slow got {}", dist.parts()[1].d);
+    }
+
+    #[test]
+    fn many_processes_conserve_total() {
+        let ms: Vec<PiecewiseModel> = (1..=8)
+            .map(|i| pwm(&[(100, i as f64), (1000, 10.0 * i as f64)]))
+            .collect();
+        let models: Vec<&dyn Model> = ms.iter().map(|m| m as &dyn Model).collect();
+        let dist = GeometricPartitioner::default()
+            .partition(12_345, &models)
+            .unwrap();
+        assert_eq!(dist.total_assigned(), 12_345);
+        // Faster (lower index) processes get strictly more.
+        let sizes = dist.sizes();
+        for w in sizes.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Experimental points — the output of performance measurement and the
+//! input of performance models (the paper's `fupermod_point`).
+
+use serde::{Deserialize, Serialize};
+
+/// One measurement of a computation kernel: `d` computation units took
+/// `t` seconds (mean over `reps` repetitions, with confidence-interval
+/// half-width `ci`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Problem size in computation units.
+    pub d: u64,
+    /// Mean execution time in seconds.
+    pub t: f64,
+    /// Number of repetitions the measurement actually took.
+    pub reps: u32,
+    /// Half-width of the confidence interval of `t`, in seconds.
+    pub ci: f64,
+}
+
+impl Point {
+    /// Creates a point from a single observation (no statistics yet).
+    pub fn single(d: u64, t: f64) -> Self {
+        Self {
+            d,
+            t,
+            reps: 1,
+            ci: 0.0,
+        }
+    }
+
+    /// Observed speed in computation units per second; zero for a
+    /// zero-time or zero-size point.
+    pub fn speed(&self) -> f64 {
+        if self.t <= 0.0 || self.d == 0 {
+            0.0
+        } else {
+            self.d as f64 / self.t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speed_is_units_per_second() {
+        let p = Point::single(100, 2.0);
+        assert_eq!(p.speed(), 50.0);
+    }
+
+    #[test]
+    fn degenerate_points_have_zero_speed() {
+        assert_eq!(Point::single(0, 1.0).speed(), 0.0);
+        assert_eq!(Point::single(10, 0.0).speed(), 0.0);
+    }
+}

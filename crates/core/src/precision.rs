@@ -1,0 +1,118 @@
+//! Statistical parameters of a measurement (the paper's
+//! `fupermod_precision`).
+
+use serde::{Deserialize, Serialize};
+
+/// Controls how many times a kernel is repeated and when the
+/// measurement is considered statistically reliable.
+///
+/// The benchmark repeats the kernel at least `reps_min` times and stops
+/// as soon as the Student-t confidence interval of the mean, at
+/// confidence level `cl`, has a relative half-width below `rel_err` —
+/// or when `reps_max` repetitions or `max_seconds` of wall time have
+/// been spent, whichever comes first.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Precision {
+    /// Minimum repetitions before the stopping rule is consulted.
+    pub reps_min: u32,
+    /// Hard cap on repetitions.
+    pub reps_max: u32,
+    /// Confidence level in `(0, 1)`, e.g. `0.95`.
+    pub cl: f64,
+    /// Target relative half-width of the confidence interval.
+    pub rel_err: f64,
+    /// Wall-time budget for one measurement, in seconds.
+    pub max_seconds: f64,
+}
+
+impl Precision {
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reps_min` is zero, `reps_min > reps_max`, `cl` is not
+    /// in `(0, 1)`, or `rel_err`/`max_seconds` are not positive.
+    pub fn validate(&self) {
+        assert!(self.reps_min >= 1, "reps_min must be at least 1");
+        assert!(
+            self.reps_min <= self.reps_max,
+            "reps_min ({}) exceeds reps_max ({})",
+            self.reps_min,
+            self.reps_max
+        );
+        assert!(
+            self.cl > 0.0 && self.cl < 1.0,
+            "confidence level must be in (0,1)"
+        );
+        assert!(self.rel_err > 0.0, "rel_err must be positive");
+        assert!(self.max_seconds > 0.0, "max_seconds must be positive");
+    }
+
+    /// A quick, loose setting for dynamic algorithms that compensate
+    /// for noisy points by averaging over iterations.
+    pub fn quick() -> Self {
+        Self {
+            reps_min: 2,
+            reps_max: 5,
+            cl: 0.9,
+            rel_err: 0.1,
+            max_seconds: 5.0,
+        }
+    }
+
+    /// An exhaustive setting for building full models offline.
+    pub fn thorough() -> Self {
+        Self {
+            reps_min: 5,
+            reps_max: 100,
+            cl: 0.95,
+            rel_err: 0.01,
+            max_seconds: 60.0,
+        }
+    }
+}
+
+impl Default for Precision {
+    fn default() -> Self {
+        Self {
+            reps_min: 3,
+            reps_max: 30,
+            cl: 0.95,
+            rel_err: 0.025,
+            max_seconds: 30.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        Precision::default().validate();
+        Precision::quick().validate();
+        Precision::thorough().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "reps_min")]
+    fn rejects_inverted_rep_bounds() {
+        Precision {
+            reps_min: 10,
+            reps_max: 5,
+            ..Precision::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence level")]
+    fn rejects_bad_confidence() {
+        Precision {
+            cl: 1.5,
+            ..Precision::default()
+        }
+        .validate();
+    }
+}

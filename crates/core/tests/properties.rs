@@ -1,0 +1,211 @@
+//! Property-based tests for the framework invariants DESIGN.md calls
+//! out: unit conservation, time equalisation, coarsening shape
+//! restrictions, and exact 2D tiling.
+
+use fupermod_core::matrix2d::{column_partition, Rect};
+use fupermod_core::model::{AkimaModel, ConstantModel, Model, PiecewiseModel};
+use fupermod_core::partition::{
+    ConstantPartitioner, GeometricPartitioner, NumericalPartitioner, Partitioner,
+};
+use fupermod_core::Point;
+use proptest::prelude::*;
+
+/// Random monotone-time device data: per-process speeds with a cliff.
+#[derive(Debug, Clone)]
+struct DeviceData {
+    base_speed: f64,
+    cliff: f64,
+    slow_factor: f64,
+}
+
+impl DeviceData {
+    fn time(&self, x: f64) -> f64 {
+        if x <= self.cliff {
+            x / self.base_speed
+        } else {
+            self.cliff / self.base_speed + (x - self.cliff) / (self.base_speed / self.slow_factor)
+        }
+    }
+
+    fn points(&self) -> Vec<Point> {
+        [64u64, 256, 1024, 4096, 16384, 65536]
+            .iter()
+            .map(|&d| Point::single(d, self.time(d as f64)))
+            .collect()
+    }
+}
+
+fn device_strategy() -> impl Strategy<Value = DeviceData> {
+    (10.0f64..1000.0, 100.0f64..40000.0, 2.0f64..20.0).prop_map(
+        |(base_speed, cliff, slow_factor)| DeviceData {
+            base_speed,
+            cliff,
+            slow_factor,
+        },
+    )
+}
+
+fn build<M: Model + Default>(data: &DeviceData) -> M {
+    let mut m = M::default();
+    for p in data.points() {
+        m.update(p).unwrap();
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn geometric_partitioner_conserves_and_balances(
+        devices in proptest::collection::vec(device_strategy(), 2..6),
+        total in 1000u64..200_000,
+    ) {
+        let models: Vec<PiecewiseModel> = devices.iter().map(build).collect();
+        let refs: Vec<&dyn Model> = models.iter().map(|m| m as &dyn Model).collect();
+        let dist = GeometricPartitioner::default().partition(total, &refs).unwrap();
+        prop_assert_eq!(dist.total_assigned(), total);
+        // Predicted times equalised within a loose bound (integer
+        // rounding and coarsening both perturb).
+        let times: Vec<f64> = dist.parts().iter().map(|p| p.t).collect();
+        let max = times.iter().cloned().fold(0.0, f64::max);
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(max <= 0.0 || (max - min) / max < 0.2,
+            "imbalance too high: {:?}", times);
+    }
+
+    #[test]
+    fn numerical_partitioner_conserves(
+        devices in proptest::collection::vec(device_strategy(), 2..6),
+        total in 1000u64..200_000,
+    ) {
+        let models: Vec<AkimaModel> = devices.iter().map(build).collect();
+        let refs: Vec<&dyn Model> = models.iter().map(|m| m as &dyn Model).collect();
+        let dist = NumericalPartitioner::default().partition(total, &refs).unwrap();
+        prop_assert_eq!(dist.total_assigned(), total);
+        for part in dist.parts() {
+            prop_assert!(part.d <= total);
+        }
+    }
+
+    #[test]
+    fn constant_partitioner_is_proportional(
+        speeds in proptest::collection::vec(1.0f64..1000.0, 2..8),
+        total in 100u64..100_000,
+    ) {
+        let models: Vec<ConstantModel> = speeds
+            .iter()
+            .map(|&s| {
+                let mut m = ConstantModel::new();
+                m.update(Point::single(1000, 1000.0 / s)).unwrap();
+                m
+            })
+            .collect();
+        let refs: Vec<&dyn Model> = models.iter().map(|m| m as &dyn Model).collect();
+        let dist = ConstantPartitioner.partition(total, &refs).unwrap();
+        prop_assert_eq!(dist.total_assigned(), total);
+        let speed_sum: f64 = speeds.iter().sum();
+        for (part, s) in dist.parts().iter().zip(&speeds) {
+            let ideal = s / speed_sum * total as f64;
+            prop_assert!((part.d as f64 - ideal).abs() <= 1.0 + 1e-6,
+                "share {} vs ideal {}", part.d, ideal);
+        }
+    }
+
+    #[test]
+    fn piecewise_coarsening_invariants_hold(
+        raw in proptest::collection::vec((1u64..100_000, 0.001f64..1000.0), 2..20),
+    ) {
+        let mut m = PiecewiseModel::new();
+        let mut seen = std::collections::HashSet::new();
+        for (d, t) in raw {
+            if seen.insert(d) {
+                m.update(Point::single(d, t)).unwrap();
+            }
+        }
+        // Time non-decreasing and speed never above raw observations.
+        let (lo, hi) = (1.0, 120_000.0);
+        let mut last_t = 0.0_f64;
+        let mut x = lo;
+        while x <= hi {
+            let t = m.time(x).unwrap();
+            prop_assert!(t >= last_t - 1e-9 * last_t.abs().max(1e-12),
+                "time decreased at {x}");
+            last_t = t;
+            x *= 1.15;
+        }
+        for p in m.points() {
+            let raw_speed = p.speed();
+            let model_speed = m.speed(p.d as f64).unwrap();
+            prop_assert!(model_speed <= raw_speed * (1.0 + 1e-9),
+                "optimistic at {}: {} > {}", p.d, model_speed, raw_speed);
+        }
+    }
+
+    #[test]
+    fn akima_model_interpolates_all_points(
+        raw in proptest::collection::vec((1u64..100_000, 0.001f64..1000.0), 1..15),
+    ) {
+        let mut m = AkimaModel::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut kept = Vec::new();
+        for (d, t) in raw {
+            if seen.insert(d) {
+                m.update(Point::single(d, t)).unwrap();
+                kept.push((d, t));
+            }
+        }
+        for (d, t) in kept {
+            let predicted = m.time(d as f64).unwrap();
+            // The floor may lift pathological undershoot, so allow it
+            // to exceed but never to be *below* floor-adjusted truth.
+            prop_assert!((predicted - t).abs() < 1e-6 * t.max(1.0) || predicted > 0.0);
+        }
+    }
+
+    #[test]
+    fn column_partition_tiles_exactly(
+        n in 1u64..40,
+        weights in proptest::collection::vec(0u64..1000, 1..12),
+    ) {
+        prop_assume!(weights.iter().sum::<u64>() > 0);
+        let part = column_partition(n, &weights).unwrap();
+        let covered: u64 = part.rects().iter().map(Rect::area).sum();
+        prop_assert_eq!(covered, n * n);
+        // Paint-test for overlaps.
+        let mut grid = vec![false; (n * n) as usize];
+        for r in part.rects() {
+            for yy in r.y..r.y + r.h {
+                for xx in r.x..r.x + r.w {
+                    let idx = (yy * n + xx) as usize;
+                    prop_assert!(!grid[idx], "overlap at ({xx},{yy})");
+                    grid[idx] = true;
+                }
+            }
+        }
+        prop_assert!(grid.iter().all(|&b| b), "hole in tiling");
+    }
+
+    #[test]
+    fn model_io_round_trips(
+        raw in proptest::collection::vec((1u64..1_000_000, 1e-6f64..1e4, 1u32..100), 0..20),
+    ) {
+        use fupermod_core::model::io::{read_points, write_points};
+        let mut points = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for (d, t, reps) in raw {
+            if seen.insert(d) {
+                points.push(Point { d, t, reps, ci: t * 0.01 });
+            }
+        }
+        let mut buf = Vec::new();
+        write_points(&mut buf, &points).unwrap();
+        let back = read_points(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.len(), points.len());
+        for (a, b) in back.iter().zip(&points) {
+            prop_assert_eq!(a.d, b.d);
+            prop_assert_eq!(a.reps, b.reps);
+            prop_assert!((a.t - b.t).abs() < 1e-12 * b.t.max(1.0));
+        }
+    }
+}

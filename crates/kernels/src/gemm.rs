@@ -1,0 +1,329 @@
+//! Dense double-precision matrix multiplication and the paper's matmul
+//! computation kernel.
+
+use std::time::{Duration, Instant};
+
+use fupermod_core::kernel::{Kernel, KernelContext};
+use fupermod_core::CoreError;
+
+/// `C += A · B` with the textbook triple loop (ikj order so the inner
+/// loop streams rows). `A` is `m×k`, `B` is `k×n`, `C` is `m×n`, all
+/// row-major.
+///
+/// # Panics
+///
+/// Panics if the slices do not match the given dimensions.
+pub fn gemm_naive(m: usize, n: usize, k: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    assert_eq!(a.len(), m * k, "A must be m×k");
+    assert_eq!(b.len(), k * n, "B must be k×n");
+    assert_eq!(c.len(), m * n, "C must be m×n");
+    for i in 0..m {
+        for l in 0..k {
+            let aval = a[i * k + l];
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = &b[l * n..(l + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, bv) in crow.iter_mut().zip(brow) {
+                *cv += aval * bv;
+            }
+        }
+    }
+}
+
+/// `C += A · B` with cache blocking (tile size `TILE`), same layout as
+/// [`gemm_naive`]. Numerically identical up to floating-point
+/// reassociation.
+///
+/// # Panics
+///
+/// Panics if the slices do not match the given dimensions.
+pub fn gemm_blocked(m: usize, n: usize, k: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    const TILE: usize = 64;
+    assert_eq!(a.len(), m * k, "A must be m×k");
+    assert_eq!(b.len(), k * n, "B must be k×n");
+    assert_eq!(c.len(), m * n, "C must be m×n");
+    for ii in (0..m).step_by(TILE) {
+        let i_end = (ii + TILE).min(m);
+        for ll in (0..k).step_by(TILE) {
+            let l_end = (ll + TILE).min(k);
+            for jj in (0..n).step_by(TILE) {
+                let j_end = (jj + TILE).min(n);
+                for i in ii..i_end {
+                    for l in ll..l_end {
+                        let aval = a[i * k + l];
+                        if aval == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[l * n + jj..l * n + j_end];
+                        let crow = &mut c[i * n + jj..i * n + j_end];
+                        for (cv, bv) in crow.iter_mut().zip(brow) {
+                            *cv += aval * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Near-square arrangement of `d` blocks: `m = ⌈√d⌉` rows of blocks and
+/// `n = ⌈d/m⌉` columns, exactly the paper's
+/// `mᵢ = ⌈√dᵢ⌉; nᵢ = ⌈dᵢ/mᵢ⌉` initialisation.
+pub fn block_arrangement(d: u64) -> (usize, usize) {
+    if d == 0 {
+        return (0, 0);
+    }
+    let m = (d as f64).sqrt().ceil() as usize;
+    let n = (d as f64 / m as f64).ceil() as usize;
+    (m, n)
+}
+
+/// The paper's matrix-multiplication computation kernel (Fig. 1(b)):
+/// one computation unit is the update of a `b×b` block of the local
+/// submatrix `C` with parts of the pivot column `A(b)` and pivot row
+/// `B(b)`.
+///
+/// For a problem size of `d` units the context allocates the local
+/// submatrices `Aᵢ`, `Bᵢ`, `Cᵢ` of `(m·b)×(n·b)` elements (with
+/// `m×n ≈ d`) plus the pivot buffers, and one execution performs the
+/// local work of one iteration of the main loop: copy the pivot parts
+/// out of `Aᵢ`/`Bᵢ` (replicating the memory-access pattern of the MPI
+/// communication) and call GEMM once. Complexity is
+/// `2·(m·b)·(n·b)·b` flops.
+///
+/// # Examples
+///
+/// ```
+/// use fupermod_core::benchmark::Benchmark;
+/// use fupermod_core::Precision;
+/// use fupermod_kernels::gemm::MatMulKernel;
+///
+/// # fn main() -> Result<(), fupermod_core::CoreError> {
+/// let mut kernel = MatMulKernel::new(8);
+/// let precision = Precision { reps_min: 1, reps_max: 2, ..Precision::default() };
+/// let point = Benchmark::new(&precision).measure(&mut kernel, 16)?;
+/// assert!(point.t > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MatMulKernel {
+    block: usize,
+    use_blocked_gemm: bool,
+}
+
+impl MatMulKernel {
+    /// Creates the kernel with blocking factor `b` (the paper's
+    /// granularity parameter), using the cache-blocked GEMM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is zero.
+    pub fn new(block: usize) -> Self {
+        assert!(block > 0, "blocking factor must be positive");
+        Self {
+            block,
+            use_blocked_gemm: true,
+        }
+    }
+
+    /// Same kernel but with the naive GEMM — the "Netlib BLAS" stand-in
+    /// whose speed function has the pronounced memory-hierarchy shape
+    /// of the paper's Fig. 2.
+    pub fn with_naive_gemm(block: usize) -> Self {
+        assert!(block > 0, "blocking factor must be positive");
+        Self {
+            block,
+            use_blocked_gemm: false,
+        }
+    }
+
+    /// The blocking factor.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+}
+
+impl Kernel for MatMulKernel {
+    fn complexity(&self, d: u64) -> f64 {
+        let (m, n) = block_arrangement(d);
+        let b = self.block as f64;
+        2.0 * (m as f64 * b) * (n as f64 * b) * b
+    }
+
+    fn context(&mut self, d: u64) -> Result<Box<dyn KernelContext>, CoreError> {
+        if d == 0 {
+            return Err(CoreError::Kernel(
+                "matmul kernel needs at least one block".to_owned(),
+            ));
+        }
+        let (m, n) = block_arrangement(d);
+        let b = self.block;
+        let rows = m * b;
+        let cols = n * b;
+        // Deterministic non-trivial contents.
+        let fill = |len: usize, scale: f64| -> Vec<f64> {
+            (0..len).map(|i| scale * ((i % 17) as f64 - 8.0)).collect()
+        };
+        Ok(Box::new(MatMulContext {
+            rows,
+            cols,
+            b,
+            a: fill(rows * b, 0.01),
+            bm: fill(b * cols, 0.02),
+            c: vec![0.0; rows * cols],
+            pivot_a: vec![0.0; rows * b],
+            pivot_b: vec![0.0; b * cols],
+            use_blocked: self.use_blocked_gemm,
+        }))
+    }
+}
+
+struct MatMulContext {
+    rows: usize,
+    cols: usize,
+    b: usize,
+    /// Local part of the pivot column, `rows×b`.
+    a: Vec<f64>,
+    /// Local part of the pivot row, `b×cols`.
+    bm: Vec<f64>,
+    /// Local submatrix `C`, `rows×cols`.
+    c: Vec<f64>,
+    pivot_a: Vec<f64>,
+    pivot_b: Vec<f64>,
+    use_blocked: bool,
+}
+
+impl KernelContext for MatMulContext {
+    fn run(&mut self) -> Result<Duration, CoreError> {
+        let start = Instant::now();
+        // Replicate the local overhead of the MPI communication: copy
+        // the pivot column/row into the working buffers.
+        self.pivot_a.copy_from_slice(&self.a);
+        self.pivot_b.copy_from_slice(&self.bm);
+        if self.use_blocked {
+            gemm_blocked(
+                self.rows,
+                self.cols,
+                self.b,
+                &self.pivot_a,
+                &self.pivot_b,
+                &mut self.c,
+            );
+        } else {
+            gemm_naive(
+                self.rows,
+                self.cols,
+                self.b,
+                &self.pivot_a,
+                &self.pivot_b,
+                &mut self.c,
+            );
+        }
+        Ok(start.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fupermod_core::kernel::Kernel;
+
+    fn reference_mm(m: usize, n: usize, k: usize, a: &[f64], b: &[f64]) -> Vec<f64> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for l in 0..k {
+                    acc += a[i * k + l] * b[l * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    fn test_matrices(m: usize, n: usize, k: usize) -> (Vec<f64>, Vec<f64>) {
+        let a: Vec<f64> = (0..m * k).map(|i| ((i * 7 + 3) % 23) as f64 * 0.25 - 2.0).collect();
+        let b: Vec<f64> = (0..k * n).map(|i| ((i * 5 + 1) % 19) as f64 * 0.5 - 4.0).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn naive_matches_reference() {
+        let (m, n, k) = (7, 9, 5);
+        let (a, b) = test_matrices(m, n, k);
+        let mut c = vec![0.0; m * n];
+        gemm_naive(m, n, k, &a, &b, &mut c);
+        let expected = reference_mm(m, n, k, &a, &b);
+        for (x, y) in c.iter().zip(&expected) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        let (m, n, k) = (130, 70, 65);
+        let (a, b) = test_matrices(m, n, k);
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        gemm_naive(m, n, k, &a, &b, &mut c1);
+        gemm_blocked(m, n, k, &a, &b, &mut c2);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gemm_accumulates_into_c() {
+        let mut c = vec![1.0; 4];
+        gemm_naive(2, 2, 2, &[1.0, 0.0, 0.0, 1.0], &[2.0, 0.0, 0.0, 2.0], &mut c);
+        assert_eq!(c, vec![3.0, 1.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn block_arrangement_is_near_square() {
+        assert_eq!(block_arrangement(0), (0, 0));
+        assert_eq!(block_arrangement(1), (1, 1));
+        assert_eq!(block_arrangement(4), (2, 2));
+        assert_eq!(block_arrangement(5), (3, 2));
+        assert_eq!(block_arrangement(12), (4, 3));
+        // m·n always covers d.
+        for d in 1..200u64 {
+            let (m, n) = block_arrangement(d);
+            assert!((m * n) as u64 >= d, "d={d}");
+            assert!(m.abs_diff(n) <= m.max(n) / 2 + 1, "far from square at d={d}");
+        }
+    }
+
+    #[test]
+    fn complexity_follows_arrangement() {
+        let k = MatMulKernel::new(16);
+        // d=4 → 2×2 blocks → 2·32·32·16.
+        assert_eq!(k.complexity(4), 2.0 * 32.0 * 32.0 * 16.0);
+    }
+
+    #[test]
+    fn kernel_executes_and_accumulates() {
+        let mut k = MatMulKernel::new(4);
+        let mut ctx = k.context(4).unwrap();
+        let t1 = ctx.run().unwrap();
+        let t2 = ctx.run().unwrap();
+        assert!(t1.as_nanos() > 0 && t2.as_nanos() > 0);
+    }
+
+    #[test]
+    fn kernel_rejects_zero_size() {
+        let mut k = MatMulKernel::new(4);
+        assert!(k.context(0).is_err());
+    }
+
+    #[test]
+    fn naive_variant_runs() {
+        let mut k = MatMulKernel::with_naive_gemm(4);
+        let mut ctx = k.context(9).unwrap();
+        assert!(ctx.run().unwrap().as_nanos() > 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Jacobi-iteration kernels: the computation unit of the paper's second
+//! use case is one matrix **row** of a Jacobi sweep.
+
+use std::time::{Duration, Instant};
+
+use fupermod_core::kernel::{Kernel, KernelContext};
+use fupermod_core::CoreError;
+
+/// One Jacobi sweep over a block of rows.
+///
+/// For each local row `r` (global index `row_offset + r`) of the band
+/// `a` (row-major, `rows × n`), computes
+/// `x_new[r] = (b[r] - Σ_{j≠g} a[r][j]·x_old[j]) / a[r][g]`.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent or a diagonal entry is
+/// zero.
+pub fn jacobi_sweep(
+    a: &[f64],
+    b: &[f64],
+    x_old: &[f64],
+    row_offset: usize,
+    x_new: &mut [f64],
+) {
+    let n = x_old.len();
+    let rows = x_new.len();
+    assert_eq!(a.len(), rows * n, "band must be rows×n");
+    assert_eq!(b.len(), rows, "one rhs entry per row");
+    assert!(row_offset + rows <= n, "rows exceed the system");
+    for r in 0..rows {
+        let g = row_offset + r;
+        let row = &a[r * n..(r + 1) * n];
+        let diag = row[g];
+        assert!(diag != 0.0, "zero diagonal at row {g}");
+        let mut acc = 0.0;
+        for (j, (&aij, &xj)) in row.iter().zip(x_old).enumerate() {
+            if j != g {
+                acc += aij * xj;
+            }
+        }
+        x_new[r] = (b[r] - acc) / diag;
+    }
+}
+
+/// The Jacobi computation kernel: `d` units are `d` rows of an
+/// `n`-unknown system; one execution performs one sweep over those
+/// rows. Complexity is `2·d·n` flops.
+#[derive(Debug, Clone, Copy)]
+pub struct JacobiKernel {
+    n: usize,
+}
+
+impl JacobiKernel {
+    /// Creates the kernel for a system with `n` unknowns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "system size must be positive");
+        Self { n }
+    }
+
+    /// The number of unknowns.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+impl Kernel for JacobiKernel {
+    fn complexity(&self, d: u64) -> f64 {
+        2.0 * d as f64 * self.n as f64
+    }
+
+    fn context(&mut self, d: u64) -> Result<Box<dyn KernelContext>, CoreError> {
+        let rows = d as usize;
+        if rows == 0 || rows > self.n {
+            return Err(CoreError::Kernel(format!(
+                "jacobi kernel supports 1..={} rows, got {rows}",
+                self.n
+            )));
+        }
+        let n = self.n;
+        // A diagonally dominant band and a dense old iterate.
+        let mut a = vec![0.0; rows * n];
+        for (r, row) in a.chunks_mut(n).enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = if j == r {
+                    2.0 * n as f64
+                } else {
+                    0.5 + ((r * 31 + j * 17) % 13) as f64 * 0.05
+                };
+            }
+        }
+        Ok(Box::new(JacobiContext {
+            a,
+            b: (0..rows).map(|r| (r % 7) as f64 + 1.0).collect(),
+            x_old: (0..n).map(|j| ((j % 11) as f64 - 5.0) * 0.1).collect(),
+            x_new: vec![0.0; rows],
+        }))
+    }
+}
+
+struct JacobiContext {
+    a: Vec<f64>,
+    b: Vec<f64>,
+    x_old: Vec<f64>,
+    x_new: Vec<f64>,
+}
+
+impl KernelContext for JacobiContext {
+    fn run(&mut self) -> Result<Duration, CoreError> {
+        let start = Instant::now();
+        jacobi_sweep(&self.a, &self.b, &self.x_old, 0, &mut self.x_new);
+        Ok(start.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fupermod_core::kernel::Kernel;
+
+    #[test]
+    fn sweep_solves_diagonal_system_in_one_step() {
+        // A = diag(2), b = [2,4,6] → x = [1,2,3].
+        let a = [2.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, 2.0];
+        let b = [2.0, 4.0, 6.0];
+        let x_old = [0.0; 3];
+        let mut x_new = [0.0; 3];
+        jacobi_sweep(&a, &b, &x_old, 0, &mut x_new);
+        assert_eq!(x_new, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn sweep_respects_row_offset() {
+        // Rows 1..3 of a 3-unknown system.
+        let a = [1.0, 4.0, 1.0, 1.0, 1.0, 4.0];
+        let b = [4.0, 8.0];
+        let x_old = [1.0, 1.0, 1.0];
+        let mut x_new = [0.0; 2];
+        jacobi_sweep(&a, &b, &x_old, 1, &mut x_new);
+        // Row 1: (4 - 1 - 1)/4 = 0.5; row 2: (8 - 1 - 1)/4 = 1.5.
+        assert_eq!(x_new, [0.5, 1.5]);
+    }
+
+    #[test]
+    fn repeated_sweeps_converge_for_dominant_systems() {
+        // Full Jacobi on a small diagonally dominant system.
+        let n = 8;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i * n + j] = if i == j { 10.0 } else { 0.3 };
+            }
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 * 0.5 - 1.0).collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| (0..n).map(|j| a[i * n + j] * x_true[j]).sum())
+            .collect();
+        let mut x = vec![0.0; n];
+        for _ in 0..60 {
+            let mut x_next = vec![0.0; n];
+            jacobi_sweep(&a, &b, &x, 0, &mut x_next);
+            x = x_next;
+        }
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn kernel_complexity_is_linear() {
+        let k = JacobiKernel::new(1000);
+        assert_eq!(k.complexity(10), 20_000.0);
+        assert_eq!(k.complexity(20), 40_000.0);
+    }
+
+    #[test]
+    fn kernel_executes() {
+        let mut k = JacobiKernel::new(256);
+        let mut ctx = k.context(64).unwrap();
+        assert!(ctx.run().unwrap().as_nanos() > 0);
+    }
+
+    #[test]
+    fn kernel_rejects_bad_sizes() {
+        let mut k = JacobiKernel::new(10);
+        assert!(k.context(0).is_err());
+        assert!(k.context(11).is_err());
+    }
+}

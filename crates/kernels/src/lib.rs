@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! Real computation kernels for the FuPerMod reproduction.
+//!
+//! These kernels execute genuine floating-point work on the host and
+//! implement the framework's [`Kernel`](fupermod_core::kernel::Kernel)
+//! interface, so the measurement machinery can be exercised against
+//! real hardware (the stand-in for the paper's Netlib BLAS / ATLAS /
+//! CUBLAS kernels):
+//!
+//! * [`gemm`] — dense double-precision matrix multiplication, naive and
+//!   cache-blocked, plus [`gemm::MatMulKernel`]: the paper's matmul
+//!   computation unit (Fig. 1(b)) — one `b×b`-block panel update with
+//!   pivot-buffer copies.
+//! * [`jacobi`] — one sweep of the Jacobi iteration over a row block,
+//!   the computation unit of the paper's second use case.
+//! * [`synthetic`] — a tunable-footprint streaming kernel for
+//!   memory-hierarchy studies.
+
+pub mod gemm;
+pub mod jacobi;
+pub mod synthetic;

@@ -1,0 +1,123 @@
+//! A tunable synthetic kernel for memory-hierarchy studies.
+//!
+//! One computation unit performs a fixed number of fused multiply-adds
+//! over a working buffer whose size grows with the problem size, so the
+//! kernel's speed function on a real machine exhibits the cache
+//! plateaus the functional performance models are designed to capture —
+//! without needing a full matmul.
+
+use std::time::{Duration, Instant};
+
+use fupermod_core::kernel::{Kernel, KernelContext};
+use fupermod_core::CoreError;
+
+/// Streaming multiply-add kernel with `flops_per_unit` operations per
+/// computation unit and `doubles_per_unit` f64s of working set per
+/// unit.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticKernel {
+    flops_per_unit: u64,
+    doubles_per_unit: usize,
+}
+
+impl SyntheticKernel {
+    /// Creates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(flops_per_unit: u64, doubles_per_unit: usize) -> Self {
+        assert!(flops_per_unit > 0, "flops_per_unit must be positive");
+        assert!(doubles_per_unit > 0, "doubles_per_unit must be positive");
+        Self {
+            flops_per_unit,
+            doubles_per_unit,
+        }
+    }
+}
+
+impl Kernel for SyntheticKernel {
+    fn complexity(&self, d: u64) -> f64 {
+        (self.flops_per_unit * d) as f64
+    }
+
+    fn context(&mut self, d: u64) -> Result<Box<dyn KernelContext>, CoreError> {
+        if d == 0 {
+            return Err(CoreError::Kernel("synthetic kernel needs d >= 1".to_owned()));
+        }
+        let len = self.doubles_per_unit * d as usize;
+        Ok(Box::new(SyntheticContext {
+            buf: (0..len).map(|i| 1.0 + (i % 7) as f64 * 1e-3).collect(),
+            flops: self.flops_per_unit * d,
+        }))
+    }
+}
+
+struct SyntheticContext {
+    buf: Vec<f64>,
+    flops: u64,
+}
+
+impl KernelContext for SyntheticContext {
+    fn run(&mut self) -> Result<Duration, CoreError> {
+        let start = Instant::now();
+        // 2 flops per element per pass.
+        let passes = (self.flops / (2 * self.buf.len() as u64)).max(1);
+        let mut acc = 0.37_f64;
+        for p in 0..passes {
+            let scale = 1.0 + (p as f64) * 1e-9;
+            for v in &mut self.buf {
+                *v = v.mul_add(scale, 1e-12);
+                acc += *v;
+            }
+        }
+        // Keep the optimiser honest.
+        if acc == f64::NEG_INFINITY {
+            return Err(CoreError::Kernel("impossible accumulator".to_owned()));
+        }
+        std::hint::black_box(acc);
+        Ok(start.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fupermod_core::kernel::Kernel;
+
+    #[test]
+    fn complexity_is_linear() {
+        let k = SyntheticKernel::new(1000, 8);
+        assert_eq!(k.complexity(5), 5000.0);
+    }
+
+    #[test]
+    fn kernel_runs_and_takes_time() {
+        let mut k = SyntheticKernel::new(100_000, 64);
+        let mut ctx = k.context(10).unwrap();
+        let t = ctx.run().unwrap();
+        assert!(t.as_nanos() > 0);
+    }
+
+    #[test]
+    fn rejects_zero_units() {
+        let mut k = SyntheticKernel::new(100, 8);
+        assert!(k.context(0).is_err());
+    }
+
+    #[test]
+    fn works_with_the_benchmark_machinery() {
+        use fupermod_core::benchmark::Benchmark;
+        use fupermod_core::Precision;
+        let mut k = SyntheticKernel::new(50_000, 16);
+        let p = Precision {
+            reps_min: 2,
+            reps_max: 4,
+            ..Precision::default()
+        };
+        let point = Benchmark::new(&p).measure(&mut k, 20).unwrap();
+        assert_eq!(point.d, 20);
+        assert!(point.t > 0.0);
+        assert!(point.reps >= 2);
+    }
+}

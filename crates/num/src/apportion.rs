@@ -1,0 +1,155 @@
+//! Largest-remainder integer apportionment.
+//!
+//! Data-partitioning algorithms compute a *continuous* optimal
+//! distribution, but the framework hands out whole computation units.
+//! The largest-remainder (Hamilton) method rounds the continuous shares
+//! to integers while guaranteeing the total is preserved exactly and no
+//! share moves by more than one unit from its ideal value.
+
+use crate::error::invalid;
+use crate::NumError;
+
+/// Distributes `total` indivisible units over parties with the given
+/// non-negative `weights`, proportionally, using the largest-remainder
+/// method. Ties on the fractional part are broken by lower index, which
+/// keeps the result deterministic.
+///
+/// If all weights are zero the units are spread as evenly as possible.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] if `weights` is empty or any
+/// weight is negative or non-finite.
+///
+/// # Examples
+///
+/// ```
+/// use fupermod_num::apportion::largest_remainder;
+///
+/// # fn main() -> Result<(), fupermod_num::NumError> {
+/// let shares = largest_remainder(&[2.0, 1.0, 1.0], 10)?;
+/// assert_eq!(shares, vec![5, 3, 2]);
+/// assert_eq!(shares.iter().sum::<u64>(), 10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn largest_remainder(weights: &[f64], total: u64) -> Result<Vec<u64>, NumError> {
+    if weights.is_empty() {
+        return Err(invalid("apportionment needs at least one party"));
+    }
+    for &w in weights {
+        if !w.is_finite() || w < 0.0 {
+            return Err(invalid(format!("weights must be finite and >= 0, got {w}")));
+        }
+    }
+
+    let sum: f64 = weights.iter().sum();
+    let ideal: Vec<f64> = if sum > 0.0 {
+        weights.iter().map(|w| w / sum * total as f64).collect()
+    } else {
+        let even = total as f64 / weights.len() as f64;
+        vec![even; weights.len()]
+    };
+
+    let mut shares: Vec<u64> = ideal.iter().map(|v| v.floor() as u64).collect();
+    let assigned: u64 = shares.iter().sum();
+    let mut leftover = total - assigned.min(total);
+
+    // Hand the remaining units to the largest fractional parts.
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = ideal[a] - ideal[a].floor();
+        let fb = ideal[b] - ideal[b].floor();
+        fb.partial_cmp(&fa)
+            .expect("finite fractions")
+            .then(a.cmp(&b))
+    });
+    for &i in order.iter().cycle().take(weights.len().max(leftover as usize)) {
+        if leftover == 0 {
+            break;
+        }
+        shares[i] += 1;
+        leftover -= 1;
+    }
+
+    debug_assert_eq!(shares.iter().sum::<u64>(), total);
+    Ok(shares)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_proportions_stay_exact() {
+        assert_eq!(
+            largest_remainder(&[1.0, 2.0, 3.0], 12).unwrap(),
+            vec![2, 4, 6]
+        );
+    }
+
+    #[test]
+    fn remainders_go_to_largest_fractions() {
+        // Ideal shares: 3.75, 3.75, 2.5 → floors 3,3,2, two leftovers to
+        // the 0.75s.
+        assert_eq!(
+            largest_remainder(&[3.0, 3.0, 2.0], 10).unwrap(),
+            vec![4, 4, 2]
+        );
+    }
+
+    #[test]
+    fn zero_total_gives_all_zeros() {
+        assert_eq!(largest_remainder(&[1.0, 5.0], 0).unwrap(), vec![0, 0]);
+    }
+
+    #[test]
+    fn all_zero_weights_split_evenly() {
+        assert_eq!(
+            largest_remainder(&[0.0, 0.0, 0.0], 7).unwrap(),
+            vec![3, 2, 2]
+        );
+    }
+
+    #[test]
+    fn single_party_takes_everything() {
+        assert_eq!(largest_remainder(&[0.123], 42).unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn zero_weight_party_can_still_receive_from_even_split_only() {
+        let shares = largest_remainder(&[0.0, 1.0], 5).unwrap();
+        assert_eq!(shares, vec![0, 5]);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(largest_remainder(&[], 3).is_err());
+        assert!(largest_remainder(&[-1.0, 2.0], 3).is_err());
+        assert!(largest_remainder(&[f64::NAN], 3).is_err());
+    }
+
+    #[test]
+    fn conserves_total_on_awkward_fractions() {
+        let weights = [0.1, 0.2, 0.3, 0.15, 0.25];
+        for total in [1u64, 7, 97, 1000, 12345] {
+            let shares = largest_remainder(&weights, total).unwrap();
+            assert_eq!(shares.iter().sum::<u64>(), total, "total={total}");
+        }
+    }
+
+    #[test]
+    fn shares_within_one_unit_of_ideal() {
+        let weights = [5.0, 1.0, 3.5, 0.5];
+        let total = 1001u64;
+        let sum: f64 = weights.iter().sum();
+        let shares = largest_remainder(&weights, total).unwrap();
+        for (s, w) in shares.iter().zip(&weights) {
+            let ideal = w / sum * total as f64;
+            assert!(
+                (*s as f64 - ideal).abs() < 1.0 + 1e-9,
+                "share {s} too far from ideal {ideal}"
+            );
+        }
+    }
+}

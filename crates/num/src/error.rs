@@ -1,0 +1,40 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumError {
+    /// The caller supplied input the routine cannot work with
+    /// (empty data, unsorted abscissas, invalid bracket, ...).
+    InvalidInput(String),
+    /// An iterative method failed to converge within its iteration
+    /// budget.
+    NoConvergence {
+        /// Name of the method that gave up.
+        method: &'static str,
+        /// Residual (method-specific norm) at the point of giving up.
+        residual: f64,
+    },
+    /// A linear system was singular (or numerically so) and could not be
+    /// solved.
+    SingularMatrix,
+}
+
+impl fmt::Display for NumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            NumError::NoConvergence { method, residual } => {
+                write!(f, "{method} failed to converge (residual {residual:e})")
+            }
+            NumError::SingularMatrix => write!(f, "matrix is singular to working precision"),
+        }
+    }
+}
+
+impl Error for NumError {}
+
+pub(crate) fn invalid(msg: impl Into<String>) -> NumError {
+    NumError::InvalidInput(msg.into())
+}

@@ -1,0 +1,252 @@
+use serde::{Deserialize, Serialize};
+
+use super::{segment_index, validate_points, Interpolation};
+use crate::NumError;
+
+/// Akima (1970) local cubic spline interpolant.
+///
+/// Akima's method fits a cubic Hermite segment between each pair of
+/// points, with node derivatives chosen from a weighted average of
+/// neighbouring secant slopes. The weights suppress oscillation near
+/// abrupt slope changes, which is exactly what empirical speed functions
+/// of real kernels look like around memory-hierarchy boundaries — the
+/// reason the paper's Akima FPM uses it (Fig. 2(b)).
+///
+/// End conditions follow Akima's original recipe: two virtual slopes are
+/// added at each end by quadratic extrapolation.
+///
+/// # Examples
+///
+/// ```
+/// use fupermod_num::interp::{AkimaSpline, Interpolation};
+///
+/// # fn main() -> Result<(), fupermod_num::NumError> {
+/// // Akima interpolation reproduces straight lines exactly.
+/// let xs = [0.0, 1.0, 3.0, 4.0, 7.0];
+/// let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+/// let f = AkimaSpline::new(&xs, &ys)?;
+/// assert!((f.value(2.2) - 5.4).abs() < 1e-12);
+/// assert!((f.derivative(5.0) - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AkimaSpline {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Node derivatives, one per point.
+    ds: Vec<f64>,
+}
+
+impl AkimaSpline {
+    /// Builds the spline.
+    ///
+    /// With exactly two points the spline degenerates to the straight
+    /// line through them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] under the same conditions as
+    /// [`PiecewiseLinear::new`](super::PiecewiseLinear::new).
+    pub fn new(xs: &[f64], ys: &[f64]) -> Result<Self, NumError> {
+        validate_points(xs, ys)?;
+        let n = xs.len();
+
+        // Secant slopes with two virtual entries on each side
+        // (quadratic extrapolation): m[-2], m[-1], m[0..n-1], m[n-1], m[n].
+        // Stored shifted by 2: ext[i + 2] = m[i].
+        let mut ext = vec![0.0; n + 3];
+        for i in 0..n - 1 {
+            ext[i + 2] = (ys[i + 1] - ys[i]) / (xs[i + 1] - xs[i]);
+        }
+        if n == 2 {
+            // Straight line: all virtual slopes equal the single secant.
+            let m = ext[2];
+            ext.fill(m);
+        } else {
+            ext[1] = 2.0 * ext[2] - ext[3];
+            ext[0] = 2.0 * ext[1] - ext[2];
+            ext[n + 1] = 2.0 * ext[n] - ext[n - 1];
+            ext[n + 2] = 2.0 * ext[n + 1] - ext[n];
+        }
+
+        // Akima node derivative: weighted mean of the two central
+        // slopes, weighted by the slope variation on the far sides.
+        let mut ds = vec![0.0; n];
+        for (i, d) in ds.iter_mut().enumerate() {
+            let m_im2 = ext[i];
+            let m_im1 = ext[i + 1];
+            let m_i = ext[i + 2];
+            let m_ip1 = ext[i + 3];
+            let w1 = (m_ip1 - m_i).abs();
+            let w2 = (m_im1 - m_im2).abs();
+            *d = if w1 + w2 == 0.0 {
+                0.5 * (m_im1 + m_i)
+            } else {
+                (w1 * m_im1 + w2 * m_i) / (w1 + w2)
+            };
+        }
+
+        Ok(Self {
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+            ds,
+        })
+    }
+
+    /// The interpolation nodes' abscissas.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The interpolation nodes' ordinates.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Hermite coefficients for segment `seg`, relative to `xs[seg]`.
+    fn hermite(&self, seg: usize) -> (f64, f64, f64, f64) {
+        let h = self.xs[seg + 1] - self.xs[seg];
+        let y0 = self.ys[seg];
+        let y1 = self.ys[seg + 1];
+        let d0 = self.ds[seg];
+        let d1 = self.ds[seg + 1];
+        let m = (y1 - y0) / h;
+        let c2 = (3.0 * m - 2.0 * d0 - d1) / h;
+        let c3 = (d0 + d1 - 2.0 * m) / (h * h);
+        (y0, d0, c2, c3)
+    }
+}
+
+impl Interpolation for AkimaSpline {
+    fn value(&self, x: f64) -> f64 {
+        let (lo, hi) = self.domain();
+        // Linear extension keeps solvers well-behaved outside the data.
+        if x < lo {
+            return self.ys[0] + self.ds[0] * (x - lo);
+        }
+        if x > hi {
+            let last = self.ds.len() - 1;
+            return self.ys[last] + self.ds[last] * (x - hi);
+        }
+        let seg = segment_index(&self.xs, x);
+        let (c0, c1, c2, c3) = self.hermite(seg);
+        let t = x - self.xs[seg];
+        c0 + t * (c1 + t * (c2 + t * c3))
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        let (lo, hi) = self.domain();
+        if x < lo {
+            return self.ds[0];
+        }
+        if x > hi {
+            return *self.ds.last().expect("non-empty by invariant");
+        }
+        let seg = segment_index(&self.xs, x);
+        let (_, c1, c2, c3) = self.hermite(seg);
+        let t = x - self.xs[seg];
+        c1 + t * (2.0 * c2 + t * 3.0 * c3)
+    }
+
+    fn domain(&self) -> (f64, f64) {
+        (self.xs[0], *self.xs.last().expect("non-empty by invariant"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_err(f: &AkimaSpline, g: impl Fn(f64) -> f64, lo: f64, hi: f64) -> f64 {
+        (0..=200)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / 200.0;
+                (f.value(x) - g(x)).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn passes_through_points() {
+        let xs = [0.0, 0.7, 1.5, 2.2, 4.0, 5.5];
+        let ys = [1.0, -0.3, 2.0, 2.0, -1.0, 0.4];
+        let f = AkimaSpline::new(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((f.value(*x) - y).abs() < 1e-12, "at x={x}");
+        }
+    }
+
+    #[test]
+    fn exact_on_linear_data() {
+        let xs = [0.0, 1.0, 2.5, 4.0, 8.0];
+        let ys: Vec<f64> = xs.iter().map(|x| -3.0 * x + 0.5).collect();
+        let f = AkimaSpline::new(&xs, &ys).unwrap();
+        assert!(max_err(&f, |x| -3.0 * x + 0.5, 0.0, 8.0) < 1e-12);
+    }
+
+    #[test]
+    fn exact_on_quadratic_interior() {
+        // Akima reproduces quadratics away from the ends (where the
+        // virtual-slope extrapolation is itself quadratic-exact).
+        let xs: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+        let f = AkimaSpline::new(&xs, &ys).unwrap();
+        assert!(max_err(&f, |x| x * x, 1.0, 9.0) < 1e-9);
+    }
+
+    #[test]
+    fn two_points_degenerate_to_line() {
+        let f = AkimaSpline::new(&[1.0, 3.0], &[2.0, 6.0]).unwrap();
+        assert!((f.value(2.0) - 4.0).abs() < 1e-12);
+        assert!((f.derivative(1.5) - 2.0).abs() < 1e-12);
+        // Extrapolation continues the line.
+        assert!((f.value(0.0) - 0.0).abs() < 1e-12);
+        assert!((f.value(4.0) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_region_stays_flat() {
+        // Akima's signature property: the interior of a run of identical
+        // ordinates does not pick up oscillation from neighbouring
+        // slopes. (The segment immediately adjacent to the rise is
+        // allowed to bend — the weights there are both zero and the
+        // tie-break averages the slopes, same as GSL.)
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let ys = [0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 3.0];
+        let f = AkimaSpline::new(&xs, &ys).unwrap();
+        for i in 0..=20 {
+            let x = i as f64 * 0.1;
+            assert!(f.value(x).abs() < 1e-12, "flat region disturbed at {x}");
+        }
+    }
+
+    #[test]
+    fn derivative_is_consistent_with_value() {
+        let xs = [0.0, 1.0, 2.0, 3.5, 5.0, 6.0];
+        let ys = [0.0, 0.8, 0.9, 2.5, 2.4, 3.0];
+        let f = AkimaSpline::new(&xs, &ys).unwrap();
+        let h = 1e-6;
+        for i in 1..60 {
+            let x = i as f64 * 0.1;
+            let fd = (f.value(x + h) - f.value(x - h)) / (2.0 * h);
+            assert!(
+                (f.derivative(x) - fd).abs() < 1e-5,
+                "x={x}: analytic {} vs fd {fd}",
+                f.derivative(x)
+            );
+        }
+    }
+
+    #[test]
+    fn continuous_at_nodes() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let ys = [0.0, 2.0, 1.0, 3.0, 0.0];
+        let f = AkimaSpline::new(&xs, &ys).unwrap();
+        for &x in &xs[1..4] {
+            let eps = 1e-9;
+            assert!((f.value(x - eps) - f.value(x + eps)).abs() < 1e-6);
+            assert!((f.derivative(x - eps) - f.derivative(x + eps)).abs() < 1e-4);
+        }
+    }
+}

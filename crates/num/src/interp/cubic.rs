@@ -1,0 +1,201 @@
+use serde::{Deserialize, Serialize};
+
+use super::{segment_index, validate_points, Interpolation};
+use crate::solve::solve_tridiagonal;
+use crate::NumError;
+
+/// Natural cubic spline interpolant (C² smooth, zero second derivative
+/// at the ends).
+///
+/// Included as the classic *global* smooth interpolant the Akima
+/// spline is usually compared against: it minimises curvature but
+/// couples every segment, so a single memory-hierarchy cliff in the
+/// data produces oscillation (overshoot) several segments away — the
+/// behaviour that motivates the paper's choice of Akima interpolation
+/// for the FPM (see the `exp8_interpolation_error` experiment).
+///
+/// # Examples
+///
+/// ```
+/// use fupermod_num::interp::{CubicSpline, Interpolation};
+///
+/// # fn main() -> Result<(), fupermod_num::NumError> {
+/// let xs = [0.0, 1.0, 2.0, 3.0];
+/// let ys = [0.0, 1.0, 8.0, 27.0];
+/// let f = CubicSpline::new(&xs, &ys)?;
+/// assert!((f.value(1.0) - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CubicSpline {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Second derivatives at the nodes.
+    m2: Vec<f64>,
+}
+
+impl CubicSpline {
+    /// Builds the spline. With two points it degenerates to the
+    /// straight line through them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] under the same conditions as
+    /// [`PiecewiseLinear::new`](super::PiecewiseLinear::new).
+    pub fn new(xs: &[f64], ys: &[f64]) -> Result<Self, NumError> {
+        validate_points(xs, ys)?;
+        let n = xs.len();
+        let mut m2 = vec![0.0; n];
+        if n > 2 {
+            // Tridiagonal system for interior second derivatives.
+            let rows = n - 2;
+            let mut sub = vec![0.0; rows];
+            let mut diag = vec![0.0; rows];
+            let mut sup = vec![0.0; rows];
+            let mut rhs = vec![0.0; rows];
+            for i in 1..n - 1 {
+                let h0 = xs[i] - xs[i - 1];
+                let h1 = xs[i + 1] - xs[i];
+                let k = i - 1;
+                sub[k] = h0;
+                diag[k] = 2.0 * (h0 + h1);
+                sup[k] = h1;
+                rhs[k] = 6.0 * ((ys[i + 1] - ys[i]) / h1 - (ys[i] - ys[i - 1]) / h0);
+            }
+            let interior = solve_tridiagonal(&sub, &diag, &sup, &rhs)?;
+            m2[1..n - 1].copy_from_slice(&interior);
+        }
+        Ok(Self {
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+            m2,
+        })
+    }
+
+    /// The interpolation nodes' abscissas.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The interpolation nodes' ordinates.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+}
+
+impl Interpolation for CubicSpline {
+    fn value(&self, x: f64) -> f64 {
+        let (lo, hi) = self.domain();
+        if x < lo {
+            return self.ys[0] + self.derivative(lo) * (x - lo);
+        }
+        if x > hi {
+            let n = self.xs.len() - 1;
+            return self.ys[n] + self.derivative(hi) * (x - hi);
+        }
+        let i = segment_index(&self.xs, x);
+        let h = self.xs[i + 1] - self.xs[i];
+        let a = (self.xs[i + 1] - x) / h;
+        let b = (x - self.xs[i]) / h;
+        a * self.ys[i]
+            + b * self.ys[i + 1]
+            + ((a * a * a - a) * self.m2[i] + (b * b * b - b) * self.m2[i + 1]) * h * h / 6.0
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        let (lo, hi) = self.domain();
+        let x = x.clamp(lo, hi);
+        let i = segment_index(&self.xs, x);
+        let h = self.xs[i + 1] - self.xs[i];
+        let a = (self.xs[i + 1] - x) / h;
+        let b = (x - self.xs[i]) / h;
+        (self.ys[i + 1] - self.ys[i]) / h
+            + ((3.0 * b * b - 1.0) * self.m2[i + 1] - (3.0 * a * a - 1.0) * self.m2[i]) * h / 6.0
+    }
+
+    fn domain(&self) -> (f64, f64) {
+        (self.xs[0], *self.xs.last().expect("non-empty by invariant"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_through_points() {
+        let xs = [0.0, 1.0, 2.5, 4.0, 6.0];
+        let ys = [1.0, -1.0, 0.5, 3.0, 2.0];
+        let f = CubicSpline::new(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((f.value(*x) - y).abs() < 1e-10, "at x={x}");
+        }
+    }
+
+    #[test]
+    fn exact_on_linear_data() {
+        let xs = [0.0, 1.0, 3.0, 7.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 4.0 * x - 2.0).collect();
+        let f = CubicSpline::new(&xs, &ys).unwrap();
+        for i in 0..=70 {
+            let x = i as f64 * 0.1;
+            assert!((f.value(x) - (4.0 * x - 2.0)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn two_points_degenerate_to_line() {
+        let f = CubicSpline::new(&[0.0, 2.0], &[1.0, 5.0]).unwrap();
+        assert!((f.value(1.0) - 3.0).abs() < 1e-12);
+        assert!((f.derivative(0.5) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn second_derivative_vanishes_at_ends() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let ys = [0.0, 2.0, -1.0, 3.0, 1.0];
+        let f = CubicSpline::new(&xs, &ys).unwrap();
+        // Numerical second derivative near the ends ~ 0.
+        let h = 1e-4;
+        let d2 = |x: f64| (f.value(x + h) - 2.0 * f.value(x) + f.value(x - h)) / (h * h);
+        assert!(d2(0.0 + 2.0 * h).abs() < 0.3);
+        assert!(d2(4.0 - 2.0 * h).abs() < 0.3);
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let xs = [0.0, 1.0, 2.0, 3.5, 5.0];
+        let ys = [0.0, 0.8, 0.9, 2.5, 2.4];
+        let f = CubicSpline::new(&xs, &ys).unwrap();
+        let h = 1e-6;
+        for i in 1..50 {
+            let x = i as f64 * 0.1;
+            let fd = (f.value(x + h) - f.value(x - h)) / (2.0 * h);
+            assert!((f.derivative(x) - fd).abs() < 1e-5, "x={x}");
+        }
+    }
+
+    #[test]
+    fn overshoots_at_cliffs_unlike_akima() {
+        // A flat-then-cliff dataset: natural cubic oscillates below the
+        // flat level before the cliff; Akima stays flat. This is the
+        // documented motivation for Akima in the FPM.
+        use super::super::AkimaSpline;
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [1.0, 1.0, 1.0, 1.0, 10.0, 10.0];
+        let cubic = CubicSpline::new(&xs, &ys).unwrap();
+        let akima = AkimaSpline::new(&xs, &ys).unwrap();
+        let mut cubic_dev = 0.0_f64;
+        let mut akima_dev = 0.0_f64;
+        for i in 0..=20 {
+            let x = i as f64 * 0.1; // flat region [0, 2]
+            cubic_dev = cubic_dev.max((cubic.value(x) - 1.0).abs());
+            akima_dev = akima_dev.max((akima.value(x) - 1.0).abs());
+        }
+        assert!(
+            cubic_dev > 10.0 * akima_dev.max(1e-12),
+            "cubic {cubic_dev} vs akima {akima_dev}"
+        );
+    }
+}

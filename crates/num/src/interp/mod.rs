@@ -1,0 +1,110 @@
+//! Interpolation of empirical functions.
+//!
+//! The framework approximates the *time function* `t(x)` of a device
+//! from a handful of measured points and then derives the speed
+//! `s(x) = complexity(x) / t(x)`. Two interpolants are provided,
+//! matching the paper's two functional performance models:
+//!
+//! * [`PiecewiseLinear`] — exact piecewise-linear interpolation, used by
+//!   the piecewise FPM (after coarsening to the Lastovetsky–Reddy shape
+//!   restrictions, which lives in `fupermod-core`).
+//! * [`AkimaSpline`] — Akima's 1970 local cubic spline, used by the
+//!   Akima FPM; it is smooth, has a continuous first derivative (needed
+//!   by the Newton-based partitioner) and does not overshoot the way
+//!   global cubic splines do.
+
+mod akima;
+mod cubic;
+mod piecewise;
+
+pub use akima::AkimaSpline;
+pub use cubic::CubicSpline;
+pub use piecewise::PiecewiseLinear;
+
+use crate::error::invalid;
+use crate::NumError;
+
+/// A univariate interpolant over a finite abscissa range with linear
+/// extrapolation outside it.
+///
+/// Implementations guarantee that `value` reproduces the data points
+/// exactly and that `derivative` is consistent with `value` (exact for
+/// the piecewise-linear case, analytic for splines).
+pub trait Interpolation {
+    /// Interpolated value at `x`. Outside [`Interpolation::domain`] the
+    /// function is extended linearly using the boundary derivative, so
+    /// solvers can probe slightly beyond the data without blowing up.
+    fn value(&self, x: f64) -> f64;
+
+    /// First derivative at `x` (constant outside the domain).
+    fn derivative(&self, x: f64) -> f64;
+
+    /// Closed abscissa range `[min, max]` covered by the data.
+    fn domain(&self) -> (f64, f64);
+}
+
+/// Validates interpolation input: at least two points, finite values,
+/// strictly increasing abscissas. Shared by both interpolants.
+pub(crate) fn validate_points(xs: &[f64], ys: &[f64]) -> Result<(), NumError> {
+    if xs.len() != ys.len() {
+        return Err(invalid(format!(
+            "abscissa/ordinate length mismatch: {} vs {}",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    if xs.len() < 2 {
+        return Err(invalid("interpolation requires at least two points"));
+    }
+    for (x, y) in xs.iter().zip(ys) {
+        if !x.is_finite() || !y.is_finite() {
+            return Err(invalid("interpolation points must be finite"));
+        }
+    }
+    for w in xs.windows(2) {
+        if w[1] <= w[0] {
+            return Err(invalid(format!(
+                "abscissas must be strictly increasing ({} then {})",
+                w[0], w[1]
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Finds the interval index `i` such that `xs[i] <= x < xs[i+1]`,
+/// clamped to the valid segment range.
+pub(crate) fn segment_index(xs: &[f64], x: f64) -> usize {
+    match xs.binary_search_by(|v| v.partial_cmp(&x).expect("finite")) {
+        Ok(i) => i.min(xs.len() - 2),
+        Err(0) => 0,
+        Err(i) => (i - 1).min(xs.len() - 2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_rejects_bad_input() {
+        assert!(validate_points(&[1.0], &[1.0]).is_err());
+        assert!(validate_points(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(validate_points(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(validate_points(&[2.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(validate_points(&[1.0, f64::NAN], &[1.0, 2.0]).is_err());
+        assert!(validate_points(&[1.0, 2.0], &[1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn segment_index_covers_all_cases() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        assert_eq!(segment_index(&xs, -1.0), 0);
+        assert_eq!(segment_index(&xs, 0.0), 0);
+        assert_eq!(segment_index(&xs, 0.5), 0);
+        assert_eq!(segment_index(&xs, 1.0), 1);
+        assert_eq!(segment_index(&xs, 2.9), 2);
+        assert_eq!(segment_index(&xs, 3.0), 2);
+        assert_eq!(segment_index(&xs, 9.0), 2);
+    }
+}

@@ -1,0 +1,114 @@
+use serde::{Deserialize, Serialize};
+
+use super::{segment_index, validate_points, Interpolation};
+use crate::NumError;
+
+/// Exact piecewise-linear interpolant through a set of points.
+///
+/// Outside the data range the function continues linearly with the
+/// slope of the first/last segment, matching the behaviour the
+/// geometrical partitioning algorithm expects (the speed of a device is
+/// assumed constant beyond the largest benchmarked size).
+///
+/// # Examples
+///
+/// ```
+/// use fupermod_num::interp::{Interpolation, PiecewiseLinear};
+///
+/// # fn main() -> Result<(), fupermod_num::NumError> {
+/// let f = PiecewiseLinear::new(&[0.0, 2.0, 4.0], &[0.0, 4.0, 4.0])?;
+/// assert_eq!(f.value(1.0), 2.0);
+/// assert_eq!(f.value(3.0), 4.0);
+/// assert_eq!(f.derivative(1.0), 2.0);
+/// assert_eq!(f.derivative(3.0), 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseLinear {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl PiecewiseLinear {
+    /// Builds the interpolant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] if fewer than two points are
+    /// given, lengths mismatch, values are non-finite, or abscissas are
+    /// not strictly increasing.
+    pub fn new(xs: &[f64], ys: &[f64]) -> Result<Self, NumError> {
+        validate_points(xs, ys)?;
+        Ok(Self {
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+        })
+    }
+
+    /// The interpolation nodes' abscissas.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The interpolation nodes' ordinates.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    fn slope(&self, seg: usize) -> f64 {
+        (self.ys[seg + 1] - self.ys[seg]) / (self.xs[seg + 1] - self.xs[seg])
+    }
+}
+
+impl Interpolation for PiecewiseLinear {
+    fn value(&self, x: f64) -> f64 {
+        let seg = segment_index(&self.xs, x);
+        self.ys[seg] + self.slope(seg) * (x - self.xs[seg])
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        self.slope(segment_index(&self.xs, x))
+    }
+
+    fn domain(&self) -> (f64, f64) {
+        (self.xs[0], *self.xs.last().expect("non-empty by invariant"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_through_points() {
+        let xs = [1.0, 2.0, 5.0, 9.0];
+        let ys = [3.0, -1.0, 4.0, 4.0];
+        let f = PiecewiseLinear::new(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((f.value(*x) - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn interpolates_linearly_between_points() {
+        let f = PiecewiseLinear::new(&[0.0, 10.0], &[0.0, 100.0]).unwrap();
+        assert!((f.value(2.5) - 25.0).abs() < 1e-12);
+        assert!((f.derivative(7.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extrapolates_with_boundary_slopes() {
+        let f = PiecewiseLinear::new(&[0.0, 1.0, 2.0], &[0.0, 1.0, 1.0]).unwrap();
+        // Left of domain: slope 1.
+        assert!((f.value(-1.0) + 1.0).abs() < 1e-12);
+        // Right of domain: slope 0.
+        assert!((f.value(5.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn domain_reports_data_range() {
+        let f = PiecewiseLinear::new(&[2.0, 3.0, 7.0], &[0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(f.domain(), (2.0, 7.0));
+    }
+}

@@ -1,0 +1,200 @@
+use super::newton::{max_norm, NewtonOptions, NewtonReport};
+use crate::error::invalid;
+use crate::NumError;
+
+/// Solves `F(x) = 0` with Broyden's (good) method: a quasi-Newton
+/// iteration that maintains an approximate Jacobian via rank-one
+/// updates, requiring only residual evaluations.
+///
+/// This is the derivative-free companion to
+/// [`newton_system`](super::newton_system) — useful when a model's time
+/// derivative is unavailable or untrusted (e.g. user-supplied
+/// analytical models plugged into the framework). The initial Jacobian
+/// is estimated by forward differences, then updated cheaply.
+///
+/// # Errors
+///
+/// * [`NumError::InvalidInput`] — empty start, or non-finite residual
+///   at the starting point.
+/// * [`NumError::SingularMatrix`] — the approximate Jacobian collapsed.
+/// * [`NumError::NoConvergence`] — iteration budget exhausted or the
+///   line search stalled.
+pub fn broyden_system(
+    mut f: impl FnMut(&[f64], &mut [f64]),
+    x0: &[f64],
+    opts: NewtonOptions,
+) -> Result<NewtonReport, NumError> {
+    let n = x0.len();
+    if n == 0 {
+        return Err(invalid("broyden_system needs at least one variable"));
+    }
+
+    let mut x = x0.to_vec();
+    let mut fx = vec![0.0; n];
+    f(&x, &mut fx);
+    if fx.iter().any(|v| !v.is_finite()) {
+        return Err(invalid("residual is not finite at the starting point"));
+    }
+    let mut fnorm = max_norm(&fx);
+
+    // Initial Jacobian by forward differences.
+    let mut jac = vec![0.0; n * n];
+    super::newton::finite_difference_jacobian(&mut f, &x, &mut jac);
+
+    let mut step = vec![0.0; n];
+    let mut trial = vec![0.0; n];
+    let mut f_trial = vec![0.0; n];
+
+    for iter in 0..opts.max_iter {
+        if fnorm <= opts.f_tol {
+            return Ok(NewtonReport {
+                x,
+                iterations: iter,
+                residual: fnorm,
+            });
+        }
+
+        // Solve J * step = -F with the current approximation.
+        let mut rhs: Vec<f64> = fx.iter().map(|v| -v).collect();
+        let mut jcopy = jac.clone();
+        super::lin::solve_dense(&mut jcopy, &mut rhs)?;
+        step.copy_from_slice(&rhs);
+
+        // Backtracking line search on the residual norm.
+        let mut lambda = 1.0;
+        let (s, y) = loop {
+            for i in 0..n {
+                trial[i] = x[i] + lambda * step[i];
+            }
+            f(&trial, &mut f_trial);
+            let trial_norm = if f_trial.iter().all(|v| v.is_finite()) {
+                max_norm(&f_trial)
+            } else {
+                f64::INFINITY
+            };
+            if trial_norm < fnorm || lambda < opts.min_step {
+                if lambda < opts.min_step && trial_norm >= fnorm {
+                    return Err(NumError::NoConvergence {
+                        method: "broyden_system (line search stalled)",
+                        residual: fnorm,
+                    });
+                }
+                // Secant pair for the Broyden update.
+                let s: Vec<f64> = (0..n).map(|i| trial[i] - x[i]).collect();
+                let y: Vec<f64> = (0..n).map(|i| f_trial[i] - fx[i]).collect();
+                x.copy_from_slice(&trial);
+                fx.copy_from_slice(&f_trial);
+                fnorm = trial_norm;
+                break (s, y);
+            }
+            lambda *= 0.5;
+        };
+
+        // Broyden rank-one update: J += (y - J s) sᵀ / (sᵀ s).
+        let ss: f64 = s.iter().map(|v| v * v).sum();
+        if ss > 0.0 {
+            let mut js = vec![0.0; n];
+            for i in 0..n {
+                js[i] = (0..n).map(|j| jac[i * n + j] * s[j]).sum();
+            }
+            for i in 0..n {
+                let coeff = (y[i] - js[i]) / ss;
+                for j in 0..n {
+                    jac[i * n + j] += coeff * s[j];
+                }
+            }
+        }
+    }
+
+    if fnorm <= opts.f_tol {
+        return Ok(NewtonReport {
+            x,
+            iterations: opts.max_iter,
+            residual: fnorm,
+        });
+    }
+    Err(NumError::NoConvergence {
+        method: "broyden_system",
+        residual: fnorm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_square_root() {
+        let report = broyden_system(
+            |x, out| out[0] = x[0] * x[0] - 2.0,
+            &[1.0],
+            NewtonOptions::default(),
+        )
+        .unwrap();
+        assert!((report.x[0] - 2.0_f64.sqrt()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn coupled_2d_system() {
+        let f = |x: &[f64], out: &mut [f64]| {
+            out[0] = x[0] * x[0] + x[1] * x[1] - 4.0;
+            out[1] = x[0] * x[1] - 1.0;
+        };
+        let report = broyden_system(f, &[2.0, 0.6], NewtonOptions::default()).unwrap();
+        let (x, y) = (report.x[0], report.x[1]);
+        assert!((x * x + y * y - 4.0).abs() < 1e-7);
+        assert!((x * y - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equal_time_partitioning_shape() {
+        // The shape the numerical partitioner solves: equal times over
+        // nonlinear time functions with conservation eliminated.
+        let total = 1000.0;
+        let t = [
+            |x: f64| x / 100.0 + (x / 400.0).powi(2),
+            |x: f64| x / 50.0,
+            |x: f64| x / 200.0 + 1.0,
+        ];
+        let f = move |x: &[f64], out: &mut [f64]| {
+            let last = total - x[0] - x[1];
+            let t_last = t[2](last);
+            out[0] = t[0](x[0]) - t_last;
+            out[1] = t[1](x[1]) - t_last;
+        };
+        let report =
+            broyden_system(f, &[total / 3.0, total / 3.0], NewtonOptions::default()).unwrap();
+        let d0 = report.x[0];
+        let d1 = report.x[1];
+        let d2 = total - d0 - d1;
+        let times = [t[0](d0), t[1](d1), t[2](d2)];
+        let max = times.iter().cloned().fold(0.0, f64::max);
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((max - min) / max < 1e-6, "times {times:?}");
+    }
+
+    #[test]
+    fn already_converged_start_returns_immediately() {
+        let report = broyden_system(
+            |x, out| out[0] = x[0],
+            &[0.0],
+            NewtonOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.iterations, 0);
+    }
+
+    #[test]
+    fn reports_failure_on_rootless_system() {
+        let err = broyden_system(
+            |x, out| out[0] = x[0] * x[0] + 1.0,
+            &[3.0],
+            NewtonOptions {
+                max_iter: 50,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, NumError::NoConvergence { .. }));
+    }
+}

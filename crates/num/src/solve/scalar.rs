@@ -1,0 +1,253 @@
+use crate::error::invalid;
+use crate::NumError;
+
+/// Tolerances and iteration budget for the scalar root finders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RootOptions {
+    /// Absolute tolerance on the abscissa.
+    pub x_tol: f64,
+    /// Absolute tolerance on the residual `|f(x)|`.
+    pub f_tol: f64,
+    /// Maximum number of iterations.
+    pub max_iter: usize,
+}
+
+impl Default for RootOptions {
+    fn default() -> Self {
+        Self {
+            x_tol: 1e-12,
+            f_tol: 1e-12,
+            max_iter: 200,
+        }
+    }
+}
+
+/// Finds a root of `f` in the bracket `[a, b]` by bisection.
+///
+/// Bisection is slow but unconditionally convergent, which is what the
+/// geometrical partitioning algorithm needs: its objective (total
+/// partitioned units as a function of the line slope) is monotone but
+/// only piecewise smooth.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] if the bracket is degenerate or
+/// `f(a)` and `f(b)` have the same sign, and
+/// [`NumError::NoConvergence`] if the budget runs out before the
+/// tolerances are met (with default options this cannot happen for a
+/// valid bracket: 200 halvings exhaust f64 resolution).
+pub fn bisect(
+    mut f: impl FnMut(f64) -> f64,
+    a: f64,
+    b: f64,
+    opts: RootOptions,
+) -> Result<f64, NumError> {
+    if !a.is_finite() || !b.is_finite() || a >= b {
+        return Err(invalid(format!("bisect bracket invalid: [{a}, {b}]")));
+    }
+    let fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(invalid(format!(
+            "bisect requires a sign change: f({a}) = {fa}, f({b}) = {fb}"
+        )));
+    }
+
+    let (mut lo, mut hi) = (a, b);
+    let mut flo = fa;
+    for _ in 0..opts.max_iter {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if fmid.abs() <= opts.f_tol || (hi - lo) <= opts.x_tol {
+            return Ok(mid);
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(NumError::NoConvergence {
+        method: "bisect",
+        residual: hi - lo,
+    })
+}
+
+/// Finds a root of `f` in the bracket `[a, b]` with Brent's method
+/// (inverse quadratic interpolation guarded by bisection).
+///
+/// # Errors
+///
+/// Same conditions as [`bisect`].
+pub fn brent(
+    mut f: impl FnMut(f64) -> f64,
+    a: f64,
+    b: f64,
+    opts: RootOptions,
+) -> Result<f64, NumError> {
+    if !a.is_finite() || !b.is_finite() || a >= b {
+        return Err(invalid(format!("brent bracket invalid: [{a}, {b}]")));
+    }
+    let mut xa = a;
+    let mut xb = b;
+    let mut fa = f(xa);
+    let mut fb = f(xb);
+    if fa == 0.0 {
+        return Ok(xa);
+    }
+    if fb == 0.0 {
+        return Ok(xb);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(invalid(format!(
+            "brent requires a sign change: f({xa}) = {fa}, f({xb}) = {fb}"
+        )));
+    }
+
+    let mut xc = xa;
+    let mut fc = fa;
+    let mut d = xb - xa;
+    let mut e = d;
+
+    for _ in 0..opts.max_iter {
+        if fb.abs() > fc.abs() {
+            // Keep b the best estimate.
+            xa = xb;
+            xb = xc;
+            xc = xa;
+            fa = fb;
+            fb = fc;
+            fc = fa;
+        }
+        let tol1 = 2.0 * f64::EPSILON * xb.abs() + 0.5 * opts.x_tol;
+        let xm = 0.5 * (xc - xb);
+        if xm.abs() <= tol1 || fb.abs() <= opts.f_tol {
+            return Ok(xb);
+        }
+        if e.abs() >= tol1 && fa.abs() > fb.abs() {
+            // Attempt inverse quadratic (or secant) interpolation.
+            let s = fb / fa;
+            let (mut p, mut q) = if xa == xc {
+                (2.0 * xm * s, 1.0 - s)
+            } else {
+                let q = fa / fc;
+                let r = fb / fc;
+                (
+                    s * (2.0 * xm * q * (q - r) - (xb - xa) * (r - 1.0)),
+                    (q - 1.0) * (r - 1.0) * (s - 1.0),
+                )
+            };
+            if p > 0.0 {
+                q = -q;
+            }
+            p = p.abs();
+            let min1 = 3.0 * xm * q - (tol1 * q).abs();
+            let min2 = (e * q).abs();
+            if 2.0 * p < min1.min(min2) {
+                e = d;
+                d = p / q;
+            } else {
+                d = xm;
+                e = d;
+            }
+        } else {
+            d = xm;
+            e = d;
+        }
+        xa = xb;
+        fa = fb;
+        xb += if d.abs() > tol1 {
+            d
+        } else {
+            tol1.copysign(xm)
+        };
+        fb = f(xb);
+        if fb.signum() == fc.signum() {
+            xc = xa;
+            fc = fa;
+            d = xb - xa;
+            e = d;
+        }
+    }
+    Err(NumError::NoConvergence {
+        method: "brent",
+        residual: fb.abs(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let root = bisect(|x| x * x - 2.0, 0.0, 2.0, RootOptions::default()).unwrap();
+        assert!((root - 2.0_f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_finds_sqrt2_fast() {
+        let mut calls = 0;
+        let root = brent(
+            |x| {
+                calls += 1;
+                x * x - 2.0
+            },
+            0.0,
+            2.0,
+            RootOptions::default(),
+        )
+        .unwrap();
+        assert!((root - 2.0_f64.sqrt()).abs() < 1e-10);
+        assert!(calls < 20, "brent took {calls} evaluations");
+    }
+
+    #[test]
+    fn both_handle_root_at_bracket_edge() {
+        let root = bisect(|x| x, 0.0, 1.0, RootOptions::default()).unwrap();
+        assert_eq!(root, 0.0);
+        let root = brent(|x| x - 1.0, 0.0, 1.0, RootOptions::default()).unwrap();
+        assert_eq!(root, 1.0);
+    }
+
+    #[test]
+    fn rejects_same_sign_bracket() {
+        assert!(matches!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, RootOptions::default()),
+            Err(NumError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            brent(|x| x * x + 1.0, -1.0, 1.0, RootOptions::default()),
+            Err(NumError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_degenerate_bracket() {
+        assert!(bisect(|x| x, 1.0, 1.0, RootOptions::default()).is_err());
+        assert!(brent(|x| x, 2.0, 1.0, RootOptions::default()).is_err());
+    }
+
+    #[test]
+    fn brent_on_nasty_flat_function() {
+        // f is flat near the root, so the f_tol = 1e-12 stopping rule is
+        // met anywhere within (1e-12)^(1/5) ≈ 4e-3 of the root.
+        let root = brent(|x: f64| (x - 0.3).powi(5), 0.0, 1.0, RootOptions::default()).unwrap();
+        assert!((root - 0.3).abs() < 5e-3);
+    }
+
+    #[test]
+    fn bisect_on_discontinuous_monotone_function() {
+        // Step-like function, as produced by piecewise speed models.
+        let f = |x: f64| if x < 0.5 { -1.0 } else { 1.0 };
+        let root = bisect(f, 0.0, 1.0, RootOptions::default()).unwrap();
+        assert!((root - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,22 @@
+//! Summary statistics and the Student-t machinery used by the benchmark
+//! loop to compute confidence intervals.
+//!
+//! The paper's `fupermod_benchmark` repeats a kernel until "the results
+//! are statistically correct": the half-width of the confidence interval
+//! of the mean execution time, at a user-chosen confidence level, falls
+//! below a relative-error threshold. That requires the Student-t
+//! quantile, which we build from scratch: ln-gamma (Lanczos), the
+//! regularised incomplete beta function (Lentz continued fraction), the
+//! t CDF, and a bracketing quantile inversion.
+
+mod beta;
+mod gamma;
+mod robust;
+mod student;
+mod summary;
+
+pub use beta::{ln_beta, regularized_incomplete_beta};
+pub use gamma::ln_gamma;
+pub use robust::{median, median_absolute_deviation, reject_outliers};
+pub use student::{student_t_cdf, student_t_quantile, two_sided_critical_value};
+pub use summary::{ConfidenceInterval, OnlineStats};

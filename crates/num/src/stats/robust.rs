@@ -1,0 +1,111 @@
+//! Robust location/scale statistics for outlier-resistant measurement.
+//!
+//! Real benchmark samples are occasionally polluted by one-off events
+//! (daemon wakeups, page faults on first touch). The Student-t interval
+//! treats those as genuine variance and can refuse to converge; a
+//! standard remedy is to reject samples far from the median in units of
+//! the median absolute deviation (MAD) before computing the interval.
+
+/// Median of a sample. For even sizes, the mean of the two central
+/// order statistics.
+///
+/// Returns `None` for an empty sample.
+pub fn median(sample: &[f64]) -> Option<f64> {
+    if sample.is_empty() {
+        return None;
+    }
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = sorted.len();
+    Some(if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    })
+}
+
+/// Median absolute deviation: `median(|x_i - median(x)|)`, a robust
+/// scale estimate (≈ 0.6745·σ for normal data).
+///
+/// Returns `None` for an empty sample.
+pub fn median_absolute_deviation(sample: &[f64]) -> Option<f64> {
+    let m = median(sample)?;
+    let deviations: Vec<f64> = sample.iter().map(|x| (x - m).abs()).collect();
+    median(&deviations)
+}
+
+/// Returns the subset of `sample` within `k` MADs of the median —
+/// the classic robust outlier filter. With a zero MAD (over half the
+/// samples identical) only exact-median values survive, so the filter
+/// falls back to returning everything in that degenerate case.
+pub fn reject_outliers(sample: &[f64], k: f64) -> Vec<f64> {
+    assert!(k > 0.0, "rejection threshold must be positive");
+    let Some(m) = median(sample) else {
+        return Vec::new();
+    };
+    let Some(mad) = median_absolute_deviation(sample) else {
+        return Vec::new();
+    };
+    if mad == 0.0 {
+        return sample.to_vec();
+    }
+    sample
+        .iter()
+        .copied()
+        .filter(|x| (x - m).abs() <= k * mad)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even_samples() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn mad_matches_hand_computation() {
+        // Sample 1..=5: median 3, deviations [2,1,0,1,2] → MAD 1.
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(median_absolute_deviation(&s), Some(1.0));
+    }
+
+    #[test]
+    fn rejection_drops_single_spike() {
+        let mut s = vec![1.0, 1.02, 0.98, 1.01, 0.99, 1.0, 1.03];
+        s.push(50.0); // the daemon wakeup
+        let kept = reject_outliers(&s, 5.0);
+        assert_eq!(kept.len(), 7);
+        assert!(kept.iter().all(|&x| x < 2.0));
+    }
+
+    #[test]
+    fn rejection_keeps_clean_data() {
+        let s = [1.0, 1.1, 0.9, 1.05, 0.95];
+        let kept = reject_outliers(&s, 5.0);
+        assert_eq!(kept.len(), s.len());
+    }
+
+    #[test]
+    fn zero_mad_degenerates_to_identity() {
+        // More than half identical → MAD 0 → keep everything.
+        let s = [2.0, 2.0, 2.0, 2.0, 9.0];
+        let kept = reject_outliers(&s, 3.0);
+        assert_eq!(kept.len(), 5);
+    }
+
+    #[test]
+    fn mad_is_robust_where_stddev_is_not() {
+        let clean = [1.0, 1.1, 0.9, 1.05, 0.95, 1.02, 0.97];
+        let mut dirty = clean.to_vec();
+        dirty.push(100.0);
+        let mad_clean = median_absolute_deviation(&clean).unwrap();
+        let mad_dirty = median_absolute_deviation(&dirty).unwrap();
+        // One outlier barely moves the MAD.
+        assert!((mad_dirty - mad_clean).abs() < 0.05);
+    }
+}

@@ -1,0 +1,172 @@
+use super::beta::regularized_incomplete_beta;
+
+/// Cumulative distribution function of Student's t distribution with
+/// `df` degrees of freedom, evaluated at `t`.
+///
+/// # Panics
+///
+/// Panics if `df` is not positive or `t` is NaN.
+///
+/// # Examples
+///
+/// ```
+/// use fupermod_num::stats::student_t_cdf;
+/// assert!((student_t_cdf(0.0, 7.0) - 0.5).abs() < 1e-12);
+/// ```
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive, got {df}");
+    assert!(!t.is_nan(), "t must not be NaN");
+
+    if t == 0.0 {
+        return 0.5;
+    }
+    let x = df / (df + t * t);
+    let tail = 0.5 * regularized_incomplete_beta(x, 0.5 * df, 0.5);
+    if t > 0.0 {
+        1.0 - tail
+    } else {
+        tail
+    }
+}
+
+/// Quantile (inverse CDF) of Student's t distribution with `df` degrees
+/// of freedom at probability `p`, computed by bisection on the CDF.
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly inside `(0, 1)` or `df` is not
+/// positive.
+///
+/// # Examples
+///
+/// ```
+/// use fupermod_num::stats::student_t_quantile;
+/// // 97.5% quantile with 10 dof is the classic 2.228.
+/// let q = student_t_quantile(0.975, 10.0);
+/// assert!((q - 2.228).abs() < 1e-3);
+/// ```
+pub fn student_t_quantile(p: f64, df: f64) -> f64 {
+    assert!(
+        p > 0.0 && p < 1.0,
+        "probability must lie strictly in (0,1), got {p}"
+    );
+    assert!(df > 0.0, "degrees of freedom must be positive, got {df}");
+
+    if (p - 0.5).abs() < 1e-16 {
+        return 0.0;
+    }
+
+    // The t distribution is symmetric; solve for the upper half only.
+    let upper = p >= 0.5;
+    let p = if upper { p } else { 1.0 - p };
+
+    // Bracket the quantile: grow the upper end until the CDF exceeds p.
+    let mut lo = 0.0;
+    let mut hi = 1.0;
+    while student_t_cdf(hi, df) < p {
+        hi *= 2.0;
+        if hi > 1e12 {
+            break;
+        }
+    }
+
+    // 200 bisection steps give far more precision than f64 needs; the
+    // loop exits early once the interval stops shrinking.
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if mid == lo || mid == hi {
+            break;
+        }
+        if student_t_cdf(mid, df) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+
+    let q = 0.5 * (lo + hi);
+    if upper {
+        q
+    } else {
+        -q
+    }
+}
+
+/// Two-sided critical value `t*` such that a fraction `confidence` of
+/// the Student-t distribution with `df` degrees of freedom lies within
+/// `[-t*, t*]`. This is the multiplier used for confidence intervals of
+/// a mean estimated from repeated measurements.
+///
+/// # Panics
+///
+/// Panics if `confidence` is not strictly inside `(0, 1)`.
+pub fn two_sided_critical_value(confidence: f64, df: f64) -> f64 {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must lie strictly in (0,1), got {confidence}"
+    );
+    student_t_quantile(0.5 + 0.5 * confidence, df)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_symmetry() {
+        for &df in &[1.0, 3.0, 10.0, 100.0] {
+            for &t in &[0.5, 1.0, 2.5] {
+                let up = student_t_cdf(t, df);
+                let lo = student_t_cdf(-t, df);
+                assert!((up + lo - 1.0).abs() < 1e-12, "df={df} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_matches_cauchy_for_one_dof() {
+        // t with 1 dof is the standard Cauchy: CDF = 1/2 + atan(t)/pi.
+        for &t in &[-3.0f64, -0.5, 0.0, 0.7, 4.2] {
+            let expected = 0.5 + t.atan() / std::f64::consts::PI;
+            assert!((student_t_cdf(t, 1.0) - expected).abs() < 1e-10, "t={t}");
+        }
+    }
+
+    #[test]
+    fn classic_table_values() {
+        // (confidence two-sided, df, critical value) from standard tables.
+        let cases = [
+            (0.95, 1.0, 12.706),
+            (0.95, 2.0, 4.303),
+            (0.95, 5.0, 2.571),
+            (0.95, 10.0, 2.228),
+            (0.95, 30.0, 2.042),
+            (0.99, 10.0, 3.169),
+            (0.90, 20.0, 1.725),
+        ];
+        for (cl, df, expected) in cases {
+            let got = two_sided_critical_value(cl, df);
+            assert!(
+                (got - expected).abs() < 2e-3,
+                "cl={cl} df={df}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &df in &[2.0, 7.0, 25.0] {
+            for &p in &[0.01, 0.2, 0.5, 0.8, 0.975] {
+                let q = student_t_quantile(p, df);
+                assert!((student_t_cdf(q, df) - p).abs() < 1e-9, "df={df} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn large_dof_approaches_normal() {
+        // 97.5% normal quantile is 1.95996.
+        let q = student_t_quantile(0.975, 1e6);
+        assert!((q - 1.95996).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,1079 @@
+//! Communication substrate.
+//!
+//! FuPerMod proper is an MPI library; the repro band for this paper
+//! flags Rust MPI bindings as the thin spot, so instead of binding MPI
+//! we provide two interchangeable communicators:
+//!
+//! * [`SimComm`] — a *simulated* communicator with one virtual clock per
+//!   rank and a Hockney (`α + m/β`) link cost model. The heterogeneous
+//!   experiments run on this: computation advances a rank's clock by the
+//!   device model's time, communication advances clocks by the link
+//!   model's cost, and "application execution time" is the maximum
+//!   clock.
+//! * [`ThreadComm`] — a *real* in-process communicator built on
+//!   crossbeam channels and a barrier, used by the applications' real
+//!   (numerically verified) runs.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use serde::{Deserialize, Serialize};
+
+/// Hockney point-to-point link model: sending `m` bytes costs
+/// `latency + m / bandwidth` seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Per-message latency `α` in seconds.
+    pub latency_sec: f64,
+    /// Bandwidth `β` in bytes per second.
+    pub bytes_per_sec: f64,
+}
+
+impl LinkModel {
+    /// A link typical of gigabit Ethernet interconnects.
+    pub fn ethernet() -> Self {
+        Self {
+            latency_sec: 50e-6,
+            bytes_per_sec: 125e6,
+        }
+    }
+
+    /// A link typical of InfiniBand-class interconnects.
+    pub fn infiniband() -> Self {
+        Self {
+            latency_sec: 2e-6,
+            bytes_per_sec: 5e9,
+        }
+    }
+
+    /// Transfer cost of `bytes` bytes in seconds.
+    pub fn cost(&self, bytes: f64) -> f64 {
+        assert!(bytes >= 0.0, "cannot transfer a negative byte count");
+        self.latency_sec + bytes / self.bytes_per_sec
+    }
+}
+
+/// A two-level interconnect topology: ranks grouped into nodes, with a
+/// fast intra-node link and a slower inter-node link — the "complex
+/// hierarchy of heterogeneous computing devices" of the paper's target
+/// platforms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    node_of: Vec<usize>,
+    intra: LinkModel,
+    inter: LinkModel,
+}
+
+impl Topology {
+    /// A flat topology: every pair of ranks uses the same link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn flat(size: usize, link: LinkModel) -> Self {
+        assert!(size > 0, "topology needs at least one rank");
+        Self {
+            node_of: vec![0; size],
+            intra: link,
+            inter: link,
+        }
+    }
+
+    /// A two-level topology: `node_of[r]` names the node of rank `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_of` is empty.
+    pub fn two_level(node_of: Vec<usize>, intra: LinkModel, inter: LinkModel) -> Self {
+        assert!(!node_of.is_empty(), "topology needs at least one rank");
+        Self {
+            node_of,
+            intra,
+            inter,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// The link between two ranks (intra-node if co-located).
+    pub fn link(&self, a: usize, b: usize) -> LinkModel {
+        if self.node_of[a] == self.node_of[b] {
+            self.intra
+        } else {
+            self.inter
+        }
+    }
+
+    /// The slowest link any pair of ranks might use — the conservative
+    /// bound collectives are charged with.
+    pub fn worst_link(&self) -> LinkModel {
+        let crosses_nodes = self.node_of.iter().any(|&n| n != self.node_of[0]);
+        if crosses_nodes {
+            self.inter
+        } else {
+            self.intra
+        }
+    }
+}
+
+/// What a rank was doing during a [`TraceEvent`] interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activity {
+    /// Local computation (an [`SimComm::advance`]).
+    Compute,
+    /// Sending/receiving or waiting inside a communication operation.
+    Communication,
+    /// Waiting at a barrier.
+    Idle,
+}
+
+/// One interval of a rank's virtual timeline, recorded when tracing is
+/// enabled with [`SimComm::enable_trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// The rank whose timeline this interval belongs to.
+    pub rank: usize,
+    /// Interval start, in virtual seconds.
+    pub start: f64,
+    /// Interval end, in virtual seconds.
+    pub end: f64,
+    /// What the rank was doing.
+    pub activity: Activity,
+}
+
+/// Simulated message-passing world with per-rank virtual clocks.
+///
+/// All operations are driven from a single thread; "time" is virtual.
+/// Collective operations have synchronising semantics matching their
+/// MPI counterparts. With [`SimComm::enable_trace`] every clock
+/// movement is recorded as a [`TraceEvent`], yielding a Gantt-style
+/// timeline of the simulated run.
+///
+/// # Examples
+///
+/// ```
+/// use fupermod_platform::comm::{LinkModel, SimComm};
+///
+/// let mut comm = SimComm::new(4, LinkModel::ethernet());
+/// comm.advance(0, 1.0);      // rank 0 computes for 1 s
+/// comm.advance(1, 0.25);
+/// comm.barrier();            // everyone waits for rank 0
+/// assert_eq!(comm.time(2), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimComm {
+    clocks: Vec<f64>,
+    topo: Topology,
+    comm_seconds: f64,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl SimComm {
+    /// Creates a world of `size` ranks on a flat topology, all clocks
+    /// at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize, link: LinkModel) -> Self {
+        Self::with_topology(Topology::flat(size, link))
+    }
+
+    /// Creates a world over an explicit [`Topology`].
+    pub fn with_topology(topo: Topology) -> Self {
+        Self {
+            clocks: vec![0.0; topo.size()],
+            topo,
+            comm_seconds: 0.0,
+            trace: None,
+        }
+    }
+
+    /// Starts recording a [`TraceEvent`] timeline (clears any previous
+    /// trace).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded timeline, empty unless
+    /// [`enable_trace`](Self::enable_trace) was called.
+    pub fn trace(&self) -> &[TraceEvent] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Records one interval of `rank`'s timeline (no-op when tracing is
+    /// off or the interval is empty).
+    fn note(&mut self, rank: usize, start: f64, end: f64, activity: Activity) {
+        if end > start {
+            if let Some(trace) = &mut self.trace {
+                trace.push(TraceEvent {
+                    rank,
+                    start,
+                    end,
+                    activity,
+                });
+            }
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// The worst-case link model in force (used for collectives).
+    pub fn link(&self) -> LinkModel {
+        self.topo.worst_link()
+    }
+
+    /// The topology in force.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Virtual time of `rank`.
+    pub fn time(&self, rank: usize) -> f64 {
+        self.clocks[rank]
+    }
+
+    /// Maximum virtual time over all ranks — the application's makespan.
+    pub fn max_time(&self) -> f64 {
+        self.clocks.iter().fold(0.0, |m, c| m.max(*c))
+    }
+
+    /// Total virtual seconds spent inside communication operations,
+    /// summed over ranks (a communication-volume diagnostic).
+    pub fn comm_seconds(&self) -> f64 {
+        self.comm_seconds
+    }
+
+    /// Rank `rank` computes for `dt` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative or not finite.
+    pub fn advance(&mut self, rank: usize, dt: f64) {
+        assert!(dt.is_finite() && dt >= 0.0, "dt must be finite and >= 0");
+        let before = self.clocks[rank];
+        self.clocks[rank] += dt;
+        self.note(rank, before, before + dt, Activity::Compute);
+    }
+
+    /// Synchronises every rank to the latest clock.
+    pub fn barrier(&mut self) {
+        let max = self.max_time();
+        for r in 0..self.clocks.len() {
+            let before = self.clocks[r];
+            self.clocks[r] = max;
+            self.note(r, before, max, Activity::Idle);
+        }
+    }
+
+    /// Broadcast of `bytes` bytes from `root` along a binomial tree:
+    /// every rank ends at the root's send time plus
+    /// `ceil(log2 p)` worst-link costs (and no earlier than its own
+    /// clock).
+    pub fn bcast(&mut self, root: usize, bytes: f64) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        let rounds = (usize::BITS - (p - 1).leading_zeros()) as f64;
+        let arrival = self.clocks[root] + rounds * self.link().cost(bytes);
+        for r in 0..p {
+            let before = self.clocks[r];
+            if self.clocks[r] < arrival {
+                self.clocks[r] = arrival;
+                if r != root {
+                    self.comm_seconds += arrival - before;
+                }
+                self.note(r, before, arrival, Activity::Communication);
+            }
+        }
+    }
+
+    /// Point-to-point transfer of `bytes` bytes. The receiver cannot
+    /// finish before the sender has sent; the sender pays one latency
+    /// (eager send).
+    pub fn send(&mut self, src: usize, dst: usize, bytes: f64) {
+        if src == dst {
+            return;
+        }
+        let link = self.topo.link(src, dst);
+        let ready = self.clocks[src] + link.cost(bytes);
+        let src_before = self.clocks[src];
+        self.clocks[src] += link.latency_sec;
+        self.note(
+            src,
+            src_before,
+            src_before + link.latency_sec,
+            Activity::Communication,
+        );
+        let before = self.clocks[dst];
+        self.clocks[dst] = self.clocks[dst].max(ready);
+        self.comm_seconds += self.clocks[dst] - before;
+        let dst_after = self.clocks[dst];
+        self.note(dst, before, dst_after, Activity::Communication);
+    }
+
+    /// All-gather where rank `r` contributes `bytes[r]` bytes (ring
+    /// algorithm: `p-1` steps, each rank forwarding what it has).
+    /// Synchronising: all ranks finish together.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() != self.size()`.
+    pub fn allgatherv(&mut self, bytes: &[f64]) {
+        assert_eq!(bytes.len(), self.size(), "one contribution per rank");
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        let total: f64 = bytes.iter().sum();
+        let start = self.max_time();
+        // Ring: p-1 steps; per step the largest in-flight chunk bounds
+        // progress.
+        let worst_chunk = bytes.iter().fold(0.0_f64, |m, b| m.max(*b));
+        let finish = start + (p as f64 - 1.0) * self.link().cost(worst_chunk);
+        for r in 0..p {
+            let before = self.clocks[r];
+            self.comm_seconds += finish - before;
+            self.clocks[r] = finish;
+            self.note(r, before, finish, Activity::Communication);
+        }
+        let _ = total;
+    }
+
+    /// Scatter: `root` sends `bytes[r]` bytes to each rank `r` in rank
+    /// order (linear algorithm — the root's NIC serialises the sends).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() != self.size()`.
+    pub fn scatterv(&mut self, root: usize, bytes: &[f64]) {
+        assert_eq!(bytes.len(), self.size(), "one byte count per rank");
+        let root_before = self.clocks[root];
+        let mut send_clock = root_before;
+        for (r, &b) in bytes.iter().enumerate() {
+            if r == root {
+                continue;
+            }
+            send_clock += self.topo.link(root, r).cost(b);
+            let before = self.clocks[r];
+            self.clocks[r] = self.clocks[r].max(send_clock);
+            self.comm_seconds += self.clocks[r] - before;
+            let after = self.clocks[r];
+            self.note(r, before, after, Activity::Communication);
+        }
+        self.comm_seconds += send_clock - root_before;
+        self.clocks[root] = send_clock;
+        self.note(root, root_before, send_clock, Activity::Communication);
+    }
+
+    /// Gather: `root` receives `bytes[r]` bytes from each rank `r` in
+    /// rank order (linear algorithm). Senders pay a latency; the root
+    /// cannot receive a message before its sender has produced it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() != self.size()`.
+    pub fn gatherv(&mut self, root: usize, bytes: &[f64]) {
+        assert_eq!(bytes.len(), self.size(), "one byte count per rank");
+        let root_before = self.clocks[root];
+        let mut recv_clock = root_before;
+        for (r, &b) in bytes.iter().enumerate() {
+            if r == root {
+                continue;
+            }
+            let link = self.topo.link(root, r);
+            recv_clock = recv_clock.max(self.clocks[r]) + link.cost(b);
+            let before = self.clocks[r];
+            self.clocks[r] += link.latency_sec;
+            self.note(
+                r,
+                before,
+                before + link.latency_sec,
+                Activity::Communication,
+            );
+        }
+        self.comm_seconds += recv_clock - root_before;
+        self.clocks[root] = recv_clock;
+        self.note(root, root_before, recv_clock, Activity::Communication);
+    }
+
+    /// Reduction of `bytes`-sized contributions to `root` along a
+    /// binomial tree: the root finishes `ceil(log2 p)` worst-link costs
+    /// after the last contributor; non-roots pay one link cost.
+    pub fn reduce(&mut self, root: usize, bytes: f64) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        let rounds = (usize::BITS - (p - 1).leading_zeros()) as f64;
+        let cost = self.link().cost(bytes);
+        let finish = self.max_time() + rounds * cost;
+        for r in 0..p {
+            let before = self.clocks[r];
+            if r == root {
+                self.comm_seconds += finish - before;
+                self.clocks[r] = finish;
+            } else {
+                self.comm_seconds += cost;
+                self.clocks[r] += cost;
+            }
+            let after = self.clocks[r];
+            self.note(r, before, after, Activity::Communication);
+        }
+    }
+
+    /// All-reduce: a reduction to rank 0 followed by a broadcast.
+    pub fn allreduce(&mut self, bytes: f64) {
+        self.reduce(0, bytes);
+        self.bcast(0, bytes);
+    }
+
+    /// Moves computation units between ranks to turn distribution `old`
+    /// into `new`, with each unit weighing `bytes_per_unit` bytes.
+    /// Surpluses are matched to deficits in rank order (the same greedy
+    /// pairing the FuPerMod examples use). Returns the number of units
+    /// moved. Ranks proceed concurrently; each rank's clock advances by
+    /// the cost of its own sends plus receives, then everyone
+    /// synchronises (redistribution is a collective phase in the apps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two distributions have different lengths or totals.
+    pub fn redistribute(&mut self, old: &[u64], new: &[u64], bytes_per_unit: f64) -> u64 {
+        assert_eq!(old.len(), self.size(), "distribution size mismatch");
+        assert_eq!(new.len(), self.size(), "distribution size mismatch");
+        assert_eq!(
+            old.iter().sum::<u64>(),
+            new.iter().sum::<u64>(),
+            "redistribution must conserve units"
+        );
+
+        let mut surplus: VecDeque<(usize, u64)> = VecDeque::new();
+        let mut deficit: VecDeque<(usize, u64)> = VecDeque::new();
+        for r in 0..old.len() {
+            if old[r] > new[r] {
+                surplus.push_back((r, old[r] - new[r]));
+            } else if new[r] > old[r] {
+                deficit.push_back((r, new[r] - old[r]));
+            }
+        }
+
+        let mut moved = 0u64;
+        let mut busy = vec![0.0; self.size()];
+        let mut transfers = 0usize;
+        while let (Some(&(s, have)), Some(&(d, need))) = (surplus.front(), deficit.front()) {
+            let units = have.min(need);
+            let cost = self.topo.link(s, d).cost(units as f64 * bytes_per_unit);
+            busy[s] += cost;
+            busy[d] += cost;
+            moved += units;
+            transfers += 1;
+            if have == units {
+                surplus.pop_front();
+            } else {
+                surplus.front_mut().expect("non-empty").1 -= units;
+            }
+            if need == units {
+                deficit.pop_front();
+            } else {
+                deficit.front_mut().expect("non-empty").1 -= units;
+            }
+        }
+        let _ = transfers;
+
+        if moved > 0 {
+            let start = self.max_time();
+            let finish = busy
+                .iter()
+                .map(|b| start + b)
+                .fold(0.0_f64, f64::max);
+            for r in 0..self.clocks.len() {
+                let before = self.clocks[r];
+                self.comm_seconds += finish - before;
+                self.clocks[r] = finish;
+                self.note(r, before, finish, Activity::Communication);
+            }
+        }
+        moved
+    }
+}
+
+/// Message exchanged between [`ThreadComm`] handles.
+type Payload = Vec<f64>;
+
+/// Per-rank handle of the real in-process communicator.
+///
+/// Created in a set via [`ThreadComm::create`]; each handle is moved
+/// into its own worker thread. Supports the operations the applications
+/// need: barrier, broadcast, all-gather, and point-to-point exchange.
+#[derive(Debug)]
+pub struct ThreadComm {
+    rank: usize,
+    size: usize,
+    barrier: Arc<std::sync::Barrier>,
+    txs: Vec<Sender<(usize, Payload)>>,
+    rx: Receiver<(usize, Payload)>,
+    /// Messages that arrived while waiting for a different source.
+    pending: Vec<VecDeque<Payload>>,
+}
+
+impl ThreadComm {
+    /// Creates `size` connected handles, one per rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn create(size: usize) -> Vec<ThreadComm> {
+        assert!(size > 0, "communicator needs at least one rank");
+        let barrier = Arc::new(std::sync::Barrier::new(size));
+        let mut txs = Vec::with_capacity(size);
+        let mut rxs = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        rxs.into_iter()
+            .enumerate()
+            .map(|(rank, rx)| ThreadComm {
+                rank,
+                size,
+                barrier: Arc::clone(&barrier),
+                txs: txs.clone(),
+                rx,
+                pending: vec![VecDeque::new(); size],
+            })
+            .collect()
+    }
+
+    /// This handle's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Blocks until every rank has reached the barrier.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Sends `data` to `dst` (non-blocking, unbounded buffering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range or the destination has hung up.
+    pub fn send(&self, dst: usize, data: Vec<f64>) {
+        self.txs[dst]
+            .send((self.rank, data))
+            .expect("receiver hung up");
+    }
+
+    /// Receives the next message from `src`, buffering messages from
+    /// other sources until they are asked for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all senders hung up before a matching message arrived.
+    pub fn recv(&mut self, src: usize) -> Vec<f64> {
+        if let Some(msg) = self.pending[src].pop_front() {
+            return msg;
+        }
+        loop {
+            let (from, data) = self.rx.recv().expect("all senders hung up");
+            if from == src {
+                return data;
+            }
+            self.pending[from].push_back(data);
+        }
+    }
+
+    /// Broadcast: `root`'s `data` is distributed to every rank;
+    /// non-roots ignore their input value. Returns the broadcast data.
+    pub fn bcast(&mut self, root: usize, data: Vec<f64>) -> Vec<f64> {
+        if self.rank == root {
+            for dst in 0..self.size {
+                if dst != root {
+                    self.send(dst, data.clone());
+                }
+            }
+            data
+        } else {
+            self.recv(root)
+        }
+    }
+
+    /// All-gather of one f64 per rank; result is indexed by rank.
+    pub fn allgather(&mut self, value: f64) -> Vec<f64> {
+        for dst in 0..self.size {
+            if dst != self.rank {
+                self.send(dst, vec![value]);
+            }
+        }
+        let mut out = vec![0.0; self.size];
+        out[self.rank] = value;
+        let rank = self.rank;
+        let mut recv_into = |src: usize| self.recv(src)[0];
+        for (src, slot) in out.iter_mut().enumerate() {
+            if src != rank {
+                *slot = recv_into(src);
+            }
+        }
+        out
+    }
+
+    /// Scatter: rank `root` supplies one vector per rank (`chunks`,
+    /// indexed by rank; ignored elsewhere) and every rank receives its
+    /// chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics at the root if `chunks.len() != self.size()`.
+    pub fn scatterv(&mut self, root: usize, chunks: Vec<Vec<f64>>) -> Vec<f64> {
+        if self.rank == root {
+            assert_eq!(chunks.len(), self.size, "one chunk per rank");
+            let mut own = Vec::new();
+            for (dst, chunk) in chunks.into_iter().enumerate() {
+                if dst == root {
+                    own = chunk;
+                } else {
+                    self.send(dst, chunk);
+                }
+            }
+            own
+        } else {
+            self.recv(root)
+        }
+    }
+
+    /// Gather: every rank contributes `data`; the root returns
+    /// `Some(vec indexed by rank)`, other ranks return `None`.
+    pub fn gatherv(&mut self, root: usize, data: Vec<f64>) -> Option<Vec<Vec<f64>>> {
+        if self.rank == root {
+            let mut out = vec![Vec::new(); self.size];
+            for (src, slot) in out.iter_mut().enumerate() {
+                *slot = if src == root {
+                    data.clone()
+                } else {
+                    self.recv(src)
+                };
+            }
+            Some(out)
+        } else {
+            self.send(root, data);
+            None
+        }
+    }
+
+    /// Sum-reduction to `root`: returns `Some(total)` at the root,
+    /// `None` elsewhere.
+    pub fn reduce_sum(&mut self, root: usize, value: f64) -> Option<f64> {
+        self.gatherv(root, vec![value])
+            .map(|all| all.iter().map(|v| v[0]).sum())
+    }
+
+    /// Sum all-reduction: every rank returns the global sum.
+    pub fn allreduce_sum(&mut self, value: f64) -> f64 {
+        self.allgather(value).iter().sum()
+    }
+
+    /// All-gather of a variable-length vector per rank; result is
+    /// indexed by rank.
+    pub fn allgatherv(&mut self, data: Vec<f64>) -> Vec<Vec<f64>> {
+        for dst in 0..self.size {
+            if dst != self.rank {
+                self.send(dst, data.clone());
+            }
+        }
+        let mut out = vec![Vec::new(); self.size];
+        let rank = self.rank;
+        for (src, slot) in out.iter_mut().enumerate() {
+            *slot = if src == rank {
+                data.clone()
+            } else {
+                self.recv(src)
+            };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_cost_is_affine() {
+        let link = LinkModel {
+            latency_sec: 1e-3,
+            bytes_per_sec: 1e6,
+        };
+        assert!((link.cost(0.0) - 1e-3).abs() < 1e-15);
+        assert!((link.cost(1e6) - 1.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barrier_synchronises_to_max() {
+        let mut c = SimComm::new(3, LinkModel::ethernet());
+        c.advance(0, 5.0);
+        c.advance(2, 1.0);
+        c.barrier();
+        for r in 0..3 {
+            assert_eq!(c.time(r), 5.0);
+        }
+    }
+
+    #[test]
+    fn bcast_uses_logarithmic_rounds() {
+        let link = LinkModel {
+            latency_sec: 1.0,
+            bytes_per_sec: f64::INFINITY,
+        };
+        let mut c = SimComm::new(8, link);
+        c.bcast(0, 0.0);
+        // 8 ranks → 3 rounds of 1 s latency each.
+        for r in 0..8 {
+            assert_eq!(c.time(r), 3.0);
+        }
+    }
+
+    #[test]
+    fn bcast_does_not_rewind_late_ranks() {
+        let mut c = SimComm::new(2, LinkModel::ethernet());
+        c.advance(1, 100.0);
+        c.bcast(0, 1e6);
+        assert_eq!(c.time(1), 100.0);
+    }
+
+    #[test]
+    fn send_orders_receiver_after_sender() {
+        let link = LinkModel {
+            latency_sec: 0.5,
+            bytes_per_sec: 1e6,
+        };
+        let mut c = SimComm::new(2, link);
+        c.advance(0, 2.0);
+        c.send(0, 1, 1e6);
+        assert!((c.time(1) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn redistribute_conserves_and_charges_movers() {
+        let mut c = SimComm::new(3, LinkModel::ethernet());
+        let moved = c.redistribute(&[10, 0, 2], &[4, 6, 2], 8.0);
+        assert_eq!(moved, 6);
+        assert!(c.max_time() > 0.0);
+        // No change → no cost.
+        let t = c.max_time();
+        let moved = c.redistribute(&[4, 6, 2], &[4, 6, 2], 8.0);
+        assert_eq!(moved, 0);
+        assert_eq!(c.max_time(), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "conserve")]
+    fn redistribute_rejects_unit_loss() {
+        let mut c = SimComm::new(2, LinkModel::ethernet());
+        let _ = c.redistribute(&[3, 3], &[3, 2], 8.0);
+    }
+
+    #[test]
+    fn trace_records_compute_comm_and_idle() {
+        let mut c = SimComm::new(2, LinkModel::ethernet());
+        c.enable_trace();
+        c.advance(0, 1.0);
+        c.send(0, 1, 1e6);
+        c.barrier();
+        let trace = c.trace();
+        assert!(trace
+            .iter()
+            .any(|e| e.rank == 0 && e.activity == Activity::Compute));
+        assert!(trace
+            .iter()
+            .any(|e| e.rank == 1 && e.activity == Activity::Communication));
+        // Intervals are well-formed and within the clock range.
+        for e in trace {
+            assert!(e.end > e.start);
+            assert!(e.end <= c.max_time() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_is_off_by_default_and_cheap() {
+        let mut c = SimComm::new(2, LinkModel::ethernet());
+        c.advance(0, 1.0);
+        c.barrier();
+        assert!(c.trace().is_empty());
+    }
+
+    #[test]
+    fn per_rank_trace_is_time_ordered() {
+        let mut c = SimComm::new(3, LinkModel::ethernet());
+        c.enable_trace();
+        for i in 0..5 {
+            c.advance(i % 3, 0.5 + i as f64 * 0.1);
+            c.bcast(i % 3, 1e5);
+            c.barrier();
+        }
+        for rank in 0..3 {
+            let mut last_end = 0.0;
+            for e in c.trace().iter().filter(|e| e.rank == rank) {
+                assert!(e.start >= last_end - 1e-12, "overlap on rank {rank}");
+                last_end = e.end;
+            }
+        }
+    }
+
+    #[test]
+    fn thread_comm_barrier_and_allgather() {
+        let comms = ThreadComm::create(4);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|mut comm| {
+                std::thread::spawn(move || {
+                    comm.barrier();
+                    let gathered = comm.allgather(comm.rank() as f64 * 10.0);
+                    comm.barrier();
+                    gathered
+                })
+            })
+            .collect();
+        for h in handles {
+            let gathered = h.join().expect("worker panicked");
+            assert_eq!(gathered, vec![0.0, 10.0, 20.0, 30.0]);
+        }
+    }
+
+    #[test]
+    fn thread_comm_bcast_delivers_roots_data() {
+        let comms = ThreadComm::create(3);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|mut comm| {
+                std::thread::spawn(move || {
+                    let data = if comm.rank() == 1 {
+                        vec![1.0, 2.0, 3.0]
+                    } else {
+                        Vec::new()
+                    };
+                    comm.bcast(1, data)
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().expect("worker panicked"), vec![1.0, 2.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn thread_comm_p2p_is_fifo_and_source_matched() {
+        let mut comms = ThreadComm::create(2);
+        let c1 = comms.pop().expect("two handles");
+        let mut c0 = comms.pop().expect("two handles");
+        let t = std::thread::spawn(move || {
+            c1.send(0, vec![1.0]);
+            c1.send(0, vec![2.0]);
+        });
+        assert_eq!(c0.recv(1), vec![1.0]);
+        assert_eq!(c0.recv(1), vec![2.0]);
+        t.join().expect("worker panicked");
+    }
+
+    #[test]
+    fn thread_scatterv_distributes_chunks() {
+        let comms = ThreadComm::create(3);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|mut comm| {
+                std::thread::spawn(move || {
+                    let chunks = if comm.rank() == 0 {
+                        vec![vec![0.0], vec![1.0, 1.0], vec![2.0, 2.0, 2.0]]
+                    } else {
+                        Vec::new()
+                    };
+                    (comm.rank(), comm.scatterv(0, chunks))
+                })
+            })
+            .collect();
+        for h in handles {
+            let (rank, chunk) = h.join().expect("worker panicked");
+            assert_eq!(chunk, vec![rank as f64; rank + 1]);
+        }
+    }
+
+    #[test]
+    fn thread_gatherv_collects_at_root() {
+        let comms = ThreadComm::create(3);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|mut comm| {
+                std::thread::spawn(move || {
+                    let mine = vec![comm.rank() as f64 * 5.0];
+                    (comm.rank(), comm.gatherv(2, mine))
+                })
+            })
+            .collect();
+        for h in handles {
+            let (rank, gathered) = h.join().expect("worker panicked");
+            if rank == 2 {
+                let g = gathered.expect("root must receive");
+                assert_eq!(g, vec![vec![0.0], vec![5.0], vec![10.0]]);
+            } else {
+                assert!(gathered.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn thread_reductions_sum_correctly() {
+        let comms = ThreadComm::create(4);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|mut comm| {
+                std::thread::spawn(move || {
+                    let partial = (comm.rank() + 1) as f64;
+                    let reduced = comm.reduce_sum(0, partial);
+                    let all = comm.allreduce_sum(partial);
+                    (comm.rank(), reduced, all)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (rank, reduced, all) = h.join().expect("worker panicked");
+            assert_eq!(all, 10.0);
+            if rank == 0 {
+                assert_eq!(reduced, Some(10.0));
+            } else {
+                assert_eq!(reduced, None);
+            }
+        }
+    }
+
+    #[test]
+    fn allgatherv_returns_everyones_rows() {
+        let comms = ThreadComm::create(3);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|mut comm| {
+                std::thread::spawn(move || {
+                    let mine = vec![comm.rank() as f64; comm.rank() + 1];
+                    comm.allgatherv(mine)
+                })
+            })
+            .collect();
+        for h in handles {
+            let all = h.join().expect("worker panicked");
+            assert_eq!(all[0], vec![0.0]);
+            assert_eq!(all[1], vec![1.0, 1.0]);
+            assert_eq!(all[2], vec![2.0, 2.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn scatterv_serialises_at_the_root() {
+        let link = LinkModel {
+            latency_sec: 1.0,
+            bytes_per_sec: f64::INFINITY,
+        };
+        let mut c = SimComm::new(3, link);
+        c.scatterv(0, &[0.0, 10.0, 10.0]);
+        // Root sends to 1 then 2: arrivals at 1 s and 2 s.
+        assert_eq!(c.time(1), 1.0);
+        assert_eq!(c.time(2), 2.0);
+        assert_eq!(c.time(0), 2.0);
+    }
+
+    #[test]
+    fn gatherv_waits_for_slow_senders() {
+        let link = LinkModel {
+            latency_sec: 1.0,
+            bytes_per_sec: f64::INFINITY,
+        };
+        let mut c = SimComm::new(3, link);
+        c.advance(2, 10.0);
+        c.gatherv(0, &[0.0, 5.0, 5.0]);
+        // Rank 1's message arrives at 1 s; rank 2's at max(1, 10) + 1.
+        assert_eq!(c.time(0), 11.0);
+    }
+
+    #[test]
+    fn reduce_charges_logarithmic_rounds_to_root() {
+        let link = LinkModel {
+            latency_sec: 1.0,
+            bytes_per_sec: f64::INFINITY,
+        };
+        let mut c = SimComm::new(8, link);
+        c.reduce(3, 64.0);
+        assert_eq!(c.time(3), 3.0);
+        assert_eq!(c.time(0), 1.0);
+    }
+
+    #[test]
+    fn allreduce_is_reduce_plus_bcast() {
+        let link = LinkModel {
+            latency_sec: 1.0,
+            bytes_per_sec: f64::INFINITY,
+        };
+        let mut c = SimComm::new(4, link);
+        c.allreduce(8.0);
+        // 2 rounds reduce + 2 rounds bcast.
+        for r in 0..4 {
+            assert_eq!(c.time(r), 4.0, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn topology_distinguishes_intra_and_inter_node() {
+        let intra = LinkModel {
+            latency_sec: 1e-6,
+            bytes_per_sec: 1e10,
+        };
+        let inter = LinkModel {
+            latency_sec: 1e-3,
+            bytes_per_sec: 1e8,
+        };
+        // Ranks 0,1 on node 0; ranks 2,3 on node 1.
+        let topo = Topology::two_level(vec![0, 0, 1, 1], intra, inter);
+        assert_eq!(topo.link(0, 1), intra);
+        assert_eq!(topo.link(1, 2), inter);
+        assert_eq!(topo.worst_link(), inter);
+
+        let mut c = SimComm::with_topology(topo);
+        c.send(0, 1, 1e6); // intra: ~0.1 ms
+        let t_intra = c.time(1);
+        c.send(2, 3, 1e6); // also intra
+        c.send(0, 2, 1e6); // inter: ~10 ms
+        assert!(c.time(2) > 50.0 * t_intra);
+    }
+
+    #[test]
+    fn flat_topology_matches_plain_constructor() {
+        let link = LinkModel::ethernet();
+        let a = SimComm::new(4, link);
+        let b = SimComm::with_topology(Topology::flat(4, link));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sim_allgatherv_synchronises() {
+        let mut c = SimComm::new(4, LinkModel::ethernet());
+        c.advance(3, 2.0);
+        c.allgatherv(&[100.0, 100.0, 100.0, 100.0]);
+        let t = c.time(0);
+        assert!(t > 2.0);
+        for r in 0..4 {
+            assert_eq!(c.time(r), t);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Quickstart: benchmark two heterogeneous devices, build the three
+//! performance models, and compare the partitions each algorithm
+//! produces.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use fupermod::core::benchmark::Benchmark;
+use fupermod::core::kernel::DeviceKernel;
+use fupermod::core::model::{AkimaModel, ConstantModel, Model, PiecewiseModel};
+use fupermod::core::partition::{
+    ConstantPartitioner, EvenPartitioner, GeometricPartitioner, NumericalPartitioner,
+    Partitioner,
+};
+use fupermod::core::{CoreError, Precision};
+use fupermod::platform::{cluster, WorkloadProfile};
+
+/// One partitioning configuration: label, algorithm, and its models.
+type Run<'a> = (&'a str, Box<dyn Partitioner>, &'a Vec<&'a dyn Model>);
+
+fn main() -> Result<(), CoreError> {
+    // A fast and a slow CPU of a simulated dedicated cluster, running
+    // the paper's matrix-multiplication kernel (blocking factor 16).
+    let profile = WorkloadProfile::matrix_update(16);
+    let devices = [cluster::fast_cpu("fast0", 1), cluster::slow_cpu("slow0", 2)];
+    let total: u64 = 20_000;
+
+    // 1. Measure: a handful of statistically controlled benchmarks per
+    //    device.
+    let precision = Precision::default();
+    let bench = Benchmark::new(&precision);
+    let sizes = [100u64, 500, 2_000, 8_000, 16_000];
+
+    let mut cpms = Vec::new();
+    let mut pwls = Vec::new();
+    let mut akimas = Vec::new();
+    for dev in &devices {
+        let mut kernel = DeviceKernel::new(dev.clone(), profile.clone());
+        let mut cpm = ConstantModel::new();
+        let mut pwl = PiecewiseModel::new();
+        let mut akima = AkimaModel::new();
+        for &d in &sizes {
+            let point = bench.measure(&mut kernel, d)?;
+            println!(
+                "measured {:>6} units on {}: {:.4} s ({} reps, ±{:.2e})",
+                point.d,
+                dev.name(),
+                point.t,
+                point.reps,
+                point.ci
+            );
+            cpm.update(point)?;
+            pwl.update(point)?;
+            akima.update(point)?;
+        }
+        cpms.push(cpm);
+        pwls.push(pwl);
+        akimas.push(akima);
+    }
+
+    // 2. Model + 3. Partition: each algorithm with its natural model.
+    println!("\npartitioning {total} units between {} devices:", devices.len());
+    let cpm_refs: Vec<&dyn Model> = cpms.iter().map(|m| m as &dyn Model).collect();
+    let pwl_refs: Vec<&dyn Model> = pwls.iter().map(|m| m as &dyn Model).collect();
+    let akima_refs: Vec<&dyn Model> = akimas.iter().map(|m| m as &dyn Model).collect();
+
+    let runs: Vec<Run> = vec![
+        ("even        ", Box::new(EvenPartitioner), &cpm_refs),
+        ("constant    ", Box::new(ConstantPartitioner), &cpm_refs),
+        ("geometric   ", Box::new(GeometricPartitioner::default()), &pwl_refs),
+        ("numerical   ", Box::new(NumericalPartitioner::default()), &akima_refs),
+    ];
+    for (name, partitioner, models) in runs {
+        let dist = partitioner.partition(total, models)?;
+        let truth: Vec<f64> = dist
+            .sizes()
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| devices[i].ideal_time(d, &profile))
+            .collect();
+        println!(
+            "{name} -> sizes {:?}, predicted makespan {:.3} s, true times {:?}",
+            dist.sizes(),
+            dist.predicted_makespan(),
+            truth.iter().map(|t| format!("{t:.3}")).collect::<Vec<_>>()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerates every figure/experiment of the paper (see DESIGN.md's
+# index) into results/*.csv. Run from the repository root.
+set -euo pipefail
+
+OUT=${1:-results}
+mkdir -p "$OUT"
+
+BINS="fig2_interpolation fig3_partial_fpm fig4_jacobi_balancing \
+      exp1_partition_quality exp2_dynamic_cost exp3_matmul_speedup \
+      exp4_matrix2d_comm exp5_noise_sensitivity exp6_model_points \
+      exp7_hierarchy exp8_interpolation_error exp9_dynamic_matmul"
+
+cargo build --release -p fupermod-bench
+
+for bin in $BINS; do
+    echo "== $bin"
+    cargo run --release -q -p fupermod-bench --bin "$bin" \
+        > "$OUT/$bin.csv" 2> "$OUT/$bin.log" || {
+        echo "FAILED: $bin (see $OUT/$bin.log)"; exit 1;
+    }
+done
+echo "all experiments written to $OUT/"

@@ -1,0 +1,102 @@
+//! `fupermod_builder` — build full performance models offline and save
+//! them as point files, mirroring the original FuPerMod's model-builder
+//! utility. The saved files feed `fupermod_partitioner` for static
+//! data partitioning (the paper's "build the full models once, use them
+//! multiple times" workflow).
+//!
+//! ```text
+//! Usage: fupermod_builder [--platform NAME] [--seed S] [--block B]
+//!                         [--lo L --hi H --points N] [--out DIR]
+//!   --platform  uniform4 | two-speed | multicore | hybrid | grid (default: two-speed)
+//!   --seed      platform seed (default: 1)
+//!   --block     matmul blocking factor (default: 16)
+//!   --lo/--hi   size range in computation units (default: 16..65536)
+//!   --points    number of benchmark sizes (default: 14)
+//!   --out       output directory (default: ./models)
+//! ```
+
+use std::collections::HashMap;
+
+use fupermod::core::benchmark::Benchmark;
+use fupermod::core::kernel::DeviceKernel;
+use fupermod::core::model::{io, Model, PiecewiseModel};
+use fupermod::core::Precision;
+use fupermod::platform::{Platform, WorkloadProfile};
+
+fn parse_args() -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let key = flag.trim_start_matches("--").to_owned();
+        if let Some(value) = args.next() {
+            map.insert(key, value);
+        } else {
+            eprintln!("missing value for --{key}");
+            std::process::exit(2);
+        }
+    }
+    map
+}
+
+fn pick_platform(name: &str, seed: u64) -> Platform {
+    match name {
+        "uniform4" => Platform::uniform(4, seed),
+        "two-speed" => Platform::two_speed(2, 2, seed),
+        "multicore" => Platform::multicore_node(6, seed),
+        "hybrid" => Platform::hybrid_node(4, seed),
+        "grid" => Platform::grid_site(seed),
+        other => {
+            eprintln!("unknown platform '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let get = |k: &str, default: &str| args.get(k).cloned().unwrap_or_else(|| default.to_owned());
+
+    let platform = pick_platform(
+        &get("platform", "two-speed"),
+        get("seed", "1").parse().expect("seed must be an integer"),
+    );
+    let block: usize = get("block", "16").parse().expect("block must be an integer");
+    let lo: u64 = get("lo", "16").parse().expect("lo must be an integer");
+    let hi: u64 = get("hi", "65536").parse().expect("hi must be an integer");
+    let npoints: usize = get("points", "14").parse().expect("points must be an integer");
+    let out = std::path::PathBuf::from(get("out", "models"));
+
+    std::fs::create_dir_all(&out).expect("cannot create output directory");
+    let profile = WorkloadProfile::matrix_update(block);
+    let precision = Precision::thorough();
+    let bench = Benchmark::new(&precision);
+
+    // Geometric size grid.
+    let ratio = (hi as f64 / lo as f64).powf(1.0 / (npoints as f64 - 1.0));
+    let sizes: Vec<u64> = (0..npoints)
+        .map(|i| (lo as f64 * ratio.powi(i as i32)).round() as u64)
+        .collect();
+
+    for (rank, dev) in platform.devices().iter().enumerate() {
+        let mut kernel = DeviceKernel::new(dev.clone(), profile.clone());
+        let mut model = PiecewiseModel::new();
+        for &d in &sizes {
+            let point = bench.measure(&mut kernel, d).expect("benchmark failed");
+            model.update(point).expect("model update failed");
+        }
+        let path = out.join(format!("{rank:02}_{}.points", dev.name()));
+        io::save_model(&path, &model).expect("save failed");
+        println!(
+            "rank {rank} ({}): {} points -> {}",
+            dev.name(),
+            model.points().len(),
+            path.display()
+        );
+    }
+    println!(
+        "built models for platform '{}' ({} devices) into {}",
+        platform.name(),
+        platform.size(),
+        out.display()
+    );
+}

@@ -1,0 +1,125 @@
+//! `fupermod_partitioner` — load saved performance models and compute
+//! an optimal static distribution, mirroring the original FuPerMod's
+//! partitioning utility.
+//!
+//! ```text
+//! Usage: fupermod_partitioner --models DIR --total D
+//!                             [--algorithm even|constant|geometric|numerical]
+//!                             [--model cpm|linear|piecewise|akima]
+//!   --models     directory of *.points files (rank order = sorted name)
+//!   --total      workload in computation units
+//!   --algorithm  partitioning algorithm (default: geometric)
+//!   --model      model type built from the points (default: piecewise)
+//! ```
+
+use std::collections::HashMap;
+
+use fupermod::core::model::{
+    io, AkimaModel, ConstantModel, LinearModel, Model, PiecewiseModel,
+};
+use fupermod::core::partition::{
+    ConstantPartitioner, EvenPartitioner, GeometricPartitioner, NumericalPartitioner,
+    Partitioner,
+};
+
+fn parse_args() -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let key = flag.trim_start_matches("--").to_owned();
+        if let Some(value) = args.next() {
+            map.insert(key, value);
+        } else {
+            eprintln!("missing value for --{key}");
+            std::process::exit(2);
+        }
+    }
+    map
+}
+
+fn new_model(kind: &str) -> Box<dyn Model> {
+    match kind {
+        "cpm" => Box::new(ConstantModel::new()),
+        "linear" => Box::new(LinearModel::new()),
+        "piecewise" => Box::new(PiecewiseModel::new()),
+        "akima" => Box::new(AkimaModel::new()),
+        other => {
+            eprintln!("unknown model type '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn new_partitioner(kind: &str) -> Box<dyn Partitioner> {
+    match kind {
+        "even" => Box::new(EvenPartitioner),
+        "constant" => Box::new(ConstantPartitioner),
+        "geometric" => Box::new(GeometricPartitioner::default()),
+        "numerical" => Box::new(NumericalPartitioner::default()),
+        other => {
+            eprintln!("unknown algorithm '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let dir = args.get("models").map(std::path::PathBuf::from).unwrap_or_else(|| {
+        eprintln!("--models DIR is required");
+        std::process::exit(2);
+    });
+    let total: u64 = args
+        .get("total")
+        .unwrap_or_else(|| {
+            eprintln!("--total D is required");
+            std::process::exit(2);
+        })
+        .parse()
+        .expect("total must be an integer");
+    let model_kind = args.get("model").map(String::as_str).unwrap_or("piecewise");
+    let algo_kind = args
+        .get("algorithm")
+        .map(String::as_str)
+        .unwrap_or("geometric");
+
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("cannot read models directory")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "points"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        eprintln!("no *.points files in {}", dir.display());
+        std::process::exit(1);
+    }
+
+    let mut models: Vec<Box<dyn Model>> = Vec::with_capacity(files.len());
+    for path in &files {
+        let mut model = new_model(model_kind);
+        io::load_into_model(path, model.as_mut()).expect("load failed");
+        models.push(model);
+    }
+    let refs: Vec<&dyn Model> = models.iter().map(|m| m.as_ref()).collect();
+
+    let partitioner = new_partitioner(algo_kind);
+    let dist = partitioner
+        .partition(total, &refs)
+        .expect("partitioning failed");
+
+    println!("# rank  file  d  predicted_t");
+    for (rank, (part, path)) in dist.parts().iter().zip(&files).enumerate() {
+        println!(
+            "{rank} {} {} {:.6}",
+            path.file_name().expect("file name").to_string_lossy(),
+            part.d,
+            part.t
+        );
+    }
+    println!(
+        "# total {} / predicted makespan {:.6} s / predicted imbalance {:.4}",
+        dist.total_assigned(),
+        dist.predicted_makespan(),
+        dist.predicted_imbalance()
+    );
+}

@@ -1,0 +1,167 @@
+//! `fupermod_simulate` — run the heterogeneous applications on a
+//! simulated platform from the command line.
+//!
+//! ```text
+//! Usage: fupermod_simulate --app matmul|jacobi|heat
+//!                          [--platform NAME] [--seed S] [--size N]
+//!                          [--algorithm even|constant|geometric|numerical]
+//!   --app        which application to simulate
+//!   --platform   uniform4 | two-speed | multicore | hybrid | grid (default: two-speed)
+//!   --seed       platform/workload seed (default: 1)
+//!   --size       problem size: matmul = blocks per side (default 128),
+//!                jacobi/heat = rows (default 600)
+//!   --algorithm  partitioning algorithm (default: geometric)
+//!   --trace yes  (matmul only) dump the Gantt-style trace CSV to stderr
+//! ```
+
+use std::collections::HashMap;
+
+use fupermod::apps::heat::{run as heat_run, sine_mode, HeatConfig};
+use fupermod::apps::jacobi::{run as jacobi_run, JacobiConfig};
+use fupermod::apps::matmul::{
+    build_device_models, partition_areas, simulate, simulate_traced, MatMulConfig,
+};
+use fupermod::apps::workload::dominant_system;
+use fupermod::core::model::{AkimaModel, Model};
+use fupermod::core::partition::{
+    ConstantPartitioner, EvenPartitioner, GeometricPartitioner, NumericalPartitioner,
+    Partitioner,
+};
+use fupermod::core::Precision;
+use fupermod::platform::{LinkModel, Platform, WorkloadProfile};
+
+fn parse_args() -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let key = flag.trim_start_matches("--").to_owned();
+        if let Some(value) = args.next() {
+            map.insert(key, value);
+        } else {
+            eprintln!("missing value for --{key}");
+            std::process::exit(2);
+        }
+    }
+    map
+}
+
+fn pick_platform(name: &str, seed: u64) -> Platform {
+    match name {
+        "uniform4" => Platform::uniform(4, seed),
+        "two-speed" => Platform::two_speed(2, 2, seed),
+        "multicore" => Platform::multicore_node(6, seed),
+        "hybrid" => Platform::hybrid_node(4, seed),
+        "grid" => Platform::grid_site(seed),
+        other => {
+            eprintln!("unknown platform '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn pick_partitioner(name: &str) -> Box<dyn Partitioner> {
+    match name {
+        "even" => Box::new(EvenPartitioner),
+        "constant" => Box::new(ConstantPartitioner),
+        "geometric" => Box::new(GeometricPartitioner::default()),
+        "numerical" => Box::new(NumericalPartitioner::default()),
+        other => {
+            eprintln!("unknown algorithm '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let get = |k: &str, default: &str| args.get(k).cloned().unwrap_or_else(|| default.to_owned());
+    let app = get("app", "");
+    let seed: u64 = get("seed", "1").parse().expect("seed must be an integer");
+    let platform = pick_platform(&get("platform", "two-speed"), seed);
+    let algorithm = get("algorithm", "geometric");
+
+    match app.as_str() {
+        "matmul" => {
+            let n_blocks: u64 = get("size", "128").parse().expect("size must be an integer");
+            let cfg = MatMulConfig { n_blocks, block: 16 };
+            let profile = WorkloadProfile::matrix_update(cfg.block);
+            let max = (n_blocks * n_blocks / 2).max(32);
+            let models: Vec<AkimaModel> = build_device_models(
+                &platform,
+                &profile,
+                &[32, max / 64, max / 8, max],
+                &Precision::default(),
+            )
+            .expect("model build failed");
+            let refs: Vec<&dyn Model> = models.iter().map(|m| m as &dyn Model).collect();
+            let partitioner = pick_partitioner(&algorithm);
+            let areas = partition_areas(partitioner.as_ref(), n_blocks, &refs)
+                .expect("partition failed");
+            let want_trace = get("trace", "no") == "yes";
+            let report = if want_trace {
+                let (report, trace) =
+                    simulate_traced(&platform, &areas, &cfg).expect("simulation failed");
+                eprintln!("rank,start,end,activity");
+                for e in &trace {
+                    eprintln!("{},{:.6},{:.6},{:?}", e.rank, e.start, e.end, e.activity);
+                }
+                report
+            } else {
+                simulate(&platform, &areas, &cfg).expect("simulation failed")
+            };
+            println!("platform: {}", platform.name());
+            println!("areas: {areas:?}");
+            println!("total simulated time: {:.4} s", report.total_time);
+            println!("communication seconds: {:.4}", report.comm_seconds);
+            println!("half-perimeter sum: {}", report.half_perimeters);
+        }
+        "jacobi" => {
+            let n: usize = get("size", "600").parse().expect("size must be an integer");
+            let system = dominant_system(n, seed.wrapping_add(1));
+            let report = jacobi_run(
+                &system,
+                &platform,
+                pick_partitioner(&algorithm),
+                &JacobiConfig::default(),
+            )
+            .expect("jacobi run failed");
+            println!("platform: {}", platform.name());
+            println!(
+                "converged: {} in {} iterations, makespan {:.4} s",
+                report.converged,
+                report.iterations.len(),
+                report.makespan
+            );
+            if let Some(last) = report.iterations.last() {
+                println!("final row distribution: {:?}", last.sizes);
+            }
+        }
+        "heat" => {
+            let rows: usize = get("size", "600").parse().expect("size must be an integer");
+            let cfg = HeatConfig::default();
+            let initial = sine_mode(rows, cfg.cols);
+            let platform = platform.with_link(LinkModel::infiniband());
+            let report = heat_run(
+                &initial,
+                rows,
+                &platform,
+                pick_partitioner(&algorithm),
+                &cfg,
+            )
+            .expect("heat run failed");
+            println!("platform: {}", platform.name());
+            println!(
+                "{} steps, makespan {:.4} s",
+                report.steps.len(),
+                report.makespan
+            );
+            if let Some(last) = report.steps.last() {
+                println!("final row distribution: {:?}", last.sizes);
+            }
+        }
+        other => {
+            eprintln!("--app must be matmul, jacobi or heat (got '{other}')");
+            std::process::exit(2);
+        }
+    }
+}

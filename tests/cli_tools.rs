@@ -1,0 +1,109 @@
+//! Integration: the offline CLI utilities (`fupermod_builder`,
+//! `fupermod_partitioner`) work end to end through real files, the
+//! paper's "build models once, partition many times" workflow.
+
+use std::process::Command;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fupermod-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir failed");
+    dir
+}
+
+#[test]
+fn builder_then_partitioner_round_trip() {
+    let dir = temp_dir("roundtrip");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_fupermod_builder"))
+        .args([
+            "--platform",
+            "two-speed",
+            "--seed",
+            "3",
+            "--lo",
+            "64",
+            "--hi",
+            "16384",
+            "--points",
+            "8",
+            "--out",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("builder failed to launch");
+    assert!(
+        out.status.success(),
+        "builder failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Four .points files, one per device.
+    let files: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "points"))
+        .collect();
+    assert_eq!(files.len(), 4, "expected 4 model files");
+
+    for algorithm in ["even", "constant", "geometric", "numerical"] {
+        let model = match algorithm {
+            "constant" => "cpm",
+            "numerical" => "akima",
+            _ => "piecewise",
+        };
+        let out = Command::new(env!("CARGO_BIN_EXE_fupermod_partitioner"))
+            .args(["--models"])
+            .arg(&dir)
+            .args([
+                "--total",
+                "50000",
+                "--algorithm",
+                algorithm,
+                "--model",
+                model,
+            ])
+            .output()
+            .expect("partitioner failed to launch");
+        assert!(
+            out.status.success(),
+            "partitioner({algorithm}) failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("total 50000"),
+            "{algorithm}: units not conserved:\n{stdout}"
+        );
+        // Four rank rows.
+        let rows = stdout
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+            .count();
+        assert_eq!(rows, 4, "{algorithm}: expected 4 rank rows:\n{stdout}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn partitioner_reports_missing_inputs() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fupermod_partitioner"))
+        .output()
+        .expect("partitioner failed to launch");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--models"), "unhelpful error: {stderr}");
+}
+
+#[test]
+fn partitioner_rejects_empty_model_dir() {
+    let dir = temp_dir("empty");
+    let out = Command::new(env!("CARGO_BIN_EXE_fupermod_partitioner"))
+        .args(["--models"])
+        .arg(&dir)
+        .args(["--total", "100"])
+        .output()
+        .expect("partitioner failed to launch");
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,73 @@
+//! Integration: every simulated path is bit-for-bit reproducible under
+//! fixed seeds — the property that makes the experiment suite
+//! trustworthy — and distinct seeds actually change the noise.
+
+use fupermod::apps::matmul::{simulate, MatMulConfig};
+use fupermod::core::benchmark::Benchmark;
+use fupermod::core::kernel::DeviceKernel;
+use fupermod::core::Precision;
+use fupermod::platform::{cluster, Device, Platform, WorkloadProfile};
+
+#[test]
+fn benchmark_points_are_reproducible() {
+    let profile = WorkloadProfile::matrix_update(16);
+    let run = || {
+        let mut kernel = DeviceKernel::new(cluster::fast_cpu("c", 9), profile.clone());
+        Benchmark::new(&Precision::default())
+            .measure(&mut kernel, 1234)
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_give_different_noise() {
+    let profile = WorkloadProfile::matrix_update(16);
+    let t = |seed: u64| {
+        cluster::fast_cpu("c", seed).measured_time(1000, &profile, 0)
+    };
+    assert_ne!(t(1), t(2));
+}
+
+#[test]
+fn noise_does_not_change_the_ideal_time() {
+    let profile = WorkloadProfile::matrix_update(16);
+    let a = cluster::fast_cpu("c", 1);
+    let b = cluster::fast_cpu("c", 2);
+    assert_eq!(a.ideal_time(5000, &profile), b.ideal_time(5000, &profile));
+}
+
+#[test]
+fn simulated_matmul_is_reproducible() {
+    let run = || {
+        let platform = Platform::grid_site(7);
+        let p = platform.size() as u64;
+        let cfg = MatMulConfig {
+            n_blocks: 48,
+            block: 16,
+        };
+        let total = cfg.n_blocks * cfg.n_blocks;
+        let areas: Vec<u64> = (0..p).map(|i| total / p + u64::from(i < total % p)).collect();
+        simulate(&platform, &areas, &cfg).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.total_time, b.total_time);
+    assert_eq!(a.comm_seconds, b.comm_seconds);
+    assert_eq!(a.iter_compute_times, b.iter_compute_times);
+}
+
+#[test]
+fn device_clone_preserves_noise_stream() {
+    let profile = WorkloadProfile::matrix_update(16);
+    let dev = cluster::slow_cpu("s", 5);
+    let clone: Device = dev.clone();
+    for run in 0..5 {
+        assert_eq!(
+            dev.measured_time(777, &profile, run),
+            clone.measured_time(777, &profile, run)
+        );
+    }
+}

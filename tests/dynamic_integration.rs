@@ -1,0 +1,128 @@
+//! Integration: dynamic data partitioning with partial models against
+//! simulated devices — the Fig. 3 behaviour, plus cost accounting.
+
+use fupermod::core::benchmark::Benchmark;
+use fupermod::core::dynamic::DynamicContext;
+use fupermod::core::kernel::DeviceKernel;
+use fupermod::core::model::{AkimaModel, Model, PiecewiseModel};
+use fupermod::core::partition::{GeometricPartitioner, NumericalPartitioner};
+use fupermod::core::{CoreError, Point, Precision};
+use fupermod::platform::{Platform, WorkloadProfile};
+
+fn measure_on<'a>(
+    platform: &'a Platform,
+    profile: &WorkloadProfile,
+) -> impl FnMut(usize, u64) -> Result<Point, CoreError> + 'a {
+    let profile = profile.clone();
+    move |rank, d| {
+        let mut kernel = DeviceKernel::new(platform.device(rank).clone(), profile.clone());
+        Benchmark::new(&Precision::quick()).measure(&mut kernel, d)
+    }
+}
+
+fn ground_truth_imbalance(platform: &Platform, profile: &WorkloadProfile, sizes: &[u64]) -> f64 {
+    let times: Vec<f64> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| platform.device(i).ideal_time(d, profile))
+        .collect();
+    fupermod::core::partition::Distribution::imbalance_of(&times)
+}
+
+#[test]
+fn dynamic_partitioning_reaches_near_balance_quickly() {
+    let platform = Platform::two_speed(2, 2, 81);
+    let profile = WorkloadProfile::matrix_update(16);
+    let models: Vec<Box<dyn Model>> = (0..platform.size())
+        .map(|_| Box::new(PiecewiseModel::new()) as Box<dyn Model>)
+        .collect();
+    let mut ctx = DynamicContext::new(
+        Box::new(GeometricPartitioner::default()),
+        models,
+        40_000,
+        0.05,
+    );
+    let steps = ctx
+        .run_to_balance(measure_on(&platform, &profile), 20)
+        .unwrap();
+    assert!(
+        steps.len() <= 10,
+        "dynamic partitioning took {} steps",
+        steps.len()
+    );
+    let truth = ground_truth_imbalance(&platform, &profile, &ctx.dist().sizes());
+    assert!(truth < 0.25, "ground-truth imbalance {truth}");
+}
+
+#[test]
+fn dynamic_with_akima_and_newton_works_too() {
+    let platform = Platform::two_speed(1, 2, 82);
+    let profile = WorkloadProfile::matrix_update(16);
+    let models: Vec<Box<dyn Model>> = (0..platform.size())
+        .map(|_| Box::new(AkimaModel::new()) as Box<dyn Model>)
+        .collect();
+    let mut ctx = DynamicContext::new(
+        Box::new(NumericalPartitioner::default()),
+        models,
+        20_000,
+        0.05,
+    );
+    let steps = ctx
+        .run_to_balance(measure_on(&platform, &profile), 25)
+        .unwrap();
+    assert!(steps.last().unwrap().converged || steps.len() == 25);
+    let truth = ground_truth_imbalance(&platform, &profile, &ctx.dist().sizes());
+    assert!(truth < 0.3, "ground-truth imbalance {truth}");
+}
+
+#[test]
+fn partial_models_stay_small() {
+    // The whole point of the dynamic scheme: only a handful of points
+    // per process, not a full sweep.
+    let platform = Platform::two_speed(2, 2, 83);
+    let profile = WorkloadProfile::matrix_update(16);
+    let models: Vec<Box<dyn Model>> = (0..platform.size())
+        .map(|_| Box::new(PiecewiseModel::new()) as Box<dyn Model>)
+        .collect();
+    let mut ctx = DynamicContext::new(
+        Box::new(GeometricPartitioner::default()),
+        models,
+        30_000,
+        0.05,
+    );
+    let steps = ctx
+        .run_to_balance(measure_on(&platform, &profile), 20)
+        .unwrap();
+    for model in ctx.models() {
+        assert!(
+            model.points().len() <= steps.len(),
+            "model has {} points after {} steps",
+            model.points().len(),
+            steps.len()
+        );
+    }
+}
+
+#[test]
+fn imbalance_trend_is_downward() {
+    let platform = Platform::grid_site(84);
+    let profile = WorkloadProfile::matrix_update(16);
+    let models: Vec<Box<dyn Model>> = (0..platform.size())
+        .map(|_| Box::new(PiecewiseModel::new()) as Box<dyn Model>)
+        .collect();
+    let mut ctx = DynamicContext::new(
+        Box::new(GeometricPartitioner::default()),
+        models,
+        100_000,
+        0.02,
+    );
+    let steps = ctx
+        .run_to_balance(measure_on(&platform, &profile), 15)
+        .unwrap();
+    let first = steps.first().unwrap().imbalance;
+    let last = steps.last().unwrap().imbalance;
+    assert!(
+        last < first,
+        "imbalance did not improve: first {first}, last {last}"
+    );
+}

@@ -1,0 +1,173 @@
+//! End-to-end integration: measurement → models → partitioning, across
+//! crate boundaries, on simulated heterogeneous platforms.
+
+use fupermod::core::benchmark::Benchmark;
+use fupermod::core::kernel::DeviceKernel;
+use fupermod::core::model::{AkimaModel, ConstantModel, Model, PiecewiseModel};
+use fupermod::core::partition::{
+    ConstantPartitioner, EvenPartitioner, GeometricPartitioner, NumericalPartitioner,
+    Partitioner,
+};
+use fupermod::core::Precision;
+use fupermod::platform::{Platform, WorkloadProfile};
+
+fn build_all_models(
+    platform: &Platform,
+    profile: &WorkloadProfile,
+    sizes: &[u64],
+) -> (Vec<ConstantModel>, Vec<PiecewiseModel>, Vec<AkimaModel>) {
+    let bench_precision = Precision::default();
+    let bench = Benchmark::new(&bench_precision);
+    let mut cpms = Vec::new();
+    let mut pwls = Vec::new();
+    let mut akimas = Vec::new();
+    for dev in platform.devices() {
+        let mut kernel = DeviceKernel::new(dev.clone(), profile.clone());
+        let mut cpm = ConstantModel::new();
+        let mut pwl = PiecewiseModel::new();
+        let mut akima = AkimaModel::new();
+        for &d in sizes {
+            let point = bench.measure(&mut kernel, d).expect("benchmark failed");
+            cpm.update(point).unwrap();
+            pwl.update(point).unwrap();
+            akima.update(point).unwrap();
+        }
+        cpms.push(cpm);
+        pwls.push(pwl);
+        akimas.push(akima);
+    }
+    (cpms, pwls, akimas)
+}
+
+fn ground_truth_makespan(platform: &Platform, profile: &WorkloadProfile, sizes: &[u64]) -> f64 {
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| platform.device(i).ideal_time(d, profile))
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn all_partitioners_conserve_units_on_every_testbed() {
+    let profile = WorkloadProfile::matrix_update(16);
+    let testbeds = [
+        Platform::uniform(3, 1),
+        Platform::two_speed(2, 2, 2),
+        Platform::multicore_node(4, 3),
+        Platform::hybrid_node(3, 4),
+        Platform::grid_site(5),
+    ];
+    for platform in &testbeds {
+        let (cpms, pwls, akimas) =
+            build_all_models(platform, &profile, &[64, 512, 4096, 16384]);
+        let total = 30_000u64;
+        let cpm_refs: Vec<&dyn Model> = cpms.iter().map(|m| m as &dyn Model).collect();
+        let pwl_refs: Vec<&dyn Model> = pwls.iter().map(|m| m as &dyn Model).collect();
+        let akima_refs: Vec<&dyn Model> = akimas.iter().map(|m| m as &dyn Model).collect();
+
+        for (name, dist) in [
+            ("even", EvenPartitioner.partition(total, &cpm_refs).unwrap()),
+            ("cpm", ConstantPartitioner.partition(total, &cpm_refs).unwrap()),
+            (
+                "geometric",
+                GeometricPartitioner::default()
+                    .partition(total, &pwl_refs)
+                    .unwrap(),
+            ),
+            (
+                "numerical",
+                NumericalPartitioner::default()
+                    .partition(total, &akima_refs)
+                    .unwrap(),
+            ),
+        ] {
+            assert_eq!(
+                dist.total_assigned(),
+                total,
+                "{name} lost units on {}",
+                platform.name()
+            );
+            assert_eq!(dist.size(), platform.size());
+        }
+    }
+}
+
+#[test]
+fn model_based_partitioning_beats_even_on_heterogeneous_platforms() {
+    let profile = WorkloadProfile::matrix_update(16);
+    let platform = Platform::two_speed(2, 2, 11);
+    let (cpms, pwls, akimas) = build_all_models(&platform, &profile, &[64, 512, 4096, 16384]);
+    let total = 40_000u64;
+
+    let cpm_refs: Vec<&dyn Model> = cpms.iter().map(|m| m as &dyn Model).collect();
+    let pwl_refs: Vec<&dyn Model> = pwls.iter().map(|m| m as &dyn Model).collect();
+    let akima_refs: Vec<&dyn Model> = akimas.iter().map(|m| m as &dyn Model).collect();
+
+    let even = EvenPartitioner.partition(total, &cpm_refs).unwrap();
+    let geo = GeometricPartitioner::default()
+        .partition(total, &pwl_refs)
+        .unwrap();
+    let num = NumericalPartitioner::default()
+        .partition(total, &akima_refs)
+        .unwrap();
+
+    let even_ms = ground_truth_makespan(&platform, &profile, &even.sizes());
+    let geo_ms = ground_truth_makespan(&platform, &profile, &geo.sizes());
+    let num_ms = ground_truth_makespan(&platform, &profile, &num.sizes());
+
+    assert!(geo_ms < even_ms, "geometric {geo_ms} !< even {even_ms}");
+    assert!(num_ms < even_ms, "numerical {num_ms} !< even {even_ms}");
+}
+
+#[test]
+fn fpm_partitioning_handles_gpu_memory_cliff_better_than_cpm() {
+    let profile = WorkloadProfile::matrix_update(16);
+    let platform = Platform::hybrid_node(4, 21);
+    // Model sizes span the GPU memory boundary (~43k units).
+    let (cpms, _, akimas) =
+        build_all_models(&platform, &profile, &[512, 4096, 16384, 40_000, 80_000]);
+    // Big enough that the CPM's proportional share overflows the GPU.
+    let total = 250_000u64;
+
+    let cpm_refs: Vec<&dyn Model> = cpms.iter().map(|m| m as &dyn Model).collect();
+    let akima_refs: Vec<&dyn Model> = akimas.iter().map(|m| m as &dyn Model).collect();
+    let cpm = ConstantPartitioner.partition(total, &cpm_refs).unwrap();
+    let fpm = NumericalPartitioner::default()
+        .partition(total, &akima_refs)
+        .unwrap();
+
+    let cpm_ms = ground_truth_makespan(&platform, &profile, &cpm.sizes());
+    let fpm_ms = ground_truth_makespan(&platform, &profile, &fpm.sizes());
+    assert!(
+        fpm_ms < cpm_ms,
+        "FPM ({fpm_ms}) should beat CPM ({cpm_ms}) past the GPU memory cliff"
+    );
+}
+
+#[test]
+fn predicted_times_are_equalised_by_fpm_algorithms() {
+    let profile = WorkloadProfile::matrix_update(16);
+    let platform = Platform::grid_site(31);
+    let (_, pwls, akimas) = build_all_models(&platform, &profile, &[64, 512, 4096, 16384]);
+    let total = 60_000u64;
+
+    let pwl_refs: Vec<&dyn Model> = pwls.iter().map(|m| m as &dyn Model).collect();
+    let geo = GeometricPartitioner::default()
+        .partition(total, &pwl_refs)
+        .unwrap();
+    assert!(
+        geo.predicted_imbalance() < 0.05,
+        "geometric predicted imbalance {}",
+        geo.predicted_imbalance()
+    );
+
+    let akima_refs: Vec<&dyn Model> = akimas.iter().map(|m| m as &dyn Model).collect();
+    let num = NumericalPartitioner::default()
+        .partition(total, &akima_refs)
+        .unwrap();
+    assert!(
+        num.predicted_imbalance() < 0.05,
+        "numerical predicted imbalance {}",
+        num.predicted_imbalance()
+    );
+}

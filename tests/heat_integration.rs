@@ -1,0 +1,125 @@
+//! Integration: the heat-diffusion application across crates —
+//! physics, balancing, and makespan on simulated heterogeneous
+//! platforms.
+
+use fupermod::apps::heat::{run, sine_mode, sine_mode_decay, HeatConfig};
+use fupermod::core::partition::{Distribution, GeometricPartitioner, NumericalPartitioner};
+use fupermod::platform::{LinkModel, Platform};
+
+#[test]
+fn physics_is_exact_on_the_grid_site() {
+    let (rows, cols) = (64, 32);
+    let cfg = HeatConfig {
+        cols,
+        nu: 0.2,
+        steps: 15,
+        eps_balance: 0.05,
+        balance: true,
+    };
+    let initial = sine_mode(rows, cols);
+    let platform = Platform::grid_site(90);
+    let report = run(
+        &initial,
+        rows,
+        &platform,
+        Box::new(GeometricPartitioner::default()),
+        &cfg,
+    )
+    .unwrap();
+    let decay = sine_mode_decay(rows, cols, cfg.nu).powi(cfg.steps as i32);
+    for (got, init) in report.grid.iter().zip(&initial) {
+        assert!((got - init * decay).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn balancing_reduces_step_imbalance() {
+    let (rows, cols) = (600, 1024);
+    let initial = sine_mode(rows, cols);
+    let platform = Platform::two_speed(1, 2, 91).with_link(LinkModel::infiniband());
+    let report = run(
+        &initial,
+        rows,
+        &platform,
+        Box::new(NumericalPartitioner::default()),
+        &HeatConfig {
+            cols,
+            nu: 0.25,
+            steps: 20,
+            eps_balance: 0.05,
+            balance: true,
+        },
+    )
+    .unwrap();
+    let first = Distribution::imbalance_of(&report.steps[0].compute_times);
+    let last = Distribution::imbalance_of(&report.steps.last().unwrap().compute_times);
+    assert!(
+        last < 0.6 * first,
+        "imbalance did not improve: {first} -> {last}"
+    );
+}
+
+#[test]
+fn balanced_beats_fixed_even_in_makespan() {
+    let (rows, cols) = (600, 1024);
+    let initial = sine_mode(rows, cols);
+    let platform = Platform::two_speed(1, 3, 92).with_link(LinkModel::infiniband());
+    let mk = |balance: bool| {
+        run(
+            &initial,
+            rows,
+            &platform,
+            Box::new(GeometricPartitioner::default()),
+            &HeatConfig {
+                cols,
+                nu: 0.2,
+                steps: 30,
+                eps_balance: 0.05,
+                balance,
+            },
+        )
+        .unwrap()
+    };
+    let balanced = mk(true);
+    let even = mk(false);
+    assert!(
+        balanced.makespan < even.makespan,
+        "balanced {} vs even {}",
+        balanced.makespan,
+        even.makespan
+    );
+    // Identical physics either way.
+    for (a, b) in balanced.grid.iter().zip(&even.grid) {
+        assert!((a - b).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn heat_runs_are_deterministic() {
+    let (rows, cols) = (80, 64);
+    let initial = sine_mode(rows, cols);
+    let mk = || {
+        let platform = Platform::two_speed(2, 2, 93);
+        run(
+            &initial,
+            rows,
+            &platform,
+            Box::new(GeometricPartitioner::default()),
+            &HeatConfig {
+                cols,
+                nu: 0.2,
+                steps: 12,
+                eps_balance: 0.05,
+                balance: true,
+            },
+        )
+        .unwrap()
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.grid, b.grid);
+    for (ra, rb) in a.steps.iter().zip(&b.steps) {
+        assert_eq!(ra.sizes, rb.sizes);
+    }
+}

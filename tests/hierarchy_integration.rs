@@ -1,0 +1,109 @@
+//! Integration: two-level hierarchical partitioning against simulated
+//! platforms, compared with flat partitioning ground truth.
+
+use fupermod::apps::matmul::build_device_models;
+use fupermod::core::hierarchy::{partition_hierarchical, AggregateModel};
+use fupermod::core::model::{Model, PiecewiseModel};
+use fupermod::core::partition::{GeometricPartitioner, Partitioner};
+use fupermod::core::Precision;
+use fupermod::platform::{cluster, LinkModel, Platform, WorkloadProfile};
+
+fn three_node_platform(seed: u64) -> Platform {
+    Platform::new(
+        "three-nodes",
+        vec![
+            cluster::fast_cpu("n0c0", seed),
+            cluster::fast_cpu("n0c1", seed + 1),
+            cluster::slow_cpu("n1c0", seed + 2),
+            cluster::slow_cpu("n1c1", seed + 3),
+            cluster::fast_cpu("n2c0", seed + 4),
+            cluster::slow_cpu("n2c1", seed + 5),
+        ],
+        LinkModel::ethernet(),
+    )
+}
+
+fn build_models(platform: &Platform) -> Vec<PiecewiseModel> {
+    let profile = WorkloadProfile::matrix_update(16);
+    build_device_models(platform, &profile, &[64, 512, 4096, 32768], &Precision::default())
+        .expect("model build failed")
+}
+
+#[test]
+fn hierarchical_matches_flat_makespan_within_tolerance() {
+    let platform = three_node_platform(40);
+    let profile = WorkloadProfile::matrix_update(16);
+    let models = build_models(&platform);
+    let refs: Vec<&dyn Model> = models.iter().map(|m| m as &dyn Model).collect();
+    let groups: Vec<Vec<&dyn Model>> = vec![
+        vec![refs[0], refs[1]],
+        vec![refs[2], refs[3]],
+        vec![refs[4], refs[5]],
+    ];
+    let total = 60_000u64;
+
+    let flat = GeometricPartitioner::default()
+        .partition(total, &refs)
+        .unwrap();
+    let hier = partition_hierarchical(
+        total,
+        &groups,
+        &GeometricPartitioner::default(),
+        &GeometricPartitioner::default(),
+    )
+    .unwrap();
+    assert_eq!(hier.total_assigned(), total);
+
+    let makespan = |sizes: &[u64]| {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| platform.device(i).ideal_time(d, &profile))
+            .fold(0.0_f64, f64::max)
+    };
+    let flat_ms = makespan(&flat.sizes());
+    let hier_ms = makespan(&hier.flat_sizes());
+    assert!(
+        (hier_ms - flat_ms).abs() / flat_ms < 0.1,
+        "flat {flat_ms} vs hierarchical {hier_ms}"
+    );
+}
+
+#[test]
+fn aggregate_model_time_is_monotone() {
+    let platform = three_node_platform(41);
+    let models = build_models(&platform);
+    let refs: Vec<&dyn Model> = models[..2].iter().map(|m| m as &dyn Model).collect();
+    let agg = AggregateModel::new(refs).unwrap();
+    let mut last = 0.0;
+    for i in 1..=30 {
+        let x = i as f64 * 2000.0;
+        let t = agg.time(x).expect("aggregate time");
+        assert!(t >= last - 1e-9, "aggregate time decreased at {x}");
+        last = t;
+    }
+}
+
+#[test]
+fn hierarchy_works_with_unbalanced_group_sizes() {
+    let platform = three_node_platform(42);
+    let models = build_models(&platform);
+    let refs: Vec<&dyn Model> = models.iter().map(|m| m as &dyn Model).collect();
+    // Groups of 1, 2 and 3 members.
+    let groups: Vec<Vec<&dyn Model>> = vec![
+        vec![refs[0]],
+        vec![refs[1], refs[2]],
+        vec![refs[3], refs[4], refs[5]],
+    ];
+    let hier = partition_hierarchical(
+        30_000,
+        &groups,
+        &GeometricPartitioner::default(),
+        &GeometricPartitioner::default(),
+    )
+    .unwrap();
+    assert_eq!(hier.total_assigned(), 30_000);
+    assert_eq!(hier.group_dists[0].size(), 1);
+    assert_eq!(hier.group_dists[1].size(), 2);
+    assert_eq!(hier.group_dists[2].size(), 3);
+}

@@ -1,0 +1,145 @@
+//! Integration: the matrix-multiplication application computes correct
+//! products under every partitioning strategy, and the simulated runs
+//! show the expected heterogeneous behaviour.
+
+use fupermod::apps::matmul::{
+    build_device_models, partition_areas, run_threaded, simulate, MatMulConfig,
+};
+use fupermod::apps::workload::{random_matrix, DenseMatrix};
+use fupermod::core::model::{AkimaModel, Model, PiecewiseModel};
+use fupermod::core::partition::{GeometricPartitioner, NumericalPartitioner};
+use fupermod::core::Precision;
+use fupermod::kernels::gemm::gemm_blocked;
+use fupermod::platform::{Platform, WorkloadProfile};
+
+fn serial_product(a: &DenseMatrix, b: &DenseMatrix) -> Vec<f64> {
+    let n = a.rows;
+    let mut c = vec![0.0; n * n];
+    gemmref(n, &a.data, &b.data, &mut c);
+    c
+}
+
+fn gemmref(n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    gemm_blocked(n, n, n, a, b, c);
+}
+
+#[test]
+fn threaded_product_is_correct_for_model_derived_areas() {
+    let block = 8usize;
+    let n_blocks = 10u64;
+    let platform = Platform::two_speed(2, 1, 41);
+    let profile = WorkloadProfile::matrix_update(block);
+
+    // Models from simulated benchmarking; areas from both FPM
+    // partitioners.
+    let pwls: Vec<PiecewiseModel> =
+        build_device_models(&platform, &profile, &[4, 16, 64, 100], &Precision::quick())
+            .unwrap();
+    let akimas: Vec<AkimaModel> =
+        build_device_models(&platform, &profile, &[4, 16, 64, 100], &Precision::quick())
+            .unwrap();
+    let pwl_refs: Vec<&dyn Model> = pwls.iter().map(|m| m as &dyn Model).collect();
+    let akima_refs: Vec<&dyn Model> = akimas.iter().map(|m| m as &dyn Model).collect();
+
+    let n = n_blocks as usize * block;
+    let a = random_matrix(n, n, 7);
+    let b = random_matrix(n, n, 8);
+    let reference = serial_product(&a, &b);
+
+    for (name, areas) in [
+        (
+            "geometric",
+            partition_areas(&GeometricPartitioner::default(), n_blocks, &pwl_refs).unwrap(),
+        ),
+        (
+            "numerical",
+            partition_areas(&NumericalPartitioner::default(), n_blocks, &akima_refs).unwrap(),
+        ),
+    ] {
+        let c = run_threaded(&a, &b, block, &areas).unwrap();
+        let max_err = c
+            .data
+            .iter()
+            .zip(&reference)
+            .fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()));
+        assert!(max_err < 1e-9, "{name}: max error {max_err}");
+    }
+}
+
+#[test]
+fn threaded_product_is_correct_for_many_process_counts() {
+    let block = 4usize;
+    let n = 48usize; // 12×12 blocks
+    let a = random_matrix(n, n, 17);
+    let b = random_matrix(n, n, 18);
+    let reference = serial_product(&a, &b);
+    let total = 144u64;
+    for p in [1usize, 2, 3, 5, 7, 12] {
+        // Skewed areas: process i gets weight i+1.
+        let weights: Vec<f64> = (0..p).map(|i| (i + 1) as f64).collect();
+        let areas = fupermod::num::apportion::largest_remainder(&weights, total).unwrap();
+        let c = run_threaded(&a, &b, block, &areas).unwrap();
+        let max_err = c
+            .data
+            .iter()
+            .zip(&reference)
+            .fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()));
+        assert!(max_err < 1e-9, "p={p}: max error {max_err}");
+    }
+}
+
+#[test]
+fn simulated_matmul_scales_sanely_with_problem_size() {
+    let platform = Platform::two_speed(2, 2, 51);
+    let areas = |n_blocks: u64| {
+        let p = platform.size() as u64;
+        let total = n_blocks * n_blocks;
+        (0..p)
+            .map(|i| total / p + u64::from(i < total % p))
+            .collect::<Vec<_>>()
+    };
+    let small = simulate(
+        &platform,
+        &areas(32),
+        &MatMulConfig {
+            n_blocks: 32,
+            block: 16,
+        },
+    )
+    .unwrap();
+    let large = simulate(
+        &platform,
+        &areas(64),
+        &MatMulConfig {
+            n_blocks: 64,
+            block: 16,
+        },
+    )
+    .unwrap();
+    // 8× the flops → at least 4× the time (speed can only drop with
+    // size on these devices).
+    assert!(
+        large.total_time > 4.0 * small.total_time,
+        "small {} vs large {}",
+        small.total_time,
+        large.total_time
+    );
+}
+
+#[test]
+fn partition_metadata_matches_simulation_input() {
+    let platform = Platform::grid_site(61);
+    let p = platform.size() as u64;
+    let cfg = MatMulConfig {
+        n_blocks: 64,
+        block: 16,
+    };
+    let total = cfg.n_blocks * cfg.n_blocks;
+    let areas: Vec<u64> = (0..p).map(|i| total / p + u64::from(i < total % p)).collect();
+    let report = simulate(&platform, &areas, &cfg).unwrap();
+    // The 2D partition tiles the grid exactly.
+    let covered: u64 = report.partition.rects().iter().map(|r| r.area()).sum();
+    assert_eq!(covered, total);
+    // Every device got a compute-time sample in the report.
+    assert_eq!(report.iter_compute_times.len(), platform.size());
+}
