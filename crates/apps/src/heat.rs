@@ -13,9 +13,12 @@
 //! the exact decay rate of a sine mode); time is virtual, from the
 //! device models.
 
+use std::sync::Arc;
+
 use fupermod_core::dynamic::DynamicContext;
 use fupermod_core::model::{Model, PiecewiseModel};
 use fupermod_core::partition::Partitioner;
+use fupermod_core::trace::{NullSink, TraceSink};
 use fupermod_core::CoreError;
 use fupermod_platform::comm::SimComm;
 use fupermod_platform::{Platform, WorkloadProfile};
@@ -113,6 +116,27 @@ pub fn run(
     partitioner: Box<dyn Partitioner>,
     cfg: &HeatConfig,
 ) -> Result<HeatReport, CoreError> {
+    run_traced(initial, rows, platform, partitioner, cfg, Arc::new(NullSink))
+}
+
+/// Like [`run`], additionally routing the dynamic context's structured
+/// events (model updates, partition steps, convergence) to `sink`.
+///
+/// # Errors
+///
+/// Exactly those of [`run`].
+///
+/// # Panics
+///
+/// Exactly those of [`run`].
+pub fn run_traced(
+    initial: &[f64],
+    rows: usize,
+    platform: &Platform,
+    partitioner: Box<dyn Partitioner>,
+    cfg: &HeatConfig,
+    sink: Arc<dyn TraceSink>,
+) -> Result<HeatReport, CoreError> {
     assert_eq!(initial.len(), rows * cfg.cols, "grid shape mismatch");
     assert!(cfg.nu > 0.0 && cfg.nu <= 0.25, "unstable diffusion number");
     let p = platform.size();
@@ -128,7 +152,8 @@ pub fn run(
     let models: Vec<Box<dyn Model>> = (0..p)
         .map(|_| Box::new(PiecewiseModel::new()) as Box<dyn Model>)
         .collect();
-    let mut ctx = DynamicContext::new(partitioner, models, rows as u64, cfg.eps_balance);
+    let mut ctx = DynamicContext::new(partitioner, models, rows as u64, cfg.eps_balance)
+        .with_trace(sink);
     let mut comm = SimComm::new(p, platform.link());
     let halo_bytes = 8.0 * cfg.cols as f64;
     let bytes_per_row = 8.0 * cfg.cols as f64;

@@ -12,9 +12,12 @@
 //! heterogeneous platform, so balancing behaviour at Grid'5000-like
 //! heterogeneity is reproducible on any machine.
 
+use std::sync::Arc;
+
 use fupermod_core::dynamic::DynamicContext;
 use fupermod_core::model::{Model, PiecewiseModel};
 use fupermod_core::partition::{Distribution, Partitioner};
+use fupermod_core::trace::{NullSink, TraceSink};
 use fupermod_core::CoreError;
 use fupermod_kernels::jacobi::jacobi_sweep;
 use fupermod_platform::comm::SimComm;
@@ -96,6 +99,26 @@ pub fn run(
     partitioner: Box<dyn Partitioner>,
     cfg: &JacobiConfig,
 ) -> Result<JacobiReport, CoreError> {
+    run_traced(system, platform, partitioner, cfg, Arc::new(NullSink))
+}
+
+/// Like [`run`], additionally routing the dynamic context's structured
+/// events (model updates, partition steps, convergence) to `sink`.
+///
+/// # Errors
+///
+/// Exactly those of [`run`].
+///
+/// # Panics
+///
+/// Panics if the system is smaller than the process count.
+pub fn run_traced(
+    system: &LinearSystem,
+    platform: &Platform,
+    partitioner: Box<dyn Partitioner>,
+    cfg: &JacobiConfig,
+    sink: Arc<dyn TraceSink>,
+) -> Result<JacobiReport, CoreError> {
     let n = system.b.len();
     let p = platform.size();
     assert!(n >= p, "need at least one row per process");
@@ -104,7 +127,8 @@ pub fn run(
     let models: Vec<Box<dyn Model>> = (0..p)
         .map(|_| Box::new(PiecewiseModel::new()) as Box<dyn Model>)
         .collect();
-    let mut ctx = DynamicContext::new(partitioner, models, n as u64, cfg.eps_balance);
+    let mut ctx = DynamicContext::new(partitioner, models, n as u64, cfg.eps_balance)
+        .with_trace(sink);
     let mut comm = SimComm::new(p, platform.link());
     // One row weighs its matrix band plus vector entries.
     let bytes_per_row = 8.0 * (n as f64 + 3.0);

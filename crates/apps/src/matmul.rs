@@ -62,17 +62,48 @@ pub fn build_device_models<M: Model + Default>(
     sizes: &[u64],
     precision: &fupermod_core::Precision,
 ) -> Result<Vec<M>, CoreError> {
+    build_device_models_traced(
+        platform,
+        profile,
+        sizes,
+        precision,
+        fupermod_core::trace::null_sink(),
+    )
+}
+
+/// Like [`build_device_models`], additionally routing every benchmark
+/// repetition/summary and every model update to `sink` as structured
+/// trace events. The model-update events carry the device rank.
+///
+/// # Errors
+///
+/// Exactly those of [`build_device_models`].
+pub fn build_device_models_traced<M: Model + Default>(
+    platform: &Platform,
+    profile: &WorkloadProfile,
+    sizes: &[u64],
+    precision: &fupermod_core::Precision,
+    sink: &dyn fupermod_core::trace::TraceSink,
+) -> Result<Vec<M>, CoreError> {
     use fupermod_core::benchmark::Benchmark;
     use fupermod_core::kernel::DeviceKernel;
+    use fupermod_core::trace::TraceEvent;
 
-    let bench = Benchmark::new(precision);
+    let bench = Benchmark::new(precision).with_trace(sink);
     let mut models = Vec::with_capacity(platform.size());
-    for dev in platform.devices() {
+    for (rank, dev) in platform.devices().iter().enumerate() {
         let mut kernel = DeviceKernel::new(dev.clone(), profile.clone());
         let mut model = M::default();
         for &d in sizes {
             let point = bench.measure(&mut kernel, d)?;
             model.update(point)?;
+            sink.record(&TraceEvent::ModelUpdate {
+                rank,
+                d: point.d,
+                t: point.t,
+                reps: point.reps,
+                points: model.points().len(),
+            });
         }
         models.push(model);
     }

@@ -1,10 +1,12 @@
 //! Criterion bench: overhead of the measurement machinery itself —
 //! the statistical loop around a (simulated, hence nearly free) kernel,
-//! and the synchronised group variant.
+//! the synchronised group variant, and the cost of the observability
+//! instrumentation (default `NullSink` vs an actively recording sink).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fupermod_core::benchmark::Benchmark;
 use fupermod_core::kernel::{DeviceKernel, Kernel};
+use fupermod_core::trace::MemorySink;
 use fupermod_core::Precision;
 use fupermod_platform::{cluster, WorkloadProfile};
 
@@ -50,5 +52,51 @@ fn bench_group(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_single, bench_group);
+/// The NullSink default must cost nothing measurable: compare the same
+/// measurement loop untraced (implicit `NullSink`) against one feeding
+/// an in-memory recording sink. The first two bars should coincide; the
+/// third shows the (accepted) price of actually recording.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let profile = WorkloadProfile::matrix_update(16);
+    let precision = Precision {
+        reps_min: 3,
+        reps_max: 10,
+        cl: 0.95,
+        rel_err: 0.05,
+        max_seconds: 1e9,
+    };
+    let mut group = c.benchmark_group("trace_overhead");
+    group.bench_function("null_sink_default", |b| {
+        b.iter(|| {
+            let mut k = DeviceKernel::new(cluster::fast_cpu("c", 7), profile.clone());
+            Benchmark::new(&precision)
+                .measure(&mut k, black_box(500))
+                .unwrap()
+        })
+    });
+    group.bench_function("null_sink_explicit", |b| {
+        b.iter(|| {
+            let mut k = DeviceKernel::new(cluster::fast_cpu("c", 7), profile.clone());
+            Benchmark::new(&precision)
+                .with_trace(fupermod_core::trace::null_sink())
+                .measure(&mut k, black_box(500))
+                .unwrap()
+        })
+    });
+    group.bench_function("memory_sink_recording", |b| {
+        let sink = MemorySink::new();
+        b.iter(|| {
+            let mut k = DeviceKernel::new(cluster::fast_cpu("c", 7), profile.clone());
+            let p = Benchmark::new(&precision)
+                .with_trace(&sink)
+                .measure(&mut k, black_box(500))
+                .unwrap();
+            sink.take(); // keep memory flat across iterations
+            p
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single, bench_group, bench_trace_overhead);
 criterion_main!(benches);

@@ -12,8 +12,13 @@
 //! load balanced.
 //!
 //! Output: CSV `platform,total,partitioner,imbalance,makespan,speedup_vs_even`.
+//! With `--trace-dir DIR` (or `FUPERMOD_TRACE_DIR`), also writes
+//! `DIR/exp1_partition_quality.trace.jsonl` (see docs/OBSERVABILITY.md).
 
-use fupermod_bench::{evaluate_partitioner, print_csv_row, size_grid};
+use fupermod_bench::{
+    evaluate_partitioner, evaluate_partitioner_traced, finish_experiment_trace, print_csv_row,
+    sink_or_null, size_grid,
+};
 use fupermod_core::model::{AkimaModel, ConstantModel, Model, PiecewiseModel};
 use fupermod_core::partition::{
     ConstantPartitioner, EvenPartitioner, GeometricPartitioner, NumericalPartitioner,
@@ -27,6 +32,7 @@ type Run<'a> = (&'a str, Box<dyn Partitioner>, Vec<&'a dyn Model>);
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let trace = fupermod_bench::experiment_trace("exp1_partition_quality");
     let profile = WorkloadProfile::matrix_update(16);
     let precision = Precision::default();
 
@@ -63,13 +69,14 @@ fn main() {
             let mut akima = AkimaModel::new();
             // The CPM sees only a single mid-range point (the
             // "traditional serial benchmark of some given size").
-            fupermod_bench::build_model_for_device(
+            fupermod_bench::build_model_for_device_traced(
                 platform,
                 rank,
                 &profile,
                 &[sizes[sizes.len() / 2]],
                 &precision,
                 &mut cpm,
+                sink_or_null(&trace),
             )
             .expect("cpm build failed");
             fupermod_bench::build_model_for_device(
@@ -114,9 +121,15 @@ fn main() {
                 ),
             ];
             for (name, partitioner, models) in runs {
-                let eval =
-                    evaluate_partitioner(platform, &profile, total, partitioner.as_ref(), &models)
-                        .expect("evaluation failed");
+                let eval = evaluate_partitioner_traced(
+                    platform,
+                    &profile,
+                    total,
+                    partitioner.as_ref(),
+                    &models,
+                    sink_or_null(&trace),
+                )
+                .expect("evaluation failed");
                 print_csv_row(&[
                     platform.name().to_owned(),
                     total.to_string(),
@@ -128,4 +141,5 @@ fn main() {
             }
         }
     }
+    finish_experiment_trace(trace.as_ref());
 }

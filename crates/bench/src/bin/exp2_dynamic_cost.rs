@@ -10,9 +10,12 @@
 //! is the ground-truth imbalance of the final distribution.
 //!
 //! Output: CSV `platform,total,approach,bench_cost_s,steps,imbalance`.
+//! With `--trace-dir DIR` (or `FUPERMOD_TRACE_DIR`), also writes
+//! `DIR/exp2_dynamic_cost.trace.jsonl` (see docs/OBSERVABILITY.md).
 
 use fupermod_bench::{
-    evaluate_partitioner, ground_truth_imbalance, ground_truth_times, print_csv_row, size_grid,
+    evaluate_partitioner_traced, finish_experiment_trace, ground_truth_imbalance,
+    ground_truth_times, print_csv_row, sink_or_null, size_grid,
 };
 use fupermod_core::dynamic::DynamicContext;
 use fupermod_core::model::{Model, PiecewiseModel};
@@ -22,6 +25,7 @@ use fupermod_platform::{Platform, WorkloadProfile};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let trace = fupermod_bench::experiment_trace("exp2_dynamic_cost");
     let profile = WorkloadProfile::matrix_update(16);
     let platforms = vec![
         Platform::two_speed(2, 2, 201),
@@ -46,24 +50,26 @@ fn main() {
         let mut models = Vec::new();
         for rank in 0..platform.size() {
             let mut m = PiecewiseModel::new();
-            full_cost += fupermod_bench::build_model_for_device(
+            full_cost += fupermod_bench::build_model_for_device_traced(
                 platform,
                 rank,
                 &profile,
                 &sizes,
                 &Precision::thorough(),
                 &mut m,
+                sink_or_null(&trace),
             )
             .expect("full model build failed");
             models.push(m);
         }
         let refs: Vec<&dyn Model> = models.iter().map(|m| m as &dyn Model).collect();
-        let eval = evaluate_partitioner(
+        let eval = evaluate_partitioner_traced(
             platform,
             &profile,
             total,
             &GeometricPartitioner::default(),
             &refs,
+            sink_or_null(&trace),
         )
         .expect("full-model partition failed");
         print_csv_row(&[
@@ -85,12 +91,21 @@ fn main() {
             total,
             0.05,
         );
+        if let Some(sink) = &trace {
+            ctx = ctx.with_trace(sink.clone());
+        }
         let mut dyn_cost = 0.0;
         let mut steps = 0;
         for _ in 0..25 {
             let step = ctx
                 .partition_iterate(|rank, d| {
-                    let p = fupermod_bench::quick_measure(platform, rank, &profile, d)?;
+                    let p = fupermod_bench::quick_measure_traced(
+                        platform,
+                        rank,
+                        &profile,
+                        d,
+                        sink_or_null(&trace),
+                    )?;
                     dyn_cost += p.t * p.reps as f64;
                     Ok(p)
                 })
@@ -111,4 +126,5 @@ fn main() {
             format!("{:.4}", ground_truth_imbalance(&times)),
         ]);
     }
+    finish_experiment_trace(trace.as_ref());
 }

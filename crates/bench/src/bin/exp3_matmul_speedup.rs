@@ -8,15 +8,18 @@
 //! cliffs or the GPU memory boundary.
 //!
 //! Output: CSV `platform,n_blocks,strategy,total_time_s,speedup_vs_even,comm_s`.
+//! With `--trace-dir DIR` (or `FUPERMOD_TRACE_DIR`), also writes
+//! `DIR/exp3_matmul_speedup.trace.jsonl` (see docs/OBSERVABILITY.md).
 
-use fupermod_apps::matmul::{build_device_models, partition_areas, simulate, MatMulConfig};
-use fupermod_bench::{print_csv_row, size_grid};
+use fupermod_apps::matmul::{build_device_models_traced, partition_areas, simulate, MatMulConfig};
+use fupermod_bench::{finish_experiment_trace, print_csv_row, sink_or_null, size_grid};
 use fupermod_core::model::{AkimaModel, ConstantModel, Model};
 use fupermod_core::partition::{ConstantPartitioner, NumericalPartitioner};
 use fupermod_core::Precision;
 use fupermod_platform::{Platform, WorkloadProfile};
 
 fn main() {
+    let trace = fupermod_bench::experiment_trace("exp3_matmul_speedup");
     let quick = std::env::args().any(|a| a == "--quick");
     let block = 16usize;
     let profile = WorkloadProfile::matrix_update(block);
@@ -39,16 +42,22 @@ fn main() {
     for platform in &platforms {
         let max_area = n_blocks_sweep.last().unwrap().pow(2);
         let sizes = size_grid(16, max_area / 2, if quick { 8 } else { 14 });
-        let cpms: Vec<ConstantModel> = build_device_models(
+        let cpms: Vec<ConstantModel> = build_device_models_traced(
             platform,
             &profile,
             &[sizes[sizes.len() / 2]],
             &Precision::default(),
+            sink_or_null(&trace),
         )
         .expect("cpm build failed");
-        let akimas: Vec<AkimaModel> =
-            build_device_models(platform, &profile, &sizes, &Precision::default())
-                .expect("akima build failed");
+        let akimas: Vec<AkimaModel> = build_device_models_traced(
+            platform,
+            &profile,
+            &sizes,
+            &Precision::default(),
+            sink_or_null(&trace),
+        )
+        .expect("akima build failed");
 
         for &n_blocks in &n_blocks_sweep {
             let cfg = MatMulConfig { n_blocks, block };
@@ -79,4 +88,5 @@ fn main() {
             }
         }
     }
+    finish_experiment_trace(trace.as_ref());
 }

@@ -11,8 +11,13 @@
 //! degrades.
 //!
 //! Output: CSV `noise,strategy,imbalance,mean_reps`.
+//! With `--trace-dir DIR` (or `FUPERMOD_TRACE_DIR`), also writes
+//! `DIR/exp5_noise_sensitivity.trace.jsonl` (see docs/OBSERVABILITY.md).
 
-use fupermod_bench::{ground_truth_imbalance, ground_truth_times, print_csv_row, size_grid};
+use fupermod_bench::{
+    finish_experiment_trace, ground_truth_imbalance, ground_truth_times, print_csv_row,
+    sink_or_null, size_grid,
+};
 use fupermod_core::benchmark::Benchmark;
 use fupermod_core::kernel::DeviceKernel;
 use fupermod_core::model::{Model, PiecewiseModel};
@@ -35,6 +40,7 @@ fn noisy_platform(noise: f64, seed: u64) -> Platform {
 }
 
 fn main() {
+    let trace = fupermod_bench::experiment_trace("exp5_noise_sensitivity");
     let profile = WorkloadProfile::matrix_update(16);
     let total = 100_000u64;
     let sizes = size_grid(16, 50_000, 12);
@@ -70,7 +76,7 @@ fn main() {
                 },
             ),
         ] {
-            let bench = Benchmark::new(&precision);
+            let bench = Benchmark::new(&precision).with_trace(sink_or_null(&trace));
             let mut models = Vec::new();
             let mut total_reps = 0u64;
             let mut measurements = 0u64;
@@ -87,7 +93,7 @@ fn main() {
             }
             let refs: Vec<&dyn Model> = models.iter().map(|m| m as &dyn Model).collect();
             let dist = GeometricPartitioner::default()
-                .partition(total, &refs)
+                .partition_traced(total, &refs, sink_or_null(&trace))
                 .expect("partition failed");
             let times = ground_truth_times(&platform, &profile, &dist.sizes());
             print_csv_row(&[
@@ -98,4 +104,5 @@ fn main() {
             ]);
         }
     }
+    finish_experiment_trace(trace.as_ref());
 }

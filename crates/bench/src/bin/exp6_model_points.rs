@@ -9,9 +9,12 @@
 //! cost keeps growing linearly — the motivation for partial models.
 //!
 //! Output: CSV `points,algorithm,bench_cost_s,imbalance`.
+//! With `--trace-dir DIR` (or `FUPERMOD_TRACE_DIR`), also writes
+//! `DIR/exp6_model_points.trace.jsonl` (see docs/OBSERVABILITY.md).
 
 use fupermod_bench::{
-    build_model_for_device, ground_truth_imbalance, ground_truth_times, print_csv_row, size_grid,
+    build_model_for_device_traced, finish_experiment_trace, ground_truth_imbalance,
+    ground_truth_times, print_csv_row, sink_or_null, size_grid,
 };
 use fupermod_core::model::{AkimaModel, Model, PiecewiseModel};
 use fupermod_core::partition::{GeometricPartitioner, NumericalPartitioner, Partitioner};
@@ -19,6 +22,7 @@ use fupermod_core::Precision;
 use fupermod_platform::{Platform, WorkloadProfile};
 
 fn main() {
+    let trace = fupermod_bench::experiment_trace("exp6_model_points");
     let profile = WorkloadProfile::matrix_update(16);
     let platform = Platform::grid_site(600);
     let total = 150_000u64;
@@ -40,8 +44,14 @@ fn main() {
         for rank in 0..platform.size() {
             let mut pwl = PiecewiseModel::new();
             let mut akima = AkimaModel::new();
-            cost += build_model_for_device(
-                &platform, rank, &profile, &sizes, &precision, &mut pwl,
+            cost += build_model_for_device_traced(
+                &platform,
+                rank,
+                &profile,
+                &sizes,
+                &precision,
+                &mut pwl,
+                sink_or_null(&trace),
             )
             .expect("pwl build failed");
             // Reuse the same benchmark data for the Akima model: zero
@@ -78,4 +88,5 @@ fn main() {
             ]);
         }
     }
+    finish_experiment_trace(trace.as_ref());
 }

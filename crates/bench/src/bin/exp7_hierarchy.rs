@@ -10,8 +10,12 @@
 //! systems at each level.
 //!
 //! Output: CSV `total,approach,makespan,imbalance`.
+//! With `--trace-dir DIR` (or `FUPERMOD_TRACE_DIR`), also writes
+//! `DIR/exp7_hierarchy.trace.jsonl` (see docs/OBSERVABILITY.md).
 
-use fupermod_bench::{ground_truth_imbalance, print_csv_row, size_grid};
+use fupermod_bench::{
+    finish_experiment_trace, ground_truth_imbalance, print_csv_row, sink_or_null, size_grid,
+};
 use fupermod_core::hierarchy::partition_hierarchical;
 use fupermod_core::model::{Model, PiecewiseModel};
 use fupermod_core::partition::{GeometricPartitioner, Partitioner};
@@ -19,6 +23,7 @@ use fupermod_core::Precision;
 use fupermod_platform::{cluster, LinkModel, Platform, WorkloadProfile};
 
 fn main() {
+    let trace = fupermod_bench::experiment_trace("exp7_hierarchy");
     let profile = WorkloadProfile::matrix_update(16);
     // Three two-device "nodes" of very different strengths.
     let devices = vec![
@@ -35,13 +40,14 @@ fn main() {
     let mut models = Vec::new();
     for rank in 0..platform.size() {
         let mut m = PiecewiseModel::new();
-        fupermod_bench::build_model_for_device(
+        fupermod_bench::build_model_for_device_traced(
             &platform,
             rank,
             &profile,
             &sizes,
             &Precision::default(),
             &mut m,
+            sink_or_null(&trace),
         )
         .expect("model build failed");
         models.push(m);
@@ -61,7 +67,7 @@ fn main() {
     ]);
     for total in [10_000u64, 60_000, 300_000] {
         let flat = GeometricPartitioner::default()
-            .partition(total, &refs)
+            .partition_traced(total, &refs, sink_or_null(&trace))
             .expect("flat partition failed");
         let flat_times: Vec<f64> = flat
             .sizes()
@@ -94,4 +100,5 @@ fn main() {
             ]);
         }
     }
+    finish_experiment_trace(trace.as_ref());
 }

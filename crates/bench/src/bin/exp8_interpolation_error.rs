@@ -11,9 +11,12 @@
 //! family produces.
 //!
 //! Output: CSV `device,model,max_rel_err,mean_rel_err,imbalance`.
+//! With `--trace-dir DIR` (or `FUPERMOD_TRACE_DIR`), also writes
+//! `DIR/exp8_interpolation_error.trace.jsonl` (see docs/OBSERVABILITY.md).
 
 use fupermod_bench::{
-    build_model_for_device, ground_truth_imbalance, ground_truth_times, print_csv_row, size_grid,
+    build_model_for_device_traced, finish_experiment_trace, ground_truth_imbalance,
+    ground_truth_times, print_csv_row, sink_or_null, size_grid,
 };
 use fupermod_core::model::{AkimaModel, CubicModel, LinearModel, Model, PiecewiseModel};
 use fupermod_core::partition::{NumericalPartitioner, Partitioner};
@@ -46,6 +49,7 @@ fn prediction_errors(
 }
 
 fn main() {
+    let trace = fupermod_bench::experiment_trace("exp8_interpolation_error");
     let profile = WorkloadProfile::matrix_update(16);
     let platform = Platform::two_speed(2, 2, 800);
     let precision = Precision::thorough();
@@ -70,8 +74,16 @@ fn main() {
         let mut akima = AkimaModel::new();
         let mut cubic = CubicModel::new();
         let mut linear = LinearModel::new();
-        build_model_for_device(&platform, rank, &profile, &sizes, &precision, &mut pwl)
-            .expect("build failed");
+        build_model_for_device_traced(
+            &platform,
+            rank,
+            &profile,
+            &sizes,
+            &precision,
+            &mut pwl,
+            sink_or_null(&trace),
+        )
+        .expect("build failed");
         // Reuse identical data for the other models.
         for p in pwl.points() {
             akima.update(*p).expect("akima update");
@@ -88,7 +100,7 @@ fn main() {
     // so only the model differs).
     let imbalance_of = |models: Vec<&dyn Model>| -> f64 {
         let dist = NumericalPartitioner::default()
-            .partition(total, &models)
+            .partition_traced(total, &models, sink_or_null(&trace))
             .expect("partition failed");
         let times = ground_truth_times(&platform, &profile, &dist.sizes());
         ground_truth_imbalance(&times)
@@ -117,4 +129,5 @@ fn main() {
             ]);
         }
     }
+    finish_experiment_trace(trace.as_ref());
 }

@@ -9,9 +9,14 @@
 //! the crossover is visible.
 //!
 //! Output: CSV `platform,n_blocks,approach,model_cost_s,run_time_s,total_1run,total_20runs`.
+//! With `--trace-dir DIR` (or `FUPERMOD_TRACE_DIR`), also writes
+//! `DIR/exp9_dynamic_matmul.trace.jsonl` (see docs/OBSERVABILITY.md).
 
 use fupermod_apps::matmul::{partition_areas, simulate, MatMulConfig};
-use fupermod_bench::{build_model_for_device, print_csv_row, quick_measure, size_grid};
+use fupermod_bench::{
+    build_model_for_device_traced, finish_experiment_trace, print_csv_row, quick_measure_traced,
+    sink_or_null, size_grid,
+};
 use fupermod_core::dynamic::DynamicContext;
 use fupermod_core::model::{Model, PiecewiseModel};
 use fupermod_core::partition::{EvenPartitioner, GeometricPartitioner, Partitioner};
@@ -19,6 +24,7 @@ use fupermod_core::Precision;
 use fupermod_platform::{Platform, WorkloadProfile};
 
 fn main() {
+    let trace = fupermod_bench::experiment_trace("exp9_dynamic_matmul");
     let block = 16usize;
     let profile = WorkloadProfile::matrix_update(block);
     let platforms = vec![Platform::two_speed(2, 2, 901), Platform::grid_site(902)];
@@ -54,13 +60,14 @@ fn main() {
         let mut models = Vec::new();
         for rank in 0..p {
             let mut m = PiecewiseModel::new();
-            full_cost += build_model_for_device(
+            full_cost += build_model_for_device_traced(
                 platform,
                 rank,
                 &profile,
                 &sizes,
                 &Precision::thorough(),
                 &mut m,
+                sink_or_null(&trace),
             )
             .expect("model build failed");
             models.push(m);
@@ -81,11 +88,15 @@ fn main() {
             total_area,
             0.05,
         );
+        if let Some(sink) = &trace {
+            ctx = ctx.with_trace(sink.clone());
+        }
         let mut dyn_cost = 0.0;
         for _ in 0..20 {
             let step = ctx
                 .partition_iterate(|rank, d| {
-                    let pt = quick_measure(platform, rank, &profile, d)?;
+                    let pt =
+                        quick_measure_traced(platform, rank, &profile, d, sink_or_null(&trace))?;
                     dyn_cost += pt.t * pt.reps as f64;
                     Ok(pt)
                 })
@@ -105,6 +116,7 @@ fn main() {
             .expect("even partition failed");
         assert_eq!(even_check.total_assigned(), total_area);
     }
+    finish_experiment_trace(trace.as_ref());
 }
 
 fn emit(platform: &Platform, cfg: &MatMulConfig, name: &str, model_cost: f64, run: f64) {

@@ -8,11 +8,13 @@
 //! function exhibits the same memory-hierarchy shape.
 //!
 //! Output: CSV `d,measured_gflops,piecewise_gflops,akima_gflops`.
+//! With `--trace-dir DIR` (or `FUPERMOD_TRACE_DIR`), also writes
+//! `DIR/fig2_interpolation.trace.jsonl` (see docs/OBSERVABILITY.md).
 //!
 //! Run with `cargo run --release -p fupermod-bench --bin fig2_interpolation`.
 //! Pass `--quick` for a smaller sweep (used in smoke tests).
 
-use fupermod_bench::{print_csv_row, size_grid};
+use fupermod_bench::{finish_experiment_trace, print_csv_row, sink_or_null, size_grid};
 use fupermod_core::benchmark::Benchmark;
 use fupermod_core::kernel::Kernel;
 use fupermod_core::model::{AkimaModel, Model, PiecewiseModel};
@@ -20,6 +22,7 @@ use fupermod_core::Precision;
 use fupermod_kernels::gemm::MatMulKernel;
 
 fn main() {
+    let trace = fupermod_bench::experiment_trace("fig2_interpolation");
     let quick = std::env::args().any(|a| a == "--quick");
     let block = 16usize;
     let (hi, npoints, reps) = if quick { (400, 8, 2) } else { (4000, 22, 3) };
@@ -32,7 +35,7 @@ fn main() {
         rel_err: 0.05,
         max_seconds: 2.0,
     };
-    let bench = Benchmark::new(&precision);
+    let bench = Benchmark::new(&precision).with_trace(sink_or_null(&trace));
 
     let mut pwl = PiecewiseModel::new();
     let mut akima = AkimaModel::new();
@@ -73,4 +76,5 @@ fn main() {
             format!("{ak:.4}"),
         ]);
     }
+    finish_experiment_trace(trace.as_ref());
 }

@@ -8,14 +8,17 @@
 //! resulting distribution — the data behind the paper's Fig. 3(a,b).
 //!
 //! Output: CSV `step,device,point_d,point_t,assigned_d,imbalance`.
+//! With `--trace-dir DIR` (or `FUPERMOD_TRACE_DIR`), also writes
+//! `DIR/fig3_partial_fpm.trace.jsonl` (see docs/OBSERVABILITY.md).
 
-use fupermod_bench::{print_csv_row, quick_measure};
+use fupermod_bench::{finish_experiment_trace, print_csv_row, quick_measure_traced, sink_or_null};
 use fupermod_core::dynamic::DynamicContext;
 use fupermod_core::model::{Model, PiecewiseModel};
 use fupermod_core::partition::GeometricPartitioner;
 use fupermod_platform::{cluster, LinkModel, Platform, WorkloadProfile};
 
 fn main() {
+    let trace = fupermod_bench::experiment_trace("fig3_partial_fpm");
     let total: u64 = 4000;
     let eps = 0.03;
     let platform = Platform::new(
@@ -34,6 +37,9 @@ fn main() {
         total,
         eps,
     );
+    if let Some(sink) = &trace {
+        ctx = ctx.with_trace(sink.clone());
+    }
 
     print_csv_row(&[
         "step".into(),
@@ -46,7 +52,9 @@ fn main() {
 
     for step in 1..=12 {
         let result = ctx
-            .partition_iterate(|rank, d| quick_measure(&platform, rank, &profile, d))
+            .partition_iterate(|rank, d| {
+                quick_measure_traced(&platform, rank, &profile, d, sink_or_null(&trace))
+            })
             .expect("dynamic step failed");
         let sizes = ctx.dist().sizes();
         for (rank, model) in ctx.models().iter().enumerate() {
@@ -66,4 +74,5 @@ fn main() {
             break;
         }
     }
+    finish_experiment_trace(trace.as_ref());
 }

@@ -8,14 +8,20 @@
 //! series.
 //!
 //! Output: CSV `iteration,device,rows,compute_time,iteration_time,rows_moved,error`.
+//! With `--trace-dir DIR` (or `FUPERMOD_TRACE_DIR`), also writes
+//! `DIR/fig4_jacobi_balancing.trace.jsonl` (see docs/OBSERVABILITY.md).
 
-use fupermod_apps::jacobi::{run, JacobiConfig};
+use std::sync::Arc;
+
+use fupermod_apps::jacobi::{run_traced, JacobiConfig};
 use fupermod_apps::workload::dominant_system;
-use fupermod_bench::print_csv_row;
+use fupermod_bench::{finish_experiment_trace, print_csv_row};
 use fupermod_core::partition::GeometricPartitioner;
+use fupermod_core::trace::{NullSink, TraceSink};
 use fupermod_platform::{cluster, LinkModel, Platform};
 
 fn main() {
+    let trace = fupermod_bench::experiment_trace("fig4_jacobi_balancing");
     let quick = std::env::args().any(|a| a == "--quick");
     let n = if quick { 120 } else { 480 };
 
@@ -32,7 +38,10 @@ fn main() {
     );
 
     let system = dominant_system(n, 44);
-    let report = run(
+    let events: Arc<dyn TraceSink> = trace
+        .clone()
+        .unwrap_or_else(|| Arc::new(NullSink) as Arc<dyn TraceSink>);
+    let report = run_traced(
         &system,
         &platform,
         Box::new(GeometricPartitioner::default()),
@@ -42,6 +51,7 @@ fn main() {
             eps_balance: 0.05,
             balance: true,
         },
+        events,
     )
     .expect("jacobi run failed");
 
@@ -73,4 +83,5 @@ fn main() {
         report.iterations.len(),
         report.makespan
     );
+    finish_experiment_trace(trace.as_ref());
 }

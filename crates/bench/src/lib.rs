@@ -7,10 +7,72 @@
 //! stdout, so results can be diffed, plotted, or recorded in
 //! EXPERIMENTS.md. This library holds the pieces they share.
 
+use std::path::PathBuf;
+use std::sync::Arc;
+
 use fupermod_core::model::Model;
 use fupermod_core::partition::Partitioner;
+use fupermod_core::trace::{metrics, null_sink, JsonlSink, TraceEvent, TraceSink};
 use fupermod_core::{CoreError, Point, Precision};
 use fupermod_platform::{Platform, WorkloadProfile};
+
+/// Opens the structured trace sink for the experiment binary `name`
+/// when tracing was requested — via `--trace-dir DIR` on the command
+/// line or the `FUPERMOD_TRACE_DIR` environment variable. The trace is
+/// written as `DIR/<name>.trace.jsonl` next to the CSV the binary
+/// prints to stdout (schema in `docs/OBSERVABILITY.md`).
+///
+/// Returns `None` when tracing was not requested. Exits with status 1
+/// when the requested directory/file cannot be created — a requested
+/// trace that silently vanishes would be worse than no trace.
+pub fn experiment_trace(name: &str) -> Option<Arc<dyn TraceSink>> {
+    let dir = trace_dir_from_args().or_else(|| std::env::var("FUPERMOD_TRACE_DIR").ok())?;
+    let dir = PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create trace directory {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let path = dir.join(format!("{name}.trace.jsonl"));
+    match JsonlSink::create(&path) {
+        Ok(sink) => {
+            eprintln!("# trace -> {}", path.display());
+            Some(Arc::new(sink))
+        }
+        Err(e) => {
+            eprintln!("cannot create trace file {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn trace_dir_from_args() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace-dir" {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Flushes an experiment trace sink (if one was opened) and prints the
+/// process-wide metrics summary to stderr. Call once before exiting.
+/// Exits with status 1 on a deferred trace write error.
+pub fn finish_experiment_trace(sink: Option<&Arc<dyn TraceSink>>) {
+    if let Some(sink) = sink {
+        if let Err(e) = sink.flush() {
+            eprintln!("trace write failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!("# {}", metrics().summary());
+}
+
+/// The sink to hand to `*_traced` helpers: the opened experiment sink,
+/// or the no-op default.
+pub fn sink_or_null(sink: &Option<Arc<dyn TraceSink>>) -> &dyn TraceSink {
+    sink.as_deref().unwrap_or(null_sink())
+}
 
 /// A geometric grid of problem sizes from `lo` to `hi` (inclusive-ish)
 /// with `n` points — the usual sampling for building full models.
@@ -40,15 +102,41 @@ pub fn build_model_for_device(
     precision: &Precision,
     model: &mut dyn Model,
 ) -> Result<f64, CoreError> {
+    build_model_for_device_traced(platform, rank, profile, sizes, precision, model, null_sink())
+}
+
+/// Like [`build_model_for_device`], additionally routing benchmark
+/// events and model updates (tagged with the device `rank`) to `sink`.
+///
+/// # Errors
+///
+/// Exactly those of [`build_model_for_device`].
+#[allow(clippy::too_many_arguments)]
+pub fn build_model_for_device_traced(
+    platform: &Platform,
+    rank: usize,
+    profile: &WorkloadProfile,
+    sizes: &[u64],
+    precision: &Precision,
+    model: &mut dyn Model,
+    sink: &dyn TraceSink,
+) -> Result<f64, CoreError> {
     use fupermod_core::benchmark::Benchmark;
     use fupermod_core::kernel::DeviceKernel;
     let mut kernel = DeviceKernel::new(platform.device(rank).clone(), profile.clone());
-    let bench = Benchmark::new(precision);
+    let bench = Benchmark::new(precision).with_trace(sink);
     let mut cost = 0.0;
     for &d in sizes {
         let point = bench.measure(&mut kernel, d)?;
         cost += point.t * point.reps as f64;
         model.update(point)?;
+        sink.record(&TraceEvent::ModelUpdate {
+            rank,
+            d: point.d,
+            t: point.t,
+            reps: point.reps,
+            points: model.points().len(),
+        });
     }
     Ok(cost)
 }
@@ -86,7 +174,24 @@ pub fn evaluate_partitioner(
     partitioner: &dyn Partitioner,
     models: &[&dyn Model],
 ) -> Result<PartitionEvaluation, CoreError> {
-    let dist = partitioner.partition(total, models)?;
+    evaluate_partitioner_traced(platform, profile, total, partitioner, models, null_sink())
+}
+
+/// Like [`evaluate_partitioner`], recording the resulting distribution
+/// as a one-shot `partition_step` trace event on `sink`.
+///
+/// # Errors
+///
+/// Exactly those of [`evaluate_partitioner`].
+pub fn evaluate_partitioner_traced(
+    platform: &Platform,
+    profile: &WorkloadProfile,
+    total: u64,
+    partitioner: &dyn Partitioner,
+    models: &[&dyn Model],
+    sink: &dyn TraceSink,
+) -> Result<PartitionEvaluation, CoreError> {
+    let dist = partitioner.partition_traced(total, models, sink)?;
     let sizes = dist.sizes();
     let times = ground_truth_times(platform, profile, &sizes);
     let imbalance = ground_truth_imbalance(&times);
@@ -123,10 +228,27 @@ pub fn quick_measure(
     profile: &WorkloadProfile,
     d: u64,
 ) -> Result<Point, CoreError> {
+    quick_measure_traced(platform, rank, profile, d, null_sink())
+}
+
+/// Like [`quick_measure`], routing benchmark events to `sink`.
+///
+/// # Errors
+///
+/// Propagates benchmark errors.
+pub fn quick_measure_traced(
+    platform: &Platform,
+    rank: usize,
+    profile: &WorkloadProfile,
+    d: u64,
+    sink: &dyn TraceSink,
+) -> Result<Point, CoreError> {
     use fupermod_core::benchmark::Benchmark;
     use fupermod_core::kernel::DeviceKernel;
     let mut kernel = DeviceKernel::new(platform.device(rank).clone(), profile.clone());
-    Benchmark::new(&Precision::quick()).measure(&mut kernel, d)
+    Benchmark::new(&Precision::quick())
+        .with_trace(sink)
+        .measure(&mut kernel, d)
 }
 
 /// Prints a CSV header and rows through a tiny helper so every binary

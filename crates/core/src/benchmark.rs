@@ -14,19 +14,32 @@
 //!   processes, and processes that finish early keep executing so the
 //!   contention level stays constant until everyone is done.
 
+use std::fmt;
 use std::sync::{Barrier, Mutex};
 
 use fupermod_num::stats::{reject_outliers, OnlineStats};
 
 use crate::kernel::{Kernel, KernelContext};
+use crate::trace::{metrics, null_sink, TraceEvent, TraceSink};
 use crate::{CoreError, Point, Precision};
 
 /// Benchmark runner parameterised by a [`Precision`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone, Copy)]
 pub struct Benchmark<'a> {
     precision: &'a Precision,
     /// Optional MAD-based outlier rejection threshold.
     outlier_k: Option<f64>,
+    /// Structured-event sink; [`crate::trace::NullSink`] by default.
+    trace: &'a dyn TraceSink,
+}
+
+impl fmt::Debug for Benchmark<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Benchmark")
+            .field("precision", &self.precision)
+            .field("outlier_k", &self.outlier_k)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> Benchmark<'a> {
@@ -41,7 +54,16 @@ impl<'a> Benchmark<'a> {
         Self {
             precision,
             outlier_k: None,
+            trace: null_sink(),
         }
+    }
+
+    /// Routes structured measurement events ([`TraceEvent::BenchmarkSample`],
+    /// [`TraceEvent::BenchmarkDone`]) to `sink`. The default is the
+    /// no-op [`crate::trace::NullSink`], which costs nothing.
+    pub fn with_trace(mut self, sink: &'a dyn TraceSink) -> Self {
+        self.trace = sink;
+        self
     }
 
     /// Enables robust outlier rejection: samples farther than `k`
@@ -75,6 +97,7 @@ impl<'a> Benchmark<'a> {
     /// Propagates kernel initialisation/execution failures.
     pub fn measure(&self, kernel: &mut dyn Kernel, d: u64) -> Result<Point, CoreError> {
         let mut ctx = kernel.context(d)?;
+        metrics().add_kernel();
         let mut samples = Vec::new();
         let mut spent = 0.0;
         let p = self.precision;
@@ -85,11 +108,31 @@ impl<'a> Benchmark<'a> {
             samples.push(t);
             spent += t;
             stats = self.effective_stats(&samples);
+            self.trace.record(&TraceEvent::BenchmarkSample {
+                rank: 0,
+                d,
+                rep,
+                time: t,
+                ci_rel: relative_ci(&stats, p),
+            });
             if rep + 1 >= p.reps_min && reliable(&stats, p, spent) {
                 break;
             }
         }
-        Ok(point_from_stats(d, &stats, p))
+        let outliers = samples.len() as u64 - stats.count();
+        metrics().add_reps(samples.len() as u64);
+        metrics().add_outliers(outliers);
+        let point = point_from_stats(d, &stats, p);
+        self.trace.record(&TraceEvent::BenchmarkDone {
+            rank: 0,
+            d,
+            reps: point.reps,
+            mean: point.t,
+            stderr: stats.std_error(),
+            elapsed: spent,
+            outliers_rejected: outliers as u32,
+        });
+        Ok(point)
     }
 
     /// Measures a group of resource-sharing kernels in lockstep, one
@@ -128,6 +171,7 @@ impl<'a> Benchmark<'a> {
         let mut contexts: Vec<Box<dyn KernelContext>> = Vec::with_capacity(n);
         for (k, &d) in kernels.iter_mut().zip(sizes) {
             contexts.push(k.context(d)?);
+            metrics().add_kernel();
         }
 
         let barrier = Barrier::new(n);
@@ -141,6 +185,7 @@ impl<'a> Benchmark<'a> {
                 let barrier = &barrier;
                 let done = &done;
                 let error = &error;
+                let d = sizes[rank];
                 handles.push(scope.spawn(move || {
                     let mut samples = Vec::new();
                     let mut stats = OnlineStats::new();
@@ -148,11 +193,13 @@ impl<'a> Benchmark<'a> {
                     for rep in 0..p.reps_max {
                         // Synchronised start: maximum resource sharing.
                         barrier.wait();
+                        let mut rep_time = None;
                         match ctx.run() {
                             Ok(t) => {
                                 let t = t.as_secs_f64();
                                 samples.push(t);
                                 spent += t;
+                                rep_time = Some(t);
                             }
                             Err(e) => {
                                 let mut slot = error.lock().expect("poisoned");
@@ -160,6 +207,15 @@ impl<'a> Benchmark<'a> {
                             }
                         }
                         stats = this.effective_stats(&samples);
+                        if let Some(t) = rep_time {
+                            this.trace.record(&TraceEvent::BenchmarkSample {
+                                rank,
+                                d,
+                                rep,
+                                time: t,
+                                ci_rel: relative_ci(&stats, p),
+                            });
+                        }
                         // Publish own verdict, then synchronise so every
                         // worker reads the *same* set of flags and takes
                         // the same stop decision (a diverging decision
@@ -175,6 +231,20 @@ impl<'a> Benchmark<'a> {
                         if all_done || failed {
                             break;
                         }
+                    }
+                    let outliers = samples.len() as u64 - stats.count();
+                    metrics().add_reps(samples.len() as u64);
+                    metrics().add_outliers(outliers);
+                    if error.lock().expect("poisoned").is_none() {
+                        this.trace.record(&TraceEvent::BenchmarkDone {
+                            rank,
+                            d,
+                            reps: stats.count() as u32,
+                            mean: stats.mean(),
+                            stderr: stats.std_error(),
+                            elapsed: spent,
+                            outliers_rejected: outliers as u32,
+                        });
                     }
                     stats
                 }));
@@ -194,6 +264,15 @@ impl<'a> Benchmark<'a> {
             .map(|(stats, &d)| point_from_stats(d, stats, p))
             .collect())
     }
+}
+
+/// Relative confidence-interval half-width of the mean, or `inf`
+/// before enough samples exist to compute one.
+fn relative_ci(stats: &OnlineStats, p: &Precision) -> f64 {
+    stats
+        .confidence_interval(p.cl)
+        .map(|ci| ci.relative_error())
+        .unwrap_or(f64::INFINITY)
 }
 
 /// Stopping rule: the confidence interval is tight enough, the data is
@@ -410,7 +489,7 @@ mod tests {
     impl crate::kernel::KernelContext for SpikyContext {
         fn run(&mut self) -> Result<std::time::Duration, CoreError> {
             self.runs += 1;
-            let ms = if self.runs % self.spike_every == 0 {
+            let ms = if self.runs.is_multiple_of(self.spike_every) {
                 100.0
             } else {
                 1.0 + 0.001 * f64::from(self.runs % 3)
@@ -544,5 +623,69 @@ mod tests {
         let mut k = noisy_kernel(0.0, 1);
         let mut refs: Vec<&mut dyn Kernel> = vec![&mut k];
         let _ = Benchmark::new(&Precision::default()).measure_group(&mut refs, &[1, 2]);
+    }
+
+    #[test]
+    fn measure_emits_one_sample_per_rep_and_a_summary() {
+        use crate::trace::{MemorySink, TraceEvent};
+        let sink = MemorySink::new();
+        let mut k = noisy_kernel(0.0, 7);
+        let p = Precision::default();
+        let point = Benchmark::new(&p)
+            .with_trace(&sink)
+            .measure(&mut k, 50)
+            .unwrap();
+        let events = sink.take();
+        let samples = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::BenchmarkSample { .. }))
+            .count();
+        // No outlier filter configured: every repetition survives.
+        assert_eq!(samples as u32, point.reps);
+        match events.last().unwrap() {
+            TraceEvent::BenchmarkDone {
+                rank,
+                d,
+                reps,
+                mean,
+                outliers_rejected,
+                ..
+            } => {
+                assert_eq!(*rank, 0);
+                assert_eq!(*d, 50);
+                assert_eq!(*reps, point.reps);
+                assert!((mean - point.t).abs() < 1e-15);
+                assert_eq!(*outliers_rejected, 0);
+            }
+            other => panic!("last event should be BenchmarkDone, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_trace_reports_every_rank() {
+        use crate::trace::{MemorySink, TraceEvent};
+        let sink = MemorySink::new();
+        let mut ks: Vec<DeviceKernel> = (0..3).map(|i| noisy_kernel(0.0, 40 + i)).collect();
+        let mut refs: Vec<&mut dyn Kernel> =
+            ks.iter_mut().map(|k| k as &mut dyn Kernel).collect();
+        let p = Precision::default();
+        let points = Benchmark::new(&p)
+            .with_trace(&sink)
+            .measure_group(&mut refs, &[100, 200, 300])
+            .unwrap();
+        let events = sink.take();
+        let mut done_ranks: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::BenchmarkDone { rank, d, reps, .. } => {
+                    assert_eq!(*d, 100 * (*rank as u64 + 1));
+                    assert_eq!(*reps, points[*rank].reps);
+                    Some(*rank)
+                }
+                _ => None,
+            })
+            .collect();
+        done_ranks.sort_unstable();
+        assert_eq!(done_ranks, vec![0, 1, 2]);
     }
 }

@@ -18,8 +18,11 @@
 //! 4. declare convergence when the observed times are balanced within
 //!    `eps` (or the distribution stops moving).
 
+use std::sync::Arc;
+
 use crate::model::Model;
 use crate::partition::{Distribution, Partitioner};
+use crate::trace::{metrics, NullSink, TraceEvent, TraceSink};
 use crate::{CoreError, Point};
 
 /// Outcome of one dynamic step.
@@ -42,6 +45,8 @@ pub struct DynamicContext {
     models: Vec<Box<dyn Model>>,
     dist: Distribution,
     eps: f64,
+    trace: Arc<dyn TraceSink>,
+    iter: u64,
 }
 
 impl std::fmt::Debug for DynamicContext {
@@ -50,6 +55,7 @@ impl std::fmt::Debug for DynamicContext {
             .field("size", &self.models.len())
             .field("dist", &self.dist)
             .field("eps", &self.eps)
+            .field("iter", &self.iter)
             .finish_non_exhaustive()
     }
 }
@@ -78,7 +84,23 @@ impl DynamicContext {
             models,
             dist,
             eps,
+            trace: Arc::new(NullSink),
+            iter: 0,
         }
+    }
+
+    /// Routes structured events ([`TraceEvent::ModelUpdate`],
+    /// [`TraceEvent::PartitionStep`], [`TraceEvent::DynamicConverged`])
+    /// to `sink`. The default is the no-op [`NullSink`].
+    #[must_use]
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = sink;
+        self
+    }
+
+    /// Dynamic-loop iterations absorbed so far.
+    pub fn iterations(&self) -> u64 {
+        self.iter
     }
 
     /// The current distribution.
@@ -154,8 +176,16 @@ impl DynamicContext {
     }
 
     fn absorb(&mut self, observed: Vec<Point>) -> Result<DynamicStep, CoreError> {
-        for (model, point) in self.models.iter_mut().zip(&observed) {
+        self.iter += 1;
+        for (rank, (model, point)) in self.models.iter_mut().zip(&observed).enumerate() {
             model.update(*point)?;
+            self.trace.record(&TraceEvent::ModelUpdate {
+                rank,
+                d: point.d,
+                t: point.t,
+                reps: point.reps,
+                points: model.points().len(),
+            });
         }
         let refs: Vec<&dyn Model> = self.models.iter().map(|m| m.as_ref()).collect();
         let new_dist = self.partitioner.partition(self.dist.total(), &refs)?;
@@ -166,7 +196,16 @@ impl DynamicContext {
             .filter(|p| p.d > 0)
             .map(|p| p.t)
             .collect();
-        let imbalance = Distribution::imbalance_of(&times);
+        // With fewer than two active processes there is nothing to
+        // balance against: a lone process (or an all-idle round) is
+        // balanced by definition. `imbalance_of` additionally guards
+        // `t_max <= 0`, so degenerate zero-time observations can never
+        // produce a NaN/negative imbalance.
+        let imbalance = if times.len() < 2 {
+            0.0
+        } else {
+            Distribution::imbalance_of(&times)
+        };
         let units_moved: u64 = new_dist
             .sizes()
             .iter()
@@ -175,6 +214,19 @@ impl DynamicContext {
             .sum::<u64>()
             / 2;
         let converged = imbalance <= self.eps || units_moved == 0;
+        metrics().add_units_moved(units_moved);
+        self.trace.record(&TraceEvent::PartitionStep {
+            iter: self.iter,
+            dist: new_dist.sizes(),
+            imbalance,
+            units_moved,
+        });
+        if converged {
+            self.trace.record(&TraceEvent::DynamicConverged {
+                steps: self.iter,
+                imbalance,
+            });
+        }
         self.dist = new_dist;
         Ok(DynamicStep {
             observed,
@@ -358,5 +410,102 @@ mod tests {
     fn balance_iterate_checks_arity() {
         let mut ctx = context(100, 0.05, 3);
         let _ = ctx.balance_iterate(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn single_process_is_balanced_by_definition() {
+        // Regression: one process means nothing to balance against —
+        // imbalance must be exactly 0.0 (not NaN from a degenerate
+        // spread) and the loop converged on the first step.
+        let mut ctx = context(100, 0.05, 1);
+        let step = ctx
+            .partition_iterate(|_, d| Ok(Point::single(d, d as f64 / 10.0)))
+            .unwrap();
+        assert_eq!(step.imbalance, 0.0);
+        assert!(step.converged);
+        assert_eq!(ctx.dist().sizes(), vec![100]);
+    }
+
+    #[test]
+    fn lone_active_process_reports_zero_imbalance() {
+        // Regression: once every unit lives on one process, the other
+        // contributes no observation — the single remaining time used
+        // to feed `(max - min)/max` with min = max. Must be 0.0 and
+        // converged, never NaN.
+        let mut ctx = context(10, 0.05, 2);
+        // Process 1 is ~10000x slower: everything migrates to 0.
+        ctx.balance_iterate(&[0.0001, 1.0]).unwrap();
+        for _ in 0..10 {
+            if ctx.dist().sizes()[1] == 0 {
+                break;
+            }
+            let times: Vec<f64> = ctx
+                .dist()
+                .sizes()
+                .iter()
+                .map(|&d| d as f64 * if d > 5 { 0.0001 } else { 1.0 })
+                .collect();
+            ctx.balance_iterate(&times).unwrap();
+        }
+        assert_eq!(ctx.dist().sizes(), vec![10, 0], "setup failed");
+        let step = ctx.balance_iterate(&[0.001, 0.0]).unwrap();
+        assert_eq!(step.imbalance, 0.0);
+        assert!(step.imbalance.is_finite());
+        assert!(step.converged);
+    }
+
+    #[test]
+    fn dynamic_loop_emits_trace_events() {
+        use crate::trace::{MemorySink, TraceEvent};
+        use std::sync::Arc;
+
+        let sink = Arc::new(MemorySink::new());
+        let models: Vec<Box<dyn Model>> = (0..2)
+            .map(|_| Box::new(PiecewiseModel::new()) as Box<dyn Model>)
+            .collect();
+        let mut ctx = DynamicContext::new(
+            Box::new(GeometricPartitioner::default()),
+            models,
+            1000,
+            0.05,
+        )
+        .with_trace(sink.clone());
+        let steps = ctx.run_to_balance(measure_two(100.0, 25.0), 20).unwrap();
+
+        let events = sink.take();
+        let updates = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ModelUpdate { .. }))
+            .count();
+        let partitions: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::PartitionStep {
+                    iter,
+                    dist,
+                    imbalance,
+                    units_moved,
+                } => Some((*iter, dist.clone(), *imbalance, *units_moved)),
+                _ => None,
+            })
+            .collect();
+        // One ModelUpdate per process per step, one PartitionStep per
+        // step, exactly one DynamicConverged at the end.
+        assert_eq!(updates, 2 * steps.len());
+        assert_eq!(partitions.len(), steps.len());
+        for (i, (step, part)) in steps.iter().zip(&partitions).enumerate() {
+            assert_eq!(part.0, i as u64 + 1, "iter numbering");
+            assert_eq!(part.2, step.imbalance);
+            assert_eq!(part.3, step.units_moved);
+        }
+        let converged: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::DynamicConverged { .. }))
+            .collect();
+        assert_eq!(converged.len(), 1);
+        if let TraceEvent::DynamicConverged { steps: n, .. } = converged[0] {
+            assert_eq!(*n, steps.len() as u64);
+        }
+        assert_eq!(ctx.iterations(), steps.len() as u64);
     }
 }

@@ -15,6 +15,8 @@ pub enum CoreError {
     Model(String),
     /// A partitioning algorithm could not produce a distribution.
     Partition(String),
+    /// A trace could not be read, validated or replayed.
+    Trace(String),
 }
 
 impl fmt::Display for CoreError {
@@ -24,6 +26,7 @@ impl fmt::Display for CoreError {
             CoreError::Kernel(msg) => write!(f, "kernel error: {msg}"),
             CoreError::Model(msg) => write!(f, "model error: {msg}"),
             CoreError::Partition(msg) => write!(f, "partition error: {msg}"),
+            CoreError::Trace(msg) => write!(f, "trace error: {msg}"),
         }
     }
 }

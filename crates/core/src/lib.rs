@@ -25,6 +25,11 @@
 //! paper's matrix-multiplication use case builds on, lives in
 //! [`matrix2d`].
 //!
+//! Every stage can emit structured observability events through the
+//! [`trace`] module: benchmark samples and summaries, model updates and
+//! dynamic repartitioning steps, recorded as JSONL or CSV with a
+//! versioned schema (see `docs/OBSERVABILITY.md` in the repository).
+//!
 //! # Quick start
 //!
 //! ```
@@ -75,6 +80,7 @@ pub mod model;
 pub mod partition;
 pub mod point;
 pub mod precision;
+pub mod trace;
 
 mod error;
 

@@ -144,6 +144,31 @@ pub trait Partitioner {
     /// model lacks the data the algorithm needs, and propagates solver
     /// failures.
     fn partition(&self, total: u64, models: &[&dyn Model]) -> Result<Distribution, CoreError>;
+
+    /// Like [`Partitioner::partition`], additionally recording a
+    /// one-shot [`crate::trace::TraceEvent::PartitionStep`] (with
+    /// `iter = 0` and the distribution's *predicted* imbalance) to
+    /// `sink`. Static partitionings thereby show up in the same trace
+    /// stream as dynamic refinement steps.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Partitioner::partition`].
+    fn partition_traced(
+        &self,
+        total: u64,
+        models: &[&dyn Model],
+        sink: &dyn crate::trace::TraceSink,
+    ) -> Result<Distribution, CoreError> {
+        let dist = self.partition(total, models)?;
+        sink.record(&crate::trace::TraceEvent::PartitionStep {
+            iter: 0,
+            dist: dist.sizes(),
+            imbalance: dist.predicted_imbalance(),
+            units_moved: 0,
+        });
+        Ok(dist)
+    }
 }
 
 /// Rounds a continuous distribution to integers (preserving the total)
@@ -153,6 +178,7 @@ pub(crate) fn finalize(
     continuous: &[f64],
     models: &[&dyn Model],
 ) -> Result<Distribution, CoreError> {
+    crate::trace::metrics().add_repartition();
     let weights: Vec<f64> = continuous.iter().map(|d| d.max(0.0)).collect();
     let shares = largest_remainder(&weights, total).map_err(CoreError::from)?;
     let parts = shares
@@ -199,6 +225,16 @@ mod tests {
         assert_eq!(Distribution::imbalance_of(&[1.0, 1.0, 1.0]), 0.0);
         assert!((Distribution::imbalance_of(&[2.0, 1.0]) - 0.5).abs() < 1e-12);
         assert_eq!(Distribution::imbalance_of(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn imbalance_of_degenerate_inputs_is_zero_and_finite() {
+        // Regression: `t_max == 0`, empty and single-observation inputs
+        // must yield exactly 0.0, never NaN or a negative value.
+        assert_eq!(Distribution::imbalance_of(&[]), 0.0);
+        assert_eq!(Distribution::imbalance_of(&[5.0]), 0.0);
+        assert_eq!(Distribution::imbalance_of(&[0.0]), 0.0);
+        assert!(Distribution::imbalance_of(&[0.0, 0.0, 0.0]).is_finite());
     }
 
     #[test]

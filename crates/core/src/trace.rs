@@ -1,0 +1,1180 @@
+//! Structured observability for benchmarking and dynamic partitioning.
+//!
+//! The paper's value proposition is *visibility into measured
+//! performance*: `fupermod_benchmark` stops on statistical confidence
+//! and `fupermod_dynamic` iterates partition → measure until balanced.
+//! This module makes those loops observable as a stream of typed
+//! [`TraceEvent`]s emitted through a [`TraceSink`]:
+//!
+//! * [`Benchmark`](crate::benchmark::Benchmark) emits one
+//!   [`TraceEvent::BenchmarkSample`] per repetition and a
+//!   [`TraceEvent::BenchmarkDone`] per measurement;
+//! * [`DynamicContext`](crate::dynamic::DynamicContext) emits
+//!   [`TraceEvent::ModelUpdate`] per absorbed observation,
+//!   [`TraceEvent::PartitionStep`] per re-partition, and
+//!   [`TraceEvent::DynamicConverged`] once balanced;
+//! * [`Partitioner::partition_traced`](crate::partition::Partitioner::partition_traced)
+//!   emits a single [`TraceEvent::PartitionStep`] for static partitioning.
+//!
+//! Four sinks are provided: [`NullSink`] (the default — zero work),
+//! [`MemorySink`] (in-process inspection and tests), [`JsonlSink`]
+//! (one JSON object per line) and [`CsvSink`] (fixed wide columns).
+//! Both file encodings are **schema-versioned** ([`SCHEMA_VERSION`])
+//! and specified field-by-field in `docs/OBSERVABILITY.md`; the JSONL
+//! form round-trips through [`TraceEvent::from_jsonl`] so a recorded
+//! trace can be replayed into fresh models ([`replay_into_models`]),
+//! giving simulation/prediction work machine-readable ground truth.
+//!
+//! Everything here is `std`-only and thread-safe: sinks take `&self`
+//! and are `Send + Sync`, so the group benchmark's worker threads can
+//! share one sink. A process-wide counters facade ([`metrics`])
+//! aggregates totals (kernels, repetitions, outliers, repartitions,
+//! units moved) for an at-exit summary.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::model::Model;
+use crate::{CoreError, Point};
+
+/// Version of the trace schema this build writes (see
+/// `docs/OBSERVABILITY.md` for the field-by-field specification).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// A typed observability event emitted by the measurement and
+/// partitioning machinery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// One benchmark repetition finished.
+    BenchmarkSample {
+        /// Process rank within its measurement group (0 for single).
+        rank: usize,
+        /// Problem size being measured, in computation units.
+        d: u64,
+        /// Repetition index (0-based).
+        rep: u32,
+        /// Execution time of this repetition, seconds.
+        time: f64,
+        /// Relative confidence-interval half-width of the mean after
+        /// this repetition (`inf` until two samples exist).
+        ci_rel: f64,
+    },
+    /// One statistically controlled measurement finished.
+    BenchmarkDone {
+        /// Process rank within its measurement group (0 for single).
+        rank: usize,
+        /// Problem size measured, in computation units.
+        d: u64,
+        /// Repetitions that survived the outlier filter.
+        reps: u32,
+        /// Mean execution time over the surviving repetitions, seconds.
+        mean: f64,
+        /// Standard error of the mean, seconds.
+        stderr: f64,
+        /// Total wall time spent measuring (all repetitions), seconds.
+        elapsed: f64,
+        /// Samples rejected by the MAD outlier filter.
+        outliers_rejected: u32,
+    },
+    /// A performance model absorbed an experimental point.
+    ModelUpdate {
+        /// Process rank owning the model.
+        rank: usize,
+        /// Problem size of the absorbed point.
+        d: u64,
+        /// Mean time of the absorbed point, seconds.
+        t: f64,
+        /// Repetitions behind the absorbed point.
+        reps: u32,
+        /// Points in the model after the update.
+        points: usize,
+    },
+    /// The partitioner produced a (new) distribution.
+    PartitionStep {
+        /// 1-based iteration of the dynamic loop (0 for a static,
+        /// one-shot partitioning).
+        iter: u64,
+        /// Assigned computation units per process.
+        dist: Vec<u64>,
+        /// Relative imbalance `(t_max - t_min)/t_max` of the observed
+        /// times that drove this step (predicted imbalance for static
+        /// partitioning).
+        imbalance: f64,
+        /// Computation units that changed owner relative to the
+        /// previous distribution.
+        units_moved: u64,
+    },
+    /// The dynamic loop reached its balance tolerance (or the
+    /// distribution stopped moving).
+    DynamicConverged {
+        /// Dynamic-loop iterations it took.
+        steps: u64,
+        /// Final relative imbalance.
+        imbalance: f64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable, lowercase event tag used by both encodings.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::BenchmarkSample { .. } => "benchmark_sample",
+            TraceEvent::BenchmarkDone { .. } => "benchmark_done",
+            TraceEvent::ModelUpdate { .. } => "model_update",
+            TraceEvent::PartitionStep { .. } => "partition_step",
+            TraceEvent::DynamicConverged { .. } => "dynamic_converged",
+        }
+    }
+
+    /// Encodes the event as one JSONL line (no trailing newline),
+    /// schema version [`SCHEMA_VERSION`].
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"event\":\"");
+        s.push_str(self.name());
+        s.push('"');
+        match self {
+            TraceEvent::BenchmarkSample {
+                rank,
+                d,
+                rep,
+                time,
+                ci_rel,
+            } => {
+                push_num(&mut s, "rank", *rank as f64);
+                push_num(&mut s, "d", *d as f64);
+                push_num(&mut s, "rep", f64::from(*rep));
+                push_float(&mut s, "time", *time);
+                push_float(&mut s, "ci_rel", *ci_rel);
+            }
+            TraceEvent::BenchmarkDone {
+                rank,
+                d,
+                reps,
+                mean,
+                stderr,
+                elapsed,
+                outliers_rejected,
+            } => {
+                push_num(&mut s, "rank", *rank as f64);
+                push_num(&mut s, "d", *d as f64);
+                push_num(&mut s, "reps", f64::from(*reps));
+                push_float(&mut s, "mean", *mean);
+                push_float(&mut s, "stderr", *stderr);
+                push_float(&mut s, "elapsed", *elapsed);
+                push_num(&mut s, "outliers_rejected", f64::from(*outliers_rejected));
+            }
+            TraceEvent::ModelUpdate {
+                rank,
+                d,
+                t,
+                reps,
+                points,
+            } => {
+                push_num(&mut s, "rank", *rank as f64);
+                push_num(&mut s, "d", *d as f64);
+                push_float(&mut s, "t", *t);
+                push_num(&mut s, "reps", f64::from(*reps));
+                push_num(&mut s, "points", *points as f64);
+            }
+            TraceEvent::PartitionStep {
+                iter,
+                dist,
+                imbalance,
+                units_moved,
+            } => {
+                push_num(&mut s, "iter", *iter as f64);
+                s.push_str(",\"dist\":[");
+                for (i, d) in dist.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "{d}");
+                }
+                s.push(']');
+                push_float(&mut s, "imbalance", *imbalance);
+                push_num(&mut s, "units_moved", *units_moved as f64);
+            }
+            TraceEvent::DynamicConverged { steps, imbalance } => {
+                push_num(&mut s, "steps", *steps as f64);
+                push_float(&mut s, "imbalance", *imbalance);
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Decodes one JSONL event line produced by [`TraceEvent::to_jsonl`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Trace`] on malformed JSON, an unknown event
+    /// tag, or missing fields.
+    pub fn from_jsonl(line: &str) -> Result<TraceEvent, CoreError> {
+        let fields = json::parse_flat_object(line)?;
+        let tag = fields
+            .iter()
+            .find(|(k, _)| k == "event")
+            .and_then(|(_, v)| v.as_str())
+            .ok_or_else(|| CoreError::Trace("missing \"event\" tag".to_owned()))?
+            .to_owned();
+        let num = |key: &str| -> Result<f64, CoreError> {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.as_f64())
+                .ok_or_else(|| {
+                    CoreError::Trace(format!("event '{tag}': missing numeric field '{key}'"))
+                })
+        };
+        match tag.as_str() {
+            "benchmark_sample" => Ok(TraceEvent::BenchmarkSample {
+                rank: num("rank")? as usize,
+                d: num("d")? as u64,
+                rep: num("rep")? as u32,
+                time: num("time")?,
+                ci_rel: num("ci_rel")?,
+            }),
+            "benchmark_done" => Ok(TraceEvent::BenchmarkDone {
+                rank: num("rank")? as usize,
+                d: num("d")? as u64,
+                reps: num("reps")? as u32,
+                mean: num("mean")?,
+                stderr: num("stderr")?,
+                elapsed: num("elapsed")?,
+                outliers_rejected: num("outliers_rejected")? as u32,
+            }),
+            "model_update" => Ok(TraceEvent::ModelUpdate {
+                rank: num("rank")? as usize,
+                d: num("d")? as u64,
+                t: num("t")?,
+                reps: num("reps")? as u32,
+                points: num("points")? as usize,
+            }),
+            "partition_step" => {
+                let dist = fields
+                    .iter()
+                    .find(|(k, _)| k == "dist")
+                    .and_then(|(_, v)| v.as_array())
+                    .ok_or_else(|| {
+                        CoreError::Trace("partition_step: missing 'dist' array".to_owned())
+                    })?
+                    .iter()
+                    .map(|x| *x as u64)
+                    .collect();
+                Ok(TraceEvent::PartitionStep {
+                    iter: num("iter")? as u64,
+                    dist,
+                    imbalance: num("imbalance")?,
+                    units_moved: num("units_moved")? as u64,
+                })
+            }
+            "dynamic_converged" => Ok(TraceEvent::DynamicConverged {
+                steps: num("steps")? as u64,
+                imbalance: num("imbalance")?,
+            }),
+            other => Err(CoreError::Trace(format!("unknown event tag '{other}'"))),
+        }
+    }
+
+    /// Encodes the event as one CSV data row matching [`CSV_HEADER`].
+    pub fn to_csv_row(&self) -> String {
+        // Columns: event,iter,rank,d,rep,reps,time,mean,stderr,ci_rel,
+        //          elapsed,outliers_rejected,t,points,imbalance,
+        //          units_moved,steps,dist
+        let mut c: [String; 18] = Default::default();
+        c[0] = self.name().to_owned();
+        match self {
+            TraceEvent::BenchmarkSample {
+                rank,
+                d,
+                rep,
+                time,
+                ci_rel,
+            } => {
+                c[2] = rank.to_string();
+                c[3] = d.to_string();
+                c[4] = rep.to_string();
+                c[6] = fmt_float(*time);
+                c[9] = fmt_float(*ci_rel);
+            }
+            TraceEvent::BenchmarkDone {
+                rank,
+                d,
+                reps,
+                mean,
+                stderr,
+                elapsed,
+                outliers_rejected,
+            } => {
+                c[2] = rank.to_string();
+                c[3] = d.to_string();
+                c[5] = reps.to_string();
+                c[7] = fmt_float(*mean);
+                c[8] = fmt_float(*stderr);
+                c[10] = fmt_float(*elapsed);
+                c[11] = outliers_rejected.to_string();
+            }
+            TraceEvent::ModelUpdate {
+                rank,
+                d,
+                t,
+                reps,
+                points,
+            } => {
+                c[2] = rank.to_string();
+                c[3] = d.to_string();
+                c[5] = reps.to_string();
+                c[12] = fmt_float(*t);
+                c[13] = points.to_string();
+            }
+            TraceEvent::PartitionStep {
+                iter,
+                dist,
+                imbalance,
+                units_moved,
+            } => {
+                c[1] = iter.to_string();
+                c[14] = fmt_float(*imbalance);
+                c[15] = units_moved.to_string();
+                c[17] = dist
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join(";");
+            }
+            TraceEvent::DynamicConverged { steps, imbalance } => {
+                c[14] = fmt_float(*imbalance);
+                c[16] = steps.to_string();
+            }
+        }
+        c.join(",")
+    }
+}
+
+/// Column header row of the CSV encoding (preceded in files by the
+/// `# fupermod-trace schema=1` comment line).
+pub const CSV_HEADER: &str = "event,iter,rank,d,rep,reps,time,mean,stderr,ci_rel,\
+elapsed,outliers_rejected,t,points,imbalance,units_moved,steps,dist";
+
+/// Formats a float for both encodings: shortest round-trip via Rust's
+/// `Display`, with non-finite values mapped to `null`-compatible text.
+fn fmt_float(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v.is_nan() {
+        "null".to_owned()
+    } else if v > 0.0 {
+        "1e9999".to_owned() // parses back to +inf
+    } else {
+        "-1e9999".to_owned()
+    }
+}
+
+fn push_float(s: &mut String, key: &str, v: f64) {
+    let _ = write!(s, ",\"{key}\":{}", fmt_float(v));
+}
+
+fn push_num(s: &mut String, key: &str, v: f64) {
+    let _ = write!(s, ",\"{key}\":{v}");
+}
+
+/// Minimal flat-JSON machinery for the trace subsystem (std-only; the
+/// build environment is offline, so no serde_json).
+mod json {
+    use crate::CoreError;
+
+    /// A parsed JSON value restricted to what trace lines contain.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// A number (or `null`, mapped to NaN).
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array of numbers.
+        Arr(Vec<f64>),
+    }
+
+    impl Value {
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(x) => Some(*x),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        pub fn as_array(&self) -> Option<&[f64]> {
+            match self {
+                Value::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses one flat JSON object (`{"k": v, ...}` where `v` is a
+    /// number, string, `null`, or array of numbers) into key/value
+    /// pairs in source order.
+    pub fn parse_flat_object(line: &str) -> Result<Vec<(String, Value)>, CoreError> {
+        let mut p = Parser {
+            bytes: line.trim().as_bytes(),
+            pos: 0,
+        };
+        p.expect(b'{')?;
+        let mut out = Vec::new();
+        p.skip_ws();
+        if p.peek() == Some(b'}') {
+            return Ok(out);
+        }
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            out.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => return Err(p.err("expected ',' or '}'")),
+            }
+        }
+        Ok(out)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn err(&self, msg: &str) -> CoreError {
+            CoreError::Trace(format!("bad trace JSON at byte {}: {msg}", self.pos))
+        }
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+        fn next(&mut self) -> Option<u8> {
+            let b = self.peek();
+            self.pos += 1;
+            b
+        }
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t')) {
+                self.pos += 1;
+            }
+        }
+        fn expect(&mut self, want: u8) -> Result<(), CoreError> {
+            self.skip_ws();
+            if self.next() == Some(want) {
+                Ok(())
+            } else {
+                Err(self.err(&format!("expected '{}'", want as char)))
+            }
+        }
+        fn string(&mut self) -> Result<String, CoreError> {
+            self.expect(b'"')?;
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' {
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid utf-8"))?
+                        .to_owned();
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                if b == b'\\' {
+                    return Err(self.err("escapes are not used by trace lines"));
+                }
+                self.pos += 1;
+            }
+            Err(self.err("unterminated string"))
+        }
+        fn number(&mut self) -> Result<f64, CoreError> {
+            let start = self.pos;
+            while matches!(
+                self.peek(),
+                Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            ) {
+                self.pos += 1;
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| self.err("malformed number"))
+        }
+        fn value(&mut self) -> Result<Value, CoreError> {
+            match self.peek() {
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b'[') => {
+                    self.pos += 1;
+                    let mut arr = Vec::new();
+                    self.skip_ws();
+                    if self.peek() == Some(b']') {
+                        self.pos += 1;
+                        return Ok(Value::Arr(arr));
+                    }
+                    loop {
+                        self.skip_ws();
+                        arr.push(self.number()?);
+                        self.skip_ws();
+                        match self.next() {
+                            Some(b',') => continue,
+                            Some(b']') => break,
+                            _ => return Err(self.err("expected ',' or ']'")),
+                        }
+                    }
+                    Ok(Value::Arr(arr))
+                }
+                Some(b'n') => {
+                    if self.bytes[self.pos..].starts_with(b"null") {
+                        self.pos += 4;
+                        Ok(Value::Num(f64::NAN))
+                    } else {
+                        Err(self.err("unknown literal"))
+                    }
+                }
+                _ => Ok(Value::Num(self.number()?)),
+            }
+        }
+    }
+}
+
+/// Destination for [`TraceEvent`]s.
+///
+/// Sinks must be cheap when inactive (the default [`NullSink`] is a
+/// no-op) and thread-safe: `record` takes `&self` so the synchronised
+/// group benchmark can emit from several worker threads at once.
+pub trait TraceSink: Send + Sync {
+    /// Records one event. Implementations must not panic on I/O
+    /// failure — store the error and surface it from [`TraceSink::flush`].
+    fn record(&self, event: &TraceEvent);
+
+    /// Flushes buffered output and surfaces any deferred write error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first write error encountered since the last flush.
+    fn flush(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The default sink: discards every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline]
+    fn record(&self, _event: &TraceEvent) {}
+}
+
+/// A shared static [`NullSink`] for default wiring.
+pub fn null_sink() -> &'static NullSink {
+    static NULL: NullSink = NullSink;
+    &NULL
+}
+
+/// Collects events in memory — for tests and in-process analysis.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of the recorded events, in order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("trace sink poisoned").clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace sink poisoned").len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes and returns the recorded events.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().expect("trace sink poisoned"))
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, event: &TraceEvent) {
+        self.events
+            .lock()
+            .expect("trace sink poisoned")
+            .push(event.clone());
+    }
+}
+
+struct WriterState<W: Write> {
+    writer: W,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> WriterState<W> {
+    fn write_line(&mut self, line: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+        {
+            self.error = Some(e);
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()
+    }
+}
+
+/// Streams events as JSON Lines: a `{"trace":"fupermod","schema":1}`
+/// header line followed by one object per event.
+pub struct JsonlSink<W: Write + Send> {
+    state: Mutex<WriterState<W>>,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncating) a JSONL trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(Self::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer; immediately writes the schema header line.
+    pub fn new(writer: W) -> Self {
+        let mut state = WriterState {
+            writer,
+            error: None,
+        };
+        state.write_line(&format!(
+            "{{\"trace\":\"fupermod\",\"schema\":{SCHEMA_VERSION}}}"
+        ));
+        Self {
+            state: Mutex::new(state),
+        }
+    }
+
+    /// Consumes the sink, flushes, and returns the writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first deferred write error, if any.
+    pub fn into_inner(self) -> io::Result<W> {
+        let mut state = self.state.into_inner().expect("trace sink poisoned");
+        state.flush()?;
+        Ok(state.writer)
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&self, event: &TraceEvent) {
+        self.state
+            .lock()
+            .expect("trace sink poisoned")
+            .write_line(&event.to_jsonl());
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        self.state.lock().expect("trace sink poisoned").flush()
+    }
+}
+
+/// Streams events as CSV: a `# fupermod-trace schema=1` comment line,
+/// the [`CSV_HEADER`] row, then one fixed-width row per event.
+pub struct CsvSink<W: Write + Send> {
+    state: Mutex<WriterState<W>>,
+}
+
+impl CsvSink<BufWriter<File>> {
+    /// Creates (truncating) a CSV trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(Self::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> CsvSink<W> {
+    /// Wraps a writer; immediately writes the schema comment and the
+    /// column header row.
+    pub fn new(writer: W) -> Self {
+        let mut state = WriterState {
+            writer,
+            error: None,
+        };
+        state.write_line(&format!("# fupermod-trace schema={SCHEMA_VERSION}"));
+        state.write_line(CSV_HEADER);
+        Self {
+            state: Mutex::new(state),
+        }
+    }
+
+    /// Consumes the sink, flushes, and returns the writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first deferred write error, if any.
+    pub fn into_inner(self) -> io::Result<W> {
+        let mut state = self.state.into_inner().expect("trace sink poisoned");
+        state.flush()?;
+        Ok(state.writer)
+    }
+}
+
+impl<W: Write + Send> TraceSink for CsvSink<W> {
+    fn record(&self, event: &TraceEvent) {
+        self.state
+            .lock()
+            .expect("trace sink poisoned")
+            .write_line(&event.to_csv_row());
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        self.state.lock().expect("trace sink poisoned").flush()
+    }
+}
+
+/// Parses a JSONL trace: validates the header line and decodes every
+/// event, returning `(schema_version, events)`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Trace`] on I/O failure, a missing/foreign
+/// header, an unsupported schema version, or any malformed event line.
+pub fn read_jsonl_trace<R: BufRead>(reader: R) -> Result<(u32, Vec<TraceEvent>), CoreError> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| CoreError::Trace("empty trace file".to_owned()))?
+        .map_err(|e| CoreError::Trace(format!("trace read failed: {e}")))?;
+    let fields = json::parse_flat_object(&header)?;
+    if fields
+        .iter()
+        .find(|(k, _)| k == "trace")
+        .and_then(|(_, v)| v.as_str())
+        != Some("fupermod")
+    {
+        return Err(CoreError::Trace(
+            "not a fupermod trace (missing header line)".to_owned(),
+        ));
+    }
+    let schema = fields
+        .iter()
+        .find(|(k, _)| k == "schema")
+        .and_then(|(_, v)| v.as_f64())
+        .ok_or_else(|| CoreError::Trace("header missing schema version".to_owned()))?
+        as u32;
+    if schema > SCHEMA_VERSION {
+        return Err(CoreError::Trace(format!(
+            "trace schema {schema} is newer than supported {SCHEMA_VERSION}"
+        )));
+    }
+    let mut events = Vec::new();
+    for line in lines {
+        let line = line.map_err(|e| CoreError::Trace(format!("trace read failed: {e}")))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(TraceEvent::from_jsonl(&line)?);
+    }
+    Ok((schema, events))
+}
+
+/// Replays the `model_update` events of a recorded trace into fresh
+/// models (one per rank), reconstructing the partial models a dynamic
+/// run built — the machine-readable ground truth simulation-based
+/// prediction needs. Returns the number of points applied.
+///
+/// # Errors
+///
+/// Propagates model-update failures and rejects ranks outside
+/// `models`.
+pub fn replay_into_models(
+    events: &[TraceEvent],
+    models: &mut [&mut dyn Model],
+) -> Result<usize, CoreError> {
+    let mut applied = 0;
+    for event in events {
+        if let TraceEvent::ModelUpdate {
+            rank, d, t, reps, ..
+        } = event
+        {
+            let n_models = models.len();
+            let model = models.get_mut(*rank).ok_or_else(|| {
+                CoreError::Trace(format!(
+                    "trace refers to rank {rank} but only {n_models} models were supplied"
+                ))
+            })?;
+            if *d == 0 {
+                continue; // idle probe: carries no speed information
+            }
+            model.update(Point {
+                d: *d,
+                t: *t,
+                reps: *reps,
+                ci: 0.0,
+            })?;
+            applied += 1;
+        }
+    }
+    Ok(applied)
+}
+
+/// Process-wide observability counters, updated by the measurement and
+/// partitioning machinery regardless of the configured sink.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    kernels_executed: AtomicU64,
+    total_reps: AtomicU64,
+    outliers_rejected: AtomicU64,
+    repartitions: AtomicU64,
+    units_moved: AtomicU64,
+}
+
+/// A point-in-time copy of [`Metrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Kernel measurement sessions (contexts) executed.
+    pub kernels_executed: u64,
+    /// Total benchmark repetitions across all measurements.
+    pub total_reps: u64,
+    /// Samples rejected by MAD outlier filtering.
+    pub outliers_rejected: u64,
+    /// Partitioner invocations that produced a distribution.
+    pub repartitions: u64,
+    /// Computation units that changed owner across all dynamic steps.
+    pub units_moved: u64,
+}
+
+impl Metrics {
+    pub(crate) fn add_kernel(&self) {
+        self.kernels_executed.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn add_reps(&self, n: u64) {
+        self.total_reps.fetch_add(n, Ordering::Relaxed);
+    }
+    pub(crate) fn add_outliers(&self, n: u64) {
+        self.outliers_rejected.fetch_add(n, Ordering::Relaxed);
+    }
+    pub(crate) fn add_repartition(&self) {
+        self.repartitions.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn add_units_moved(&self, n: u64) {
+        self.units_moved.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reads all counters at once.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            kernels_executed: self.kernels_executed.load(Ordering::Relaxed),
+            total_reps: self.total_reps.load(Ordering::Relaxed),
+            outliers_rejected: self.outliers_rejected.load(Ordering::Relaxed),
+            repartitions: self.repartitions.load(Ordering::Relaxed),
+            units_moved: self.units_moved.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero (tests and long-lived processes).
+    pub fn reset(&self) {
+        self.kernels_executed.store(0, Ordering::Relaxed);
+        self.total_reps.store(0, Ordering::Relaxed);
+        self.outliers_rejected.store(0, Ordering::Relaxed);
+        self.repartitions.store(0, Ordering::Relaxed);
+        self.units_moved.store(0, Ordering::Relaxed);
+    }
+
+    /// One-line human-readable summary for process-exit reporting.
+    pub fn summary(&self) -> String {
+        let s = self.snapshot();
+        format!(
+            "fupermod metrics: kernels={} reps={} outliers_rejected={} repartitions={} units_moved={}",
+            s.kernels_executed, s.total_reps, s.outliers_rejected, s.repartitions, s.units_moved
+        )
+    }
+}
+
+/// The process-wide [`Metrics`] instance.
+pub fn metrics() -> &'static Metrics {
+    static METRICS: Metrics = Metrics {
+        kernels_executed: AtomicU64::new(0),
+        total_reps: AtomicU64::new(0),
+        outliers_rejected: AtomicU64::new(0),
+        repartitions: AtomicU64::new(0),
+        units_moved: AtomicU64::new(0),
+    };
+    &METRICS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::BenchmarkSample {
+                rank: 1,
+                d: 500,
+                rep: 0,
+                time: 0.0125,
+                ci_rel: f64::INFINITY,
+            },
+            TraceEvent::BenchmarkDone {
+                rank: 1,
+                d: 500,
+                reps: 7,
+                mean: 0.0123,
+                stderr: 0.0002,
+                elapsed: 0.0861,
+                outliers_rejected: 1,
+            },
+            TraceEvent::ModelUpdate {
+                rank: 0,
+                d: 500,
+                t: 0.0123,
+                reps: 7,
+                points: 3,
+            },
+            TraceEvent::PartitionStep {
+                iter: 2,
+                dist: vec![800, 200],
+                imbalance: 0.75,
+                units_moved: 300,
+            },
+            TraceEvent::DynamicConverged {
+                steps: 3,
+                imbalance: 0.012,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_event() {
+        for event in sample_events() {
+            let line = event.to_jsonl();
+            let back = TraceEvent::from_jsonl(&line).unwrap();
+            // Infinity maps through 1e9999 and compares equal; NaN
+            // would not, but no event carries NaN here.
+            assert_eq!(event, back, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_are_flat_objects() {
+        for event in sample_events() {
+            let line = event.to_jsonl();
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(!line.contains('\n'));
+            let fields = json::parse_flat_object(&line).unwrap();
+            assert_eq!(fields[0].0, "event");
+        }
+    }
+
+    #[test]
+    fn csv_rows_have_stable_column_count() {
+        let n_cols = CSV_HEADER.split(',').count();
+        assert_eq!(n_cols, 18);
+        for event in sample_events() {
+            let row = event.to_csv_row();
+            assert_eq!(
+                row.split(',').count(),
+                n_cols,
+                "row has wrong arity: {row}"
+            );
+            assert_eq!(row.split(',').next(), Some(event.name()));
+        }
+    }
+
+    #[test]
+    fn memory_sink_records_in_order() {
+        let sink = MemorySink::new();
+        for e in sample_events() {
+            sink.record(&e);
+        }
+        assert_eq!(sink.len(), 5);
+        assert_eq!(sink.events(), sample_events());
+        assert_eq!(sink.take().len(), 5);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let sink = NullSink;
+        for e in sample_events() {
+            sink.record(&e);
+        }
+        sink.flush().unwrap();
+    }
+
+    #[test]
+    fn jsonl_sink_writes_header_then_events() {
+        let sink = JsonlSink::new(Vec::new());
+        for e in sample_events() {
+            sink.record(&e);
+        }
+        let buf = sink.into_inner().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let (schema, events) = read_jsonl_trace(text.as_bytes()).unwrap();
+        assert_eq!(schema, SCHEMA_VERSION);
+        assert_eq!(events, sample_events());
+    }
+
+    #[test]
+    fn csv_sink_writes_schema_comment_and_header() {
+        let sink = CsvSink::new(Vec::new());
+        for e in sample_events() {
+            sink.record(&e);
+        }
+        let text = String::from_utf8(sink.into_inner().unwrap()).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(
+            lines.next(),
+            Some(format!("# fupermod-trace schema={SCHEMA_VERSION}").as_str())
+        );
+        assert_eq!(lines.next(), Some(CSV_HEADER));
+        assert_eq!(lines.count(), sample_events().len());
+    }
+
+    #[test]
+    fn reader_rejects_foreign_and_future_traces() {
+        assert!(read_jsonl_trace("".as_bytes()).is_err());
+        assert!(read_jsonl_trace("{\"hello\":1}\n".as_bytes()).is_err());
+        let future = format!(
+            "{{\"trace\":\"fupermod\",\"schema\":{}}}\n",
+            SCHEMA_VERSION + 1
+        );
+        assert!(read_jsonl_trace(future.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn from_jsonl_rejects_malformed_lines() {
+        assert!(TraceEvent::from_jsonl("not json").is_err());
+        assert!(TraceEvent::from_jsonl("{\"event\":\"nope\"}").is_err());
+        assert!(TraceEvent::from_jsonl("{\"event\":\"model_update\"}").is_err());
+    }
+
+    #[test]
+    fn replay_rebuilds_models_from_trace() {
+        use crate::model::PiecewiseModel;
+        let events = vec![
+            TraceEvent::ModelUpdate {
+                rank: 0,
+                d: 100,
+                t: 1.0,
+                reps: 3,
+                points: 1,
+            },
+            TraceEvent::ModelUpdate {
+                rank: 1,
+                d: 200,
+                t: 4.0,
+                reps: 3,
+                points: 1,
+            },
+            TraceEvent::PartitionStep {
+                iter: 1,
+                dist: vec![150, 150],
+                imbalance: 0.5,
+                units_moved: 50,
+            },
+            TraceEvent::ModelUpdate {
+                rank: 0,
+                d: 0,
+                t: 0.0,
+                reps: 1,
+                points: 1,
+            },
+        ];
+        let mut m0 = PiecewiseModel::new();
+        let mut m1 = PiecewiseModel::new();
+        let mut refs: Vec<&mut dyn Model> = vec![&mut m0, &mut m1];
+        let applied = replay_into_models(&events, &mut refs).unwrap();
+        assert_eq!(applied, 2);
+        assert_eq!(m0.points().len(), 1);
+        assert_eq!(m1.points().len(), 1);
+        assert!((m0.points()[0].t - 1.0).abs() < 1e-12);
+
+        // Rank out of range is an error.
+        let mut only: Vec<&mut dyn Model> = vec![&mut m0];
+        assert!(replay_into_models(&events, &mut only).is_err());
+    }
+
+    #[test]
+    fn metrics_counts_and_resets() {
+        let m = Metrics::default();
+        m.add_kernel();
+        m.add_reps(10);
+        m.add_outliers(2);
+        m.add_repartition();
+        m.add_units_moved(40);
+        let s = m.snapshot();
+        assert_eq!(
+            (
+                s.kernels_executed,
+                s.total_reps,
+                s.outliers_rejected,
+                s.repartitions,
+                s.units_moved
+            ),
+            (1, 10, 2, 1, 40)
+        );
+        assert!(m.summary().contains("reps=10"));
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn sinks_are_shareable_across_threads() {
+        let sink = MemorySink::new();
+        std::thread::scope(|scope| {
+            for rank in 0..4 {
+                let sink = &sink;
+                scope.spawn(move || {
+                    for rep in 0..25 {
+                        sink.record(&TraceEvent::BenchmarkSample {
+                            rank,
+                            d: 10,
+                            rep,
+                            time: 0.001,
+                            ci_rel: 0.5,
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.len(), 100);
+    }
+}

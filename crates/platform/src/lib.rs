@@ -14,7 +14,7 @@
 //!
 //! Components:
 //!
-//! * [`profile`] — [`WorkloadProfile`](profile::WorkloadProfile): how a
+//! * [`profile`] — [`WorkloadProfile`]: how a
 //!   problem size in *computation units* translates to flops, resident
 //!   bytes, and transferred bytes for a given application kernel.
 //! * [`device`] — device models and their ground-truth time functions,

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local pre-PR gate: release build, full test suite, docs and lints
+# with warnings denied. Run from the repository root. Any extra
+# arguments (e.g. --offline) are forwarded to every cargo invocation.
+set -euo pipefail
+
+EXTRA=("$@")
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --workspace --release "${EXTRA[@]+"${EXTRA[@]}"}"
+run cargo test --workspace -q "${EXTRA[@]+"${EXTRA[@]}"}"
+RUSTDOCFLAGS="-D warnings" run cargo doc --workspace --no-deps -q "${EXTRA[@]+"${EXTRA[@]}"}"
+run cargo clippy --workspace --all-targets "${EXTRA[@]+"${EXTRA[@]}"}" -- -D warnings
+
+echo "==> all checks passed"

@@ -1,0 +1,216 @@
+#![warn(missing_docs)]
+
+//! Offline shim for `criterion`: just enough API for the workspace's
+//! `harness = false` benches to compile and produce useful numbers
+//! without the real statistics stack.
+//!
+//! Each benchmark is warmed up briefly, then timed in batches until a
+//! wall-clock budget is exhausted; the mean time per iteration is
+//! printed as `name ... <time>/iter (<n> iters)`. There is no outlier
+//! analysis, plotting, or saved baselines — run the real criterion on a
+//! connected machine for publishable numbers. Environment knobs:
+//!
+//! * `CRITERION_SHIM_BUDGET_MS` — per-benchmark measurement budget in
+//!   milliseconds (default 300).
+//! * `CRITERION_SHIM_WARMUP_MS` — warm-up budget (default 50).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimiser identity (re-export of `std::hint`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn env_ms(key: &str, default: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default),
+    )
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    /// Accumulated measured time.
+    elapsed: Duration,
+    /// Iterations measured.
+    iters: u64,
+    /// Wall-clock budget for this pass.
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly until the measurement budget is exhausted,
+    /// timing every call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(f());
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+fn format_time(t: f64) -> String {
+    if t < 1e-6 {
+        format!("{:8.2} ns", t * 1e9)
+    } else if t < 1e-3 {
+        format!("{:8.2} µs", t * 1e6)
+    } else if t < 1.0 {
+        format!("{:8.2} ms", t * 1e3)
+    } else {
+        format!("{t:8.3} s ")
+    }
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up pass (discarded).
+    let mut warm = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+        budget: env_ms("CRITERION_SHIM_WARMUP_MS", 50),
+    };
+    f(&mut warm);
+    // Measured pass.
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+        budget: env_ms("CRITERION_SHIM_BUDGET_MS", 300),
+    };
+    f(&mut b);
+    let mean = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+    println!("{name:<44} {}/iter ({} iters)", format_time(mean), b.iters);
+}
+
+/// Identifier for one parameterised benchmark within a group.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`, matching criterion.
+    pub fn new<F: Display, P: Display>(function: F, parameter: P) -> Self {
+        Self {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Declared throughput of a benchmark (accepted, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the group's throughput (ignored by the shim).
+    pub fn throughput(&mut self, _t: Throughput) {}
+
+    /// Benches `f` under `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        run_one(&format!("{}/{name}", self.name), &mut f);
+    }
+
+    /// Benches `f` with an input value under `group/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.name), &mut |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benches a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+}
+
+/// Collects benchmark functions into a named group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_counts() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget: Duration::from_millis(5),
+        };
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert!(b.iters > 0);
+        assert_eq!(n, b.iters);
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        let id = BenchmarkId::new("akima", 32);
+        assert_eq!(id.name, "akima/32");
+    }
+}

@@ -1,0 +1,48 @@
+//! Deterministic random source for the proptest shim.
+//!
+//! Each property test gets a seed derived (FNV-1a) from its fully
+//! qualified name, XORed with the optional `PROPTEST_SEED` environment
+//! variable, so failures reproduce run-to-run without a persistence
+//! file while still allowing exploration of different streams.
+
+/// SplitMix64 generator used to produce test inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// The generator for the named test: FNV-1a of the name, XOR
+/// `PROPTEST_SEED` when set.
+pub fn rng_for(test_name: &str) -> TestRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let env_seed: u64 = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    TestRng::from_seed(hash ^ env_seed)
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Offline shim for `serde`: marker traits plus no-op derive macros.
+//!
+//! The FuPerMod workspace annotates its plain-data types with
+//! `#[derive(Serialize, Deserialize)]` so downstream users *could*
+//! serialise them, but nothing in the repository calls serde itself
+//! (model point files use a hand-rolled text format, the new trace
+//! subsystem hand-rolls JSONL/CSV). This crate provides just enough
+//! API surface — the two trait names and the two derive macros — for
+//! those annotations to compile in the offline build environment.
+//!
+//! The derives expand to nothing, so the traits are *not* implemented
+//! for the annotated types; any future code that genuinely needs serde
+//! serialisation must swap this shim for the real crate (delete the
+//! `serde`/`serde_derive` entries under `shims/` and restore the
+//! registry dependency in the workspace `Cargo.toml`).
+
+/// Marker stand-in for `serde::Serialize` (never implemented by the
+/// no-op derive).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (never implemented by the
+/// no-op derive).
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,23 @@
+//! Offline shim for `serde_derive`: the `Serialize` / `Deserialize`
+//! derive macros expand to nothing.
+//!
+//! The workspace only uses the derives as declarative markers on plain
+//! data types (`Point`, `Part`, `Distribution`, …); no code path
+//! actually serialises through serde (model I/O is a hand-rolled text
+//! format). Emitting an empty token stream therefore keeps every
+//! `#[derive(Serialize, Deserialize)]` compiling in the offline build
+//! environment without pulling in the real proc-macro stack.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -7,56 +7,31 @@
 //! ```text
 //! Usage: fupermod_builder [--platform NAME] [--seed S] [--block B]
 //!                         [--lo L --hi H --points N] [--out DIR]
-//!   --platform  uniform4 | two-speed | multicore | hybrid | grid (default: two-speed)
-//!   --seed      platform seed (default: 1)
-//!   --block     matmul blocking factor (default: 16)
-//!   --lo/--hi   size range in computation units (default: 16..65536)
-//!   --points    number of benchmark sizes (default: 14)
-//!   --out       output directory (default: ./models)
+//!                         [--trace PATH [--trace-format jsonl|csv]]
+//!   --platform      uniform4 | two-speed | multicore | hybrid | grid (default: two-speed)
+//!   --seed          platform seed (default: 1)
+//!   --block         matmul blocking factor (default: 16)
+//!   --lo/--hi       size range in computation units (default: 16..65536)
+//!   --points        number of benchmark sizes (default: 14)
+//!   --out           output directory (default: ./models)
+//!   --trace         write a structured trace of every benchmark
+//!                   repetition and model update (see docs/OBSERVABILITY.md)
+//!   --trace-format  jsonl (default) or csv
 //! ```
 
-use std::collections::HashMap;
-
+use fupermod::cli;
 use fupermod::core::benchmark::Benchmark;
 use fupermod::core::kernel::DeviceKernel;
 use fupermod::core::model::{io, Model, PiecewiseModel};
+use fupermod::core::trace::{null_sink, TraceEvent};
 use fupermod::core::Precision;
-use fupermod::platform::{Platform, WorkloadProfile};
-
-fn parse_args() -> HashMap<String, String> {
-    let mut map = HashMap::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(flag) = args.next() {
-        let key = flag.trim_start_matches("--").to_owned();
-        if let Some(value) = args.next() {
-            map.insert(key, value);
-        } else {
-            eprintln!("missing value for --{key}");
-            std::process::exit(2);
-        }
-    }
-    map
-}
-
-fn pick_platform(name: &str, seed: u64) -> Platform {
-    match name {
-        "uniform4" => Platform::uniform(4, seed),
-        "two-speed" => Platform::two_speed(2, 2, seed),
-        "multicore" => Platform::multicore_node(6, seed),
-        "hybrid" => Platform::hybrid_node(4, seed),
-        "grid" => Platform::grid_site(seed),
-        other => {
-            eprintln!("unknown platform '{other}'");
-            std::process::exit(2);
-        }
-    }
-}
+use fupermod::platform::WorkloadProfile;
 
 fn main() {
-    let args = parse_args();
+    let args = cli::parse_args();
     let get = |k: &str, default: &str| args.get(k).cloned().unwrap_or_else(|| default.to_owned());
 
-    let platform = pick_platform(
+    let platform = cli::pick_platform(
         &get("platform", "two-speed"),
         get("seed", "1").parse().expect("seed must be an integer"),
     );
@@ -65,11 +40,13 @@ fn main() {
     let hi: u64 = get("hi", "65536").parse().expect("hi must be an integer");
     let npoints: usize = get("points", "14").parse().expect("points must be an integer");
     let out = std::path::PathBuf::from(get("out", "models"));
+    let sink = cli::open_trace_sink(&args);
+    let trace = sink.as_deref().unwrap_or(null_sink());
 
     std::fs::create_dir_all(&out).expect("cannot create output directory");
     let profile = WorkloadProfile::matrix_update(block);
     let precision = Precision::thorough();
-    let bench = Benchmark::new(&precision);
+    let bench = Benchmark::new(&precision).with_trace(trace);
 
     // Geometric size grid.
     let ratio = (hi as f64 / lo as f64).powf(1.0 / (npoints as f64 - 1.0));
@@ -83,6 +60,13 @@ fn main() {
         for &d in &sizes {
             let point = bench.measure(&mut kernel, d).expect("benchmark failed");
             model.update(point).expect("model update failed");
+            trace.record(&TraceEvent::ModelUpdate {
+                rank,
+                d: point.d,
+                t: point.t,
+                reps: point.reps,
+                points: model.points().len(),
+            });
         }
         let path = out.join(format!("{rank:02}_{}.points", dev.name()));
         io::save_model(&path, &model).expect("save failed");
@@ -99,4 +83,5 @@ fn main() {
         platform.size(),
         out.display()
     );
+    cli::finish_trace(sink.as_ref());
 }

@@ -6,36 +6,21 @@
 //! Usage: fupermod_partitioner --models DIR --total D
 //!                             [--algorithm even|constant|geometric|numerical]
 //!                             [--model cpm|linear|piecewise|akima]
-//!   --models     directory of *.points files (rank order = sorted name)
-//!   --total      workload in computation units
-//!   --algorithm  partitioning algorithm (default: geometric)
-//!   --model      model type built from the points (default: piecewise)
+//!                             [--trace PATH [--trace-format jsonl|csv]]
+//!   --models        directory of *.points files (rank order = sorted name)
+//!   --total         workload in computation units
+//!   --algorithm     partitioning algorithm (default: geometric)
+//!   --model         model type built from the points (default: piecewise)
+//!   --trace         write the partition step as a structured trace
+//!                   (see docs/OBSERVABILITY.md)
+//!   --trace-format  jsonl (default) or csv
 //! ```
 
-use std::collections::HashMap;
-
+use fupermod::cli;
 use fupermod::core::model::{
     io, AkimaModel, ConstantModel, LinearModel, Model, PiecewiseModel,
 };
-use fupermod::core::partition::{
-    ConstantPartitioner, EvenPartitioner, GeometricPartitioner, NumericalPartitioner,
-    Partitioner,
-};
-
-fn parse_args() -> HashMap<String, String> {
-    let mut map = HashMap::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(flag) = args.next() {
-        let key = flag.trim_start_matches("--").to_owned();
-        if let Some(value) = args.next() {
-            map.insert(key, value);
-        } else {
-            eprintln!("missing value for --{key}");
-            std::process::exit(2);
-        }
-    }
-    map
-}
+use fupermod::core::trace::null_sink;
 
 fn new_model(kind: &str) -> Box<dyn Model> {
     match kind {
@@ -50,21 +35,8 @@ fn new_model(kind: &str) -> Box<dyn Model> {
     }
 }
 
-fn new_partitioner(kind: &str) -> Box<dyn Partitioner> {
-    match kind {
-        "even" => Box::new(EvenPartitioner),
-        "constant" => Box::new(ConstantPartitioner),
-        "geometric" => Box::new(GeometricPartitioner::default()),
-        "numerical" => Box::new(NumericalPartitioner::default()),
-        other => {
-            eprintln!("unknown algorithm '{other}'");
-            std::process::exit(2);
-        }
-    }
-}
-
 fn main() {
-    let args = parse_args();
+    let args = cli::parse_args();
     let dir = args.get("models").map(std::path::PathBuf::from).unwrap_or_else(|| {
         eprintln!("--models DIR is required");
         std::process::exit(2);
@@ -82,6 +54,7 @@ fn main() {
         .get("algorithm")
         .map(String::as_str)
         .unwrap_or("geometric");
+    let sink = cli::open_trace_sink(&args);
 
     let mut files: Vec<_> = std::fs::read_dir(&dir)
         .expect("cannot read models directory")
@@ -102,9 +75,9 @@ fn main() {
     }
     let refs: Vec<&dyn Model> = models.iter().map(|m| m.as_ref()).collect();
 
-    let partitioner = new_partitioner(algo_kind);
+    let partitioner = cli::pick_partitioner(algo_kind);
     let dist = partitioner
-        .partition(total, &refs)
+        .partition_traced(total, &refs, sink.as_deref().unwrap_or(null_sink()))
         .expect("partitioning failed");
 
     println!("# rank  file  d  predicted_t");
@@ -122,4 +95,5 @@ fn main() {
         dist.predicted_makespan(),
         dist.predicted_imbalance()
     );
+    cli::finish_trace(sink.as_ref());
 }

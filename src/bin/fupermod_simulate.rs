@@ -5,80 +5,43 @@
 //! Usage: fupermod_simulate --app matmul|jacobi|heat
 //!                          [--platform NAME] [--seed S] [--size N]
 //!                          [--algorithm even|constant|geometric|numerical]
-//!   --app        which application to simulate
-//!   --platform   uniform4 | two-speed | multicore | hybrid | grid (default: two-speed)
-//!   --seed       platform/workload seed (default: 1)
-//!   --size       problem size: matmul = blocks per side (default 128),
-//!                jacobi/heat = rows (default 600)
-//!   --algorithm  partitioning algorithm (default: geometric)
-//!   --trace yes  (matmul only) dump the Gantt-style trace CSV to stderr
+//!                          [--trace PATH [--trace-format jsonl|csv]]
+//!   --app           which application to simulate
+//!   --platform      uniform4 | two-speed | multicore | hybrid | grid (default: two-speed)
+//!   --seed          platform/workload seed (default: 1)
+//!   --size          problem size: matmul = blocks per side (default 128),
+//!                   jacobi/heat = rows (default 600)
+//!   --algorithm     partitioning algorithm (default: geometric)
+//!   --trace         write a structured trace (see docs/OBSERVABILITY.md)
+//!   --trace-format  jsonl (default) or csv
+//!   --gantt yes     (matmul only) dump the Gantt-style activity CSV to stderr
 //! ```
 
-use std::collections::HashMap;
-
-use fupermod::apps::heat::{run as heat_run, sine_mode, HeatConfig};
-use fupermod::apps::jacobi::{run as jacobi_run, JacobiConfig};
+use fupermod::apps::heat::{run_traced as heat_run, sine_mode, HeatConfig};
+use fupermod::apps::jacobi::{run_traced as jacobi_run, JacobiConfig};
 use fupermod::apps::matmul::{
-    build_device_models, partition_areas, simulate, simulate_traced, MatMulConfig,
+    build_device_models_traced, simulate, simulate_traced, MatMulConfig,
 };
 use fupermod::apps::workload::dominant_system;
+use fupermod::cli;
 use fupermod::core::model::{AkimaModel, Model};
-use fupermod::core::partition::{
-    ConstantPartitioner, EvenPartitioner, GeometricPartitioner, NumericalPartitioner,
-    Partitioner,
-};
+use fupermod::core::trace::{null_sink, TraceSink};
 use fupermod::core::Precision;
-use fupermod::platform::{LinkModel, Platform, WorkloadProfile};
+use fupermod::platform::{LinkModel, WorkloadProfile};
 
-fn parse_args() -> HashMap<String, String> {
-    let mut map = HashMap::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(flag) = args.next() {
-        let key = flag.trim_start_matches("--").to_owned();
-        if let Some(value) = args.next() {
-            map.insert(key, value);
-        } else {
-            eprintln!("missing value for --{key}");
-            std::process::exit(2);
-        }
-    }
-    map
-}
-
-fn pick_platform(name: &str, seed: u64) -> Platform {
-    match name {
-        "uniform4" => Platform::uniform(4, seed),
-        "two-speed" => Platform::two_speed(2, 2, seed),
-        "multicore" => Platform::multicore_node(6, seed),
-        "hybrid" => Platform::hybrid_node(4, seed),
-        "grid" => Platform::grid_site(seed),
-        other => {
-            eprintln!("unknown platform '{other}'");
-            std::process::exit(2);
-        }
-    }
-}
-
-fn pick_partitioner(name: &str) -> Box<dyn Partitioner> {
-    match name {
-        "even" => Box::new(EvenPartitioner),
-        "constant" => Box::new(ConstantPartitioner),
-        "geometric" => Box::new(GeometricPartitioner::default()),
-        "numerical" => Box::new(NumericalPartitioner::default()),
-        other => {
-            eprintln!("unknown algorithm '{other}'");
-            std::process::exit(2);
-        }
-    }
-}
+use std::sync::Arc;
 
 fn main() {
-    let args = parse_args();
+    let args = cli::parse_args();
     let get = |k: &str, default: &str| args.get(k).cloned().unwrap_or_else(|| default.to_owned());
     let app = get("app", "");
     let seed: u64 = get("seed", "1").parse().expect("seed must be an integer");
-    let platform = pick_platform(&get("platform", "two-speed"), seed);
+    let platform = cli::pick_platform(&get("platform", "two-speed"), seed);
     let algorithm = get("algorithm", "geometric");
+    let sink = cli::open_trace_sink(&args);
+    let events: Arc<dyn TraceSink> = sink
+        .clone()
+        .unwrap_or_else(|| Arc::new(fupermod::core::trace::NullSink));
 
     match app.as_str() {
         "matmul" => {
@@ -86,23 +49,26 @@ fn main() {
             let cfg = MatMulConfig { n_blocks, block: 16 };
             let profile = WorkloadProfile::matrix_update(cfg.block);
             let max = (n_blocks * n_blocks / 2).max(32);
-            let models: Vec<AkimaModel> = build_device_models(
+            let models: Vec<AkimaModel> = build_device_models_traced(
                 &platform,
                 &profile,
                 &[32, max / 64, max / 8, max],
                 &Precision::default(),
+                sink.as_deref().unwrap_or(null_sink()),
             )
             .expect("model build failed");
             let refs: Vec<&dyn Model> = models.iter().map(|m| m as &dyn Model).collect();
-            let partitioner = pick_partitioner(&algorithm);
-            let areas = partition_areas(partitioner.as_ref(), n_blocks, &refs)
+            let partitioner = cli::pick_partitioner(&algorithm);
+            let dist = partitioner
+                .partition_traced(n_blocks * n_blocks, &refs, events.as_ref())
                 .expect("partition failed");
-            let want_trace = get("trace", "no") == "yes";
-            let report = if want_trace {
-                let (report, trace) =
+            let areas = dist.sizes();
+            let want_gantt = get("gantt", "no") == "yes";
+            let report = if want_gantt {
+                let (report, gantt) =
                     simulate_traced(&platform, &areas, &cfg).expect("simulation failed");
                 eprintln!("rank,start,end,activity");
-                for e in &trace {
+                for e in &gantt {
                     eprintln!("{},{:.6},{:.6},{:?}", e.rank, e.start, e.end, e.activity);
                 }
                 report
@@ -121,8 +87,9 @@ fn main() {
             let report = jacobi_run(
                 &system,
                 &platform,
-                pick_partitioner(&algorithm),
+                cli::pick_partitioner(&algorithm),
                 &JacobiConfig::default(),
+                events.clone(),
             )
             .expect("jacobi run failed");
             println!("platform: {}", platform.name());
@@ -145,8 +112,9 @@ fn main() {
                 &initial,
                 rows,
                 &platform,
-                pick_partitioner(&algorithm),
+                cli::pick_partitioner(&algorithm),
                 &cfg,
+                events.clone(),
             )
             .expect("heat run failed");
             println!("platform: {}", platform.name());
@@ -164,4 +132,5 @@ fn main() {
             std::process::exit(2);
         }
     }
+    cli::finish_trace(sink.as_ref());
 }

@@ -1,0 +1,117 @@
+//! Shared helpers for the `fupermod_*` command-line binaries: flag
+//! parsing, platform/partitioner selection, and trace-sink wiring for
+//! the `--trace PATH [--trace-format jsonl|csv]` flags every binary
+//! accepts (see `docs/OBSERVABILITY.md`).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fupermod_core::partition::{
+    ConstantPartitioner, EvenPartitioner, GeometricPartitioner, NumericalPartitioner,
+    Partitioner,
+};
+use fupermod_core::trace::{metrics, CsvSink, JsonlSink, TraceSink};
+use fupermod_platform::Platform;
+
+/// Parses `--flag value` pairs from the process arguments into a map
+/// (keys without the leading `--`). Exits with status 2 on a flag
+/// without a value.
+pub fn parse_args() -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let key = flag.trim_start_matches("--").to_owned();
+        if let Some(value) = args.next() {
+            map.insert(key, value);
+        } else {
+            eprintln!("missing value for --{key}");
+            std::process::exit(2);
+        }
+    }
+    map
+}
+
+/// Resolves a simulated platform by name. Exits with status 2 on an
+/// unknown name.
+pub fn pick_platform(name: &str, seed: u64) -> Platform {
+    match name {
+        "uniform4" => Platform::uniform(4, seed),
+        "two-speed" => Platform::two_speed(2, 2, seed),
+        "multicore" => Platform::multicore_node(6, seed),
+        "hybrid" => Platform::hybrid_node(4, seed),
+        "grid" => Platform::grid_site(seed),
+        other => {
+            eprintln!("unknown platform '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Resolves a partitioning algorithm by name. Exits with status 2 on
+/// an unknown name.
+pub fn pick_partitioner(name: &str) -> Box<dyn Partitioner> {
+    match name {
+        "even" => Box::new(EvenPartitioner),
+        "constant" => Box::new(ConstantPartitioner),
+        "geometric" => Box::new(GeometricPartitioner::default()),
+        "numerical" => Box::new(NumericalPartitioner::default()),
+        other => {
+            eprintln!("unknown algorithm '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Opens the structured-trace sink requested by `--trace PATH` and
+/// `--trace-format jsonl|csv` (default `jsonl`, or inferred from a
+/// `.csv` extension). Returns `None` when `--trace` was not given.
+///
+/// Exits with status 2 on an unknown format and status 1 when the file
+/// cannot be created.
+pub fn open_trace_sink(args: &HashMap<String, String>) -> Option<Arc<dyn TraceSink>> {
+    let path = args.get("trace")?;
+    let format = args
+        .get("trace-format")
+        .map(String::as_str)
+        .unwrap_or_else(|| {
+            if path.ends_with(".csv") {
+                "csv"
+            } else {
+                "jsonl"
+            }
+        });
+    let sink: Arc<dyn TraceSink> = match format {
+        "jsonl" => match JsonlSink::create(path) {
+            Ok(s) => Arc::new(s),
+            Err(e) => {
+                eprintln!("cannot create trace file {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        "csv" => match CsvSink::create(path) {
+            Ok(s) => Arc::new(s),
+            Err(e) => {
+                eprintln!("cannot create trace file {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        other => {
+            eprintln!("--trace-format must be jsonl or csv (got '{other}')");
+            std::process::exit(2);
+        }
+    };
+    Some(sink)
+}
+
+/// Flushes an optional trace sink, exiting with status 1 on a deferred
+/// write error, and prints the process-wide metrics summary to stderr.
+/// Call once, right before the binary exits.
+pub fn finish_trace(sink: Option<&Arc<dyn TraceSink>>) {
+    if let Some(sink) = sink {
+        if let Err(e) = sink.flush() {
+            eprintln!("trace write failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!("{}", metrics().summary());
+}

@@ -19,6 +19,9 @@
 //! | [`core`] | `fupermod-core` | benchmarking, performance models, partitioning |
 //! | [`apps`] | `fupermod-apps` | matrix multiplication and Jacobi use cases |
 //!
+//! The [`cli`] module holds the flag parsing and `--trace` sink wiring
+//! shared by the `fupermod_*` binaries.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -53,6 +56,8 @@
 //! for the binaries that regenerate every figure/experiment of the
 //! paper (indexed in `DESIGN.md`, results recorded in
 //! `EXPERIMENTS.md`).
+
+pub mod cli;
 
 pub use fupermod_apps as apps;
 pub use fupermod_core as core;
