@@ -20,7 +20,7 @@ use fupermod_core::matrix2d::{column_partition, ColumnPartition};
 use fupermod_core::model::Model;
 use fupermod_core::partition::Partitioner;
 use fupermod_core::{CoreError, Point};
-use fupermod_kernels::gemm::gemm_blocked;
+use fupermod_kernels::gemm::{gemm_blocked, gemm_parallel};
 use fupermod_platform::comm::SimComm;
 use fupermod_platform::{Platform, ThreadComm, WorkloadProfile};
 
@@ -56,18 +56,19 @@ pub struct SimReport {
 /// # Errors
 ///
 /// Propagates benchmark and model errors.
-pub fn build_device_models<M: Model + Default>(
+pub fn build_device_models<M: Model + Default + Send>(
     platform: &Platform,
     profile: &WorkloadProfile,
     sizes: &[u64],
     precision: &fupermod_core::Precision,
 ) -> Result<Vec<M>, CoreError> {
-    build_device_models_traced(
+    build_device_models_with(
         platform,
         profile,
         sizes,
         precision,
         fupermod_core::trace::null_sink(),
+        1,
     )
 }
 
@@ -78,36 +79,50 @@ pub fn build_device_models<M: Model + Default>(
 /// # Errors
 ///
 /// Exactly those of [`build_device_models`].
-pub fn build_device_models_traced<M: Model + Default>(
+pub fn build_device_models_traced<M: Model + Default + Send>(
     platform: &Platform,
     profile: &WorkloadProfile,
     sizes: &[u64],
     precision: &fupermod_core::Precision,
     sink: &dyn fupermod_core::trace::TraceSink,
 ) -> Result<Vec<M>, CoreError> {
-    use fupermod_core::benchmark::Benchmark;
-    use fupermod_core::kernel::DeviceKernel;
-    use fupermod_core::trace::TraceEvent;
+    build_device_models_with(platform, profile, sizes, precision, sink, 1)
+}
 
-    let bench = Benchmark::new(precision).with_trace(sink);
-    let mut models = Vec::with_capacity(platform.size());
-    for (rank, dev) in platform.devices().iter().enumerate() {
-        let mut kernel = DeviceKernel::new(dev.clone(), profile.clone());
-        let mut model = M::default();
-        for &d in sizes {
-            let point = bench.measure(&mut kernel, d)?;
-            model.update(point)?;
-            sink.record(&TraceEvent::ModelUpdate {
-                rank,
-                d: point.d,
-                t: point.t,
-                reps: point.reps,
-                points: model.points().len(),
-            });
-        }
-        models.push(model);
-    }
-    Ok(models)
+/// The full-control variant of [`build_device_models`]: structured
+/// trace events go to `sink` and the per-device builds run on up to
+/// `parallelism` scoped worker threads (`1` = serial, `0` = one worker
+/// per available core). Devices on a dedicated platform measure
+/// independently, so models **and** the trace-event stream are
+/// bit-identical to the serial build at every worker count (see
+/// [`fupermod_core::builder::ModelBuilder`]).
+///
+/// # Errors
+///
+/// Exactly those of [`build_device_models`].
+pub fn build_device_models_with<M: Model + Default + Send>(
+    platform: &Platform,
+    profile: &WorkloadProfile,
+    sizes: &[u64],
+    precision: &fupermod_core::Precision,
+    sink: &dyn fupermod_core::trace::TraceSink,
+    parallelism: usize,
+) -> Result<Vec<M>, CoreError> {
+    use fupermod_core::builder::ModelBuilder;
+    use fupermod_core::kernel::{DeviceKernel, Kernel};
+
+    let kernels: Vec<Box<dyn Kernel + Send>> = platform
+        .devices()
+        .iter()
+        .map(|dev| {
+            Box::new(DeviceKernel::new(dev.clone(), profile.clone())) as Box<dyn Kernel + Send>
+        })
+        .collect();
+    let built = ModelBuilder::new(precision)
+        .with_parallelism(parallelism)
+        .with_trace(sink)
+        .build::<M>(kernels, sizes)?;
+    Ok(built.into_iter().map(|b| b.model).collect())
 }
 
 /// Partitions the total block area `n_blocks²` over the devices with
@@ -259,6 +274,25 @@ pub fn run_threaded(
     block: usize,
     areas: &[u64],
 ) -> Result<DenseMatrix, CoreError> {
+    run_threaded_with(a, b, block, areas, 1)
+}
+
+/// Like [`run_threaded`], with each process's local GEMM additionally
+/// split across `gemm_threads` row-band workers
+/// ([`fupermod_kernels::gemm::gemm_parallel`]; `1` = single-threaded,
+/// `0` = one worker per available core). The assembled product is
+/// bit-identical at every thread count.
+///
+/// # Errors
+///
+/// Exactly those of [`run_threaded`].
+pub fn run_threaded_with(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    block: usize,
+    areas: &[u64],
+    gemm_threads: usize,
+) -> Result<DenseMatrix, CoreError> {
     let n = a.rows;
     if a.cols != n || b.rows != n || b.cols != n {
         return Err(CoreError::Kernel("matrices must be square and equal".to_owned()));
@@ -302,7 +336,11 @@ pub fn run_threaded(
                         .copy_from_slice(&b[r * n + col0..r * n + col0 + cols]);
                 }
                 let mut c = vec![0.0; rows * cols];
-                gemm_blocked(rows, cols, n, a_band, &b_band, &mut c);
+                if gemm_threads == 1 {
+                    gemm_blocked(rows, cols, n, a_band, &b_band, &mut c);
+                } else {
+                    gemm_parallel(rows, cols, n, a_band, &b_band, &mut c, gemm_threads);
+                }
                 (rank, c)
             }));
         }
@@ -455,6 +493,51 @@ mod tests {
             fpm.total_time,
             even.total_time
         );
+    }
+
+    #[test]
+    fn threaded_matmul_with_gemm_threads_is_bit_identical() {
+        let n = 48;
+        let a = random_matrix(n, n, 5);
+        let b = random_matrix(n, n, 6);
+        let reference = run_threaded(&a, &b, 8, &[18, 9, 6, 3]).unwrap();
+        for threads in [0, 2, 4] {
+            let c = run_threaded_with(&a, &b, 8, &[18, 9, 6, 3], threads).unwrap();
+            assert_eq!(c.data, reference.data, "gemm_threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_device_model_build_matches_serial() {
+        use fupermod_core::trace::{null_sink, MemorySink};
+        let platform = Platform::two_speed(2, 2, 21);
+        let profile = WorkloadProfile::matrix_update(16);
+        let sizes = [16u64, 64, 256, 1024];
+        let precision = Precision::quick();
+
+        let serial_sink = MemorySink::new();
+        let serial: Vec<AkimaModel> = build_device_models_with(
+            &platform, &profile, &sizes, &precision, &serial_sink, 1,
+        )
+        .unwrap();
+        for parallelism in [2, 4, 0] {
+            let par_sink = MemorySink::new();
+            let parallel: Vec<AkimaModel> = build_device_models_with(
+                &platform, &profile, &sizes, &precision, &par_sink, parallelism,
+            )
+            .unwrap();
+            assert_eq!(serial, parallel, "parallelism={parallelism}");
+            assert_eq!(serial_sink.events(), par_sink.events());
+        }
+        // The untraced/unparallel wrappers agree too.
+        let wrapped: Vec<AkimaModel> =
+            build_device_models(&platform, &profile, &sizes, &precision).unwrap();
+        assert_eq!(serial, wrapped);
+        let traced: Vec<AkimaModel> = build_device_models_traced(
+            &platform, &profile, &sizes, &precision, null_sink(),
+        )
+        .unwrap();
+        assert_eq!(serial, traced);
     }
 
     #[test]

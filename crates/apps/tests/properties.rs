@@ -101,3 +101,42 @@ proptest! {
         }
     }
 }
+
+// Parallel model construction must be a pure wall-clock optimisation:
+// for any worker count, the models *and* the recorded trace are
+// bit-identical to the serial build (ModelBuilder's replay contract).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn parallel_model_build_is_bit_identical_to_serial(
+        parallelism in 0usize..9,
+        seed in 0u64..500,
+    ) {
+        use fupermod_apps::matmul::build_device_models_with;
+        use fupermod_core::model::PiecewiseModel;
+        use fupermod_core::trace::MemorySink;
+        use fupermod_core::Precision;
+        use fupermod_platform::WorkloadProfile;
+
+        let platform = Platform::two_speed(2, 2, seed);
+        let profile = WorkloadProfile::matrix_update(8);
+        let sizes = [32u64, 256, 2048];
+        let precision = Precision::quick();
+
+        let serial_sink = MemorySink::new();
+        let serial: Vec<PiecewiseModel> = build_device_models_with(
+            &platform, &profile, &sizes, &precision, &serial_sink, 1,
+        )
+        .unwrap();
+
+        let par_sink = MemorySink::new();
+        let parallel: Vec<PiecewiseModel> = build_device_models_with(
+            &platform, &profile, &sizes, &precision, &par_sink, parallelism,
+        )
+        .unwrap();
+
+        prop_assert_eq!(serial, parallel);
+        prop_assert_eq!(serial_sink.take(), par_sink.take());
+    }
+}

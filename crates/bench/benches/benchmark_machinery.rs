@@ -98,5 +98,67 @@ fn bench_trace_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_single, bench_group, bench_trace_overhead);
+/// The per-repetition statistics inside `Benchmark::measure`: after
+/// every new sample the stopping rule needs the outlier-filtered mean
+/// and confidence interval. The old path re-ran `reject_outliers`
+/// (full sort + median + MAD) over the whole sample each repetition —
+/// O(n² log n) over a measurement; `IncrementalStats` keeps the sample
+/// sorted and answers from it. Both bars compute the identical
+/// filtered statistics at every prefix of the same noisy stream.
+fn bench_incremental_stats(c: &mut Criterion) {
+    use fupermod_num::stats::{reject_outliers, IncrementalStats, OnlineStats};
+
+    // A deterministic noisy stream with genuine outliers, like a timing
+    // sample: base level, jitter, and occasional large spikes.
+    let samples: Vec<f64> = (0..60)
+        .map(|i| {
+            let base = 1.0 + 0.01 * ((i * 37 % 17) as f64 - 8.0);
+            if i % 13 == 5 {
+                base * 3.0
+            } else {
+                base
+            }
+        })
+        .collect();
+    let k = 3.0;
+
+    let mut group = c.benchmark_group("benchmark_stats");
+    group.bench_function("incremental", |b| {
+        b.iter(|| {
+            let mut inc = IncrementalStats::new();
+            let mut last = 0.0;
+            for &x in black_box(&samples) {
+                inc.push(x);
+                let (stats, _) = inc.filtered(k);
+                last = stats.mean();
+            }
+            last
+        })
+    });
+    group.bench_function("recompute", |b| {
+        b.iter(|| {
+            let mut all = Vec::new();
+            let mut last = 0.0;
+            for &x in black_box(&samples) {
+                all.push(x);
+                let kept = reject_outliers(&all, k);
+                let mut stats = OnlineStats::new();
+                for &v in &kept {
+                    stats.push(v);
+                }
+                last = stats.mean();
+            }
+            last
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single,
+    bench_group,
+    bench_trace_overhead,
+    bench_incremental_stats
+);
 criterion_main!(benches);

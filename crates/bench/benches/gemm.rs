@@ -1,8 +1,15 @@
-//! Criterion bench: GEMM throughput, naive vs blocked — the host-side
-//! stand-ins for the paper's Netlib vs optimised BLAS kernels.
+//! Criterion bench: GEMM throughput, naive vs blocked vs row-band
+//! parallel — the host-side stand-ins for the paper's Netlib vs
+//! optimised BLAS kernels, plus the threaded variant used when one
+//! simulated device owns several cores.
+//!
+//! `gemm_parallel` is bit-identical to `gemm_blocked` per row (tested
+//! in fupermod-kernels), so these bars compare *time only*. On a
+//! single-core host the parallel bars will not beat blocked — record
+//! `host.cpus` alongside the numbers (scripts/bench_record.sh does).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fupermod_kernels::gemm::{gemm_blocked, gemm_naive};
+use fupermod_kernels::gemm::{gemm_blocked, gemm_naive, gemm_parallel};
 
 fn matrices(n: usize) -> (Vec<f64>, Vec<f64>) {
     let a: Vec<f64> = (0..n * n).map(|i| ((i * 7) % 13) as f64 * 0.1).collect();
@@ -33,5 +40,36 @@ fn bench_gemm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gemm);
+/// Blocked vs parallel at the sizes where threading should pay: the
+/// ISSUE's acceptance point is 512³ with ≥4 threads.
+fn bench_gemm_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_parallel");
+    for n in [256usize, 512] {
+        let (a, b) = matrices(n);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, &n| {
+            let mut cbuf = vec![0.0; n * n];
+            bch.iter(|| {
+                cbuf.fill(0.0);
+                gemm_blocked(n, n, n, black_box(&a), black_box(&b), &mut cbuf);
+            })
+        });
+        for threads in [2usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("parallel{threads}"), n),
+                &n,
+                |bch, &n| {
+                    let mut cbuf = vec![0.0; n * n];
+                    bch.iter(|| {
+                        cbuf.fill(0.0);
+                        gemm_parallel(n, n, n, black_box(&a), black_box(&b), &mut cbuf, threads);
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_gemm_parallel);
 criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion bench: device-model construction, serial vs parallel.
+//!
+//! The kernels are [`LatencyKernel`]s — each measurement *blocks* the
+//! host thread like a synchronous accelerator call and reports a
+//! deterministic nominal time. That is the dominant cost pattern of
+//! model construction on a hybrid node: the host submits work and
+//! waits. Worker threads overlap those waits, so the parallel build
+//! wins even on a single-core host, and (by `ModelBuilder`'s replay
+//! contract, tested in fupermod-core) produces bit-identical models
+//! and traces.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fupermod_core::builder::ModelBuilder;
+use fupermod_core::kernel::Kernel;
+use fupermod_core::model::PiecewiseModel;
+use fupermod_core::Precision;
+use fupermod_kernels::synthetic::LatencyKernel;
+
+const DEVICES: usize = 4;
+const SIZES: [u64; 3] = [10, 100, 1000];
+
+fn kernels() -> Vec<Box<dyn Kernel + Send>> {
+    (0..DEVICES)
+        .map(|rank| {
+            // Heterogeneous latencies, ~1-2 ms per call.
+            let base = 1.0e-3 + rank as f64 * 2.5e-4;
+            Box::new(LatencyKernel::new(base, 1e-7)) as Box<dyn Kernel + Send>
+        })
+        .collect()
+}
+
+fn precision() -> Precision {
+    Precision {
+        reps_min: 2,
+        reps_max: 4,
+        cl: 0.95,
+        rel_err: 0.05,
+        max_seconds: 1e9,
+    }
+}
+
+fn bench_model_build(c: &mut Criterion) {
+    let precision = precision();
+    let mut group = c.benchmark_group("model_build");
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new(
+                if workers == 1 { "serial" } else { "parallel" },
+                workers,
+            ),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    ModelBuilder::new(&precision)
+                        .with_parallelism(workers)
+                        .build::<PiecewiseModel>(black_box(kernels()), &SIZES)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_build);
+criterion_main!(benches);

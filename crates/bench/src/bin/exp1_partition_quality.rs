@@ -16,9 +16,9 @@
 //! `DIR/exp1_partition_quality.trace.jsonl` (see docs/OBSERVABILITY.md).
 
 use fupermod_bench::{
-    evaluate_partitioner, evaluate_partitioner_traced, finish_experiment_trace, print_csv_row,
-    sink_or_null, size_grid,
+    evaluate_partitioner, finish_experiment_trace, print_csv_row, sink_or_null, size_grid,
 };
+use fupermod_core::trace::null_sink;
 use fupermod_core::model::{AkimaModel, ConstantModel, Model, PiecewiseModel};
 use fupermod_core::partition::{
     ConstantPartitioner, EvenPartitioner, GeometricPartitioner, NumericalPartitioner,
@@ -69,7 +69,7 @@ fn main() {
             let mut akima = AkimaModel::new();
             // The CPM sees only a single mid-range point (the
             // "traditional serial benchmark of some given size").
-            fupermod_bench::build_model_for_device_traced(
+            fupermod_bench::build_model_for_device(
                 platform,
                 rank,
                 &profile,
@@ -80,11 +80,23 @@ fn main() {
             )
             .expect("cpm build failed");
             fupermod_bench::build_model_for_device(
-                platform, rank, &profile, &sizes, &precision, &mut pwl,
+                platform,
+                rank,
+                &profile,
+                &sizes,
+                &precision,
+                &mut pwl,
+                null_sink(),
             )
             .expect("pwl build failed");
             fupermod_bench::build_model_for_device(
-                platform, rank, &profile, &sizes, &precision, &mut akima,
+                platform,
+                rank,
+                &profile,
+                &sizes,
+                &precision,
+                &mut akima,
+                null_sink(),
             )
             .expect("akima build failed");
             cpms.push(cpm);
@@ -103,6 +115,7 @@ fn main() {
                 total,
                 &EvenPartitioner,
                 &cpm_refs,
+                null_sink(),
             )
             .expect("even failed");
 
@@ -121,7 +134,7 @@ fn main() {
                 ),
             ];
             for (name, partitioner, models) in runs {
-                let eval = evaluate_partitioner_traced(
+                let eval = evaluate_partitioner(
                     platform,
                     &profile,
                     total,

@@ -14,8 +14,8 @@
 //! `DIR/exp2_dynamic_cost.trace.jsonl` (see docs/OBSERVABILITY.md).
 
 use fupermod_bench::{
-    evaluate_partitioner_traced, finish_experiment_trace, ground_truth_imbalance,
-    ground_truth_times, print_csv_row, sink_or_null, size_grid,
+    evaluate_partitioner, finish_experiment_trace, ground_truth_imbalance, ground_truth_times,
+    print_csv_row, sink_or_null, size_grid,
 };
 use fupermod_core::dynamic::DynamicContext;
 use fupermod_core::model::{Model, PiecewiseModel};
@@ -50,7 +50,7 @@ fn main() {
         let mut models = Vec::new();
         for rank in 0..platform.size() {
             let mut m = PiecewiseModel::new();
-            full_cost += fupermod_bench::build_model_for_device_traced(
+            full_cost += fupermod_bench::build_model_for_device(
                 platform,
                 rank,
                 &profile,
@@ -63,7 +63,7 @@ fn main() {
             models.push(m);
         }
         let refs: Vec<&dyn Model> = models.iter().map(|m| m as &dyn Model).collect();
-        let eval = evaluate_partitioner_traced(
+        let eval = evaluate_partitioner(
             platform,
             &profile,
             total,
@@ -99,7 +99,7 @@ fn main() {
         for _ in 0..25 {
             let step = ctx
                 .partition_iterate(|rank, d| {
-                    let p = fupermod_bench::quick_measure_traced(
+                    let p = fupermod_bench::quick_measure(
                         platform,
                         rank,
                         &profile,

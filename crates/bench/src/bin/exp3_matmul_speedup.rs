@@ -11,8 +11,10 @@
 //! With `--trace-dir DIR` (or `FUPERMOD_TRACE_DIR`), also writes
 //! `DIR/exp3_matmul_speedup.trace.jsonl` (see docs/OBSERVABILITY.md).
 
-use fupermod_apps::matmul::{build_device_models_traced, partition_areas, simulate, MatMulConfig};
-use fupermod_bench::{finish_experiment_trace, print_csv_row, sink_or_null, size_grid};
+use fupermod_apps::matmul::{build_device_models_with, partition_areas, simulate, MatMulConfig};
+use fupermod_bench::{
+    finish_experiment_trace, parallelism_from_args, print_csv_row, sink_or_null, size_grid,
+};
 use fupermod_core::model::{AkimaModel, ConstantModel, Model};
 use fupermod_core::partition::{ConstantPartitioner, NumericalPartitioner};
 use fupermod_core::Precision;
@@ -42,20 +44,26 @@ fn main() {
     for platform in &platforms {
         let max_area = n_blocks_sweep.last().unwrap().pow(2);
         let sizes = size_grid(16, max_area / 2, if quick { 8 } else { 14 });
-        let cpms: Vec<ConstantModel> = build_device_models_traced(
+        // `--parallelism N` builds the per-device models on N worker
+        // threads; the models and the trace are bit-identical to the
+        // serial build (see fupermod_core::builder::ModelBuilder).
+        let parallelism = parallelism_from_args();
+        let cpms: Vec<ConstantModel> = build_device_models_with(
             platform,
             &profile,
             &[sizes[sizes.len() / 2]],
             &Precision::default(),
             sink_or_null(&trace),
+            parallelism,
         )
         .expect("cpm build failed");
-        let akimas: Vec<AkimaModel> = build_device_models_traced(
+        let akimas: Vec<AkimaModel> = build_device_models_with(
             platform,
             &profile,
             &sizes,
             &Precision::default(),
             sink_or_null(&trace),
+            parallelism,
         )
         .expect("akima build failed");
 

@@ -13,8 +13,8 @@
 //! `DIR/exp6_model_points.trace.jsonl` (see docs/OBSERVABILITY.md).
 
 use fupermod_bench::{
-    build_model_for_device_traced, finish_experiment_trace, ground_truth_imbalance,
-    ground_truth_times, print_csv_row, sink_or_null, size_grid,
+    build_model_for_device, finish_experiment_trace, ground_truth_imbalance, ground_truth_times,
+    print_csv_row, sink_or_null, size_grid,
 };
 use fupermod_core::model::{AkimaModel, Model, PiecewiseModel};
 use fupermod_core::partition::{GeometricPartitioner, NumericalPartitioner, Partitioner};
@@ -44,7 +44,7 @@ fn main() {
         for rank in 0..platform.size() {
             let mut pwl = PiecewiseModel::new();
             let mut akima = AkimaModel::new();
-            cost += build_model_for_device_traced(
+            cost += build_model_for_device(
                 &platform,
                 rank,
                 &profile,

@@ -40,7 +40,7 @@ fn main() {
     let mut models = Vec::new();
     for rank in 0..platform.size() {
         let mut m = PiecewiseModel::new();
-        fupermod_bench::build_model_for_device_traced(
+        fupermod_bench::build_model_for_device(
             &platform,
             rank,
             &profile,

@@ -15,8 +15,8 @@
 //! `DIR/exp8_interpolation_error.trace.jsonl` (see docs/OBSERVABILITY.md).
 
 use fupermod_bench::{
-    build_model_for_device_traced, finish_experiment_trace, ground_truth_imbalance,
-    ground_truth_times, print_csv_row, sink_or_null, size_grid,
+    build_model_for_device, finish_experiment_trace, ground_truth_imbalance, ground_truth_times,
+    print_csv_row, sink_or_null, size_grid,
 };
 use fupermod_core::model::{AkimaModel, CubicModel, LinearModel, Model, PiecewiseModel};
 use fupermod_core::partition::{NumericalPartitioner, Partitioner};
@@ -74,7 +74,7 @@ fn main() {
         let mut akima = AkimaModel::new();
         let mut cubic = CubicModel::new();
         let mut linear = LinearModel::new();
-        build_model_for_device_traced(
+        build_model_for_device(
             &platform,
             rank,
             &profile,

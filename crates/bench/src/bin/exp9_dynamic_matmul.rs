@@ -14,8 +14,8 @@
 
 use fupermod_apps::matmul::{partition_areas, simulate, MatMulConfig};
 use fupermod_bench::{
-    build_model_for_device_traced, finish_experiment_trace, print_csv_row, quick_measure_traced,
-    sink_or_null, size_grid,
+    build_model_for_device, finish_experiment_trace, print_csv_row, quick_measure, sink_or_null,
+    size_grid,
 };
 use fupermod_core::dynamic::DynamicContext;
 use fupermod_core::model::{Model, PiecewiseModel};
@@ -60,7 +60,7 @@ fn main() {
         let mut models = Vec::new();
         for rank in 0..p {
             let mut m = PiecewiseModel::new();
-            full_cost += build_model_for_device_traced(
+            full_cost += build_model_for_device(
                 platform,
                 rank,
                 &profile,
@@ -96,7 +96,7 @@ fn main() {
             let step = ctx
                 .partition_iterate(|rank, d| {
                     let pt =
-                        quick_measure_traced(platform, rank, &profile, d, sink_or_null(&trace))?;
+                        quick_measure(platform, rank, &profile, d, sink_or_null(&trace))?;
                     dyn_cost += pt.t * pt.reps as f64;
                     Ok(pt)
                 })

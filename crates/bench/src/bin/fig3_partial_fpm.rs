@@ -11,7 +11,7 @@
 //! With `--trace-dir DIR` (or `FUPERMOD_TRACE_DIR`), also writes
 //! `DIR/fig3_partial_fpm.trace.jsonl` (see docs/OBSERVABILITY.md).
 
-use fupermod_bench::{finish_experiment_trace, print_csv_row, quick_measure_traced, sink_or_null};
+use fupermod_bench::{finish_experiment_trace, print_csv_row, quick_measure, sink_or_null};
 use fupermod_core::dynamic::DynamicContext;
 use fupermod_core::model::{Model, PiecewiseModel};
 use fupermod_core::partition::GeometricPartitioner;
@@ -53,7 +53,7 @@ fn main() {
     for step in 1..=12 {
         let result = ctx
             .partition_iterate(|rank, d| {
-                quick_measure_traced(&platform, rank, &profile, d, sink_or_null(&trace))
+                quick_measure(&platform, rank, &profile, d, sink_or_null(&trace))
             })
             .expect("dynamic step failed");
         let sizes = ctx.dist().sizes();

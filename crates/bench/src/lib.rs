@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use fupermod_core::model::Model;
 use fupermod_core::partition::Partitioner;
-use fupermod_core::trace::{metrics, null_sink, JsonlSink, TraceEvent, TraceSink};
+use fupermod_core::trace::{metrics, null_sink, JsonlSink, TraceSink};
 use fupermod_core::{CoreError, Point, Precision};
 use fupermod_platform::{Platform, WorkloadProfile};
 
@@ -55,6 +55,32 @@ fn trace_dir_from_args() -> Option<String> {
     None
 }
 
+/// Model-build worker-thread count for the experiment binaries: the
+/// value of `--parallelism N` on the command line, else the
+/// `FUPERMOD_PARALLELISM` environment variable, else `1` (serial — the
+/// reproducible default). `0` means one worker per available core.
+/// Parallel and serial builds produce bit-identical models and traces
+/// (see [`fupermod_core::builder::ModelBuilder`]), so this knob only
+/// changes wall-clock time.
+pub fn parallelism_from_args() -> usize {
+    let mut args = std::env::args();
+    let arg = loop {
+        match args.next() {
+            Some(a) if a == "--parallelism" => break args.next(),
+            Some(_) => continue,
+            None => break None,
+        }
+    };
+    let raw = arg.or_else(|| std::env::var("FUPERMOD_PARALLELISM").ok());
+    match raw {
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("invalid --parallelism value {s:?} (want a non-negative integer)");
+            std::process::exit(2);
+        }),
+        None => 1,
+    }
+}
+
 /// Flushes an experiment trace sink (if one was opened) and prints the
 /// process-wide metrics summary to stderr. Call once before exiting.
 /// Exits with status 1 on a deferred trace write error.
@@ -87,32 +113,22 @@ pub fn size_grid(lo: u64, hi: u64, n: usize) -> Vec<u64> {
 }
 
 /// Benchmarks device `rank` of `platform` at the given sizes and feeds
-/// the points into `model`. Returns the total (virtual) benchmarking
-/// cost in seconds — time × repetitions summed over all measurements,
-/// the cost metric EXP2 compares.
+/// the points into `model`, routing benchmark events and model updates
+/// (tagged with the device `rank`) to `sink` — pass
+/// [`fupermod_core::trace::null_sink`] when no tracing is wanted.
+/// Returns the total (virtual) benchmarking cost in seconds — time ×
+/// repetitions summed over all measurements, the cost metric EXP2
+/// compares.
+///
+/// This is a thin wrapper over
+/// [`fupermod_core::builder::build_one_model`], the single shared
+/// measure→update→trace loop.
 ///
 /// # Errors
 ///
 /// Propagates benchmark/model errors.
-pub fn build_model_for_device(
-    platform: &Platform,
-    rank: usize,
-    profile: &WorkloadProfile,
-    sizes: &[u64],
-    precision: &Precision,
-    model: &mut dyn Model,
-) -> Result<f64, CoreError> {
-    build_model_for_device_traced(platform, rank, profile, sizes, precision, model, null_sink())
-}
-
-/// Like [`build_model_for_device`], additionally routing benchmark
-/// events and model updates (tagged with the device `rank`) to `sink`.
-///
-/// # Errors
-///
-/// Exactly those of [`build_model_for_device`].
 #[allow(clippy::too_many_arguments)]
-pub fn build_model_for_device_traced(
+pub fn build_model_for_device(
     platform: &Platform,
     rank: usize,
     profile: &WorkloadProfile,
@@ -121,24 +137,9 @@ pub fn build_model_for_device_traced(
     model: &mut dyn Model,
     sink: &dyn TraceSink,
 ) -> Result<f64, CoreError> {
-    use fupermod_core::benchmark::Benchmark;
     use fupermod_core::kernel::DeviceKernel;
     let mut kernel = DeviceKernel::new(platform.device(rank).clone(), profile.clone());
-    let bench = Benchmark::new(precision).with_trace(sink);
-    let mut cost = 0.0;
-    for &d in sizes {
-        let point = bench.measure(&mut kernel, d)?;
-        cost += point.t * point.reps as f64;
-        model.update(point)?;
-        sink.record(&TraceEvent::ModelUpdate {
-            rank,
-            d: point.d,
-            t: point.t,
-            reps: point.reps,
-            points: model.points().len(),
-        });
-    }
-    Ok(cost)
+    fupermod_core::builder::build_one_model(rank, &mut kernel, sizes, precision, model, sink)
 }
 
 /// Ground-truth evaluation of a distribution: per-device ideal times
@@ -162,28 +163,15 @@ pub fn ground_truth_imbalance(times: &[f64]) -> f64 {
 }
 
 /// Partitions `total` with `partitioner` over `models` and returns
-/// (sizes, ground-truth times, imbalance, makespan).
+/// (sizes, ground-truth times, imbalance, makespan), recording the
+/// resulting distribution as a one-shot `partition_step` trace event on
+/// `sink` — pass [`fupermod_core::trace::null_sink`] when no tracing is
+/// wanted.
 ///
 /// # Errors
 ///
 /// Propagates partitioning errors.
 pub fn evaluate_partitioner(
-    platform: &Platform,
-    profile: &WorkloadProfile,
-    total: u64,
-    partitioner: &dyn Partitioner,
-    models: &[&dyn Model],
-) -> Result<PartitionEvaluation, CoreError> {
-    evaluate_partitioner_traced(platform, profile, total, partitioner, models, null_sink())
-}
-
-/// Like [`evaluate_partitioner`], recording the resulting distribution
-/// as a one-shot `partition_step` trace event on `sink`.
-///
-/// # Errors
-///
-/// Exactly those of [`evaluate_partitioner`].
-pub fn evaluate_partitioner_traced(
     platform: &Platform,
     profile: &WorkloadProfile,
     total: u64,
@@ -217,26 +205,14 @@ pub struct PartitionEvaluation {
     pub makespan: f64,
 }
 
-/// Measures one device point for dynamic loops (quick precision).
+/// Measures one device point for dynamic loops (quick precision),
+/// routing benchmark events to `sink` — pass
+/// [`fupermod_core::trace::null_sink`] when no tracing is wanted.
 ///
 /// # Errors
 ///
 /// Propagates benchmark errors.
 pub fn quick_measure(
-    platform: &Platform,
-    rank: usize,
-    profile: &WorkloadProfile,
-    d: u64,
-) -> Result<Point, CoreError> {
-    quick_measure_traced(platform, rank, profile, d, null_sink())
-}
-
-/// Like [`quick_measure`], routing benchmark events to `sink`.
-///
-/// # Errors
-///
-/// Propagates benchmark errors.
-pub fn quick_measure_traced(
     platform: &Platform,
     rank: usize,
     profile: &WorkloadProfile,

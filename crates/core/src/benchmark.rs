@@ -17,7 +17,7 @@
 use std::fmt;
 use std::sync::{Barrier, Mutex};
 
-use fupermod_num::stats::{reject_outliers, OnlineStats};
+use fupermod_num::stats::{IncrementalStats, OnlineStats};
 
 use crate::kernel::{Kernel, KernelContext};
 use crate::trace::{metrics, null_sink, TraceEvent, TraceSink};
@@ -83,10 +83,16 @@ impl<'a> Benchmark<'a> {
 
     /// Summary statistics of the samples after the configured outlier
     /// filter (if any).
-    fn effective_stats(&self, samples: &[f64]) -> OnlineStats {
+    ///
+    /// Runs off the incrementally maintained sorted sample, so the
+    /// per-repetition cost is O(log n) amortised (the running Welford
+    /// accumulator is returned directly when no outlier is present or
+    /// no filter is configured) instead of the former
+    /// sort-and-reallocate recomputation on every repetition.
+    fn effective_stats(&self, samples: &IncrementalStats) -> OnlineStats {
         match self.outlier_k {
-            Some(k) => reject_outliers(samples, k).into_iter().collect(),
-            None => samples.iter().copied().collect(),
+            Some(k) => samples.filtered(k).0,
+            None => samples.all(),
         }
     }
 
@@ -98,7 +104,7 @@ impl<'a> Benchmark<'a> {
     pub fn measure(&self, kernel: &mut dyn Kernel, d: u64) -> Result<Point, CoreError> {
         let mut ctx = kernel.context(d)?;
         metrics().add_kernel();
-        let mut samples = Vec::new();
+        let mut samples = IncrementalStats::new();
         let mut spent = 0.0;
         let p = self.precision;
 
@@ -119,8 +125,8 @@ impl<'a> Benchmark<'a> {
                 break;
             }
         }
-        let outliers = samples.len() as u64 - stats.count();
-        metrics().add_reps(samples.len() as u64);
+        let outliers = samples.count() - stats.count();
+        metrics().add_reps(samples.count());
         metrics().add_outliers(outliers);
         let point = point_from_stats(d, &stats, p);
         self.trace.record(&TraceEvent::BenchmarkDone {
@@ -187,7 +193,7 @@ impl<'a> Benchmark<'a> {
                 let error = &error;
                 let d = sizes[rank];
                 handles.push(scope.spawn(move || {
-                    let mut samples = Vec::new();
+                    let mut samples = IncrementalStats::new();
                     let mut stats = OnlineStats::new();
                     let mut spent = 0.0;
                     for rep in 0..p.reps_max {
@@ -232,8 +238,8 @@ impl<'a> Benchmark<'a> {
                             break;
                         }
                     }
-                    let outliers = samples.len() as u64 - stats.count();
-                    metrics().add_reps(samples.len() as u64);
+                    let outliers = samples.count() - stats.count();
+                    metrics().add_reps(samples.count());
                     metrics().add_outliers(outliers);
                     if error.lock().expect("poisoned").is_none() {
                         this.trace.record(&TraceEvent::BenchmarkDone {

@@ -178,6 +178,15 @@ impl DynamicContext {
     fn absorb(&mut self, observed: Vec<Point>) -> Result<DynamicStep, CoreError> {
         self.iter += 1;
         for (rank, (model, point)) in self.models.iter_mut().zip(&observed).enumerate() {
+            // A zero-work observation carries no speed information:
+            // `balance_iterate` reports idle ranks as `(0, 0.0)`
+            // placeholders. Feeding those into the model would trigger
+            // a wasted refresh, emit a spurious ModelUpdate event, and
+            // pollute any `Model` implementation that does not itself
+            // discard zero-size points.
+            if point.d == 0 {
+                continue;
+            }
             model.update(*point)?;
             self.trace.record(&TraceEvent::ModelUpdate {
                 rank,
@@ -403,6 +412,66 @@ mod tests {
         // The fast process holds nearly everything; total conserved.
         assert_eq!(ctx.dist().total_assigned(), 16);
         assert!(ctx.dist().sizes()[0] >= 9, "sizes {:?}", ctx.dist().sizes());
+    }
+
+    #[test]
+    fn zero_work_observations_are_not_absorbed() {
+        use crate::trace::{MemorySink, TraceEvent};
+        use std::sync::Arc;
+
+        // Regression: `balance_iterate` reports idle ranks as
+        // `(0, 0.0)` placeholder points. `absorb` used to feed those
+        // into `model.update` anyway — a wasted refresh and a spurious
+        // ModelUpdate trace event per idle rank per step, and outright
+        // model pollution for `Model` impls that accept d == 0.
+        let sink = Arc::new(MemorySink::new());
+        let models: Vec<Box<dyn Model>> = (0..2)
+            .map(|_| Box::new(PiecewiseModel::new()) as Box<dyn Model>)
+            .collect();
+        let mut ctx = DynamicContext::new(
+            Box::new(GeometricPartitioner::default()),
+            models,
+            10,
+            0.05,
+        )
+        .with_trace(sink.clone());
+
+        // Drive everything onto process 0, then keep iterating with an
+        // idle process 1.
+        ctx.balance_iterate(&[0.0001, 1.0]).unwrap();
+        for _ in 0..10 {
+            if ctx.dist().sizes()[1] == 0 {
+                break;
+            }
+            let times: Vec<f64> = ctx
+                .dist()
+                .sizes()
+                .iter()
+                .map(|&d| d as f64 * if d > 5 { 0.0001 } else { 1.0 })
+                .collect();
+            ctx.balance_iterate(&times).unwrap();
+        }
+        assert_eq!(ctx.dist().sizes(), vec![10, 0], "setup failed");
+        sink.take(); // discard setup events
+
+        let points_before = ctx.models()[1].points().len();
+        ctx.balance_iterate(&[0.001, 0.0]).unwrap();
+
+        // The idle rank gained no model point and produced no
+        // ModelUpdate event; the active rank still traced one.
+        assert_eq!(ctx.models()[1].points().len(), points_before);
+        let update_ranks: Vec<usize> = sink
+            .take()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::ModelUpdate { rank, d, .. } => {
+                    assert!(*d > 0, "zero-size update traced for rank {rank}");
+                    Some(*rank)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(update_ranks, vec![0]);
     }
 
     #[test]

@@ -72,6 +72,7 @@
 //! ```
 
 pub mod benchmark;
+pub mod builder;
 pub mod dynamic;
 pub mod hierarchy;
 pub mod kernel;

@@ -68,6 +68,66 @@ pub fn gemm_blocked(m: usize, n: usize, k: usize, a: &[f64], b: &[f64], c: &mut 
     }
 }
 
+/// `C += A · B` parallelised over row bands on scoped worker threads,
+/// same layout as [`gemm_naive`]. `threads = 0` means one worker per
+/// available core ([`std::thread::available_parallelism`]);
+/// `threads = 1` falls back to [`gemm_blocked`] on the calling thread.
+///
+/// Each worker runs [`gemm_blocked`] on a contiguous band of rows of
+/// `A`/`C` against the whole of `B`. Inside `gemm_blocked` the
+/// accumulation order for any single row of `C` is determined only by
+/// the `k`/`n` tiling, never by which rows share the call, so the
+/// result is **bit-identical** to [`gemm_blocked`] on the full
+/// matrices for every row — not merely equal up to rounding.
+///
+/// # Panics
+///
+/// Panics if the slices do not match the given dimensions.
+pub fn gemm_parallel(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    threads: usize,
+) {
+    assert_eq!(a.len(), m * k, "A must be m×k");
+    assert_eq!(b.len(), k * n, "B must be k×n");
+    assert_eq!(c.len(), m * n, "C must be m×n");
+    let workers = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(m)
+    .max(1);
+    if workers <= 1 {
+        return gemm_blocked(m, n, k, a, b, c);
+    }
+
+    // Split the rows into `workers` near-even contiguous bands.
+    let base = m / workers;
+    let extra = m % workers;
+    std::thread::scope(|scope| {
+        let mut rest = c;
+        let mut row0 = 0usize;
+        for w in 0..workers {
+            let rows = base + usize::from(w < extra);
+            if rows == 0 {
+                continue;
+            }
+            let (band, tail) = rest.split_at_mut(rows * n);
+            rest = tail;
+            let a_band = &a[row0 * k..(row0 + rows) * k];
+            scope.spawn(move || gemm_blocked(rows, n, k, a_band, b, band));
+            row0 += rows;
+        }
+    });
+}
+
 /// Near-square arrangement of `d` blocks: `m = ⌈√d⌉` rows of blocks and
 /// `n = ⌈d/m⌉` columns, exactly the paper's
 /// `mᵢ = ⌈√dᵢ⌉; nᵢ = ⌈dᵢ/mᵢ⌉` initialisation.
@@ -112,6 +172,8 @@ pub fn block_arrangement(d: u64) -> (usize, usize) {
 pub struct MatMulKernel {
     block: usize,
     use_blocked_gemm: bool,
+    /// GEMM worker threads: 1 = single-threaded, 0 = auto, n = fixed.
+    gemm_threads: usize,
 }
 
 impl MatMulKernel {
@@ -126,6 +188,7 @@ impl MatMulKernel {
         Self {
             block,
             use_blocked_gemm: true,
+            gemm_threads: 1,
         }
     }
 
@@ -137,12 +200,29 @@ impl MatMulKernel {
         Self {
             block,
             use_blocked_gemm: false,
+            gemm_threads: 1,
         }
+    }
+
+    /// Runs the blocked GEMM across `threads` row-band workers
+    /// ([`gemm_parallel`]; `0` = one per available core). The result
+    /// stays bit-identical to the single-threaded kernel. Ignored by
+    /// the naive-GEMM variant, whose whole point is the unoptimised
+    /// memory behaviour.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.gemm_threads = threads;
+        self
     }
 
     /// The blocking factor.
     pub fn block(&self) -> usize {
         self.block
+    }
+
+    /// The configured GEMM thread count (1 = single-threaded, 0 = auto).
+    pub fn threads(&self) -> usize {
+        self.gemm_threads
     }
 }
 
@@ -177,6 +257,7 @@ impl Kernel for MatMulKernel {
             pivot_a: vec![0.0; rows * b],
             pivot_b: vec![0.0; b * cols],
             use_blocked: self.use_blocked_gemm,
+            threads: self.gemm_threads,
         }))
     }
 }
@@ -194,6 +275,7 @@ struct MatMulContext {
     pivot_a: Vec<f64>,
     pivot_b: Vec<f64>,
     use_blocked: bool,
+    threads: usize,
 }
 
 impl KernelContext for MatMulContext {
@@ -203,7 +285,17 @@ impl KernelContext for MatMulContext {
         // the pivot column/row into the working buffers.
         self.pivot_a.copy_from_slice(&self.a);
         self.pivot_b.copy_from_slice(&self.bm);
-        if self.use_blocked {
+        if self.use_blocked && self.threads != 1 {
+            gemm_parallel(
+                self.rows,
+                self.cols,
+                self.b,
+                &self.pivot_a,
+                &self.pivot_b,
+                &mut self.c,
+                self.threads,
+            );
+        } else if self.use_blocked {
             gemm_blocked(
                 self.rows,
                 self.cols,
@@ -274,6 +366,55 @@ mod tests {
         for (x, y) in c1.iter().zip(&c2) {
             assert!((x - y).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_blocked() {
+        // Not merely close: every row's accumulation order is the same
+        // regardless of the band split, so results match bit-for-bit.
+        for (m, n, k) in [(1, 1, 1), (7, 9, 5), (64, 64, 64), (130, 70, 65), (257, 33, 129)] {
+            let (a, b) = test_matrices(m, n, k);
+            let mut reference = vec![0.5; m * n];
+            gemm_blocked(m, n, k, &a, &b, &mut reference);
+            for threads in [0, 1, 2, 3, 4, 7, 16] {
+                let mut c = vec![0.5; m * n];
+                gemm_parallel(m, n, k, &a, &b, &mut c, threads);
+                for (i, (x, y)) in c.iter().zip(&reference).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "m={m} n={n} k={k} threads={threads} elem {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_handles_more_threads_than_rows() {
+        let (m, n, k) = (3, 8, 4);
+        let (a, b) = test_matrices(m, n, k);
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        gemm_blocked(m, n, k, &a, &b, &mut c1);
+        gemm_parallel(m, n, k, &a, &b, &mut c2, 64);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn threaded_kernel_matches_single_threaded() {
+        // Same deterministic inputs → the accumulated C state after two
+        // runs must be bit-identical across thread counts.
+        let run_twice = |mut kernel: MatMulKernel| -> Duration {
+            let mut ctx = kernel.context(16).unwrap();
+            let t1 = ctx.run().unwrap();
+            let t2 = ctx.run().unwrap();
+            t1 + t2
+        };
+        assert!(run_twice(MatMulKernel::new(8)).as_nanos() > 0);
+        assert!(run_twice(MatMulKernel::new(8).with_threads(4)).as_nanos() > 0);
+        assert_eq!(MatMulKernel::new(8).with_threads(4).threads(), 4);
+        assert_eq!(MatMulKernel::new(8).threads(), 1);
     }
 
     #[test]

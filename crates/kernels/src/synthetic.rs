@@ -80,10 +80,118 @@ impl KernelContext for SyntheticContext {
     }
 }
 
+/// A latency-bound synthetic kernel: each run *blocks the host thread*
+/// for a deterministic duration proportional to the problem size, and
+/// reports that nominal duration.
+///
+/// This models the dominant cost pattern of accelerator devices during
+/// model construction: the host submits work and waits, occupying a
+/// thread but almost no CPU. Building models for several such devices
+/// serially wastes wall-clock time that parallel construction recovers
+/// even on a single-core host — the waits overlap. The reported time is
+/// the nominal duration (noise-free), so measurements are fully
+/// deterministic and the benchmark stopping rule converges at
+/// `reps_min`.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyKernel {
+    base_seconds: f64,
+    seconds_per_unit: f64,
+}
+
+impl LatencyKernel {
+    /// Creates the kernel: one run of size `d` blocks for
+    /// `base_seconds + seconds_per_unit · d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are finite and non-negative with a
+    /// positive sum.
+    pub fn new(base_seconds: f64, seconds_per_unit: f64) -> Self {
+        assert!(
+            base_seconds.is_finite() && base_seconds >= 0.0,
+            "base_seconds must be finite and non-negative"
+        );
+        assert!(
+            seconds_per_unit.is_finite() && seconds_per_unit >= 0.0,
+            "seconds_per_unit must be finite and non-negative"
+        );
+        assert!(
+            base_seconds + seconds_per_unit > 0.0,
+            "kernel must take some time"
+        );
+        Self {
+            base_seconds,
+            seconds_per_unit,
+        }
+    }
+
+    /// The blocking duration for size `d`.
+    pub fn duration(&self, d: u64) -> Duration {
+        Duration::from_secs_f64(self.base_seconds + self.seconds_per_unit * d as f64)
+    }
+}
+
+impl Kernel for LatencyKernel {
+    fn complexity(&self, d: u64) -> f64 {
+        d as f64
+    }
+
+    fn context(&mut self, d: u64) -> Result<Box<dyn KernelContext>, CoreError> {
+        if d == 0 {
+            return Err(CoreError::Kernel("latency kernel needs d >= 1".to_owned()));
+        }
+        Ok(Box::new(LatencyContext {
+            dur: self.duration(d),
+        }))
+    }
+}
+
+struct LatencyContext {
+    dur: Duration,
+}
+
+impl KernelContext for LatencyContext {
+    fn run(&mut self) -> Result<Duration, CoreError> {
+        // Block the host thread like a synchronous device call, then
+        // report the *nominal* time so the measurement is exactly
+        // reproducible regardless of scheduler jitter.
+        std::thread::sleep(self.dur);
+        Ok(self.dur)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use fupermod_core::kernel::Kernel;
+
+    #[test]
+    fn latency_kernel_reports_nominal_time() {
+        let mut k = LatencyKernel::new(0.0, 1e-4);
+        let mut ctx = k.context(3).unwrap();
+        let start = std::time::Instant::now();
+        let t = ctx.run().unwrap();
+        assert_eq!(t, Duration::from_secs_f64(3e-4));
+        assert!(start.elapsed() >= t, "must actually block");
+        assert!(k.context(0).is_err());
+    }
+
+    #[test]
+    fn latency_kernel_is_noiseless_under_the_benchmark() {
+        use fupermod_core::benchmark::Benchmark;
+        use fupermod_core::Precision;
+        let mut k = LatencyKernel::new(1e-4, 1e-5);
+        let p = Precision::default();
+        let point = Benchmark::new(&p).measure(&mut k, 10).unwrap();
+        assert_eq!(point.reps, p.reps_min);
+        assert!((point.t - 2e-4).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "some time")]
+    fn latency_kernel_rejects_zero_duration() {
+        let _ = LatencyKernel::new(0.0, 0.0);
+    }
 
     #[test]
     fn complexity_is_linear() {

@@ -36,6 +36,29 @@ pub struct AkimaSpline {
     ys: Vec<f64>,
     /// Node derivatives, one per point.
     ds: Vec<f64>,
+    /// Per-segment quadratic Hermite coefficients, one per segment,
+    /// precomputed at construction. Evaluation used to re-derive these
+    /// (two divisions each) on *every* `value()`/`derivative()` call —
+    /// a measurable cost inside the Newton and bisection loops of the
+    /// partitioners, which evaluate splines thousands of times per
+    /// partition. See `hermite_from_nodes` for the derivation.
+    c2: Vec<f64>,
+    /// Per-segment cubic Hermite coefficients (see [`Self::c2`]).
+    c3: Vec<f64>,
+}
+
+/// Hermite coefficients of the cubic through `(0, y0)`–`(h, y1)` with
+/// end derivatives `d0`, `d1`, in the monomial basis relative to the
+/// segment's left node: `y(t) = y0 + t (d0 + t (c2 + t c3))`.
+///
+/// This is the exact computation the evaluator used to repeat per
+/// call; it now runs once per segment at construction, so cached and
+/// recomputed evaluation are bit-identical.
+pub(crate) fn hermite_from_nodes(h: f64, y0: f64, y1: f64, d0: f64, d1: f64) -> (f64, f64) {
+    let m = (y1 - y0) / h;
+    let c2 = (3.0 * m - 2.0 * d0 - d1) / h;
+    let c3 = (d0 + d1 - 2.0 * m) / (h * h);
+    (c2, c3)
 }
 
 impl AkimaSpline {
@@ -87,10 +110,24 @@ impl AkimaSpline {
             };
         }
 
+        // Precompute per-segment Hermite coefficients once. Evaluation
+        // is now a segment lookup plus a fused polynomial — no
+        // divisions on the hot path.
+        let mut c2 = vec![0.0; n - 1];
+        let mut c3 = vec![0.0; n - 1];
+        for seg in 0..n - 1 {
+            let h = xs[seg + 1] - xs[seg];
+            let (a, b) = hermite_from_nodes(h, ys[seg], ys[seg + 1], ds[seg], ds[seg + 1]);
+            c2[seg] = a;
+            c3[seg] = b;
+        }
+
         Ok(Self {
             xs: xs.to_vec(),
             ys: ys.to_vec(),
             ds,
+            c2,
+            c3,
         })
     }
 
@@ -104,17 +141,18 @@ impl AkimaSpline {
         &self.ys
     }
 
-    /// Hermite coefficients for segment `seg`, relative to `xs[seg]`.
+    /// The Akima node derivatives, one per point. Exposed so that
+    /// reference implementations (benchmarks, parity tests) can
+    /// re-derive segment coefficients the way the evaluator used to.
+    pub fn derivatives(&self) -> &[f64] {
+        &self.ds
+    }
+
+    /// Hermite coefficients for segment `seg`, relative to `xs[seg]` —
+    /// now a cache lookup instead of a re-derivation.
+    #[inline]
     fn hermite(&self, seg: usize) -> (f64, f64, f64, f64) {
-        let h = self.xs[seg + 1] - self.xs[seg];
-        let y0 = self.ys[seg];
-        let y1 = self.ys[seg + 1];
-        let d0 = self.ds[seg];
-        let d1 = self.ds[seg + 1];
-        let m = (y1 - y0) / h;
-        let c2 = (3.0 * m - 2.0 * d0 - d1) / h;
-        let c3 = (d0 + d1 - 2.0 * m) / (h * h);
-        (y0, d0, c2, c3)
+        (self.ys[seg], self.ds[seg], self.c2[seg], self.c3[seg])
     }
 }
 
@@ -235,6 +273,29 @@ mod tests {
                 "x={x}: analytic {} vs fd {fd}",
                 f.derivative(x)
             );
+        }
+    }
+
+    #[test]
+    fn cached_coefficients_match_recomputation_bitwise() {
+        // The cached c2/c3 must be exactly what the evaluator used to
+        // derive per call, so caching cannot change any result.
+        let xs = [1.0, 2.0, 4.0, 7.0, 11.0, 16.0];
+        let ys = [0.3, 1.9, -0.5, 2.2, 2.1, 5.0];
+        let f = AkimaSpline::new(&xs, &ys).unwrap();
+        let ds = f.derivatives();
+        for seg in 0..xs.len() - 1 {
+            let h = xs[seg + 1] - xs[seg];
+            let (c2, c3) =
+                hermite_from_nodes(h, ys[seg], ys[seg + 1], ds[seg], ds[seg + 1]);
+            // Evaluate mid-segment through the public API and through
+            // the reference polynomial; bit-identical.
+            let x = xs[seg] + 0.37 * h;
+            let t = x - xs[seg];
+            let want = ys[seg] + t * (ds[seg] + t * (c2 + t * c3));
+            assert_eq!(f.value(x).to_bits(), want.to_bits(), "segment {seg}");
+            let want_d = ds[seg] + t * (2.0 * c2 + t * 3.0 * c3);
+            assert_eq!(f.derivative(x).to_bits(), want_d.to_bits(), "segment {seg}");
         }
     }
 

@@ -74,12 +74,17 @@ pub(crate) fn validate_points(xs: &[f64], ys: &[f64]) -> Result<(), NumError> {
 
 /// Finds the interval index `i` such that `xs[i] <= x < xs[i+1]`,
 /// clamped to the valid segment range.
+///
+/// Implemented with `partition_point` (branchless comparisons on the
+/// happy path) rather than `binary_search_by`'s three-way comparator:
+/// the number of elements `<= x` minus one is exactly the segment
+/// index, with the two clamps handling `x` below the first node and at
+/// or beyond the last. This is the innermost operation of every spline
+/// evaluation in the partitioners' Newton/bisection loops.
 pub(crate) fn segment_index(xs: &[f64], x: f64) -> usize {
-    match xs.binary_search_by(|v| v.partial_cmp(&x).expect("finite")) {
-        Ok(i) => i.min(xs.len() - 2),
-        Err(0) => 0,
-        Err(i) => (i - 1).min(xs.len() - 2),
-    }
+    xs.partition_point(|&v| v <= x)
+        .saturating_sub(1)
+        .min(xs.len() - 2)
 }
 
 #[cfg(test)]

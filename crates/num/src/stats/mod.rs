@@ -11,12 +11,14 @@
 
 mod beta;
 mod gamma;
+mod incremental;
 mod robust;
 mod student;
 mod summary;
 
 pub use beta::{ln_beta, regularized_incomplete_beta};
 pub use gamma::ln_gamma;
+pub use incremental::IncrementalStats;
 pub use robust::{median, median_absolute_deviation, reject_outliers};
 pub use student::{student_t_cdf, student_t_quantile, two_sided_critical_value};
 pub use summary::{ConfidenceInterval, OnlineStats};

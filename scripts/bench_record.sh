@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Records the performance evidence for the parallel-construction /
+# hot-path optimisation work into a machine-readable JSON file
+# (default BENCH_PR2.json; see docs/PERFORMANCE.md for how to read it).
+#
+# Runs the relevant criterion benches RUNS times (default 3), takes the
+# per-benchmark median time, derives the headline speedup ratios, and
+# validates the result against scripts/bench_schema.json. Interpret
+# CPU-bound ratios together with host.cpus: on a single-core host the
+# thread-level bars (gemm_parallel) cannot beat their serial baselines,
+# while the latency-bound model-build bars still can (the workers
+# overlap blocking waits, not CPU).
+#
+#   RUNS=5 OUT=BENCH_PR2.json scripts/bench_record.sh
+set -euo pipefail
+
+RUNS=${RUNS:-3}
+OUT=${OUT:-BENCH_PR2.json}
+SCHEMA="$(dirname "$0")/bench_schema.json"
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+for i in $(seq "$RUNS"); do
+    echo "==> bench run $i/$RUNS" >&2
+    cargo bench -q -p fupermod-bench \
+        --bench model_build \
+        --bench gemm \
+        --bench interp \
+        --bench benchmark_machinery >>"$raw"
+done
+
+python3 - "$raw" "$OUT" "$RUNS" "$SCHEMA" <<'PY'
+import json, os, platform, re, statistics, sys
+from datetime import datetime, timezone
+
+raw_path, out_path, runs, schema_path = sys.argv[1], sys.argv[2], int(sys.argv[3]), sys.argv[4]
+
+# Criterion-shim output: `name<padding>    12.34 µs/iter (56 iters)`.
+LINE = re.compile(
+    r"^(\S+)\s+([0-9.]+)\s*(ns|µs|us|ms|s)\s*/iter\s+\((\d+) iters\)\s*$"
+)
+SCALE = {"ns": 1e-9, "µs": 1e-6, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+samples = {}
+with open(raw_path, encoding="utf-8") as f:
+    for line in f:
+        m = LINE.match(line.rstrip("\n"))
+        if m:
+            name, value, unit, _iters = m.groups()
+            samples.setdefault(name, []).append(float(value) * SCALE[unit])
+
+if not samples:
+    sys.exit("no benchmark lines parsed — did the benches run?")
+
+results = {name: statistics.median(vals) for name, vals in sorted(samples.items())}
+
+def ratio(baseline, optimised):
+    """Speedup of `optimised` over `baseline` (>1 means faster)."""
+    if baseline not in results or optimised not in results:
+        sys.exit(f"missing benchmark for ratio: {baseline} vs {optimised}")
+    return results[baseline] / results[optimised]
+
+doc = {
+    "schema_version": 1,
+    "generated_utc": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+    "host": {
+        "cpus": os.cpu_count() or 1,
+        "os": f"{platform.system()} {platform.release()} {platform.machine()}",
+    },
+    "runs": runs,
+    "results_s": results,
+    "derived": {
+        "model_build_parallel4_speedup": ratio("model_build/serial/1", "model_build/parallel/4"),
+        "gemm_parallel4_512_speedup": ratio("gemm_parallel/blocked/512", "gemm_parallel/parallel4/512"),
+        "akima_eval64_cached_speedup": ratio("akima_eval64/recompute", "akima_eval64/cached"),
+        "akima_eval64_segment_resolved_speedup": ratio(
+            "akima_eval64/recompute_segment_resolved", "akima_eval64/cached_segment_resolved"
+        ),
+        "benchmark_stats_incremental_speedup": ratio("benchmark_stats/recompute", "benchmark_stats/incremental"),
+    },
+}
+
+# --- validate against the schema before writing ---
+with open(schema_path, encoding="utf-8") as f:
+    schema = json.load(f)
+
+TYPES = {"int": int, "float": (int, float), "str": str, "dict": dict}
+
+def check(obj, required, where):
+    for key, tname in required.items():
+        if key not in obj:
+            sys.exit(f"schema violation: missing {where}{key}")
+        if not isinstance(obj[key], TYPES[tname]):
+            sys.exit(f"schema violation: {where}{key} is not {tname}")
+        if tname == "int" and isinstance(obj[key], bool):
+            sys.exit(f"schema violation: {where}{key} is not int")
+
+check(doc, schema["required"], "")
+check(doc["host"], schema["host_required"], "host.")
+check(doc["derived"], schema["derived_required"], "derived.")
+
+with open(out_path, "w", encoding="utf-8") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+
+print(f"wrote {out_path} ({len(results)} benchmarks, median of {runs} runs)")
+for k, v in doc["derived"].items():
+    print(f"  {k}: {v:.2f}x")
+PY

@@ -13,6 +13,13 @@ run() {
 
 run cargo build --workspace --release "${EXTRA[@]+"${EXTRA[@]}"}"
 run cargo test --workspace -q "${EXTRA[@]+"${EXTRA[@]}"}"
+# The criterion benches must at least compile — they are the evidence
+# trail for the performance work (see docs/PERFORMANCE.md).
+run cargo bench --workspace --no-run -q "${EXTRA[@]+"${EXTRA[@]}"}"
+# The kernel numerical-identity tests (gemm_parallel vs blocked/naive)
+# are fast and worth re-running with optimisations on: release codegen
+# reorders float work more aggressively than dev profile does.
+run cargo test --release -p fupermod-kernels -q "${EXTRA[@]+"${EXTRA[@]}"}"
 RUSTDOCFLAGS="-D warnings" run cargo doc --workspace --no-deps -q "${EXTRA[@]+"${EXTRA[@]}"}"
 run cargo clippy --workspace --all-targets "${EXTRA[@]+"${EXTRA[@]}"}" -- -D warnings
 

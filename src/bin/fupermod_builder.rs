@@ -7,6 +7,7 @@
 //! ```text
 //! Usage: fupermod_builder [--platform NAME] [--seed S] [--block B]
 //!                         [--lo L --hi H --points N] [--out DIR]
+//!                         [--parallelism N]
 //!                         [--trace PATH [--trace-format jsonl|csv]]
 //!   --platform      uniform4 | two-speed | multicore | hybrid | grid (default: two-speed)
 //!   --seed          platform seed (default: 1)
@@ -14,16 +15,18 @@
 //!   --lo/--hi       size range in computation units (default: 16..65536)
 //!   --points        number of benchmark sizes (default: 14)
 //!   --out           output directory (default: ./models)
+//!   --parallelism   model-build worker threads (default: 1 = serial,
+//!                   0 = one per core); output is bit-identical either way
 //!   --trace         write a structured trace of every benchmark
 //!                   repetition and model update (see docs/OBSERVABILITY.md)
 //!   --trace-format  jsonl (default) or csv
 //! ```
 
 use fupermod::cli;
-use fupermod::core::benchmark::Benchmark;
-use fupermod::core::kernel::DeviceKernel;
+use fupermod::core::builder::ModelBuilder;
+use fupermod::core::kernel::{DeviceKernel, Kernel};
 use fupermod::core::model::{io, Model, PiecewiseModel};
-use fupermod::core::trace::{null_sink, TraceEvent};
+use fupermod::core::trace::null_sink;
 use fupermod::core::Precision;
 use fupermod::platform::WorkloadProfile;
 
@@ -40,13 +43,13 @@ fn main() {
     let hi: u64 = get("hi", "65536").parse().expect("hi must be an integer");
     let npoints: usize = get("points", "14").parse().expect("points must be an integer");
     let out = std::path::PathBuf::from(get("out", "models"));
+    let parallelism = cli::parallelism(&args);
     let sink = cli::open_trace_sink(&args);
     let trace = sink.as_deref().unwrap_or(null_sink());
 
     std::fs::create_dir_all(&out).expect("cannot create output directory");
     let profile = WorkloadProfile::matrix_update(block);
     let precision = Precision::thorough();
-    let bench = Benchmark::new(&precision).with_trace(trace);
 
     // Geometric size grid.
     let ratio = (hi as f64 / lo as f64).powf(1.0 / (npoints as f64 - 1.0));
@@ -54,26 +57,27 @@ fn main() {
         .map(|i| (lo as f64 * ratio.powi(i as i32)).round() as u64)
         .collect();
 
-    for (rank, dev) in platform.devices().iter().enumerate() {
-        let mut kernel = DeviceKernel::new(dev.clone(), profile.clone());
-        let mut model = PiecewiseModel::new();
-        for &d in &sizes {
-            let point = bench.measure(&mut kernel, d).expect("benchmark failed");
-            model.update(point).expect("model update failed");
-            trace.record(&TraceEvent::ModelUpdate {
-                rank,
-                d: point.d,
-                t: point.t,
-                reps: point.reps,
-                points: model.points().len(),
-            });
-        }
+    // One kernel per device; the builder measures them (possibly on
+    // worker threads — the saved models and the trace are bit-identical
+    // either way) and hands back the models in rank order.
+    let kernels: Vec<Box<dyn Kernel + Send>> = platform
+        .devices()
+        .iter()
+        .map(|dev| Box::new(DeviceKernel::new(dev.clone(), profile.clone())) as Box<dyn Kernel + Send>)
+        .collect();
+    let built = ModelBuilder::new(&precision)
+        .with_parallelism(parallelism)
+        .with_trace(trace)
+        .build::<PiecewiseModel>(kernels, &sizes)
+        .expect("model build failed");
+
+    for (rank, (dev, built)) in platform.devices().iter().zip(&built).enumerate() {
         let path = out.join(format!("{rank:02}_{}.points", dev.name()));
-        io::save_model(&path, &model).expect("save failed");
+        io::save_model(&path, &built.model).expect("save failed");
         println!(
             "rank {rank} ({}): {} points -> {}",
             dev.name(),
-            model.points().len(),
+            built.model.points().len(),
             path.display()
         );
     }

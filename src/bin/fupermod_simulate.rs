@@ -5,6 +5,7 @@
 //! Usage: fupermod_simulate --app matmul|jacobi|heat
 //!                          [--platform NAME] [--seed S] [--size N]
 //!                          [--algorithm even|constant|geometric|numerical]
+//!                          [--parallelism N]
 //!                          [--trace PATH [--trace-format jsonl|csv]]
 //!   --app           which application to simulate
 //!   --platform      uniform4 | two-speed | multicore | hybrid | grid (default: two-speed)
@@ -12,6 +13,8 @@
 //!   --size          problem size: matmul = blocks per side (default 128),
 //!                   jacobi/heat = rows (default 600)
 //!   --algorithm     partitioning algorithm (default: geometric)
+//!   --parallelism   (matmul only) model-build worker threads (default: 1
+//!                   = serial, 0 = one per core); bit-identical output
 //!   --trace         write a structured trace (see docs/OBSERVABILITY.md)
 //!   --trace-format  jsonl (default) or csv
 //!   --gantt yes     (matmul only) dump the Gantt-style activity CSV to stderr
@@ -20,7 +23,7 @@
 use fupermod::apps::heat::{run_traced as heat_run, sine_mode, HeatConfig};
 use fupermod::apps::jacobi::{run_traced as jacobi_run, JacobiConfig};
 use fupermod::apps::matmul::{
-    build_device_models_traced, simulate, simulate_traced, MatMulConfig,
+    build_device_models_with, simulate, simulate_traced, MatMulConfig,
 };
 use fupermod::apps::workload::dominant_system;
 use fupermod::cli;
@@ -49,12 +52,13 @@ fn main() {
             let cfg = MatMulConfig { n_blocks, block: 16 };
             let profile = WorkloadProfile::matrix_update(cfg.block);
             let max = (n_blocks * n_blocks / 2).max(32);
-            let models: Vec<AkimaModel> = build_device_models_traced(
+            let models: Vec<AkimaModel> = build_device_models_with(
                 &platform,
                 &profile,
                 &[32, max / 64, max / 8, max],
                 &Precision::default(),
                 sink.as_deref().unwrap_or(null_sink()),
+                cli::parallelism(&args),
             )
             .expect("model build failed");
             let refs: Vec<&dyn Model> = models.iter().map(|m| m as &dyn Model).collect();

@@ -62,6 +62,22 @@ pub fn pick_partitioner(name: &str) -> Box<dyn Partitioner> {
     }
 }
 
+/// Parses the `--parallelism N` flag: model-build worker-thread count.
+/// Defaults to `1` (serial — the reproducible default); `0` means one
+/// worker per available core. Parallel and serial builds produce
+/// bit-identical models and traces (see
+/// [`fupermod_core::builder::ModelBuilder`]), so this knob only changes
+/// wall-clock time. Exits with status 2 on a non-integer value.
+pub fn parallelism(args: &HashMap<String, String>) -> usize {
+    match args.get("parallelism") {
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("invalid --parallelism value {s:?} (want a non-negative integer)");
+            std::process::exit(2);
+        }),
+        None => 1,
+    }
+}
+
 /// Opens the structured-trace sink requested by `--trace PATH` and
 /// `--trace-format jsonl|csv` (default `jsonl`, or inferred from a
 /// `.csv` extension). Returns `None` when `--trace` was not given.
