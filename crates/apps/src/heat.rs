@@ -195,7 +195,7 @@ pub fn run_traced(
             let step_result = ctx.balance_iterate(&compute_times)?;
             rows_moved = step_result.units_moved;
             if rows_moved > 0 {
-                comm.redistribute(&old_sizes, &ctx.dist().sizes(), bytes_per_row);
+                comm.redistribute(&old_sizes, &ctx.dist().sizes(), bytes_per_row)?;
             }
             if step_result.converged {
                 balancing_done = true;

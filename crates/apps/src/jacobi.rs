@@ -164,7 +164,7 @@ pub fn run_traced(
 
         // --- exchange updated parts (allgatherv) ---
         let contrib: Vec<f64> = sizes.iter().map(|&d| d as f64 * 8.0).collect();
-        comm.allgatherv(&contrib);
+        comm.allgatherv(&contrib)?;
         let iteration_time = comm.max_time() - t_before;
 
         // --- convergence ---
@@ -181,7 +181,7 @@ pub fn run_traced(
             let step = ctx.balance_iterate(&compute_times)?;
             rows_moved = step.units_moved;
             if rows_moved > 0 {
-                comm.redistribute(&old_sizes, &ctx.dist().sizes(), bytes_per_row);
+                comm.redistribute(&old_sizes, &ctx.dist().sizes(), bytes_per_row)?;
             }
             if step.converged {
                 balancing_done = true;

@@ -9,9 +9,10 @@
 //!
 //! Two execution paths are provided:
 //!
-//! * [`run_threaded`] — a *real* run on worker threads exchanging data
-//!   through [`ThreadComm`], numerically verified against serial GEMM;
-//!   it validates that the 2D partition computes the right answer.
+//! * [`run_threaded`] — a *real* run on worker threads synchronising
+//!   through the [`fupermod_runtime::ThreadedComm`] communicator,
+//!   numerically verified against serial GEMM; it validates that the
+//!   2D partition computes the right answer.
 //! * [`simulate`] — a *simulated-time* run on a synthetic heterogeneous
 //!   [`Platform`], used by the experiments to compare partitioning
 //!   strategies at scales no laptop could multiply for real.
@@ -22,7 +23,8 @@ use fupermod_core::partition::Partitioner;
 use fupermod_core::{CoreError, Point};
 use fupermod_kernels::gemm::{gemm_blocked, gemm_parallel};
 use fupermod_platform::comm::SimComm;
-use fupermod_platform::{Platform, ThreadComm, WorkloadProfile};
+use fupermod_platform::{Platform, WorkloadProfile};
+use fupermod_runtime::{run_ranks, Communicator, RuntimeConfig, RuntimeError};
 
 use crate::workload::DenseMatrix;
 
@@ -257,8 +259,9 @@ pub fn measure_device_point(
 
 /// Executes the distributed multiplication for real on worker threads:
 /// each process owns one rectangle of `C`, receives the full `A` row
-/// band and `B` column band it needs through [`ThreadComm`], computes
-/// with blocked GEMM, and the assembled product is returned.
+/// band and `B` column band it needs (synchronised through the runtime
+/// [`fupermod_runtime::ThreadedComm`]), computes with blocked GEMM,
+/// and the assembled product is returned.
 ///
 /// `a` and `b` must be square `N × N` with `N = n_blocks · block` where
 /// `n_blocks` is derived from `areas` tiling; the function checks
@@ -305,54 +308,47 @@ pub fn run_threaded_with(
     let n_blocks = (n / block) as u64;
     let partition = column_partition(n_blocks, areas)?;
 
-    let comms = ThreadComm::create(areas.len());
-    let results: Vec<(usize, Vec<f64>)> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (comm, rect) in comms.into_iter().zip(partition.rects().iter().copied()) {
-            let a = &a.data;
-            let b = &b.data;
-            handles.push(scope.spawn(move || {
-                let rank = comm.rank();
-                // Element-space bounds of this process's C rectangle.
-                let row0 = rect.y as usize * block;
-                let rows = rect.h as usize * block;
-                let col0 = rect.x as usize * block;
-                let cols = rect.w as usize * block;
-                if rows == 0 || cols == 0 {
-                    comm.barrier();
-                    return (rank, Vec::new());
-                }
-                // "Receive" the needed bands: in this in-process
-                // setting the matrices are shared read-only; the
-                // barrier stands in for the broadcast arrival.
-                comm.barrier();
-                // Pack the B column band (strided) and the A row band
-                // (contiguous), exactly the pivot-buffer copies of the
-                // paper's kernel.
-                let a_band = &a[row0 * n..(row0 + rows) * n];
-                let mut b_band = vec![0.0; n * cols];
-                for r in 0..n {
-                    b_band[r * cols..(r + 1) * cols]
-                        .copy_from_slice(&b[r * n + col0..r * n + col0 + cols]);
-                }
-                let mut c = vec![0.0; rows * cols];
-                if gemm_threads == 1 {
-                    gemm_blocked(rows, cols, n, a_band, &b_band, &mut c);
-                } else {
-                    gemm_parallel(rows, cols, n, a_band, &b_band, &mut c, gemm_threads);
-                }
-                (rank, c)
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("matmul worker panicked"))
-            .collect()
-    });
+    let comms = RuntimeConfig::thread().build(areas.len());
+    let comm_err = |e: RuntimeError| CoreError::Kernel(format!("communicator: {e}"));
+    let results: Vec<Result<(usize, Vec<f64>), CoreError>> =
+        run_ranks(comms, |mut comm| -> Result<(usize, Vec<f64>), CoreError> {
+            let rank = comm.rank();
+            let rect = partition.rects()[rank];
+            // Element-space bounds of this process's C rectangle.
+            let row0 = rect.y as usize * block;
+            let rows = rect.h as usize * block;
+            let col0 = rect.x as usize * block;
+            let cols = rect.w as usize * block;
+            if rows == 0 || cols == 0 {
+                comm.barrier().map_err(comm_err)?;
+                return Ok((rank, Vec::new()));
+            }
+            // "Receive" the needed bands: in this in-process setting
+            // the matrices are shared read-only; the barrier stands in
+            // for the broadcast arrival.
+            comm.barrier().map_err(comm_err)?;
+            // Pack the B column band (strided) and the A row band
+            // (contiguous), exactly the pivot-buffer copies of the
+            // paper's kernel.
+            let a_band = &a.data[row0 * n..(row0 + rows) * n];
+            let mut b_band = vec![0.0; n * cols];
+            for r in 0..n {
+                b_band[r * cols..(r + 1) * cols]
+                    .copy_from_slice(&b.data[r * n + col0..r * n + col0 + cols]);
+            }
+            let mut c = vec![0.0; rows * cols];
+            if gemm_threads == 1 {
+                gemm_blocked(rows, cols, n, a_band, &b_band, &mut c);
+            } else {
+                gemm_parallel(rows, cols, n, a_band, &b_band, &mut c, gemm_threads);
+            }
+            Ok((rank, c))
+        });
 
     // Assemble C from the rectangles.
     let mut c = vec![0.0; n * n];
-    for (rank, data) in results {
+    for result in results {
+        let (rank, data) = result?;
         let rect = partition.rects()[rank];
         let row0 = rect.y as usize * block;
         let rows = rect.h as usize * block;

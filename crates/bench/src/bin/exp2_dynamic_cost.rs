@@ -12,6 +12,12 @@
 //! Output: CSV `platform,total,approach,bench_cost_s,steps,imbalance`.
 //! With `--trace-dir DIR` (or `FUPERMOD_TRACE_DIR`), also writes
 //! `DIR/exp2_dynamic_cost.trace.jsonl` (see docs/OBSERVABILITY.md).
+//!
+//! With `--runtime thread|sim` the dynamic loop runs through the
+//! distributed message-passing executor (`fupermod-runtime`) instead of
+//! the serial in-process loop — bit-identical results on a fault-free
+//! plan; `--fault-plan SPEC` (inline JSON or a file, see
+//! docs/RUNTIME.md) injects faults.
 
 use fupermod_bench::{
     evaluate_partitioner, finish_experiment_trace, ground_truth_imbalance, ground_truth_times,
@@ -82,40 +88,58 @@ fn main() {
         ]);
 
         // --- (b) dynamic partial estimation ---
-        let partials: Vec<Box<dyn Model>> = (0..platform.size())
-            .map(|_| Box::new(PiecewiseModel::new()) as Box<dyn Model>)
-            .collect();
-        let mut ctx = DynamicContext::new(
-            Box::new(GeometricPartitioner::default()),
-            partials,
-            total,
-            0.05,
-        );
-        if let Some(sink) = &trace {
-            ctx = ctx.with_trace(sink.clone());
-        }
-        let mut dyn_cost = 0.0;
-        let mut steps = 0;
-        for _ in 0..25 {
-            let step = ctx
-                .partition_iterate(|rank, d| {
-                    let p = fupermod_bench::quick_measure(
-                        platform,
-                        rank,
-                        &profile,
-                        d,
-                        sink_or_null(&trace),
-                    )?;
-                    dyn_cost += p.t * p.reps as f64;
-                    Ok(p)
-                })
-                .expect("dynamic step failed");
-            steps += 1;
-            if step.converged {
-                break;
-            }
-        }
-        let final_sizes = ctx.dist().sizes();
+        // With --runtime thread|sim the loop runs distributed over the
+        // message-passing runtime; otherwise the classic serial loop.
+        let (dyn_cost, steps, final_sizes) =
+            match fupermod_bench::runtime_from_args(platform, trace.as_ref()) {
+                Some(config) => {
+                    let outcome = fupermod_bench::distributed_dynamic(
+                        platform, &profile, total, 0.05, 25, config,
+                    )
+                    .expect("distributed dynamic run failed");
+                    (
+                        fupermod_bench::distributed_bench_cost(&outcome),
+                        outcome.steps.len(),
+                        outcome.final_sizes.clone(),
+                    )
+                }
+                None => {
+                    let partials: Vec<Box<dyn Model>> = (0..platform.size())
+                        .map(|_| Box::new(PiecewiseModel::new()) as Box<dyn Model>)
+                        .collect();
+                    let mut ctx = DynamicContext::new(
+                        Box::new(GeometricPartitioner::default()),
+                        partials,
+                        total,
+                        0.05,
+                    );
+                    if let Some(sink) = &trace {
+                        ctx = ctx.with_trace(sink.clone());
+                    }
+                    let mut dyn_cost = 0.0;
+                    let mut steps = 0;
+                    for _ in 0..25 {
+                        let step = ctx
+                            .partition_iterate(|rank, d| {
+                                let p = fupermod_bench::quick_measure(
+                                    platform,
+                                    rank,
+                                    &profile,
+                                    d,
+                                    sink_or_null(&trace),
+                                )?;
+                                dyn_cost += p.t * p.reps as f64;
+                                Ok(p)
+                            })
+                            .expect("dynamic step failed");
+                        steps += 1;
+                        if step.converged {
+                            break;
+                        }
+                    }
+                    (dyn_cost, steps, ctx.dist().sizes())
+                }
+            };
         let times = ground_truth_times(platform, &profile, &final_sizes);
         print_csv_row(&[
             platform.name().to_owned(),

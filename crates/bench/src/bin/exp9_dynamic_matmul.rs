@@ -11,6 +11,11 @@
 //! Output: CSV `platform,n_blocks,approach,model_cost_s,run_time_s,total_1run,total_20runs`.
 //! With `--trace-dir DIR` (or `FUPERMOD_TRACE_DIR`), also writes
 //! `DIR/exp9_dynamic_matmul.trace.jsonl` (see docs/OBSERVABILITY.md).
+//!
+//! With `--runtime thread|sim` the dynamic-estimation leg runs through
+//! the distributed message-passing executor (`fupermod-runtime`) —
+//! bit-identical results on a fault-free plan; `--fault-plan SPEC`
+//! (inline JSON or a file, see docs/RUNTIME.md) injects faults.
 
 use fupermod_apps::matmul::{partition_areas, simulate, MatMulConfig};
 use fupermod_bench::{
@@ -78,34 +83,55 @@ fn main() {
         let run = simulate(platform, &areas, &cfg).expect("sim failed").total_time;
         emit(platform, &cfg, "full-models", full_cost, run);
 
-        // (b) dynamic partial estimation at run time.
-        let partials: Vec<Box<dyn Model>> = (0..p)
-            .map(|_| Box::new(PiecewiseModel::new()) as Box<dyn Model>)
-            .collect();
-        let mut ctx = DynamicContext::new(
-            Box::new(GeometricPartitioner::default()),
-            partials,
-            total_area,
-            0.05,
-        );
-        if let Some(sink) = &trace {
-            ctx = ctx.with_trace(sink.clone());
-        }
-        let mut dyn_cost = 0.0;
-        for _ in 0..20 {
-            let step = ctx
-                .partition_iterate(|rank, d| {
-                    let pt =
-                        quick_measure(platform, rank, &profile, d, sink_or_null(&trace))?;
-                    dyn_cost += pt.t * pt.reps as f64;
-                    Ok(pt)
-                })
-                .expect("dynamic step failed");
-            if step.converged {
-                break;
-            }
-        }
-        let areas = ctx.dist().sizes();
+        // (b) dynamic partial estimation at run time — distributed
+        // over the runtime when --runtime thread|sim is given.
+        let (dyn_cost, areas) =
+            match fupermod_bench::runtime_from_args(platform, trace.as_ref()) {
+                Some(config) => {
+                    let outcome = fupermod_bench::distributed_dynamic(
+                        platform, &profile, total_area, 0.05, 20, config,
+                    )
+                    .expect("distributed dynamic run failed");
+                    (
+                        fupermod_bench::distributed_bench_cost(&outcome),
+                        outcome.final_sizes.clone(),
+                    )
+                }
+                None => {
+                    let partials: Vec<Box<dyn Model>> = (0..p)
+                        .map(|_| Box::new(PiecewiseModel::new()) as Box<dyn Model>)
+                        .collect();
+                    let mut ctx = DynamicContext::new(
+                        Box::new(GeometricPartitioner::default()),
+                        partials,
+                        total_area,
+                        0.05,
+                    );
+                    if let Some(sink) = &trace {
+                        ctx = ctx.with_trace(sink.clone());
+                    }
+                    let mut dyn_cost = 0.0;
+                    for _ in 0..20 {
+                        let step = ctx
+                            .partition_iterate(|rank, d| {
+                                let pt = quick_measure(
+                                    platform,
+                                    rank,
+                                    &profile,
+                                    d,
+                                    sink_or_null(&trace),
+                                )?;
+                                dyn_cost += pt.t * pt.reps as f64;
+                                Ok(pt)
+                            })
+                            .expect("dynamic step failed");
+                        if step.converged {
+                            break;
+                        }
+                    }
+                    (dyn_cost, ctx.dist().sizes())
+                }
+            };
         let run = simulate(platform, &areas, &cfg).expect("sim failed").total_time;
         emit(platform, &cfg, "dynamic", dyn_cost, run);
 

@@ -233,6 +233,115 @@ pub fn print_csv_row(fields: &[String]) {
     println!("{}", fields.join(","));
 }
 
+/// The value of `--NAME VALUE` on the command line, if present.
+/// (`name` includes the leading dashes, e.g. `"--runtime"`.)
+pub fn flag_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Parses `--fault-plan SPEC` — inline JSON when SPEC starts with `{`,
+/// otherwise a path to a JSON file (schema in `docs/RUNTIME.md`).
+/// Returns the empty plan when the flag is absent; exits with status 2
+/// on an invalid plan.
+pub fn fault_plan_from_args() -> fupermod_runtime::FaultPlan {
+    use fupermod_runtime::FaultPlan;
+    match flag_value("--fault-plan") {
+        None => FaultPlan::none(),
+        Some(spec) => {
+            let parsed = if spec.trim_start().starts_with('{') {
+                FaultPlan::from_json(&spec)
+            } else {
+                FaultPlan::from_json_file(std::path::Path::new(&spec))
+            };
+            parsed.unwrap_or_else(|e| {
+                eprintln!("invalid --fault-plan: {e}");
+                std::process::exit(2);
+            })
+        }
+    }
+}
+
+/// Builds the runtime configuration selected by `--runtime thread|sim`
+/// for a distributed dynamic run on `platform`, applying `--fault-plan`
+/// and routing runtime trace events to `trace` when given. Returns
+/// `None` when `--runtime` is absent or `serial` (the classic
+/// in-process loop); exits with status 2 on an unknown backend.
+pub fn runtime_from_args(
+    platform: &Platform,
+    trace: Option<&Arc<dyn TraceSink>>,
+) -> Option<fupermod_runtime::RuntimeConfig> {
+    use fupermod_runtime::RuntimeConfig;
+    let backend = flag_value("--runtime")?;
+    let config = match backend.as_str() {
+        "serial" => return None,
+        "thread" => RuntimeConfig::thread(),
+        "sim" => RuntimeConfig::sim(platform.size(), platform.link()),
+        other => {
+            eprintln!("--runtime must be serial, thread or sim (got '{other}')");
+            std::process::exit(2);
+        }
+    };
+    let config = config.with_plan(fault_plan_from_args());
+    Some(match trace {
+        Some(sink) => config.with_trace(sink.clone()),
+        None => config,
+    })
+}
+
+/// Runs the dynamic partitioning loop for `platform` through the
+/// distributed runtime executor ([`fupermod_runtime`]): every rank
+/// benchmarks its own share (quick precision, like
+/// [`quick_measure`]), the observations are gathered onto rank 0,
+/// and rank 0 repartitions. On a fault-free plan the result is
+/// bit-identical to the serial `DynamicContext` loop.
+///
+/// # Errors
+///
+/// Propagates root-rank runtime failures.
+pub fn distributed_dynamic(
+    platform: &Platform,
+    profile: &WorkloadProfile,
+    total: u64,
+    eps: f64,
+    max_steps: usize,
+    config: fupermod_runtime::RuntimeConfig,
+) -> Result<fupermod_runtime::BalanceOutcome, fupermod_runtime::RuntimeError> {
+    use fupermod_core::dynamic::DynamicContext;
+    use fupermod_core::model::PiecewiseModel;
+    use fupermod_core::partition::GeometricPartitioner;
+    let size = platform.size();
+    fupermod_runtime::run_to_balance_distributed(
+        config,
+        size,
+        || {
+            let models: Vec<Box<dyn Model>> = (0..size)
+                .map(|_| Box::new(PiecewiseModel::new()) as Box<dyn Model>)
+                .collect();
+            DynamicContext::new(Box::new(GeometricPartitioner::default()), models, total, eps)
+        },
+        |rank, d| quick_measure(platform, rank, profile, d, null_sink()),
+        max_steps,
+    )
+}
+
+/// Virtual benchmarking cost of a distributed dynamic run: the sum of
+/// `t × reps` over every observation absorbed into the models —
+/// comparable to the cost the serial loops accumulate.
+pub fn distributed_bench_cost(outcome: &fupermod_runtime::BalanceOutcome) -> f64 {
+    outcome
+        .steps
+        .iter()
+        .flat_map(|s| s.observed.iter())
+        .map(|p| p.t * f64::from(p.reps))
+        .sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -21,7 +21,7 @@
 use std::sync::Arc;
 
 use crate::model::Model;
-use crate::partition::{Distribution, Partitioner};
+use crate::partition::{Distribution, Part, Partitioner};
 use crate::trace::{metrics, NullSink, TraceEvent, TraceSink};
 use crate::{CoreError, Point};
 
@@ -47,6 +47,10 @@ pub struct DynamicContext {
     eps: f64,
     trace: Arc<dyn TraceSink>,
     iter: u64,
+    /// Which processes still participate. Deactivated (dead) ranks are
+    /// excluded from partitioning and pinned to zero units — the
+    /// graceful-degradation hook used by the distributed executor.
+    active: Vec<bool>,
 }
 
 impl std::fmt::Debug for DynamicContext {
@@ -79,6 +83,7 @@ impl DynamicContext {
         assert!(!models.is_empty(), "need at least one process");
         assert!(eps > 0.0, "eps must be positive");
         let dist = Distribution::even(total, models.len());
+        let active = vec![true; models.len()];
         Self {
             partitioner,
             models,
@@ -86,6 +91,7 @@ impl DynamicContext {
             eps,
             trace: Arc::new(NullSink),
             iter: 0,
+            active,
         }
     }
 
@@ -118,6 +124,26 @@ impl DynamicContext {
         self.eps
     }
 
+    /// Which processes still participate (`active()[rank]`), see
+    /// [`DynamicContext::deactivate`].
+    pub fn active(&self) -> &[bool] {
+        &self.active
+    }
+
+    /// Permanently removes a process from the computation — the
+    /// graceful-degradation path for a dead rank. From the next
+    /// absorb onwards the partitioner only sees the surviving models
+    /// and the dead rank is pinned to zero units, so its load is
+    /// repartitioned across survivors.
+    ///
+    /// Deactivating an already-inactive rank is a no-op; out-of-range
+    /// ranks are ignored.
+    pub fn deactivate(&mut self, rank: usize) {
+        if let Some(slot) = self.active.get_mut(rank) {
+            *slot = false;
+        }
+    }
+
     /// One step of **dynamic data partitioning** \[11\]: benchmark the
     /// kernel of every process at its current size (via `measure`),
     /// refine the partial models, and re-partition.
@@ -136,7 +162,13 @@ impl DynamicContext {
         let sizes = self.dist.sizes();
         let mut observed = Vec::with_capacity(sizes.len());
         for (rank, &d) in sizes.iter().enumerate() {
-            observed.push(measure(rank, d.max(1))?);
+            if self.active[rank] {
+                observed.push(measure(rank, d.max(1))?);
+            } else {
+                // Dead ranks are not probed; the placeholder is
+                // skipped by `absorb` (d == 0 carries no information).
+                observed.push(Point::single(0, 0.0));
+            }
         }
         self.absorb(observed)
     }
@@ -175,6 +207,29 @@ impl DynamicContext {
         self.absorb(observed)
     }
 
+    /// Absorbs one already-measured observation per process and
+    /// re-partitions — the distributed executor's entry point, where
+    /// each rank measured its own share and the points were gathered
+    /// to the root. Identical semantics to one
+    /// [`DynamicContext::partition_iterate`] step given the same
+    /// observations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model and partitioning errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observed.len()` differs from the process count.
+    pub fn absorb_observed(&mut self, observed: Vec<Point>) -> Result<DynamicStep, CoreError> {
+        assert_eq!(
+            observed.len(),
+            self.models.len(),
+            "one observation per process"
+        );
+        self.absorb(observed)
+    }
+
     fn absorb(&mut self, observed: Vec<Point>) -> Result<DynamicStep, CoreError> {
         self.iter += 1;
         for (rank, (model, point)) in self.models.iter_mut().zip(&observed).enumerate() {
@@ -196,8 +251,42 @@ impl DynamicContext {
                 points: model.points().len(),
             });
         }
-        let refs: Vec<&dyn Model> = self.models.iter().map(|m| m.as_ref()).collect();
-        let new_dist = self.partitioner.partition(self.dist.total(), &refs)?;
+        let new_dist = if self.active.iter().all(|&a| a) {
+            let refs: Vec<&dyn Model> = self.models.iter().map(|m| m.as_ref()).collect();
+            self.partitioner.partition(self.dist.total(), &refs)?
+        } else {
+            // Graceful degradation: partition over the surviving
+            // models only, then expand back to full size with dead
+            // ranks pinned to zero units.
+            let refs: Vec<&dyn Model> = self
+                .models
+                .iter()
+                .zip(&self.active)
+                .filter(|(_, &a)| a)
+                .map(|(m, _)| m.as_ref())
+                .collect();
+            if refs.is_empty() {
+                return Err(CoreError::Partition(
+                    "no active processes remain".to_owned(),
+                ));
+            }
+            let sub = self.partitioner.partition(self.dist.total(), &refs)?;
+            let mut survivors = sub.parts().iter();
+            let parts: Vec<Part> = self
+                .active
+                .iter()
+                .map(|&a| {
+                    if a {
+                        *survivors
+                            .next()
+                            .expect("partitioner returned one part per model")
+                    } else {
+                        Part { d: 0, t: 0.0 }
+                    }
+                })
+                .collect();
+            Distribution::from_parts(self.dist.total(), parts)
+        };
 
         // Idle (zero-unit) processes don't count towards imbalance.
         let times: Vec<f64> = observed
@@ -472,6 +561,66 @@ mod tests {
             })
             .collect();
         assert_eq!(update_ranks, vec![0]);
+    }
+
+    #[test]
+    fn deactivated_rank_is_rebalanced_away() {
+        let mut ctx = context(1000, 0.05, 3);
+        let measure = |rank: usize, d: u64| -> Result<Point, CoreError> {
+            let s = [100.0, 100.0, 50.0][rank];
+            Ok(Point::single(d, d as f64 / s))
+        };
+        ctx.run_to_balance(measure, 20).unwrap();
+        assert!(ctx.dist().sizes().iter().all(|&d| d > 0));
+        assert_eq!(ctx.active(), &[true, true, true]);
+
+        // Rank 1 dies: its share must flow to the survivors.
+        ctx.deactivate(1);
+        ctx.deactivate(1); // idempotent
+        ctx.deactivate(99); // out of range: ignored
+        assert_eq!(ctx.active(), &[true, false, true]);
+        let step = ctx.partition_iterate(measure).unwrap();
+        let sizes = ctx.dist().sizes();
+        assert_eq!(sizes[1], 0, "dead rank keeps units: {sizes:?}");
+        assert_eq!(sizes.iter().sum::<u64>(), 1000);
+        assert!(sizes[0] > sizes[2], "2:1 speeds among survivors");
+        // The dead rank contributed a skip-placeholder observation.
+        assert_eq!(step.observed[1].d, 0);
+    }
+
+    #[test]
+    fn all_ranks_dead_is_an_error() {
+        let mut ctx = context(100, 0.05, 2);
+        ctx.deactivate(0);
+        ctx.deactivate(1);
+        let err = ctx
+            .partition_iterate(|_, d| Ok(Point::single(d, 1.0)))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Partition(_)));
+    }
+
+    #[test]
+    fn absorb_observed_matches_partition_iterate() {
+        // The distributed executor's entry point must replay the exact
+        // serial semantics: same observations in, same distribution out.
+        let mut serial = context(1000, 0.05, 2);
+        let mut distributed = context(1000, 0.05, 2);
+        let mut measure = measure_two(100.0, 25.0);
+        for _ in 0..5 {
+            let sizes = distributed.dist().sizes();
+            let s = serial.partition_iterate(&mut measure).unwrap();
+            let observed: Vec<Point> = sizes
+                .iter()
+                .enumerate()
+                .map(|(r, &d)| measure(r, d.max(1)).unwrap())
+                .collect();
+            let d = distributed.absorb_observed(observed).unwrap();
+            assert_eq!(s, d);
+            assert_eq!(serial.dist().sizes(), distributed.dist().sizes());
+            if s.converged {
+                break;
+            }
+        }
     }
 
     #[test]

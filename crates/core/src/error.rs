@@ -2,6 +2,7 @@ use std::error::Error;
 use std::fmt;
 
 use fupermod_num::NumError;
+use fupermod_platform::PlatformError;
 
 /// Error type for the FuPerMod core framework.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,6 +18,9 @@ pub enum CoreError {
     Partition(String),
     /// A trace could not be read, validated or replayed.
     Trace(String),
+    /// The platform substrate rejected a communication operation
+    /// (byte-count arity, conservation, or a disconnected peer).
+    Platform(PlatformError),
 }
 
 impl fmt::Display for CoreError {
@@ -27,6 +31,7 @@ impl fmt::Display for CoreError {
             CoreError::Model(msg) => write!(f, "model error: {msg}"),
             CoreError::Partition(msg) => write!(f, "partition error: {msg}"),
             CoreError::Trace(msg) => write!(f, "trace error: {msg}"),
+            CoreError::Platform(e) => write!(f, "platform error: {e}"),
         }
     }
 }
@@ -35,6 +40,7 @@ impl Error for CoreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CoreError::Num(e) => Some(e),
+            CoreError::Platform(e) => Some(e),
             _ => None,
         }
     }
@@ -43,5 +49,11 @@ impl Error for CoreError {
 impl From<NumError> for CoreError {
     fn from(e: NumError) -> Self {
         CoreError::Num(e)
+    }
+}
+
+impl From<PlatformError> for CoreError {
+    fn from(e: PlatformError) -> Self {
+        CoreError::Platform(e)
     }
 }

@@ -14,7 +14,11 @@
 //!   [`TraceEvent::PartitionStep`] per re-partition, and
 //!   [`TraceEvent::DynamicConverged`] once balanced;
 //! * [`Partitioner::partition_traced`](crate::partition::Partitioner::partition_traced)
-//!   emits a single [`TraceEvent::PartitionStep`] for static partitioning.
+//!   emits a single [`TraceEvent::PartitionStep`] for static partitioning;
+//! * the `fupermod-runtime` message-passing layer emits
+//!   [`TraceEvent::Comm`] per communication operation and
+//!   [`TraceEvent::Fault`] per injected or observed fault
+//!   (schema v2 additions).
 //!
 //! Four sinks are provided: [`NullSink`] (the default — zero work),
 //! [`MemorySink`] (in-process inspection and tests), [`JsonlSink`]
@@ -43,7 +47,11 @@ use crate::{CoreError, Point};
 
 /// Version of the trace schema this build writes (see
 /// `docs/OBSERVABILITY.md` for the field-by-field specification).
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2 adds the `comm` and `fault` event kinds emitted by the
+/// `fupermod-runtime` message-passing layer; v1 traces remain
+/// readable.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// A typed observability event emitted by the measurement and
 /// partitioning machinery.
@@ -116,6 +124,35 @@ pub enum TraceEvent {
         /// Final relative imbalance.
         imbalance: f64,
     },
+    /// A runtime communication operation completed (schema v2).
+    Comm {
+        /// Rank that performed the operation.
+        rank: usize,
+        /// Operation tag: `send`, `recv`, `barrier`, `bcast`,
+        /// `scatterv`, `gatherv`, `allgatherv`, `allreduce`.
+        op: String,
+        /// Peer rank (or collective root); `-1` when not applicable.
+        peer: i64,
+        /// Payload bytes moved by this rank in the operation.
+        bytes: u64,
+        /// Wall (or virtual) seconds the operation took on this rank.
+        seconds: f64,
+    },
+    /// A fault was injected or observed by the runtime (schema v2).
+    Fault {
+        /// Rank where the fault manifested.
+        rank: usize,
+        /// Fault tag: `delay`, `drop`, `retry`, `straggler`, `death`,
+        /// `timeout`, `degraded`.
+        kind: String,
+        /// Peer rank involved; `-1` when not applicable.
+        peer: i64,
+        /// Retry attempt number (0 for non-retry faults).
+        attempt: u32,
+        /// Seconds of delay/backoff attributable to the fault
+        /// (0 when not applicable).
+        seconds: f64,
+    },
 }
 
 impl TraceEvent {
@@ -127,6 +164,8 @@ impl TraceEvent {
             TraceEvent::ModelUpdate { .. } => "model_update",
             TraceEvent::PartitionStep { .. } => "partition_step",
             TraceEvent::DynamicConverged { .. } => "dynamic_converged",
+            TraceEvent::Comm { .. } => "comm",
+            TraceEvent::Fault { .. } => "fault",
         }
     }
 
@@ -203,6 +242,32 @@ impl TraceEvent {
                 push_num(&mut s, "steps", *steps as f64);
                 push_float(&mut s, "imbalance", *imbalance);
             }
+            TraceEvent::Comm {
+                rank,
+                op,
+                peer,
+                bytes,
+                seconds,
+            } => {
+                push_num(&mut s, "rank", *rank as f64);
+                push_str(&mut s, "op", op);
+                push_num(&mut s, "peer", *peer as f64);
+                push_num(&mut s, "bytes", *bytes as f64);
+                push_float(&mut s, "seconds", *seconds);
+            }
+            TraceEvent::Fault {
+                rank,
+                kind,
+                peer,
+                attempt,
+                seconds,
+            } => {
+                push_num(&mut s, "rank", *rank as f64);
+                push_str(&mut s, "kind", kind);
+                push_num(&mut s, "peer", *peer as f64);
+                push_num(&mut s, "attempt", f64::from(*attempt));
+                push_float(&mut s, "seconds", *seconds);
+            }
         }
         s.push('}');
         s
@@ -229,6 +294,16 @@ impl TraceEvent {
                 .and_then(|(_, v)| v.as_f64())
                 .ok_or_else(|| {
                     CoreError::Trace(format!("event '{tag}': missing numeric field '{key}'"))
+                })
+        };
+        let text = |key: &str| -> Result<String, CoreError> {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.as_str())
+                .map(str::to_owned)
+                .ok_or_else(|| {
+                    CoreError::Trace(format!("event '{tag}': missing string field '{key}'"))
                 })
         };
         match tag.as_str() {
@@ -277,6 +352,20 @@ impl TraceEvent {
                 steps: num("steps")? as u64,
                 imbalance: num("imbalance")?,
             }),
+            "comm" => Ok(TraceEvent::Comm {
+                rank: num("rank")? as usize,
+                op: text("op")?,
+                peer: num("peer")? as i64,
+                bytes: num("bytes")? as u64,
+                seconds: num("seconds")?,
+            }),
+            "fault" => Ok(TraceEvent::Fault {
+                rank: num("rank")? as usize,
+                kind: text("kind")?,
+                peer: num("peer")? as i64,
+                attempt: num("attempt")? as u32,
+                seconds: num("seconds")?,
+            }),
             other => Err(CoreError::Trace(format!("unknown event tag '{other}'"))),
         }
     }
@@ -285,8 +374,9 @@ impl TraceEvent {
     pub fn to_csv_row(&self) -> String {
         // Columns: event,iter,rank,d,rep,reps,time,mean,stderr,ci_rel,
         //          elapsed,outliers_rejected,t,points,imbalance,
-        //          units_moved,steps,dist
-        let mut c: [String; 18] = Default::default();
+        //          units_moved,steps,dist,op,kind,peer,bytes,seconds,
+        //          attempt
+        let mut c: [String; 24] = Default::default();
         c[0] = self.name().to_owned();
         match self {
             TraceEvent::BenchmarkSample {
@@ -351,15 +441,44 @@ impl TraceEvent {
                 c[14] = fmt_float(*imbalance);
                 c[16] = steps.to_string();
             }
+            TraceEvent::Comm {
+                rank,
+                op,
+                peer,
+                bytes,
+                seconds,
+            } => {
+                c[2] = rank.to_string();
+                c[18] = op.clone();
+                c[20] = peer.to_string();
+                c[21] = bytes.to_string();
+                c[22] = fmt_float(*seconds);
+            }
+            TraceEvent::Fault {
+                rank,
+                kind,
+                peer,
+                attempt,
+                seconds,
+            } => {
+                c[2] = rank.to_string();
+                c[19] = kind.clone();
+                c[20] = peer.to_string();
+                c[22] = fmt_float(*seconds);
+                c[23] = attempt.to_string();
+            }
         }
         c.join(",")
     }
 }
 
 /// Column header row of the CSV encoding (preceded in files by the
-/// `# fupermod-trace schema=1` comment line).
+/// `# fupermod-trace schema=2` comment line). The six trailing
+/// columns (`op..attempt`) are the schema-v2 additions for the
+/// `comm`/`fault` events.
 pub const CSV_HEADER: &str = "event,iter,rank,d,rep,reps,time,mean,stderr,ci_rel,\
-elapsed,outliers_rejected,t,points,imbalance,units_moved,steps,dist";
+elapsed,outliers_rejected,t,points,imbalance,units_moved,steps,dist,\
+op,kind,peer,bytes,seconds,attempt";
 
 /// Formats a float for both encodings: shortest round-trip via Rust's
 /// `Display`, with non-finite values mapped to `null`-compatible text.
@@ -381,6 +500,17 @@ fn push_float(s: &mut String, key: &str, v: f64) {
 
 fn push_num(s: &mut String, key: &str, v: f64) {
     let _ = write!(s, ",\"{key}\":{v}");
+}
+
+/// Pushes a string field. Trace string fields are restricted to the
+/// fixed ASCII tags listed on [`TraceEvent`] (no quotes or escapes),
+/// matching the escape-free flat-JSON parser.
+fn push_str(s: &mut String, key: &str, v: &str) {
+    debug_assert!(
+        !v.contains(['"', '\\', '\n']),
+        "trace string fields must be escape-free tags"
+    );
+    let _ = write!(s, ",\"{key}\":\"{v}\"");
 }
 
 /// Minimal flat-JSON machinery for the trace subsystem (std-only; the
@@ -654,7 +784,7 @@ impl<W: Write> WriterState<W> {
     }
 }
 
-/// Streams events as JSON Lines: a `{"trace":"fupermod","schema":1}`
+/// Streams events as JSON Lines: a `{"trace":"fupermod","schema":2}`
 /// header line followed by one object per event.
 pub struct JsonlSink<W: Write + Send> {
     state: Mutex<WriterState<W>>,
@@ -711,7 +841,7 @@ impl<W: Write + Send> TraceSink for JsonlSink<W> {
     }
 }
 
-/// Streams events as CSV: a `# fupermod-trace schema=1` comment line,
+/// Streams events as CSV: a `# fupermod-trace schema=2` comment line,
 /// the [`CSV_HEADER`] row, then one fixed-width row per event.
 pub struct CsvSink<W: Write + Send> {
     state: Mutex<WriterState<W>>,
@@ -978,6 +1108,20 @@ mod tests {
                 steps: 3,
                 imbalance: 0.012,
             },
+            TraceEvent::Comm {
+                rank: 2,
+                op: "allgatherv".to_owned(),
+                peer: -1,
+                bytes: 4096,
+                seconds: 0.0031,
+            },
+            TraceEvent::Fault {
+                rank: 1,
+                kind: "retry".to_owned(),
+                peer: 3,
+                attempt: 2,
+                seconds: 0.004,
+            },
         ]
     }
 
@@ -1006,7 +1150,7 @@ mod tests {
     #[test]
     fn csv_rows_have_stable_column_count() {
         let n_cols = CSV_HEADER.split(',').count();
-        assert_eq!(n_cols, 18);
+        assert_eq!(n_cols, 24);
         for event in sample_events() {
             let row = event.to_csv_row();
             assert_eq!(
@@ -1024,9 +1168,9 @@ mod tests {
         for e in sample_events() {
             sink.record(&e);
         }
-        assert_eq!(sink.len(), 5);
+        assert_eq!(sink.len(), 7);
         assert_eq!(sink.events(), sample_events());
-        assert_eq!(sink.take().len(), 5);
+        assert_eq!(sink.take().len(), 7);
         assert!(sink.is_empty());
     }
 
@@ -1077,6 +1221,12 @@ mod tests {
             SCHEMA_VERSION + 1
         );
         assert!(read_jsonl_trace(future.as_bytes()).is_err());
+        // Older (v1) traces stay readable.
+        let v1 = "{\"trace\":\"fupermod\",\"schema\":1}\n\
+                  {\"event\":\"dynamic_converged\",\"steps\":3,\"imbalance\":0.01}\n";
+        let (schema, events) = read_jsonl_trace(v1.as_bytes()).unwrap();
+        assert_eq!(schema, 1);
+        assert_eq!(events.len(), 1);
     }
 
     #[test]

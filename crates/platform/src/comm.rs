@@ -20,6 +20,63 @@ use std::sync::Arc;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use serde::{Deserialize, Serialize};
 
+/// Error produced by the communication substrate.
+///
+/// Historically the per-rank byte-count paths (`allgatherv`,
+/// `scatterv`, `gatherv`, `redistribute`) and the [`ThreadComm`]
+/// point-to-point operations panicked on malformed input or a
+/// disconnected peer; they now surface these conditions as typed
+/// errors so callers (in particular long-running dynamic-balancing
+/// loops) can degrade gracefully instead of poisoning worker threads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlatformError {
+    /// A per-rank vector did not match the communicator size.
+    SizeMismatch {
+        /// Operation that rejected the vector.
+        op: &'static str,
+        /// Communicator size (one entry expected per rank).
+        expected: usize,
+        /// Length actually supplied.
+        got: usize,
+    },
+    /// A peer hung up: its communicator handle was dropped before the
+    /// operation could complete.
+    Disconnected {
+        /// Operation that observed the hang-up.
+        op: &'static str,
+        /// Rank of the handle that observed it.
+        rank: usize,
+    },
+    /// A redistribution would create or destroy computation units.
+    UnitsNotConserved {
+        /// Units held by the old distribution.
+        old: u64,
+        /// Units held by the new distribution.
+        new: u64,
+    },
+}
+
+impl std::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformError::SizeMismatch { op, expected, got } => write!(
+                f,
+                "{op}: per-rank vector has {got} entries but the communicator has {expected} ranks"
+            ),
+            PlatformError::Disconnected { op, rank } => {
+                write!(f, "{op}: peer of rank {rank} disconnected")
+            }
+            PlatformError::UnitsNotConserved { old, new } => write!(
+                f,
+                "redistribution must conserve units (old total {old}, new total {new})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
 /// Hockney point-to-point link model: sending `m` bytes costs
 /// `latency + m / bandwidth` seconds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -320,18 +377,33 @@ impl SimComm {
         self.note(dst, before, dst_after, Activity::Communication);
     }
 
+    /// Checks that a per-rank byte vector matches the communicator
+    /// size, returning a typed error (and tripping a debug assertion in
+    /// debug builds) instead of letting an index panic surface later.
+    fn check_per_rank(&self, op: &'static str, len: usize) -> Result<(), PlatformError> {
+        if len != self.size() {
+            return Err(PlatformError::SizeMismatch {
+                op,
+                expected: self.size(),
+                got: len,
+            });
+        }
+        Ok(())
+    }
+
     /// All-gather where rank `r` contributes `bytes[r]` bytes (ring
     /// algorithm: `p-1` steps, each rank forwarding what it has).
     /// Synchronising: all ranks finish together.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `bytes.len() != self.size()`.
-    pub fn allgatherv(&mut self, bytes: &[f64]) {
-        assert_eq!(bytes.len(), self.size(), "one contribution per rank");
+    /// Returns [`PlatformError::SizeMismatch`] if
+    /// `bytes.len() != self.size()`.
+    pub fn allgatherv(&mut self, bytes: &[f64]) -> Result<(), PlatformError> {
+        self.check_per_rank("allgatherv", bytes.len())?;
         let p = self.size();
         if p == 1 {
-            return;
+            return Ok(());
         }
         let total: f64 = bytes.iter().sum();
         let start = self.max_time();
@@ -346,16 +418,18 @@ impl SimComm {
             self.note(r, before, finish, Activity::Communication);
         }
         let _ = total;
+        Ok(())
     }
 
     /// Scatter: `root` sends `bytes[r]` bytes to each rank `r` in rank
     /// order (linear algorithm — the root's NIC serialises the sends).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `bytes.len() != self.size()`.
-    pub fn scatterv(&mut self, root: usize, bytes: &[f64]) {
-        assert_eq!(bytes.len(), self.size(), "one byte count per rank");
+    /// Returns [`PlatformError::SizeMismatch`] if
+    /// `bytes.len() != self.size()`.
+    pub fn scatterv(&mut self, root: usize, bytes: &[f64]) -> Result<(), PlatformError> {
+        self.check_per_rank("scatterv", bytes.len())?;
         let root_before = self.clocks[root];
         let mut send_clock = root_before;
         for (r, &b) in bytes.iter().enumerate() {
@@ -372,17 +446,19 @@ impl SimComm {
         self.comm_seconds += send_clock - root_before;
         self.clocks[root] = send_clock;
         self.note(root, root_before, send_clock, Activity::Communication);
+        Ok(())
     }
 
     /// Gather: `root` receives `bytes[r]` bytes from each rank `r` in
     /// rank order (linear algorithm). Senders pay a latency; the root
     /// cannot receive a message before its sender has produced it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `bytes.len() != self.size()`.
-    pub fn gatherv(&mut self, root: usize, bytes: &[f64]) {
-        assert_eq!(bytes.len(), self.size(), "one byte count per rank");
+    /// Returns [`PlatformError::SizeMismatch`] if
+    /// `bytes.len() != self.size()`.
+    pub fn gatherv(&mut self, root: usize, bytes: &[f64]) -> Result<(), PlatformError> {
+        self.check_per_rank("gatherv", bytes.len())?;
         let root_before = self.clocks[root];
         let mut recv_clock = root_before;
         for (r, &b) in bytes.iter().enumerate() {
@@ -403,6 +479,7 @@ impl SimComm {
         self.comm_seconds += recv_clock - root_before;
         self.clocks[root] = recv_clock;
         self.note(root, root_before, recv_clock, Activity::Communication);
+        Ok(())
     }
 
     /// Reduction of `bytes`-sized contributions to `root` along a
@@ -444,17 +521,26 @@ impl SimComm {
     /// the cost of its own sends plus receives, then everyone
     /// synchronises (redistribution is a collective phase in the apps).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the two distributions have different lengths or totals.
-    pub fn redistribute(&mut self, old: &[u64], new: &[u64], bytes_per_unit: f64) -> u64 {
-        assert_eq!(old.len(), self.size(), "distribution size mismatch");
-        assert_eq!(new.len(), self.size(), "distribution size mismatch");
-        assert_eq!(
-            old.iter().sum::<u64>(),
-            new.iter().sum::<u64>(),
-            "redistribution must conserve units"
-        );
+    /// Returns [`PlatformError::SizeMismatch`] if either distribution's
+    /// length differs from the communicator size and
+    /// [`PlatformError::UnitsNotConserved`] if their totals differ.
+    pub fn redistribute(
+        &mut self,
+        old: &[u64],
+        new: &[u64],
+        bytes_per_unit: f64,
+    ) -> Result<u64, PlatformError> {
+        self.check_per_rank("redistribute(old)", old.len())?;
+        self.check_per_rank("redistribute(new)", new.len())?;
+        let (old_total, new_total) = (old.iter().sum::<u64>(), new.iter().sum::<u64>());
+        if old_total != new_total {
+            return Err(PlatformError::UnitsNotConserved {
+                old: old_total,
+                new: new_total,
+            });
+        }
 
         let mut surplus: VecDeque<(usize, u64)> = VecDeque::new();
         let mut deficit: VecDeque<(usize, u64)> = VecDeque::new();
@@ -502,7 +588,7 @@ impl SimComm {
                 self.note(r, before, finish, Activity::Communication);
             }
         }
-        moved
+        Ok(moved)
     }
 }
 
@@ -514,6 +600,16 @@ type Payload = Vec<f64>;
 /// Created in a set via [`ThreadComm::create`]; each handle is moved
 /// into its own worker thread. Supports the operations the applications
 /// need: barrier, broadcast, all-gather, and point-to-point exchange.
+///
+/// A dropped peer handle no longer poisons the whole run: `send` and
+/// `recv` (and the collectives built on them) return
+/// [`PlatformError::Disconnected`] instead of panicking.
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by `fupermod_runtime::ThreadedComm`, which adds typed \
+            payloads, deadlines and fault injection; this minimal f64-payload \
+            communicator is kept as a compatibility shim"
+)]
 #[derive(Debug)]
 pub struct ThreadComm {
     rank: usize,
@@ -525,6 +621,7 @@ pub struct ThreadComm {
     pending: Vec<VecDeque<Payload>>,
 }
 
+#[allow(deprecated)]
 impl ThreadComm {
     /// Creates `size` connected handles, one per rank.
     ///
@@ -571,29 +668,41 @@ impl ThreadComm {
 
     /// Sends `data` to `dst` (non-blocking, unbounded buffering).
     ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::Disconnected`] if the destination's
+    /// handle has been dropped.
+    ///
     /// # Panics
     ///
-    /// Panics if `dst` is out of range or the destination has hung up.
-    pub fn send(&self, dst: usize, data: Vec<f64>) {
+    /// Panics if `dst` is out of range.
+    pub fn send(&self, dst: usize, data: Vec<f64>) -> Result<(), PlatformError> {
         self.txs[dst]
             .send((self.rank, data))
-            .expect("receiver hung up");
+            .map_err(|_| PlatformError::Disconnected {
+                op: "send",
+                rank: self.rank,
+            })
     }
 
     /// Receives the next message from `src`, buffering messages from
     /// other sources until they are asked for.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if all senders hung up before a matching message arrived.
-    pub fn recv(&mut self, src: usize) -> Vec<f64> {
+    /// Returns [`PlatformError::Disconnected`] if every sender hung up
+    /// before a matching message arrived.
+    pub fn recv(&mut self, src: usize) -> Result<Vec<f64>, PlatformError> {
         if let Some(msg) = self.pending[src].pop_front() {
-            return msg;
+            return Ok(msg);
         }
         loop {
-            let (from, data) = self.rx.recv().expect("all senders hung up");
+            let (from, data) = self.rx.recv().map_err(|_| PlatformError::Disconnected {
+                op: "recv",
+                rank: self.rank,
+            })?;
             if from == src {
-                return data;
+                return Ok(data);
             }
             self.pending[from].push_back(data);
         }
@@ -601,57 +710,77 @@ impl ThreadComm {
 
     /// Broadcast: `root`'s `data` is distributed to every rank;
     /// non-roots ignore their input value. Returns the broadcast data.
-    pub fn bcast(&mut self, root: usize, data: Vec<f64>) -> Vec<f64> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::Disconnected`] if a peer hung up.
+    pub fn bcast(&mut self, root: usize, data: Vec<f64>) -> Result<Vec<f64>, PlatformError> {
         if self.rank == root {
             for dst in 0..self.size {
                 if dst != root {
-                    self.send(dst, data.clone());
+                    self.send(dst, data.clone())?;
                 }
             }
-            data
+            Ok(data)
         } else {
             self.recv(root)
         }
     }
 
     /// All-gather of one f64 per rank; result is indexed by rank.
-    pub fn allgather(&mut self, value: f64) -> Vec<f64> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::Disconnected`] if a peer hung up.
+    pub fn allgather(&mut self, value: f64) -> Result<Vec<f64>, PlatformError> {
         for dst in 0..self.size {
             if dst != self.rank {
-                self.send(dst, vec![value]);
+                self.send(dst, vec![value])?;
             }
         }
-        let mut out = vec![0.0; self.size];
-        out[self.rank] = value;
         let rank = self.rank;
-        let mut recv_into = |src: usize| self.recv(src)[0];
+        let mut out = vec![0.0; self.size];
+        out[rank] = value;
         for (src, slot) in out.iter_mut().enumerate() {
             if src != rank {
-                *slot = recv_into(src);
+                let v = self.recv(src)?;
+                *slot = v[0];
             }
         }
-        out
+        Ok(out)
     }
 
     /// Scatter: rank `root` supplies one vector per rank (`chunks`,
     /// indexed by rank; ignored elsewhere) and every rank receives its
     /// chunk.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics at the root if `chunks.len() != self.size()`.
-    pub fn scatterv(&mut self, root: usize, chunks: Vec<Vec<f64>>) -> Vec<f64> {
+    /// Returns [`PlatformError::SizeMismatch`] at the root if
+    /// `chunks.len() != self.size()` and
+    /// [`PlatformError::Disconnected`] if a peer hung up.
+    pub fn scatterv(
+        &mut self,
+        root: usize,
+        chunks: Vec<Vec<f64>>,
+    ) -> Result<Vec<f64>, PlatformError> {
         if self.rank == root {
-            assert_eq!(chunks.len(), self.size, "one chunk per rank");
+            if chunks.len() != self.size {
+                return Err(PlatformError::SizeMismatch {
+                    op: "scatterv",
+                    expected: self.size,
+                    got: chunks.len(),
+                });
+            }
             let mut own = Vec::new();
             for (dst, chunk) in chunks.into_iter().enumerate() {
                 if dst == root {
                     own = chunk;
                 } else {
-                    self.send(dst, chunk);
+                    self.send(dst, chunk)?;
                 }
             }
-            own
+            Ok(own)
         } else {
             self.recv(root)
         }
@@ -659,57 +788,79 @@ impl ThreadComm {
 
     /// Gather: every rank contributes `data`; the root returns
     /// `Some(vec indexed by rank)`, other ranks return `None`.
-    pub fn gatherv(&mut self, root: usize, data: Vec<f64>) -> Option<Vec<Vec<f64>>> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::Disconnected`] if a peer hung up.
+    pub fn gatherv(
+        &mut self,
+        root: usize,
+        data: Vec<f64>,
+    ) -> Result<Option<Vec<Vec<f64>>>, PlatformError> {
         if self.rank == root {
             let mut out = vec![Vec::new(); self.size];
             for (src, slot) in out.iter_mut().enumerate() {
                 *slot = if src == root {
                     data.clone()
                 } else {
-                    self.recv(src)
+                    self.recv(src)?
                 };
             }
-            Some(out)
+            Ok(Some(out))
         } else {
-            self.send(root, data);
-            None
+            self.send(root, data)?;
+            Ok(None)
         }
     }
 
     /// Sum-reduction to `root`: returns `Some(total)` at the root,
     /// `None` elsewhere.
-    pub fn reduce_sum(&mut self, root: usize, value: f64) -> Option<f64> {
-        self.gatherv(root, vec![value])
-            .map(|all| all.iter().map(|v| v[0]).sum())
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::Disconnected`] if a peer hung up.
+    pub fn reduce_sum(&mut self, root: usize, value: f64) -> Result<Option<f64>, PlatformError> {
+        Ok(self
+            .gatherv(root, vec![value])?
+            .map(|all| all.iter().map(|v| v[0]).sum()))
     }
 
     /// Sum all-reduction: every rank returns the global sum.
-    pub fn allreduce_sum(&mut self, value: f64) -> f64 {
-        self.allgather(value).iter().sum()
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::Disconnected`] if a peer hung up.
+    pub fn allreduce_sum(&mut self, value: f64) -> Result<f64, PlatformError> {
+        Ok(self.allgather(value)?.iter().sum())
     }
 
     /// All-gather of a variable-length vector per rank; result is
     /// indexed by rank.
-    pub fn allgatherv(&mut self, data: Vec<f64>) -> Vec<Vec<f64>> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::Disconnected`] if a peer hung up.
+    pub fn allgatherv(&mut self, data: Vec<f64>) -> Result<Vec<Vec<f64>>, PlatformError> {
         for dst in 0..self.size {
             if dst != self.rank {
-                self.send(dst, data.clone());
+                self.send(dst, data.clone())?;
             }
         }
-        let mut out = vec![Vec::new(); self.size];
         let rank = self.rank;
+        let mut out = vec![Vec::new(); self.size];
         for (src, slot) in out.iter_mut().enumerate() {
             *slot = if src == rank {
                 data.clone()
             } else {
-                self.recv(src)
+                self.recv(src)?
             };
         }
-        out
+        Ok(out)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -771,21 +922,64 @@ mod tests {
     #[test]
     fn redistribute_conserves_and_charges_movers() {
         let mut c = SimComm::new(3, LinkModel::ethernet());
-        let moved = c.redistribute(&[10, 0, 2], &[4, 6, 2], 8.0);
+        let moved = c.redistribute(&[10, 0, 2], &[4, 6, 2], 8.0).unwrap();
         assert_eq!(moved, 6);
         assert!(c.max_time() > 0.0);
         // No change → no cost.
         let t = c.max_time();
-        let moved = c.redistribute(&[4, 6, 2], &[4, 6, 2], 8.0);
+        let moved = c.redistribute(&[4, 6, 2], &[4, 6, 2], 8.0).unwrap();
         assert_eq!(moved, 0);
         assert_eq!(c.max_time(), t);
     }
 
     #[test]
-    #[should_panic(expected = "conserve")]
     fn redistribute_rejects_unit_loss() {
         let mut c = SimComm::new(2, LinkModel::ethernet());
-        let _ = c.redistribute(&[3, 3], &[3, 2], 8.0);
+        let t = c.max_time();
+        assert_eq!(
+            c.redistribute(&[3, 3], &[3, 2], 8.0),
+            Err(PlatformError::UnitsNotConserved { old: 6, new: 5 })
+        );
+        // The failed call must not have charged any clock.
+        assert_eq!(c.max_time(), t);
+    }
+
+    #[test]
+    fn byte_count_paths_reject_wrong_arity() {
+        let mut c = SimComm::new(3, LinkModel::ethernet());
+        assert!(matches!(
+            c.allgatherv(&[1.0, 2.0]),
+            Err(PlatformError::SizeMismatch {
+                op: "allgatherv",
+                expected: 3,
+                got: 2
+            })
+        ));
+        assert!(c.scatterv(0, &[1.0; 4]).is_err());
+        assert!(c.gatherv(1, &[1.0; 2]).is_err());
+        assert!(c.redistribute(&[1, 2], &[1, 2, 0], 8.0).is_err());
+        // Clocks untouched by any rejected call.
+        assert_eq!(c.max_time(), 0.0);
+    }
+
+    #[test]
+    fn thread_comm_send_to_dropped_peer_is_an_error() {
+        let mut comms = ThreadComm::create(2);
+        let c1 = comms.pop().expect("two handles");
+        let c0 = comms.pop().expect("two handles");
+        drop(c1);
+        // The peer's receiver is gone: send must surface an error, not
+        // panic (regression: a dropped handle used to poison matmul
+        // worker threads).
+        assert_eq!(
+            c0.send(1, vec![1.0]),
+            Err(PlatformError::Disconnected {
+                op: "send",
+                rank: 0
+            })
+        );
+        // Messages already queued from the dropped peer stay readable.
+        assert!(c0.pending[1].is_empty());
     }
 
     #[test]
@@ -843,7 +1037,7 @@ mod tests {
             .map(|mut comm| {
                 std::thread::spawn(move || {
                     comm.barrier();
-                    let gathered = comm.allgather(comm.rank() as f64 * 10.0);
+                    let gathered = comm.allgather(comm.rank() as f64 * 10.0).unwrap();
                     comm.barrier();
                     gathered
                 })
@@ -867,7 +1061,7 @@ mod tests {
                     } else {
                         Vec::new()
                     };
-                    comm.bcast(1, data)
+                    comm.bcast(1, data).unwrap()
                 })
             })
             .collect();
@@ -882,11 +1076,11 @@ mod tests {
         let c1 = comms.pop().expect("two handles");
         let mut c0 = comms.pop().expect("two handles");
         let t = std::thread::spawn(move || {
-            c1.send(0, vec![1.0]);
-            c1.send(0, vec![2.0]);
+            c1.send(0, vec![1.0]).unwrap();
+            c1.send(0, vec![2.0]).unwrap();
         });
-        assert_eq!(c0.recv(1), vec![1.0]);
-        assert_eq!(c0.recv(1), vec![2.0]);
+        assert_eq!(c0.recv(1).unwrap(), vec![1.0]);
+        assert_eq!(c0.recv(1).unwrap(), vec![2.0]);
         t.join().expect("worker panicked");
     }
 
@@ -902,7 +1096,7 @@ mod tests {
                     } else {
                         Vec::new()
                     };
-                    (comm.rank(), comm.scatterv(0, chunks))
+                    (comm.rank(), comm.scatterv(0, chunks).unwrap())
                 })
             })
             .collect();
@@ -920,7 +1114,7 @@ mod tests {
             .map(|mut comm| {
                 std::thread::spawn(move || {
                     let mine = vec![comm.rank() as f64 * 5.0];
-                    (comm.rank(), comm.gatherv(2, mine))
+                    (comm.rank(), comm.gatherv(2, mine).unwrap())
                 })
             })
             .collect();
@@ -943,8 +1137,8 @@ mod tests {
             .map(|mut comm| {
                 std::thread::spawn(move || {
                     let partial = (comm.rank() + 1) as f64;
-                    let reduced = comm.reduce_sum(0, partial);
-                    let all = comm.allreduce_sum(partial);
+                    let reduced = comm.reduce_sum(0, partial).unwrap();
+                    let all = comm.allreduce_sum(partial).unwrap();
                     (comm.rank(), reduced, all)
                 })
             })
@@ -968,7 +1162,7 @@ mod tests {
             .map(|mut comm| {
                 std::thread::spawn(move || {
                     let mine = vec![comm.rank() as f64; comm.rank() + 1];
-                    comm.allgatherv(mine)
+                    comm.allgatherv(mine).unwrap()
                 })
             })
             .collect();
@@ -987,7 +1181,7 @@ mod tests {
             bytes_per_sec: f64::INFINITY,
         };
         let mut c = SimComm::new(3, link);
-        c.scatterv(0, &[0.0, 10.0, 10.0]);
+        c.scatterv(0, &[0.0, 10.0, 10.0]).unwrap();
         // Root sends to 1 then 2: arrivals at 1 s and 2 s.
         assert_eq!(c.time(1), 1.0);
         assert_eq!(c.time(2), 2.0);
@@ -1002,7 +1196,7 @@ mod tests {
         };
         let mut c = SimComm::new(3, link);
         c.advance(2, 10.0);
-        c.gatherv(0, &[0.0, 5.0, 5.0]);
+        c.gatherv(0, &[0.0, 5.0, 5.0]).unwrap();
         // Rank 1's message arrives at 1 s; rank 2's at max(1, 10) + 1.
         assert_eq!(c.time(0), 11.0);
     }
@@ -1069,7 +1263,7 @@ mod tests {
     fn sim_allgatherv_synchronises() {
         let mut c = SimComm::new(4, LinkModel::ethernet());
         c.advance(3, 2.0);
-        c.allgatherv(&[100.0, 100.0, 100.0, 100.0]);
+        c.allgatherv(&[100.0, 100.0, 100.0, 100.0]).unwrap();
         let t = c.time(0);
         assert!(t > 2.0);
         for r in 0..4 {

@@ -31,6 +31,8 @@ pub mod device;
 pub mod profile;
 
 pub use cluster::Platform;
-pub use comm::{Activity, LinkModel, SimComm, ThreadComm, Topology, TraceEvent};
+pub use comm::{Activity, LinkModel, PlatformError, SimComm, Topology, TraceEvent};
+#[allow(deprecated)]
+pub use comm::ThreadComm;
 pub use device::{Device, DeviceSpec};
 pub use profile::WorkloadProfile;

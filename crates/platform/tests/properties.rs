@@ -68,7 +68,7 @@ proptest! {
         new[n - 1] = remaining;
 
         let mut comm = SimComm::new(n, link);
-        let moved = comm.redistribute(&old, &new, 8.0);
+        let moved = comm.redistribute(&old, &new, 8.0).unwrap();
         let expected: u64 = old
             .iter()
             .zip(&new)

@@ -1,0 +1,1355 @@
+//! The [`Communicator`] trait and its threaded/simulated backends.
+//!
+//! # Architecture
+//!
+//! Both backends run rank closures on real OS threads over one shared
+//! **data plane** (per-rank mailboxes plus a death-aware
+//! sense-reversing barrier). The difference is the clock:
+//!
+//! * the **thread** backend times operations with wall clocks — real
+//!   in-process parallelism, the successor of the deprecated
+//!   `fupermod_platform::ThreadComm`;
+//! * the **sim** backend additionally drives a Hockney-model
+//!   [`SimComm`] (`α + m/β` virtual clocks): every collective is
+//!   executed BSP-style (data phase, then a closing barrier) and the
+//!   barrier *completer* applies the collective's virtual-time charge
+//!   while holding the barrier lock, so for collective-structured
+//!   programs the virtual clocks are **deterministic** across runs and
+//!   thread schedules.
+//!
+//! Point-to-point charges in the sim backend are applied by the
+//! receiver at delivery; concurrent transfers over disjoint rank pairs
+//! commute, so p2p phases that only use disjoint pairs (or that are
+//! separated by barriers) stay deterministic too.
+//!
+//! # Faults and deadlines
+//!
+//! A [`FaultPlan`] injects message delays, counted
+//! message drops (with bounded exponential-backoff retry), straggler
+//! latency, and rank death. Every blocking operation carries a
+//! deadline ([`DEFAULT_DEADLINE_SECS`] unless the plan overrides it);
+//! a rank that exceeds it **fail-stops**: it marks itself dead, wakes
+//! every waiter, and returns [`RuntimeError::Timeout`] — the rest of
+//! the job observes [`RuntimeError::RankDead`] instead of hanging.
+//! Collectives skip dead receivers and deliver posthumous messages
+//! (a rank that sent before dying still contributes).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use fupermod_core::trace::{null_sink, TraceEvent, TraceSink};
+use fupermod_platform::comm::{LinkModel, SimComm, Topology};
+
+use crate::error::RuntimeError;
+use crate::fault::FaultPlan;
+use crate::wire::Wire;
+
+/// Default per-operation deadline, seconds, when the fault plan does
+/// not override it. Generous enough for real benchmarking workloads,
+/// small enough that an accidental deadlock fails the test gate
+/// instead of hanging it.
+pub const DEFAULT_DEADLINE_SECS: f64 = 30.0;
+
+/// Cap on any single injected wall-clock sleep (delay, backoff or
+/// straggler latency), seconds. Virtual-clock charges are not capped.
+const MAX_WALL_SLEEP_SECS: f64 = 1.0;
+
+/// Reduction operator for [`Communicator::allreduce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Sum of contributions.
+    Sum,
+    /// Minimum contribution.
+    Min,
+    /// Maximum contribution.
+    Max,
+}
+
+impl ReduceOp {
+    fn fold(self, acc: f64, x: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => acc + x,
+            ReduceOp::Min => acc.min(x),
+            ReduceOp::Max => acc.max(x),
+        }
+    }
+}
+
+/// An MPI-style communicator: rank/size, typed point-to-point
+/// messaging, and the collectives the FuPerMod algorithms need.
+///
+/// The API shape follows `rsmpi`: `bcast`/`scatterv` take the payload
+/// on the root only, `gatherv` returns it on the root only. All
+/// operations return typed [`RuntimeError`]s — never panic, never
+/// hang (a per-operation deadline fail-stops the violator).
+pub trait Communicator {
+    /// This process's rank, `0..size`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the communicator.
+    fn size(&self) -> usize;
+
+    /// Liveness snapshot: `alive()[r]` is `false` once rank `r` died.
+    fn alive(&self) -> Vec<bool>;
+
+    /// Sends `value` to rank `dst`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::RankDead`] if either endpoint is dead,
+    /// [`RuntimeError::RetriesExhausted`] under an exhausting drop
+    /// rule, [`RuntimeError::InvalidRank`] for `dst >= size`.
+    fn send<T: Wire>(&mut self, dst: usize, value: &T) -> Result<(), RuntimeError>;
+
+    /// Receives the next message from rank `src` (per-pair FIFO).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::RankDead`] if `src` died with no message
+    /// pending, [`RuntimeError::Timeout`] past the deadline,
+    /// [`RuntimeError::Decode`] on a type mismatch.
+    fn recv<T: Wire>(&mut self, src: usize) -> Result<T, RuntimeError>;
+
+    /// Synchronises all live ranks.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Timeout`] past the deadline (the caller
+    /// fail-stops), [`RuntimeError::RankDead`] if called while dead.
+    fn barrier(&mut self) -> Result<(), RuntimeError>;
+
+    /// Broadcasts from `root`: the root passes `Some(value)` and every
+    /// live rank (root included) receives it.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::RankDead`] if `root` is dead; `App` if the
+    /// root passes `None`.
+    fn bcast<T: Wire>(&mut self, root: usize, value: Option<&T>) -> Result<T, RuntimeError>;
+
+    /// Scatters one part per rank from `root` (root passes
+    /// `Some(parts)` with exactly `size` entries).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::SizeMismatch`] for a wrong arity on the root;
+    /// otherwise as [`Communicator::bcast`].
+    fn scatterv<T: Wire>(&mut self, root: usize, parts: Option<&[T]>) -> Result<T, RuntimeError>;
+
+    /// Gathers one value per rank onto `root`; returns `Some(values)`
+    /// on the root and `None` elsewhere. Strict: a dead contributor
+    /// is an error (use [`Communicator::gather_available`] to
+    /// degrade gracefully).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::RankDead`] on the root if a contributor died.
+    fn gatherv<T: Wire>(&mut self, root: usize, value: &T)
+        -> Result<Option<Vec<T>>, RuntimeError>;
+
+    /// Fault-tolerant gather: like [`Communicator::gatherv`] but a
+    /// dead contributor yields `None` in its slot instead of an
+    /// error — the degradation hook the distributed executor uses.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Timeout`] / [`RuntimeError::RankDead`] for
+    /// failures of the caller itself.
+    fn gather_available<T: Wire>(
+        &mut self,
+        root: usize,
+        value: &T,
+    ) -> Result<Option<Vec<Option<T>>>, RuntimeError>;
+
+    /// All ranks contribute one value and receive everyone's, in rank
+    /// order. Requires rank 0 (the hub) alive; strict like
+    /// [`Communicator::gatherv`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Communicator::gatherv`] plus hub-death errors.
+    fn allgatherv<T: Wire>(&mut self, value: &T) -> Result<Vec<T>, RuntimeError>;
+
+    /// Reduces one `f64` per live rank with `op`; every live rank
+    /// receives the result. Dead ranks' contributions are omitted.
+    ///
+    /// # Errors
+    ///
+    /// As [`Communicator::allgatherv`].
+    fn allreduce(&mut self, value: f64, op: ReduceOp) -> Result<f64, RuntimeError>;
+}
+
+/// Which clock a [`ThreadedComm`] runs on.
+#[derive(Debug, Clone)]
+enum ClockMode {
+    /// Wall clocks (real concurrency).
+    Wall,
+    /// Hockney virtual clocks driven by a [`SimComm`].
+    Sim,
+}
+
+/// Configuration for building a set of communicator handles.
+///
+/// ```
+/// use fupermod_runtime::{RuntimeConfig, Communicator};
+/// let comms = RuntimeConfig::thread().build(2);
+/// assert_eq!(comms[1].rank(), 1);
+/// ```
+pub struct RuntimeConfig {
+    plan: FaultPlan,
+    sink: Arc<dyn TraceSink>,
+    sim: Option<Topology>,
+}
+
+impl std::fmt::Debug for RuntimeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeConfig")
+            .field("plan", &self.plan)
+            .field("sim", &self.sim.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RuntimeConfig {
+    /// The threaded (wall-clock) backend.
+    pub fn thread() -> Self {
+        Self {
+            plan: FaultPlan::none(),
+            sink: Arc::new(*null_sink()),
+            sim: None,
+        }
+    }
+
+    /// The simulated backend over a flat topology with `link`.
+    pub fn sim(size: usize, link: LinkModel) -> Self {
+        Self::sim_topology(Topology::flat(size, link))
+    }
+
+    /// The simulated backend over an explicit topology.
+    pub fn sim_topology(topo: Topology) -> Self {
+        Self {
+            plan: FaultPlan::none(),
+            sink: Arc::new(*null_sink()),
+            sim: Some(topo),
+        }
+    }
+
+    /// Attaches a fault plan.
+    #[must_use]
+    pub fn with_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Routes `comm`/`fault` trace events to `sink`.
+    #[must_use]
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    pub(crate) fn plan_ref(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    pub(crate) fn sink_ref(&self) -> &Arc<dyn TraceSink> {
+        &self.sink
+    }
+
+    /// Builds `size` connected rank handles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or a sim topology of a different size
+    /// was configured.
+    pub fn build(self, size: usize) -> Vec<ThreadedComm> {
+        self.build_with_handle(size).0
+    }
+
+    /// Builds rank handles plus a [`RuntimeHandle`] for inspecting the
+    /// shared state (virtual clocks, liveness) after the run.
+    ///
+    /// # Panics
+    ///
+    /// As [`RuntimeConfig::build`].
+    pub fn build_with_handle(self, size: usize) -> (Vec<ThreadedComm>, RuntimeHandle) {
+        assert!(size > 0, "communicator needs at least one rank");
+        let sim = self.sim.map(|topo| {
+            assert_eq!(topo.size(), size, "sim topology size mismatch");
+            Mutex::new(SimComm::with_topology(topo))
+        });
+        let deadline = self.plan.deadline.unwrap_or(DEFAULT_DEADLINE_SECS);
+        let plane = Arc::new(Plane {
+            size,
+            state: Mutex::new(PlaneState {
+                mail: (0..size).map(|_| VecDeque::new()).collect(),
+                dead: vec![false; size],
+                arrived: 0,
+                generation: 0,
+                pending_charge: None,
+                ops: vec![0; size],
+                delay_counts: vec![0; self.plan.delays.len()],
+                drop_counts: vec![0; self.plan.drops.len()],
+            }),
+            cv: Condvar::new(),
+            mode: if sim.is_some() {
+                ClockMode::Sim
+            } else {
+                ClockMode::Wall
+            },
+            sim,
+            plan: self.plan,
+            deadline: Duration::from_secs_f64(deadline),
+            deadline_secs: deadline,
+            sink: self.sink,
+        });
+        let comms = (0..size)
+            .map(|rank| ThreadedComm {
+                rank,
+                plane: Arc::clone(&plane),
+            })
+            .collect();
+        (comms, RuntimeHandle { plane })
+    }
+}
+
+/// A view onto the shared runtime state that outlives the rank
+/// handles — read the virtual clocks and liveness after a run.
+#[derive(Clone)]
+pub struct RuntimeHandle {
+    plane: Arc<Plane>,
+}
+
+impl std::fmt::Debug for RuntimeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeHandle")
+            .field("size", &self.plane.size)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RuntimeHandle {
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.plane.size
+    }
+
+    /// Liveness snapshot.
+    pub fn alive(&self) -> Vec<bool> {
+        let st = self.plane.lock();
+        st.dead.iter().map(|&d| !d).collect()
+    }
+
+    /// Ranks that have died, ascending.
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        let st = self.plane.lock();
+        st.dead
+            .iter()
+            .enumerate()
+            .filter_map(|(r, &d)| d.then_some(r))
+            .collect()
+    }
+
+    /// Maximum virtual time across ranks (sim backend only).
+    pub fn virtual_time(&self) -> Option<f64> {
+        self.plane
+            .sim
+            .as_ref()
+            .map(|s| s.lock().expect("sim poisoned").max_time())
+    }
+
+    /// Total virtual seconds spent communicating (sim backend only).
+    pub fn virtual_comm_seconds(&self) -> Option<f64> {
+        self.plane
+            .sim
+            .as_ref()
+            .map(|s| s.lock().expect("sim poisoned").comm_seconds())
+    }
+}
+
+struct Envelope {
+    src: usize,
+    bytes: Vec<u8>,
+    /// Injected delivery delay, seconds (0 = none). Wall mode holds
+    /// the message until `sent_at + delay`; sim mode delivers
+    /// immediately and charges the receiver's virtual clock.
+    delay: f64,
+    sent_at: Instant,
+}
+
+/// A virtual-time charge for one collective, deposited by its root
+/// and applied atomically by the closing barrier's completer.
+enum Charge {
+    Barrier,
+    Bcast { root: usize, bytes: f64 },
+    Scatterv { root: usize, bytes: Vec<f64> },
+    Gatherv { root: usize, bytes: Vec<f64> },
+    Allgatherv { bytes: Vec<f64> },
+    Allreduce { bytes: f64 },
+}
+
+struct PlaneState {
+    mail: Vec<VecDeque<Envelope>>,
+    dead: Vec<bool>,
+    arrived: usize,
+    generation: u64,
+    pending_charge: Option<Charge>,
+    ops: Vec<u64>,
+    delay_counts: Vec<u64>,
+    drop_counts: Vec<u64>,
+}
+
+impl PlaneState {
+    fn live_count(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
+    }
+}
+
+struct Plane {
+    size: usize,
+    state: Mutex<PlaneState>,
+    cv: Condvar,
+    mode: ClockMode,
+    sim: Option<Mutex<SimComm>>,
+    plan: FaultPlan,
+    deadline: Duration,
+    deadline_secs: f64,
+    sink: Arc<dyn TraceSink>,
+}
+
+impl Plane {
+    fn lock(&self) -> MutexGuard<'_, PlaneState> {
+        self.state.lock().expect("runtime plane poisoned")
+    }
+
+    fn fault(&self, rank: usize, kind: &str, peer: i64, attempt: u32, seconds: f64) {
+        self.sink.record(&TraceEvent::Fault {
+            rank,
+            kind: kind.to_owned(),
+            peer,
+            attempt,
+            seconds,
+        });
+    }
+
+    /// Completes the current barrier generation: applies the pending
+    /// virtual-time charge (while holding the state lock, so charges
+    /// form one deterministic sequence) and wakes everyone.
+    fn complete_generation(&self, st: &mut PlaneState) {
+        st.arrived = 0;
+        st.generation = st.generation.wrapping_add(1);
+        if let Some(charge) = st.pending_charge.take() {
+            if let Some(sim) = &self.sim {
+                let mut sim = sim.lock().expect("sim poisoned");
+                apply_charge(&mut sim, &charge);
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Marks `rank` dead (fail-stop), completes a barrier the death
+    /// unblocks, and wakes every waiter.
+    fn mark_dead(&self, st: &mut PlaneState, rank: usize) {
+        if st.dead[rank] {
+            return;
+        }
+        st.dead[rank] = true;
+        if st.arrived > 0 && st.arrived >= st.live_count() {
+            self.complete_generation(st);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Charges `seconds` of injected latency to `rank`: virtual time
+    /// in sim mode, a (capped) wall sleep in thread mode. Call
+    /// without holding the state lock in wall mode.
+    fn charge_latency(&self, rank: usize, seconds: f64) {
+        if seconds <= 0.0 {
+            return;
+        }
+        match self.mode {
+            ClockMode::Sim => {
+                if let Some(sim) = &self.sim {
+                    sim.lock().expect("sim poisoned").advance(rank, seconds);
+                }
+            }
+            ClockMode::Wall => {
+                std::thread::sleep(Duration::from_secs_f64(
+                    seconds.min(MAX_WALL_SLEEP_SECS),
+                ));
+            }
+        }
+    }
+
+    fn virtual_time_of(&self, rank: usize) -> f64 {
+        self.sim
+            .as_ref()
+            .map_or(0.0, |s| s.lock().expect("sim poisoned").time(rank))
+    }
+}
+
+fn apply_charge(sim: &mut SimComm, charge: &Charge) {
+    match charge {
+        Charge::Barrier => sim.barrier(),
+        Charge::Bcast { root, bytes } => sim.bcast(*root, *bytes),
+        Charge::Scatterv { root, bytes } => sim
+            .scatterv(*root, bytes)
+            .expect("charge arity is communicator-sized by construction"),
+        Charge::Gatherv { root, bytes } => sim
+            .gatherv(*root, bytes)
+            .expect("charge arity is communicator-sized by construction"),
+        Charge::Allgatherv { bytes } => sim
+            .allgatherv(bytes)
+            .expect("charge arity is communicator-sized by construction"),
+        Charge::Allreduce { bytes } => sim.allreduce(*bytes),
+    }
+}
+
+/// A per-rank handle onto the shared threaded/simulated runtime.
+///
+/// Handles are built by [`RuntimeConfig::build`] and moved onto rank
+/// threads (see [`run_ranks`]). All methods are available through the
+/// [`Communicator`] trait.
+pub struct ThreadedComm {
+    rank: usize,
+    plane: Arc<Plane>,
+}
+
+impl std::fmt::Debug for ThreadedComm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedComm")
+            .field("rank", &self.rank)
+            .field("size", &self.plane.size)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Everything an op needs to finish: start stamps for the trace event.
+struct OpStart {
+    wall: Instant,
+    virt: f64,
+}
+
+impl ThreadedComm {
+    /// This rank's current virtual time (sim backend; `None` on the
+    /// thread backend).
+    pub fn virtual_time(&self) -> Option<f64> {
+        self.plane
+            .sim
+            .as_ref()
+            .map(|s| s.lock().expect("sim poisoned").time(self.rank))
+    }
+
+    /// Whether `rank` is still alive.
+    pub fn is_alive(&self, rank: usize) -> bool {
+        let st = self.plane.lock();
+        rank < self.plane.size && !st.dead[rank]
+    }
+
+    fn check_rank(&self, op: &'static str, rank: usize) -> Result<(), RuntimeError> {
+        if rank >= self.plane.size {
+            return Err(RuntimeError::InvalidRank {
+                op,
+                rank,
+                size: self.plane.size,
+            });
+        }
+        Ok(())
+    }
+
+    /// Common op prologue: self-death check, op counting, scheduled
+    /// death, straggler latency. Returns the start stamps.
+    fn op_begin(&self, op: &'static str) -> Result<OpStart, RuntimeError> {
+        let plane = &self.plane;
+        {
+            let mut st = plane.lock();
+            if st.dead[self.rank] {
+                return Err(RuntimeError::RankDead {
+                    op,
+                    rank: self.rank,
+                });
+            }
+            st.ops[self.rank] += 1;
+            if let Some(after) = plane.plan.death_after(self.rank) {
+                if st.ops[self.rank] > after {
+                    plane.mark_dead(&mut st, self.rank);
+                    drop(st);
+                    plane.fault(self.rank, "death", -1, 0, 0.0);
+                    return Err(RuntimeError::RankDead {
+                        op,
+                        rank: self.rank,
+                    });
+                }
+            }
+        }
+        let straggle = plane.plan.straggler_comm_seconds(self.rank);
+        if straggle > 0.0 {
+            plane.fault(self.rank, "straggler", -1, 0, straggle);
+            plane.charge_latency(self.rank, straggle);
+        }
+        Ok(OpStart {
+            wall: Instant::now(),
+            virt: plane.virtual_time_of(self.rank),
+        })
+    }
+
+    /// Common op epilogue: emits the schema-v2 `comm` trace event.
+    fn op_end(&self, op: &'static str, peer: i64, bytes: u64, start: &OpStart) {
+        let seconds = match self.plane.mode {
+            ClockMode::Wall => start.wall.elapsed().as_secs_f64(),
+            ClockMode::Sim => self.plane.virtual_time_of(self.rank) - start.virt,
+        };
+        self.plane.sink.record(&TraceEvent::Comm {
+            rank: self.rank,
+            op: op.to_owned(),
+            peer,
+            bytes,
+            seconds,
+        });
+    }
+
+    /// Fail-stop on a deadline violation.
+    fn timeout(&self, op: &'static str, st: &mut PlaneState) -> RuntimeError {
+        self.plane.mark_dead(st, self.rank);
+        self.plane
+            .fault(self.rank, "timeout", -1, 0, self.plane.deadline_secs);
+        RuntimeError::Timeout {
+            op,
+            rank: self.rank,
+            deadline: self.plane.deadline_secs,
+        }
+    }
+
+    /// Enqueues `bytes` to `dst`, evaluating drop and delay rules.
+    /// Does not charge virtual time (p2p charges happen at delivery;
+    /// collective data phases are charged by their closing barrier).
+    fn raw_send(&self, op: &'static str, dst: usize, bytes: Vec<u8>) -> Result<(), RuntimeError> {
+        let plane = &self.plane;
+        let mut attempt: u32 = 0;
+        loop {
+            let mut st = plane.lock();
+            if st.dead[self.rank] {
+                return Err(RuntimeError::RankDead {
+                    op,
+                    rank: self.rank,
+                });
+            }
+            if st.dead[dst] {
+                return Err(RuntimeError::RankDead { op, rank: dst });
+            }
+            // First matching drop rule governs this attempt.
+            let mut dropped: Option<(u32, f64)> = None;
+            for (i, rule) in plane.plan.drops.iter().enumerate() {
+                if rule.src.is_none_or(|s| s == self.rank) && rule.dst.is_none_or(|d| d == dst) {
+                    st.drop_counts[i] += 1;
+                    if st.drop_counts[i].is_multiple_of(rule.every) {
+                        let backoff =
+                            rule.backoff_seconds * f64::from(1u32 << attempt.min(16));
+                        dropped = Some((rule.max_retries, backoff));
+                    }
+                    break;
+                }
+            }
+            if let Some((max_retries, backoff)) = dropped {
+                drop(st);
+                plane.fault(self.rank, "drop", dst as i64, attempt, 0.0);
+                if attempt >= max_retries {
+                    return Err(RuntimeError::RetriesExhausted {
+                        op,
+                        src: self.rank,
+                        dst,
+                        attempts: attempt + 1,
+                    });
+                }
+                attempt += 1;
+                plane.fault(self.rank, "retry", dst as i64, attempt, backoff);
+                plane.charge_latency(self.rank, backoff);
+                continue;
+            }
+            // First matching delay rule governs this message.
+            let mut delay = 0.0;
+            for (i, rule) in plane.plan.delays.iter().enumerate() {
+                if rule.src.is_none_or(|s| s == self.rank) && rule.dst.is_none_or(|d| d == dst) {
+                    st.delay_counts[i] += 1;
+                    if st.delay_counts[i].is_multiple_of(rule.every) {
+                        delay = rule.seconds;
+                    }
+                    break;
+                }
+            }
+            st.mail[dst].push_back(Envelope {
+                src: self.rank,
+                bytes,
+                delay,
+                sent_at: Instant::now(),
+            });
+            plane.cv.notify_all();
+            drop(st);
+            if delay > 0.0 {
+                plane.fault(self.rank, "delay", dst as i64, 0, delay);
+            }
+            return Ok(());
+        }
+    }
+
+    /// Dequeues the next message from `src` (per-pair FIFO), waiting
+    /// up to the deadline. `charge_p2p` applies the Hockney p2p cost
+    /// at delivery (public `recv`); collective data phases pass
+    /// `false` and are charged by their closing barrier instead.
+    fn raw_recv(
+        &self,
+        op: &'static str,
+        src: usize,
+        charge_p2p: bool,
+    ) -> Result<Vec<u8>, RuntimeError> {
+        let plane = &self.plane;
+        let deadline_at = Instant::now() + plane.deadline;
+        let mut st = plane.lock();
+        loop {
+            if st.dead[self.rank] {
+                return Err(RuntimeError::RankDead {
+                    op,
+                    rank: self.rank,
+                });
+            }
+            if let Some(idx) = st.mail[self.rank].iter().position(|e| e.src == src) {
+                let ready = match plane.mode {
+                    ClockMode::Sim => true,
+                    ClockMode::Wall => {
+                        let env = &st.mail[self.rank][idx];
+                        env.delay <= 0.0
+                            || env.sent_at.elapsed().as_secs_f64() >= env.delay
+                    }
+                };
+                if ready {
+                    let env = st.mail[self.rank].remove(idx).expect("index just found");
+                    drop(st);
+                    if let Some(sim) = &plane.sim {
+                        let mut sim = sim.lock().expect("sim poisoned");
+                        if charge_p2p {
+                            sim.send(src, self.rank, env.bytes.len() as f64);
+                        }
+                        if env.delay > 0.0 {
+                            sim.advance(self.rank, env.delay);
+                        }
+                    }
+                    return Ok(env.bytes);
+                }
+            } else if st.dead[src] {
+                return Err(RuntimeError::RankDead { op, rank: src });
+            }
+            let now = Instant::now();
+            if now >= deadline_at {
+                return Err(self.timeout(op, &mut st));
+            }
+            let wait = (deadline_at - now).min(Duration::from_millis(50));
+            let (guard, _) = plane
+                .cv
+                .wait_timeout(st, wait)
+                .expect("runtime plane poisoned");
+            st = guard;
+        }
+    }
+
+    /// Sense-reversing, death-aware barrier. `default_charge` is
+    /// deposited if no collective already deposited one (used by the
+    /// public `barrier`).
+    fn raw_barrier(
+        &self,
+        op: &'static str,
+        default_charge: Option<Charge>,
+    ) -> Result<(), RuntimeError> {
+        let plane = &self.plane;
+        let deadline_at = Instant::now() + plane.deadline;
+        let mut st = plane.lock();
+        if st.dead[self.rank] {
+            return Err(RuntimeError::RankDead {
+                op,
+                rank: self.rank,
+            });
+        }
+        if let Some(charge) = default_charge {
+            if st.pending_charge.is_none() {
+                st.pending_charge = Some(charge);
+            }
+        }
+        st.arrived += 1;
+        let gen = st.generation;
+        if st.arrived >= st.live_count() {
+            plane.complete_generation(&mut st);
+            return Ok(());
+        }
+        loop {
+            let now = Instant::now();
+            if now >= deadline_at {
+                st.arrived = st.arrived.saturating_sub(1);
+                return Err(self.timeout(op, &mut st));
+            }
+            let wait = (deadline_at - now).min(Duration::from_millis(50));
+            let (guard, _) = plane
+                .cv
+                .wait_timeout(st, wait)
+                .expect("runtime plane poisoned");
+            st = guard;
+            if st.generation != gen {
+                return Ok(());
+            }
+            if st.arrived >= st.live_count() {
+                plane.complete_generation(&mut st);
+                return Ok(());
+            }
+        }
+    }
+
+    /// Liveness snapshot under the lock.
+    fn alive_snapshot(&self) -> Vec<bool> {
+        let st = self.plane.lock();
+        st.dead.iter().map(|&d| !d).collect()
+    }
+
+    fn decode_as<T: Wire>(op: &'static str, bytes: &[u8]) -> Result<T, RuntimeError> {
+        T::decode(bytes).map_err(|e| match e {
+            RuntimeError::Decode { detail, .. } => RuntimeError::Decode { what: op, detail },
+            other => other,
+        })
+    }
+
+    /// Hub-side gather core shared by `gatherv`, `gather_available`,
+    /// `allgatherv` and `allreduce`: returns each live rank's payload
+    /// (`None` for dead contributors).
+    fn collect_payloads(
+        &self,
+        op: &'static str,
+        own: &[u8],
+    ) -> Result<Vec<Option<Vec<u8>>>, RuntimeError> {
+        let mut slots: Vec<Option<Vec<u8>>> = Vec::with_capacity(self.plane.size);
+        for src in 0..self.plane.size {
+            if src == self.rank {
+                slots.push(Some(own.to_vec()));
+                continue;
+            }
+            match self.raw_recv(op, src, false) {
+                Ok(bytes) => slots.push(Some(bytes)),
+                Err(RuntimeError::RankDead { rank, .. }) if rank == src => slots.push(None),
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(slots)
+    }
+}
+
+impl Communicator for ThreadedComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.plane.size
+    }
+
+    fn alive(&self) -> Vec<bool> {
+        self.alive_snapshot()
+    }
+
+    fn send<T: Wire>(&mut self, dst: usize, value: &T) -> Result<(), RuntimeError> {
+        const OP: &str = "send";
+        self.check_rank(OP, dst)?;
+        let start = self.op_begin(OP)?;
+        let bytes = value.to_bytes();
+        let n = bytes.len() as u64;
+        self.raw_send(OP, dst, bytes)?;
+        self.op_end(OP, dst as i64, n, &start);
+        Ok(())
+    }
+
+    fn recv<T: Wire>(&mut self, src: usize) -> Result<T, RuntimeError> {
+        const OP: &str = "recv";
+        self.check_rank(OP, src)?;
+        let start = self.op_begin(OP)?;
+        let bytes = self.raw_recv(OP, src, true)?;
+        let value = Self::decode_as::<T>(OP, &bytes)?;
+        self.op_end(OP, src as i64, bytes.len() as u64, &start);
+        Ok(value)
+    }
+
+    fn barrier(&mut self) -> Result<(), RuntimeError> {
+        const OP: &str = "barrier";
+        let start = self.op_begin(OP)?;
+        self.raw_barrier(OP, Some(Charge::Barrier))?;
+        self.op_end(OP, -1, 0, &start);
+        Ok(())
+    }
+
+    fn bcast<T: Wire>(&mut self, root: usize, value: Option<&T>) -> Result<T, RuntimeError> {
+        const OP: &str = "bcast";
+        self.check_rank(OP, root)?;
+        let start = self.op_begin(OP)?;
+        let (result, bytes_moved) = if self.rank == root {
+            let value = value.ok_or_else(|| {
+                RuntimeError::App("bcast: root must supply Some(value)".to_owned())
+            })?;
+            let bytes = value.to_bytes();
+            let alive = self.alive_snapshot();
+            for (dst, &ok) in alive.iter().enumerate() {
+                if dst == self.rank || !ok {
+                    continue;
+                }
+                match self.raw_send(OP, dst, bytes.clone()) {
+                    Ok(()) => {}
+                    Err(RuntimeError::RankDead { rank, .. }) if rank == dst => {}
+                    Err(other) => return Err(other),
+                }
+            }
+            {
+                let mut st = self.plane.lock();
+                st.pending_charge = Some(Charge::Bcast {
+                    root,
+                    bytes: bytes.len() as f64,
+                });
+            }
+            (Self::decode_as::<T>(OP, &bytes)?, bytes.len() as u64)
+        } else {
+            let bytes = self.raw_recv(OP, root, false)?;
+            (Self::decode_as::<T>(OP, &bytes)?, bytes.len() as u64)
+        };
+        self.raw_barrier(OP, None)?;
+        self.op_end(OP, root as i64, bytes_moved, &start);
+        Ok(result)
+    }
+
+    fn scatterv<T: Wire>(&mut self, root: usize, parts: Option<&[T]>) -> Result<T, RuntimeError> {
+        const OP: &str = "scatterv";
+        self.check_rank(OP, root)?;
+        let start = self.op_begin(OP)?;
+        let (result, bytes_moved) = if self.rank == root {
+            let parts = parts.ok_or_else(|| {
+                RuntimeError::App("scatterv: root must supply Some(parts)".to_owned())
+            })?;
+            if parts.len() != self.plane.size {
+                return Err(RuntimeError::SizeMismatch {
+                    op: OP,
+                    expected: self.plane.size,
+                    got: parts.len(),
+                });
+            }
+            let encoded: Vec<Vec<u8>> = parts.iter().map(Wire::to_bytes).collect();
+            let alive = self.alive_snapshot();
+            let mut charge = vec![0.0; self.plane.size];
+            let mut sent = 0u64;
+            for (dst, (&ok, bytes)) in alive.iter().zip(&encoded).enumerate() {
+                if dst == self.rank || !ok {
+                    continue;
+                }
+                match self.raw_send(OP, dst, bytes.clone()) {
+                    Ok(()) => {
+                        charge[dst] = bytes.len() as f64;
+                        sent += bytes.len() as u64;
+                    }
+                    Err(RuntimeError::RankDead { rank, .. }) if rank == dst => {}
+                    Err(other) => return Err(other),
+                }
+            }
+            {
+                let mut st = self.plane.lock();
+                st.pending_charge = Some(Charge::Scatterv {
+                    root,
+                    bytes: charge,
+                });
+            }
+            (Self::decode_as::<T>(OP, &encoded[self.rank])?, sent)
+        } else {
+            let bytes = self.raw_recv(OP, root, false)?;
+            (Self::decode_as::<T>(OP, &bytes)?, bytes.len() as u64)
+        };
+        self.raw_barrier(OP, None)?;
+        self.op_end(OP, root as i64, bytes_moved, &start);
+        Ok(result)
+    }
+
+    fn gatherv<T: Wire>(
+        &mut self,
+        root: usize,
+        value: &T,
+    ) -> Result<Option<Vec<T>>, RuntimeError> {
+        const OP: &str = "gatherv";
+        match self.gather_impl(OP, root, value, false)? {
+            None => Ok(None),
+            Some(slots) => {
+                let mut out = Vec::with_capacity(slots.len());
+                for (rank, slot) in slots.into_iter().enumerate() {
+                    match slot {
+                        Some(v) => out.push(v),
+                        None => return Err(RuntimeError::RankDead { op: OP, rank }),
+                    }
+                }
+                Ok(Some(out))
+            }
+        }
+    }
+
+    fn gather_available<T: Wire>(
+        &mut self,
+        root: usize,
+        value: &T,
+    ) -> Result<Option<Vec<Option<T>>>, RuntimeError> {
+        self.gather_impl("gatherv", root, value, true)
+    }
+
+    fn allgatherv<T: Wire>(&mut self, value: &T) -> Result<Vec<T>, RuntimeError> {
+        const OP: &str = "allgatherv";
+        let start = self.op_begin(OP)?;
+        let own = value.to_bytes();
+        let hub = 0usize;
+        let mut lens = vec![0.0; self.plane.size];
+        let result;
+        let mut bytes_moved = own.len() as u64;
+        if self.rank == hub {
+            let slots = self.collect_payloads(OP, &own)?;
+            let mut values = Vec::with_capacity(slots.len());
+            let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(slots.len());
+            for (rank, slot) in slots.into_iter().enumerate() {
+                match slot {
+                    Some(bytes) => {
+                        lens[rank] = bytes.len() as f64;
+                        values.push(Self::decode_as::<T>(OP, &bytes)?);
+                        payloads.push(bytes);
+                    }
+                    None => return Err(RuntimeError::RankDead { op: OP, rank }),
+                }
+            }
+            // Length-prefixed framing so zero-size payloads still
+            // yield one slot per rank.
+            let blob = payloads.to_bytes();
+            let alive = self.alive_snapshot();
+            for (dst, &ok) in alive.iter().enumerate() {
+                if dst == hub || !ok {
+                    continue;
+                }
+                match self.raw_send(OP, dst, blob.clone()) {
+                    Ok(()) => {}
+                    Err(RuntimeError::RankDead { rank, .. }) if rank == dst => {}
+                    Err(other) => return Err(other),
+                }
+            }
+            {
+                let mut st = self.plane.lock();
+                st.pending_charge = Some(Charge::Allgatherv { bytes: lens });
+            }
+            result = values;
+        } else {
+            match self.raw_send(OP, hub, own) {
+                Ok(()) => {}
+                Err(other) => return Err(other),
+            }
+            let blob = self.raw_recv(OP, hub, false)?;
+            bytes_moved += blob.len() as u64;
+            let payloads: Vec<Vec<u8>> = Self::decode_as(OP, &blob)?;
+            let mut values = Vec::with_capacity(payloads.len());
+            for bytes in &payloads {
+                values.push(Self::decode_as::<T>(OP, bytes)?);
+            }
+            result = values;
+        }
+        self.raw_barrier(OP, None)?;
+        self.op_end(OP, -1, bytes_moved, &start);
+        Ok(result)
+    }
+
+    fn allreduce(&mut self, value: f64, op: ReduceOp) -> Result<f64, RuntimeError> {
+        const OP: &str = "allreduce";
+        let start = self.op_begin(OP)?;
+        let hub = 0usize;
+        let own = value.to_bytes();
+        let result;
+        if self.rank == hub {
+            let slots = self.collect_payloads(OP, &own)?;
+            let mut acc: Option<f64> = None;
+            for slot in slots.iter().flatten() {
+                let x = Self::decode_as::<f64>(OP, slot)?;
+                acc = Some(match acc {
+                    None => x,
+                    Some(a) => op.fold(a, x),
+                });
+            }
+            let folded = acc.expect("hub contributes at least itself");
+            let bytes = folded.to_bytes();
+            let alive = self.alive_snapshot();
+            for (dst, &ok) in alive.iter().enumerate() {
+                if dst == hub || !ok {
+                    continue;
+                }
+                match self.raw_send(OP, dst, bytes.clone()) {
+                    Ok(()) => {}
+                    Err(RuntimeError::RankDead { rank, .. }) if rank == dst => {}
+                    Err(other) => return Err(other),
+                }
+            }
+            {
+                let mut st = self.plane.lock();
+                st.pending_charge = Some(Charge::Allreduce { bytes: 8.0 });
+            }
+            result = folded;
+        } else {
+            self.raw_send(OP, hub, own)?;
+            let bytes = self.raw_recv(OP, hub, false)?;
+            result = Self::decode_as::<f64>(OP, &bytes)?;
+        }
+        self.raw_barrier(OP, None)?;
+        self.op_end(OP, -1, 8, &start);
+        Ok(result)
+    }
+}
+
+impl ThreadedComm {
+    /// Shared implementation of `gatherv`/`gather_available`.
+    fn gather_impl<T: Wire>(
+        &mut self,
+        op: &'static str,
+        root: usize,
+        value: &T,
+        _tolerant: bool,
+    ) -> Result<Option<Vec<Option<T>>>, RuntimeError> {
+        self.check_rank(op, root)?;
+        let start = self.op_begin(op)?;
+        let own = value.to_bytes();
+        let mut bytes_moved = own.len() as u64;
+        let result = if self.rank == root {
+            let slots = self.collect_payloads(op, &own)?;
+            let mut lens = vec![0.0; self.plane.size];
+            let mut values = Vec::with_capacity(slots.len());
+            for (rank, slot) in slots.into_iter().enumerate() {
+                match slot {
+                    Some(bytes) => {
+                        lens[rank] = bytes.len() as f64;
+                        bytes_moved += bytes.len() as u64;
+                        values.push(Some(Self::decode_as::<T>(op, &bytes)?));
+                    }
+                    None => values.push(None),
+                }
+            }
+            {
+                let mut st = self.plane.lock();
+                st.pending_charge = Some(Charge::Gatherv { root, bytes: lens });
+            }
+            Some(values)
+        } else {
+            match self.raw_send(op, root, own) {
+                Ok(()) => {}
+                // Root death is fatal for a gather.
+                Err(other) => return Err(other),
+            }
+            None
+        };
+        self.raw_barrier(op, None)?;
+        self.op_end(op, root as i64, bytes_moved, &start);
+        Ok(result)
+    }
+}
+
+/// Runs one closure per rank on scoped threads and returns their
+/// results in rank order. The closure receives the rank's
+/// communicator handle by value.
+///
+/// # Panics
+///
+/// Propagates a panicking rank closure.
+pub fn run_ranks<R, F>(comms: Vec<ThreadedComm>, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(ThreadedComm) -> R + Sync,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| {
+                let f = &f;
+                scope.spawn(move || f(comm))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(json: &str) -> FaultPlan {
+        FaultPlan::from_json(json).unwrap()
+    }
+
+    fn fast_plan() -> FaultPlan {
+        plan(r#"{"deadline": 5.0}"#)
+    }
+
+    #[test]
+    fn send_recv_round_trip() {
+        let comms = RuntimeConfig::thread()
+            .with_plan(fast_plan())
+            .build(2);
+        let out = run_ranks(comms, |mut c| -> Result<Option<Vec<f64>>, RuntimeError> {
+            if c.rank() == 0 {
+                c.send(1, &vec![1.0f64, 2.0, 3.0])?;
+                Ok(None)
+            } else {
+                Ok(Some(c.recv::<Vec<f64>>(0)?))
+            }
+        });
+        assert_eq!(out[1].as_ref().unwrap().as_ref().unwrap(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn per_pair_fifo_ordering() {
+        let comms = RuntimeConfig::thread().with_plan(fast_plan()).build(2);
+        let out = run_ranks(comms, |mut c| -> Result<Vec<u64>, RuntimeError> {
+            if c.rank() == 0 {
+                for i in 0..10u64 {
+                    c.send(1, &i)?;
+                }
+                Ok(vec![])
+            } else {
+                (0..10).map(|_| c.recv::<u64>(0)).collect()
+            }
+        });
+        assert_eq!(out[1].as_ref().unwrap(), &(0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collectives_on_thread_backend() {
+        let comms = RuntimeConfig::thread().with_plan(fast_plan()).build(4);
+        let out = run_ranks(comms, |mut c| -> Result<(), RuntimeError> {
+            let r = c.rank();
+            // bcast from a non-zero root.
+            let v = c.bcast(2, (r == 2).then_some(&42u64))?;
+            assert_eq!(v, 42);
+            // scatterv: rank r receives r * 10.
+            let parts: Option<Vec<u64>> = (r == 1).then(|| (0..4).map(|i| i * 10).collect());
+            let mine = c.scatterv(1, parts.as_deref())?;
+            assert_eq!(mine, r as u64 * 10);
+            // gatherv back onto 3.
+            let gathered = c.gatherv(3, &mine)?;
+            if r == 3 {
+                assert_eq!(gathered.unwrap(), vec![0, 10, 20, 30]);
+            } else {
+                assert!(gathered.is_none());
+            }
+            // allgatherv.
+            let all = c.allgatherv(&(r as u64))?;
+            assert_eq!(all, vec![0, 1, 2, 3]);
+            // allreduce.
+            assert_eq!(c.allreduce(r as f64, ReduceOp::Sum)?, 6.0);
+            assert_eq!(c.allreduce(r as f64, ReduceOp::Max)?, 3.0);
+            assert_eq!(c.allreduce(r as f64, ReduceOp::Min)?, 0.0);
+            c.barrier()?;
+            Ok(())
+        });
+        for r in out {
+            r.unwrap();
+        }
+    }
+
+    #[test]
+    fn sim_backend_charges_virtual_time_deterministically() {
+        let run = || {
+            let (comms, handle) = RuntimeConfig::sim(4, LinkModel::ethernet())
+                .with_plan(fast_plan())
+                .build_with_handle(4);
+            let out = run_ranks(comms, |mut c| -> Result<f64, RuntimeError> {
+                let r = c.rank();
+                let _ = c.bcast(0, (r == 0).then_some(&vec![0.0f64; 128]))?;
+                let all = c.allgatherv(&vec![r as f64; 64])?;
+                assert_eq!(all.len(), 4, "one contribution per rank");
+                assert!(all.iter().all(|v| v.len() == 64));
+                let parts: Option<Vec<Vec<f64>>> =
+                    (r == 0).then(|| (0..4).map(|i| vec![0.0; 32 * (i + 1)]).collect());
+                let mine = c.scatterv(0, parts.as_deref())?;
+                assert_eq!(mine.len(), 32 * (r + 1));
+                c.barrier()?;
+                c.allreduce(1.0, ReduceOp::Sum)
+            });
+            for r in out {
+                assert_eq!(r.unwrap(), 4.0);
+            }
+            handle.virtual_time().unwrap()
+        };
+        let t1 = run();
+        let t2 = run();
+        assert!(t1 > 0.0, "virtual time must advance: {t1}");
+        assert_eq!(t1.to_bits(), t2.to_bits(), "sim clocks must be deterministic");
+    }
+
+    #[test]
+    fn p2p_sim_charge_at_delivery() {
+        let (comms, handle) = RuntimeConfig::sim(2, LinkModel::ethernet())
+            .with_plan(fast_plan())
+            .build_with_handle(2);
+        let out = run_ranks(comms, |mut c| -> Result<(), RuntimeError> {
+            if c.rank() == 0 {
+                c.send(1, &vec![1.0f64; 1000])?;
+            } else {
+                let v: Vec<f64> = c.recv(0)?;
+                assert_eq!(v.len(), 1000);
+                assert!(c.virtual_time().unwrap() > 0.0);
+            }
+            Ok(())
+        });
+        for r in out {
+            r.unwrap();
+        }
+        assert!(handle.virtual_time().unwrap() > 0.0);
+        assert!(handle.virtual_comm_seconds().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn invalid_ranks_are_rejected() {
+        let comms = RuntimeConfig::thread().with_plan(fast_plan()).build(2);
+        let out = run_ranks(comms, |mut c| {
+            let send = c.send(5, &1u64);
+            let bcast = c.bcast::<u64>(9, None);
+            (send, bcast)
+        });
+        for (send, bcast) in out {
+            assert!(matches!(send, Err(RuntimeError::InvalidRank { rank: 5, .. })));
+            assert!(matches!(bcast, Err(RuntimeError::InvalidRank { rank: 9, .. })));
+        }
+    }
+
+    #[test]
+    fn scatterv_arity_is_checked() {
+        let comms = RuntimeConfig::thread().with_plan(fast_plan()).build(1);
+        let out = run_ranks(comms, |mut c| {
+            c.scatterv(0, Some(&[1u64, 2, 3]))
+        });
+        assert!(matches!(
+            out.into_iter().next().unwrap(),
+            Err(RuntimeError::SizeMismatch {
+                expected: 1,
+                got: 3,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn recv_deadline_fails_instead_of_hanging() {
+        let comms = RuntimeConfig::thread()
+            .with_plan(plan(r#"{"deadline": 0.2}"#))
+            .build(2);
+        let out = run_ranks(comms, |mut c| {
+            if c.rank() == 0 {
+                // Never sends: rank 1 must time out, not hang.
+                Ok(0u64)
+            } else {
+                c.recv::<u64>(0)
+            }
+        });
+        assert!(matches!(
+            out[1],
+            Err(RuntimeError::Timeout { rank: 1, .. })
+        ));
+    }
+}

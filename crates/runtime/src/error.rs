@@ -1,0 +1,138 @@
+//! Typed runtime errors: every way a message-passing operation can
+//! fail surfaces here instead of hanging or panicking.
+
+use std::error::Error;
+use std::fmt;
+
+use fupermod_platform::PlatformError;
+
+/// Error type of the `fupermod-runtime` message-passing layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// A collective received a per-rank vector whose length does not
+    /// match the communicator size.
+    SizeMismatch {
+        /// Operation tag (`scatterv`, `gatherv`, ...).
+        op: &'static str,
+        /// Expected length (the communicator size).
+        expected: usize,
+        /// Observed length.
+        got: usize,
+    },
+    /// The operation involves a rank that has died (fail-stop).
+    RankDead {
+        /// Operation tag.
+        op: &'static str,
+        /// The dead rank.
+        rank: usize,
+    },
+    /// The per-operation deadline elapsed before the operation could
+    /// complete. The violating rank is marked dead (fail-stop) so the
+    /// rest of the job observes [`RuntimeError::RankDead`] instead of
+    /// hanging.
+    Timeout {
+        /// Operation tag.
+        op: &'static str,
+        /// The rank whose deadline elapsed.
+        rank: usize,
+        /// The configured deadline, seconds.
+        deadline: f64,
+    },
+    /// A message was dropped by fault injection and every bounded
+    /// retry (with exponential backoff) was dropped too.
+    RetriesExhausted {
+        /// Operation tag.
+        op: &'static str,
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+        /// Attempts made (initial send plus retries).
+        attempts: u32,
+    },
+    /// A received payload could not be decoded as the requested type.
+    Decode {
+        /// What was being decoded (type or operation tag).
+        what: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// An operation named a rank outside the communicator.
+    InvalidRank {
+        /// Operation tag.
+        op: &'static str,
+        /// The out-of-range rank.
+        rank: usize,
+        /// The communicator size.
+        size: usize,
+    },
+    /// A fault plan could not be parsed or validated.
+    InvalidPlan(String),
+    /// The platform substrate rejected an operation.
+    Platform(PlatformError),
+    /// An application closure running on a rank failed.
+    App(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::SizeMismatch { op, expected, got } => {
+                write!(f, "{op}: per-rank vector has {got} entries, communicator size is {expected}")
+            }
+            RuntimeError::RankDead { op, rank } => {
+                write!(f, "{op}: rank {rank} is dead")
+            }
+            RuntimeError::Timeout { op, rank, deadline } => {
+                write!(f, "{op}: rank {rank} exceeded the {deadline} s deadline")
+            }
+            RuntimeError::RetriesExhausted { op, src, dst, attempts } => {
+                write!(f, "{op}: {src} -> {dst} dropped on all {attempts} attempts")
+            }
+            RuntimeError::Decode { what, detail } => {
+                write!(f, "decode {what}: {detail}")
+            }
+            RuntimeError::InvalidRank { op, rank, size } => {
+                write!(f, "{op}: rank {rank} outside communicator of size {size}")
+            }
+            RuntimeError::InvalidPlan(msg) => write!(f, "invalid fault plan: {msg}"),
+            RuntimeError::Platform(e) => write!(f, "platform error: {e}"),
+            RuntimeError::App(msg) => write!(f, "application error: {msg}"),
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RuntimeError::Platform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlatformError> for RuntimeError {
+    fn from(e: PlatformError) -> Self {
+        RuntimeError::Platform(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RuntimeError::Timeout {
+            op: "recv",
+            rank: 3,
+            deadline: 2.5,
+        };
+        let text = e.to_string();
+        assert!(text.contains("recv") && text.contains('3') && text.contains("2.5"));
+        assert!(RuntimeError::from(PlatformError::Disconnected { op: "send", rank: 1 })
+            .to_string()
+            .contains("platform"));
+    }
+}

@@ -1,0 +1,289 @@
+//! The distributed dynamic-balancing executor: the paper's
+//! `fupermod_dynamic` loop re-implemented as N communicating rank
+//! closures.
+//!
+//! Each iteration follows the paper's *partition → measure →
+//! rebalance* cycle, but the measurement happens **on the ranks**:
+//!
+//! 1. rank 0 `scatterv`s the current distribution (each rank learns
+//!    its share),
+//! 2. every rank benchmarks its own share locally (the `measure`
+//!    closure),
+//! 3. the measured [`Point`]s are gathered onto rank 0
+//!    ([`Communicator::gather_available`], so a dead rank yields a
+//!    gap instead of an error),
+//! 4. rank 0 absorbs the observations into the partial models
+//!    ([`DynamicContext::absorb_observed`]), re-partitions, and
+//!    `scatterv`s the new shares plus a broadcast convergence flag.
+//!
+//! On a fault-free plan this is **observation-for-observation
+//! identical** to the serial [`DynamicContext::run_to_balance`]: the
+//! same model points are absorbed in the same rank order, so the
+//! final [`Distribution`](fupermod_core::partition::Distribution) is
+//! bit-identical (verified by an integration test). Under faults the
+//! loop degrades gracefully: a straggler's inflated times shift load
+//! away from it, and a dead rank is deactivated
+//! ([`DynamicContext::deactivate`]) so its share is repartitioned
+//! across the survivors, with `fault` trace events documenting every
+//! injection.
+
+use std::sync::Mutex;
+
+use fupermod_core::dynamic::{DynamicContext, DynamicStep};
+use fupermod_core::trace::TraceEvent;
+use fupermod_core::{CoreError, Point};
+
+use crate::comm::{run_ranks, Communicator, RuntimeConfig, ThreadedComm};
+use crate::error::RuntimeError;
+
+/// Result of a distributed balancing run.
+#[derive(Debug)]
+pub struct BalanceOutcome {
+    /// One entry per dynamic iteration, as produced on rank 0 —
+    /// identical to the serial loop's steps on a fault-free plan.
+    pub steps: Vec<DynamicStep>,
+    /// The final distribution's sizes (rank 0's view).
+    pub final_sizes: Vec<u64>,
+    /// Ranks that died during the run, ascending.
+    pub dead_ranks: Vec<usize>,
+    /// Per-rank terminal errors (`None` for ranks that finished
+    /// cleanly). Dead and timed-out ranks record their fail-stop
+    /// error here.
+    pub rank_errors: Vec<Option<RuntimeError>>,
+}
+
+impl BalanceOutcome {
+    /// Whether the final step reached the balance tolerance.
+    pub fn converged(&self) -> bool {
+        self.steps.last().is_some_and(|s| s.converged)
+    }
+}
+
+fn app_err(e: CoreError) -> RuntimeError {
+    RuntimeError::App(e.to_string())
+}
+
+/// Runs the dynamic partitioning loop distributed over `size` ranks.
+///
+/// * `config` selects the backend (thread or sim), fault plan, and
+///   trace sink.
+/// * `make_ctx` builds the [`DynamicContext`] — it is invoked once,
+///   on rank 0's thread (partial models and the partitioner live
+///   only there, exactly like the paper's root process).
+/// * `measure(rank, d)` benchmarks `d` units on `rank`; it runs
+///   concurrently on the rank threads and must be deterministic per
+///   `(rank, d)` for reproducible runs.
+/// * `max_steps` bounds the number of iterations.
+///
+/// # Errors
+///
+/// Returns rank 0's failure, if any: measurement/model errors
+/// ([`RuntimeError::App`]) or communication failures. Non-root rank
+/// failures are reported in [`BalanceOutcome::rank_errors`].
+///
+/// # Panics
+///
+/// Panics if the context built by `make_ctx` does not have `size`
+/// processes, or if a rank thread panics.
+pub fn run_to_balance_distributed<F, M>(
+    config: RuntimeConfig,
+    size: usize,
+    make_ctx: F,
+    measure: M,
+    max_steps: usize,
+) -> Result<BalanceOutcome, RuntimeError>
+where
+    F: FnOnce() -> DynamicContext + Send,
+    M: Fn(usize, u64) -> Result<Point, CoreError> + Sync,
+{
+    let plan = config.plan_ref().clone();
+    let sink = config.sink_ref().clone();
+    let (comms, handle) = config.build_with_handle(size);
+    // `make_ctx` is FnOnce but the rank closure is shared: rank 0
+    // takes it out of the slot.
+    let ctx_slot = Mutex::new(Some(make_ctx));
+
+    let results = run_ranks(comms, |mut comm: ThreadedComm| {
+        let rank = comm.rank();
+        let factor = plan.straggler_factor(rank);
+        if rank == 0 {
+            let make = ctx_slot
+                .lock()
+                .expect("ctx slot poisoned")
+                .take()
+                .expect("make_ctx taken once");
+            let mut ctx = make();
+            assert_eq!(
+                ctx.dist().sizes().len(),
+                size,
+                "context size must match communicator size"
+            );
+            root_loop(&mut comm, &mut ctx, &measure, factor, max_steps, &sink)
+                .map(|steps| (steps, ctx.dist().sizes()))
+        } else {
+            worker_loop(&mut comm, &measure, factor, max_steps, &sink).map(|()| (vec![], vec![]))
+        }
+    });
+
+    let mut rank_errors: Vec<Option<RuntimeError>> = Vec::with_capacity(size);
+    let mut root_result: Option<(Vec<DynamicStep>, Vec<u64>)> = None;
+    for (rank, result) in results.into_iter().enumerate() {
+        match result {
+            Ok(payload) => {
+                if rank == 0 {
+                    root_result = Some(payload);
+                }
+                rank_errors.push(None);
+            }
+            Err(e) => {
+                if rank == 0 {
+                    return Err(e);
+                }
+                rank_errors.push(Some(e));
+            }
+        }
+    }
+    let (steps, final_sizes) = root_result.expect("rank 0 returned Ok");
+    Ok(BalanceOutcome {
+        steps,
+        final_sizes,
+        dead_ranks: handle.dead_ranks(),
+        rank_errors,
+    })
+}
+
+/// Measures this rank's share, applying the straggler compute factor.
+fn measure_share<M>(
+    rank: usize,
+    d: u64,
+    measure: &M,
+    factor: f64,
+    sink: &std::sync::Arc<dyn fupermod_core::trace::TraceSink>,
+) -> Result<Point, RuntimeError>
+where
+    M: Fn(usize, u64) -> Result<Point, CoreError> + Sync,
+{
+    let mut point = measure(rank, d.max(1)).map_err(app_err)?;
+    if factor != 1.0 {
+        let extra = point.t * (factor - 1.0);
+        point.t *= factor;
+        sink.record(&TraceEvent::Fault {
+            rank,
+            kind: "straggler".to_owned(),
+            peer: -1,
+            attempt: 0,
+            seconds: extra,
+        });
+    }
+    Ok(point)
+}
+
+fn root_loop<M>(
+    comm: &mut ThreadedComm,
+    ctx: &mut DynamicContext,
+    measure: &M,
+    factor: f64,
+    max_steps: usize,
+    sink: &std::sync::Arc<dyn fupermod_core::trace::TraceSink>,
+) -> Result<Vec<DynamicStep>, RuntimeError>
+where
+    M: Fn(usize, u64) -> Result<Point, CoreError> + Sync,
+{
+    let mut steps = Vec::new();
+    // Distribute the initial shares.
+    let mut my_d = comm.scatterv(0, Some(&ctx.dist().sizes()))?;
+    for _ in 0..max_steps {
+        let point = measure_share(comm.rank(), my_d, measure, factor, sink)?;
+        let gathered = comm
+            .gather_available(0, &point)?
+            .expect("root receives the gather");
+        let mut observed = Vec::with_capacity(gathered.len());
+        for (rank, slot) in gathered.into_iter().enumerate() {
+            match slot {
+                Some(p) => observed.push(p),
+                None => {
+                    // Rank died: repartition its load across survivors.
+                    if ctx.active()[rank] {
+                        ctx.deactivate(rank);
+                        sink.record(&TraceEvent::Fault {
+                            rank: comm.rank(),
+                            kind: "degraded".to_owned(),
+                            peer: rank as i64,
+                            attempt: 0,
+                            seconds: 0.0,
+                        });
+                    }
+                    observed.push(Point::single(0, 0.0));
+                }
+            }
+        }
+        let step = ctx.absorb_observed(observed).map_err(app_err)?;
+        let converged = step.converged;
+        steps.push(step);
+        my_d = comm.scatterv(0, Some(&ctx.dist().sizes()))?;
+        comm.bcast(0, Some(&converged))?;
+        if converged {
+            break;
+        }
+    }
+    Ok(steps)
+}
+
+fn worker_loop<M>(
+    comm: &mut ThreadedComm,
+    measure: &M,
+    factor: f64,
+    max_steps: usize,
+    sink: &std::sync::Arc<dyn fupermod_core::trace::TraceSink>,
+) -> Result<(), RuntimeError>
+where
+    M: Fn(usize, u64) -> Result<Point, CoreError> + Sync,
+{
+    let mut my_d = comm.scatterv::<u64>(0, None)?;
+    for _ in 0..max_steps {
+        let point = measure_share(comm.rank(), my_d, measure, factor, sink)?;
+        comm.gather_available(0, &point)?;
+        my_d = comm.scatterv::<u64>(0, None)?;
+        let converged = comm.bcast::<bool>(0, None)?;
+        if converged {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fupermod_core::model::{Model, PiecewiseModel};
+    use fupermod_core::partition::GeometricPartitioner;
+
+    fn make_ctx(total: u64, eps: f64, size: usize) -> DynamicContext {
+        let models: Vec<Box<dyn Model>> = (0..size)
+            .map(|_| Box::new(PiecewiseModel::new()) as Box<dyn Model>)
+            .collect();
+        DynamicContext::new(Box::new(GeometricPartitioner::default()), models, total, eps)
+    }
+
+    fn measure(rank: usize, d: u64) -> Result<Point, CoreError> {
+        let speed = [100.0, 25.0, 50.0][rank];
+        Ok(Point::single(d, d as f64 / speed))
+    }
+
+    #[test]
+    fn distributed_loop_balances_a_three_rank_platform() {
+        let outcome = run_to_balance_distributed(
+            RuntimeConfig::thread(),
+            3,
+            || make_ctx(700, 0.05, 3),
+            measure,
+            20,
+        )
+        .unwrap();
+        assert!(outcome.converged());
+        assert!(outcome.dead_ranks.is_empty());
+        assert!(outcome.rank_errors.iter().all(Option::is_none));
+        // 4:1:2 speeds over 700 units → 400/100/200.
+        assert_eq!(outcome.final_sizes, vec![400, 100, 200]);
+    }
+}

@@ -1,0 +1,605 @@
+//! Injectable fault plans: message delay, message drop with bounded
+//! retry, straggler ranks, and rank death.
+//!
+//! A [`FaultPlan`] is attached to a communicator at construction time
+//! and evaluated deterministically: rules fire on **counts** of
+//! matching operations (`every`-th match), not on random draws, so a
+//! faulty run replays identically. Plans are written as JSON (schema
+//! in `docs/RUNTIME.md`) and parsed by [`FaultPlan::from_json`] with
+//! an std-only parser — the build environment has no serde_json.
+//!
+//! ```
+//! use fupermod_runtime::FaultPlan;
+//! let plan = FaultPlan::from_json(r#"{
+//!     "deadline": 5.0,
+//!     "stragglers": [{"rank": 1, "compute_factor": 4.0}],
+//!     "drops": [{"src": 0, "dst": 2, "every": 3, "max_retries": 4}]
+//! }"#).unwrap();
+//! assert_eq!(plan.stragglers.len(), 1);
+//! assert!((plan.straggler_factor(1) - 4.0).abs() < 1e-12);
+//! ```
+
+use crate::error::RuntimeError;
+
+/// Delays every `every`-th matching message by `seconds` before it
+/// becomes visible to the receiver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayRule {
+    /// Sending rank the rule matches (`None` = any).
+    pub src: Option<usize>,
+    /// Receiving rank the rule matches (`None` = any).
+    pub dst: Option<usize>,
+    /// Fire on every `every`-th matching message (1 = all).
+    pub every: u64,
+    /// Injected delay, seconds.
+    pub seconds: f64,
+}
+
+/// Drops every `every`-th matching send attempt; the sender retries
+/// with exponential backoff up to `max_retries` times before the
+/// operation fails with [`RuntimeError::RetriesExhausted`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DropRule {
+    /// Sending rank the rule matches (`None` = any).
+    pub src: Option<usize>,
+    /// Receiving rank the rule matches (`None` = any).
+    pub dst: Option<usize>,
+    /// Fire on every `every`-th matching attempt (1 = all — retries
+    /// are attempts too, so `every = 1` exhausts the retry budget).
+    pub every: u64,
+    /// Bounded retry budget after the first dropped attempt.
+    pub max_retries: u32,
+    /// Base backoff before the first retry, seconds; doubles per
+    /// retry (exponential backoff).
+    pub backoff_seconds: f64,
+}
+
+/// Slows one rank down: `comm_seconds` of extra latency per
+/// communication operation, and a `compute_factor` multiplier the
+/// distributed executor applies to the rank's measured compute times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StragglerRule {
+    /// The straggling rank.
+    pub rank: usize,
+    /// Extra seconds added to each of the rank's communication
+    /// operations.
+    pub comm_seconds: f64,
+    /// Multiplier on the rank's measured compute times (>= 1 slows it
+    /// down).
+    pub compute_factor: f64,
+}
+
+/// Kills one rank (fail-stop) after it has performed `after_ops`
+/// communication operations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeathRule {
+    /// The rank that dies.
+    pub rank: usize,
+    /// Communication operations the rank completes before dying.
+    pub after_ops: u64,
+}
+
+/// A deterministic, injectable fault plan for a communicator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Per-operation deadline, seconds. `None` uses the backend
+    /// default ([`crate::comm::DEFAULT_DEADLINE_SECS`]).
+    pub deadline: Option<f64>,
+    /// Message-delay rules.
+    pub delays: Vec<DelayRule>,
+    /// Message-drop rules.
+    pub drops: Vec<DropRule>,
+    /// Straggler rules.
+    pub stragglers: Vec<StragglerRule>,
+    /// Rank-death rules.
+    pub deaths: Vec<DeathRule>,
+}
+
+impl FaultPlan {
+    /// The empty (fault-free) plan.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan injects nothing and keeps the default deadline.
+    pub fn is_empty(&self) -> bool {
+        self.deadline.is_none()
+            && self.delays.is_empty()
+            && self.drops.is_empty()
+            && self.stragglers.is_empty()
+            && self.deaths.is_empty()
+    }
+
+    /// The compute-slowdown factor for `rank` (1.0 when no straggler
+    /// rule matches). Applied by the distributed executor to the
+    /// rank's measured times.
+    pub fn straggler_factor(&self, rank: usize) -> f64 {
+        self.stragglers
+            .iter()
+            .find(|r| r.rank == rank)
+            .map_or(1.0, |r| r.compute_factor)
+    }
+
+    /// The extra communication latency for `rank` (0.0 when no
+    /// straggler rule matches).
+    pub fn straggler_comm_seconds(&self, rank: usize) -> f64 {
+        self.stragglers
+            .iter()
+            .find(|r| r.rank == rank)
+            .map_or(0.0, |r| r.comm_seconds)
+    }
+
+    /// The op count after which `rank` dies, if a death rule matches.
+    pub fn death_after(&self, rank: usize) -> Option<u64> {
+        self.deaths
+            .iter()
+            .find(|r| r.rank == rank)
+            .map(|r| r.after_ops)
+    }
+
+    /// Parses a plan from its JSON form (see `docs/RUNTIME.md` for the
+    /// schema; unknown keys are rejected so typos fail fast).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidPlan`] on malformed JSON,
+    /// unknown keys, or out-of-range values.
+    pub fn from_json(text: &str) -> Result<Self, RuntimeError> {
+        let value = json::parse(text).map_err(RuntimeError::InvalidPlan)?;
+        let obj = value
+            .as_object()
+            .ok_or_else(|| RuntimeError::InvalidPlan("top level must be an object".to_owned()))?;
+        let mut plan = FaultPlan::default();
+        for (key, v) in obj {
+            match key.as_str() {
+                "deadline" => {
+                    let d = num(v, "deadline")?;
+                    if d.is_nan() || d <= 0.0 {
+                        return Err(bad("deadline must be positive"));
+                    }
+                    plan.deadline = Some(d);
+                }
+                "delays" => {
+                    for item in arr(v, "delays")? {
+                        plan.delays.push(parse_delay(item)?);
+                    }
+                }
+                "drops" => {
+                    for item in arr(v, "drops")? {
+                        plan.drops.push(parse_drop(item)?);
+                    }
+                }
+                "stragglers" => {
+                    for item in arr(v, "stragglers")? {
+                        plan.stragglers.push(parse_straggler(item)?);
+                    }
+                }
+                "deaths" => {
+                    for item in arr(v, "deaths")? {
+                        plan.deaths.push(parse_death(item)?);
+                    }
+                }
+                other => return Err(bad(&format!("unknown key '{other}'"))),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Reads and parses a plan from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidPlan`] on I/O or parse failure.
+    pub fn from_json_file(path: &std::path::Path) -> Result<Self, RuntimeError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| RuntimeError::InvalidPlan(format!("read {}: {e}", path.display())))?;
+        Self::from_json(&text)
+    }
+}
+
+fn bad(msg: &str) -> RuntimeError {
+    RuntimeError::InvalidPlan(msg.to_owned())
+}
+
+fn num(v: &json::Value, what: &str) -> Result<f64, RuntimeError> {
+    v.as_f64()
+        .ok_or_else(|| bad(&format!("'{what}' must be a number")))
+}
+
+fn arr<'a>(v: &'a json::Value, what: &str) -> Result<&'a [json::Value], RuntimeError> {
+    v.as_array()
+        .ok_or_else(|| bad(&format!("'{what}' must be an array")))
+}
+
+fn index(v: &json::Value, what: &str) -> Result<usize, RuntimeError> {
+    let x = num(v, what)?;
+    if x < 0.0 || x.fract() != 0.0 {
+        return Err(bad(&format!("'{what}' must be a non-negative integer")));
+    }
+    Ok(x as usize)
+}
+
+struct Fields<'a> {
+    obj: &'a [(String, json::Value)],
+    what: &'static str,
+}
+
+impl<'a> Fields<'a> {
+    fn new(v: &'a json::Value, what: &'static str) -> Result<Self, RuntimeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| bad(&format!("each '{what}' rule must be an object")))?;
+        Ok(Self { obj, what })
+    }
+    fn get(&self, key: &str) -> Option<&'a json::Value> {
+        self.obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+    fn require(&self, key: &str) -> Result<&'a json::Value, RuntimeError> {
+        self.get(key)
+            .ok_or_else(|| bad(&format!("'{}' rule missing '{key}'", self.what)))
+    }
+    fn check_keys(&self, allowed: &[&str]) -> Result<(), RuntimeError> {
+        for (k, _) in self.obj {
+            if !allowed.contains(&k.as_str()) {
+                return Err(bad(&format!("'{}' rule has unknown key '{k}'", self.what)));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_endpoint(f: &Fields<'_>, key: &'static str) -> Result<Option<usize>, RuntimeError> {
+    f.get(key).map(|v| index(v, key)).transpose()
+}
+
+fn parse_every(f: &Fields<'_>) -> Result<u64, RuntimeError> {
+    let every = f.get("every").map(|v| index(v, "every")).transpose()?;
+    let every = every.unwrap_or(1) as u64;
+    if every == 0 {
+        return Err(bad("'every' must be >= 1"));
+    }
+    Ok(every)
+}
+
+fn parse_delay(v: &json::Value) -> Result<DelayRule, RuntimeError> {
+    let f = Fields::new(v, "delays")?;
+    f.check_keys(&["src", "dst", "every", "seconds"])?;
+    let seconds = num(f.require("seconds")?, "seconds")?;
+    if seconds.is_nan() || seconds < 0.0 {
+        return Err(bad("delay 'seconds' must be non-negative"));
+    }
+    Ok(DelayRule {
+        src: parse_endpoint(&f, "src")?,
+        dst: parse_endpoint(&f, "dst")?,
+        every: parse_every(&f)?,
+        seconds,
+    })
+}
+
+fn parse_drop(v: &json::Value) -> Result<DropRule, RuntimeError> {
+    let f = Fields::new(v, "drops")?;
+    f.check_keys(&["src", "dst", "every", "max_retries", "backoff_seconds"])?;
+    let max_retries = f
+        .get("max_retries")
+        .map(|v| index(v, "max_retries"))
+        .transpose()?
+        .unwrap_or(3) as u32;
+    let backoff_seconds = f
+        .get("backoff_seconds")
+        .map(|v| num(v, "backoff_seconds"))
+        .transpose()?
+        .unwrap_or(1e-3);
+    if backoff_seconds.is_nan() || backoff_seconds < 0.0 {
+        return Err(bad("'backoff_seconds' must be non-negative"));
+    }
+    Ok(DropRule {
+        src: parse_endpoint(&f, "src")?,
+        dst: parse_endpoint(&f, "dst")?,
+        every: parse_every(&f)?,
+        max_retries,
+        backoff_seconds,
+    })
+}
+
+fn parse_straggler(v: &json::Value) -> Result<StragglerRule, RuntimeError> {
+    let f = Fields::new(v, "stragglers")?;
+    f.check_keys(&["rank", "comm_seconds", "compute_factor"])?;
+    let comm_seconds = f
+        .get("comm_seconds")
+        .map(|v| num(v, "comm_seconds"))
+        .transpose()?
+        .unwrap_or(0.0);
+    let compute_factor = f
+        .get("compute_factor")
+        .map(|v| num(v, "compute_factor"))
+        .transpose()?
+        .unwrap_or(1.0);
+    if comm_seconds.is_nan() || comm_seconds < 0.0 || compute_factor.is_nan() || compute_factor <= 0.0
+    {
+        return Err(bad(
+            "straggler needs comm_seconds >= 0 and compute_factor > 0",
+        ));
+    }
+    Ok(StragglerRule {
+        rank: index(f.require("rank")?, "rank")?,
+        comm_seconds,
+        compute_factor,
+    })
+}
+
+fn parse_death(v: &json::Value) -> Result<DeathRule, RuntimeError> {
+    let f = Fields::new(v, "deaths")?;
+    f.check_keys(&["rank", "after_ops"])?;
+    Ok(DeathRule {
+        rank: index(f.require("rank")?, "rank")?,
+        after_ops: index(f.require("after_ops")?, "after_ops")? as u64,
+    })
+}
+
+/// Minimal recursive-descent JSON parser (std-only; offline build).
+/// Supports objects, arrays, numbers, strings (escape-free), `true`,
+/// `false`, `null` — the full grammar a fault plan uses.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any number.
+        Num(f64),
+        /// A string (escape sequences are rejected).
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in source order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(x) => Some(*x),
+                _ => None,
+            }
+        }
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(o) => Some(o),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn err(&self, msg: &str) -> String {
+            format!("bad JSON at byte {}: {msg}", self.pos)
+        }
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+        fn eat(&mut self, want: u8) -> Result<(), String> {
+            self.skip_ws();
+            if self.peek() == Some(want) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(self.err(&format!("expected '{}'", want as char)))
+            }
+        }
+        fn literal(&mut self, word: &[u8], v: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(word) {
+                self.pos += word.len();
+                Ok(v)
+            } else {
+                Err(self.err("unknown literal"))
+            }
+        }
+        fn string(&mut self) -> Result<String, String> {
+            self.eat(b'"')?;
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                match b {
+                    b'"' => {
+                        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid utf-8"))?
+                            .to_owned();
+                        self.pos += 1;
+                        return Ok(s);
+                    }
+                    b'\\' => return Err(self.err("string escapes are not supported")),
+                    _ => self.pos += 1,
+                }
+            }
+            Err(self.err("unterminated string"))
+        }
+        fn number(&mut self) -> Result<f64, String> {
+            let start = self.pos;
+            while matches!(
+                self.peek(),
+                Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            ) {
+                self.pos += 1;
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| self.err("malformed number"))
+        }
+        fn value(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'{') => {
+                    self.pos += 1;
+                    let mut obj = Vec::new();
+                    self.skip_ws();
+                    if self.peek() == Some(b'}') {
+                        self.pos += 1;
+                        return Ok(Value::Obj(obj));
+                    }
+                    loop {
+                        self.skip_ws();
+                        let key = self.string()?;
+                        self.eat(b':')?;
+                        let v = self.value()?;
+                        obj.push((key, v));
+                        self.skip_ws();
+                        match self.peek() {
+                            Some(b',') => self.pos += 1,
+                            Some(b'}') => {
+                                self.pos += 1;
+                                break;
+                            }
+                            _ => return Err(self.err("expected ',' or '}'")),
+                        }
+                    }
+                    Ok(Value::Obj(obj))
+                }
+                Some(b'[') => {
+                    self.pos += 1;
+                    let mut arr = Vec::new();
+                    self.skip_ws();
+                    if self.peek() == Some(b']') {
+                        self.pos += 1;
+                        return Ok(Value::Arr(arr));
+                    }
+                    loop {
+                        arr.push(self.value()?);
+                        self.skip_ws();
+                        match self.peek() {
+                            Some(b',') => self.pos += 1,
+                            Some(b']') => {
+                                self.pos += 1;
+                                break;
+                            }
+                            _ => return Err(self.err("expected ',' or ']'")),
+                        }
+                    }
+                    Ok(Value::Arr(arr))
+                }
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b't') => self.literal(b"true", Value::Bool(true)),
+                Some(b'f') => self.literal(b"false", Value::Bool(false)),
+                Some(b'n') => self.literal(b"null", Value::Null),
+                _ => Ok(Value::Num(self.number()?)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_plan_parses() {
+        let plan = FaultPlan::from_json(
+            r#"{
+                "deadline": 2.5,
+                "delays": [{"src": 0, "dst": 1, "every": 2, "seconds": 0.01}],
+                "drops": [{"dst": 3, "every": 3, "max_retries": 5, "backoff_seconds": 0.002}],
+                "stragglers": [{"rank": 1, "comm_seconds": 0.005, "compute_factor": 4.0}],
+                "deaths": [{"rank": 2, "after_ops": 10}]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(plan.deadline, Some(2.5));
+        assert_eq!(
+            plan.delays,
+            vec![DelayRule {
+                src: Some(0),
+                dst: Some(1),
+                every: 2,
+                seconds: 0.01
+            }]
+        );
+        assert_eq!(plan.drops[0].src, None, "missing src is a wildcard");
+        assert_eq!(plan.drops[0].max_retries, 5);
+        assert!((plan.straggler_factor(1) - 4.0).abs() < 1e-12);
+        assert!((plan.straggler_comm_seconds(1) - 0.005).abs() < 1e-12);
+        assert_eq!(plan.straggler_factor(0), 1.0);
+        assert_eq!(plan.death_after(2), Some(10));
+        assert_eq!(plan.death_after(0), None);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let plan = FaultPlan::from_json(r#"{"drops": [{"src": 1}]}"#).unwrap();
+        let rule = &plan.drops[0];
+        assert_eq!((rule.every, rule.max_retries), (1, 3));
+        assert!(rule.backoff_seconds > 0.0);
+        assert!(FaultPlan::from_json("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_plans_are_rejected() {
+        for text in [
+            "",
+            "[1,2]",
+            r#"{"unknown": 1}"#,
+            r#"{"deadline": 0}"#,
+            r#"{"deadline": -1}"#,
+            r#"{"delays": [{"seconds": -0.5}]}"#,
+            r#"{"delays": [{"every": 0, "seconds": 0.1}]}"#,
+            r#"{"delays": [{"seconds": 0.1, "typo": 1}]}"#,
+            r#"{"stragglers": [{"rank": -1}]}"#,
+            r#"{"stragglers": [{"rank": 0, "compute_factor": 0}]}"#,
+            r#"{"deaths": [{"rank": 1}]}"#,
+            r#"{"deaths": [{"rank": 1.5, "after_ops": 2}]}"#,
+            r#"{"drops": "all"}"#,
+            r#"{"deadline": 1.0"#,
+        ] {
+            assert!(
+                matches!(
+                    FaultPlan::from_json(text),
+                    Err(RuntimeError::InvalidPlan(_))
+                ),
+                "accepted: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_parser_handles_nesting_and_literals() {
+        let v = json::parse(r#"{"a": [true, false, null, "x", {"b": 1e-3}]}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        let arr = obj[0].1.as_array().unwrap();
+        assert_eq!(arr.len(), 5);
+        assert_eq!(arr[0], json::Value::Bool(true));
+        assert_eq!(arr[2], json::Value::Null);
+        let inner = arr[4].as_object().unwrap();
+        assert!((inner[0].1.as_f64().unwrap() - 1e-3).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,212 @@
+//! Typed message payloads: a tiny fixed-width little-endian codec.
+//!
+//! The runtime moves raw `Vec<u8>` envelopes; [`Wire`] is the typed
+//! boundary on top, mirroring how `rsmpi` maps Rust types onto MPI
+//! datatypes. Encodings are self-delimiting (vectors carry a `u64`
+//! length prefix) and deterministic, so the same value always
+//! produces the same bytes — a property the byte-accounted trace
+//! events and the simulated backend's virtual-clock charges rely on.
+
+use crate::error::RuntimeError;
+use fupermod_core::Point;
+
+/// A value that can cross the runtime as a message payload.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes a value from the front of `bytes`, returning it and the
+    /// number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Decode`] on truncated or malformed
+    /// input.
+    fn decode_from(bytes: &[u8]) -> Result<(Self, usize), RuntimeError>;
+
+    /// Encodes `self` into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes a value that must consume the whole buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Decode`] on truncated, malformed or
+    /// trailing input.
+    fn decode(bytes: &[u8]) -> Result<Self, RuntimeError> {
+        let (value, used) = Self::decode_from(bytes)?;
+        if used != bytes.len() {
+            return Err(RuntimeError::Decode {
+                what: "payload",
+                detail: format!("{} trailing bytes", bytes.len() - used),
+            });
+        }
+        Ok(value)
+    }
+}
+
+fn take<const N: usize>(bytes: &[u8], what: &'static str) -> Result<[u8; N], RuntimeError> {
+    bytes
+        .get(..N)
+        .and_then(|s| s.try_into().ok())
+        .ok_or(RuntimeError::Decode {
+            what,
+            detail: "truncated".to_owned(),
+        })
+}
+
+macro_rules! impl_wire_scalar {
+    ($ty:ty, $what:literal) => {
+        impl Wire for $ty {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode_from(bytes: &[u8]) -> Result<(Self, usize), RuntimeError> {
+                const N: usize = std::mem::size_of::<$ty>();
+                let raw = take::<N>(bytes, $what)?;
+                Ok((<$ty>::from_le_bytes(raw), N))
+            }
+        }
+    };
+}
+
+impl_wire_scalar!(u8, "u8");
+impl_wire_scalar!(u32, "u32");
+impl_wire_scalar!(u64, "u64");
+impl_wire_scalar!(f64, "f64");
+
+impl Wire for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn decode_from(bytes: &[u8]) -> Result<(Self, usize), RuntimeError> {
+        let (raw, used) = u8::decode_from(bytes)?;
+        match raw {
+            0 => Ok((false, used)),
+            1 => Ok((true, used)),
+            other => Err(RuntimeError::Decode {
+                what: "bool",
+                detail: format!("invalid byte {other}"),
+            }),
+        }
+    }
+}
+
+impl Wire for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode_from(_bytes: &[u8]) -> Result<(Self, usize), RuntimeError> {
+        Ok(((), 0))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode_from(bytes: &[u8]) -> Result<(Self, usize), RuntimeError> {
+        let (len, mut used) = u64::decode_from(bytes)?;
+        let len = usize::try_from(len).map_err(|_| RuntimeError::Decode {
+            what: "vec length",
+            detail: "length exceeds usize".to_owned(),
+        })?;
+        // Guard against hostile prefixes: a vector element occupies at
+        // least one byte on the wire.
+        if len > bytes.len() {
+            return Err(RuntimeError::Decode {
+                what: "vec length",
+                detail: format!("{len} elements in a {}-byte payload", bytes.len()),
+            });
+        }
+        let mut items = Vec::with_capacity(len);
+        for _ in 0..len {
+            let (item, n) = T::decode_from(&bytes[used..])?;
+            used += n;
+            items.push(item);
+        }
+        Ok((items, used))
+    }
+}
+
+impl Wire for Point {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.d.encode(out);
+        self.t.encode(out);
+        self.reps.encode(out);
+        self.ci.encode(out);
+    }
+    fn decode_from(bytes: &[u8]) -> Result<(Self, usize), RuntimeError> {
+        let (d, a) = u64::decode_from(bytes)?;
+        let (t, b) = f64::decode_from(&bytes[a..])?;
+        let (reps, c) = u32::decode_from(&bytes[a + b..])?;
+        let (ci, e) = f64::decode_from(&bytes[a + b + c..])?;
+        Ok((Point { d, t, reps, ci }, a + b + c + e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = value.to_bytes();
+        assert_eq!(T::decode(&bytes).unwrap(), value);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(u32::MAX);
+        round_trip(u64::MAX);
+        round_trip(-1.5f64);
+        round_trip(f64::INFINITY);
+        round_trip(true);
+        round_trip(false);
+        round_trip(());
+    }
+
+    #[test]
+    fn vectors_round_trip() {
+        round_trip(Vec::<u64>::new());
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(vec![0.5f64, -0.25]);
+        round_trip(vec![vec![1u32, 2], vec![], vec![3]]);
+    }
+
+    #[test]
+    fn points_round_trip_bit_exact() {
+        let p = Point {
+            d: 1234,
+            t: 0.1 + 0.2, // not exactly 0.3: must survive bit-exactly
+            reps: 7,
+            ci: 1e-9,
+        };
+        let bytes = p.to_bytes();
+        let back = Point::decode(&bytes).unwrap();
+        assert_eq!(back.t.to_bits(), p.t.to_bits());
+        assert_eq!(back, p);
+        round_trip(vec![p, Point::single(0, 0.0)]);
+    }
+
+    #[test]
+    fn truncated_and_trailing_input_is_rejected() {
+        assert!(u64::decode(&[1, 2, 3]).is_err());
+        assert!(f64::decode(&[0u8; 9]).is_err());
+        assert!(bool::decode(&[2]).is_err());
+        let bytes = [9u64.to_le_bytes().to_vec(), vec![0u8; 4]].concat();
+        assert!(Vec::<u64>::decode(&bytes).is_err(), "hostile length prefix");
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let v = vec![Point::single(5, 0.25), Point::single(7, 1.0 / 3.0)];
+        assert_eq!(v.to_bytes(), v.to_bytes());
+    }
+}

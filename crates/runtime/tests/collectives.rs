@@ -1,0 +1,135 @@
+//! Edge-case integration tests for the communicator backends:
+//! size-1 communicators, zero-byte payloads, non-zero collective
+//! roots, and a seeded-scheduler interleaving test for the threaded
+//! barrier.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use fupermod_platform::comm::LinkModel;
+use fupermod_runtime::{run_ranks, Communicator, ReduceOp, RuntimeConfig, RuntimeError};
+
+fn both_backends(size: usize) -> Vec<RuntimeConfig> {
+    vec![
+        RuntimeConfig::thread(),
+        RuntimeConfig::sim(size, LinkModel::ethernet()),
+    ]
+}
+
+/// Every operation must work on a communicator of one: the degenerate
+/// platform of the paper's single-device baseline.
+#[test]
+fn size_one_communicator_supports_every_operation() {
+    for config in both_backends(1) {
+        let comms = config.build(1);
+        let out = run_ranks(comms, |mut c| -> Result<(), RuntimeError> {
+            assert_eq!(c.rank(), 0);
+            assert_eq!(c.size(), 1);
+            c.barrier()?;
+            assert_eq!(c.bcast(0, Some(&7u64))?, 7);
+            assert_eq!(c.scatterv(0, Some(&[99u64]))?, 99);
+            assert_eq!(c.gatherv(0, &42u64)?, Some(vec![42]));
+            assert_eq!(c.gather_available(0, &5u64)?, Some(vec![Some(5)]));
+            assert_eq!(c.allgatherv(&1.5f64)?, vec![1.5]);
+            assert_eq!(c.allreduce(2.5, ReduceOp::Sum)?, 2.5);
+            Ok(())
+        });
+        out.into_iter().for_each(|r| r.unwrap());
+    }
+}
+
+/// Zero-byte payloads (`()` and empty vectors) must round-trip through
+/// point-to-point and collective paths on both backends.
+#[test]
+fn zero_byte_messages_round_trip() {
+    for config in both_backends(3) {
+        let comms = config.build(3);
+        let out = run_ranks(comms, |mut c| -> Result<(), RuntimeError> {
+            // p2p unit payload 0 -> 1.
+            match c.rank() {
+                0 => c.send(1, &())?,
+                1 => c.recv::<()>(0)?,
+                _ => {}
+            }
+            // Collectives over empty vectors.
+            let empty: Vec<u64> = Vec::new();
+            let got = c.bcast(0, (c.rank() == 0).then_some(&empty))?;
+            assert!(got.is_empty());
+            let parts: Option<Vec<Vec<u64>>> =
+                (c.rank() == 0).then(|| vec![Vec::new(); 3]);
+            assert!(c.scatterv(0, parts.as_deref())?.is_empty());
+            let gathered = c.allgatherv(&empty)?;
+            assert_eq!(gathered, vec![Vec::<u64>::new(); 3]);
+            Ok(())
+        });
+        out.into_iter().for_each(|r| r.unwrap());
+    }
+}
+
+/// Rooted collectives must accept any root, not just rank 0.
+#[test]
+fn collectives_accept_non_zero_roots() {
+    for config in both_backends(4) {
+        let comms = config.build(4);
+        let out = run_ranks(comms, |mut c| -> Result<(), RuntimeError> {
+            let root = 2;
+            let value = c.bcast(root, (c.rank() == root).then_some(&31u64))?;
+            assert_eq!(value, 31);
+
+            let parts: Option<Vec<u64>> =
+                (c.rank() == root).then(|| (0..4).map(|r| r * 10).collect());
+            let mine = c.scatterv(root, parts.as_deref())?;
+            assert_eq!(mine, c.rank() as u64 * 10);
+
+            let gathered = c.gatherv(root, &(c.rank() as u64 + 100))?;
+            if c.rank() == root {
+                assert_eq!(gathered, Some(vec![100, 101, 102, 103]));
+            } else {
+                assert_eq!(gathered, None);
+            }
+            Ok(())
+        });
+        out.into_iter().for_each(|r| r.unwrap());
+    }
+}
+
+/// Seeded-scheduler interleaving test for the threaded barrier: each
+/// rank perturbs its arrival time with a seeded per-rank LCG, then the
+/// ranks count generations through a shared atomic. If the
+/// sense-reversing barrier ever let a rank slip a generation, a rank
+/// would observe a counter that is not a multiple of the communicator
+/// size. Several seeds exercise different interleavings.
+#[test]
+fn threaded_barrier_survives_seeded_interleavings() {
+    const SIZE: usize = 4;
+    const GENERATIONS: usize = 25;
+    for seed in [1u64, 7, 42, 1234] {
+        let counter = AtomicUsize::new(0);
+        let comms = RuntimeConfig::thread().build(SIZE);
+        let out = run_ranks(comms, |mut c| -> Result<(), RuntimeError> {
+            // xorshift-ish LCG, deterministic per (seed, rank).
+            let mut state = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(c.rank() as u64 + 1);
+            for gen in 0..GENERATIONS {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                // 0..=127 microseconds of scheduler noise.
+                let jitter = (state >> 33) % 128;
+                std::thread::sleep(std::time::Duration::from_micros(jitter));
+                counter.fetch_add(1, Ordering::SeqCst);
+                c.barrier()?;
+                // After the barrier every rank of this generation has
+                // incremented: the counter is exactly SIZE*(gen+1).
+                assert_eq!(
+                    counter.load(Ordering::SeqCst),
+                    SIZE * (gen + 1),
+                    "seed {seed}: barrier generation leaked"
+                );
+                c.barrier()?;
+            }
+            Ok(())
+        });
+        out.into_iter().for_each(|r| r.unwrap());
+    }
+}

@@ -1,0 +1,205 @@
+//! Integration tests for the distributed dynamic-balancing executor:
+//! bit-identical parity with the serial loop, and graceful degradation
+//! under adversarial fault plans (stragglers, drops, rank death).
+
+use std::sync::Arc;
+
+use fupermod_core::dynamic::DynamicContext;
+use fupermod_core::model::{Model, PiecewiseModel};
+use fupermod_core::partition::GeometricPartitioner;
+use fupermod_core::trace::{MemorySink, TraceEvent};
+use fupermod_core::{CoreError, Point};
+use fupermod_platform::comm::LinkModel;
+use fupermod_runtime::{run_to_balance_distributed, FaultPlan, RuntimeConfig};
+
+const SPEEDS: [f64; 4] = [120.0, 40.0, 80.0, 20.0];
+
+fn measure(rank: usize, d: u64) -> Result<Point, CoreError> {
+    Ok(Point::single(d, d as f64 / SPEEDS[rank]))
+}
+
+fn make_ctx(total: u64, eps: f64, size: usize) -> DynamicContext {
+    let models: Vec<Box<dyn Model>> = (0..size)
+        .map(|_| Box::new(PiecewiseModel::new()) as Box<dyn Model>)
+        .collect();
+    DynamicContext::new(Box::new(GeometricPartitioner::default()), models, total, eps)
+}
+
+/// The acceptance criterion of the runtime subsystem: on a fault-free
+/// plan, the distributed executor absorbs exactly the same model
+/// points in the same order as the serial loop, so every step and the
+/// final distribution are **bit-identical** — on both backends.
+#[test]
+fn distributed_run_is_bit_identical_to_serial() {
+    let total = 13_777;
+    let serial_steps = make_ctx(total, 0.03, 4)
+        .run_to_balance(measure, 30)
+        .expect("serial loop");
+    let serial_sizes = {
+        let mut ctx = make_ctx(total, 0.03, 4);
+        ctx.run_to_balance(measure, 30).unwrap();
+        ctx.dist().sizes()
+    };
+
+    for config in [
+        RuntimeConfig::thread(),
+        RuntimeConfig::sim(4, LinkModel::ethernet()),
+    ] {
+        let outcome =
+            run_to_balance_distributed(config, 4, || make_ctx(total, 0.03, 4), measure, 30)
+                .expect("distributed loop");
+        assert_eq!(outcome.steps.len(), serial_steps.len());
+        for (d_step, s_step) in outcome.steps.iter().zip(&serial_steps) {
+            assert_eq!(d_step.observed.len(), s_step.observed.len());
+            for (dp, sp) in d_step.observed.iter().zip(&s_step.observed) {
+                assert_eq!(dp.d, sp.d);
+                assert_eq!(dp.t.to_bits(), sp.t.to_bits(), "times must be bit-identical");
+            }
+            assert_eq!(d_step.imbalance.to_bits(), s_step.imbalance.to_bits());
+            assert_eq!(d_step.converged, s_step.converged);
+            assert_eq!(d_step.units_moved, s_step.units_moved);
+        }
+        assert_eq!(outcome.final_sizes, serial_sizes);
+        assert!(outcome.converged());
+        assert!(outcome.dead_ranks.is_empty());
+    }
+}
+
+/// A straggler's inflated compute times must shift load away from it,
+/// and every injection must be documented by a `fault` trace event.
+#[test]
+fn straggler_is_rebalanced_away_and_traced() {
+    let plan = FaultPlan::from_json(
+        r#"{"deadline": 10.0,
+            "stragglers": [{"rank": 0, "compute_factor": 6.0, "comm_seconds": 0.0001}]}"#,
+    )
+    .unwrap();
+    let sink = Arc::new(MemorySink::new());
+
+    let baseline =
+        run_to_balance_distributed(RuntimeConfig::thread(), 4, || make_ctx(12_000, 0.05, 4), measure, 30)
+            .expect("baseline run");
+    let outcome = run_to_balance_distributed(
+        RuntimeConfig::thread().with_plan(plan).with_trace(sink.clone()),
+        4,
+        || make_ctx(12_000, 0.05, 4),
+        measure,
+        30,
+    )
+    .expect("straggler run must terminate");
+
+    // Rank 0 (nominally the fastest device) now appears 6x slower, so
+    // it must receive decidedly less than in the fault-free run.
+    assert!(
+        outcome.final_sizes[0] < baseline.final_sizes[0] / 2,
+        "straggler kept {} of baseline {}",
+        outcome.final_sizes[0],
+        baseline.final_sizes[0]
+    );
+    let straggler_events = sink
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Fault { kind, .. } if kind == "straggler"))
+        .count();
+    assert!(straggler_events > 0, "straggler injections must be traced");
+}
+
+/// Message drops with bounded retry: the run still converges to the
+/// fault-free answer, and the drops/retries are traced.
+#[test]
+fn drop_plan_retries_and_converges() {
+    let plan = FaultPlan::from_json(
+        r#"{"deadline": 10.0,
+            "drops": [{"src": 1, "every": 2, "max_retries": 5, "backoff_seconds": 0.0001}]}"#,
+    )
+    .unwrap();
+    let sink = Arc::new(MemorySink::new());
+
+    let baseline =
+        run_to_balance_distributed(RuntimeConfig::thread(), 4, || make_ctx(9_000, 0.05, 4), measure, 30)
+            .expect("baseline run");
+    let outcome = run_to_balance_distributed(
+        RuntimeConfig::thread().with_plan(plan).with_trace(sink.clone()),
+        4,
+        || make_ctx(9_000, 0.05, 4),
+        measure,
+        30,
+    )
+    .expect("dropped messages must be retried, not fatal");
+
+    // Retried messages arrive intact: identical final distribution.
+    assert_eq!(outcome.final_sizes, baseline.final_sizes);
+    assert!(outcome.converged());
+    let events = sink.events();
+    let drops = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Fault { kind, .. } if kind == "drop"))
+        .count();
+    let retries = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Fault { kind, .. } if kind == "retry"))
+        .count();
+    assert!(drops > 0, "drop injections must be traced");
+    assert_eq!(drops, retries, "every traced drop is followed by a retry");
+}
+
+/// Fail-stop rank death: the dead rank's share is repartitioned across
+/// the survivors, the outcome records the death, and the run still
+/// terminates within the deadline.
+#[test]
+fn dead_rank_is_rebalanced_across_survivors() {
+    let plan = FaultPlan::from_json(
+        r#"{"deadline": 10.0, "deaths": [{"rank": 2, "after_ops": 4}]}"#,
+    )
+    .unwrap();
+    let sink = Arc::new(MemorySink::new());
+
+    let outcome = run_to_balance_distributed(
+        RuntimeConfig::thread().with_plan(plan).with_trace(sink.clone()),
+        4,
+        || make_ctx(10_000, 0.05, 4),
+        measure,
+        30,
+    )
+    .expect("rank death must degrade, not fail the job");
+
+    assert_eq!(outcome.dead_ranks, vec![2]);
+    assert_eq!(outcome.final_sizes[2], 0, "dead rank holds no load");
+    assert_eq!(
+        outcome.final_sizes.iter().sum::<u64>(),
+        10_000,
+        "the dead rank's share is redistributed, not lost"
+    );
+    assert!(
+        outcome.rank_errors[2].is_some(),
+        "the dead rank reports its fail-stop error"
+    );
+    assert!(outcome.rank_errors.iter().enumerate().all(|(r, e)| r == 2 || e.is_none()));
+    let events = sink.events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Fault { kind, .. } if kind == "death")),
+        "the death itself is traced"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Fault { kind, peer, .. } if kind == "degraded" && *peer == 2)),
+        "the root documents the degradation"
+    );
+}
+
+/// The sim backend's virtual clocks make the whole distributed run
+/// deterministic: two identical runs produce identical outcomes.
+#[test]
+fn sim_backed_executor_is_deterministic() {
+    let run = || {
+        let config = RuntimeConfig::sim(4, LinkModel::ethernet());
+        let outcome =
+            run_to_balance_distributed(config, 4, || make_ctx(8_000, 0.05, 4), measure, 30)
+                .expect("sim run");
+        (outcome.final_sizes.clone(), outcome.steps.len())
+    };
+    assert_eq!(run(), run());
+}

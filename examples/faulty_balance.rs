@@ -1,0 +1,118 @@
+//! Dynamic balancing under injected faults: the distributed
+//! `fupermod-runtime` executor rebalances load away from a straggler
+//! and survives a fail-stop rank death.
+//!
+//! Three runs on the same four-device platform:
+//!
+//! 1. **fault-free** — the baseline distribution;
+//! 2. **straggler** — rank 0 (nominally the fastest device) computes
+//!    6x slower; the partial models observe the inflated times and the
+//!    partitioner shifts its load to the healthy ranks;
+//! 3. **death** — rank 2 fail-stops mid-run; its share is
+//!    repartitioned across the survivors and the job still converges.
+//!
+//! Every injection is documented by a schema-v2 `fault` trace event
+//! (see docs/OBSERVABILITY.md); the plans are plain JSON
+//! (see docs/RUNTIME.md).
+//!
+//! Run with: `cargo run --example faulty_balance`
+
+use std::sync::Arc;
+
+use fupermod::core::dynamic::DynamicContext;
+use fupermod::core::model::{Model, PiecewiseModel};
+use fupermod::core::partition::GeometricPartitioner;
+use fupermod::core::trace::{MemorySink, TraceEvent};
+use fupermod::core::{CoreError, Point};
+use fupermod::runtime::{
+    run_to_balance_distributed, BalanceOutcome, FaultPlan, RuntimeConfig, RuntimeError,
+};
+
+/// Synthetic device speeds, units per second.
+const SPEEDS: [f64; 4] = [150.0, 50.0, 100.0, 25.0];
+const TOTAL: u64 = 13_000;
+
+fn measure(rank: usize, d: u64) -> Result<Point, CoreError> {
+    Ok(Point::single(d, d as f64 / SPEEDS[rank]))
+}
+
+fn make_ctx() -> DynamicContext {
+    let models: Vec<Box<dyn Model>> = (0..SPEEDS.len())
+        .map(|_| Box::new(PiecewiseModel::new()) as Box<dyn Model>)
+        .collect();
+    DynamicContext::new(Box::new(GeometricPartitioner::default()), models, TOTAL, 0.05)
+}
+
+fn run(plan: FaultPlan, sink: Arc<MemorySink>) -> Result<BalanceOutcome, RuntimeError> {
+    run_to_balance_distributed(
+        RuntimeConfig::thread().with_plan(plan).with_trace(sink),
+        SPEEDS.len(),
+        make_ctx,
+        measure,
+        30,
+    )
+}
+
+fn fault_counts(sink: &MemorySink) -> Vec<(String, usize)> {
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for event in sink.events() {
+        if let TraceEvent::Fault { kind, .. } = event {
+            match counts.iter_mut().find(|(k, _)| *k == kind) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((kind, 1)),
+            }
+        }
+    }
+    counts
+}
+
+fn report(label: &str, outcome: &BalanceOutcome, sink: &MemorySink) {
+    println!(
+        "{label:<11} | steps {:>2} | converged {:<5} | sizes {:?}",
+        outcome.steps.len(),
+        outcome.converged(),
+        outcome.final_sizes
+    );
+    let faults = fault_counts(sink);
+    if faults.is_empty() {
+        println!("{:<11} |   no fault events", "");
+    } else {
+        for (kind, n) in faults {
+            println!("{:<11} |   fault `{kind}` x{n}", "");
+        }
+    }
+}
+
+fn main() -> Result<(), RuntimeError> {
+    println!("devices: {SPEEDS:?} units/s, {TOTAL} units to balance\n");
+
+    // 1. Fault-free baseline.
+    let sink = Arc::new(MemorySink::new());
+    let baseline = run(FaultPlan::none(), sink.clone())?;
+    report("fault-free", &baseline, &sink);
+
+    // 2. Rank 0 straggles: 6x slower compute.
+    let plan = FaultPlan::from_json(
+        r#"{"stragglers": [{"rank": 0, "compute_factor": 6.0}]}"#,
+    )?;
+    let sink = Arc::new(MemorySink::new());
+    let straggled = run(plan, sink.clone())?;
+    report("straggler", &straggled, &sink);
+    println!(
+        "            -> rank 0 load: {} -> {} units (rebalanced away)\n",
+        baseline.final_sizes[0], straggled.final_sizes[0]
+    );
+
+    // 3. Rank 2 fail-stops mid-run.
+    let plan = FaultPlan::from_json(r#"{"deaths": [{"rank": 2, "after_ops": 4}]}"#)?;
+    let sink = Arc::new(MemorySink::new());
+    let degraded = run(plan, sink.clone())?;
+    report("rank death", &degraded, &sink);
+    println!(
+        "            -> dead ranks {:?}; {} units redistributed to survivors",
+        degraded.dead_ranks,
+        baseline.final_sizes[2]
+    );
+    assert_eq!(degraded.final_sizes.iter().sum::<u64>(), TOTAL);
+    Ok(())
+}

@@ -20,6 +20,10 @@ run cargo bench --workspace --no-run -q "${EXTRA[@]+"${EXTRA[@]}"}"
 # are fast and worth re-running with optimisations on: release codegen
 # reorders float work more aggressively than dev profile does.
 run cargo test --release -p fupermod-kernels -q "${EXTRA[@]+"${EXTRA[@]}"}"
+# The runtime's collective/fault tests spawn one thread per rank and
+# assert on wall-clock deadlines; run them single-threaded so parallel
+# test scheduling cannot starve a rank, and bound the whole suite.
+run timeout 300 cargo test -p fupermod-runtime "${EXTRA[@]+"${EXTRA[@]}"}" -- --test-threads=1
 RUSTDOCFLAGS="-D warnings" run cargo doc --workspace --no-deps -q "${EXTRA[@]+"${EXTRA[@]}"}"
 run cargo clippy --workspace --all-targets "${EXTRA[@]+"${EXTRA[@]}"}" -- -D warnings
 

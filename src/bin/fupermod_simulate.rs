@@ -2,19 +2,26 @@
 //! simulated platform from the command line.
 //!
 //! ```text
-//! Usage: fupermod_simulate --app matmul|jacobi|heat
+//! Usage: fupermod_simulate --app matmul|jacobi|heat|balance
 //!                          [--platform NAME] [--seed S] [--size N]
 //!                          [--algorithm even|constant|geometric|numerical]
 //!                          [--parallelism N]
+//!                          [--runtime thread|sim] [--fault-plan SPEC]
 //!                          [--trace PATH [--trace-format jsonl|csv]]
-//!   --app           which application to simulate
+//!   --app           which application to simulate; `balance` runs the
+//!                   distributed dynamic-balancing loop on the runtime
 //!   --platform      uniform4 | two-speed | multicore | hybrid | grid (default: two-speed)
 //!   --seed          platform/workload seed (default: 1)
 //!   --size          problem size: matmul = blocks per side (default 128),
-//!                   jacobi/heat = rows (default 600)
+//!                   jacobi/heat = rows (default 600),
+//!                   balance = work units (default 100000)
 //!   --algorithm     partitioning algorithm (default: geometric)
 //!   --parallelism   (matmul only) model-build worker threads (default: 1
 //!                   = serial, 0 = one per core); bit-identical output
+//!   --runtime       (balance only) thread (wall clocks, default) or sim
+//!                   (deterministic Hockney virtual clocks)
+//!   --fault-plan    (balance only) inline JSON or a JSON file injecting
+//!                   delays/drops/stragglers/death (see docs/RUNTIME.md)
 //!   --trace         write a structured trace (see docs/OBSERVABILITY.md)
 //!   --trace-format  jsonl (default) or csv
 //!   --gantt yes     (matmul only) dump the Gantt-style activity CSV to stderr
@@ -131,8 +138,52 @@ fn main() {
                 println!("final row distribution: {:?}", last.sizes);
             }
         }
+        "balance" => {
+            use fupermod::core::dynamic::DynamicContext;
+            use fupermod::core::model::PiecewiseModel;
+            use fupermod::runtime::run_to_balance_distributed;
+
+            let total: u64 = get("size", "100000").parse().expect("size must be an integer");
+            let profile = WorkloadProfile::matrix_update(16);
+            let config = cli::runtime_config(&args, &platform, sink.as_ref());
+            let size = platform.size();
+            let outcome = run_to_balance_distributed(
+                config,
+                size,
+                || {
+                    let models: Vec<Box<dyn Model>> = (0..size)
+                        .map(|_| Box::new(PiecewiseModel::new()) as Box<dyn Model>)
+                        .collect();
+                    DynamicContext::new(cli::pick_partitioner(&algorithm), models, total, 0.05)
+                },
+                |rank, d| {
+                    fupermod::apps::matmul::measure_device_point(
+                        &platform,
+                        rank,
+                        &profile,
+                        d,
+                        &fupermod::core::Precision::quick(),
+                    )
+                },
+                25,
+            )
+            .expect("distributed balance run failed");
+            println!("platform: {}", platform.name());
+            println!(
+                "converged: {} in {} steps",
+                outcome.converged(),
+                outcome.steps.len()
+            );
+            if let Some(last) = outcome.steps.last() {
+                println!("final imbalance: {:.4}", last.imbalance);
+            }
+            println!("final distribution: {:?}", outcome.final_sizes);
+            if !outcome.dead_ranks.is_empty() {
+                println!("dead ranks: {:?}", outcome.dead_ranks);
+            }
+        }
         other => {
-            eprintln!("--app must be matmul, jacobi or heat (got '{other}')");
+            eprintln!("--app must be matmul, jacobi, heat or balance (got '{other}')");
             std::process::exit(2);
         }
     }

@@ -12,6 +12,7 @@ use fupermod_core::partition::{
 };
 use fupermod_core::trace::{metrics, CsvSink, JsonlSink, TraceSink};
 use fupermod_platform::Platform;
+use fupermod_runtime::{FaultPlan, RuntimeConfig};
 
 /// Parses `--flag value` pairs from the process arguments into a map
 /// (keys without the leading `--`). Exits with status 2 on a flag
@@ -75,6 +76,52 @@ pub fn parallelism(args: &HashMap<String, String>) -> usize {
             std::process::exit(2);
         }),
         None => 1,
+    }
+}
+
+/// Parses the `--fault-plan SPEC` flag into a [`FaultPlan`]: inline
+/// JSON when SPEC starts with `{`, otherwise a path to a JSON file
+/// (schema in `docs/RUNTIME.md`). Returns the empty plan when the flag
+/// is absent; exits with status 2 on an invalid plan.
+pub fn fault_plan(args: &HashMap<String, String>) -> FaultPlan {
+    match args.get("fault-plan") {
+        None => FaultPlan::none(),
+        Some(spec) => {
+            let parsed = if spec.trim_start().starts_with('{') {
+                FaultPlan::from_json(spec)
+            } else {
+                FaultPlan::from_json_file(std::path::Path::new(spec))
+            };
+            parsed.unwrap_or_else(|e| {
+                eprintln!("invalid --fault-plan: {e}");
+                std::process::exit(2);
+            })
+        }
+    }
+}
+
+/// Builds the runtime configuration selected by `--runtime thread|sim`
+/// (default `thread`) for a distributed run on `platform`, applying
+/// [`fault_plan`] and routing runtime `comm`/`fault` trace events to
+/// `sink` when given. Exits with status 2 on an unknown backend.
+pub fn runtime_config(
+    args: &HashMap<String, String>,
+    platform: &Platform,
+    sink: Option<&Arc<dyn TraceSink>>,
+) -> RuntimeConfig {
+    let backend = args.get("runtime").map(String::as_str).unwrap_or("thread");
+    let config = match backend {
+        "thread" => RuntimeConfig::thread(),
+        "sim" => RuntimeConfig::sim(platform.size(), platform.link()),
+        other => {
+            eprintln!("--runtime must be thread or sim (got '{other}')");
+            std::process::exit(2);
+        }
+    };
+    let config = config.with_plan(fault_plan(args));
+    match sink {
+        Some(sink) => config.with_trace(sink.clone()),
+        None => config,
     }
 }
 

@@ -17,6 +17,7 @@
 //! | [`platform`] | `fupermod-platform` | simulated devices, workload profiles, communicators |
 //! | [`kernels`] | `fupermod-kernels` | GEMM, Jacobi sweep, synthetic kernels |
 //! | [`core`] | `fupermod-core` | benchmarking, performance models, partitioning |
+//! | [`runtime`] | `fupermod-runtime` | rank-based message-passing runtime, fault injection, distributed balancing |
 //! | [`apps`] | `fupermod-apps` | matrix multiplication and Jacobi use cases |
 //!
 //! The [`cli`] module holds the flag parsing and `--trace` sink wiring
@@ -64,3 +65,4 @@ pub use fupermod_core as core;
 pub use fupermod_kernels as kernels;
 pub use fupermod_num as num;
 pub use fupermod_platform as platform;
+pub use fupermod_runtime as runtime;
