@@ -17,7 +17,8 @@
 //! distributed message-passing executor (`fupermod-runtime`) instead of
 //! the serial in-process loop — bit-identical results on a fault-free
 //! plan; `--fault-plan SPEC` (inline JSON or a file, see
-//! docs/RUNTIME.md) injects faults.
+//! docs/RUNTIME.md) injects faults and `--collectives hub|ring|tree|auto`
+//! selects the collective schedules (docs/RUNTIME.md §6).
 
 use fupermod_bench::{
     evaluate_partitioner, finish_experiment_trace, ground_truth_imbalance, ground_truth_times,

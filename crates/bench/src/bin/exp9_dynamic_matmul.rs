@@ -15,7 +15,9 @@
 //! With `--runtime thread|sim` the dynamic-estimation leg runs through
 //! the distributed message-passing executor (`fupermod-runtime`) —
 //! bit-identical results on a fault-free plan; `--fault-plan SPEC`
-//! (inline JSON or a file, see docs/RUNTIME.md) injects faults.
+//! (inline JSON or a file, see docs/RUNTIME.md) injects faults and
+//! `--collectives hub|ring|tree|auto` selects the collective schedules
+//! (docs/RUNTIME.md §6).
 
 use fupermod_apps::matmul::{partition_areas, simulate, MatMulConfig};
 use fupermod_bench::{

@@ -267,11 +267,27 @@ pub fn fault_plan_from_args() -> fupermod_runtime::FaultPlan {
     }
 }
 
+/// Parses `--collectives hub|ring|tree|auto` into an
+/// [`fupermod_runtime::AlgorithmPolicy`] (default `hub`, the
+/// compatibility schedule; see `docs/RUNTIME.md` §6). Exits with
+/// status 2 on an unknown spelling.
+pub fn collectives_from_args() -> fupermod_runtime::AlgorithmPolicy {
+    use fupermod_runtime::AlgorithmPolicy;
+    match flag_value("--collectives") {
+        None => AlgorithmPolicy::default(),
+        Some(s) => AlgorithmPolicy::parse(&s).unwrap_or_else(|| {
+            eprintln!("--collectives must be hub, ring, tree or auto (got '{s}')");
+            std::process::exit(2);
+        }),
+    }
+}
+
 /// Builds the runtime configuration selected by `--runtime thread|sim`
 /// for a distributed dynamic run on `platform`, applying `--fault-plan`
-/// and routing runtime trace events to `trace` when given. Returns
-/// `None` when `--runtime` is absent or `serial` (the classic
-/// in-process loop); exits with status 2 on an unknown backend.
+/// and the `--collectives` algorithm policy, and routing runtime trace
+/// events to `trace` when given. Returns `None` when `--runtime` is
+/// absent or `serial` (the classic in-process loop); exits with status
+/// 2 on an unknown backend.
 pub fn runtime_from_args(
     platform: &Platform,
     trace: Option<&Arc<dyn TraceSink>>,
@@ -287,7 +303,9 @@ pub fn runtime_from_args(
             std::process::exit(2);
         }
     };
-    let config = config.with_plan(fault_plan_from_args());
+    let config = config
+        .with_plan(fault_plan_from_args())
+        .with_algorithms(collectives_from_args());
     Some(match trace {
         Some(sink) => config.with_trace(sink.clone()),
         None => config,

@@ -137,6 +137,14 @@ pub enum TraceEvent {
         bytes: u64,
         /// Wall (or virtual) seconds the operation took on this rank.
         seconds: f64,
+        /// Collective schedule that carried the operation: `hub`,
+        /// `ring`, `tree`, or `direct` for point-to-point traffic.
+        /// Empty string when unknown (pre-addendum traces).
+        algorithm: String,
+        /// Communication rounds the schedule used (`1` for
+        /// point-to-point, `0` for degenerate single-rank
+        /// collectives or unknown/pre-addendum traces).
+        rounds: u64,
     },
     /// A fault was injected or observed by the runtime (schema v2).
     Fault {
@@ -248,12 +256,16 @@ impl TraceEvent {
                 peer,
                 bytes,
                 seconds,
+                algorithm,
+                rounds,
             } => {
                 push_num(&mut s, "rank", *rank as f64);
                 push_str(&mut s, "op", op);
                 push_num(&mut s, "peer", *peer as f64);
                 push_num(&mut s, "bytes", *bytes as f64);
                 push_float(&mut s, "seconds", *seconds);
+                push_str(&mut s, "algorithm", algorithm);
+                push_num(&mut s, "rounds", *rounds as f64);
             }
             TraceEvent::Fault {
                 rank,
@@ -358,6 +370,12 @@ impl TraceEvent {
                 peer: num("peer")? as i64,
                 bytes: num("bytes")? as u64,
                 seconds: num("seconds")?,
+                // The `algorithm`/`rounds` fields are a schema-v2
+                // addendum (PR 4); traces written before it simply
+                // lack them. Decode those as "unknown" rather than
+                // rejecting the line.
+                algorithm: text("algorithm").unwrap_or_default(),
+                rounds: num("rounds").map(|r| r as u64).unwrap_or(0),
             }),
             "fault" => Ok(TraceEvent::Fault {
                 rank: num("rank")? as usize,
@@ -375,8 +393,8 @@ impl TraceEvent {
         // Columns: event,iter,rank,d,rep,reps,time,mean,stderr,ci_rel,
         //          elapsed,outliers_rejected,t,points,imbalance,
         //          units_moved,steps,dist,op,kind,peer,bytes,seconds,
-        //          attempt
-        let mut c: [String; 24] = Default::default();
+        //          attempt,algorithm,rounds
+        let mut c: [String; 26] = Default::default();
         c[0] = self.name().to_owned();
         match self {
             TraceEvent::BenchmarkSample {
@@ -447,12 +465,16 @@ impl TraceEvent {
                 peer,
                 bytes,
                 seconds,
+                algorithm,
+                rounds,
             } => {
                 c[2] = rank.to_string();
                 c[18] = op.clone();
                 c[20] = peer.to_string();
                 c[21] = bytes.to_string();
                 c[22] = fmt_float(*seconds);
+                c[24] = algorithm.clone();
+                c[25] = rounds.to_string();
             }
             TraceEvent::Fault {
                 rank,
@@ -474,11 +496,14 @@ impl TraceEvent {
 
 /// Column header row of the CSV encoding (preceded in files by the
 /// `# fupermod-trace schema=2` comment line). The six trailing
-/// columns (`op..attempt`) are the schema-v2 additions for the
-/// `comm`/`fault` events.
+/// columns starting at `op` (`op..attempt`) are the schema-v2
+/// additions for the `comm`/`fault` events; `algorithm,rounds` are
+/// the schema-v2 *addendum* columns describing the collective
+/// schedule a `comm` event used (empty/`0` for pre-addendum rows and
+/// non-`comm` events).
 pub const CSV_HEADER: &str = "event,iter,rank,d,rep,reps,time,mean,stderr,ci_rel,\
 elapsed,outliers_rejected,t,points,imbalance,units_moved,steps,dist,\
-op,kind,peer,bytes,seconds,attempt";
+op,kind,peer,bytes,seconds,attempt,algorithm,rounds";
 
 /// Formats a float for both encodings: shortest round-trip via Rust's
 /// `Display`, with non-finite values mapped to `null`-compatible text.
@@ -1114,6 +1139,8 @@ mod tests {
                 peer: -1,
                 bytes: 4096,
                 seconds: 0.0031,
+                algorithm: "ring".to_owned(),
+                rounds: 3,
             },
             TraceEvent::Fault {
                 rank: 1,
@@ -1148,9 +1175,30 @@ mod tests {
     }
 
     #[test]
+    fn pre_addendum_comm_lines_decode_with_unknown_schedule() {
+        // Traces written before the `algorithm`/`rounds` addendum
+        // carry neither field; they must still decode (as "unknown").
+        let line = "{\"event\":\"comm\",\"rank\":2,\"op\":\"allgatherv\",\
+                    \"peer\":-1,\"bytes\":4096,\"seconds\":0.0031}";
+        let back = TraceEvent::from_jsonl(line).unwrap();
+        assert_eq!(
+            back,
+            TraceEvent::Comm {
+                rank: 2,
+                op: "allgatherv".to_owned(),
+                peer: -1,
+                bytes: 4096,
+                seconds: 0.0031,
+                algorithm: String::new(),
+                rounds: 0,
+            }
+        );
+    }
+
+    #[test]
     fn csv_rows_have_stable_column_count() {
         let n_cols = CSV_HEADER.split(',').count();
-        assert_eq!(n_cols, 24);
+        assert_eq!(n_cols, 26);
         for event in sample_events() {
             let row = event.to_csv_row();
             assert_eq!(

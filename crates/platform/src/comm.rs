@@ -513,6 +513,63 @@ impl SimComm {
         self.bcast(0, bytes);
     }
 
+    /// Charges an explicit per-hop collective schedule: `rounds` is a
+    /// sequence of rounds, each a list of `(src, dst, bytes)` hops.
+    ///
+    /// Port model (single-port, full-duplex): within one round, every
+    /// rank owns an independent send port and receive port; a hop
+    /// occupies `src`'s send port and `dst`'s receive port for the
+    /// link cost `α + m/β`, and hops sharing a port serialise in list
+    /// order (this is what makes a star fan-in/fan-out pay its `O(p)`
+    /// serialisation at the hub while disjoint ring/tree hops proceed
+    /// concurrently). A pairwise exchange — `(a, b, m)` and
+    /// `(b, a, m)` in the same round — costs one link cost, not two,
+    /// because the two transfers use opposite ports.
+    ///
+    /// Hops within one round must be data-independent: a rank may
+    /// only forward bytes it already held when the round began.
+    /// Transfers that depend on an earlier hop belong in a later
+    /// round (the caller's schedule builders guarantee this). Clocks
+    /// advance at end of round, so later rounds see the dependency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::SizeMismatch`] if a hop names a rank
+    /// outside the communicator or a self-loop (`src == dst`).
+    pub fn schedule(&mut self, rounds: &[Vec<(usize, usize, f64)>]) -> Result<(), PlatformError> {
+        let p = self.size();
+        for round in rounds {
+            for &(src, dst, _) in round {
+                if src >= p || dst >= p || src == dst {
+                    return Err(PlatformError::SizeMismatch {
+                        op: "schedule",
+                        expected: p,
+                        got: src.max(dst),
+                    });
+                }
+            }
+            let mut send_busy = self.clocks.clone();
+            let mut recv_busy = self.clocks.clone();
+            for &(src, dst, bytes) in round {
+                let cost = self.topo.link(src, dst).cost(bytes);
+                let begin = send_busy[src].max(recv_busy[dst]);
+                let end = begin + cost;
+                send_busy[src] = end;
+                recv_busy[dst] = end;
+            }
+            for r in 0..p {
+                let after = send_busy[r].max(recv_busy[r]);
+                if after > self.clocks[r] {
+                    let before = self.clocks[r];
+                    self.comm_seconds += after - before;
+                    self.clocks[r] = after;
+                    self.note(r, before, after, Activity::Communication);
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Moves computation units between ranks to turn distribution `old`
     /// into `new`, with each unit weighing `bytes_per_unit` bytes.
     /// Surpluses are matched to deficits in rank order (the same greedy
@@ -883,6 +940,56 @@ mod tests {
         for r in 0..3 {
             assert_eq!(c.time(r), 5.0);
         }
+    }
+
+    #[test]
+    fn schedule_serialises_shared_ports_and_overlaps_disjoint_hops() {
+        let link = LinkModel {
+            latency_sec: 1.0,
+            bytes_per_sec: f64::INFINITY,
+        };
+        // Star fan-in: three hops into rank 0's receive port serialise.
+        let mut c = SimComm::new(4, link);
+        c.schedule(&[vec![(1, 0, 0.0), (2, 0, 0.0), (3, 0, 0.0)]])
+            .unwrap();
+        assert_eq!(c.time(0), 3.0, "hub receive port serialises");
+        // Ring round: disjoint pairs proceed concurrently; a pairwise
+        // exchange costs one link cost, not two.
+        let mut c = SimComm::new(4, link);
+        c.schedule(&[vec![(0, 1, 0.0), (1, 2, 0.0), (2, 3, 0.0), (3, 0, 0.0)]])
+            .unwrap();
+        for r in 0..4 {
+            assert_eq!(c.time(r), 1.0, "pipelined ring round costs one hop");
+        }
+        let mut c = SimComm::new(2, link);
+        c.schedule(&[vec![(0, 1, 0.0), (1, 0, 0.0)]]).unwrap();
+        assert_eq!(c.max_time(), 1.0, "full-duplex exchange");
+        // Rounds sequence: clocks advance between rounds.
+        let mut c = SimComm::new(2, link);
+        c.schedule(&[vec![(0, 1, 0.0)], vec![(1, 0, 0.0)]]).unwrap();
+        assert_eq!(c.time(0), 2.0);
+        // Invalid hops are rejected.
+        let mut c = SimComm::new(2, link);
+        assert!(c.schedule(&[vec![(0, 2, 0.0)]]).is_err());
+        assert!(c.schedule(&[vec![(1, 1, 0.0)]]).is_err());
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_tracks_comm_seconds() {
+        let run = || {
+            let mut c = SimComm::new(8, LinkModel::ethernet());
+            c.advance(3, 1e-3);
+            let rounds: Vec<Vec<(usize, usize, f64)>> = (0..7)
+                .map(|k| (0..8).map(|i| (i, (i + 1) % 8, 100.0 + k as f64)).collect())
+                .collect();
+            c.schedule(&rounds).unwrap();
+            (c.max_time(), c.comm_seconds())
+        };
+        let (t1, s1) = run();
+        let (t2, s2) = run();
+        assert!(t1 > 0.0 && s1 > 0.0);
+        assert_eq!(t1.to_bits(), t2.to_bits());
+        assert_eq!(s1.to_bits(), s2.to_bits());
     }
 
     #[test]

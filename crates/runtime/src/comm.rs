@@ -22,6 +22,35 @@
 //! commute, so p2p phases that only use disjoint pairs (or that are
 //! separated by barriers) stay deterministic too.
 //!
+//! # Collective algorithms
+//!
+//! Every collective is carried by a schedule chosen by the
+//! [`AlgorithmPolicy`] on [`RuntimeConfig`] (`hub | ring | tree |
+//! auto`, see [`crate::collective`]): the star through one rank that
+//! the original runtime hard-wired, a pipelined nearest-neighbour
+//! ring, or a binomial tree / recursive-doubling butterfly. The data
+//! plane executes the schedule's hops against real mailboxes and the
+//! sim backend replays the *same* hop plan through
+//! [`SimComm::schedule`], so virtual clocks pay the actual per-round
+//! cost — the hub's `O(p·m)` serialisation at one rank versus the
+//! tree's `O(log p)` rounds. Results are **bitwise identical across
+//! schedules** on fault-free plans: `allreduce` always folds raw
+//! contributions in pinned ascending rank order, and all other
+//! collectives move opaque encoded payloads.
+//!
+//! Schedules are built over the **agreed membership**: the live-rank
+//! list recorded by the completer of the last barrier generation
+//! (`PlaneState::agreed_alive`, internal), which is identical on every
+//! rank — no extra agreement round is needed because every collective
+//! already ends in a barrier. Deaths settled before the agreement are
+//! excluded from the schedule on all ranks consistently; deaths that
+//! land *mid-operation* degrade individual edges of the fixed
+//! structure (`None` slots downstream) instead of re-shaping it
+//! divergently. Rootless collectives therefore no longer die with
+//! rank 0: the hub schedule routes through the lowest agreed-live
+//! rank and the ring/tree schedules have no hub at all (see
+//! [`Communicator::allgatherv_available`]).
+//!
 //! # Faults and deadlines
 //!
 //! A [`FaultPlan`] injects message delays, counted
@@ -41,6 +70,7 @@ use std::time::{Duration, Instant};
 use fupermod_core::trace::{null_sink, TraceEvent, TraceSink};
 use fupermod_platform::comm::{LinkModel, SimComm, Topology};
 
+use crate::collective::{self, AlgorithmPolicy, Resolved, Rounds};
 use crate::error::RuntimeError;
 use crate::fault::FaultPlan;
 use crate::wire::Wire;
@@ -163,13 +193,33 @@ pub trait Communicator {
     ) -> Result<Option<Vec<Option<T>>>, RuntimeError>;
 
     /// All ranks contribute one value and receive everyone's, in rank
-    /// order. Requires rank 0 (the hub) alive; strict like
-    /// [`Communicator::gatherv`].
+    /// order. Strict like [`Communicator::gatherv`]: a dead or lost
+    /// contribution is an error (use
+    /// [`Communicator::allgatherv_available`] to degrade gracefully).
     ///
     /// # Errors
     ///
-    /// As [`Communicator::gatherv`] plus hub-death errors.
+    /// As [`Communicator::gatherv`]; under the `hub` schedule the
+    /// death of the hub (lowest agreed-live rank) is additionally fatal —
+    /// the `ring`/`tree` schedules have no such single point of
+    /// failure.
     fn allgatherv<T: Wire>(&mut self, value: &T) -> Result<Vec<T>, RuntimeError>;
+
+    /// Fault-tolerant all-gather: like [`Communicator::allgatherv`]
+    /// but a dead rank (or a contribution lost to one mid-schedule)
+    /// yields `None` in its slot instead of an error — the rootless
+    /// counterpart of [`Communicator::gather_available`]. Under the
+    /// `ring`/`tree` schedules this is what makes a non-root death
+    /// survivable for rootless collectives.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Timeout`] / [`RuntimeError::RankDead`] for
+    /// failures of the caller itself.
+    fn allgatherv_available<T: Wire>(
+        &mut self,
+        value: &T,
+    ) -> Result<Vec<Option<T>>, RuntimeError>;
 
     /// Reduces one `f64` per live rank with `op`; every live rank
     /// receives the result. Dead ranks' contributions are omitted.
@@ -200,6 +250,7 @@ pub struct RuntimeConfig {
     plan: FaultPlan,
     sink: Arc<dyn TraceSink>,
     sim: Option<Topology>,
+    algorithms: AlgorithmPolicy,
 }
 
 impl std::fmt::Debug for RuntimeConfig {
@@ -207,6 +258,7 @@ impl std::fmt::Debug for RuntimeConfig {
         f.debug_struct("RuntimeConfig")
             .field("plan", &self.plan)
             .field("sim", &self.sim.is_some())
+            .field("algorithms", &self.algorithms)
             .finish_non_exhaustive()
     }
 }
@@ -218,6 +270,7 @@ impl RuntimeConfig {
             plan: FaultPlan::none(),
             sink: Arc::new(*null_sink()),
             sim: None,
+            algorithms: AlgorithmPolicy::default(),
         }
     }
 
@@ -232,6 +285,7 @@ impl RuntimeConfig {
             plan: FaultPlan::none(),
             sink: Arc::new(*null_sink()),
             sim: Some(topo),
+            algorithms: AlgorithmPolicy::default(),
         }
     }
 
@@ -246,6 +300,15 @@ impl RuntimeConfig {
     #[must_use]
     pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
         self.sink = sink;
+        self
+    }
+
+    /// Selects the collective schedules (CLI: `--collectives`).
+    /// Defaults to [`AlgorithmPolicy::hub`], the pre-existing
+    /// behaviour.
+    #[must_use]
+    pub fn with_algorithms(mut self, algorithms: AlgorithmPolicy) -> Self {
+        self.algorithms = algorithms;
         self
     }
 
@@ -285,6 +348,7 @@ impl RuntimeConfig {
             state: Mutex::new(PlaneState {
                 mail: (0..size).map(|_| VecDeque::new()).collect(),
                 dead: vec![false; size],
+                agreed_alive: vec![true; size],
                 arrived: 0,
                 generation: 0,
                 pending_charge: None,
@@ -303,6 +367,7 @@ impl RuntimeConfig {
             deadline: Duration::from_secs_f64(deadline),
             deadline_secs: deadline,
             sink: self.sink,
+            policy: self.algorithms,
         });
         let comms = (0..size)
             .map(|rank| ThreadedComm {
@@ -379,19 +444,41 @@ struct Envelope {
 }
 
 /// A virtual-time charge for one collective, deposited by its root
-/// and applied atomically by the closing barrier's completer.
-enum Charge {
-    Barrier,
-    Bcast { root: usize, bytes: f64 },
-    Scatterv { root: usize, bytes: Vec<f64> },
-    Gatherv { root: usize, bytes: Vec<f64> },
-    Allgatherv { bytes: Vec<f64> },
-    Allreduce { bytes: f64 },
+/// (or the lowest agreed-live rank for rootless schedules) and applied
+/// atomically by the closing barrier's completer. Since PR 4 a charge
+/// *is* the collective's hop schedule — the exact `(src, dst, bytes)`
+/// rounds the data plane executed — replayed through
+/// [`SimComm::schedule`], so the Hockney clocks pay the real per-hop,
+/// per-round cost of the chosen algorithm (a hub star serialises at
+/// its root's ports; a ring pipelines; a tree finishes in
+/// `O(log p)` rounds).
+struct Charge {
+    rounds: Vec<Vec<(usize, usize, f64)>>,
+}
+
+/// Converts a pure [`collective`] schedule into a deposit-ready
+/// charge.
+fn charge_of(rounds: &Rounds) -> Charge {
+    Charge {
+        rounds: rounds
+            .iter()
+            .map(|r| r.iter().map(|&(s, d, b)| (s, d, b as f64)).collect())
+            .collect(),
+    }
 }
 
 struct PlaneState {
     mail: Vec<VecDeque<Envelope>>,
     dead: Vec<bool>,
+    /// The membership recorded by the completer of the last barrier
+    /// generation, under the lock — identical for every rank of the
+    /// following generation. Collective schedules are built over
+    /// exactly this set, so a death that *settled* at a barrier
+    /// re-shapes every schedule consistently (no lost ring/tree hops
+    /// through the hole), while a death landing mid-operation only
+    /// degrades edges of the already-agreed structure (no divergent
+    /// snapshots, no stray mailbox traffic).
+    agreed_alive: Vec<bool>,
     arrived: usize,
     generation: u64,
     pending_charge: Option<Charge>,
@@ -416,6 +503,7 @@ struct Plane {
     deadline: Duration,
     deadline_secs: f64,
     sink: Arc<dyn TraceSink>,
+    policy: AlgorithmPolicy,
 }
 
 impl Plane {
@@ -439,10 +527,17 @@ impl Plane {
     fn complete_generation(&self, st: &mut PlaneState) {
         st.arrived = 0;
         st.generation = st.generation.wrapping_add(1);
+        // One write, under the lock, by the single completing rank:
+        // the membership agreement every schedule of the next
+        // generation is built from.
+        for (agreed, &dead) in st.agreed_alive.iter_mut().zip(&st.dead) {
+            *agreed = !dead;
+        }
         if let Some(charge) = st.pending_charge.take() {
             if let Some(sim) = &self.sim {
                 let mut sim = sim.lock().expect("sim poisoned");
-                apply_charge(&mut sim, &charge);
+                sim.schedule(&charge.rounds)
+                    .expect("schedule hops use valid distinct ranks by construction");
             }
         }
         self.cv.notify_all();
@@ -486,23 +581,6 @@ impl Plane {
         self.sim
             .as_ref()
             .map_or(0.0, |s| s.lock().expect("sim poisoned").time(rank))
-    }
-}
-
-fn apply_charge(sim: &mut SimComm, charge: &Charge) {
-    match charge {
-        Charge::Barrier => sim.barrier(),
-        Charge::Bcast { root, bytes } => sim.bcast(*root, *bytes),
-        Charge::Scatterv { root, bytes } => sim
-            .scatterv(*root, bytes)
-            .expect("charge arity is communicator-sized by construction"),
-        Charge::Gatherv { root, bytes } => sim
-            .gatherv(*root, bytes)
-            .expect("charge arity is communicator-sized by construction"),
-        Charge::Allgatherv { bytes } => sim
-            .allgatherv(bytes)
-            .expect("charge arity is communicator-sized by construction"),
-        Charge::Allreduce { bytes } => sim.allreduce(*bytes),
     }
 }
 
@@ -594,8 +672,18 @@ impl ThreadedComm {
         })
     }
 
-    /// Common op epilogue: emits the schema-v2 `comm` trace event.
-    fn op_end(&self, op: &'static str, peer: i64, bytes: u64, start: &OpStart) {
+    /// Common op epilogue: emits the schema-v2 `comm` trace event
+    /// (with the addendum `algorithm`/`rounds` fields describing the
+    /// schedule that carried the operation).
+    fn op_end(
+        &self,
+        op: &'static str,
+        peer: i64,
+        bytes: u64,
+        start: &OpStart,
+        algorithm: &str,
+        rounds: u64,
+    ) {
         let seconds = match self.plane.mode {
             ClockMode::Wall => start.wall.elapsed().as_secs_f64(),
             ClockMode::Sim => self.plane.virtual_time_of(self.rank) - start.virt,
@@ -606,6 +694,8 @@ impl ThreadedComm {
             peer,
             bytes,
             seconds,
+            algorithm: algorithm.to_owned(),
+            rounds,
         });
     }
 
@@ -822,8 +912,8 @@ impl ThreadedComm {
         &self,
         op: &'static str,
         own: &[u8],
-    ) -> Result<Vec<Option<Vec<u8>>>, RuntimeError> {
-        let mut slots: Vec<Option<Vec<u8>>> = Vec::with_capacity(self.plane.size);
+    ) -> Result<Slots, RuntimeError> {
+        let mut slots: Slots = Vec::with_capacity(self.plane.size);
         for src in 0..self.plane.size {
             if src == self.rank {
                 slots.push(Some(own.to_vec()));
@@ -836,6 +926,409 @@ impl ThreadedComm {
             }
         }
         Ok(slots)
+    }
+
+    /// Collective epilogue: every rank that passed `op_begin` arrives
+    /// at the closing barrier exactly once — *even when its data
+    /// phase failed* — so a mid-collective error on one rank cannot
+    /// leave the others' barrier generation short (they would
+    /// otherwise stall until the deadline fail-stops someone). A
+    /// data-phase error takes precedence over a barrier error.
+    fn close_op<T>(
+        &self,
+        op: &'static str,
+        outcome: Result<T, RuntimeError>,
+    ) -> Result<T, RuntimeError> {
+        let fence = self.raw_barrier(op, None);
+        match outcome {
+            Err(e) => Err(e),
+            Ok(v) => fence.map(|()| v),
+        }
+    }
+
+    /// Deposits a virtual-time charge for the closing barrier's
+    /// completer to apply (no-op on the wall-clock backend).
+    fn deposit(&self, charge: Charge) {
+        if self.plane.sim.is_some() {
+            let mut st = self.plane.lock();
+            st.pending_charge = Some(charge);
+        }
+    }
+
+    /// Sends a schedule-internal message, tolerating a dead receiver
+    /// (its edge of the schedule simply drops).
+    fn send_tolerant(
+        &self,
+        op: &'static str,
+        dst: usize,
+        bytes: Vec<u8>,
+    ) -> Result<(), RuntimeError> {
+        match self.raw_send(op, dst, bytes) {
+            Ok(()) => Ok(()),
+            Err(RuntimeError::RankDead { rank, .. }) if rank == dst => Ok(()),
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Receives a schedule-internal message, mapping a dead sender to
+    /// `None` (the data that edge carried is lost; the schedule
+    /// degrades instead of erroring).
+    fn recv_tolerant(
+        &self,
+        op: &'static str,
+        src: usize,
+    ) -> Result<Option<Vec<u8>>, RuntimeError> {
+        match self.raw_recv(op, src, false) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(RuntimeError::RankDead { rank, .. }) if rank == src => Ok(None),
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Folds gathered raw contributions **left-associated, in
+    /// ascending rank order, skipping dead (`None`) slots** — the
+    /// pinned reduction order every `allreduce` schedule shares, so
+    /// hub, ring and tree results stay bitwise identical (float
+    /// reduction is not associative).
+    fn fold_slots(
+        op_tag: &'static str,
+        slots: &Slots,
+        rop: ReduceOp,
+    ) -> Result<f64, RuntimeError> {
+        let mut acc: Option<f64> = None;
+        for slot in slots.iter().flatten() {
+            let x = Self::decode_as::<f64>(op_tag, slot)?;
+            acc = Some(match acc {
+                None => x,
+                Some(a) => rop.fold(a, x),
+            });
+        }
+        acc.ok_or(RuntimeError::NoContributions { op: op_tag })
+    }
+
+    /// The rank list every schedule of the current barrier generation
+    /// is built over: the membership recorded at the last completed
+    /// generation (see [`PlaneState::agreed_alive`]). Ascending, and
+    /// identical on every rank of the generation — deaths that land
+    /// *after* the agreement degrade edges of this fixed structure
+    /// instead of re-shaping it divergently.
+    fn agreed_live(&self) -> Vec<usize> {
+        let st = self.plane.lock();
+        Self::live_list(&st.agreed_alive)
+    }
+
+    /// Position of this rank in the agreed live list. A rank that
+    /// reaches a collective data phase passed its `op_begin` liveness
+    /// check, and fail-stop death is permanent, so it was alive at
+    /// every earlier agreement point.
+    fn agreed_pos(&self, op: &'static str, live: &[usize]) -> Result<usize, RuntimeError> {
+        live.iter()
+            .position(|&r| r == self.rank)
+            .ok_or(RuntimeError::RankDead {
+                op,
+                rank: self.rank,
+            })
+    }
+
+    /// Absolute rank of binomial virtual index `vi` over the agreed
+    /// live list with the root at position `vroot`.
+    fn pos_to_abs(live: &[usize], vroot: usize, vi: usize) -> usize {
+        live[(vi + vroot) % live.len()]
+    }
+
+    /// Live ranks of a snapshot, ascending (used to build charges
+    /// that skip dead edges).
+    fn live_list(alive: &[bool]) -> Vec<usize> {
+        alive
+            .iter()
+            .enumerate()
+            .filter_map(|(r, &a)| a.then_some(r))
+            .collect()
+    }
+
+    /// Tree broadcast data phase: the blob flows root-outward along
+    /// the binomial tree, `Option`-framed so an upstream death
+    /// propagates as an explicit `None` in one hop per level instead
+    /// of cascading deadline fail-stops through the subtree.
+    /// Returns `(blob, framed message length)`; `None` means the
+    /// value never reached this rank.
+    fn bcast_tree_data(
+        &mut self,
+        op: &'static str,
+        root: usize,
+        own: Option<Vec<u8>>,
+    ) -> Result<(Option<Vec<u8>>, u64), RuntimeError> {
+        let live = self.agreed_live();
+        let q = live.len();
+        // A root that died before the agreement is consistently
+        // unreachable for every remaining rank.
+        let Some(vroot) = live.iter().position(|&r| r == root) else {
+            return Err(RuntimeError::RankDead { op, rank: root });
+        };
+        let pos = self.agreed_pos(op, &live)?;
+        let vi = (pos + q - vroot) % q;
+        let framed: Option<Vec<u8>> = if vi == 0 {
+            own
+        } else {
+            let parent_abs = Self::pos_to_abs(
+                &live,
+                vroot,
+                collective::binomial_parent(vi).expect("vi > 0 has a parent"),
+            );
+            match self.recv_tolerant(op, parent_abs)? {
+                Some(bytes) => Self::decode_as::<Option<Vec<u8>>>(op, &bytes)?,
+                None => None,
+            }
+        };
+        let msg = framed.to_bytes();
+        for (_, child_vi) in collective::binomial_children(vi, q) {
+            let child_abs = Self::pos_to_abs(&live, vroot, child_vi);
+            self.send_tolerant(op, child_abs, msg.clone())?;
+        }
+        if vi == 0 {
+            self.deposit(charge_of(&collective::bcast_rounds(
+                &live,
+                vroot,
+                msg.len() as u64,
+            )));
+        }
+        Ok((framed, msg.len() as u64))
+    }
+
+    /// Rootless all-gather core: returns the per-rank contribution
+    /// slots (absolute-rank-indexed; `None` = dead or lost), under
+    /// the resolved schedule. Shared by `allgatherv`,
+    /// `allgatherv_available` and the ring/tree `allreduce`.
+    fn allgather_slots(
+        &mut self,
+        op: &'static str,
+        own: Vec<u8>,
+        resolved: Resolved,
+    ) -> Result<(Slots, u64), RuntimeError> {
+        let size = self.plane.size;
+        if size == 1 {
+            return Ok((vec![Some(own)], 0));
+        }
+        match resolved {
+            Resolved::Hub => self.allgather_hub(op, own),
+            Resolved::Ring => self.allgather_ring(op, own),
+            Resolved::Tree => self.allgather_butterfly(op, own),
+        }
+    }
+
+    /// Hub all-gather: star fan-in to the lowest agreed-live rank, then a
+    /// star fan-out of the full slot vector. Two rounds, both
+    /// serialised at the hub's ports — the `O(p·m)` bottleneck the
+    /// ring and tree schedules exist to remove.
+    fn allgather_hub(
+        &mut self,
+        op: &'static str,
+        own: Vec<u8>,
+    ) -> Result<(Slots, u64), RuntimeError> {
+        let live = self.agreed_live();
+        let hub = live[0];
+        let mut moved = own.len() as u64;
+        if self.rank == hub {
+            let slots = self.collect_payloads(op, &own)?;
+            let blob = slots.to_bytes();
+            for &dst in &live {
+                if dst == hub {
+                    continue;
+                }
+                self.send_tolerant(op, dst, blob.clone())?;
+                moved += blob.len() as u64;
+            }
+            let in_lens: Vec<u64> = live
+                .iter()
+                .map(|&r| slots[r].as_ref().map_or(0, |b| b.len() as u64))
+                .collect();
+            let out_lens = vec![blob.len() as u64; live.len()];
+            let mut rounds = vec![collective::star_gather_round(&live, hub, &in_lens)];
+            rounds.push(collective::star_scatter_round(&live, hub, &out_lens));
+            self.deposit(charge_of(&rounds));
+            Ok((slots, moved))
+        } else {
+            // Hub death is fatal for the hub schedule — that is the
+            // single point of failure `ring`/`tree` remove.
+            self.raw_send(op, hub, own)?;
+            let blob = self.raw_recv(op, hub, false)?;
+            moved += blob.len() as u64;
+            let slots: Slots = Self::decode_as(op, &blob)?;
+            if slots.len() != self.plane.size {
+                return Err(RuntimeError::Decode {
+                    what: op,
+                    detail: format!(
+                        "hub blob has {} slots, communicator size is {}",
+                        slots.len(),
+                        self.plane.size
+                    ),
+                });
+            }
+            Ok((slots, moved))
+        }
+    }
+
+    /// Ring all-gather: `p - 1` pipelined nearest-neighbour rounds.
+    /// Every rank sends and receives the same bytes — no hot rank.
+    /// Blocks travel `Option`-framed so a hole in the ring degrades
+    /// to `None` slots downstream instead of stalling the pipeline.
+    fn allgather_ring(
+        &mut self,
+        op: &'static str,
+        own: Vec<u8>,
+    ) -> Result<(Slots, u64), RuntimeError> {
+        let size = self.plane.size;
+        let live = self.agreed_live();
+        let q = live.len();
+        let pos = self.agreed_pos(op, &live)?;
+        let mut held: Slots = vec![None; size];
+        held[self.rank] = Some(own);
+        if q == 1 {
+            return Ok((held, 0));
+        }
+        let next = live[(pos + 1) % q];
+        let prev = live[(pos + q - 1) % q];
+        let mut moved = 0u64;
+        for k in 0..q - 1 {
+            let origin_send = live[(pos + q - k) % q];
+            let origin_recv = live[(pos + q - 1 - k) % q];
+            let msg = held[origin_send].to_bytes();
+            moved += msg.len() as u64;
+            self.send_tolerant(op, next, msg)?;
+            if let Some(bytes) = self.recv_tolerant(op, prev)? {
+                moved += bytes.len() as u64;
+                held[origin_recv] = Self::decode_as::<Option<Vec<u8>>>(op, &bytes)?;
+            }
+        }
+        if self.rank == live[0] {
+            // Charge the framed block sizes (1 tag + 8 length + raw
+            // bytes per present block) over the agreed ring.
+            let lens: Vec<u64> = live
+                .iter()
+                .map(|&r| held[r].as_ref().map_or(1, |b| 9 + b.len() as u64))
+                .collect();
+            self.deposit(charge_of(&collective::ring_rounds(&live, &lens)));
+        }
+        Ok((held, moved))
+    }
+
+    /// Recursive-doubling all-gather: `ceil(log2 p)` pairwise
+    /// exchange rounds (plus a fold-in/fold-out round pair when `p`
+    /// is not a power of two). Messages are absolute-rank-indexed
+    /// slot vectors, so partner death degrades to `None` slots.
+    fn allgather_butterfly(
+        &mut self,
+        op: &'static str,
+        own: Vec<u8>,
+    ) -> Result<(Slots, u64), RuntimeError> {
+        let size = self.plane.size;
+        let live = self.agreed_live();
+        let q = live.len();
+        let pos = self.agreed_pos(op, &live)?;
+        let q2 = collective::prev_pow2(q);
+        let mut held: Slots = vec![None; size];
+        let own_len = own.len() as u64;
+        held[self.rank] = Some(own);
+        let mut moved = 0u64;
+        if q == 1 {
+            return Ok((held, 0));
+        }
+        if pos >= q2 {
+            // Fold into the core, wait for the full result.
+            let partner = live[pos - q2];
+            let msg = held.to_bytes();
+            moved += msg.len() as u64;
+            self.send_tolerant(op, partner, msg)?;
+            if let Some(bytes) = self.recv_tolerant(op, partner)? {
+                moved += bytes.len() as u64;
+                let full: Slots = Self::decode_as(op, &bytes)?;
+                if full.len() == size {
+                    merge_slots(&mut held, full);
+                }
+            }
+            return Ok((held, moved));
+        }
+        if pos + q2 < q {
+            if let Some(bytes) = self.recv_tolerant(op, live[pos + q2])? {
+                moved += bytes.len() as u64;
+                let folded: Slots = Self::decode_as(op, &bytes)?;
+                if folded.len() == size {
+                    merge_slots(&mut held, folded);
+                }
+            }
+        }
+        let mut mask = 1usize;
+        while mask < q2 {
+            let partner = live[pos ^ mask];
+            let msg = held.to_bytes();
+            moved += msg.len() as u64;
+            self.send_tolerant(op, partner, msg)?;
+            if let Some(bytes) = self.recv_tolerant(op, partner)? {
+                moved += bytes.len() as u64;
+                let theirs: Slots = Self::decode_as(op, &bytes)?;
+                if theirs.len() == size {
+                    merge_slots(&mut held, theirs);
+                }
+            }
+            mask <<= 1;
+        }
+        if pos + q2 < q {
+            let msg = held.to_bytes();
+            moved += msg.len() as u64;
+            self.send_tolerant(op, live[pos + q2], msg)?;
+        }
+        if self.rank == live[0] {
+            let lens: Vec<u64> = live
+                .iter()
+                .map(|&r| held[r].as_ref().map_or(own_len, |b| b.len() as u64))
+                .collect();
+            self.deposit(charge_of(&collective::butterfly_rounds(size, &live, &lens)));
+        }
+        Ok((held, moved))
+    }
+
+    /// Round count of a rootless schedule over the agreed live
+    /// ranks, for the trace addendum.
+    fn rootless_rounds(&self, resolved: Resolved) -> u64 {
+        let p = self.agreed_live().len();
+        if p <= 1 {
+            return 0;
+        }
+        match resolved {
+            Resolved::Hub => 2,
+            Resolved::Ring => (p - 1) as u64,
+            Resolved::Tree => {
+                let q2 = collective::prev_pow2(p);
+                u64::from(collective::ceil_log2(q2)) + if p > q2 { 2 } else { 0 }
+            }
+        }
+    }
+
+    /// Round count of a rooted schedule over the agreed live ranks.
+    fn rooted_rounds(&self, resolved: Resolved) -> u64 {
+        let p = self.agreed_live().len();
+        if p <= 1 {
+            return 0;
+        }
+        match resolved {
+            Resolved::Hub => 1,
+            Resolved::Ring | Resolved::Tree => u64::from(collective::ceil_log2(p)),
+        }
+    }
+}
+
+/// Absolute-rank-indexed collective payload slots: `None` marks a
+/// dead rank or a contribution lost to one.
+type Slots = Vec<Option<Vec<u8>>>;
+
+/// Fills `None` slots of `into` from `from` (a present slot is never
+/// overwritten, so the first copy of a contribution wins — all copies
+/// are byte-identical by construction).
+fn merge_slots(into: &mut Slots, from: Slots) {
+    for (dst, src) in into.iter_mut().zip(from) {
+        if dst.is_none() {
+            *dst = src;
+        }
     }
 }
 
@@ -859,7 +1352,7 @@ impl Communicator for ThreadedComm {
         let bytes = value.to_bytes();
         let n = bytes.len() as u64;
         self.raw_send(OP, dst, bytes)?;
-        self.op_end(OP, dst as i64, n, &start);
+        self.op_end(OP, dst as i64, n, &start, "direct", 1);
         Ok(())
     }
 
@@ -869,15 +1362,36 @@ impl Communicator for ThreadedComm {
         let start = self.op_begin(OP)?;
         let bytes = self.raw_recv(OP, src, true)?;
         let value = Self::decode_as::<T>(OP, &bytes)?;
-        self.op_end(OP, src as i64, bytes.len() as u64, &start);
+        self.op_end(OP, src as i64, bytes.len() as u64, &start, "direct", 1);
         Ok(value)
     }
 
     fn barrier(&mut self) -> Result<(), RuntimeError> {
         const OP: &str = "barrier";
         let start = self.op_begin(OP)?;
-        self.raw_barrier(OP, Some(Charge::Barrier))?;
-        self.op_end(OP, -1, 0, &start);
+        let resolved = self.plane.policy.barrier.resolve_rooted(self.plane.size);
+        // The data-plane barrier is the sense-reversing generation
+        // itself; the *charge* models the message schedule a real
+        // barrier would run (star fan-in/fan-out for the hub,
+        // zero-byte binomial fan-in/fan-out for the tree). Every
+        // arriving rank offers its charge; the first deposit wins —
+        // built over the agreed membership, so it is identical on
+        // every rank of the generation.
+        let live = self.agreed_live();
+        let rounds = match resolved {
+            Resolved::Hub => {
+                let hub = live[0];
+                let zeros = vec![0u64; live.len()];
+                vec![
+                    collective::star_gather_round(&live, hub, &zeros),
+                    collective::star_scatter_round(&live, hub, &zeros),
+                ]
+            }
+            Resolved::Ring | Resolved::Tree => collective::barrier_tree_rounds(&live),
+        };
+        let n_rounds = rounds.len() as u64;
+        self.raw_barrier(OP, Some(charge_of(&rounds)))?;
+        self.op_end(OP, -1, 0, &start, resolved.name(), n_rounds);
         Ok(())
     }
 
@@ -885,36 +1399,17 @@ impl Communicator for ThreadedComm {
         const OP: &str = "bcast";
         self.check_rank(OP, root)?;
         let start = self.op_begin(OP)?;
-        let (result, bytes_moved) = if self.rank == root {
-            let value = value.ok_or_else(|| {
-                RuntimeError::App("bcast: root must supply Some(value)".to_owned())
-            })?;
-            let bytes = value.to_bytes();
-            let alive = self.alive_snapshot();
-            for (dst, &ok) in alive.iter().enumerate() {
-                if dst == self.rank || !ok {
-                    continue;
-                }
-                match self.raw_send(OP, dst, bytes.clone()) {
-                    Ok(()) => {}
-                    Err(RuntimeError::RankDead { rank, .. }) if rank == dst => {}
-                    Err(other) => return Err(other),
-                }
-            }
-            {
-                let mut st = self.plane.lock();
-                st.pending_charge = Some(Charge::Bcast {
-                    root,
-                    bytes: bytes.len() as f64,
-                });
-            }
-            (Self::decode_as::<T>(OP, &bytes)?, bytes.len() as u64)
-        } else {
-            let bytes = self.raw_recv(OP, root, false)?;
-            (Self::decode_as::<T>(OP, &bytes)?, bytes.len() as u64)
-        };
-        self.raw_barrier(OP, None)?;
-        self.op_end(OP, root as i64, bytes_moved, &start);
+        let resolved = self.plane.policy.bcast.resolve_rooted(self.plane.size);
+        let outcome = self.bcast_data(OP, root, value, resolved);
+        let (result, moved) = self.close_op(OP, outcome)?;
+        self.op_end(
+            OP,
+            root as i64,
+            moved,
+            &start,
+            resolved.name(),
+            self.rooted_rounds(resolved),
+        );
         Ok(result)
     }
 
@@ -922,48 +1417,17 @@ impl Communicator for ThreadedComm {
         const OP: &str = "scatterv";
         self.check_rank(OP, root)?;
         let start = self.op_begin(OP)?;
-        let (result, bytes_moved) = if self.rank == root {
-            let parts = parts.ok_or_else(|| {
-                RuntimeError::App("scatterv: root must supply Some(parts)".to_owned())
-            })?;
-            if parts.len() != self.plane.size {
-                return Err(RuntimeError::SizeMismatch {
-                    op: OP,
-                    expected: self.plane.size,
-                    got: parts.len(),
-                });
-            }
-            let encoded: Vec<Vec<u8>> = parts.iter().map(Wire::to_bytes).collect();
-            let alive = self.alive_snapshot();
-            let mut charge = vec![0.0; self.plane.size];
-            let mut sent = 0u64;
-            for (dst, (&ok, bytes)) in alive.iter().zip(&encoded).enumerate() {
-                if dst == self.rank || !ok {
-                    continue;
-                }
-                match self.raw_send(OP, dst, bytes.clone()) {
-                    Ok(()) => {
-                        charge[dst] = bytes.len() as f64;
-                        sent += bytes.len() as u64;
-                    }
-                    Err(RuntimeError::RankDead { rank, .. }) if rank == dst => {}
-                    Err(other) => return Err(other),
-                }
-            }
-            {
-                let mut st = self.plane.lock();
-                st.pending_charge = Some(Charge::Scatterv {
-                    root,
-                    bytes: charge,
-                });
-            }
-            (Self::decode_as::<T>(OP, &encoded[self.rank])?, sent)
-        } else {
-            let bytes = self.raw_recv(OP, root, false)?;
-            (Self::decode_as::<T>(OP, &bytes)?, bytes.len() as u64)
-        };
-        self.raw_barrier(OP, None)?;
-        self.op_end(OP, root as i64, bytes_moved, &start);
+        let resolved = self.plane.policy.scatterv.resolve_rooted(self.plane.size);
+        let outcome = self.scatterv_data(OP, root, parts, resolved);
+        let (result, moved) = self.close_op(OP, outcome)?;
+        self.op_end(
+            OP,
+            root as i64,
+            moved,
+            &start,
+            resolved.name(),
+            self.rooted_rounds(resolved),
+        );
         Ok(result)
     }
 
@@ -973,7 +1437,7 @@ impl Communicator for ThreadedComm {
         value: &T,
     ) -> Result<Option<Vec<T>>, RuntimeError> {
         const OP: &str = "gatherv";
-        match self.gather_impl(OP, root, value, false)? {
+        match self.gather_impl(OP, root, value)? {
             None => Ok(None),
             Some(slots) => {
                 let mut out = Vec::with_capacity(slots.len());
@@ -993,157 +1457,427 @@ impl Communicator for ThreadedComm {
         root: usize,
         value: &T,
     ) -> Result<Option<Vec<Option<T>>>, RuntimeError> {
-        self.gather_impl("gatherv", root, value, true)
+        self.gather_impl("gatherv", root, value)
     }
 
     fn allgatherv<T: Wire>(&mut self, value: &T) -> Result<Vec<T>, RuntimeError> {
         const OP: &str = "allgatherv";
         let start = self.op_begin(OP)?;
         let own = value.to_bytes();
-        let hub = 0usize;
-        let mut lens = vec![0.0; self.plane.size];
-        let result;
-        let mut bytes_moved = own.len() as u64;
-        if self.rank == hub {
-            let slots = self.collect_payloads(OP, &own)?;
-            let mut values = Vec::with_capacity(slots.len());
-            let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(slots.len());
-            for (rank, slot) in slots.into_iter().enumerate() {
-                match slot {
-                    Some(bytes) => {
-                        lens[rank] = bytes.len() as f64;
-                        values.push(Self::decode_as::<T>(OP, &bytes)?);
-                        payloads.push(bytes);
-                    }
-                    None => return Err(RuntimeError::RankDead { op: OP, rank }),
-                }
+        let resolved = self
+            .plane
+            .policy
+            .allgatherv
+            .resolve_allgatherv(self.plane.size, own.len() as u64);
+        let outcome = self.allgather_slots(OP, own, resolved);
+        let (slots, moved) = self.close_op(OP, outcome)?;
+        let mut values = Vec::with_capacity(slots.len());
+        for (rank, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(bytes) => values.push(Self::decode_as::<T>(OP, &bytes)?),
+                None => return Err(RuntimeError::RankDead { op: OP, rank }),
             }
-            // Length-prefixed framing so zero-size payloads still
-            // yield one slot per rank.
-            let blob = payloads.to_bytes();
-            let alive = self.alive_snapshot();
-            for (dst, &ok) in alive.iter().enumerate() {
-                if dst == hub || !ok {
-                    continue;
-                }
-                match self.raw_send(OP, dst, blob.clone()) {
-                    Ok(()) => {}
-                    Err(RuntimeError::RankDead { rank, .. }) if rank == dst => {}
-                    Err(other) => return Err(other),
-                }
-            }
-            {
-                let mut st = self.plane.lock();
-                st.pending_charge = Some(Charge::Allgatherv { bytes: lens });
-            }
-            result = values;
-        } else {
-            match self.raw_send(OP, hub, own) {
-                Ok(()) => {}
-                Err(other) => return Err(other),
-            }
-            let blob = self.raw_recv(OP, hub, false)?;
-            bytes_moved += blob.len() as u64;
-            let payloads: Vec<Vec<u8>> = Self::decode_as(OP, &blob)?;
-            let mut values = Vec::with_capacity(payloads.len());
-            for bytes in &payloads {
-                values.push(Self::decode_as::<T>(OP, bytes)?);
-            }
-            result = values;
         }
-        self.raw_barrier(OP, None)?;
-        self.op_end(OP, -1, bytes_moved, &start);
-        Ok(result)
+        self.op_end(
+            OP,
+            -1,
+            moved,
+            &start,
+            resolved.name(),
+            self.rootless_rounds(resolved),
+        );
+        Ok(values)
+    }
+
+    fn allgatherv_available<T: Wire>(
+        &mut self,
+        value: &T,
+    ) -> Result<Vec<Option<T>>, RuntimeError> {
+        const OP: &str = "allgatherv";
+        let start = self.op_begin(OP)?;
+        let own = value.to_bytes();
+        let resolved = self
+            .plane
+            .policy
+            .allgatherv
+            .resolve_allgatherv(self.plane.size, own.len() as u64);
+        let outcome = self.allgather_slots(OP, own, resolved);
+        let (slots, moved) = self.close_op(OP, outcome)?;
+        let mut values = Vec::with_capacity(slots.len());
+        for slot in slots {
+            values.push(match slot {
+                Some(bytes) => Some(Self::decode_as::<T>(OP, &bytes)?),
+                None => None,
+            });
+        }
+        self.op_end(
+            OP,
+            -1,
+            moved,
+            &start,
+            resolved.name(),
+            self.rootless_rounds(resolved),
+        );
+        Ok(values)
     }
 
     fn allreduce(&mut self, value: f64, op: ReduceOp) -> Result<f64, RuntimeError> {
         const OP: &str = "allreduce";
         let start = self.op_begin(OP)?;
-        let hub = 0usize;
         let own = value.to_bytes();
-        let result;
-        if self.rank == hub {
-            let slots = self.collect_payloads(OP, &own)?;
-            let mut acc: Option<f64> = None;
-            for slot in slots.iter().flatten() {
-                let x = Self::decode_as::<f64>(OP, slot)?;
-                acc = Some(match acc {
-                    None => x,
-                    Some(a) => op.fold(a, x),
-                });
-            }
-            let folded = acc.expect("hub contributes at least itself");
-            let bytes = folded.to_bytes();
-            let alive = self.alive_snapshot();
-            for (dst, &ok) in alive.iter().enumerate() {
-                if dst == hub || !ok {
-                    continue;
-                }
-                match self.raw_send(OP, dst, bytes.clone()) {
-                    Ok(()) => {}
-                    Err(RuntimeError::RankDead { rank, .. }) if rank == dst => {}
-                    Err(other) => return Err(other),
+        let resolved = self.plane.policy.allreduce.resolve_allreduce(self.plane.size);
+        // Every schedule gathers the raw contributions and folds them
+        // through [`ThreadedComm::fold_slots`] — the pinned
+        // rank-ascending order that keeps results bitwise identical
+        // across hub, ring and tree (see the module docs of
+        // `collective` and `wire`).
+        let outcome = match resolved {
+            Resolved::Hub => self.allreduce_hub(OP, own, op),
+            Resolved::Ring | Resolved::Tree => {
+                match self.allgather_slots(OP, own, resolved) {
+                    Ok((slots, moved)) => {
+                        Self::fold_slots(OP, &slots, op).map(|folded| (folded, moved))
+                    }
+                    Err(e) => Err(e),
                 }
             }
-            {
-                let mut st = self.plane.lock();
-                st.pending_charge = Some(Charge::Allreduce { bytes: 8.0 });
-            }
-            result = folded;
-        } else {
-            self.raw_send(OP, hub, own)?;
-            let bytes = self.raw_recv(OP, hub, false)?;
-            result = Self::decode_as::<f64>(OP, &bytes)?;
-        }
-        self.raw_barrier(OP, None)?;
-        self.op_end(OP, -1, 8, &start);
+        };
+        let (result, moved) = self.close_op(OP, outcome)?;
+        self.op_end(
+            OP,
+            -1,
+            moved,
+            &start,
+            resolved.name(),
+            self.rootless_rounds(resolved),
+        );
         Ok(result)
     }
 }
 
 impl ThreadedComm {
-    /// Shared implementation of `gatherv`/`gather_available`.
+    /// Shared implementation of `gatherv`/`gather_available`:
+    /// policy-dispatched data phase returning the raw slot vector on
+    /// the root (`None` elsewhere).
     fn gather_impl<T: Wire>(
         &mut self,
         op: &'static str,
         root: usize,
         value: &T,
-        _tolerant: bool,
     ) -> Result<Option<Vec<Option<T>>>, RuntimeError> {
         self.check_rank(op, root)?;
         let start = self.op_begin(op)?;
+        let resolved = self.plane.policy.gatherv.resolve_rooted(self.plane.size);
         let own = value.to_bytes();
-        let mut bytes_moved = own.len() as u64;
-        let result = if self.rank == root {
+        let outcome = match resolved {
+            Resolved::Hub => self.gather_hub_data(op, root, own),
+            Resolved::Ring | Resolved::Tree => self.gather_tree_data(op, root, own),
+        };
+        let (slots, moved) = self.close_op(op, outcome)?;
+        let result = match slots {
+            None => None,
+            Some(slots) => {
+                let mut values = Vec::with_capacity(slots.len());
+                for slot in slots {
+                    values.push(match slot {
+                        Some(bytes) => Some(Self::decode_as::<T>(op, &bytes)?),
+                        None => None,
+                    });
+                }
+                Some(values)
+            }
+        };
+        self.op_end(
+            op,
+            root as i64,
+            moved,
+            &start,
+            resolved.name(),
+            self.rooted_rounds(resolved),
+        );
+        Ok(result)
+    }
+
+    /// Hub gather data phase: one star fan-in round to the root.
+    fn gather_hub_data(
+        &mut self,
+        op: &'static str,
+        root: usize,
+        own: Vec<u8>,
+    ) -> Result<(Option<Slots>, u64), RuntimeError> {
+        let mut moved = own.len() as u64;
+        if self.rank == root {
             let slots = self.collect_payloads(op, &own)?;
-            let mut lens = vec![0.0; self.plane.size];
-            let mut values = Vec::with_capacity(slots.len());
-            for (rank, slot) in slots.into_iter().enumerate() {
-                match slot {
-                    Some(bytes) => {
-                        lens[rank] = bytes.len() as f64;
-                        bytes_moved += bytes.len() as u64;
-                        values.push(Some(Self::decode_as::<T>(op, &bytes)?));
-                    }
-                    None => values.push(None),
+            let live = self.agreed_live();
+            let lens: Vec<u64> = live
+                .iter()
+                .map(|&r| slots[r].as_ref().map_or(0, |b| b.len() as u64))
+                .collect();
+            moved += lens.iter().sum::<u64>();
+            let rounds = vec![collective::star_gather_round(&live, root, &lens)];
+            self.deposit(charge_of(&rounds));
+            Ok((Some(slots), moved))
+        } else {
+            // Root death is fatal for a gather.
+            self.raw_send(op, root, own)?;
+            Ok((None, moved))
+        }
+    }
+
+    /// Tree gather data phase: the reverse binomial tree. Every rank
+    /// merges its children's slot bundles (a dead child loses its
+    /// whole subtree's contributions — they stay `None`) and forwards
+    /// the accumulated bundle to its parent.
+    fn gather_tree_data(
+        &mut self,
+        op: &'static str,
+        root: usize,
+        own: Vec<u8>,
+    ) -> Result<(Option<Slots>, u64), RuntimeError> {
+        let size = self.plane.size;
+        let live = self.agreed_live();
+        let q = live.len();
+        let Some(vroot) = live.iter().position(|&r| r == root) else {
+            return Err(RuntimeError::RankDead { op, rank: root });
+        };
+        let pos = self.agreed_pos(op, &live)?;
+        let vi = (pos + q - vroot) % q;
+        let mut slots: Slots = vec![None; size];
+        let mut moved = own.len() as u64;
+        slots[self.rank] = Some(own);
+        // Children deliver in descending round order (the reverse of
+        // the broadcast schedule): the child reached last sends first.
+        for &(_, child_vi) in collective::binomial_children(vi, q).iter().rev() {
+            let child_abs = Self::pos_to_abs(&live, vroot, child_vi);
+            if let Some(bytes) = self.recv_tolerant(op, child_abs)? {
+                moved += bytes.len() as u64;
+                let bundle: Slots = Self::decode_as(op, &bytes)?;
+                if bundle.len() == size {
+                    merge_slots(&mut slots, bundle);
                 }
             }
-            {
-                let mut st = self.plane.lock();
-                st.pending_charge = Some(Charge::Gatherv { root, bytes: lens });
-            }
-            Some(values)
+        }
+        if vi == 0 {
+            let lens_by_vi: Vec<u64> = (0..q)
+                .map(|v| {
+                    slots[Self::pos_to_abs(&live, vroot, v)]
+                        .as_ref()
+                        .map_or(0, |b| b.len() as u64)
+                })
+                .collect();
+            self.deposit(charge_of(&collective::gatherv_rounds(
+                size, &live, vroot, &lens_by_vi,
+            )));
+            Ok((Some(slots), moved))
         } else {
-            match self.raw_send(op, root, own) {
-                Ok(()) => {}
-                // Root death is fatal for a gather.
-                Err(other) => return Err(other),
+            let parent_abs = Self::pos_to_abs(
+                &live,
+                vroot,
+                collective::binomial_parent(vi).expect("vi > 0 has a parent"),
+            );
+            let msg = slots.to_bytes();
+            moved += msg.len() as u64;
+            // A dead parent orphans this subtree's contributions —
+            // the root degrades them to `None` slots.
+            self.send_tolerant(op, parent_abs, msg)?;
+            Ok((None, moved))
+        }
+    }
+
+    /// Hub broadcast/scatter and tree broadcast/scatter data phases.
+    fn bcast_data<T: Wire>(
+        &mut self,
+        op: &'static str,
+        root: usize,
+        value: Option<&T>,
+        resolved: Resolved,
+    ) -> Result<(T, u64), RuntimeError> {
+        match resolved {
+            Resolved::Hub => {
+                if self.rank == root {
+                    let value = value.ok_or_else(|| {
+                        RuntimeError::App("bcast: root must supply Some(value)".to_owned())
+                    })?;
+                    let bytes = value.to_bytes();
+                    let live = self.agreed_live();
+                    for &dst in &live {
+                        if dst == self.rank {
+                            continue;
+                        }
+                        self.send_tolerant(op, dst, bytes.clone())?;
+                    }
+                    let lens = vec![bytes.len() as u64; live.len()];
+                    let rounds = vec![collective::star_scatter_round(&live, root, &lens)];
+                    self.deposit(charge_of(&rounds));
+                    Ok((Self::decode_as::<T>(op, &bytes)?, bytes.len() as u64))
+                } else {
+                    let bytes = self.raw_recv(op, root, false)?;
+                    Ok((Self::decode_as::<T>(op, &bytes)?, bytes.len() as u64))
+                }
             }
+            Resolved::Ring | Resolved::Tree => {
+                let own = if self.rank == root {
+                    Some(
+                        value
+                            .ok_or_else(|| {
+                                RuntimeError::App(
+                                    "bcast: root must supply Some(value)".to_owned(),
+                                )
+                            })?
+                            .to_bytes(),
+                    )
+                } else {
+                    None
+                };
+                let (blob, msg_len) = self.bcast_tree_data(op, root, own)?;
+                match blob {
+                    Some(bytes) => Ok((Self::decode_as::<T>(op, &bytes)?, msg_len)),
+                    // The value never reached this rank: somewhere on
+                    // the root-to-here path a rank died. Surfaced as
+                    // the broadcast root being unreachable.
+                    None => Err(RuntimeError::RankDead { op, rank: root }),
+                }
+            }
+        }
+    }
+
+    /// Scatter data phase.
+    fn scatterv_data<T: Wire>(
+        &mut self,
+        op: &'static str,
+        root: usize,
+        parts: Option<&[T]>,
+        resolved: Resolved,
+    ) -> Result<(T, u64), RuntimeError> {
+        let size = self.plane.size;
+        let encoded: Option<Vec<Vec<u8>>> = if self.rank == root {
+            let parts = parts.ok_or_else(|| {
+                RuntimeError::App("scatterv: root must supply Some(parts)".to_owned())
+            })?;
+            if parts.len() != size {
+                return Err(RuntimeError::SizeMismatch {
+                    op,
+                    expected: size,
+                    got: parts.len(),
+                });
+            }
+            Some(parts.iter().map(Wire::to_bytes).collect())
+        } else {
             None
         };
-        self.raw_barrier(op, None)?;
-        self.op_end(op, root as i64, bytes_moved, &start);
-        Ok(result)
+        match resolved {
+            Resolved::Hub => {
+                if let Some(encoded) = encoded {
+                    let live = self.agreed_live();
+                    let mut sent = 0u64;
+                    for &dst in &live {
+                        if dst == self.rank {
+                            continue;
+                        }
+                        sent += encoded[dst].len() as u64;
+                        self.send_tolerant(op, dst, encoded[dst].clone())?;
+                    }
+                    let lens: Vec<u64> =
+                        live.iter().map(|&r| encoded[r].len() as u64).collect();
+                    let rounds = vec![collective::star_scatter_round(&live, root, &lens)];
+                    self.deposit(charge_of(&rounds));
+                    Ok((Self::decode_as::<T>(op, &encoded[self.rank])?, sent))
+                } else {
+                    let bytes = self.raw_recv(op, root, false)?;
+                    Ok((Self::decode_as::<T>(op, &bytes)?, bytes.len() as u64))
+                }
+            }
+            Resolved::Ring | Resolved::Tree => {
+                let live = self.agreed_live();
+                let q = live.len();
+                let Some(vroot) = live.iter().position(|&r| r == root) else {
+                    return Err(RuntimeError::RankDead { op, rank: root });
+                };
+                let pos = self.agreed_pos(op, &live)?;
+                let vi = (pos + q - vroot) % q;
+                let mut moved = 0u64;
+                // Obtain this subtree's slot bundle.
+                let slots: Slots = if let Some(encoded) = &encoded {
+                    let lens_by_vi: Vec<u64> = (0..q)
+                        .map(|v| encoded[Self::pos_to_abs(&live, vroot, v)].len() as u64)
+                        .collect();
+                    self.deposit(charge_of(&collective::scatterv_rounds(
+                        size, &live, vroot, &lens_by_vi,
+                    )));
+                    encoded.iter().map(|b| Some(b.clone())).collect()
+                } else {
+                    let parent_abs = Self::pos_to_abs(
+                        &live,
+                        vroot,
+                        collective::binomial_parent(vi).expect("vi > 0 has a parent"),
+                    );
+                    match self.recv_tolerant(op, parent_abs)? {
+                        Some(bytes) => {
+                            moved += bytes.len() as u64;
+                            let bundle: Slots = Self::decode_as(op, &bytes)?;
+                            if bundle.len() == size {
+                                bundle
+                            } else {
+                                vec![None; size]
+                            }
+                        }
+                        // Dead parent: this subtree's parts are lost.
+                        // Forward the poison bundle so descendants
+                        // degrade in one hop instead of timing out.
+                        None => vec![None; size],
+                    }
+                };
+                // Forward each child its subtree's sub-bundle.
+                for (_, child_vi) in collective::binomial_children(vi, q) {
+                    let child_abs = Self::pos_to_abs(&live, vroot, child_vi);
+                    let mut bundle: Slots = vec![None; size];
+                    for v in collective::binomial_subtree(child_vi, q) {
+                        let abs = Self::pos_to_abs(&live, vroot, v);
+                        bundle[abs] = slots[abs].clone();
+                    }
+                    let msg = bundle.to_bytes();
+                    moved += msg.len() as u64;
+                    self.send_tolerant(op, child_abs, msg)?;
+                }
+                match &slots[self.rank] {
+                    Some(bytes) => Ok((Self::decode_as::<T>(op, bytes)?, moved)),
+                    None => Err(RuntimeError::RankDead { op, rank: root }),
+                }
+            }
+        }
+    }
+
+    /// Hub allreduce data phase: star fan-in of raw contributions to
+    /// the lowest agreed-live rank, central fold (pinned rank-ascending
+    /// order), star fan-out of the folded result.
+    fn allreduce_hub(
+        &mut self,
+        op: &'static str,
+        own: Vec<u8>,
+        rop: ReduceOp,
+    ) -> Result<(f64, u64), RuntimeError> {
+        let live = self.agreed_live();
+        let hub = live[0];
+        if self.rank == hub {
+            let slots = self.collect_payloads(op, &own)?;
+            let folded = Self::fold_slots(op, &slots, rop)?;
+            let bytes = folded.to_bytes();
+            for &dst in &live {
+                if dst == hub {
+                    continue;
+                }
+                self.send_tolerant(op, dst, bytes.clone())?;
+            }
+            let lens = vec![8u64; live.len()];
+            let mut rounds = vec![collective::star_gather_round(&live, hub, &lens)];
+            rounds.push(collective::star_scatter_round(&live, hub, &lens));
+            self.deposit(charge_of(&rounds));
+            Ok((folded, 8 * live.len() as u64))
+        } else {
+            self.raw_send(op, hub, own)?;
+            let bytes = self.raw_recv(op, hub, false)?;
+            Ok((Self::decode_as::<f64>(op, &bytes)?, 16))
+        }
     }
 }
 

@@ -67,6 +67,15 @@ pub enum RuntimeError {
         /// The communicator size.
         size: usize,
     },
+    /// A reduction finished with no contributions to fold — every
+    /// slot of the gathered contribution vector was `None`. With the
+    /// calling rank alive this indicates a logic error (the caller
+    /// always contributes its own value), so it is surfaced as a
+    /// typed error rather than a panic.
+    NoContributions {
+        /// Operation tag (`allreduce`, ...).
+        op: &'static str,
+    },
     /// A fault plan could not be parsed or validated.
     InvalidPlan(String),
     /// The platform substrate rejected an operation.
@@ -95,6 +104,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::InvalidRank { op, rank, size } => {
                 write!(f, "{op}: rank {rank} outside communicator of size {size}")
+            }
+            RuntimeError::NoContributions { op } => {
+                write!(f, "{op}: reduction over zero contributions")
             }
             RuntimeError::InvalidPlan(msg) => write!(f, "invalid fault plan: {msg}"),
             RuntimeError::Platform(e) => write!(f, "platform error: {e}"),

@@ -10,7 +10,12 @@
 //! * [`Communicator`] — rank/size, typed point-to-point
 //!   ([`Wire`]-encoded payloads), `barrier`, and the collectives the
 //!   paper's loop needs (`bcast`, `scatterv`, `gatherv`,
-//!   `allgatherv`, `allreduce`).
+//!   `allgatherv`, `allreduce`), each carried by a configurable
+//!   schedule ([`AlgorithmPolicy`]: `hub | ring | tree | auto`) —
+//!   binomial trees for rooted operations, a pipelined ring and a
+//!   recursive-doubling butterfly for rootless ones, all bitwise
+//!   identical to the compatibility hub on fault-free plans (see
+//!   [`collective`]).
 //! * Two backends behind one [`RuntimeConfig`]:
 //!   * a **threaded** backend — every rank is an OS thread in this
 //!     process, wall-clock timing (generalises the old
@@ -33,12 +38,14 @@
 
 #![warn(missing_docs)]
 
+pub mod collective;
 pub mod comm;
 pub mod error;
 pub mod executor;
 pub mod fault;
 pub mod wire;
 
+pub use collective::{Algorithm, AlgorithmPolicy};
 pub use comm::{
     run_ranks, Communicator, ReduceOp, RuntimeConfig, RuntimeHandle, ThreadedComm,
     DEFAULT_DEADLINE_SECS,

@@ -134,6 +134,45 @@ impl<T: Wire> Wire for Vec<T> {
     }
 }
 
+/// `Option<T>` encodes as a one-byte presence tag (`0` = `None`,
+/// `1` = `Some`) followed by the payload when present.
+///
+/// The availability-tolerant collectives (`gather_available`,
+/// `allgatherv_available`) move per-rank slots of exactly this shape:
+/// `None` marks a dead or lost contribution. Keeping the encoding on
+/// the [`Wire`] trait means those slot vectors stay deterministic
+/// bytes, which the simulated backend's virtual-clock charges and the
+/// **pinned reduction order** depend on: every `allreduce` schedule
+/// (hub, ring, tree) gathers raw contributions into rank-indexed
+/// slots and folds them *locally, left-associated, in ascending rank
+/// order, skipping `None` slots* — so the float result is bitwise
+/// identical across algorithms (see `comm.rs` for the fold itself).
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode_from(bytes: &[u8]) -> Result<(Self, usize), RuntimeError> {
+        let (tag, used) = u8::decode_from(bytes)?;
+        match tag {
+            0 => Ok((None, used)),
+            1 => {
+                let (v, n) = T::decode_from(&bytes[used..])?;
+                Ok((Some(v), used + n))
+            }
+            other => Err(RuntimeError::Decode {
+                what: "option tag",
+                detail: format!("invalid byte {other}"),
+            }),
+        }
+    }
+}
+
 impl Wire for Point {
     fn encode(&self, out: &mut Vec<u8>) {
         self.d.encode(out);
@@ -208,5 +247,18 @@ mod tests {
     fn encoding_is_deterministic() {
         let v = vec![Point::single(5, 0.25), Point::single(7, 1.0 / 3.0)];
         assert_eq!(v.to_bytes(), v.to_bytes());
+    }
+
+    #[test]
+    fn options_round_trip_and_reject_bad_tags() {
+        round_trip(Option::<u64>::None);
+        round_trip(Some(42u64));
+        round_trip(Some(vec![1.5f64, -0.5]));
+        round_trip(vec![Some(1u32), None, Some(3)]);
+        // None is exactly one byte; Some adds the payload after the tag.
+        assert_eq!(Option::<u64>::None.to_bytes(), vec![0]);
+        assert_eq!(Some(7u8).to_bytes(), vec![1, 7]);
+        assert!(Option::<u8>::decode(&[2, 0]).is_err(), "invalid tag");
+        assert!(Option::<u64>::decode(&[1]).is_err(), "truncated payload");
     }
 }

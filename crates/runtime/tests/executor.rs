@@ -10,7 +10,7 @@ use fupermod_core::partition::GeometricPartitioner;
 use fupermod_core::trace::{MemorySink, TraceEvent};
 use fupermod_core::{CoreError, Point};
 use fupermod_platform::comm::LinkModel;
-use fupermod_runtime::{run_to_balance_distributed, FaultPlan, RuntimeConfig};
+use fupermod_runtime::{run_to_balance_distributed, AlgorithmPolicy, FaultPlan, RuntimeConfig};
 
 const SPEEDS: [f64; 4] = [120.0, 40.0, 80.0, 20.0];
 
@@ -28,7 +28,8 @@ fn make_ctx(total: u64, eps: f64, size: usize) -> DynamicContext {
 /// The acceptance criterion of the runtime subsystem: on a fault-free
 /// plan, the distributed executor absorbs exactly the same model
 /// points in the same order as the serial loop, so every step and the
-/// final distribution are **bit-identical** — on both backends.
+/// final distribution are **bit-identical** — on both backends and
+/// under every collective-algorithm policy.
 #[test]
 fn distributed_run_is_bit_identical_to_serial() {
     let total = 13_777;
@@ -41,27 +42,39 @@ fn distributed_run_is_bit_identical_to_serial() {
         ctx.dist().sizes()
     };
 
-    for config in [
-        RuntimeConfig::thread(),
-        RuntimeConfig::sim(4, LinkModel::ethernet()),
+    for policy in [
+        AlgorithmPolicy::hub(),
+        AlgorithmPolicy::ring(),
+        AlgorithmPolicy::tree(),
+        AlgorithmPolicy::auto(),
     ] {
-        let outcome =
-            run_to_balance_distributed(config, 4, || make_ctx(total, 0.03, 4), measure, 30)
-                .expect("distributed loop");
-        assert_eq!(outcome.steps.len(), serial_steps.len());
-        for (d_step, s_step) in outcome.steps.iter().zip(&serial_steps) {
-            assert_eq!(d_step.observed.len(), s_step.observed.len());
-            for (dp, sp) in d_step.observed.iter().zip(&s_step.observed) {
-                assert_eq!(dp.d, sp.d);
-                assert_eq!(dp.t.to_bits(), sp.t.to_bits(), "times must be bit-identical");
+        for config in [
+            RuntimeConfig::thread(),
+            RuntimeConfig::sim(4, LinkModel::ethernet()),
+        ] {
+            let config = config.with_algorithms(policy);
+            let outcome =
+                run_to_balance_distributed(config, 4, || make_ctx(total, 0.03, 4), measure, 30)
+                    .expect("distributed loop");
+            assert_eq!(outcome.steps.len(), serial_steps.len());
+            for (d_step, s_step) in outcome.steps.iter().zip(&serial_steps) {
+                assert_eq!(d_step.observed.len(), s_step.observed.len());
+                for (dp, sp) in d_step.observed.iter().zip(&s_step.observed) {
+                    assert_eq!(dp.d, sp.d);
+                    assert_eq!(
+                        dp.t.to_bits(),
+                        sp.t.to_bits(),
+                        "times must be bit-identical under {policy:?}"
+                    );
+                }
+                assert_eq!(d_step.imbalance.to_bits(), s_step.imbalance.to_bits());
+                assert_eq!(d_step.converged, s_step.converged);
+                assert_eq!(d_step.units_moved, s_step.units_moved);
             }
-            assert_eq!(d_step.imbalance.to_bits(), s_step.imbalance.to_bits());
-            assert_eq!(d_step.converged, s_step.converged);
-            assert_eq!(d_step.units_moved, s_step.units_moved);
+            assert_eq!(outcome.final_sizes, serial_sizes);
+            assert!(outcome.converged());
+            assert!(outcome.dead_ranks.is_empty());
         }
-        assert_eq!(outcome.final_sizes, serial_sizes);
-        assert!(outcome.converged());
-        assert!(outcome.dead_ranks.is_empty());
     }
 }
 

@@ -1,0 +1,300 @@
+//! Cross-algorithm parity suite: every collective must produce
+//! **bitwise identical** results under the `hub`, `ring`, `tree` and
+//! `auto` policies on fault-free plans — including size-1
+//! communicators, zero-byte payloads and non-zero roots — and all
+//! survivors must agree on results under seeded fault plans.
+//!
+//! This is the contract that makes `--collectives` a pure performance
+//! knob: switching schedules never changes an answer, only the
+//! simulated communication time (see `docs/RUNTIME.md` §6).
+
+use fupermod_platform::comm::LinkModel;
+use fupermod_runtime::{
+    run_ranks, AlgorithmPolicy, Communicator, FaultPlan, ReduceOp, RuntimeConfig, RuntimeError,
+    ThreadedComm,
+};
+use proptest::prelude::*;
+
+/// The non-default policies, compared against the `hub` baseline.
+fn challenger_policies() -> Vec<(&'static str, AlgorithmPolicy)> {
+    vec![
+        ("ring", AlgorithmPolicy::ring()),
+        ("tree", AlgorithmPolicy::tree()),
+        ("auto", AlgorithmPolicy::auto()),
+    ]
+}
+
+/// Deterministic pseudo-random payload for `(seed, rank)` — finite
+/// doubles with full-mantissa noise so float-identity bugs cannot hide
+/// behind round numbers.
+fn payload(seed: u64, rank: usize, len: usize) -> Vec<f64> {
+    let mut state = seed ^ (rank as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 1e3 - 500.0
+        })
+        .collect()
+}
+
+/// What one rank observed from a full sweep of the collective API.
+/// Floats are stored as bits so equality is *bitwise*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Transcript {
+    bcast: Vec<u64>,
+    scatter: Vec<u64>,
+    gather_root: Option<Vec<Vec<u64>>>,
+    gather_avail: Option<Vec<Option<Vec<u64>>>>,
+    allgather: Vec<Vec<u64>>,
+    allgather_avail: Vec<Option<Vec<u64>>>,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Runs every collective once on `c` and records the results.
+fn sweep(
+    mut c: ThreadedComm,
+    seed: u64,
+    root: usize,
+    len: usize,
+) -> Result<Transcript, RuntimeError> {
+    let rank = c.rank();
+    let size = c.size();
+    c.barrier()?;
+
+    let own = payload(seed, rank, len);
+    let bcast = c.bcast(root, (rank == root).then_some(&own))?;
+
+    let parts: Option<Vec<Vec<f64>>> = (rank == root)
+        .then(|| (0..size).map(|r| payload(seed ^ 0xABCD, r, (r + len) % 5)).collect());
+    let scatter = c.scatterv(root, parts.as_deref())?;
+
+    let gather_root = c.gatherv(root, &own)?;
+    let gather_avail = c.gather_available(root, &own)?;
+    let allgather = c.allgatherv(&own)?;
+    let allgather_avail = c.allgatherv_available(&own)?;
+
+    let contribution = own.first().copied().unwrap_or(0.125 * (rank as f64 + 1.0));
+    let sum = c.allreduce(contribution, ReduceOp::Sum)?;
+    let min = c.allreduce(contribution, ReduceOp::Min)?;
+    let max = c.allreduce(contribution, ReduceOp::Max)?;
+    c.barrier()?;
+
+    Ok(Transcript {
+        bcast: bits(&bcast),
+        scatter: bits(&scatter),
+        gather_root: gather_root.map(|g| g.iter().map(|v| bits(v)).collect()),
+        gather_avail: gather_avail
+            .map(|g| g.into_iter().map(|s| s.map(|v| bits(&v))).collect()),
+        allgather: allgather.iter().map(|v| bits(v)).collect(),
+        allgather_avail: allgather_avail
+            .into_iter()
+            .map(|s| s.map(|v| bits(&v)))
+            .collect(),
+        sum: sum.to_bits(),
+        min: min.to_bits(),
+        max: max.to_bits(),
+    })
+}
+
+/// Runs the sweep on a thread-backend communicator of `size` under
+/// `policy`, unwrapping every rank's result.
+fn run_policy(policy: AlgorithmPolicy, size: usize, seed: u64, root: usize, len: usize) -> Vec<Transcript> {
+    let comms = RuntimeConfig::thread().with_algorithms(policy).build(size);
+    run_ranks(comms, |c| sweep(c, seed, root, len))
+        .into_iter()
+        .map(|r| r.expect("fault-free sweep failed"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The headline property: on random payloads, random communicator
+    /// sizes (including 1), random roots (including root != 0) and
+    /// random lengths (including 0 — zero-byte payloads), every policy
+    /// produces *bitwise* the same transcript as the hub baseline on
+    /// every rank.
+    #[test]
+    fn collectives_bitwise_match_hub_on_fault_free_plans(
+        seed in 0u64..1_000_000,
+        size in 1usize..9,
+        root_pick in 0usize..64,
+        len in 0usize..17,
+    ) {
+        let root = root_pick % size;
+        let baseline = run_policy(AlgorithmPolicy::hub(), size, seed, root, len);
+        for (name, policy) in challenger_policies() {
+            let got = run_policy(policy, size, seed, root, len);
+            prop_assert_eq!(&got, &baseline, "policy {} diverges from hub", name);
+        }
+    }
+}
+
+/// The simulated backend must agree with the threaded backend — and
+/// with itself across policies — on the exact same transcripts, while
+/// advancing different virtual clocks per schedule.
+#[test]
+fn sim_backend_matches_thread_backend_across_policies() {
+    let (seed, size, root, len) = (414243, 6, 4, 7);
+    let baseline = run_policy(AlgorithmPolicy::hub(), size, seed, root, len);
+    for (name, policy) in challenger_policies() {
+        let comms = RuntimeConfig::sim(size, LinkModel::ethernet())
+            .with_algorithms(policy)
+            .build(size);
+        let got: Vec<Transcript> = run_ranks(comms, |c| sweep(c, seed, root, len))
+            .into_iter()
+            .map(|r| r.expect("fault-free sim sweep failed"))
+            .collect();
+        assert_eq!(got, baseline, "sim policy {name} diverges from thread hub");
+    }
+}
+
+/// Recoverable faults (delays, stragglers, drops absorbed by bounded
+/// retry) slow the job down but never change an answer: under a seeded
+/// fault plan, every policy still reproduces the fault-free hub
+/// transcript bit-for-bit.
+#[test]
+fn recoverable_faults_do_not_change_any_result() {
+    let (seed, size, root, len) = (777, 5, 2, 6);
+    let plan = FaultPlan::from_json(
+        r#"{"deadline": 20.0,
+            "delays": [{"every": 3, "seconds": 0.0002}],
+            "drops": [{"every": 7, "max_retries": 6, "backoff_seconds": 0.0001}],
+            "stragglers": [{"rank": 1, "comm_seconds": 0.0001, "compute_factor": 1.0}]}"#,
+    )
+    .expect("valid plan");
+    let baseline = run_policy(AlgorithmPolicy::hub(), size, seed, root, len);
+    for (name, policy) in [("hub", AlgorithmPolicy::hub())]
+        .into_iter()
+        .chain(challenger_policies())
+    {
+        let comms = RuntimeConfig::thread()
+            .with_algorithms(policy)
+            .with_plan(plan.clone())
+            .build(size);
+        let got: Vec<Transcript> = run_ranks(comms, |c| sweep(c, seed, root, len))
+            .into_iter()
+            .map(|r| r.expect("recoverable faults must not surface as errors"))
+            .collect();
+        assert_eq!(got, baseline, "policy {name} diverges under recoverable faults");
+    }
+}
+
+/// Fail-stop death of a non-root rank before a rootless collective:
+/// under every policy all survivors agree on the same availability
+/// vector (the dead rank's slot is `None`, everyone else's survives)
+/// and on the same bitwise reduction over the surviving contributions.
+#[test]
+fn survivors_agree_under_rank_death() {
+    let seed = 90125u64;
+    let size = 6usize;
+    let victim = 5usize;
+    // The victim dies after its first operation (the opening barrier),
+    // so by the time the collectives start the membership is settled —
+    // every schedule then degrades edge-wise in the same way.
+    let plan = FaultPlan::from_json(
+        &format!(r#"{{"deadline": 20.0, "deaths": [{{"rank": {victim}, "after_ops": 1}}]}}"#),
+    )
+    .expect("valid plan");
+
+    for (name, policy) in [("hub", AlgorithmPolicy::hub())]
+        .into_iter()
+        .chain(challenger_policies())
+    {
+        let comms = RuntimeConfig::thread()
+            .with_algorithms(policy)
+            .with_plan(plan.clone())
+            .build(size);
+        let out = run_ranks(comms, move |mut c| -> Result<_, RuntimeError> {
+            let rank = c.rank();
+            c.barrier()?; // victim completes this, then dies
+            c.barrier()?; // settles: survivors observe the death
+            let own = payload(seed, rank, 4);
+            let slots = c.allgatherv_available(&own)?;
+            let contribution = own[0];
+            let sum = c.allreduce(contribution, ReduceOp::Sum)?;
+            let avail: Vec<Option<Vec<u64>>> =
+                slots.into_iter().map(|s| s.map(|v| bits(&v))).collect();
+            Ok((avail, sum.to_bits()))
+        });
+
+        let mut survivors = Vec::new();
+        for (rank, result) in out.into_iter().enumerate() {
+            match result {
+                Ok(t) => survivors.push((rank, t)),
+                Err(e) => assert_eq!(rank, victim, "unexpected failure on rank {rank}: {e}"),
+            }
+        }
+        assert_eq!(survivors.len(), size - 1, "policy {name}: wrong survivor count");
+        let (_, reference) = &survivors[0];
+        for (rank, t) in &survivors {
+            assert_eq!(t, reference, "policy {name}: survivor {rank} disagrees");
+            assert!(t.0[victim].is_none(), "policy {name}: dead slot must be None");
+            for (r, slot) in t.0.iter().enumerate() {
+                if r != victim {
+                    assert!(slot.is_some(), "policy {name}: live slot {r} lost");
+                }
+            }
+        }
+        // The reduction folded exactly the survivors, in rank order.
+        let expected: f64 = (0..size)
+            .filter(|&r| r != victim)
+            .map(|r| payload(seed, r, 4)[0])
+            .fold(0.0, |acc, x| acc + x);
+        assert_eq!(survivors[0].1 .1, expected.to_bits(), "policy {name}: fold order broke");
+    }
+}
+
+/// The schedules must actually be cheaper where it matters: on the
+/// simulated backend at p = 16, a 1 KiB `allgatherv` plus an
+/// `allreduce` under ring/tree finishes in strictly less virtual time
+/// than under the serialized hub — while producing identical bits.
+#[test]
+fn ring_and_tree_beat_hub_virtual_time_at_p16() {
+    let size = 16usize;
+    let value: Vec<f64> = (0..128).map(|i| i as f64 * 0.5).collect(); // 1 KiB + length prefix
+
+    let mut vtimes = Vec::new();
+    let mut results = Vec::new();
+    for policy in [
+        AlgorithmPolicy::hub(),
+        AlgorithmPolicy::ring(),
+        AlgorithmPolicy::tree(),
+    ] {
+        let (comms, handle) = RuntimeConfig::sim(size, LinkModel::ethernet())
+            .with_algorithms(policy)
+            .build_with_handle(size);
+        let out = run_ranks(comms, |mut c| -> Result<_, RuntimeError> {
+            let mut own = value.clone();
+            own[0] += c.rank() as f64;
+            let gathered = c.allgatherv(&own)?;
+            let reduced = c.allreduce(own[1], ReduceOp::Sum)?;
+            Ok((
+                gathered
+                    .iter()
+                    .map(|v| bits(v))
+                    .collect::<Vec<_>>(),
+                reduced.to_bits(),
+            ))
+        });
+        let ranks: Vec<_> = out.into_iter().map(|r| r.expect("sim run failed")).collect();
+        results.push(ranks);
+        vtimes.push(handle.virtual_time().expect("sim backend has virtual clocks"));
+    }
+
+    assert_eq!(results[1], results[0], "ring result differs from hub");
+    assert_eq!(results[2], results[0], "tree result differs from hub");
+    let (hub, ring, tree) = (vtimes[0], vtimes[1], vtimes[2]);
+    assert!(
+        ring < hub && tree < hub,
+        "schedules must beat the hub at p=16: hub={hub:.6}, ring={ring:.6}, tree={tree:.6}"
+    );
+}

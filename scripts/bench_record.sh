@@ -1,40 +1,67 @@
 #!/usr/bin/env bash
-# Records the performance evidence for the parallel-construction /
-# hot-path optimisation work into a machine-readable JSON file
-# (default BENCH_PR2.json; see docs/PERFORMANCE.md for how to read it).
+# Records performance evidence into a machine-readable JSON file
+# validated against scripts/bench_schema.json. Two modes:
 #
-# Runs the relevant criterion benches RUNS times (default 3), takes the
-# per-benchmark median time, derives the headline speedup ratios, and
-# validates the result against scripts/bench_schema.json. Interpret
-# CPU-bound ratios together with host.cpus: on a single-core host the
-# thread-level bars (gemm_parallel) cannot beat their serial baselines,
-# while the latency-bound model-build bars still can (the workers
-# overlap blocking waits, not CPU).
+#   MODE=pr2 (default) — parallel model construction / measurement
+#     hot-path evidence (default OUT=BENCH_PR2.json; see
+#     docs/PERFORMANCE.md for how to read it). Interpret CPU-bound
+#     ratios together with host.cpus: on a single-core host the
+#     thread-level bars (gemm_parallel) cannot beat their serial
+#     baselines, while the latency-bound model-build bars still can
+#     (the workers overlap blocking waits, not CPU).
+#
+#   MODE=pr4 — collective-algorithm evidence (default
+#     OUT=BENCH_PR4.json; see docs/RUNTIME.md §6). Records the
+#     `vtime_collectives/p{4,16,64}_{hub,ring,tree}` benches, whose
+#     "times" are Hockney *virtual seconds* charged by the simulated
+#     backend for one allgatherv+allreduce round — schedule quality,
+#     independent of host speed. The derived ratios are hub ÷
+#     {ring,tree}: how much virtual time each decentralised schedule
+#     saves over the serialized star.
+#
+# Runs the relevant criterion benches RUNS times (default 3) and takes
+# the per-benchmark median time.
 #
 #   RUNS=5 OUT=BENCH_PR2.json scripts/bench_record.sh
+#   MODE=pr4 scripts/bench_record.sh
 set -euo pipefail
 
 RUNS=${RUNS:-3}
-OUT=${OUT:-BENCH_PR2.json}
+MODE=${MODE:-pr2}
+case "$MODE" in
+pr2) OUT=${OUT:-BENCH_PR2.json} ;;
+pr4) OUT=${OUT:-BENCH_PR4.json} ;;
+*)
+    echo "unknown MODE=$MODE (expected pr2 or pr4)" >&2
+    exit 2
+    ;;
+esac
 SCHEMA="$(dirname "$0")/bench_schema.json"
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 for i in $(seq "$RUNS"); do
-    echo "==> bench run $i/$RUNS" >&2
-    cargo bench -q -p fupermod-bench \
-        --bench model_build \
-        --bench gemm \
-        --bench interp \
-        --bench benchmark_machinery >>"$raw"
+    echo "==> bench run $i/$RUNS (MODE=$MODE)" >&2
+    if [ "$MODE" = pr2 ]; then
+        cargo bench -q -p fupermod-bench \
+            --bench model_build \
+            --bench gemm \
+            --bench interp \
+            --bench benchmark_machinery >>"$raw"
+    else
+        cargo bench -q -p fupermod-bench \
+            --bench comm_collectives >>"$raw"
+    fi
 done
 
-python3 - "$raw" "$OUT" "$RUNS" "$SCHEMA" <<'PY'
+python3 - "$raw" "$OUT" "$RUNS" "$SCHEMA" "$MODE" <<'PY'
 import json, os, platform, re, statistics, sys
 from datetime import datetime, timezone
 
-raw_path, out_path, runs, schema_path = sys.argv[1], sys.argv[2], int(sys.argv[3]), sys.argv[4]
+raw_path, out_path, runs, schema_path, mode = (
+    sys.argv[1], sys.argv[2], int(sys.argv[3]), sys.argv[4], sys.argv[5],
+)
 
 # Criterion-shim output: `name<padding>    12.34 µs/iter (56 iters)`.
 LINE = re.compile(
@@ -61,6 +88,25 @@ def ratio(baseline, optimised):
         sys.exit(f"missing benchmark for ratio: {baseline} vs {optimised}")
     return results[baseline] / results[optimised]
 
+if mode == "pr2":
+    derived = {
+        "model_build_parallel4_speedup": ratio("model_build/serial/1", "model_build/parallel/4"),
+        "gemm_parallel4_512_speedup": ratio("gemm_parallel/blocked/512", "gemm_parallel/parallel4/512"),
+        "akima_eval64_cached_speedup": ratio("akima_eval64/recompute", "akima_eval64/cached"),
+        "akima_eval64_segment_resolved_speedup": ratio(
+            "akima_eval64/recompute_segment_resolved", "akima_eval64/cached_segment_resolved"
+        ),
+        "benchmark_stats_incremental_speedup": ratio("benchmark_stats/recompute", "benchmark_stats/incremental"),
+    }
+else:
+    derived = {
+        f"vtime_p{p}_{alg}_speedup": ratio(
+            f"vtime_collectives/p{p}_hub", f"vtime_collectives/p{p}_{alg}"
+        )
+        for p in (4, 16, 64)
+        for alg in ("ring", "tree")
+    }
+
 doc = {
     "schema_version": 1,
     "generated_utc": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
@@ -70,15 +116,7 @@ doc = {
     },
     "runs": runs,
     "results_s": results,
-    "derived": {
-        "model_build_parallel4_speedup": ratio("model_build/serial/1", "model_build/parallel/4"),
-        "gemm_parallel4_512_speedup": ratio("gemm_parallel/blocked/512", "gemm_parallel/parallel4/512"),
-        "akima_eval64_cached_speedup": ratio("akima_eval64/recompute", "akima_eval64/cached"),
-        "akima_eval64_segment_resolved_speedup": ratio(
-            "akima_eval64/recompute_segment_resolved", "akima_eval64/cached_segment_resolved"
-        ),
-        "benchmark_stats_incremental_speedup": ratio("benchmark_stats/recompute", "benchmark_stats/incremental"),
-    },
+    "derived": derived,
 }
 
 # --- validate against the schema before writing ---
@@ -98,7 +136,7 @@ def check(obj, required, where):
 
 check(doc, schema["required"], "")
 check(doc["host"], schema["host_required"], "host.")
-check(doc["derived"], schema["derived_required"], "derived.")
+check(doc["derived"], schema["derived_required_by_mode"][mode], "derived.")
 
 with open(out_path, "w", encoding="utf-8") as f:
     json.dump(doc, f, indent=2, sort_keys=False)

@@ -20,10 +20,17 @@ run cargo bench --workspace --no-run -q "${EXTRA[@]+"${EXTRA[@]}"}"
 # are fast and worth re-running with optimisations on: release codegen
 # reorders float work more aggressively than dev profile does.
 run cargo test --release -p fupermod-kernels -q "${EXTRA[@]+"${EXTRA[@]}"}"
-# The runtime's collective/fault tests spawn one thread per rank and
-# assert on wall-clock deadlines; run them single-threaded so parallel
-# test scheduling cannot starve a rank, and bound the whole suite.
+# The runtime's collective/fault tests — including the hub/ring/tree
+# collective-parity suite (crates/runtime/tests/parity.rs) — spawn one
+# thread per rank and assert on wall-clock deadlines; run them
+# single-threaded so parallel test scheduling cannot starve a rank,
+# and bound the whole suite.
 run timeout 300 cargo test -p fupermod-runtime "${EXTRA[@]+"${EXTRA[@]}"}" -- --test-threads=1
+# The runtime crate must also be clippy-clean on its own (the
+# workspace pass below covers it too, but a targeted run keeps the
+# collective layer's lints enforced even when other crates are
+# temporarily excluded from a gate).
+run cargo clippy -p fupermod-runtime --all-targets "${EXTRA[@]+"${EXTRA[@]}"}" -- -D warnings
 RUSTDOCFLAGS="-D warnings" run cargo doc --workspace --no-deps -q "${EXTRA[@]+"${EXTRA[@]}"}"
 run cargo clippy --workspace --all-targets "${EXTRA[@]+"${EXTRA[@]}"}" -- -D warnings
 

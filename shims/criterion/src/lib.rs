@@ -56,6 +56,22 @@ impl Bencher {
             }
         }
     }
+
+    /// Runs `f` with caller-supplied timing, matching criterion's
+    /// `iter_custom`: `f` receives an iteration count and returns the
+    /// measured duration for that many iterations. Benches use this to
+    /// report a quantity that is not host wall-clock — e.g. simulated
+    /// virtual seconds — through the ordinary `<time>/iter` output.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let start = Instant::now();
+        loop {
+            self.elapsed += f(1);
+            self.iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
 }
 
 fn format_time(t: f64) -> String {

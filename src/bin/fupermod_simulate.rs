@@ -7,6 +7,7 @@
 //!                          [--algorithm even|constant|geometric|numerical]
 //!                          [--parallelism N]
 //!                          [--runtime thread|sim] [--fault-plan SPEC]
+//!                          [--collectives hub|ring|tree|auto]
 //!                          [--trace PATH [--trace-format jsonl|csv]]
 //!   --app           which application to simulate; `balance` runs the
 //!                   distributed dynamic-balancing loop on the runtime
@@ -22,6 +23,8 @@
 //!                   (deterministic Hockney virtual clocks)
 //!   --fault-plan    (balance only) inline JSON or a JSON file injecting
 //!                   delays/drops/stragglers/death (see docs/RUNTIME.md)
+//!   --collectives   (balance only) collective schedules: hub (default),
+//!                   ring, tree or auto (see docs/RUNTIME.md §6)
 //!   --trace         write a structured trace (see docs/OBSERVABILITY.md)
 //!   --trace-format  jsonl (default) or csv
 //!   --gantt yes     (matmul only) dump the Gantt-style activity CSV to stderr

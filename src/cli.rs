@@ -12,7 +12,7 @@ use fupermod_core::partition::{
 };
 use fupermod_core::trace::{metrics, CsvSink, JsonlSink, TraceSink};
 use fupermod_platform::Platform;
-use fupermod_runtime::{FaultPlan, RuntimeConfig};
+use fupermod_runtime::{AlgorithmPolicy, FaultPlan, RuntimeConfig};
 
 /// Parses `--flag value` pairs from the process arguments into a map
 /// (keys without the leading `--`). Exits with status 2 on a flag
@@ -100,10 +100,27 @@ pub fn fault_plan(args: &HashMap<String, String>) -> FaultPlan {
     }
 }
 
+/// Parses the `--collectives hub|ring|tree|auto` flag into an
+/// [`AlgorithmPolicy`] (default `hub`, the compatibility schedule).
+/// All policies produce bitwise-identical collective results on
+/// fault-free plans; they differ in schedule shape and therefore in
+/// simulated virtual time and scaling (see `docs/RUNTIME.md` §6).
+/// Exits with status 2 on an unknown spelling.
+pub fn collectives(args: &HashMap<String, String>) -> AlgorithmPolicy {
+    match args.get("collectives") {
+        None => AlgorithmPolicy::default(),
+        Some(s) => AlgorithmPolicy::parse(s).unwrap_or_else(|| {
+            eprintln!("--collectives must be hub, ring, tree or auto (got '{s}')");
+            std::process::exit(2);
+        }),
+    }
+}
+
 /// Builds the runtime configuration selected by `--runtime thread|sim`
 /// (default `thread`) for a distributed run on `platform`, applying
-/// [`fault_plan`] and routing runtime `comm`/`fault` trace events to
-/// `sink` when given. Exits with status 2 on an unknown backend.
+/// [`fault_plan`], the [`collectives`] algorithm policy, and routing
+/// runtime `comm`/`fault` trace events to `sink` when given. Exits
+/// with status 2 on an unknown backend.
 pub fn runtime_config(
     args: &HashMap<String, String>,
     platform: &Platform,
@@ -118,7 +135,9 @@ pub fn runtime_config(
             std::process::exit(2);
         }
     };
-    let config = config.with_plan(fault_plan(args));
+    let config = config
+        .with_plan(fault_plan(args))
+        .with_algorithms(collectives(args));
     match sink {
         Some(sink) => config.with_trace(sink.clone()),
         None => config,
