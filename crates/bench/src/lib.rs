@@ -17,25 +17,36 @@ use fupermod_core::{CoreError, Point, Precision};
 use fupermod_platform::{Platform, WorkloadProfile};
 
 /// Opens the structured trace sink for the experiment binary `name`
-/// when tracing was requested — via `--trace-dir DIR` on the command
-/// line or the `FUPERMOD_TRACE_DIR` environment variable. The trace is
-/// written as `DIR/<name>.trace.jsonl` next to the CSV the binary
-/// prints to stdout (schema in `docs/OBSERVABILITY.md`).
+/// when tracing was requested — via `--trace PATH` (exact file, wins),
+/// `--trace-dir DIR` on the command line, or the `FUPERMOD_TRACE_DIR`
+/// environment variable (the unified trace flags every `fupermod_*`
+/// binary accepts). The directory forms write
+/// `DIR/<name>.trace.jsonl` next to the CSV the binary prints to
+/// stdout (schema in `docs/OBSERVABILITY.md`). Opening a sink also
+/// enables the process-wide latency histograms, which
+/// [`finish_experiment_trace`] exports as `metrics` snapshot events.
 ///
 /// Returns `None` when tracing was not requested. Exits with status 1
 /// when the requested directory/file cannot be created — a requested
 /// trace that silently vanishes would be worse than no trace.
 pub fn experiment_trace(name: &str) -> Option<Arc<dyn TraceSink>> {
-    let dir = trace_dir_from_args().or_else(|| std::env::var("FUPERMOD_TRACE_DIR").ok())?;
-    let dir = PathBuf::from(dir);
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("cannot create trace directory {}: {e}", dir.display());
-        std::process::exit(1);
-    }
-    let path = dir.join(format!("{name}.trace.jsonl"));
+    let path = match flag_value("--trace") {
+        Some(path) => PathBuf::from(path),
+        None => {
+            let dir = flag_value("--trace-dir")
+                .or_else(|| std::env::var("FUPERMOD_TRACE_DIR").ok())?;
+            let dir = PathBuf::from(dir);
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("cannot create trace directory {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+            dir.join(format!("{name}.trace.jsonl"))
+        }
+    };
     match JsonlSink::create(&path) {
         Ok(sink) => {
             eprintln!("# trace -> {}", path.display());
+            metrics().set_histograms_enabled(true);
             Some(Arc::new(sink))
         }
         Err(e) => {
@@ -43,16 +54,6 @@ pub fn experiment_trace(name: &str) -> Option<Arc<dyn TraceSink>> {
             std::process::exit(1);
         }
     }
-}
-
-fn trace_dir_from_args() -> Option<String> {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == "--trace-dir" {
-            return args.next();
-        }
-    }
-    None
 }
 
 /// Model-build worker-thread count for the experiment binaries: the
@@ -81,11 +82,13 @@ pub fn parallelism_from_args() -> usize {
     }
 }
 
-/// Flushes an experiment trace sink (if one was opened) and prints the
-/// process-wide metrics summary to stderr. Call once before exiting.
-/// Exits with status 1 on a deferred trace write error.
+/// Exports the latency-histogram snapshots as `metrics` events and
+/// flushes an experiment trace sink (if one was opened), then prints
+/// the process-wide metrics summary to stderr. Call once before
+/// exiting. Exits with status 1 on a deferred trace write error.
 pub fn finish_experiment_trace(sink: Option<&Arc<dyn TraceSink>>) {
     if let Some(sink) = sink {
+        metrics().export_histogram_events(sink.as_ref());
         if let Err(e) = sink.flush() {
             eprintln!("trace write failed: {e}");
             std::process::exit(1);

@@ -113,6 +113,7 @@ impl<'a> Benchmark<'a> {
             let t = ctx.run()?.as_secs_f64();
             samples.push(t);
             spent += t;
+            metrics().record_bench_rep(t);
             stats = self.effective_stats(&samples);
             self.trace.record(&TraceEvent::BenchmarkSample {
                 rank: 0,
@@ -214,6 +215,7 @@ impl<'a> Benchmark<'a> {
                         }
                         stats = this.effective_stats(&samples);
                         if let Some(t) = rep_time {
+                            metrics().record_bench_rep(t);
                             this.trace.record(&TraceEvent::BenchmarkSample {
                                 rank,
                                 d,

@@ -39,7 +39,7 @@ use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{self, BufRead, BufWriter, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::model::Model;
@@ -48,10 +48,14 @@ use crate::{CoreError, Point};
 /// Version of the trace schema this build writes (see
 /// `docs/OBSERVABILITY.md` for the field-by-field specification).
 ///
-/// v2 adds the `comm` and `fault` event kinds emitted by the
-/// `fupermod-runtime` message-passing layer; v1 traces remain
-/// readable.
-pub const SCHEMA_VERSION: u32 = 2;
+/// v2 added the `comm` and `fault` event kinds emitted by the
+/// `fupermod-runtime` message-passing layer. v3 adds the causal
+/// `lamport`/`gen` stamps on `comm` events (which make per-rank
+/// traces mergeable into one globally ordered timeline — see
+/// `fupermod-trace` and `fupermod_tracetool merge`) and the
+/// `metrics` event carrying latency-histogram snapshots. v1/v2
+/// traces remain readable.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// A typed observability event emitted by the measurement and
 /// partitioning machinery.
@@ -145,6 +149,19 @@ pub enum TraceEvent {
         /// point-to-point, `0` for degenerate single-rank
         /// collectives or unknown/pre-addendum traces).
         rounds: u64,
+        /// Lamport timestamp of the operation on this rank at
+        /// completion (schema v3): every operation ticks its rank's
+        /// clock, message receipt merges the sender's stamp, and a
+        /// barrier generation joins all live clocks — so sorting
+        /// events by `(lamport, gen, rank)` yields a causally
+        /// consistent cross-rank order. `0` in pre-v3 traces.
+        lamport: u64,
+        /// Barrier generation the operation belongs to (schema v3):
+        /// the generation a collective's closing barrier completed,
+        /// or the generation current when a point-to-point operation
+        /// began. All ranks of one collective record the same `gen`.
+        /// `0` in pre-v3 traces.
+        gen: u64,
     },
     /// A fault was injected or observed by the runtime (schema v2).
     Fault {
@@ -161,6 +178,29 @@ pub enum TraceEvent {
         /// (0 when not applicable).
         seconds: f64,
     },
+    /// A latency-histogram snapshot (schema v3), exported by
+    /// [`Metrics::export_histogram_events`] — typically once, at the
+    /// end of a traced run.
+    Metrics {
+        /// Rank the snapshot describes (`0` for process-wide
+        /// histograms, which is what the built-in facade exports).
+        rank: usize,
+        /// Histogram scope tag: `comm.<op>` (per-operation
+        /// communication latency) or `bench.rep` (benchmark
+        /// repetition time).
+        scope: String,
+        /// Samples recorded.
+        count: u64,
+        /// Sum of recorded latencies, seconds (nanosecond
+        /// resolution).
+        sum: f64,
+        /// Log-bucketed counts, length
+        /// [`HISTOGRAM_BUCKETS`]` + 2`: `buckets[0]` is the
+        /// underflow bin (`< 1 ns`), `buckets[1 + k]` covers
+        /// `[2^k, 2^(k+1))` nanoseconds, and the last bin is the
+        /// overflow (`>= 2^HISTOGRAM_BUCKETS` ns).
+        buckets: Vec<u64>,
+    },
 }
 
 impl TraceEvent {
@@ -174,6 +214,7 @@ impl TraceEvent {
             TraceEvent::DynamicConverged { .. } => "dynamic_converged",
             TraceEvent::Comm { .. } => "comm",
             TraceEvent::Fault { .. } => "fault",
+            TraceEvent::Metrics { .. } => "metrics",
         }
     }
 
@@ -258,6 +299,8 @@ impl TraceEvent {
                 seconds,
                 algorithm,
                 rounds,
+                lamport,
+                gen,
             } => {
                 push_num(&mut s, "rank", *rank as f64);
                 push_str(&mut s, "op", op);
@@ -266,6 +309,8 @@ impl TraceEvent {
                 push_float(&mut s, "seconds", *seconds);
                 push_str(&mut s, "algorithm", algorithm);
                 push_num(&mut s, "rounds", *rounds as f64);
+                push_int(&mut s, "lamport", *lamport);
+                push_int(&mut s, "gen", *gen);
             }
             TraceEvent::Fault {
                 rank,
@@ -279,6 +324,26 @@ impl TraceEvent {
                 push_num(&mut s, "peer", *peer as f64);
                 push_num(&mut s, "attempt", f64::from(*attempt));
                 push_float(&mut s, "seconds", *seconds);
+            }
+            TraceEvent::Metrics {
+                rank,
+                scope,
+                count,
+                sum,
+                buckets,
+            } => {
+                push_num(&mut s, "rank", *rank as f64);
+                push_str(&mut s, "scope", scope);
+                push_int(&mut s, "count", *count);
+                push_float(&mut s, "sum", *sum);
+                s.push_str(",\"buckets\":[");
+                for (i, b) in buckets.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "{b}");
+                }
+                s.push(']');
             }
         }
         s.push('}');
@@ -371,11 +436,14 @@ impl TraceEvent {
                 bytes: num("bytes")? as u64,
                 seconds: num("seconds")?,
                 // The `algorithm`/`rounds` fields are a schema-v2
-                // addendum (PR 4); traces written before it simply
-                // lack them. Decode those as "unknown" rather than
-                // rejecting the line.
+                // addendum (PR 4) and `lamport`/`gen` are the schema
+                // v3 causal stamps; traces written before them simply
+                // lack the fields. Decode those as "unknown"/0 rather
+                // than rejecting the line.
                 algorithm: text("algorithm").unwrap_or_default(),
                 rounds: num("rounds").map(|r| r as u64).unwrap_or(0),
+                lamport: num("lamport").map(|l| l as u64).unwrap_or(0),
+                gen: num("gen").map(|g| g as u64).unwrap_or(0),
             }),
             "fault" => Ok(TraceEvent::Fault {
                 rank: num("rank")? as usize,
@@ -384,6 +452,25 @@ impl TraceEvent {
                 attempt: num("attempt")? as u32,
                 seconds: num("seconds")?,
             }),
+            "metrics" => {
+                let buckets = fields
+                    .iter()
+                    .find(|(k, _)| k == "buckets")
+                    .and_then(|(_, v)| v.as_array())
+                    .ok_or_else(|| {
+                        CoreError::Trace("metrics: missing 'buckets' array".to_owned())
+                    })?
+                    .iter()
+                    .map(|x| *x as u64)
+                    .collect();
+                Ok(TraceEvent::Metrics {
+                    rank: num("rank")? as usize,
+                    scope: text("scope")?,
+                    count: num("count")? as u64,
+                    sum: num("sum")?,
+                    buckets,
+                })
+            }
             other => Err(CoreError::Trace(format!("unknown event tag '{other}'"))),
         }
     }
@@ -393,8 +480,9 @@ impl TraceEvent {
         // Columns: event,iter,rank,d,rep,reps,time,mean,stderr,ci_rel,
         //          elapsed,outliers_rejected,t,points,imbalance,
         //          units_moved,steps,dist,op,kind,peer,bytes,seconds,
-        //          attempt,algorithm,rounds
-        let mut c: [String; 26] = Default::default();
+        //          attempt,algorithm,rounds,lamport,gen,scope,count,
+        //          sum,buckets
+        let mut c: [String; CSV_COLUMNS] = Default::default();
         c[0] = self.name().to_owned();
         match self {
             TraceEvent::BenchmarkSample {
@@ -467,6 +555,8 @@ impl TraceEvent {
                 seconds,
                 algorithm,
                 rounds,
+                lamport,
+                gen,
             } => {
                 c[2] = rank.to_string();
                 c[18] = op.clone();
@@ -475,6 +565,8 @@ impl TraceEvent {
                 c[22] = fmt_float(*seconds);
                 c[24] = algorithm.clone();
                 c[25] = rounds.to_string();
+                c[26] = lamport.to_string();
+                c[27] = gen.to_string();
             }
             TraceEvent::Fault {
                 rank,
@@ -489,25 +581,179 @@ impl TraceEvent {
                 c[22] = fmt_float(*seconds);
                 c[23] = attempt.to_string();
             }
+            TraceEvent::Metrics {
+                rank,
+                scope,
+                count,
+                sum,
+                buckets,
+            } => {
+                c[2] = rank.to_string();
+                c[28] = scope.clone();
+                c[29] = count.to_string();
+                c[30] = fmt_float(*sum);
+                c[31] = buckets
+                    .iter()
+                    .map(|b| b.to_string())
+                    .collect::<Vec<_>>()
+                    .join(";");
+            }
         }
         c.join(",")
     }
+
+    /// Decodes one CSV data row produced by [`TraceEvent::to_csv_row`]
+    /// (the exact inverse over the canonical [`CSV_HEADER`] column
+    /// layout). Rows from older layouts — 24 columns (pre-addendum
+    /// v2), 26 columns (v2 + `algorithm`/`rounds`) — decode with the
+    /// same defaults the JSONL reader applies (empty algorithm,
+    /// zero rounds/lamport/gen).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Trace`] on an unknown event tag, a missing
+    /// or malformed required column, or a row with fewer than 24
+    /// columns.
+    pub fn from_csv_row(row: &str) -> Result<TraceEvent, CoreError> {
+        let cols: Vec<&str> = row.split(',').collect();
+        if cols.len() < 24 {
+            return Err(CoreError::Trace(format!(
+                "CSV row has {} columns, expected at least 24",
+                cols.len()
+            )));
+        }
+        let tag = cols[0];
+        let cell = |i: usize| -> &str { cols.get(i).copied().unwrap_or("") };
+        let req_f64 = |i: usize, name: &str| -> Result<f64, CoreError> {
+            parse_csv_float(cell(i)).ok_or_else(|| {
+                CoreError::Trace(format!("event '{tag}': missing numeric column '{name}'"))
+            })
+        };
+        let req_u64 = |i: usize, name: &str| -> Result<u64, CoreError> {
+            cell(i).parse::<u64>().map_err(|_| {
+                CoreError::Trace(format!("event '{tag}': missing integer column '{name}'"))
+            })
+        };
+        let req_i64 = |i: usize, name: &str| -> Result<i64, CoreError> {
+            cell(i).parse::<i64>().map_err(|_| {
+                CoreError::Trace(format!("event '{tag}': missing integer column '{name}'"))
+            })
+        };
+        let opt_u64 = |i: usize| -> u64 { cell(i).parse::<u64>().unwrap_or(0) };
+        let semis = |i: usize, name: &str| -> Result<Vec<u64>, CoreError> {
+            let raw = cell(i);
+            if raw.is_empty() {
+                return Ok(Vec::new());
+            }
+            raw.split(';')
+                .map(|x| {
+                    x.parse::<u64>().map_err(|_| {
+                        CoreError::Trace(format!(
+                            "event '{tag}': malformed '{name}' entry '{x}'"
+                        ))
+                    })
+                })
+                .collect()
+        };
+        match tag {
+            "benchmark_sample" => Ok(TraceEvent::BenchmarkSample {
+                rank: req_u64(2, "rank")? as usize,
+                d: req_u64(3, "d")?,
+                rep: req_u64(4, "rep")? as u32,
+                time: req_f64(6, "time")?,
+                ci_rel: req_f64(9, "ci_rel")?,
+            }),
+            "benchmark_done" => Ok(TraceEvent::BenchmarkDone {
+                rank: req_u64(2, "rank")? as usize,
+                d: req_u64(3, "d")?,
+                reps: req_u64(5, "reps")? as u32,
+                mean: req_f64(7, "mean")?,
+                stderr: req_f64(8, "stderr")?,
+                elapsed: req_f64(10, "elapsed")?,
+                outliers_rejected: req_u64(11, "outliers_rejected")? as u32,
+            }),
+            "model_update" => Ok(TraceEvent::ModelUpdate {
+                rank: req_u64(2, "rank")? as usize,
+                d: req_u64(3, "d")?,
+                t: req_f64(12, "t")?,
+                reps: req_u64(5, "reps")? as u32,
+                points: req_u64(13, "points")? as usize,
+            }),
+            "partition_step" => Ok(TraceEvent::PartitionStep {
+                iter: req_u64(1, "iter")?,
+                dist: semis(17, "dist")?,
+                imbalance: req_f64(14, "imbalance")?,
+                units_moved: req_u64(15, "units_moved")?,
+            }),
+            "dynamic_converged" => Ok(TraceEvent::DynamicConverged {
+                steps: req_u64(16, "steps")?,
+                imbalance: req_f64(14, "imbalance")?,
+            }),
+            "comm" => Ok(TraceEvent::Comm {
+                rank: req_u64(2, "rank")? as usize,
+                op: cell(18).to_owned(),
+                peer: req_i64(20, "peer")?,
+                bytes: req_u64(21, "bytes")?,
+                seconds: req_f64(22, "seconds")?,
+                algorithm: cell(24).to_owned(),
+                rounds: opt_u64(25),
+                lamport: opt_u64(26),
+                gen: opt_u64(27),
+            }),
+            "fault" => Ok(TraceEvent::Fault {
+                rank: req_u64(2, "rank")? as usize,
+                kind: cell(19).to_owned(),
+                peer: req_i64(20, "peer")?,
+                attempt: req_u64(23, "attempt")? as u32,
+                seconds: req_f64(22, "seconds")?,
+            }),
+            "metrics" => Ok(TraceEvent::Metrics {
+                rank: req_u64(2, "rank")? as usize,
+                scope: cell(28).to_owned(),
+                count: req_u64(29, "count")?,
+                sum: req_f64(30, "sum")?,
+                buckets: semis(31, "buckets")?,
+            }),
+            other => Err(CoreError::Trace(format!("unknown event tag '{other}'"))),
+        }
+    }
 }
 
+/// Parses a CSV float cell: empty → `None`, `null` → NaN, otherwise
+/// IEEE-754 parse (so `1e9999`/`-1e9999` overflow to infinities, the
+/// exact inverse of [`fmt_float`]).
+fn parse_csv_float(cell: &str) -> Option<f64> {
+    match cell {
+        "" => None,
+        "null" => Some(f64::NAN),
+        other => other.parse().ok(),
+    }
+}
+
+/// Number of columns in the canonical CSV layout ([`CSV_HEADER`]).
+pub const CSV_COLUMNS: usize = 32;
+
 /// Column header row of the CSV encoding (preceded in files by the
-/// `# fupermod-trace schema=2` comment line). The six trailing
-/// columns starting at `op` (`op..attempt`) are the schema-v2
-/// additions for the `comm`/`fault` events; `algorithm,rounds` are
-/// the schema-v2 *addendum* columns describing the collective
-/// schedule a `comm` event used (empty/`0` for pre-addendum rows and
-/// non-`comm` events).
+/// `# fupermod-trace schema=3` comment line). The six columns
+/// starting at `op` (`op..attempt`) are the schema-v2 additions for
+/// the `comm`/`fault` events; `algorithm,rounds` are the schema-v2
+/// *addendum* columns describing the collective schedule a `comm`
+/// event used; `lamport,gen` are the schema-v3 causal stamps on
+/// `comm` rows, and `scope,count,sum,buckets` carry the schema-v3
+/// `metrics` event (histogram snapshots — `buckets` is
+/// `;`-separated like `dist`). Absent columns are empty/`0` for
+/// older rows and non-applicable events.
 pub const CSV_HEADER: &str = "event,iter,rank,d,rep,reps,time,mean,stderr,ci_rel,\
 elapsed,outliers_rejected,t,points,imbalance,units_moved,steps,dist,\
-op,kind,peer,bytes,seconds,attempt,algorithm,rounds";
+op,kind,peer,bytes,seconds,attempt,algorithm,rounds,lamport,gen,\
+scope,count,sum,buckets";
 
 /// Formats a float for both encodings: shortest round-trip via Rust's
-/// `Display`, with non-finite values mapped to `null`-compatible text.
-fn fmt_float(v: f64) -> String {
+/// `Display`, with non-finite values mapped to `null`-compatible text
+/// (`null` for NaN, `±1e9999` for the infinities, which parse back to
+/// `±inf`). Public so downstream consumers (`fupermod-trace`'s
+/// report) can reproduce trace values **bit-for-bit**.
+pub fn fmt_float(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else if v.is_nan() {
@@ -524,6 +770,12 @@ fn push_float(s: &mut String, key: &str, v: f64) {
 }
 
 fn push_num(s: &mut String, key: &str, v: f64) {
+    let _ = write!(s, ",\"{key}\":{v}");
+}
+
+/// Pushes an unsigned integer field without a float round-trip (exact
+/// for the full `u64` range, unlike [`push_num`]).
+fn push_int(s: &mut String, key: &str, v: u64) {
     let _ = write!(s, ",\"{key}\":{v}");
 }
 
@@ -923,49 +1175,162 @@ impl<W: Write + Send> TraceSink for CsvSink<W> {
     }
 }
 
-/// Parses a JSONL trace: validates the header line and decodes every
-/// event, returning `(schema_version, events)`.
+/// On-disk encoding of a trace file, detected from its header line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// JSON Lines: `{"trace":"fupermod","schema":N}` header, one
+    /// object per event.
+    Jsonl,
+    /// CSV: `# fupermod-trace schema=N` comment, [`CSV_HEADER`] row,
+    /// one fixed-arity row per event.
+    Csv,
+}
+
+/// A streaming trace reader: validates the header eagerly, then
+/// decodes one event per [`Iterator::next`] call without buffering
+/// the file — multi-gigabyte traces stream in constant memory
+/// (`fupermod_tracetool merge` relies on this). Detects both trace
+/// encodings from the first line.
+///
+/// The eager [`read_jsonl_trace`] is a thin wrapper over this type.
+pub struct TraceReader<R: BufRead> {
+    lines: io::Lines<R>,
+    schema: u32,
+    format: TraceFormat,
+}
+
+impl TraceReader<io::BufReader<File>> {
+    /// Opens a trace file for streaming, validating its header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Trace`] on I/O failure, a missing or
+    /// foreign header, or a schema version newer than
+    /// [`SCHEMA_VERSION`].
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, CoreError> {
+        let path = path.as_ref();
+        let file = File::open(path).map_err(|e| {
+            CoreError::Trace(format!("cannot open trace '{}': {e}", path.display()))
+        })?;
+        Self::new(io::BufReader::new(file))
+    }
+}
+
+impl<R: BufRead> TraceReader<R> {
+    /// Wraps a reader, consuming and validating the header line(s).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Trace`] on I/O failure, a missing or
+    /// foreign header, or a schema version newer than
+    /// [`SCHEMA_VERSION`] (forward compatibility is rejected, not
+    /// guessed at).
+    pub fn new(reader: R) -> Result<Self, CoreError> {
+        let mut lines = reader.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| CoreError::Trace("empty trace file".to_owned()))?
+            .map_err(|e| CoreError::Trace(format!("trace read failed: {e}")))?;
+        let (format, schema) = if let Some(rest) = header.strip_prefix('#') {
+            // CSV: "# fupermod-trace schema=N", then the column
+            // header row (consumed here so iteration yields data
+            // rows only).
+            let rest = rest.trim();
+            let schema = rest
+                .strip_prefix("fupermod-trace")
+                .map(str::trim)
+                .and_then(|s| s.strip_prefix("schema="))
+                .and_then(|s| s.trim().parse::<u32>().ok())
+                .ok_or_else(|| {
+                    CoreError::Trace("not a fupermod trace (bad CSV schema comment)".to_owned())
+                })?;
+            let cols = lines
+                .next()
+                .ok_or_else(|| CoreError::Trace("CSV trace missing column header".to_owned()))?
+                .map_err(|e| CoreError::Trace(format!("trace read failed: {e}")))?;
+            if !cols.starts_with("event,") {
+                return Err(CoreError::Trace(
+                    "CSV trace missing 'event,...' column header".to_owned(),
+                ));
+            }
+            (TraceFormat::Csv, schema)
+        } else {
+            let fields = json::parse_flat_object(&header)?;
+            if fields
+                .iter()
+                .find(|(k, _)| k == "trace")
+                .and_then(|(_, v)| v.as_str())
+                != Some("fupermod")
+            {
+                return Err(CoreError::Trace(
+                    "not a fupermod trace (missing header line)".to_owned(),
+                ));
+            }
+            let schema = fields
+                .iter()
+                .find(|(k, _)| k == "schema")
+                .and_then(|(_, v)| v.as_f64())
+                .ok_or_else(|| CoreError::Trace("header missing schema version".to_owned()))?
+                as u32;
+            (TraceFormat::Jsonl, schema)
+        };
+        if schema > SCHEMA_VERSION {
+            return Err(CoreError::Trace(format!(
+                "trace schema {schema} is newer than supported {SCHEMA_VERSION}"
+            )));
+        }
+        Ok(Self {
+            lines,
+            schema,
+            format,
+        })
+    }
+
+    /// Schema version declared by the trace header.
+    pub fn schema(&self) -> u32 {
+        self.schema
+    }
+
+    /// Encoding detected from the header.
+    pub fn format(&self) -> TraceFormat {
+        self.format
+    }
+}
+
+impl<R: BufRead> Iterator for TraceReader<R> {
+    type Item = Result<TraceEvent, CoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let line = match self.lines.next()? {
+                Ok(l) => l,
+                Err(e) => {
+                    return Some(Err(CoreError::Trace(format!("trace read failed: {e}"))))
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Some(match self.format {
+                TraceFormat::Jsonl => TraceEvent::from_jsonl(&line),
+                TraceFormat::Csv => TraceEvent::from_csv_row(&line),
+            });
+        }
+    }
+}
+
+/// Parses a trace eagerly: validates the header line and decodes
+/// every event, returning `(schema_version, events)`. Thin wrapper
+/// over the streaming [`TraceReader`] — prefer that for large files.
 ///
 /// # Errors
 ///
 /// Returns [`CoreError::Trace`] on I/O failure, a missing/foreign
 /// header, an unsupported schema version, or any malformed event line.
 pub fn read_jsonl_trace<R: BufRead>(reader: R) -> Result<(u32, Vec<TraceEvent>), CoreError> {
-    let mut lines = reader.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| CoreError::Trace("empty trace file".to_owned()))?
-        .map_err(|e| CoreError::Trace(format!("trace read failed: {e}")))?;
-    let fields = json::parse_flat_object(&header)?;
-    if fields
-        .iter()
-        .find(|(k, _)| k == "trace")
-        .and_then(|(_, v)| v.as_str())
-        != Some("fupermod")
-    {
-        return Err(CoreError::Trace(
-            "not a fupermod trace (missing header line)".to_owned(),
-        ));
-    }
-    let schema = fields
-        .iter()
-        .find(|(k, _)| k == "schema")
-        .and_then(|(_, v)| v.as_f64())
-        .ok_or_else(|| CoreError::Trace("header missing schema version".to_owned()))?
-        as u32;
-    if schema > SCHEMA_VERSION {
-        return Err(CoreError::Trace(format!(
-            "trace schema {schema} is newer than supported {SCHEMA_VERSION}"
-        )));
-    }
-    let mut events = Vec::new();
-    for line in lines {
-        let line = line.map_err(|e| CoreError::Trace(format!("trace read failed: {e}")))?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        events.push(TraceEvent::from_jsonl(&line)?);
-    }
+    let reader = TraceReader::new(reader)?;
+    let schema = reader.schema();
+    let events = reader.collect::<Result<Vec<_>, _>>()?;
     Ok((schema, events))
 }
 
@@ -1009,15 +1374,204 @@ pub fn replay_into_models(
     Ok(applied)
 }
 
-/// Process-wide observability counters, updated by the measurement and
-/// partitioning machinery regardless of the configured sink.
-#[derive(Debug, Default)]
+/// Number of power-of-two latency buckets in a [`LatencyHistogram`]:
+/// bucket `k` covers `[2^k, 2^(k+1))` nanoseconds, so 48 buckets span
+/// 1 ns up to ~3.26 days — log-bucketed HDR-style resolution (≤ 2×
+/// relative error) at constant memory.
+pub const HISTOGRAM_BUCKETS: usize = 48;
+
+/// Operation tags with a dedicated per-op communication-latency
+/// histogram in [`Metrics`] (the tags `comm` events use).
+pub const COMM_OPS: [&str; 8] = [
+    "send",
+    "recv",
+    "barrier",
+    "bcast",
+    "scatterv",
+    "gatherv",
+    "allgatherv",
+    "allreduce",
+];
+
+// Interior mutability is the point: this is the `[CONST; N]`
+// array-initialisation idiom for atomics (each array slot gets its
+// own fresh atomic, never a shared one).
+#[allow(clippy::declare_interior_mutable_const)]
+const ATOMIC_ZERO: AtomicU64 = AtomicU64::new(0);
+
+/// A lock-free log-bucketed latency histogram (HDR-style): recording
+/// is a couple of relaxed atomic increments, so it is safe on hot
+/// paths; [`LatencyHistogram::snapshot`] produces the serialisable
+/// bucket vector carried by [`TraceEvent::Metrics`].
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    under: AtomicU64,
+    over: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram (const-constructible for statics).
+    pub const fn new() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            under: AtomicU64::new(0),
+            over: AtomicU64::new(0),
+            buckets: [ATOMIC_ZERO; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Records one latency sample, in seconds. Negative and NaN
+    /// samples are ignored; sub-nanosecond samples land in the
+    /// underflow bin and samples beyond `2^HISTOGRAM_BUCKETS` ns in
+    /// the overflow bin.
+    pub fn record(&self, seconds: f64) {
+        if seconds.is_nan() || seconds < 0.0 {
+            return; // not a latency
+        }
+        let nanos = (seconds * 1e9).round() as u64; // saturating cast
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        if nanos == 0 {
+            self.under.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let k = (63 - nanos.leading_zeros()) as usize; // floor(log2)
+            if k >= HISTOGRAM_BUCKETS {
+                self.over.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.buckets[k].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::with_capacity(HISTOGRAM_BUCKETS + 2);
+        buckets.push(self.under.load(Ordering::Relaxed));
+        for b in &self.buckets {
+            buckets.push(b.load(Ordering::Relaxed));
+        }
+        buckets.push(self.over.load(Ordering::Relaxed));
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum_seconds: self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            buckets,
+        }
+    }
+
+    /// Resets every bin and counter to zero.
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_nanos.store(0, Ordering::Relaxed);
+        self.under.store(0, Ordering::Relaxed);
+        self.over.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`], in the exact shape
+/// the [`TraceEvent::Metrics`] event serialises.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of recorded latencies, seconds (nanosecond resolution).
+    pub sum_seconds: f64,
+    /// `HISTOGRAM_BUCKETS + 2` bins: underflow, `[2^k, 2^(k+1))` ns
+    /// for `k = 0..HISTOGRAM_BUCKETS`, overflow.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Rebuilds a snapshot from serialised [`TraceEvent::Metrics`]
+    /// fields. Returns `None` if the bucket vector has the wrong
+    /// arity.
+    pub fn from_parts(count: u64, sum_seconds: f64, buckets: Vec<u64>) -> Option<Self> {
+        if buckets.len() != HISTOGRAM_BUCKETS + 2 {
+            return None;
+        }
+        Some(Self {
+            count,
+            sum_seconds,
+            buckets,
+        })
+    }
+
+    /// Mean latency in seconds, or `None` for an empty histogram.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum_seconds / self.count as f64)
+        }
+    }
+
+    /// Upper bound (seconds, exclusive) of snapshot bin `i`:
+    /// `1 ns` for the underflow bin, `2^(k+1)` ns for bucket `k`,
+    /// and `+inf` for the overflow bin.
+    pub fn bin_upper_seconds(i: usize) -> f64 {
+        if i == 0 {
+            1e-9
+        } else if i <= HISTOGRAM_BUCKETS {
+            // bin i holds bucket k = i - 1 → upper bound 2^i ns
+            (i as f64).exp2() * 1e-9
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` (upper bound of the bin
+    /// holding the `ceil(q · count)`-th sample — a ≤ 2× overestimate
+    /// by construction). `None` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return Some(Self::bin_upper_seconds(i));
+            }
+        }
+        Some(f64::INFINITY)
+    }
+}
+
+/// Process-wide observability counters and latency histograms,
+/// updated by the measurement and partitioning machinery regardless
+/// of the configured sink. The counters are always on (a relaxed
+/// atomic add); the schema-v3 latency histograms are gated behind
+/// [`Metrics::set_histograms_enabled`] so untraced runs pay nothing
+/// beyond one relaxed boolean load.
+#[derive(Debug)]
 pub struct Metrics {
     kernels_executed: AtomicU64,
     total_reps: AtomicU64,
     outliers_rejected: AtomicU64,
     repartitions: AtomicU64,
     units_moved: AtomicU64,
+    histograms_enabled: AtomicBool,
+    comm_hists: [LatencyHistogram; COMM_OPS.len()],
+    bench_hist: LatencyHistogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// A point-in-time copy of [`Metrics`].
@@ -1035,7 +1589,26 @@ pub struct MetricsSnapshot {
     pub units_moved: u64,
 }
 
+// `[CONST; N]` array-initialisation idiom (see `ATOMIC_ZERO`).
+#[allow(clippy::declare_interior_mutable_const)]
+const HIST_ZERO: LatencyHistogram = LatencyHistogram::new();
+
 impl Metrics {
+    /// A zeroed instance (const-constructible for the process-wide
+    /// static).
+    pub const fn new() -> Self {
+        Self {
+            kernels_executed: AtomicU64::new(0),
+            total_reps: AtomicU64::new(0),
+            outliers_rejected: AtomicU64::new(0),
+            repartitions: AtomicU64::new(0),
+            units_moved: AtomicU64::new(0),
+            histograms_enabled: AtomicBool::new(false),
+            comm_hists: [HIST_ZERO; COMM_OPS.len()],
+            bench_hist: LatencyHistogram::new(),
+        }
+    }
+
     pub(crate) fn add_kernel(&self) {
         self.kernels_executed.fetch_add(1, Ordering::Relaxed);
     }
@@ -1063,13 +1636,100 @@ impl Metrics {
         }
     }
 
-    /// Resets every counter to zero (tests and long-lived processes).
+    /// Enables or disables the latency histograms. Disabled (the
+    /// default), [`Metrics::record_comm_latency`] and
+    /// [`Metrics::record_bench_rep`] are single-boolean-load no-ops.
+    pub fn set_histograms_enabled(&self, enabled: bool) {
+        self.histograms_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether the latency histograms are recording.
+    pub fn histograms_enabled(&self) -> bool {
+        self.histograms_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Records one communication-operation latency into the per-op
+    /// histogram. `op` must be one of [`COMM_OPS`] (unknown tags are
+    /// ignored); a no-op unless histograms are enabled.
+    pub fn record_comm_latency(&self, op: &str, seconds: f64) {
+        if !self.histograms_enabled() {
+            return;
+        }
+        if let Some(i) = COMM_OPS.iter().position(|&o| o == op) {
+            self.comm_hists[i].record(seconds);
+        }
+    }
+
+    /// Records one benchmark repetition time; a no-op unless
+    /// histograms are enabled.
+    pub fn record_bench_rep(&self, seconds: f64) {
+        if !self.histograms_enabled() {
+            return;
+        }
+        self.bench_hist.record(seconds);
+    }
+
+    /// Snapshot of the per-op communication-latency histogram for
+    /// `op` (`None` for tags outside [`COMM_OPS`]).
+    pub fn comm_histogram(&self, op: &str) -> Option<HistogramSnapshot> {
+        COMM_OPS
+            .iter()
+            .position(|&o| o == op)
+            .map(|i| self.comm_hists[i].snapshot())
+    }
+
+    /// Snapshot of the benchmark repetition-time histogram.
+    pub fn bench_histogram(&self) -> HistogramSnapshot {
+        self.bench_hist.snapshot()
+    }
+
+    /// Emits one [`TraceEvent::Metrics`] per non-empty histogram
+    /// (`comm.<op>` scopes in [`COMM_OPS`] order, then `bench.rep`)
+    /// into `sink`, and returns how many events were written.
+    /// Typically called once at the end of a traced run.
+    pub fn export_histogram_events(&self, sink: &dyn TraceSink) -> usize {
+        let mut emitted = 0;
+        for (op, hist) in COMM_OPS.iter().zip(&self.comm_hists) {
+            let snap = hist.snapshot();
+            if snap.count == 0 {
+                continue;
+            }
+            sink.record(&TraceEvent::Metrics {
+                rank: 0,
+                scope: format!("comm.{op}"),
+                count: snap.count,
+                sum: snap.sum_seconds,
+                buckets: snap.buckets,
+            });
+            emitted += 1;
+        }
+        let snap = self.bench_hist.snapshot();
+        if snap.count > 0 {
+            sink.record(&TraceEvent::Metrics {
+                rank: 0,
+                scope: "bench.rep".to_owned(),
+                count: snap.count,
+                sum: snap.sum_seconds,
+                buckets: snap.buckets,
+            });
+            emitted += 1;
+        }
+        emitted
+    }
+
+    /// Resets every counter and histogram to zero (tests and
+    /// long-lived processes). The histogram enable flag is left
+    /// untouched.
     pub fn reset(&self) {
         self.kernels_executed.store(0, Ordering::Relaxed);
         self.total_reps.store(0, Ordering::Relaxed);
         self.outliers_rejected.store(0, Ordering::Relaxed);
         self.repartitions.store(0, Ordering::Relaxed);
         self.units_moved.store(0, Ordering::Relaxed);
+        for h in &self.comm_hists {
+            h.reset();
+        }
+        self.bench_hist.reset();
     }
 
     /// One-line human-readable summary for process-exit reporting.
@@ -1084,13 +1744,7 @@ impl Metrics {
 
 /// The process-wide [`Metrics`] instance.
 pub fn metrics() -> &'static Metrics {
-    static METRICS: Metrics = Metrics {
-        kernels_executed: AtomicU64::new(0),
-        total_reps: AtomicU64::new(0),
-        outliers_rejected: AtomicU64::new(0),
-        repartitions: AtomicU64::new(0),
-        units_moved: AtomicU64::new(0),
-    };
+    static METRICS: Metrics = Metrics::new();
     &METRICS
 }
 
@@ -1141,6 +1795,8 @@ mod tests {
                 seconds: 0.0031,
                 algorithm: "ring".to_owned(),
                 rounds: 3,
+                lamport: 17,
+                gen: 5,
             },
             TraceEvent::Fault {
                 rank: 1,
@@ -1148,6 +1804,18 @@ mod tests {
                 peer: 3,
                 attempt: 2,
                 seconds: 0.004,
+            },
+            TraceEvent::Metrics {
+                rank: 0,
+                scope: "comm.allgatherv".to_owned(),
+                count: 12,
+                sum: 0.037,
+                buckets: {
+                    let mut b = vec![0u64; HISTOGRAM_BUCKETS + 2];
+                    b[20] = 5;
+                    b[21] = 7;
+                    b
+                },
             },
         ]
     }
@@ -1191,6 +1859,8 @@ mod tests {
                 seconds: 0.0031,
                 algorithm: String::new(),
                 rounds: 0,
+                lamport: 0,
+                gen: 0,
             }
         );
     }
@@ -1198,7 +1868,7 @@ mod tests {
     #[test]
     fn csv_rows_have_stable_column_count() {
         let n_cols = CSV_HEADER.split(',').count();
-        assert_eq!(n_cols, 26);
+        assert_eq!(n_cols, CSV_COLUMNS);
         for event in sample_events() {
             let row = event.to_csv_row();
             assert_eq!(
@@ -1211,14 +1881,49 @@ mod tests {
     }
 
     #[test]
+    fn csv_rows_round_trip_every_event() {
+        for event in sample_events() {
+            let row = event.to_csv_row();
+            let back = TraceEvent::from_csv_row(&row).unwrap();
+            assert_eq!(event, back, "row: {row}");
+        }
+    }
+
+    #[test]
+    fn pre_v3_csv_rows_decode_with_defaults() {
+        // A 26-column (v2 + addendum) comm row lacks lamport/gen and
+        // the metrics columns entirely.
+        let row = "comm,,2,,,,,,,,,,,,,,,,allgatherv,,-1,4096,0.0031,,ring,3";
+        assert_eq!(row.split(',').count(), 26);
+        let back = TraceEvent::from_csv_row(row).unwrap();
+        assert_eq!(
+            back,
+            TraceEvent::Comm {
+                rank: 2,
+                op: "allgatherv".to_owned(),
+                peer: -1,
+                bytes: 4096,
+                seconds: 0.0031,
+                algorithm: "ring".to_owned(),
+                rounds: 3,
+                lamport: 0,
+                gen: 0,
+            }
+        );
+        assert!(TraceEvent::from_csv_row("comm,oops").is_err());
+        assert!(TraceEvent::from_csv_row(&"nope,".repeat(30)).is_err());
+    }
+
+    #[test]
     fn memory_sink_records_in_order() {
         let sink = MemorySink::new();
         for e in sample_events() {
             sink.record(&e);
         }
-        assert_eq!(sink.len(), 7);
+        let n = sample_events().len();
+        assert_eq!(sink.len(), n);
         assert_eq!(sink.events(), sample_events());
-        assert_eq!(sink.take().len(), 7);
+        assert_eq!(sink.take().len(), n);
         assert!(sink.is_empty());
     }
 
@@ -1258,6 +1963,119 @@ mod tests {
         );
         assert_eq!(lines.next(), Some(CSV_HEADER));
         assert_eq!(lines.count(), sample_events().len());
+    }
+
+    #[test]
+    fn trace_reader_streams_both_encodings() {
+        // JSONL
+        let sink = JsonlSink::new(Vec::new());
+        for e in sample_events() {
+            sink.record(&e);
+        }
+        let text = String::from_utf8(sink.into_inner().unwrap()).unwrap();
+        let reader = TraceReader::new(text.as_bytes()).unwrap();
+        assert_eq!(reader.schema(), SCHEMA_VERSION);
+        assert_eq!(reader.format(), TraceFormat::Jsonl);
+        let events: Vec<_> = reader.map(Result::unwrap).collect();
+        assert_eq!(events, sample_events());
+
+        // CSV (same events, same decode)
+        let sink = CsvSink::new(Vec::new());
+        for e in sample_events() {
+            sink.record(&e);
+        }
+        let text = String::from_utf8(sink.into_inner().unwrap()).unwrap();
+        let reader = TraceReader::new(text.as_bytes()).unwrap();
+        assert_eq!(reader.schema(), SCHEMA_VERSION);
+        assert_eq!(reader.format(), TraceFormat::Csv);
+        let events: Vec<_> = reader.map(Result::unwrap).collect();
+        assert_eq!(events, sample_events());
+    }
+
+    #[test]
+    fn trace_reader_rejects_future_csv_schema() {
+        let csv = format!(
+            "# fupermod-trace schema={}\n{CSV_HEADER}\n",
+            SCHEMA_VERSION + 1
+        );
+        assert!(TraceReader::new(csv.as_bytes()).is_err());
+        // Unparseable comment line.
+        assert!(TraceReader::new("# something else\n".as_bytes()).is_err());
+        // Missing column header.
+        let csv = format!("# fupermod-trace schema={SCHEMA_VERSION}\n");
+        assert!(TraceReader::new(csv.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = LatencyHistogram::new();
+        h.record(0.0); // underflow (0 ns)
+        h.record(1.5e-9); // 2 ns → bucket 1 (snapshot bin 2)
+        h.record(1e-3); // 1e6 ns → bucket 19 (2^19 = 524288 ≤ 1e6 < 2^20)
+        h.record(f64::NAN); // ignored
+        h.record(-1.0); // ignored
+        h.record(1e9); // 1e18 ns → overflow (>= 2^48)
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.buckets.len(), HISTOGRAM_BUCKETS + 2);
+        assert_eq!(s.buckets[0], 1); // underflow
+        assert_eq!(s.buckets[1 + 1], 1); // 2 ns in bucket k=1
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS + 1], 1); // overflow
+        // 1e6 ns: floor(log2(1e6)) = 19
+        assert_eq!(s.buckets[1 + 19], 1);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 4);
+        assert!(s.mean().unwrap() > 0.0);
+        // The median sample (2nd of 4) is the 2 ns one → quantile
+        // upper bound 4 ns.
+        assert!((s.quantile(0.5).unwrap() - 4e-9).abs() < 1e-18);
+        assert_eq!(s.quantile(1.0), Some(f64::INFINITY));
+        h.reset();
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn metrics_histograms_gate_and_export() {
+        let m = Metrics::new();
+        // Disabled by default: recording is a no-op.
+        m.record_comm_latency("send", 1e-6);
+        m.record_bench_rep(1e-3);
+        assert_eq!(m.comm_histogram("send").unwrap().count, 0);
+        assert_eq!(m.bench_histogram().count, 0);
+
+        m.set_histograms_enabled(true);
+        assert!(m.histograms_enabled());
+        m.record_comm_latency("send", 1e-6);
+        m.record_comm_latency("allgatherv", 2e-6);
+        m.record_comm_latency("not-an-op", 3e-6); // ignored
+        m.record_bench_rep(1e-3);
+        assert_eq!(m.comm_histogram("send").unwrap().count, 1);
+        assert_eq!(m.comm_histogram("allgatherv").unwrap().count, 1);
+        assert!(m.comm_histogram("not-an-op").is_none());
+        assert_eq!(m.bench_histogram().count, 1);
+
+        let sink = MemorySink::new();
+        let emitted = m.export_histogram_events(&sink);
+        assert_eq!(emitted, 3); // send, allgatherv, bench.rep
+        let scopes: Vec<String> = sink
+            .events()
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Metrics { scope, .. } => scope.clone(),
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(scopes, ["comm.send", "comm.allgatherv", "bench.rep"]);
+        // Exported events round-trip through both encodings.
+        for e in sink.events() {
+            assert_eq!(TraceEvent::from_jsonl(&e.to_jsonl()).unwrap(), e);
+            assert_eq!(TraceEvent::from_csv_row(&e.to_csv_row()).unwrap(), e);
+        }
+
+        m.reset();
+        assert_eq!(m.comm_histogram("send").unwrap().count, 0);
+        assert_eq!(m.bench_histogram().count, 0);
+        assert!(m.histograms_enabled()); // flag survives reset
+        m.set_histograms_enabled(false);
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! Property tests for the trace wire formats: every [`TraceEvent`]
+//! variant must survive JSONL → decode → JSONL and
+//! JSONL → CSV → decode → JSONL unchanged, including non-finite
+//! floats (`null` / `1e9999` / `-1e9999`) and the schema-v3
+//! `lamport`/`gen`/histogram fields. Because `NaN != NaN`, round
+//! trips are compared on the *canonical JSONL encoding*, which is
+//! total.
+
+use std::io::Cursor;
+
+use fupermod_core::trace::{
+    TraceEvent, TraceReader, COMM_OPS, HISTOGRAM_BUCKETS, SCHEMA_VERSION,
+};
+use proptest::prelude::*;
+
+/// Floats as traces see them: finite magnitudes across many decades,
+/// zero, and the three non-finite encodings.
+fn float_strategy() -> impl Strategy<Value = f64> {
+    (-1.0e3f64..1.0e3, 0usize..8).prop_map(|(base, sel)| match sel {
+        0 => 0.0,
+        1 => f64::NAN,
+        2 => f64::INFINITY,
+        3 => f64::NEG_INFINITY,
+        4 => base * 1e-9, // nanoseconds
+        5 => base * 1e9,  // giant
+        _ => base,
+    })
+}
+
+/// u64 values that survive the f64 stage of the flat JSON parser
+/// (exact up to 2^53).
+fn u64_strategy() -> impl Strategy<Value = u64> {
+    (0u64..(1 << 53), 0usize..4).prop_map(|(v, sel)| match sel {
+        0 => 0,
+        1 => (1 << 53) - 1,
+        _ => v,
+    })
+}
+
+const ALGORITHMS: [&str; 5] = ["hub", "ring", "tree", "direct", ""];
+const KINDS: [&str; 7] = [
+    "delay",
+    "drop",
+    "retry",
+    "straggler",
+    "death",
+    "timeout",
+    "degraded",
+];
+const SCOPES: [&str; 3] = ["comm.send", "comm.allreduce", "bench.rep"];
+
+#[allow(clippy::too_many_arguments)]
+fn make_event(
+    variant: usize,
+    rank: usize,
+    big: u64,
+    big2: u64,
+    small: u32,
+    f1: f64,
+    f2: f64,
+    f3: f64,
+    pick: usize,
+    dist: Vec<u64>,
+    buckets: Vec<u64>,
+) -> TraceEvent {
+    match variant % 8 {
+        0 => TraceEvent::BenchmarkSample {
+            rank,
+            d: big,
+            rep: small,
+            time: f1,
+            ci_rel: f2,
+        },
+        1 => TraceEvent::BenchmarkDone {
+            rank,
+            d: big,
+            reps: small,
+            mean: f1,
+            stderr: f2,
+            elapsed: f3,
+            outliers_rejected: small / 3,
+        },
+        2 => TraceEvent::ModelUpdate {
+            rank,
+            d: big,
+            t: f1,
+            reps: small,
+            points: rank + 1,
+        },
+        3 => TraceEvent::PartitionStep {
+            iter: big2,
+            dist,
+            imbalance: f1,
+            units_moved: big,
+        },
+        4 => TraceEvent::DynamicConverged {
+            steps: big2,
+            imbalance: f1,
+        },
+        5 => TraceEvent::Comm {
+            rank,
+            op: COMM_OPS[pick % COMM_OPS.len()].to_owned(),
+            peer: (rank as i64) - 1,
+            bytes: big,
+            seconds: f1,
+            algorithm: ALGORITHMS[pick % ALGORITHMS.len()].to_owned(),
+            rounds: big2 % 64,
+            lamport: big2,
+            gen: big,
+        },
+        6 => TraceEvent::Fault {
+            rank,
+            kind: KINDS[pick % KINDS.len()].to_owned(),
+            peer: (rank as i64) - 1,
+            attempt: small,
+            seconds: f1,
+        },
+        _ => TraceEvent::Metrics {
+            rank,
+            scope: SCOPES[pick % SCOPES.len()].to_owned(),
+            count: big,
+            sum: f1,
+            buckets,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn jsonl_and_csv_round_trip_every_variant(
+        variant in 0usize..8,
+        rank in 0usize..64,
+        big in u64_strategy(),
+        big2 in u64_strategy(),
+        small in 0u32..10_000,
+        f1 in float_strategy(),
+        f2 in float_strategy(),
+        f3 in float_strategy(),
+        pick in 0usize..64,
+        dist in proptest::collection::vec(0u64..1_000_000, 0..6),
+        buckets in proptest::collection::vec(
+            0u64..1_000_000,
+            HISTOGRAM_BUCKETS + 2..HISTOGRAM_BUCKETS + 3,
+        ),
+    ) {
+        let event = make_event(
+            variant, rank, big, big2, small, f1, f2, f3, pick, dist, buckets,
+        );
+        let canonical = event.to_jsonl();
+
+        // JSONL -> decode -> JSONL.
+        let decoded = TraceEvent::from_jsonl(&canonical).unwrap();
+        prop_assert_eq!(decoded.to_jsonl(), canonical.clone());
+
+        // JSONL -> CSV -> decode -> JSONL (the CSV columns must carry
+        // every field of every variant, non-finite spellings included).
+        let row = event.to_csv_row();
+        let from_csv = TraceEvent::from_csv_row(&row).unwrap();
+        prop_assert_eq!(from_csv.to_jsonl(), canonical);
+    }
+}
+
+#[test]
+fn non_finite_floats_round_trip_explicitly() {
+    let event = TraceEvent::BenchmarkSample {
+        rank: 3,
+        d: 100,
+        rep: 0,
+        time: f64::NAN,
+        ci_rel: f64::INFINITY,
+    };
+    let line = event.to_jsonl();
+    assert!(line.contains("\"time\":null"), "line: {line}");
+    assert!(line.contains("\"ci_rel\":1e9999"), "line: {line}");
+    let back = TraceEvent::from_jsonl(&line).unwrap();
+    match back {
+        TraceEvent::BenchmarkSample { time, ci_rel, .. } => {
+            assert!(time.is_nan());
+            assert_eq!(ci_rel, f64::INFINITY);
+        }
+        other => panic!("wrong variant: {other:?}"),
+    }
+
+    let event = TraceEvent::DynamicConverged {
+        steps: 2,
+        imbalance: f64::NEG_INFINITY,
+    };
+    let row = event.to_csv_row();
+    let back = TraceEvent::from_csv_row(&row).unwrap();
+    assert_eq!(back.to_jsonl(), event.to_jsonl());
+    assert!(event.to_jsonl().contains("-1e9999"));
+}
+
+#[test]
+fn reader_rejects_newer_jsonl_schema() {
+    let future = SCHEMA_VERSION + 1;
+    let text = format!(
+        "{{\"trace\":\"fupermod\",\"schema\":{future}}}\n\
+         {{\"event\":\"dynamic_converged\",\"steps\":1,\"imbalance\":0.5}}\n"
+    );
+    let err = TraceReader::new(Cursor::new(text.into_bytes()))
+        .err()
+        .expect("future schema must be rejected");
+    let msg = err.to_string();
+    assert!(msg.contains(&future.to_string()), "unhelpful error: {msg}");
+}
+
+#[test]
+fn reader_accepts_older_schemas_with_v3_defaults() {
+    // A v1-era trace: no lamport/gen on comm, no metrics events.
+    let text = "{\"trace\":\"fupermod\",\"schema\":1}\n\
+                {\"event\":\"comm\",\"rank\":1,\"op\":\"send\",\"peer\":0,\
+                 \"bytes\":64,\"seconds\":0.001}\n";
+    let events: Vec<TraceEvent> = TraceReader::new(Cursor::new(text.as_bytes().to_vec()))
+        .unwrap()
+        .collect::<Result<_, _>>()
+        .unwrap();
+    match &events[0] {
+        TraceEvent::Comm {
+            lamport,
+            gen,
+            algorithm,
+            rounds,
+            ..
+        } => {
+            assert_eq!((*lamport, *gen, *rounds), (0, 0, 0));
+            assert_eq!(algorithm, "", "pre-addendum algorithm decodes empty");
+        }
+        other => panic!("wrong variant: {other:?}"),
+    }
+}

@@ -351,6 +351,7 @@ impl RuntimeConfig {
                 agreed_alive: vec![true; size],
                 arrived: 0,
                 generation: 0,
+                lamport: vec![0; size],
                 pending_charge: None,
                 ops: vec![0; size],
                 delay_counts: vec![0; self.plan.delays.len()],
@@ -441,6 +442,12 @@ struct Envelope {
     /// immediately and charges the receiver's virtual clock.
     delay: f64,
     sent_at: Instant,
+    /// Sender's Lamport clock at enqueue time (schema v3): the causal
+    /// stamp piggybacked on every message, merged into the receiver's
+    /// clock at delivery (`c := max(c, stamp + 1)`). Rides the
+    /// envelope, not the payload, so every `Wire`-encoded message of
+    /// every schedule carries it without touching the codec.
+    lamport: u64,
 }
 
 /// A virtual-time charge for one collective, deposited by its root
@@ -481,6 +488,15 @@ struct PlaneState {
     agreed_alive: Vec<bool>,
     arrived: usize,
     generation: u64,
+    /// Per-rank Lamport clocks (schema v3). Every operation ticks its
+    /// rank's clock in `op_begin`, message delivery merges the
+    /// sender's piggybacked stamp, and a completing barrier
+    /// generation *joins* all live clocks to `max + 1` — so every
+    /// participant of one collective records the same stamp, and the
+    /// stamps are a schedule-independent function of the program's
+    /// communication structure (identical across the thread and sim
+    /// backends, which is what makes merged timelines deterministic).
+    lamport: Vec<u64>,
     pending_charge: Option<Charge>,
     ops: Vec<u64>,
     delay_counts: Vec<u64>,
@@ -527,6 +543,16 @@ impl Plane {
     fn complete_generation(&self, st: &mut PlaneState) {
         st.arrived = 0;
         st.generation = st.generation.wrapping_add(1);
+        // Lamport join (schema v3): a completed barrier generation is
+        // a causal rendezvous of every live rank, so all live clocks
+        // jump to `max + 1` — symmetric in the completer, hence
+        // independent of *which* rank happened to arrive last.
+        let join = st.lamport.iter().copied().max().unwrap_or(0).wrapping_add(1);
+        for (c, &dead) in st.lamport.iter_mut().zip(&st.dead) {
+            if !dead {
+                *c = join;
+            }
+        }
         // One write, under the lock, by the single completing rank:
         // the membership agreement every schedule of the next
         // generation is built from.
@@ -607,6 +633,10 @@ impl std::fmt::Debug for ThreadedComm {
 struct OpStart {
     wall: Instant,
     virt: f64,
+    /// Barrier generation current when the op began — the `gen` a
+    /// point-to-point event records (collectives record the
+    /// generation their closing barrier completed instead).
+    gen: u64,
 }
 
 impl ThreadedComm {
@@ -640,6 +670,7 @@ impl ThreadedComm {
     /// death, straggler latency. Returns the start stamps.
     fn op_begin(&self, op: &'static str) -> Result<OpStart, RuntimeError> {
         let plane = &self.plane;
+        let gen;
         {
             let mut st = plane.lock();
             if st.dead[self.rank] {
@@ -649,6 +680,10 @@ impl ThreadedComm {
                 });
             }
             st.ops[self.rank] += 1;
+            // Lamport tick: every operation is an event on its rank's
+            // clock (schema v3).
+            st.lamport[self.rank] = st.lamport[self.rank].wrapping_add(1);
+            gen = st.generation;
             if let Some(after) = plane.plan.death_after(self.rank) {
                 if st.ops[self.rank] > after {
                     plane.mark_dead(&mut st, self.rank);
@@ -669,12 +704,16 @@ impl ThreadedComm {
         Ok(OpStart {
             wall: Instant::now(),
             virt: plane.virtual_time_of(self.rank),
+            gen,
         })
     }
 
-    /// Common op epilogue: emits the schema-v2 `comm` trace event
-    /// (with the addendum `algorithm`/`rounds` fields describing the
-    /// schedule that carried the operation).
+    /// Common op epilogue: emits the `comm` trace event with the
+    /// schema-v2 addendum `algorithm`/`rounds` fields describing the
+    /// schedule that carried the operation and the schema-v3 causal
+    /// `lamport`/`gen` stamps; also feeds the per-op latency
+    /// histogram ([`fupermod_core::trace::Metrics`]).
+    #[allow(clippy::too_many_arguments)] // one flat epilogue beats a one-shot struct
     fn op_end(
         &self,
         op: &'static str,
@@ -683,11 +722,14 @@ impl ThreadedComm {
         start: &OpStart,
         algorithm: &str,
         rounds: u64,
+        gen: u64,
     ) {
         let seconds = match self.plane.mode {
             ClockMode::Wall => start.wall.elapsed().as_secs_f64(),
             ClockMode::Sim => self.plane.virtual_time_of(self.rank) - start.virt,
         };
+        let lamport = self.plane.lock().lamport[self.rank];
+        fupermod_core::trace::metrics().record_comm_latency(op, seconds);
         self.plane.sink.record(&TraceEvent::Comm {
             rank: self.rank,
             op: op.to_owned(),
@@ -696,6 +738,8 @@ impl ThreadedComm {
             seconds,
             algorithm: algorithm.to_owned(),
             rounds,
+            lamport,
+            gen,
         });
     }
 
@@ -768,11 +812,15 @@ impl ThreadedComm {
                     break;
                 }
             }
+            // Causal stamp: the sender's clock at enqueue time,
+            // merged by the receiver at delivery.
+            let stamp = st.lamport[self.rank];
             st.mail[dst].push_back(Envelope {
                 src: self.rank,
                 bytes,
                 delay,
                 sent_at: Instant::now(),
+                lamport: stamp,
             });
             plane.cv.notify_all();
             drop(st);
@@ -814,6 +862,10 @@ impl ThreadedComm {
                 };
                 if ready {
                     let env = st.mail[self.rank].remove(idx).expect("index just found");
+                    // Lamport merge: receipt happens-after the send,
+                    // so the receiver's clock jumps past the stamp.
+                    st.lamport[self.rank] =
+                        st.lamport[self.rank].max(env.lamport.wrapping_add(1));
                     drop(st);
                     if let Some(sim) = &plane.sim {
                         let mut sim = sim.lock().expect("sim poisoned");
@@ -844,12 +896,17 @@ impl ThreadedComm {
 
     /// Sense-reversing, death-aware barrier. `default_charge` is
     /// deposited if no collective already deposited one (used by the
-    /// public `barrier`).
+    /// public `barrier`). Returns the generation this barrier
+    /// *completed* — captured before the increment, so every
+    /// participant of the same rendezvous reports the same value
+    /// (this is the `gen` stamp collective `comm` events record;
+    /// reading `st.generation` after the fact would race with the
+    /// next generation).
     fn raw_barrier(
         &self,
         op: &'static str,
         default_charge: Option<Charge>,
-    ) -> Result<(), RuntimeError> {
+    ) -> Result<u64, RuntimeError> {
         let plane = &self.plane;
         let deadline_at = Instant::now() + plane.deadline;
         let mut st = plane.lock();
@@ -868,7 +925,7 @@ impl ThreadedComm {
         let gen = st.generation;
         if st.arrived >= st.live_count() {
             plane.complete_generation(&mut st);
-            return Ok(());
+            return Ok(gen);
         }
         loop {
             let now = Instant::now();
@@ -883,11 +940,11 @@ impl ThreadedComm {
                 .expect("runtime plane poisoned");
             st = guard;
             if st.generation != gen {
-                return Ok(());
+                return Ok(gen);
             }
             if st.arrived >= st.live_count() {
                 plane.complete_generation(&mut st);
-                return Ok(());
+                return Ok(gen);
             }
         }
     }
@@ -934,15 +991,17 @@ impl ThreadedComm {
     /// leave the others' barrier generation short (they would
     /// otherwise stall until the deadline fail-stops someone). A
     /// data-phase error takes precedence over a barrier error.
+    /// Returns the value paired with the generation the closing
+    /// barrier completed (the collective's `gen` stamp).
     fn close_op<T>(
         &self,
         op: &'static str,
         outcome: Result<T, RuntimeError>,
-    ) -> Result<T, RuntimeError> {
+    ) -> Result<(T, u64), RuntimeError> {
         let fence = self.raw_barrier(op, None);
         match outcome {
             Err(e) => Err(e),
-            Ok(v) => fence.map(|()| v),
+            Ok(v) => fence.map(|gen| (v, gen)),
         }
     }
 
@@ -1352,7 +1411,7 @@ impl Communicator for ThreadedComm {
         let bytes = value.to_bytes();
         let n = bytes.len() as u64;
         self.raw_send(OP, dst, bytes)?;
-        self.op_end(OP, dst as i64, n, &start, "direct", 1);
+        self.op_end(OP, dst as i64, n, &start, "direct", 1, start.gen);
         Ok(())
     }
 
@@ -1362,7 +1421,15 @@ impl Communicator for ThreadedComm {
         let start = self.op_begin(OP)?;
         let bytes = self.raw_recv(OP, src, true)?;
         let value = Self::decode_as::<T>(OP, &bytes)?;
-        self.op_end(OP, src as i64, bytes.len() as u64, &start, "direct", 1);
+        self.op_end(
+            OP,
+            src as i64,
+            bytes.len() as u64,
+            &start,
+            "direct",
+            1,
+            start.gen,
+        );
         Ok(value)
     }
 
@@ -1390,8 +1457,8 @@ impl Communicator for ThreadedComm {
             Resolved::Ring | Resolved::Tree => collective::barrier_tree_rounds(&live),
         };
         let n_rounds = rounds.len() as u64;
-        self.raw_barrier(OP, Some(charge_of(&rounds)))?;
-        self.op_end(OP, -1, 0, &start, resolved.name(), n_rounds);
+        let gen = self.raw_barrier(OP, Some(charge_of(&rounds)))?;
+        self.op_end(OP, -1, 0, &start, resolved.name(), n_rounds, gen);
         Ok(())
     }
 
@@ -1401,7 +1468,7 @@ impl Communicator for ThreadedComm {
         let start = self.op_begin(OP)?;
         let resolved = self.plane.policy.bcast.resolve_rooted(self.plane.size);
         let outcome = self.bcast_data(OP, root, value, resolved);
-        let (result, moved) = self.close_op(OP, outcome)?;
+        let ((result, moved), gen) = self.close_op(OP, outcome)?;
         self.op_end(
             OP,
             root as i64,
@@ -1409,6 +1476,7 @@ impl Communicator for ThreadedComm {
             &start,
             resolved.name(),
             self.rooted_rounds(resolved),
+            gen,
         );
         Ok(result)
     }
@@ -1419,7 +1487,7 @@ impl Communicator for ThreadedComm {
         let start = self.op_begin(OP)?;
         let resolved = self.plane.policy.scatterv.resolve_rooted(self.plane.size);
         let outcome = self.scatterv_data(OP, root, parts, resolved);
-        let (result, moved) = self.close_op(OP, outcome)?;
+        let ((result, moved), gen) = self.close_op(OP, outcome)?;
         self.op_end(
             OP,
             root as i64,
@@ -1427,6 +1495,7 @@ impl Communicator for ThreadedComm {
             &start,
             resolved.name(),
             self.rooted_rounds(resolved),
+            gen,
         );
         Ok(result)
     }
@@ -1470,7 +1539,7 @@ impl Communicator for ThreadedComm {
             .allgatherv
             .resolve_allgatherv(self.plane.size, own.len() as u64);
         let outcome = self.allgather_slots(OP, own, resolved);
-        let (slots, moved) = self.close_op(OP, outcome)?;
+        let ((slots, moved), gen) = self.close_op(OP, outcome)?;
         let mut values = Vec::with_capacity(slots.len());
         for (rank, slot) in slots.into_iter().enumerate() {
             match slot {
@@ -1485,6 +1554,7 @@ impl Communicator for ThreadedComm {
             &start,
             resolved.name(),
             self.rootless_rounds(resolved),
+            gen,
         );
         Ok(values)
     }
@@ -1502,7 +1572,7 @@ impl Communicator for ThreadedComm {
             .allgatherv
             .resolve_allgatherv(self.plane.size, own.len() as u64);
         let outcome = self.allgather_slots(OP, own, resolved);
-        let (slots, moved) = self.close_op(OP, outcome)?;
+        let ((slots, moved), gen) = self.close_op(OP, outcome)?;
         let mut values = Vec::with_capacity(slots.len());
         for slot in slots {
             values.push(match slot {
@@ -1517,6 +1587,7 @@ impl Communicator for ThreadedComm {
             &start,
             resolved.name(),
             self.rootless_rounds(resolved),
+            gen,
         );
         Ok(values)
     }
@@ -1542,7 +1613,7 @@ impl Communicator for ThreadedComm {
                 }
             }
         };
-        let (result, moved) = self.close_op(OP, outcome)?;
+        let ((result, moved), gen) = self.close_op(OP, outcome)?;
         self.op_end(
             OP,
             -1,
@@ -1550,6 +1621,7 @@ impl Communicator for ThreadedComm {
             &start,
             resolved.name(),
             self.rootless_rounds(resolved),
+            gen,
         );
         Ok(result)
     }
@@ -1573,7 +1645,7 @@ impl ThreadedComm {
             Resolved::Hub => self.gather_hub_data(op, root, own),
             Resolved::Ring | Resolved::Tree => self.gather_tree_data(op, root, own),
         };
-        let (slots, moved) = self.close_op(op, outcome)?;
+        let ((slots, moved), gen) = self.close_op(op, outcome)?;
         let result = match slots {
             None => None,
             Some(slots) => {
@@ -1594,6 +1666,7 @@ impl ThreadedComm {
             &start,
             resolved.name(),
             self.rooted_rounds(resolved),
+            gen,
         );
         Ok(result)
     }

@@ -112,7 +112,11 @@ where
                 .expect("ctx slot poisoned")
                 .take()
                 .expect("make_ctx taken once");
-            let mut ctx = make();
+            // Route the context's partition_step/dynamic_converged
+            // events into the run's trace sink, so a traced
+            // distributed run records its full dynamic history (the
+            // report tool rebuilds the imbalance table from it).
+            let mut ctx = make().with_trace(sink.clone());
             assert_eq!(
                 ctx.dist().sizes().len(),
                 size,

@@ -1,0 +1,388 @@
+//! Causal merge of per-rank traces into one global timeline.
+//!
+//! Schema-v3 `comm` events carry a Lamport stamp and a barrier
+//! generation (`fupermod_runtime` ticks the clock per operation,
+//! piggybacks stamps on message envelopes, and joins all live clocks
+//! at every completed barrier generation). Those stamps are a
+//! schedule-independent function of the program's communication
+//! structure, so sorting events by
+//!
+//! ```text
+//! (lamport, gen, rank, per-rank sequence)
+//! ```
+//!
+//! yields one **causally consistent, deterministic** global order: the
+//! same run traced twice — even on different backends (thread vs.
+//! sim), even with the per-rank streams interleaved differently in the
+//! file — merges to the identical timeline.
+//!
+//! Non-`comm` events (benchmark samples, model updates, faults)
+//! inherit the last stamp their rank recorded in file order;
+//! partition/convergence events belong to the driver and attach to
+//! rank 0. Events that precede any stamped event sort first, at
+//! `(0, 0)`.
+//!
+//! The merge is **streaming**: inputs are read through
+//! [`fupermod_core::trace::TraceReader`] (never fully buffered), and
+//! memory is bounded by the cross-rank skew *within* each file — a
+//! file that interleaves its ranks fairly merges in O(ranks) memory
+//! regardless of file size. Rank sets are discovered in a cheap first
+//! pass so the k-way merge knows when a queue head is final.
+
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+
+use fupermod_core::trace::{TraceEvent, TraceReader};
+use fupermod_core::CoreError;
+
+/// A trace event stamped with its global ordering key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StampedEvent {
+    /// Effective Lamport stamp (own for `comm`, inherited otherwise).
+    pub lamport: u64,
+    /// Effective barrier generation (own for `comm`, inherited
+    /// otherwise).
+    pub gen: u64,
+    /// Attribution rank (the event's `rank` field; driver events —
+    /// `partition_step`, `dynamic_converged` — attach to rank 0).
+    pub rank: usize,
+    /// Per-`(source, rank)` sequence number preserving file order.
+    pub seq: u64,
+    /// Index of the source file the event came from (tie-break of
+    /// last resort when two sources carry the same rank).
+    pub source: usize,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+impl StampedEvent {
+    /// The total-order key the merge sorts by.
+    fn key(&self) -> (u64, u64, usize, u64, usize) {
+        (self.lamport, self.gen, self.rank, self.seq, self.source)
+    }
+}
+
+/// Attribution rank of an event (driver events attach to rank 0).
+pub fn event_rank(event: &TraceEvent) -> usize {
+    match event {
+        TraceEvent::BenchmarkSample { rank, .. }
+        | TraceEvent::BenchmarkDone { rank, .. }
+        | TraceEvent::ModelUpdate { rank, .. }
+        | TraceEvent::Comm { rank, .. }
+        | TraceEvent::Fault { rank, .. }
+        | TraceEvent::Metrics { rank, .. } => *rank,
+        TraceEvent::PartitionStep { .. } | TraceEvent::DynamicConverged { .. } => 0,
+    }
+}
+
+/// Per-source stamping state: the last `(lamport, gen)` each rank
+/// recorded, inherited by that rank's unstamped events.
+#[derive(Debug, Default)]
+struct Stamper {
+    last: Vec<(u64, u64)>, // indexed by rank, grown on demand
+    seq: Vec<u64>,
+}
+
+impl Stamper {
+    fn stamp(&mut self, source: usize, event: TraceEvent) -> StampedEvent {
+        let rank = event_rank(&event);
+        if rank >= self.last.len() {
+            self.last.resize(rank + 1, (0, 0));
+            self.seq.resize(rank + 1, 0);
+        }
+        if let TraceEvent::Comm { lamport, gen, .. } = &event {
+            self.last[rank] = (*lamport, *gen);
+        }
+        let (lamport, gen) = self.last[rank];
+        let seq = self.seq[rank];
+        self.seq[rank] += 1;
+        StampedEvent {
+            lamport,
+            gen,
+            rank,
+            seq,
+            source,
+            event,
+        }
+    }
+}
+
+/// One input of the streaming merge.
+struct Source {
+    reader: Option<TraceReader<std::io::BufReader<std::fs::File>>>,
+    stamper: Stamper,
+    /// Per-rank FIFO queues (sorted streams: Lamport stamps are
+    /// monotone per rank). Indexed by rank; ranks absent from this
+    /// source stay `None`.
+    queues: Vec<Option<VecDeque<StampedEvent>>>,
+}
+
+impl Source {
+    /// Whether every queue of a known rank is non-empty (a queue head
+    /// is only comparable once present or the file is exhausted).
+    fn saturated(&self) -> bool {
+        self.reader.is_none()
+            || self
+                .queues
+                .iter()
+                .flatten()
+                .all(|q| !q.is_empty())
+    }
+
+    /// Reads one event into its rank queue; drops the reader at EOF.
+    fn pull(&mut self, source_idx: usize) -> Result<(), CoreError> {
+        let Some(reader) = &mut self.reader else {
+            return Ok(());
+        };
+        match reader.next() {
+            None => {
+                self.reader = None;
+            }
+            Some(event) => {
+                let stamped = self.stamper.stamp(source_idx, event?);
+                let rank = stamped.rank;
+                if rank >= self.queues.len() {
+                    self.queues.resize_with(rank + 1, || None);
+                }
+                self.queues[rank]
+                    .get_or_insert_with(VecDeque::new)
+                    .push_back(stamped);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Streaming k-way merge over trace files (see the module docs for
+/// the ordering contract). Implements `Iterator` over stamped events
+/// in global causal order.
+pub struct Merge {
+    sources: Vec<Source>,
+    /// Schema version: the maximum declared by the inputs.
+    schema: u32,
+}
+
+impl Merge {
+    /// Opens `paths` for merging. The first pass discovers each
+    /// file's rank set (streaming — nothing is retained but the set);
+    /// the second pass is the lazy merge the iterator drives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Trace`] on unreadable files, foreign or
+    /// future-schema headers, or malformed events.
+    pub fn open(paths: &[PathBuf]) -> Result<Self, CoreError> {
+        if paths.is_empty() {
+            return Err(CoreError::Trace("merge needs at least one trace".to_owned()));
+        }
+        let mut sources = Vec::with_capacity(paths.len());
+        let mut schema = 0;
+        for path in paths {
+            // Pass 1: rank discovery.
+            let ranks = discover_ranks(path)?;
+            // Pass 2 reader, rewound.
+            let reader = TraceReader::open(path)?;
+            schema = schema.max(reader.schema());
+            let mut queues: Vec<Option<VecDeque<StampedEvent>>> = Vec::new();
+            for r in ranks {
+                if r >= queues.len() {
+                    queues.resize_with(r + 1, || None);
+                }
+                queues[r] = Some(VecDeque::new());
+            }
+            sources.push(Source {
+                reader: Some(reader),
+                stamper: Stamper::default(),
+                queues,
+            });
+        }
+        Ok(Self { sources, schema })
+    }
+
+    /// The merged trace's schema version (maximum over the inputs).
+    pub fn schema(&self) -> u32 {
+        self.schema
+    }
+
+    fn next_event(&mut self) -> Result<Option<StampedEvent>, CoreError> {
+        // Fill: every known queue must hold its head (or its file be
+        // exhausted) before heads are comparable.
+        loop {
+            let mut progressed = false;
+            for (i, src) in self.sources.iter_mut().enumerate() {
+                while !src.saturated() {
+                    src.pull(i)?;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        // Pop the minimum head.
+        let mut best: Option<(usize, usize)> = None; // (source, rank)
+        for (i, src) in self.sources.iter().enumerate() {
+            for (r, q) in src.queues.iter().enumerate() {
+                if let Some(head) = q.as_ref().and_then(|q| q.front()) {
+                    let better = match best {
+                        None => true,
+                        Some((bi, br)) => {
+                            let cur = self.sources[bi].queues[br]
+                                .as_ref()
+                                .and_then(|q| q.front())
+                                .expect("best head present");
+                            head.key() < cur.key()
+                        }
+                    };
+                    if better {
+                        best = Some((i, r));
+                    }
+                }
+            }
+        }
+        Ok(best.map(|(i, r)| {
+            self.sources[i].queues[r]
+                .as_mut()
+                .expect("queue exists")
+                .pop_front()
+                .expect("head present")
+        }))
+    }
+}
+
+impl Iterator for Merge {
+    type Item = Result<StampedEvent, CoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_event().transpose()
+    }
+}
+
+/// First pass of [`Merge::open`]: the set of attribution ranks a
+/// trace file contains (streamed; constant memory beyond the set).
+fn discover_ranks(path: &Path) -> Result<Vec<usize>, CoreError> {
+    let reader = TraceReader::open(path)?;
+    let mut seen: Vec<bool> = Vec::new();
+    for event in reader {
+        let r = event_rank(&event?);
+        if r >= seen.len() {
+            seen.resize(r + 1, false);
+        }
+        seen[r] = true;
+    }
+    Ok(seen
+        .iter()
+        .enumerate()
+        .filter_map(|(r, &s)| s.then_some(r))
+        .collect())
+}
+
+/// Merges in-memory per-source event lists (the same ordering
+/// contract as [`Merge`], without touching the filesystem — used by
+/// tests and by consumers that already hold events).
+pub fn merge_events(sources: Vec<Vec<TraceEvent>>) -> Vec<StampedEvent> {
+    let mut all: Vec<StampedEvent> = Vec::new();
+    for (i, events) in sources.into_iter().enumerate() {
+        let mut stamper = Stamper::default();
+        for e in events {
+            all.push(stamper.stamp(i, e));
+        }
+    }
+    all.sort_by_key(StampedEvent::key);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comm(rank: usize, op: &str, lamport: u64, gen: u64) -> TraceEvent {
+        TraceEvent::Comm {
+            rank,
+            op: op.to_owned(),
+            peer: -1,
+            bytes: 8,
+            seconds: 1e-6,
+            algorithm: "hub".to_owned(),
+            rounds: 2,
+            lamport,
+            gen,
+        }
+    }
+
+    fn sample(rank: usize, d: u64) -> TraceEvent {
+        TraceEvent::BenchmarkSample {
+            rank,
+            d,
+            rep: 0,
+            time: 0.5,
+            ci_rel: 0.1,
+        }
+    }
+
+    #[test]
+    fn merge_orders_by_lamport_then_rank() {
+        // Rank 1's collective events must interleave before rank 0's
+        // later ones despite arriving from a separate source.
+        let src0 = vec![comm(0, "barrier", 3, 0), comm(0, "allreduce", 6, 1)];
+        let src1 = vec![comm(1, "barrier", 3, 0), comm(1, "allreduce", 6, 1)];
+        let merged = merge_events(vec![src0, src1]);
+        let keys: Vec<(u64, usize)> = merged.iter().map(|s| (s.lamport, s.rank)).collect();
+        assert_eq!(keys, [(3, 0), (3, 1), (6, 0), (6, 1)]);
+    }
+
+    #[test]
+    fn unstamped_events_inherit_their_ranks_last_stamp() {
+        let src = vec![
+            sample(1, 10), // before any stamp: (0,0)
+            comm(1, "barrier", 3, 0),
+            sample(1, 20), // inherits (3,0)
+            comm(1, "barrier", 7, 1),
+            sample(1, 30), // inherits (7,1)
+        ];
+        let merged = merge_events(vec![src]);
+        let stamps: Vec<(u64, u64)> = merged.iter().map(|s| (s.lamport, s.gen)).collect();
+        assert_eq!(stamps, [(0, 0), (3, 0), (3, 0), (7, 1), (7, 1)]);
+        // File order within the rank is preserved at equal stamps.
+        assert!(matches!(merged[1].event, TraceEvent::Comm { .. }));
+        assert!(matches!(merged[2].event, TraceEvent::BenchmarkSample { d: 20, .. }));
+    }
+
+    #[test]
+    fn driver_events_attach_to_rank_zero() {
+        let e = TraceEvent::PartitionStep {
+            iter: 1,
+            dist: vec![5, 5],
+            imbalance: 0.1,
+            units_moved: 2,
+        };
+        assert_eq!(event_rank(&e), 0);
+        let merged = merge_events(vec![vec![comm(0, "barrier", 4, 0), e.clone()]]);
+        assert_eq!(merged[1].lamport, 4);
+        assert_eq!(merged[1].rank, 0);
+    }
+
+    #[test]
+    fn mixed_rank_file_interleaving_does_not_matter() {
+        // The same logical events, written in two different physical
+        // interleavings (as a shared sink would under different thread
+        // schedules), merge identically.
+        let a = vec![
+            comm(0, "barrier", 2, 0),
+            comm(1, "barrier", 2, 0),
+            sample(0, 1),
+            comm(0, "allreduce", 5, 1),
+            comm(1, "allreduce", 5, 1),
+        ];
+        let b = vec![
+            comm(1, "barrier", 2, 0),
+            comm(0, "barrier", 2, 0),
+            comm(1, "allreduce", 5, 1),
+            sample(0, 1),
+            comm(0, "allreduce", 5, 1),
+        ];
+        let ma: Vec<TraceEvent> = merge_events(vec![a]).into_iter().map(|s| s.event).collect();
+        let mb: Vec<TraceEvent> = merge_events(vec![b]).into_iter().map(|s| s.event).collect();
+        assert_eq!(ma, mb);
+    }
+}

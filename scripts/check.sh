@@ -26,6 +26,22 @@ run cargo test --release -p fupermod-kernels -q "${EXTRA[@]+"${EXTRA[@]}"}"
 # single-threaded so parallel test scheduling cannot starve a rank,
 # and bound the whole suite.
 run timeout 300 cargo test -p fupermod-runtime "${EXTRA[@]+"${EXTRA[@]}"}" -- --test-threads=1
+# Tracetool gate: a traced end-to-end run must merge, report and
+# schema-validate (the observability layer's contract — see
+# docs/OBSERVABILITY.md §8). Uses the release binaries built above.
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP"' EXIT
+run env FUPERMOD_TRACE_DIR="$TRACE_TMP" \
+    ./target/release/exp2_dynamic_cost --quick --runtime sim
+TRACE_FILE="$TRACE_TMP/exp2_dynamic_cost.trace.jsonl"
+run ./target/release/fupermod_tracetool merge "$TRACE_FILE" \
+    --out "$TRACE_TMP/merged.jsonl"
+run ./target/release/fupermod_tracetool report "$TRACE_TMP/merged.jsonl" \
+    --json --out "$TRACE_TMP/summary.json"
+run ./target/release/fupermod_tracetool validate \
+    --schema scripts/tracetool_schema.json "$TRACE_TMP/summary.json"
+run ./target/release/fupermod_tracetool export "$TRACE_FILE" \
+    --format chrome --out "$TRACE_TMP/chrome.json"
 # The runtime crate must also be clippy-clean on its own (the
 # workspace pass below covers it too, but a targeted run keeps the
 # collective layer's lints enforced even when other crates are

@@ -8,7 +8,8 @@
 //! Usage: fupermod_builder [--platform NAME] [--seed S] [--block B]
 //!                         [--lo L --hi H --points N] [--out DIR]
 //!                         [--parallelism N]
-//!                         [--trace PATH [--trace-format jsonl|csv]]
+//!                         [--trace PATH | --trace-dir DIR]
+//!                         [--trace-format jsonl|csv]
 //!   --platform      uniform4 | two-speed | multicore | hybrid | grid (default: two-speed)
 //!   --seed          platform seed (default: 1)
 //!   --block         matmul blocking factor (default: 16)
@@ -19,6 +20,8 @@
 //!                   0 = one per core); output is bit-identical either way
 //!   --trace         write a structured trace of every benchmark
 //!                   repetition and model update (see docs/OBSERVABILITY.md)
+//!   --trace-dir     like --trace, but write DIR/fupermod_builder.trace.jsonl
+//!                   (FUPERMOD_TRACE_DIR in the environment acts the same)
 //!   --trace-format  jsonl (default) or csv
 //! ```
 

@@ -6,13 +6,16 @@
 //! Usage: fupermod_partitioner --models DIR --total D
 //!                             [--algorithm even|constant|geometric|numerical]
 //!                             [--model cpm|linear|piecewise|akima]
-//!                             [--trace PATH [--trace-format jsonl|csv]]
+//!                             [--trace PATH | --trace-dir DIR]
+//!                             [--trace-format jsonl|csv]
 //!   --models        directory of *.points files (rank order = sorted name)
 //!   --total         workload in computation units
 //!   --algorithm     partitioning algorithm (default: geometric)
 //!   --model         model type built from the points (default: piecewise)
 //!   --trace         write the partition step as a structured trace
 //!                   (see docs/OBSERVABILITY.md)
+//!   --trace-dir     like --trace, but write DIR/fupermod_partitioner.trace.jsonl
+//!                   (FUPERMOD_TRACE_DIR in the environment acts the same)
 //!   --trace-format  jsonl (default) or csv
 //! ```
 

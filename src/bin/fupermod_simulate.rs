@@ -8,7 +8,8 @@
 //!                          [--parallelism N]
 //!                          [--runtime thread|sim] [--fault-plan SPEC]
 //!                          [--collectives hub|ring|tree|auto]
-//!                          [--trace PATH [--trace-format jsonl|csv]]
+//!                          [--trace PATH | --trace-dir DIR]
+//!                          [--trace-format jsonl|csv]
 //!   --app           which application to simulate; `balance` runs the
 //!                   distributed dynamic-balancing loop on the runtime
 //!   --platform      uniform4 | two-speed | multicore | hybrid | grid (default: two-speed)
@@ -26,6 +27,8 @@
 //!   --collectives   (balance only) collective schedules: hub (default),
 //!                   ring, tree or auto (see docs/RUNTIME.md §6)
 //!   --trace         write a structured trace (see docs/OBSERVABILITY.md)
+//!   --trace-dir     like --trace, but write DIR/fupermod_simulate.trace.jsonl
+//!                   (FUPERMOD_TRACE_DIR in the environment acts the same)
 //!   --trace-format  jsonl (default) or csv
 //!   --gantt yes     (matmul only) dump the Gantt-style activity CSV to stderr
 //! ```

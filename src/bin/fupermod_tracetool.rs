@@ -1,0 +1,275 @@
+//! `fupermod_tracetool` — analyze traces written by the
+//! observability layer (see docs/OBSERVABILITY.md).
+//!
+//! ```text
+//! Usage: fupermod_tracetool <command> [options] FILE...
+//!
+//!   merge FILE... [--out PATH]
+//!       Causally merge per-rank JSONL/CSV traces into one global
+//!       JSONL timeline, ordered by the schema-v3 Lamport stamps
+//!       (deterministic: rank breaks ties). Output goes to stdout
+//!       unless --out is given.
+//!
+//!   report FILE... [--json] [--out PATH]
+//!       Merge, then summarize: per-rank compute/comm/wait seconds,
+//!       collective critical path by (op, algorithm), the dynamic
+//!       imbalance table, fault and latency-histogram summaries.
+//!       Text by default; --json emits summary JSON matching
+//!       scripts/tracetool_schema.json.
+//!
+//!   export FILE... [--format chrome] [--out PATH]
+//!       Merge, then export a Chrome trace-event / Perfetto JSON
+//!       timeline: one track per rank, barrier-aligned slices.
+//!       Load the output at https://ui.perfetto.dev or
+//!       chrome://tracing.
+//!
+//!   validate --schema SCHEMA.json FILE
+//!       Validate a JSON document against a committed JSON-Schema
+//!       subset (used by scripts/check.sh to gate report output).
+//! ```
+//!
+//! Exit codes: 0 ok, 1 data/validation error, 2 usage error.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Write};
+use std::path::PathBuf;
+
+use fupermod::core::trace::SCHEMA_VERSION;
+use fupermod::trace::{export_chrome, validate, Json, Merge, Report, StampedEvent};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage();
+    };
+    let rest = &args[1..];
+    let code = match command.as_str() {
+        "merge" => cmd_merge(rest),
+        "report" => cmd_report(rest),
+        "export" => cmd_export(rest),
+        "validate" => cmd_validate(rest),
+        "--help" | "-h" | "help" => usage(),
+        other => {
+            eprintln!("unknown command '{other}' (want merge, report, export or validate)");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "Usage: fupermod_tracetool <merge|report|export|validate> [options] FILE...\n\
+         \n\
+         merge    FILE... [--out PATH]              merged global JSONL timeline\n\
+         report   FILE... [--json] [--out PATH]     summary report (text or JSON)\n\
+         export   FILE... [--format chrome] [--out PATH]  Perfetto/Chrome JSON\n\
+         validate --schema SCHEMA.json FILE         check JSON against a schema"
+    );
+    std::process::exit(2);
+}
+
+/// Splits `--flag value` options from positional file arguments.
+fn split_args(rest: &[String]) -> (Vec<(String, String)>, Vec<String>, Vec<PathBuf>) {
+    let mut opts = Vec::new();
+    let mut switches = Vec::new();
+    let mut files = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let a = &rest[i];
+        if let Some(flag) = a.strip_prefix("--") {
+            match flag {
+                "json" => {
+                    switches.push(flag.to_owned());
+                    i += 1;
+                }
+                "out" | "format" | "schema" => {
+                    let Some(v) = rest.get(i + 1) else {
+                        eprintln!("--{flag} needs a value");
+                        std::process::exit(2);
+                    };
+                    opts.push((flag.to_owned(), v.clone()));
+                    i += 2;
+                }
+                _ => {
+                    eprintln!("unknown option --{flag}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            files.push(PathBuf::from(a));
+            i += 1;
+        }
+    }
+    (opts, switches, files)
+}
+
+fn opt<'a>(opts: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    opts.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Output writer: `--out PATH` or stdout.
+fn out_writer(opts: &[(String, String)]) -> io::Result<Box<dyn Write>> {
+    Ok(match opt(opts, "out") {
+        Some(path) => Box::new(BufWriter::new(File::create(path)?)),
+        None => Box::new(BufWriter::new(io::stdout())),
+    })
+}
+
+/// Drains a merge into `f`, reporting the first stream error.
+fn drain_merge<F>(mut merge: Merge, f: F) -> Result<(), String>
+where
+    F: FnOnce(&mut dyn Iterator<Item = StampedEvent>) -> Result<(), String>,
+{
+    let mut stream_err: Option<String> = None;
+    {
+        let mut iter = merge.by_ref().map_while(|r| match r {
+            Ok(e) => Some(e),
+            Err(e) => {
+                stream_err = Some(e.to_string());
+                None
+            }
+        });
+        f(&mut iter)?;
+    }
+    match stream_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+fn open_merge(files: &[PathBuf]) -> Result<Merge, String> {
+    if files.is_empty() {
+        return Err("no trace files given".to_owned());
+    }
+    Merge::open(files).map_err(|e| e.to_string())
+}
+
+fn fail(context: &str, err: &str) -> i32 {
+    eprintln!("fupermod_tracetool: {context}: {err}");
+    1
+}
+
+fn cmd_merge(rest: &[String]) -> i32 {
+    let (opts, _, files) = split_args(rest);
+    let merge = match open_merge(&files) {
+        Ok(m) => m,
+        Err(e) => return fail("merge", &e),
+    };
+    let mut out = match out_writer(&opts) {
+        Ok(w) => w,
+        Err(e) => return fail("merge", &e.to_string()),
+    };
+    let result = drain_merge(merge, |events| {
+        writeln!(out, "{{\"trace\":\"fupermod\",\"schema\":{SCHEMA_VERSION}}}")
+            .map_err(|e| e.to_string())?;
+        for ev in events {
+            writeln!(out, "{}", ev.event.to_jsonl()).map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    })
+    .and_then(|()| out.flush().map_err(|e| e.to_string()));
+    match result {
+        Ok(()) => 0,
+        Err(e) => fail("merge", &e),
+    }
+}
+
+fn cmd_report(rest: &[String]) -> i32 {
+    let (opts, switches, files) = split_args(rest);
+    let merge = match open_merge(&files) {
+        Ok(m) => m,
+        Err(e) => return fail("report", &e),
+    };
+    let schema = merge.schema();
+    let mut report: Option<Report> = None;
+    let result = drain_merge(merge, |events| {
+        report = Some(Report::build(schema, events));
+        Ok(())
+    });
+    if let Err(e) = result {
+        return fail("report", &e);
+    }
+    let report = report.expect("report built");
+    let rendered = if switches.iter().any(|s| s == "json") {
+        let mut s = report.render_json();
+        s.push('\n');
+        s
+    } else {
+        report.render_text()
+    };
+    let result = out_writer(&opts)
+        .and_then(|mut out| out.write_all(rendered.as_bytes()).and_then(|()| out.flush()));
+    match result {
+        Ok(()) => 0,
+        Err(e) => fail("report", &e.to_string()),
+    }
+}
+
+fn cmd_export(rest: &[String]) -> i32 {
+    let (opts, _, files) = split_args(rest);
+    let format = opt(&opts, "format").unwrap_or("chrome");
+    if format != "chrome" {
+        eprintln!("--format must be 'chrome' (got '{format}')");
+        return 2;
+    }
+    let merge = match open_merge(&files) {
+        Ok(m) => m,
+        Err(e) => return fail("export", &e),
+    };
+    let mut out = match out_writer(&opts) {
+        Ok(w) => w,
+        Err(e) => return fail("export", &e.to_string()),
+    };
+    let result = drain_merge(merge, |events| {
+        export_chrome(events, &mut out).map_err(|e| e.to_string())
+    })
+    .and_then(|()| {
+        writeln!(out).and_then(|()| out.flush()).map_err(|e| e.to_string())
+    });
+    match result {
+        Ok(()) => 0,
+        Err(e) => fail("export", &e),
+    }
+}
+
+fn cmd_validate(rest: &[String]) -> i32 {
+    let (opts, _, files) = split_args(rest);
+    let Some(schema_path) = opt(&opts, "schema") else {
+        eprintln!("validate needs --schema SCHEMA.json");
+        return 2;
+    };
+    let [file] = files.as_slice() else {
+        eprintln!("validate takes exactly one document FILE");
+        return 2;
+    };
+    let read = |path: &str| -> Result<Json, String> {
+        let mut text = String::new();
+        File::open(path)
+            .and_then(|mut f| f.read_to_string(&mut text))
+            .map_err(|e| format!("{path}: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let schema = match read(schema_path) {
+        Ok(j) => j,
+        Err(e) => return fail("validate", &e),
+    };
+    let doc = match read(&file.display().to_string()) {
+        Ok(j) => j,
+        Err(e) => return fail("validate", &e),
+    };
+    match validate(&schema, &doc) {
+        Ok(()) => {
+            println!("{}: valid", file.display());
+            0
+        }
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("{}: {e}", file.display());
+            }
+            1
+        }
+    }
+}

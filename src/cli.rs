@@ -1,7 +1,10 @@
 //! Shared helpers for the `fupermod_*` command-line binaries: flag
 //! parsing, platform/partitioner selection, and trace-sink wiring for
-//! the `--trace PATH [--trace-format jsonl|csv]` flags every binary
-//! accepts (see `docs/OBSERVABILITY.md`).
+//! the `--trace PATH`, `--trace-dir DIR` and
+//! `--trace-format jsonl|csv` flags every binary accepts (see
+//! `docs/OBSERVABILITY.md`). `FUPERMOD_TRACE_DIR` in the environment
+//! acts like `--trace-dir`, so a whole pipeline of binaries can be
+//! traced without editing each invocation.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -144,14 +147,43 @@ pub fn runtime_config(
     }
 }
 
-/// Opens the structured-trace sink requested by `--trace PATH` and
+/// Resolves the trace path requested by the unified trace flags:
+/// `--trace PATH` (exact file) wins over `--trace-dir DIR`, which
+/// wins over the `FUPERMOD_TRACE_DIR` environment variable. The
+/// directory forms name the file `DIR/<name>.trace.jsonl` (or
+/// `.trace.csv` under `--trace-format csv`), where `name` is the
+/// binary's own name. Returns `None` when tracing was not requested.
+pub fn trace_path(args: &HashMap<String, String>) -> Option<String> {
+    if let Some(path) = args.get("trace") {
+        return Some(path.clone());
+    }
+    let dir = args
+        .get("trace-dir")
+        .cloned()
+        .or_else(|| std::env::var("FUPERMOD_TRACE_DIR").ok())?;
+    let name = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "fupermod".to_owned());
+    let ext = match args.get("trace-format").map(String::as_str) {
+        Some("csv") => "csv",
+        _ => "jsonl",
+    };
+    Some(format!("{dir}/{name}.trace.{ext}"))
+}
+
+/// Opens the structured-trace sink requested by `--trace PATH`,
+/// `--trace-dir DIR` (or `FUPERMOD_TRACE_DIR`) and
 /// `--trace-format jsonl|csv` (default `jsonl`, or inferred from a
-/// `.csv` extension). Returns `None` when `--trace` was not given.
+/// `.csv` extension) — see [`trace_path`]. Returns `None` when no
+/// trace was requested. Opening a sink also enables the process-wide
+/// latency histograms ([`metrics`]), which [`finish_trace`] exports
+/// as `metrics` snapshot events.
 ///
 /// Exits with status 2 on an unknown format and status 1 when the file
 /// cannot be created.
 pub fn open_trace_sink(args: &HashMap<String, String>) -> Option<Arc<dyn TraceSink>> {
-    let path = args.get("trace")?;
+    let path = &trace_path(args)?;
     let format = args
         .get("trace-format")
         .map(String::as_str)
@@ -182,14 +214,17 @@ pub fn open_trace_sink(args: &HashMap<String, String>) -> Option<Arc<dyn TraceSi
             std::process::exit(2);
         }
     };
+    metrics().set_histograms_enabled(true);
     Some(sink)
 }
 
-/// Flushes an optional trace sink, exiting with status 1 on a deferred
-/// write error, and prints the process-wide metrics summary to stderr.
-/// Call once, right before the binary exits.
+/// Exports the latency-histogram snapshots as `metrics` events, then
+/// flushes the optional trace sink, exiting with status 1 on a
+/// deferred write error, and prints the process-wide metrics summary
+/// to stderr. Call once, right before the binary exits.
 pub fn finish_trace(sink: Option<&Arc<dyn TraceSink>>) {
     if let Some(sink) = sink {
+        metrics().export_histogram_events(sink.as_ref());
         if let Err(e) = sink.flush() {
             eprintln!("trace write failed: {e}");
             std::process::exit(1);

@@ -19,6 +19,7 @@
 //! | [`core`] | `fupermod-core` | benchmarking, performance models, partitioning |
 //! | [`runtime`] | `fupermod-runtime` | rank-based message-passing runtime, fault injection, distributed balancing |
 //! | [`apps`] | `fupermod-apps` | matrix multiplication and Jacobi use cases |
+//! | [`trace`] | `fupermod-trace` | causal trace merge, critical-path reports, Perfetto export |
 //!
 //! The [`cli`] module holds the flag parsing and `--trace` sink wiring
 //! shared by the `fupermod_*` binaries.
@@ -66,3 +67,4 @@ pub use fupermod_kernels as kernels;
 pub use fupermod_num as num;
 pub use fupermod_platform as platform;
 pub use fupermod_runtime as runtime;
+pub use fupermod_trace as trace;

@@ -137,6 +137,8 @@ fn simulate_csv_trace_has_versioned_header_and_stable_columns() {
                 "model_update",
                 "partition_step",
                 "dynamic_converged",
+                // Schema v3: histogram snapshots exported at exit.
+                "metrics",
             ]
             .contains(&event),
             "unknown event tag {event}"
