@@ -24,7 +24,9 @@ use fupermod_core::{CoreError, Point};
 use fupermod_kernels::gemm::{gemm_blocked, gemm_parallel};
 use fupermod_platform::comm::SimComm;
 use fupermod_platform::{Platform, WorkloadProfile};
-use fupermod_runtime::{run_ranks, Communicator, RuntimeConfig, RuntimeError};
+use fupermod_runtime::{
+    run_ranks, Communicator, OverlapMode, Request, RuntimeConfig, RuntimeError,
+};
 
 use crate::workload::DenseMatrix;
 
@@ -366,6 +368,189 @@ pub fn run_threaded_with(
     })
 }
 
+/// Outcome of a broadcast-driven matmul run ([`run_bcast`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BcastRun {
+    /// The assembled product matrix.
+    pub product: DenseMatrix,
+    /// Virtual makespan of the run on the sim backend; `None` on the
+    /// threaded backend.
+    pub virtual_time: Option<f64>,
+    /// Wall-clock duration of the rank phase, in seconds.
+    pub wall_seconds: f64,
+}
+
+/// FNV-1a checksum over the raw `f64` bit patterns of a matrix — the
+/// stable fingerprint the CLI prints so `scripts/check.sh` can diff a
+/// pipelined run against a blocking one bit-for-bit.
+#[must_use]
+pub fn matrix_checksum(m: &DenseMatrix) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in &m.data {
+        for byte in v.to_bits().to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// The paper's pivot loop with *real* broadcasts: at iteration `k` the
+/// owner of pivot `k` (rank `k mod p`) broadcasts the pivot
+/// block-column of `A` and block-row of `B`, and every rank updates its
+/// `C` rectangle with one rank-`block` GEMM.
+///
+/// `mode` picks the communication structure:
+///
+/// * [`OverlapMode::Blocking`] — `bcast(k)`, then compute the update;
+///   the schedule the serial paper loop implies.
+/// * [`OverlapMode::Overlapped`] — `ibcast(k+1)` is posted *before*
+///   the update for pivot `k` runs, so the next pivot travels while
+///   the current one is being consumed (double buffering).
+///
+/// Both modes run the identical GEMM sequence per rank, so the
+/// assembled product is **bit-identical** between them; only the
+/// makespan differs. On the sim backend each update credits its
+/// modelled compute time via `advance_compute`, making the virtual
+/// makespan comparison deterministic.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Partition`] on geometry errors and
+/// [`CoreError::Kernel`] on dimension mismatches or communicator
+/// failures.
+pub fn run_bcast(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    block: usize,
+    areas: &[u64],
+    config: RuntimeConfig,
+    mode: OverlapMode,
+) -> Result<BcastRun, CoreError> {
+    let n = a.rows;
+    if a.cols != n || b.rows != n || b.cols != n {
+        return Err(CoreError::Kernel("matrices must be square and equal".to_owned()));
+    }
+    if block == 0 || !n.is_multiple_of(block) {
+        return Err(CoreError::Kernel(format!(
+            "matrix size {n} not divisible by block {block}"
+        )));
+    }
+    let n_blocks = n / block;
+    let partition = column_partition(n_blocks as u64, areas)?;
+    let p = areas.len();
+
+    // Pivot k's payload: A's block-column k (n × block, row-major)
+    // followed by B's block-row k (block × n, row-major).
+    let pack_pivot = |k: usize| -> Vec<f64> {
+        let mut pivot = Vec::with_capacity(2 * n * block);
+        for r in 0..n {
+            pivot.extend_from_slice(&a.data[r * n + k * block..r * n + (k + 1) * block]);
+        }
+        for i in 0..block {
+            pivot.extend_from_slice(&b.data[(k * block + i) * n..(k * block + i + 1) * n]);
+        }
+        pivot
+    };
+
+    let (comms, handle) = config.build_with_handle(p);
+    let comm_err = |e: RuntimeError| CoreError::Kernel(format!("communicator: {e}"));
+    let started = std::time::Instant::now();
+    let results: Vec<Result<(usize, Vec<f64>), CoreError>> =
+        run_ranks(comms, |mut comm| -> Result<(usize, Vec<f64>), CoreError> {
+            let rank = comm.rank();
+            let rect = partition.rects()[rank];
+            let row0 = rect.y as usize * block;
+            let rows = rect.h as usize * block;
+            let col0 = rect.x as usize * block;
+            let cols = rect.w as usize * block;
+            let mut c = vec![0.0; rows * cols];
+            // Sim-backend compute model for one rectangle update:
+            // 2·rows·cols·block flops at a nominal 1 Gflop/s.
+            let update_seconds = 2.0 * rows as f64 * cols as f64 * block as f64 / 1e9;
+
+            let mut b_piece = vec![0.0; block * cols];
+            let mut update = |c: &mut [f64], pivot: &[f64]| {
+                if rows == 0 || cols == 0 {
+                    return;
+                }
+                let (a_col, b_row) = pivot.split_at(n * block);
+                let a_piece = &a_col[row0 * block..(row0 + rows) * block];
+                for i in 0..block {
+                    b_piece[i * cols..(i + 1) * cols]
+                        .copy_from_slice(&b_row[i * n + col0..i * n + col0 + cols]);
+                }
+                gemm_blocked(rows, cols, block, a_piece, &b_piece, c);
+            };
+
+            match mode {
+                OverlapMode::Blocking => {
+                    for k in 0..n_blocks {
+                        let owner = k % p;
+                        let pivot = comm
+                            .bcast::<Vec<f64>>(
+                                owner,
+                                (rank == owner).then(|| pack_pivot(k)).as_ref(),
+                            )
+                            .map_err(comm_err)?;
+                        comm.advance_compute(update_seconds).map_err(comm_err)?;
+                        update(&mut c, &pivot);
+                    }
+                }
+                OverlapMode::Overlapped => {
+                    // Double buffering: pivot k+1 is in flight while
+                    // pivot k is being consumed.
+                    let post = |k: usize| {
+                        let owner = k % p;
+                        comm.ibcast::<Vec<f64>>(
+                            owner,
+                            (rank == owner).then(|| pack_pivot(k)).as_ref(),
+                        )
+                        .map_err(comm_err)
+                    };
+                    let mut inflight = post(0)?;
+                    for k in 0..n_blocks {
+                        let pivot = inflight.wait().map_err(comm_err)?;
+                        if k + 1 < n_blocks {
+                            inflight = post(k + 1)?;
+                            comm.advance_compute(update_seconds).map_err(comm_err)?;
+                            update(&mut c, &pivot);
+                        } else {
+                            comm.advance_compute(update_seconds).map_err(comm_err)?;
+                            update(&mut c, &pivot);
+                            break;
+                        }
+                    }
+                }
+            }
+            Ok((rank, c))
+        });
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    let mut c = vec![0.0; n * n];
+    for result in results {
+        let (rank, data) = result?;
+        let rect = partition.rects()[rank];
+        let row0 = rect.y as usize * block;
+        let rows = rect.h as usize * block;
+        let col0 = rect.x as usize * block;
+        let cols = rect.w as usize * block;
+        for r in 0..rows {
+            c[(row0 + r) * n + col0..(row0 + r) * n + col0 + cols]
+                .copy_from_slice(&data[r * cols..(r + 1) * cols]);
+        }
+    }
+    Ok(BcastRun {
+        product: DenseMatrix {
+            rows: n,
+            cols: n,
+            data: c,
+        },
+        virtual_time: handle.virtual_time(),
+        wall_seconds,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -501,6 +686,71 @@ mod tests {
             let c = run_threaded_with(&a, &b, 8, &[18, 9, 6, 3], threads).unwrap();
             assert_eq!(c.data, reference.data, "gemm_threads={threads}");
         }
+    }
+
+    #[test]
+    fn bcast_matmul_matches_serial_in_both_modes() {
+        let n = 48;
+        let a = random_matrix(n, n, 7);
+        let b = random_matrix(n, n, 8);
+        let reference = serial_product(&a, &b);
+        for mode in [OverlapMode::Blocking, OverlapMode::Overlapped] {
+            let run = run_bcast(&a, &b, 8, &[18, 9, 6, 3], RuntimeConfig::thread(), mode)
+                .unwrap();
+            for (x, y) in run.product.data.iter().zip(&reference.data) {
+                assert!((x - y).abs() < 1e-9, "mode {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_bcast_matmul_is_bit_identical_to_blocking() {
+        use fupermod_platform::comm::LinkModel;
+        let n = 48;
+        let a = random_matrix(n, n, 9);
+        let b = random_matrix(n, n, 10);
+        let configs: [fn() -> RuntimeConfig; 2] = [
+            RuntimeConfig::thread,
+            || RuntimeConfig::sim(4, LinkModel::ethernet()),
+        ];
+        for config in configs {
+            let blocking =
+                run_bcast(&a, &b, 8, &[18, 9, 6, 3], config(), OverlapMode::Blocking).unwrap();
+            let pipelined =
+                run_bcast(&a, &b, 8, &[18, 9, 6, 3], config(), OverlapMode::Overlapped).unwrap();
+            assert_eq!(
+                matrix_checksum(&blocking.product),
+                matrix_checksum(&pipelined.product)
+            );
+            assert_eq!(blocking.product.data, pipelined.product.data);
+        }
+    }
+
+    #[test]
+    fn pipelined_bcast_matmul_wins_virtual_time_on_sim() {
+        use fupermod_platform::comm::LinkModel;
+        let n = 64;
+        let a = random_matrix(n, n, 11);
+        let b = random_matrix(n, n, 12);
+        let run = |mode| {
+            run_bcast(
+                &a,
+                &b,
+                8,
+                &[32, 16, 8, 8],
+                RuntimeConfig::sim(4, LinkModel::ethernet()),
+                mode,
+            )
+            .unwrap()
+            .virtual_time
+            .unwrap()
+        };
+        let blocking = run(OverlapMode::Blocking);
+        let pipelined = run(OverlapMode::Overlapped);
+        assert!(
+            pipelined < blocking,
+            "pipelined {pipelined} !< blocking {blocking}"
+        );
     }
 
     #[test]

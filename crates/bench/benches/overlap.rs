@@ -1,0 +1,191 @@
+//! Criterion bench: compute/communication overlap via nonblocking
+//! requests (`isend`/`irecv`/`ibcast`) against the blocking schedules
+//! they replace.
+//!
+//! Two metrics, mirroring `comm_collectives.rs`:
+//!
+//! * **virtual seconds** (`vtime_*` benches) — the simulated backend's
+//!   Hockney makespan of the broadcast-driven matmul and of the
+//!   distributed balancing loop, blocking vs overlapped. 1 iter = 1
+//!   virtual run; the "time" criterion reports is the virtual clock.
+//! * **wall-clock** (`wall_*` benches) — the threaded backend under a
+//!   fault-plan message delay (the container is single-core, so the
+//!   honest wall win is latency hiding: the injected delay elapses
+//!   while the receiver computes, exactly the paper's overlap).
+//!
+//! `scripts/bench_record.sh` (MODE=pr6) records these into
+//! `BENCH_PR6.json` and derives the pipeline speedups.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fupermod_apps::matmul::run_bcast;
+use fupermod_apps::workload::{random_matrix, DenseMatrix};
+use fupermod_core::dynamic::DynamicContext;
+use fupermod_core::model::{Model, PiecewiseModel};
+use fupermod_core::partition::GeometricPartitioner;
+use fupermod_core::{CoreError, Point};
+use fupermod_platform::comm::LinkModel;
+use fupermod_runtime::{
+    run_to_balance_distributed_with, DelayRule, FaultPlan, OverlapMode, RuntimeConfig,
+};
+
+const P: usize = 4;
+const BLOCK: usize = 32;
+const N_BLOCKS: usize = 16;
+
+fn matrices() -> (DenseMatrix, DenseMatrix) {
+    let n = N_BLOCKS * BLOCK;
+    (random_matrix(n, n, 61), random_matrix(n, n, 62))
+}
+
+fn even_areas(p: u64) -> Vec<u64> {
+    let total = (N_BLOCKS * N_BLOCKS) as u64;
+    (0..p).map(|i| total / p + u64::from(i < total % p)).collect()
+}
+
+/// Every message delayed by 2 ms: the latency the pipelined schedule
+/// gets to hide under compute on a single-core host.
+fn delay_plan() -> FaultPlan {
+    FaultPlan {
+        delays: vec![DelayRule {
+            src: None,
+            dst: None,
+            every: 1,
+            seconds: 0.002,
+        }],
+        ..FaultPlan::default()
+    }
+}
+
+fn modes() -> [(&'static str, OverlapMode); 2] {
+    [
+        ("blocking", OverlapMode::Blocking),
+        ("overlapped", OverlapMode::Overlapped),
+    ]
+}
+
+/// Virtual makespan of the broadcast-driven matmul, per pivot mode.
+fn bench_matmul_vtime(c: &mut Criterion) {
+    let (a, b) = matrices();
+    let areas = even_areas(P as u64);
+    for (name, mode) in modes() {
+        c.bench_function(&format!("vtime_matmul_pipeline/{name}"), |bch| {
+            bch.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let run = run_bcast(
+                        &a,
+                        &b,
+                        BLOCK,
+                        &areas,
+                        RuntimeConfig::sim(P, LinkModel::ethernet()),
+                        mode,
+                    )
+                    .expect("sim matmul");
+                    total += Duration::from_secs_f64(run.virtual_time.expect("sim clock"));
+                    black_box(run.product);
+                }
+                total
+            })
+        });
+    }
+}
+
+/// Wall-clock of the broadcast-driven matmul on the threaded backend
+/// under the delay plan. Two ranks, not four: on the single-core
+/// container more rank threads only lengthen the gap between a
+/// barrier release and the next pivot owner's post (the OS runs the
+/// other ranks' GEMMs first), shrinking the window the delay can hide
+/// in — a scheduling artifact, not a property of the schedule.
+fn bench_matmul_wall(c: &mut Criterion) {
+    let (a, b) = matrices();
+    let areas = even_areas(2);
+    for (name, mode) in modes() {
+        c.bench_function(&format!("wall_matmul_pipeline/{name}"), |bch| {
+            bch.iter(|| {
+                let run = run_bcast(
+                    &a,
+                    &b,
+                    BLOCK,
+                    &areas,
+                    RuntimeConfig::thread().with_plan(delay_plan()),
+                    mode,
+                )
+                .expect("threaded matmul");
+                black_box(run.product)
+            })
+        });
+    }
+}
+
+fn make_ctx(total: u64) -> DynamicContext {
+    let models: Vec<Box<dyn Model>> = (0..P)
+        .map(|_| Box::new(PiecewiseModel::new()) as Box<dyn Model>)
+        .collect();
+    DynamicContext::new(Box::new(GeometricPartitioner::default()), models, total, 0.03)
+}
+
+fn measure(rank: usize, d: u64) -> Result<Point, CoreError> {
+    let speed = [120.0, 40.0, 80.0, 20.0][rank];
+    Ok(Point::single(d, d as f64 / speed))
+}
+
+/// Virtual makespan of the distributed balancing loop, per executor
+/// mode: the overlapped loop replaces three barrier-crossing
+/// collectives per step with two point-to-point hops.
+fn bench_balance_vtime(c: &mut Criterion) {
+    for (name, mode) in modes() {
+        c.bench_function(&format!("vtime_balance_overlap/{name}"), |bch| {
+            bch.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let outcome = run_to_balance_distributed_with(
+                        RuntimeConfig::sim(P, LinkModel::ethernet()),
+                        P,
+                        || make_ctx(12_000),
+                        measure,
+                        30,
+                        mode,
+                    )
+                    .expect("sim balance");
+                    total += Duration::from_secs_f64(
+                        outcome.virtual_time.expect("sim clock"),
+                    );
+                    black_box(outcome.final_sizes);
+                }
+                total
+            })
+        });
+    }
+}
+
+/// Wall-clock of the distributed balancing loop on the threaded
+/// backend under the delay plan.
+fn bench_balance_wall(c: &mut Criterion) {
+    for (name, mode) in modes() {
+        c.bench_function(&format!("wall_balance_overlap/{name}"), |bch| {
+            bch.iter(|| {
+                let outcome = run_to_balance_distributed_with(
+                    RuntimeConfig::thread().with_plan(delay_plan()),
+                    P,
+                    || make_ctx(12_000),
+                    measure,
+                    30,
+                    mode,
+                )
+                .expect("threaded balance");
+                black_box(outcome.final_sizes)
+            })
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_matmul_vtime,
+    bench_matmul_wall,
+    bench_balance_vtime,
+    bench_balance_wall
+);
+criterion_main!(benches);

@@ -357,8 +357,20 @@ impl SimComm {
     /// finish before the sender has sent; the sender pays one latency
     /// (eager send).
     pub fn send(&mut self, src: usize, dst: usize, bytes: f64) {
+        let ready = self.post_send(src, dst, bytes);
+        self.arrive(dst, ready);
+    }
+
+    /// Sender half of [`send`](Self::send): charges `src` one link
+    /// latency (eager send) and returns the virtual instant at which
+    /// the message is ready for delivery at `dst`. Used by nonblocking
+    /// sends, which charge the sender at *post* time and let the
+    /// receiver complete the transfer later with
+    /// [`arrive`](Self::arrive). A self-send charges nothing and is
+    /// ready immediately.
+    pub fn post_send(&mut self, src: usize, dst: usize, bytes: f64) -> f64 {
         if src == dst {
-            return;
+            return self.clocks[src];
         }
         let link = self.topo.link(src, dst);
         let ready = self.clocks[src] + link.cost(bytes);
@@ -370,6 +382,15 @@ impl SimComm {
             src_before + link.latency_sec,
             Activity::Communication,
         );
+        ready
+    }
+
+    /// Receiver half of [`send`](Self::send): delivers a message that
+    /// became ready at virtual instant `ready` (as returned by
+    /// [`post_send`](Self::post_send)), advancing `dst`'s clock to the
+    /// later of its own time and `ready`. `send(src, dst, b)` is
+    /// exactly `post_send` followed by `arrive`.
+    pub fn arrive(&mut self, dst: usize, ready: f64) {
         let before = self.clocks[dst];
         self.clocks[dst] = self.clocks[dst].max(ready);
         self.comm_seconds += self.clocks[dst] - before;
@@ -565,6 +586,76 @@ impl SimComm {
                     self.clocks[r] = after;
                     self.note(r, before, after, Activity::Communication);
                 }
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges a per-hop collective schedule whose transfers began at
+    /// the clocks in `baseline` rather than at the current clocks —
+    /// the overlap-aware variant of [`schedule`](Self::schedule).
+    ///
+    /// A nonblocking collective posts while each participant's clock
+    /// reads `baseline[r]`, the network makes progress while ranks
+    /// compute, and at `wait` the finished schedule is merged back:
+    /// each rank's clock becomes the *later* of the time it finished
+    /// computing and the time its part of the schedule completed, so
+    /// communication that fits under the compute is hidden. Only the
+    /// exposed portion (the raise above the current clock) is added to
+    /// [`comm_seconds`](Self::comm_seconds).
+    ///
+    /// The port model inside the schedule is identical to
+    /// [`schedule`](Self::schedule): per round, independent
+    /// single-port full-duplex send/receive ports, hops sharing a port
+    /// serialising in list order, and a barrier between rounds (both
+    /// ports advance to the round's per-rank completion before the
+    /// next round begins).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::SizeMismatch`] if `baseline` does not
+    /// have one entry per rank, or if a hop names a rank outside the
+    /// communicator or a self-loop (`src == dst`).
+    pub fn schedule_from(
+        &mut self,
+        baseline: &[f64],
+        rounds: &[Vec<(usize, usize, f64)>],
+    ) -> Result<(), PlatformError> {
+        let p = self.size();
+        self.check_per_rank("schedule_from", baseline.len())?;
+        for round in rounds {
+            for &(src, dst, _) in round {
+                if src >= p || dst >= p || src == dst {
+                    return Err(PlatformError::SizeMismatch {
+                        op: "schedule_from",
+                        expected: p,
+                        got: src.max(dst),
+                    });
+                }
+            }
+        }
+        let mut send_busy = baseline.to_vec();
+        let mut recv_busy = baseline.to_vec();
+        for round in rounds {
+            for &(src, dst, bytes) in round {
+                let cost = self.topo.link(src, dst).cost(bytes);
+                let begin = send_busy[src].max(recv_busy[dst]);
+                let end = begin + cost;
+                send_busy[src] = end;
+                recv_busy[dst] = end;
+            }
+            for (s, v) in send_busy.iter_mut().zip(recv_busy.iter_mut()) {
+                let m = s.max(*v);
+                *s = m;
+                *v = m;
+            }
+        }
+        for (r, &after) in send_busy.iter().enumerate() {
+            if after > self.clocks[r] {
+                let before = self.clocks[r];
+                self.comm_seconds += after - before;
+                self.clocks[r] = after;
+                self.note(r, before, after, Activity::Communication);
             }
         }
         Ok(())
@@ -990,6 +1081,85 @@ mod tests {
         assert!(t1 > 0.0 && s1 > 0.0);
         assert_eq!(t1.to_bits(), t2.to_bits());
         assert_eq!(s1.to_bits(), s2.to_bits());
+    }
+
+    #[test]
+    fn schedule_from_current_clocks_matches_schedule() {
+        let rounds: Vec<Vec<(usize, usize, f64)>> = (0..7)
+            .map(|k| (0..8).map(|i| (i, (i + 1) % 8, 100.0 + k as f64)).collect())
+            .collect();
+        let mut blocking = SimComm::new(8, LinkModel::ethernet());
+        blocking.advance(3, 1e-3);
+        blocking.schedule(&rounds).unwrap();
+        let mut overlap = SimComm::new(8, LinkModel::ethernet());
+        overlap.advance(3, 1e-3);
+        let baseline: Vec<f64> = (0..8).map(|r| overlap.time(r)).collect();
+        overlap.schedule_from(&baseline, &rounds).unwrap();
+        for r in 0..8 {
+            assert_eq!(blocking.time(r).to_bits(), overlap.time(r).to_bits());
+        }
+    }
+
+    #[test]
+    fn schedule_from_hides_communication_under_compute() {
+        let link = LinkModel {
+            latency_sec: 1.0,
+            bytes_per_sec: f64::INFINITY,
+        };
+        // Post at t=0, compute for 5 s, complete a 2-round schedule:
+        // the 2 s of communication fit entirely under the compute.
+        let mut c = SimComm::new(2, link);
+        let baseline = vec![0.0, 0.0];
+        c.advance(0, 5.0);
+        c.advance(1, 5.0);
+        let before = c.comm_seconds();
+        c.schedule_from(&baseline, &[vec![(0, 1, 0.0)], vec![(1, 0, 0.0)]])
+            .unwrap();
+        assert_eq!(c.time(0), 5.0);
+        assert_eq!(c.time(1), 5.0);
+        assert_eq!(c.comm_seconds(), before); // fully hidden → no exposed cost
+        // The same schedule charged blocking-style costs 2 s on top.
+        let mut b = SimComm::new(2, link);
+        b.advance(0, 5.0);
+        b.advance(1, 5.0);
+        b.schedule(&[vec![(0, 1, 0.0)], vec![(1, 0, 0.0)]]).unwrap();
+        assert_eq!(b.time(0), 7.0);
+    }
+
+    #[test]
+    fn schedule_from_rejects_bad_baseline_and_hops() {
+        let mut c = SimComm::new(2, LinkModel::ethernet());
+        assert!(c.schedule_from(&[0.0], &[]).is_err());
+        assert!(c.schedule_from(&[0.0, 0.0], &[vec![(0, 2, 0.0)]]).is_err());
+        assert!(c.schedule_from(&[0.0, 0.0], &[vec![(1, 1, 0.0)]]).is_err());
+    }
+
+    #[test]
+    fn post_send_then_arrive_matches_send() {
+        let link = LinkModel {
+            latency_sec: 0.5,
+            bytes_per_sec: 1e6,
+        };
+        let mut whole = SimComm::new(2, link);
+        whole.advance(0, 2.0);
+        whole.send(0, 1, 1e6);
+        let mut split = SimComm::new(2, link);
+        split.advance(0, 2.0);
+        let ready = split.post_send(0, 1, 1e6);
+        split.arrive(1, ready);
+        assert_eq!(whole.time(0).to_bits(), split.time(0).to_bits());
+        assert_eq!(whole.time(1).to_bits(), split.time(1).to_bits());
+        assert_eq!(
+            whole.comm_seconds().to_bits(),
+            split.comm_seconds().to_bits()
+        );
+        // Delivery later than readiness costs the receiver nothing.
+        split.advance(1, 10.0);
+        let t = split.time(1);
+        let s = split.comm_seconds();
+        split.arrive(1, t - 1.0);
+        assert_eq!(split.time(1), t);
+        assert_eq!(split.comm_seconds(), s);
     }
 
     #[test]

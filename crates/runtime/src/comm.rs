@@ -62,6 +62,20 @@
 //! the job observes [`RuntimeError::RankDead`] instead of hanging.
 //! Collectives skip dead receivers and deliver posthumous messages
 //! (a rank that sent before dying still contributes).
+//!
+//! # Nonblocking requests
+//!
+//! The [`request`] submodule adds MPI-style nonblocking operations
+//! (`isend`/`irecv`/`ibcast`/`iallgatherv` returning scope-tied
+//! request objects with `wait`/`wait_all`/`test`) for
+//! compute/communication overlap. Requests borrow the communicator
+//! shared, so the `&mut self` blocking operations are statically
+//! excluded while any request is outstanding; on the sim backend a
+//! request charges its hop plan at *completion* against a clock
+//! snapshot taken at *post* time, so each step costs
+//! `max(compute, communication)` while fault-free runs stay
+//! bit-identical to their blocking twins. Contract and examples in
+//! `docs/RUNTIME.md` §8.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -74,6 +88,8 @@ use crate::collective::{self, AlgorithmPolicy, Resolved, Rounds};
 use crate::error::RuntimeError;
 use crate::fault::FaultPlan;
 use crate::wire::Wire;
+
+pub mod request;
 
 /// Default per-operation deadline, seconds, when the fault plan does
 /// not override it. Generous enough for real benchmarking workloads,
@@ -353,6 +369,8 @@ impl RuntimeConfig {
                 generation: 0,
                 lamport: vec![0; size],
                 pending_charge: None,
+                overlap_base: vec![None; size],
+                coll_pending: vec![false; size],
                 ops: vec![0; size],
                 delay_counts: vec![0; self.plan.delays.len()],
                 drop_counts: vec![0; self.plan.drops.len()],
@@ -448,6 +466,16 @@ struct Envelope {
     /// envelope, not the payload, so every `Wire`-encoded message of
     /// every schedule carries it without touching the codec.
     lamport: u64,
+    /// Virtual instant at which this message is ready for delivery,
+    /// pre-computed by a nonblocking send ([`ThreadedComm::isend`])
+    /// which charged the sender's clock at *post* time. `None` for
+    /// blocking sends, whose Hockney p2p cost is charged whole at
+    /// delivery ([`SimComm::send`]); `Some` delivers via
+    /// [`SimComm::arrive`] without touching the sender's clock again,
+    /// keeping the sender's virtual timeline a function of its own
+    /// program order regardless of when the receiver drains the
+    /// mailbox.
+    vready: Option<f64>,
 }
 
 /// A virtual-time charge for one collective, deposited by its root
@@ -498,6 +526,26 @@ struct PlaneState {
     /// backends, which is what makes merged timelines deterministic).
     lamport: Vec<u64>,
     pending_charge: Option<Charge>,
+    /// Per-rank virtual clock snapshots taken when a rank *posts* a
+    /// nonblocking collective ([`ThreadedComm::ibcast`] /
+    /// [`ThreadedComm::iallgatherv`]). The completer of the closing
+    /// barrier uses them as the baseline for
+    /// [`SimComm::schedule_from`], so the collective's hop plan is
+    /// charged from post time and communication that fits under the
+    /// compute between post and `wait` is hidden. `None` (the
+    /// blocking-path value) means "the schedule started at the
+    /// rank's current clock"; when every baseline equals the current
+    /// clock bit-for-bit the completer dispatches to the plain
+    /// [`SimComm::schedule`], so fault-free runs with no intervening
+    /// compute stay bit-identical to the blocking path.
+    overlap_base: Vec<Option<f64>>,
+    /// Per-rank "a collective request is outstanding" flags. The
+    /// barrier generation can only carry one collective per rank at a
+    /// time, so posting a second nonblocking collective before
+    /// completing the first is a typed error
+    /// ([`RuntimeError::RequestBusy`]) instead of a corrupted
+    /// rendezvous.
+    coll_pending: Vec<bool>,
     ops: Vec<u64>,
     delay_counts: Vec<u64>,
     drop_counts: Vec<u64>,
@@ -562,9 +610,42 @@ impl Plane {
         if let Some(charge) = st.pending_charge.take() {
             if let Some(sim) = &self.sim {
                 let mut sim = sim.lock().expect("sim poisoned");
-                sim.schedule(&charge.rounds)
+                if st.overlap_base.iter().any(Option::is_some) {
+                    // At least one rank posted this collective
+                    // nonblocking: charge the hop plan from the
+                    // post-time baselines, so communication hidden
+                    // under compute costs no virtual time. A rank
+                    // with no snapshot (blocking participant, or a
+                    // post with no intervening compute) starts at its
+                    // current clock; when *every* baseline equals the
+                    // current clock the plain `schedule` path keeps
+                    // the charge bit-identical to the blocking one.
+                    let baseline: Vec<f64> = st
+                        .overlap_base
+                        .iter()
+                        .enumerate()
+                        .map(|(r, b)| b.unwrap_or_else(|| sim.time(r)))
+                        .collect();
+                    let unmoved = baseline
+                        .iter()
+                        .enumerate()
+                        .all(|(r, b)| b.to_bits() == sim.time(r).to_bits());
+                    if unmoved {
+                        sim.schedule(&charge.rounds)
+                    } else {
+                        sim.schedule_from(&baseline, &charge.rounds)
+                    }
                     .expect("schedule hops use valid distinct ranks by construction");
+                } else {
+                    sim.schedule(&charge.rounds)
+                        .expect("schedule hops use valid distinct ranks by construction");
+                }
             }
+        }
+        // The baselines belong to the generation that just closed;
+        // never let them leak into the next collective's charge.
+        for b in st.overlap_base.iter_mut() {
+            *b = None;
         }
         self.cv.notify_all();
     }
@@ -759,6 +840,20 @@ impl ThreadedComm {
     /// Does not charge virtual time (p2p charges happen at delivery;
     /// collective data phases are charged by their closing barrier).
     fn raw_send(&self, op: &'static str, dst: usize, bytes: Vec<u8>) -> Result<(), RuntimeError> {
+        self.raw_send_at(op, dst, bytes, None)
+    }
+
+    /// [`raw_send`](Self::raw_send) with an optional pre-computed
+    /// virtual readiness instant (set by [`isend`](Self::isend), which
+    /// charges the sender's clock at post time — see
+    /// [`Envelope::vready`]).
+    fn raw_send_at(
+        &self,
+        op: &'static str,
+        dst: usize,
+        bytes: Vec<u8>,
+        vready: Option<f64>,
+    ) -> Result<(), RuntimeError> {
         let plane = &self.plane;
         let mut attempt: u32 = 0;
         loop {
@@ -821,6 +916,7 @@ impl ThreadedComm {
                 delay,
                 sent_at: Instant::now(),
                 lamport: stamp,
+                vready,
             });
             plane.cv.notify_all();
             drop(st);
@@ -841,57 +937,130 @@ impl ThreadedComm {
         src: usize,
         charge_p2p: bool,
     ) -> Result<Vec<u8>, RuntimeError> {
+        self.raw_recv_deadline(op, src, charge_p2p, Instant::now() + self.plane.deadline)
+    }
+
+    /// [`raw_recv`](Self::raw_recv) against a caller-supplied deadline
+    /// (nonblocking requests anchor it at the entry to `wait`).
+    fn raw_recv_deadline(
+        &self,
+        op: &'static str,
+        src: usize,
+        charge_p2p: bool,
+        deadline_at: Instant,
+    ) -> Result<Vec<u8>, RuntimeError> {
         let plane = &self.plane;
-        let deadline_at = Instant::now() + plane.deadline;
-        let mut st = plane.lock();
         loop {
-            if st.dead[self.rank] {
-                return Err(RuntimeError::RankDead {
-                    op,
-                    rank: self.rank,
-                });
+            if let Some(bytes) = self.try_take(op, src, charge_p2p)? {
+                return Ok(bytes);
             }
-            if let Some(idx) = st.mail[self.rank].iter().position(|e| e.src == src) {
-                let ready = match plane.mode {
-                    ClockMode::Sim => true,
-                    ClockMode::Wall => {
-                        let env = &st.mail[self.rank][idx];
-                        env.delay <= 0.0
-                            || env.sent_at.elapsed().as_secs_f64() >= env.delay
-                    }
-                };
-                if ready {
-                    let env = st.mail[self.rank].remove(idx).expect("index just found");
-                    // Lamport merge: receipt happens-after the send,
-                    // so the receiver's clock jumps past the stamp.
-                    st.lamport[self.rank] =
-                        st.lamport[self.rank].max(env.lamport.wrapping_add(1));
-                    drop(st);
-                    if let Some(sim) = &plane.sim {
-                        let mut sim = sim.lock().expect("sim poisoned");
-                        if charge_p2p {
-                            sim.send(src, self.rank, env.bytes.len() as f64);
-                        }
-                        if env.delay > 0.0 {
-                            sim.advance(self.rank, env.delay);
-                        }
-                    }
-                    return Ok(env.bytes);
-                }
-            } else if st.dead[src] {
-                return Err(RuntimeError::RankDead { op, rank: src });
+            let mut st = plane.lock();
+            // A message may have landed between the attempt and this
+            // lock; retry before sleeping so no wakeup is lost.
+            let deliverable = st.mail[self.rank].iter().any(|e| {
+                e.src == src
+                    && (matches!(plane.mode, ClockMode::Sim)
+                        || e.delay <= 0.0
+                        || e.sent_at.elapsed().as_secs_f64() >= e.delay)
+            });
+            if st.dead[self.rank] || st.dead[src] || deliverable {
+                continue;
             }
             let now = Instant::now();
             if now >= deadline_at {
                 return Err(self.timeout(op, &mut st));
             }
-            let wait = (deadline_at - now).min(Duration::from_millis(50));
-            let (guard, _) = plane
+            let mut wait = (deadline_at - now).min(Duration::from_millis(50));
+            if let Some(ready_in) = self.next_delay_wakeup(&st) {
+                wait = wait.min(ready_in);
+            }
+            let _ = plane
                 .cv
                 .wait_timeout(st, wait)
                 .expect("runtime plane poisoned");
-            st = guard;
         }
+    }
+
+    /// Earliest remaining time until a delay-held message for this
+    /// rank becomes deliverable — the extra bound every condvar sleep
+    /// takes so a sub-50 ms injected delay wakes its receiver when it
+    /// expires instead of on the next 50 ms poll tick. `None` when no
+    /// held message is pending (sim mode delivers immediately, so it
+    /// never holds any).
+    fn next_delay_wakeup(&self, st: &PlaneState) -> Option<Duration> {
+        if matches!(self.plane.mode, ClockMode::Sim) {
+            return None;
+        }
+        st.mail[self.rank]
+            .iter()
+            .filter(|e| e.delay > 0.0)
+            .filter_map(|e| {
+                let remaining = e.delay - e.sent_at.elapsed().as_secs_f64();
+                (remaining > 0.0).then(|| Duration::from_secs_f64(remaining))
+            })
+            .min()
+            // Floor the wake-up so a just-expiring delay cannot turn
+            // the wait into a zero-duration busy spin.
+            .map(|d| d.max(Duration::from_micros(50)))
+    }
+
+    /// One nonblocking delivery attempt for the next message from
+    /// `src` (per-pair FIFO): `Ok(Some(bytes))` delivers it (Lamport
+    /// merge, virtual-clock charge), `Ok(None)` means nothing is
+    /// deliverable *yet* — no message, or a fault-injected delivery
+    /// delay still running. Death errors match
+    /// [`raw_recv`](Self::raw_recv): a message already enqueued by a
+    /// now-dead sender is still delivered (posthumous delivery).
+    fn try_take(
+        &self,
+        op: &'static str,
+        src: usize,
+        charge_p2p: bool,
+    ) -> Result<Option<Vec<u8>>, RuntimeError> {
+        let plane = &self.plane;
+        let mut st = plane.lock();
+        if st.dead[self.rank] {
+            return Err(RuntimeError::RankDead {
+                op,
+                rank: self.rank,
+            });
+        }
+        if let Some(idx) = st.mail[self.rank].iter().position(|e| e.src == src) {
+            let ready = match plane.mode {
+                ClockMode::Sim => true,
+                ClockMode::Wall => {
+                    let env = &st.mail[self.rank][idx];
+                    env.delay <= 0.0 || env.sent_at.elapsed().as_secs_f64() >= env.delay
+                }
+            };
+            if !ready {
+                return Ok(None);
+            }
+            let env = st.mail[self.rank].remove(idx).expect("index just found");
+            // Lamport merge: receipt happens-after the send, so the
+            // receiver's clock jumps past the stamp.
+            st.lamport[self.rank] = st.lamport[self.rank].max(env.lamport.wrapping_add(1));
+            drop(st);
+            if let Some(sim) = &plane.sim {
+                let mut sim = sim.lock().expect("sim poisoned");
+                if charge_p2p {
+                    match env.vready {
+                        // The sender was charged at post time; only
+                        // the receiver's clock moves at delivery.
+                        Some(ready_at) => sim.arrive(self.rank, ready_at),
+                        None => sim.send(src, self.rank, env.bytes.len() as f64),
+                    }
+                }
+                if env.delay > 0.0 {
+                    sim.advance(self.rank, env.delay);
+                }
+            }
+            return Ok(Some(env.bytes));
+        }
+        if st.dead[src] {
+            return Err(RuntimeError::RankDead { op, rank: src });
+        }
+        Ok(None)
     }
 
     /// Sense-reversing, death-aware barrier. `default_charge` is
@@ -907,8 +1076,21 @@ impl ThreadedComm {
         op: &'static str,
         default_charge: Option<Charge>,
     ) -> Result<u64, RuntimeError> {
+        let gen = self.raw_barrier_arrive(op, default_charge)?;
+        self.raw_barrier_wait(op, gen, Instant::now() + self.plane.deadline)
+    }
+
+    /// Arrival half of [`raw_barrier`](Self::raw_barrier): joins the
+    /// current generation (completing it if this arrival is the last)
+    /// and returns the generation joined *without* waiting — the
+    /// split nonblocking collectives use to arrive at their closing
+    /// barrier at post time and finish it at `wait`.
+    fn raw_barrier_arrive(
+        &self,
+        op: &'static str,
+        default_charge: Option<Charge>,
+    ) -> Result<u64, RuntimeError> {
         let plane = &self.plane;
-        let deadline_at = Instant::now() + plane.deadline;
         let mut st = plane.lock();
         if st.dead[self.rank] {
             return Err(RuntimeError::RankDead {
@@ -925,9 +1107,30 @@ impl ThreadedComm {
         let gen = st.generation;
         if st.arrived >= st.live_count() {
             plane.complete_generation(&mut st);
-            return Ok(gen);
         }
+        Ok(gen)
+    }
+
+    /// Completion half of [`raw_barrier`](Self::raw_barrier): blocks
+    /// until generation `gen` (already joined via
+    /// [`raw_barrier_arrive`](Self::raw_barrier_arrive)) completes,
+    /// against a caller-supplied deadline.
+    fn raw_barrier_wait(
+        &self,
+        op: &'static str,
+        gen: u64,
+        deadline_at: Instant,
+    ) -> Result<u64, RuntimeError> {
+        let plane = &self.plane;
+        let mut st = plane.lock();
         loop {
+            if st.generation != gen {
+                return Ok(gen);
+            }
+            if st.arrived >= st.live_count() {
+                plane.complete_generation(&mut st);
+                return Ok(gen);
+            }
             let now = Instant::now();
             if now >= deadline_at {
                 st.arrived = st.arrived.saturating_sub(1);
@@ -939,14 +1142,23 @@ impl ThreadedComm {
                 .wait_timeout(st, wait)
                 .expect("runtime plane poisoned");
             st = guard;
-            if st.generation != gen {
-                return Ok(gen);
-            }
-            if st.arrived >= st.live_count() {
-                plane.complete_generation(&mut st);
-                return Ok(gen);
-            }
         }
+    }
+
+    /// Nonblocking poll of barrier generation `gen`: `true` once it
+    /// has completed (completing it here if every live rank has
+    /// already arrived).
+    fn barrier_done(&self, gen: u64) -> bool {
+        let plane = &self.plane;
+        let mut st = plane.lock();
+        if st.generation != gen {
+            return true;
+        }
+        if st.arrived > 0 && st.arrived >= st.live_count() {
+            plane.complete_generation(&mut st);
+            return true;
+        }
+        false
     }
 
     /// Liveness snapshot under the lock.
@@ -1112,7 +1324,7 @@ impl ThreadedComm {
     /// Returns `(blob, framed message length)`; `None` means the
     /// value never reached this rank.
     fn bcast_tree_data(
-        &mut self,
+        &self,
         op: &'static str,
         root: usize,
         own: Option<Vec<u8>>,
@@ -1159,7 +1371,7 @@ impl ThreadedComm {
     /// the resolved schedule. Shared by `allgatherv`,
     /// `allgatherv_available` and the ring/tree `allreduce`.
     fn allgather_slots(
-        &mut self,
+        &self,
         op: &'static str,
         own: Vec<u8>,
         resolved: Resolved,
@@ -1180,7 +1392,7 @@ impl ThreadedComm {
     /// serialised at the hub's ports — the `O(p·m)` bottleneck the
     /// ring and tree schedules exist to remove.
     fn allgather_hub(
-        &mut self,
+        &self,
         op: &'static str,
         own: Vec<u8>,
     ) -> Result<(Slots, u64), RuntimeError> {
@@ -1232,7 +1444,7 @@ impl ThreadedComm {
     /// Blocks travel `Option`-framed so a hole in the ring degrades
     /// to `None` slots downstream instead of stalling the pipeline.
     fn allgather_ring(
-        &mut self,
+        &self,
         op: &'static str,
         own: Vec<u8>,
     ) -> Result<(Slots, u64), RuntimeError> {
@@ -1276,7 +1488,7 @@ impl ThreadedComm {
     /// is not a power of two). Messages are absolute-rank-indexed
     /// slot vectors, so partner death degrades to `None` slots.
     fn allgather_butterfly(
-        &mut self,
+        &self,
         op: &'static str,
         own: Vec<u8>,
     ) -> Result<(Slots, u64), RuntimeError> {

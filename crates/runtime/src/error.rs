@@ -76,6 +76,17 @@ pub enum RuntimeError {
         /// Operation tag (`allreduce`, ...).
         op: &'static str,
     },
+    /// A nonblocking collective was posted while another collective
+    /// request from the same rank was still outstanding. The closing
+    /// barrier generation can carry one collective per rank at a
+    /// time; complete (`wait`/`test`-to-ready/drop) the first request
+    /// before posting the next.
+    RequestBusy {
+        /// Operation tag (`ibcast`, `iallgatherv`).
+        op: &'static str,
+        /// The posting rank.
+        rank: usize,
+    },
     /// A fault plan could not be parsed or validated.
     InvalidPlan(String),
     /// The platform substrate rejected an operation.
@@ -107,6 +118,12 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::NoContributions { op } => {
                 write!(f, "{op}: reduction over zero contributions")
+            }
+            RuntimeError::RequestBusy { op, rank } => {
+                write!(
+                    f,
+                    "{op}: rank {rank} already has an outstanding collective request"
+                )
             }
             RuntimeError::InvalidPlan(msg) => write!(f, "invalid fault plan: {msg}"),
             RuntimeError::Platform(e) => write!(f, "platform error: {e}"),

@@ -33,8 +33,28 @@ use fupermod_core::dynamic::{DynamicContext, DynamicStep};
 use fupermod_core::trace::TraceEvent;
 use fupermod_core::{CoreError, Point};
 
+use crate::comm::request::{RecvRequest, Request};
 use crate::comm::{run_ranks, Communicator, RuntimeConfig, ThreadedComm};
 use crate::error::RuntimeError;
+
+/// How the balancing loop's redistribution phase communicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverlapMode {
+    /// Blocking collectives: `scatterv` the shares, `gather_available`
+    /// the measurements, `bcast` the convergence flag — three closing
+    /// barriers per iteration.
+    #[default]
+    Blocking,
+    /// Nonblocking requests: rank 0 posts `irecv`s for the workers'
+    /// measurements *before* measuring its own share (their points
+    /// arrive while it computes) and pushes refined shares with
+    /// `isend` — redistribution stays in flight under rank 0's own
+    /// measurement, and no iteration crosses a barrier. On fault-free
+    /// plans the absorbed observations are identical to
+    /// [`OverlapMode::Blocking`] point for point, so the steps and the
+    /// final distribution are bit-identical.
+    Overlapped,
+}
 
 /// Result of a distributed balancing run.
 #[derive(Debug)]
@@ -50,6 +70,10 @@ pub struct BalanceOutcome {
     /// cleanly). Dead and timed-out ranks record their fail-stop
     /// error here.
     pub rank_errors: Vec<Option<RuntimeError>>,
+    /// Virtual makespan of the run on the sim backend (`None` on the
+    /// threaded backend) — the deterministic cost the overlap
+    /// benchmarks compare across [`OverlapMode`]s.
+    pub virtual_time: Option<f64>,
 }
 
 impl BalanceOutcome {
@@ -96,6 +120,34 @@ where
     F: FnOnce() -> DynamicContext + Send,
     M: Fn(usize, u64) -> Result<Point, CoreError> + Sync,
 {
+    run_to_balance_distributed_with(config, size, make_ctx, measure, max_steps, OverlapMode::default())
+}
+
+/// [`run_to_balance_distributed`] with an explicit [`OverlapMode`]:
+/// `Blocking` is the collective path, `Overlapped` pipelines the
+/// measurement gathers and share redistribution with nonblocking
+/// requests. Both modes produce bit-identical steps and final sizes
+/// on fault-free plans.
+///
+/// # Errors
+///
+/// Exactly those of [`run_to_balance_distributed`].
+///
+/// # Panics
+///
+/// Exactly those of [`run_to_balance_distributed`].
+pub fn run_to_balance_distributed_with<F, M>(
+    config: RuntimeConfig,
+    size: usize,
+    make_ctx: F,
+    measure: M,
+    max_steps: usize,
+    mode: OverlapMode,
+) -> Result<BalanceOutcome, RuntimeError>
+where
+    F: FnOnce() -> DynamicContext + Send,
+    M: Fn(usize, u64) -> Result<Point, CoreError> + Sync,
+{
     let plan = config.plan_ref().clone();
     let sink = config.sink_ref().clone();
     let (comms, handle) = config.build_with_handle(size);
@@ -122,10 +174,25 @@ where
                 size,
                 "context size must match communicator size"
             );
-            root_loop(&mut comm, &mut ctx, &measure, factor, max_steps, &sink)
-                .map(|steps| (steps, ctx.dist().sizes()))
+            match mode {
+                OverlapMode::Blocking => {
+                    root_loop(&mut comm, &mut ctx, &measure, factor, max_steps, &sink)
+                }
+                OverlapMode::Overlapped => {
+                    root_loop_overlapped(&comm, &mut ctx, &measure, factor, max_steps, &sink)
+                }
+            }
+            .map(|steps| (steps, ctx.dist().sizes()))
         } else {
-            worker_loop(&mut comm, &measure, factor, max_steps, &sink).map(|()| (vec![], vec![]))
+            match mode {
+                OverlapMode::Blocking => {
+                    worker_loop(&mut comm, &measure, factor, max_steps, &sink)
+                }
+                OverlapMode::Overlapped => {
+                    worker_loop_overlapped(&comm, &measure, factor, max_steps, &sink)
+                }
+            }
+            .map(|()| (vec![], vec![]))
         }
     });
 
@@ -153,6 +220,7 @@ where
         final_sizes,
         dead_ranks: handle.dead_ranks(),
         rank_errors,
+        virtual_time: handle.virtual_time(),
     })
 }
 
@@ -249,6 +317,137 @@ where
         comm.gather_available(0, &point)?;
         my_d = comm.scatterv::<u64>(0, None)?;
         let converged = comm.bcast::<bool>(0, None)?;
+        if converged {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Sends `[share, converged]` to a worker, tolerating its death (the
+/// survivors keep balancing over the remaining ranks).
+fn send_share_tolerant(
+    comm: &ThreadedComm,
+    dst: usize,
+    share: u64,
+    converged: bool,
+) -> Result<(), RuntimeError> {
+    match comm.isend(dst, &vec![share, u64::from(converged)]) {
+        Ok(req) => req.wait(),
+        Err(RuntimeError::RankDead { rank, .. }) if rank == dst => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Overlapped root loop: shares go out as eager `isend`s (no closing
+/// barrier), and the `irecv`s for the workers' next measurements are
+/// posted *before* rank 0 measures its own share, so the workers'
+/// points — and any fault-injected delivery latency on them — are in
+/// flight under rank 0's compute. Observations are absorbed in the
+/// same ascending rank order as the blocking gather.
+fn root_loop_overlapped<M>(
+    comm: &ThreadedComm,
+    ctx: &mut DynamicContext,
+    measure: &M,
+    factor: f64,
+    max_steps: usize,
+    sink: &std::sync::Arc<dyn fupermod_core::trace::TraceSink>,
+) -> Result<Vec<DynamicStep>, RuntimeError>
+where
+    M: Fn(usize, u64) -> Result<Point, CoreError> + Sync,
+{
+    let size = comm.size();
+    let mut steps = Vec::new();
+    // Distribute the initial shares.
+    let sizes = ctx.dist().sizes();
+    let mut my_d = sizes[0];
+    for (dst, &share) in sizes.iter().enumerate().skip(1) {
+        send_share_tolerant(comm, dst, share, false)?;
+    }
+    for _ in 0..max_steps {
+        // Post the measurement receives first: worker points arrive
+        // while rank 0 measures.
+        let mut pending: Vec<Option<RecvRequest<'_, Point>>> = Vec::with_capacity(size - 1);
+        for src in 1..size {
+            match comm.irecv::<Point>(src) {
+                Ok(req) => pending.push(Some(req)),
+                Err(RuntimeError::RankDead { rank, .. }) if rank == src => pending.push(None),
+                Err(e) => return Err(e),
+            }
+        }
+        let own = measure_share(comm.rank(), my_d, measure, factor, sink)?;
+        let mut observed = Vec::with_capacity(size);
+        observed.push(own);
+        for (i, req) in pending.into_iter().enumerate() {
+            let src = i + 1;
+            let slot = match req {
+                None => None,
+                Some(req) => match req.wait() {
+                    Ok(point) => Some(point),
+                    Err(RuntimeError::RankDead { rank, .. }) if rank == src => None,
+                    Err(e) => return Err(e),
+                },
+            };
+            match slot {
+                Some(point) => observed.push(point),
+                None => {
+                    // Rank died: repartition its load across survivors.
+                    if ctx.active()[src] {
+                        ctx.deactivate(src);
+                        sink.record(&TraceEvent::Fault {
+                            rank: comm.rank(),
+                            kind: "degraded".to_owned(),
+                            peer: src as i64,
+                            attempt: 0,
+                            seconds: 0.0,
+                        });
+                    }
+                    observed.push(Point::single(0, 0.0));
+                }
+            }
+        }
+        let step = ctx.absorb_observed(observed).map_err(app_err)?;
+        let converged = step.converged;
+        steps.push(step);
+        let sizes = ctx.dist().sizes();
+        my_d = sizes[0];
+        for (dst, &share) in sizes.iter().enumerate().skip(1) {
+            send_share_tolerant(comm, dst, share, converged)?;
+        }
+        if converged {
+            break;
+        }
+    }
+    Ok(steps)
+}
+
+/// Overlapped worker loop: receives `[share, converged]` messages and
+/// pushes measurements back with eager `isend`s — no barrier crossing.
+fn worker_loop_overlapped<M>(
+    comm: &ThreadedComm,
+    measure: &M,
+    factor: f64,
+    max_steps: usize,
+    sink: &std::sync::Arc<dyn fupermod_core::trace::TraceSink>,
+) -> Result<(), RuntimeError>
+where
+    M: Fn(usize, u64) -> Result<Point, CoreError> + Sync,
+{
+    let decode_share = |op: &'static str, msg: Vec<u64>| -> Result<(u64, bool), RuntimeError> {
+        match msg.as_slice() {
+            [share, converged] => Ok((*share, *converged != 0)),
+            _ => Err(RuntimeError::Decode {
+                what: op,
+                detail: format!("share message has {} words, expected 2", msg.len()),
+            }),
+        }
+    };
+    let (mut my_d, _) = decode_share("share", comm.irecv::<Vec<u64>>(0)?.wait()?)?;
+    for _ in 0..max_steps {
+        let point = measure_share(comm.rank(), my_d, measure, factor, sink)?;
+        comm.isend(0, &point)?.wait()?;
+        let (d, converged) = decode_share("share", comm.irecv::<Vec<u64>>(0)?.wait()?)?;
+        my_d = d;
         if converged {
             break;
         }

@@ -46,11 +46,16 @@ pub mod fault;
 pub mod wire;
 
 pub use collective::{Algorithm, AlgorithmPolicy};
+pub use comm::request::{
+    wait_all, AllgathervRequest, BcastRequest, Progress, RecvRequest, Request, SendRequest,
+};
 pub use comm::{
     run_ranks, Communicator, ReduceOp, RuntimeConfig, RuntimeHandle, ThreadedComm,
     DEFAULT_DEADLINE_SECS,
 };
 pub use error::RuntimeError;
-pub use executor::{run_to_balance_distributed, BalanceOutcome};
+pub use executor::{
+    run_to_balance_distributed, run_to_balance_distributed_with, BalanceOutcome, OverlapMode,
+};
 pub use fault::{DeathRule, DelayRule, DropRule, FaultPlan, StragglerRule};
 pub use wire::Wire;

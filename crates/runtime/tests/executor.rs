@@ -10,7 +10,10 @@ use fupermod_core::partition::GeometricPartitioner;
 use fupermod_core::trace::{MemorySink, TraceEvent};
 use fupermod_core::{CoreError, Point};
 use fupermod_platform::comm::LinkModel;
-use fupermod_runtime::{run_to_balance_distributed, AlgorithmPolicy, FaultPlan, RuntimeConfig};
+use fupermod_runtime::{
+    run_to_balance_distributed, run_to_balance_distributed_with, AlgorithmPolicy, FaultPlan,
+    OverlapMode, RuntimeConfig,
+};
 
 const SPEEDS: [f64; 4] = [120.0, 40.0, 80.0, 20.0];
 
@@ -197,6 +200,84 @@ fn dead_rank_is_rebalanced_across_survivors() {
     );
     assert!(
         events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Fault { kind, peer, .. } if kind == "degraded" && *peer == 2)),
+        "the root documents the degradation"
+    );
+}
+
+/// The overlapped executor (requests instead of blocking collectives,
+/// measurement receives posted before the root's own measurement)
+/// absorbs the same observations in the same order, so every step and
+/// the final distribution stay **bit-identical** to blocking mode —
+/// on both backends.
+#[test]
+fn overlapped_mode_is_bit_identical_to_blocking() {
+    let total = 11_321;
+    let configs: [fn() -> RuntimeConfig; 2] = [
+        RuntimeConfig::thread,
+        || RuntimeConfig::sim(4, LinkModel::ethernet()),
+    ];
+    for config in configs {
+        let run = |mode: OverlapMode| {
+            run_to_balance_distributed_with(
+                config(),
+                4,
+                || make_ctx(total, 0.03, 4),
+                measure,
+                30,
+                mode,
+            )
+            .expect("balance run")
+        };
+        let blocking = run(OverlapMode::Blocking);
+        let overlapped = run(OverlapMode::Overlapped);
+        assert_eq!(blocking.steps.len(), overlapped.steps.len());
+        for (b, o) in blocking.steps.iter().zip(&overlapped.steps) {
+            assert_eq!(b.observed.len(), o.observed.len());
+            for (bp, op) in b.observed.iter().zip(&o.observed) {
+                assert_eq!(bp.d, op.d);
+                assert_eq!(bp.t.to_bits(), op.t.to_bits());
+            }
+            assert_eq!(b.imbalance.to_bits(), o.imbalance.to_bits());
+            assert_eq!(b.converged, o.converged);
+        }
+        assert_eq!(blocking.final_sizes, overlapped.final_sizes);
+        assert!(overlapped.converged());
+    }
+}
+
+/// Overlapped mode degrades under fail-stop death the same way the
+/// blocking loop does: the dead rank's share is redistributed, the
+/// root traces the degradation, and the run terminates.
+#[test]
+fn overlapped_mode_rebalances_around_a_dead_rank() {
+    // The overlapped loop posts far fewer ops per step than the
+    // blocking collectives, so the death lands after two steps here.
+    let plan =
+        FaultPlan::from_json(r#"{"deadline": 10.0, "deaths": [{"rank": 2, "after_ops": 2}]}"#)
+            .unwrap();
+    let sink = Arc::new(MemorySink::new());
+
+    let outcome = run_to_balance_distributed_with(
+        RuntimeConfig::thread().with_plan(plan).with_trace(sink.clone()),
+        4,
+        || make_ctx(10_000, 0.05, 4),
+        measure,
+        30,
+        OverlapMode::Overlapped,
+    )
+    .expect("rank death must degrade, not fail the job");
+
+    assert_eq!(outcome.dead_ranks, vec![2]);
+    assert_eq!(outcome.final_sizes[2], 0, "dead rank holds no load");
+    assert_eq!(
+        outcome.final_sizes.iter().sum::<u64>(),
+        10_000,
+        "the dead rank's share is redistributed, not lost"
+    );
+    assert!(
+        sink.events()
             .iter()
             .any(|e| matches!(e, TraceEvent::Fault { kind, peer, .. } if kind == "degraded" && *peer == 2)),
         "the root documents the degradation"

@@ -1,0 +1,323 @@
+//! Integration tests for the nonblocking request API: edge cases
+//! (drop without `wait`, completion-order independence, zero-byte
+//! payloads, non-zero roots, fault-plan deaths observed at `wait`)
+//! and the virtual-time overlap contract (fault-free request runs are
+//! bit-identical to the blocking path; compute between post and
+//! `wait` hides communication).
+
+use fupermod_platform::comm::LinkModel;
+use fupermod_runtime::{
+    run_ranks, wait_all, AlgorithmPolicy, Communicator, DeathRule, FaultPlan, Progress, Request,
+    RuntimeConfig, RuntimeError,
+};
+
+fn both_backends(size: usize) -> Vec<RuntimeConfig> {
+    vec![
+        RuntimeConfig::thread(),
+        RuntimeConfig::sim(size, LinkModel::ethernet()),
+    ]
+}
+
+fn all_policies() -> Vec<AlgorithmPolicy> {
+    vec![
+        AlgorithmPolicy::hub(),
+        AlgorithmPolicy::ring(),
+        AlgorithmPolicy::tree(),
+    ]
+}
+
+/// `isend`/`irecv` round-trip typed payloads on both backends.
+#[test]
+fn isend_irecv_round_trip() {
+    for config in both_backends(2) {
+        let comms = config.build(2);
+        let out = run_ranks(comms, |c| -> Result<(), RuntimeError> {
+            if c.rank() == 0 {
+                let req = c.isend(1, &vec![1.5f64, -2.5])?;
+                req.wait()?;
+            } else {
+                let req = c.irecv::<Vec<f64>>(0)?;
+                assert_eq!(req.wait()?, vec![1.5, -2.5]);
+            }
+            Ok(())
+        });
+        out.into_iter().for_each(|r| r.unwrap());
+    }
+}
+
+/// Dropping a `RecvRequest` without `wait` cancels it without losing
+/// the message: a later blocking `recv` still delivers it. Dropping a
+/// `SendRequest` without `wait` never loses the message either.
+#[test]
+fn dropped_requests_neither_deadlock_nor_lose_messages() {
+    for config in both_backends(2) {
+        let comms = config.build(2);
+        let out = run_ranks(comms, |mut c| -> Result<(), RuntimeError> {
+            if c.rank() == 0 {
+                // Send dropped without wait: message must still arrive.
+                drop(c.isend(1, &41u64)?);
+                c.send(1, &42u64)?;
+            } else {
+                // Receive posted then cancelled: the mailbox keeps
+                // both messages, FIFO order intact.
+                drop(c.irecv::<u64>(0)?);
+                assert_eq!(c.recv::<u64>(0)?, 41);
+                assert_eq!(c.recv::<u64>(0)?, 42);
+            }
+            Ok(())
+        });
+        out.into_iter().for_each(|r| r.unwrap());
+    }
+}
+
+/// Dropping a collective request without `wait` completes the
+/// collective silently, so peers that called the blocking `wait` do
+/// not deadlock at the closing barrier.
+#[test]
+fn dropped_collective_request_completes_for_peers() {
+    for config in both_backends(3) {
+        let comms = config.build(3);
+        let out = run_ranks(comms, |c| -> Result<(), RuntimeError> {
+            let req = c.ibcast::<u64>(0, (c.rank() == 0).then_some(&9))?;
+            if c.rank() == 2 {
+                drop(req); // completes on drop
+            } else {
+                assert_eq!(req.wait()?, 9);
+            }
+            Ok(())
+        });
+        out.into_iter().for_each(|r| r.unwrap());
+    }
+}
+
+/// `wait_all` completes every request regardless of the order their
+/// messages arrive: rank 0 posts receives from every peer in rank
+/// order, while peers send in reverse arrival order.
+#[test]
+fn wait_all_is_completion_order_independent() {
+    for config in both_backends(4) {
+        let comms = config.build(4);
+        let out = run_ranks(comms, |c| -> Result<(), RuntimeError> {
+            if c.rank() == 0 {
+                let reqs = (1..4)
+                    .map(|src| c.irecv::<u64>(src))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let got = wait_all(reqs)?;
+                assert_eq!(got, vec![10, 20, 30]);
+            } else {
+                // Stagger so higher ranks usually land first; the
+                // result must not depend on it.
+                std::thread::sleep(std::time::Duration::from_millis(
+                    (4 - c.rank()) as u64 * 10,
+                ));
+                c.isend(0, &(c.rank() as u64 * 10))?.wait()?;
+            }
+            Ok(())
+        });
+        out.into_iter().for_each(|r| r.unwrap());
+    }
+}
+
+/// A zero-byte `irecv` (unit payload) completes like any other.
+#[test]
+fn zero_byte_irecv_completes() {
+    for config in both_backends(2) {
+        let comms = config.build(2);
+        let out = run_ranks(comms, |c| -> Result<(), RuntimeError> {
+            if c.rank() == 0 {
+                c.isend(1, &())?.wait()?;
+            } else {
+                c.irecv::<()>(0)?.wait()?;
+            }
+            Ok(())
+        });
+        out.into_iter().for_each(|r| r.unwrap());
+    }
+}
+
+/// `ibcast` accepts any root and yields the same value on every rank,
+/// under every schedule the policy can resolve.
+#[test]
+fn ibcast_accepts_non_zero_roots_under_every_policy() {
+    for policy in all_policies() {
+        for config in both_backends(4) {
+            let comms = config.with_algorithms(policy).build(4);
+            let out = run_ranks(comms, |c| -> Result<(), RuntimeError> {
+                let root = 2;
+                let req = c.ibcast::<Vec<u64>>(
+                    root,
+                    (c.rank() == root).then(|| vec![5, 6, 7]).as_ref(),
+                )?;
+                assert_eq!(req.wait()?, vec![5, 6, 7]);
+                Ok(())
+            });
+            out.into_iter().for_each(|r| r.unwrap());
+        }
+    }
+}
+
+/// `iallgatherv` matches the blocking `allgatherv` result under every
+/// schedule, and `test` eventually completes it without `wait`.
+#[test]
+fn iallgatherv_matches_blocking_under_every_policy() {
+    for policy in all_policies() {
+        for config in both_backends(4) {
+            let comms = config.with_algorithms(policy).build(4);
+            let out = run_ranks(comms, |c| -> Result<(), RuntimeError> {
+                let mut req = c.iallgatherv(&(c.rank() as u64 + 100))?;
+                let values = loop {
+                    match req.test()? {
+                        Progress::Ready(v) => break v,
+                        Progress::Pending(r) => {
+                            req = r;
+                            std::thread::yield_now();
+                        }
+                    }
+                };
+                assert_eq!(values, vec![100, 101, 102, 103]);
+                Ok(())
+            });
+            out.into_iter().for_each(|r| r.unwrap());
+        }
+    }
+}
+
+/// Posting a second collective request before completing the first is
+/// a typed `RequestBusy` error, not a corrupted rendezvous.
+#[test]
+fn second_outstanding_collective_request_is_rejected() {
+    let comms = RuntimeConfig::thread().build(2);
+    let out = run_ranks(comms, |c| -> Result<(), RuntimeError> {
+        let first = c.iallgatherv(&1u64)?;
+        match c.iallgatherv(&2u64) {
+            Err(RuntimeError::RequestBusy { rank, .. }) => assert_eq!(rank, c.rank()),
+            Err(other) => panic!("expected RequestBusy, got {other:?}"),
+            Ok(_) => panic!("expected RequestBusy, got a posted request"),
+        }
+        first.wait()?;
+        Ok(())
+    });
+    out.into_iter().for_each(|r| r.unwrap());
+}
+
+/// A fault-plan fail-stop death is observed at `wait` as the same
+/// typed error the blocking path reports.
+#[test]
+fn fault_plan_death_surfaces_at_wait() {
+    for config in both_backends(2) {
+        let plan = FaultPlan {
+            deadline: Some(2.0),
+            deaths: vec![DeathRule {
+                rank: 1,
+                after_ops: 0,
+            }],
+            ..FaultPlan::default()
+        };
+        let comms = config.with_plan(plan).build(2);
+        let out = run_ranks(comms, |c| -> Result<(), RuntimeError> {
+            if c.rank() == 0 {
+                let req = c.irecv::<u64>(1)?;
+                match req.wait() {
+                    Err(RuntimeError::RankDead { rank: 1, .. }) => Ok(()),
+                    other => panic!("expected RankDead{{1}}, got {other:?}"),
+                }
+            } else {
+                // First op trips the scheduled death.
+                match c.isend(0, &1u64) {
+                    Err(RuntimeError::RankDead { rank: 1, .. }) => Ok(()),
+                    Err(other) => panic!("expected own death, got {other:?}"),
+                    Ok(_) => panic!("expected own death, got a posted send"),
+                }
+            }
+        });
+        out.into_iter().for_each(|r| r.unwrap());
+    }
+}
+
+/// Fault-free request-based collectives with no compute between post
+/// and `wait` leave the virtual clocks **bit-identical** to the
+/// blocking path — the contract that makes the request API a safe
+/// drop-in.
+#[test]
+fn fault_free_requests_are_bit_identical_to_blocking() {
+    for policy in all_policies() {
+        let blocking = {
+            let (comms, handle) = RuntimeConfig::sim(4, LinkModel::ethernet())
+                .with_algorithms(policy)
+                .build_with_handle(4);
+            let out = run_ranks(comms, |mut c| -> Result<(), RuntimeError> {
+                let payload = vec![7u64; 32];
+                let v = c.bcast(1, (c.rank() == 1).then_some(&payload))?;
+                assert_eq!(v.len(), 32);
+                let all = c.allgatherv(&(c.rank() as u64))?;
+                assert_eq!(all, vec![0, 1, 2, 3]);
+                Ok(())
+            });
+            out.into_iter().for_each(|r| r.unwrap());
+            handle.virtual_time().unwrap()
+        };
+        let requests = {
+            let (comms, handle) = RuntimeConfig::sim(4, LinkModel::ethernet())
+                .with_algorithms(policy)
+                .build_with_handle(4);
+            let out = run_ranks(comms, |c| -> Result<(), RuntimeError> {
+                let v = c
+                    .ibcast::<Vec<u64>>(1, (c.rank() == 1).then(|| vec![7u64; 32]).as_ref())?
+                    .wait()?;
+                assert_eq!(v.len(), 32);
+                let all = c.iallgatherv(&(c.rank() as u64))?.wait()?;
+                assert_eq!(all, vec![0, 1, 2, 3]);
+                Ok(())
+            });
+            out.into_iter().for_each(|r| r.unwrap());
+            handle.virtual_time().unwrap()
+        };
+        assert_eq!(
+            blocking.to_bits(),
+            requests.to_bits(),
+            "policy {policy:?}: blocking {blocking} vs requests {requests}"
+        );
+    }
+}
+
+/// Compute credited between post and `wait` hides communication: the
+/// pipelined virtual makespan is strictly smaller than post-compute
+/// (blocking order) and never smaller than the compute alone.
+#[test]
+fn advance_compute_overlaps_collective_cost() {
+    for policy in all_policies() {
+        let vtime_of = |overlap: bool| {
+            let (comms, handle) = RuntimeConfig::sim(4, LinkModel::ethernet())
+                .with_algorithms(policy)
+                .build_with_handle(4);
+            let out = run_ranks(comms, move |mut c| -> Result<(), RuntimeError> {
+                let payload = vec![3u64; 4096];
+                let compute = 0.5;
+                for _ in 0..4 {
+                    if overlap {
+                        let req =
+                            c.ibcast::<Vec<u64>>(0, (c.rank() == 0).then_some(&payload))?;
+                        c.advance_compute(compute)?;
+                        req.wait()?;
+                    } else {
+                        c.bcast::<Vec<u64>>(0, (c.rank() == 0).then_some(&payload))?;
+                        c.advance_compute(compute)?;
+                    }
+                }
+                Ok(())
+            });
+            out.into_iter().for_each(|r| r.unwrap());
+            handle.virtual_time().unwrap()
+        };
+        let blocking = vtime_of(false);
+        let pipelined = vtime_of(true);
+        assert!(
+            pipelined < blocking,
+            "policy {policy:?}: pipelined {pipelined} !< blocking {blocking}"
+        );
+        assert!(
+            pipelined >= 4.0 * 0.5,
+            "policy {policy:?}: pipelined {pipelined} below pure compute"
+        );
+    }
+}

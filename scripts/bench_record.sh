@@ -19,6 +19,17 @@
 #     {ring,tree}: how much virtual time each decentralised schedule
 #     saves over the serialized star.
 #
+#   MODE=pr6 — compute/communication overlap evidence (default
+#     OUT=BENCH_PR6.json; see docs/RUNTIME.md §8 and EXPERIMENTS.md).
+#     Records the `{vtime,wall}_{matmul_pipeline,balance_overlap}`
+#     benches: blocking vs request-pipelined schedules of the
+#     broadcast matmul and the distributed balancing loop. The derived
+#     ratios are blocking ÷ overlapped. Read `vtime_*` as schedule
+#     quality (deterministic Hockney clocks) and `wall_*` as latency
+#     hiding under an injected message delay — on a single-core host
+#     the wall wins are bounded by how much real compute the delay can
+#     hide under (see host.cpus).
+#
 # Runs the relevant criterion benches RUNS times (default 3) and takes
 # the per-benchmark median time.
 #
@@ -31,8 +42,9 @@ MODE=${MODE:-pr2}
 case "$MODE" in
 pr2) OUT=${OUT:-BENCH_PR2.json} ;;
 pr4) OUT=${OUT:-BENCH_PR4.json} ;;
+pr6) OUT=${OUT:-BENCH_PR6.json} ;;
 *)
-    echo "unknown MODE=$MODE (expected pr2 or pr4)" >&2
+    echo "unknown MODE=$MODE (expected pr2, pr4 or pr6)" >&2
     exit 2
     ;;
 esac
@@ -49,6 +61,9 @@ for i in $(seq "$RUNS"); do
             --bench gemm \
             --bench interp \
             --bench benchmark_machinery >>"$raw"
+    elif [ "$MODE" = pr6 ]; then
+        cargo bench -q -p fupermod-bench \
+            --bench overlap >>"$raw"
     else
         cargo bench -q -p fupermod-bench \
             --bench comm_collectives >>"$raw"
@@ -97,6 +112,14 @@ if mode == "pr2":
             "akima_eval64/recompute_segment_resolved", "akima_eval64/cached_segment_resolved"
         ),
         "benchmark_stats_incremental_speedup": ratio("benchmark_stats/recompute", "benchmark_stats/incremental"),
+    }
+elif mode == "pr6":
+    derived = {
+        f"{metric}_{app}_speedup": ratio(
+            f"{metric}_{app}/blocking", f"{metric}_{app}/overlapped"
+        )
+        for metric in ("vtime", "wall")
+        for app in ("matmul_pipeline", "balance_overlap")
     }
 else:
     derived = {

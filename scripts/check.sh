@@ -42,6 +42,18 @@ run ./target/release/fupermod_tracetool validate \
     --schema scripts/tracetool_schema.json "$TRACE_TMP/summary.json"
 run ./target/release/fupermod_tracetool export "$TRACE_FILE" \
     --format chrome --out "$TRACE_TMP/chrome.json"
+# Overlap gate: on a fault-free sim plan the pipelined (ibcast
+# double-buffered) matmul must produce a product **bit-identical** to
+# the blocking schedule — the request API's drop-in contract (see
+# docs/RUNTIME.md §8). The checksum lines are diffed; timing lines are
+# not (the makespans legitimately differ — that is the point).
+run ./target/release/fupermod_simulate \
+    --app matmul --pipeline blocking --runtime sim --size 8 \
+    | grep '^product checksum:' > "$TRACE_TMP/matmul_blocking.txt"
+run ./target/release/fupermod_simulate \
+    --app matmul --pipeline overlapped --runtime sim --size 8 \
+    | grep '^product checksum:' > "$TRACE_TMP/matmul_overlapped.txt"
+run diff "$TRACE_TMP/matmul_blocking.txt" "$TRACE_TMP/matmul_overlapped.txt"
 # The runtime crate must also be clippy-clean on its own (the
 # workspace pass below covers it too, but a targeted run keeps the
 # collective layer's lints enforced even when other crates are

@@ -8,6 +8,7 @@
 //!                          [--parallelism N]
 //!                          [--runtime thread|sim] [--fault-plan SPEC]
 //!                          [--collectives hub|ring|tree|auto]
+//!                          [--pipeline blocking|overlapped] [--overlap yes]
 //!                          [--trace PATH | --trace-dir DIR]
 //!                          [--trace-format jsonl|csv]
 //!   --app           which application to simulate; `balance` runs the
@@ -20,12 +21,23 @@
 //!   --algorithm     partitioning algorithm (default: geometric)
 //!   --parallelism   (matmul only) model-build worker threads (default: 1
 //!                   = serial, 0 = one per core); bit-identical output
-//!   --runtime       (balance only) thread (wall clocks, default) or sim
-//!                   (deterministic Hockney virtual clocks)
-//!   --fault-plan    (balance only) inline JSON or a JSON file injecting
-//!                   delays/drops/stragglers/death (see docs/RUNTIME.md)
-//!   --collectives   (balance only) collective schedules: hub (default),
-//!                   ring, tree or auto (see docs/RUNTIME.md §6)
+//!   --pipeline      (matmul only) run the broadcast-driven multiplication
+//!                   for real on the runtime instead of the closed-form
+//!                   simulation: `blocking` waits for each pivot before
+//!                   computing, `overlapped` double-buffers the next pivot
+//!                   with `ibcast` (see docs/RUNTIME.md §8); prints a
+//!                   product checksum suitable for bit-identity diffing
+//!   --runtime       (balance, matmul --pipeline) thread (wall clocks,
+//!                   default) or sim (deterministic Hockney virtual clocks)
+//!   --fault-plan    (balance, matmul --pipeline) inline JSON or a JSON
+//!                   file injecting delays/drops/stragglers/death (see
+//!                   docs/RUNTIME.md)
+//!   --collectives   (balance, matmul --pipeline) collective schedules:
+//!                   hub (default), ring, tree or auto (see docs/RUNTIME.md §6)
+//!   --overlap yes   (balance only) post measurement receives before the
+//!                   root's own measurement and push shares with eager
+//!                   isends — nonblocking requests instead of blocking
+//!                   collectives (see docs/RUNTIME.md §8)
 //!   --trace         write a structured trace (see docs/OBSERVABILITY.md)
 //!   --trace-dir     like --trace, but write DIR/fupermod_simulate.trace.jsonl
 //!                   (FUPERMOD_TRACE_DIR in the environment acts the same)
@@ -60,6 +72,43 @@ fn main() {
         .unwrap_or_else(|| Arc::new(fupermod::core::trace::NullSink));
 
     match app.as_str() {
+        "matmul" if args.contains_key("pipeline") => {
+            use fupermod::apps::matmul::{matrix_checksum, run_bcast};
+            use fupermod::apps::workload::random_matrix;
+            use fupermod::runtime::OverlapMode;
+
+            let mode = match get("pipeline", "blocking").as_str() {
+                "blocking" => OverlapMode::Blocking,
+                "overlapped" | "pipelined" => OverlapMode::Overlapped,
+                other => {
+                    eprintln!("--pipeline must be blocking or overlapped (got '{other}')");
+                    std::process::exit(2);
+                }
+            };
+            let n_blocks: u64 = get("size", "8").parse().expect("size must be an integer");
+            let block = 16usize;
+            let n = n_blocks as usize * block;
+            let a = random_matrix(n, n, seed);
+            let b = random_matrix(n, n, seed.wrapping_add(1));
+            // Even block-area split: the pipeline path exercises the
+            // communication schedule, not the partition quality.
+            let p = platform.size() as u64;
+            let total = n_blocks * n_blocks;
+            let areas: Vec<u64> = (0..p)
+                .map(|i| total / p + u64::from(i < total % p))
+                .collect();
+            let config = cli::runtime_config(&args, &platform, sink.as_ref());
+            let run = run_bcast(&a, &b, block, &areas, config, mode)
+                .expect("broadcast matmul failed");
+            println!("platform: {}", platform.name());
+            println!("areas: {areas:?}");
+            println!("pipeline mode: {mode:?}");
+            println!("product checksum: {:016x}", matrix_checksum(&run.product));
+            if let Some(vt) = run.virtual_time {
+                println!("virtual makespan: {vt:.6} s");
+            }
+            println!("wall seconds: {:.4}", run.wall_seconds);
+        }
         "matmul" => {
             let n_blocks: u64 = get("size", "128").parse().expect("size must be an integer");
             let cfg = MatMulConfig { n_blocks, block: 16 };
@@ -147,13 +196,18 @@ fn main() {
         "balance" => {
             use fupermod::core::dynamic::DynamicContext;
             use fupermod::core::model::PiecewiseModel;
-            use fupermod::runtime::run_to_balance_distributed;
+            use fupermod::runtime::{run_to_balance_distributed_with, OverlapMode};
 
             let total: u64 = get("size", "100000").parse().expect("size must be an integer");
             let profile = WorkloadProfile::matrix_update(16);
             let config = cli::runtime_config(&args, &platform, sink.as_ref());
             let size = platform.size();
-            let outcome = run_to_balance_distributed(
+            let mode = if get("overlap", "no") == "yes" {
+                OverlapMode::Overlapped
+            } else {
+                OverlapMode::Blocking
+            };
+            let outcome = run_to_balance_distributed_with(
                 config,
                 size,
                 || {
@@ -172,6 +226,7 @@ fn main() {
                     )
                 },
                 25,
+                mode,
             )
             .expect("distributed balance run failed");
             println!("platform: {}", platform.name());
