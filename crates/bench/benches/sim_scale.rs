@@ -1,0 +1,136 @@
+//! Criterion bench: discrete-event engine scaling — wall-clock of the
+//! `EventSim` interpreter running a balancing-style collective round
+//! (one `allgatherv` of a `u64` per rank plus one `allreduce`) at
+//! p ∈ {64, 1k, 10k, 100k} under the ring and tree schedules.
+//!
+//! Unlike `comm_collectives` (which reports Hockney *virtual* seconds,
+//! schedule quality), these names report real host wall-clock: the
+//! cost of simulating the schedule, which is what caps the rank count
+//! one host can model. `sim_scale/p100k_ring_balance` is the
+//! acceptance scenario — eight ring rounds at p = 100 000, the
+//! collective skeleton of a balancing run — and must finish in
+//! seconds, not minutes.
+//!
+//! After the timed benches this binary prints `# metric NAME VALUE`
+//! lines (events dispatched per wall second at p = 100k, peak RSS),
+//! which `scripts/bench_record.sh` (MODE=pr7) records into
+//! `BENCH_PR7.json` alongside the timings.
+
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fupermod_platform::comm::LinkModel;
+use fupermod_runtime::{AlgorithmPolicy, EventSim, ReduceOp, RuntimeConfig, SimEngine};
+
+/// Builds a fresh event engine over a uniform-ethernet topology.
+fn engine(p: usize, policy: AlgorithmPolicy) -> EventSim {
+    let config = RuntimeConfig::sim(p, LinkModel::ethernet())
+        .with_engine(SimEngine::Event)
+        .with_algorithms(policy);
+    EventSim::from_config(&config, p).expect("event engine")
+}
+
+/// One balancing-style collective round on every rank: share a `u64`
+/// contribution (`allgatherv`) and agree on a global sum
+/// (`allreduce`). No barriers — the balancing loop doesn't use them.
+fn round(sim: &mut EventSim, contribs: &[u64], times: &[f64]) {
+    for r in sim.allgatherv(contribs) {
+        r.expect("rank skipped").expect("allgatherv failed");
+    }
+    for r in sim.allreduce(times, ReduceOp::Sum) {
+        r.expect("rank skipped").expect("allreduce failed");
+    }
+}
+
+/// Runs `rounds` collective rounds at `p` and returns (wall seconds,
+/// events dispatched, final virtual time).
+fn scenario(p: usize, policy: AlgorithmPolicy, rounds: usize) -> (f64, u64, f64) {
+    let contribs: Vec<u64> = (0..p as u64).collect();
+    let times: Vec<f64> = (0..p).map(|r| 1.0 + r as f64 * 1e-6).collect();
+    let start = Instant::now();
+    let mut sim = engine(p, policy);
+    for _ in 0..rounds {
+        round(&mut sim, &contribs, &times);
+    }
+    (start.elapsed().as_secs_f64(), sim.events(), sim.max_time())
+}
+
+fn policies() -> [(&'static str, AlgorithmPolicy); 2] {
+    [
+        ("ring", AlgorithmPolicy::ring()),
+        ("tree", AlgorithmPolicy::tree()),
+    ]
+}
+
+/// Wall-clock of one collective round at each scale point.
+fn bench_scale_sweep(c: &mut Criterion) {
+    for (label, p) in [("p64", 64usize), ("p1k", 1_000), ("p10k", 10_000), ("p100k", 100_000)] {
+        for (name, policy) in policies() {
+            c.bench_function(&format!("sim_scale/{label}_{name}"), |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let (wall, events, vt) = scenario(p, policy, 1);
+                        black_box((events, vt));
+                        total += Duration::from_secs_f64(wall);
+                    }
+                    total
+                })
+            });
+        }
+    }
+}
+
+/// The acceptance scenario: eight ring rounds at p = 100 000 — the
+/// collective skeleton of a balancing run at cluster scale.
+fn bench_p100k_balance(c: &mut Criterion) {
+    c.bench_function("sim_scale/p100k_ring_balance", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let (wall, events, vt) = scenario(100_000, AlgorithmPolicy::ring(), 8);
+                black_box((events, vt));
+                total += Duration::from_secs_f64(wall);
+            }
+            total
+        })
+    });
+}
+
+/// Peak resident set size of this process in MiB, from
+/// `/proc/self/status` `VmHWM` (0.0 when unavailable, e.g. non-Linux).
+fn peak_rss_mib() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            return kb / 1024.0;
+        }
+    }
+    0.0
+}
+
+/// Emits the derived `# metric` lines for `bench_record.sh MODE=pr7`:
+/// dispatch throughput at p = 100k and the process peak RSS after the
+/// largest scenario has run.
+fn emit_metrics(_c: &mut Criterion) {
+    let (wall, events, vt) = scenario(100_000, AlgorithmPolicy::ring(), 8);
+    println!("# metric sim_scale_p100k_events {events}");
+    println!("# metric sim_scale_p100k_wall_s {wall:.6}");
+    println!(
+        "# metric sim_scale_p100k_events_per_sec {:.1}",
+        events as f64 / wall.max(1e-9)
+    );
+    println!("# metric sim_scale_p100k_virtual_s {vt:.6}");
+    println!("# metric sim_scale_peak_rss_mib {:.1}", peak_rss_mib());
+}
+
+criterion_group!(benches, bench_scale_sweep, bench_p100k_balance, emit_metrics);
+criterion_main!(benches);

@@ -19,6 +19,12 @@
 //! plan; `--fault-plan SPEC` (inline JSON or a file, see
 //! docs/RUNTIME.md) injects faults and `--collectives hub|ring|tree|auto`
 //! selects the collective schedules (docs/RUNTIME.md §6).
+//! `--sim-engine event` swaps the rank threads for the single-threaded
+//! discrete-event interpreter (implies `--runtime sim`; see
+//! docs/RUNTIME.md §9), and `--ranks P` scales the run to a single
+//! two-speed platform of P devices, keeping only the dynamic leg —
+//! building full models for 10⁴+ devices is exactly the cost the
+//! dynamic approach avoids.
 
 use fupermod_bench::{
     evaluate_partitioner, finish_experiment_trace, ground_truth_imbalance, ground_truth_times,
@@ -34,11 +40,17 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let trace = fupermod_bench::experiment_trace("exp2_dynamic_cost");
     let profile = WorkloadProfile::matrix_update(16);
-    let platforms = vec![
-        Platform::two_speed(2, 2, 201),
-        Platform::hybrid_node(4, 202),
-        Platform::grid_site(203),
-    ];
+    let ranks = fupermod_bench::ranks_from_args();
+    let platforms = match ranks {
+        // Scale-sweep mode: one two-speed platform of the requested
+        // size; the full-FPM leg is skipped below.
+        Some(p) => vec![Platform::two_speed(p.div_ceil(2), p / 2, 201)],
+        None => vec![
+            Platform::two_speed(2, 2, 201),
+            Platform::hybrid_node(4, 202),
+            Platform::grid_site(203),
+        ],
+    };
     let total: u64 = if quick { 20_000 } else { 100_000 };
 
     print_csv_row(&[
@@ -51,42 +63,45 @@ fn main() {
     ]);
 
     for platform in &platforms {
-        // --- (a) full models ---
-        let sizes = size_grid(16, total, if quick { 8 } else { 16 });
-        let mut full_cost = 0.0;
-        let mut models = Vec::new();
-        for rank in 0..platform.size() {
-            let mut m = PiecewiseModel::new();
-            full_cost += fupermod_bench::build_model_for_device(
+        // --- (a) full models (skipped under --ranks: modelling every
+        // device of a 10⁴+ platform is the cost being avoided) ---
+        if ranks.is_none() {
+            let sizes = size_grid(16, total, if quick { 8 } else { 16 });
+            let mut full_cost = 0.0;
+            let mut models = Vec::new();
+            for rank in 0..platform.size() {
+                let mut m = PiecewiseModel::new();
+                full_cost += fupermod_bench::build_model_for_device(
+                    platform,
+                    rank,
+                    &profile,
+                    &sizes,
+                    &Precision::thorough(),
+                    &mut m,
+                    sink_or_null(&trace),
+                )
+                .expect("full model build failed");
+                models.push(m);
+            }
+            let refs: Vec<&dyn Model> = models.iter().map(|m| m as &dyn Model).collect();
+            let eval = evaluate_partitioner(
                 platform,
-                rank,
                 &profile,
-                &sizes,
-                &Precision::thorough(),
-                &mut m,
+                total,
+                &GeometricPartitioner::default(),
+                &refs,
                 sink_or_null(&trace),
             )
-            .expect("full model build failed");
-            models.push(m);
+            .expect("full-model partition failed");
+            print_csv_row(&[
+                platform.name().to_owned(),
+                total.to_string(),
+                "full-fpm".to_owned(),
+                format!("{full_cost:.3}"),
+                sizes.len().to_string(),
+                format!("{:.4}", eval.imbalance),
+            ]);
         }
-        let refs: Vec<&dyn Model> = models.iter().map(|m| m as &dyn Model).collect();
-        let eval = evaluate_partitioner(
-            platform,
-            &profile,
-            total,
-            &GeometricPartitioner::default(),
-            &refs,
-            sink_or_null(&trace),
-        )
-        .expect("full-model partition failed");
-        print_csv_row(&[
-            platform.name().to_owned(),
-            total.to_string(),
-            "full-fpm".to_owned(),
-            format!("{full_cost:.3}"),
-            sizes.len().to_string(),
-            format!("{:.4}", eval.imbalance),
-        ]);
 
         // --- (b) dynamic partial estimation ---
         // With --runtime thread|sim the loop runs distributed over the

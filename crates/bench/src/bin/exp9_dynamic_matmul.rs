@@ -17,7 +17,9 @@
 //! bit-identical results on a fault-free plan; `--fault-plan SPEC`
 //! (inline JSON or a file, see docs/RUNTIME.md) injects faults and
 //! `--collectives hub|ring|tree|auto` selects the collective schedules
-//! (docs/RUNTIME.md §6).
+//! (docs/RUNTIME.md §6). `--sim-engine event` swaps the rank threads
+//! for the single-threaded discrete-event interpreter (implies
+//! `--runtime sim`; see docs/RUNTIME.md §9).
 
 use fupermod_apps::matmul::{partition_areas, simulate, MatMulConfig};
 use fupermod_bench::{

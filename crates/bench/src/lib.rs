@@ -285,28 +285,92 @@ pub fn collectives_from_args() -> fupermod_runtime::AlgorithmPolicy {
     }
 }
 
+/// Parses `--sim-engine thread|event` into a
+/// [`fupermod_runtime::SimEngine`] (default `thread`). `event` selects
+/// the single-threaded discrete-event interpreter — same virtual
+/// clocks, `10⁴`–`10⁶` ranks (see `docs/RUNTIME.md` §9). Exits with
+/// status 2 on an unknown spelling.
+pub fn sim_engine_from_args() -> fupermod_runtime::SimEngine {
+    use fupermod_runtime::SimEngine;
+    match flag_value("--sim-engine") {
+        None => SimEngine::default(),
+        Some(s) => SimEngine::parse(&s).unwrap_or_else(|e| {
+            eprintln!("--sim-engine: {e}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Parses the `--ranks N` process-count override for the scale-sweep
+/// experiment legs. Returns `None` when absent; exits with status 2 on
+/// `--ranks 0` or a non-integer value.
+pub fn ranks_from_args() -> Option<usize> {
+    let s = flag_value("--ranks")?;
+    match s.parse::<usize>() {
+        Ok(0) => {
+            eprintln!("--ranks must be at least 1 (got 0)");
+            std::process::exit(2);
+        }
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!("invalid --ranks value {s:?} (want a positive integer)");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Builds the runtime configuration selected by `--runtime thread|sim`
-/// for a distributed dynamic run on `platform`, applying `--fault-plan`
-/// and the `--collectives` algorithm policy, and routing runtime trace
-/// events to `trace` when given. Returns `None` when `--runtime` is
-/// absent or `serial` (the classic in-process loop); exits with status
-/// 2 on an unknown backend.
+/// and `--sim-engine thread|event` for a distributed dynamic run on
+/// `platform`, applying `--fault-plan` and the `--collectives`
+/// algorithm policy, and routing runtime trace events to `trace` when
+/// given. Returns `None` when the run stays serial (the classic
+/// in-process loop): `--runtime` absent without `--sim-engine event`,
+/// or an explicit `--runtime serial`.
+///
+/// `--sim-engine event` needs the virtual-clock backend, so it implies
+/// `--runtime sim` when `--runtime` is absent and rejects an explicit
+/// `--runtime thread`. The thread engine refuses more ranks than it
+/// can sanely spawn threads for (512). Exits with status 2 on an
+/// unknown backend or a rejected combination.
 pub fn runtime_from_args(
     platform: &Platform,
     trace: Option<&Arc<dyn TraceSink>>,
 ) -> Option<fupermod_runtime::RuntimeConfig> {
-    use fupermod_runtime::RuntimeConfig;
-    let backend = flag_value("--runtime")?;
+    use fupermod_runtime::{RuntimeConfig, SimEngine};
+    let engine = sim_engine_from_args();
+    let backend = match flag_value("--runtime") {
+        Some(b) => b,
+        None if engine == SimEngine::Event => "sim".to_owned(),
+        None => return None,
+    };
     let config = match backend.as_str() {
         "serial" => return None,
-        "thread" => RuntimeConfig::thread(),
+        "thread" => {
+            if engine == SimEngine::Event {
+                eprintln!(
+                    "--sim-engine event needs the virtual-clock backend: \
+                     use --runtime sim (or drop --sim-engine)"
+                );
+                std::process::exit(2);
+            }
+            RuntimeConfig::thread()
+        }
         "sim" => RuntimeConfig::sim(platform.size(), platform.link()),
         other => {
             eprintln!("--runtime must be serial, thread or sim (got '{other}')");
             std::process::exit(2);
         }
     };
+    if engine == SimEngine::Thread && platform.size() > 512 {
+        eprintln!(
+            "the thread engine spawns one OS thread per rank and is capped \
+             at 512 ranks (asked for {}); use --sim-engine event",
+            platform.size()
+        );
+        std::process::exit(2);
+    }
     let config = config
+        .with_engine(engine)
         .with_plan(fault_plan_from_args())
         .with_algorithms(collectives_from_args());
     Some(match trace {

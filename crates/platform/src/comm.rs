@@ -175,6 +175,20 @@ impl Topology {
             self.intra
         }
     }
+
+    /// `Some(link)` when every pair of ranks uses the same link model
+    /// (a flat topology, a single node, or identical intra/inter
+    /// links), `None` otherwise. The uniform-link guarantee is what
+    /// lets closed-form schedule charges
+    /// ([`SimComm::charge_uniform_ring`]) replace per-hop replay.
+    pub fn uniform_link(&self) -> Option<LinkModel> {
+        let crosses_nodes = self.node_of.iter().any(|&n| n != self.node_of[0]);
+        if !crosses_nodes || self.intra == self.inter {
+            Some(self.worst_link())
+        } else {
+            None
+        }
+    }
 }
 
 /// What a rank was doing during a [`TraceEvent`] interval.
@@ -661,6 +675,61 @@ impl SimComm {
         Ok(())
     }
 
+    /// Charges a uniform ring schedule in closed form: `rounds` rounds
+    /// in which every rank simultaneously sends `bytes` to its
+    /// successor and receives `bytes` from its predecessor over one
+    /// shared link model.
+    ///
+    /// This is the event engine's fast path for ring collectives at
+    /// large `p`, where materialising the explicit
+    /// `rounds × p`-hop schedule would cost `O(p²)`. Under the
+    /// preconditions below it advances every clock through exactly the
+    /// same sequence of floating-point additions as
+    /// [`schedule`](Self::schedule) applied to the equivalent ring hop
+    /// plan — each round every rank begins at the shared clock `x` and
+    /// ends at `fl(x + cost)` — so the resulting clocks are
+    /// **bit-identical** to the explicit replay.
+    /// [`comm_seconds`](Self::comm_seconds) is accumulated as
+    /// `fl(round_delta) × p` per round, which is mathematically equal
+    /// to the explicit replay's per-rank accumulation but not
+    /// guaranteed bit-identical (the replay performs `p` separate
+    /// additions per round); `comm_seconds` is a diagnostic, not part
+    /// of the bit-parity contract. When tracing is enabled each rank
+    /// gets one coalesced [`Activity::Communication`] interval spanning
+    /// all rounds instead of one per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is not uniform-link
+    /// ([`Topology::uniform_link`]), if the per-rank clocks are not all
+    /// bit-identical, or if `bytes` is negative — the caller is
+    /// expected to have checked the fast-path gate.
+    pub fn charge_uniform_ring(&mut self, bytes: f64, rounds: usize) {
+        let link = self
+            .topo
+            .uniform_link()
+            .expect("charge_uniform_ring requires a uniform-link topology");
+        let start = self.clocks[0];
+        assert!(
+            self.clocks.iter().all(|c| c.to_bits() == start.to_bits()),
+            "charge_uniform_ring requires bit-identical per-rank clocks"
+        );
+        let cost = link.cost(bytes);
+        let p = self.clocks.len() as f64;
+        let mut x = start;
+        for _ in 0..rounds {
+            let next = x + cost;
+            self.comm_seconds += (next - x) * p;
+            x = next;
+        }
+        for c in &mut self.clocks {
+            *c = x;
+        }
+        for r in 0..self.clocks.len() {
+            self.note(r, start, x, Activity::Communication);
+        }
+    }
+
     /// Moves computation units between ranks to turn distribution `old`
     /// into `new`, with each unit weighing `bytes_per_unit` bytes.
     /// Surpluses are matched to deficits in rank order (the same greedy
@@ -1081,6 +1150,54 @@ mod tests {
         assert!(t1 > 0.0 && s1 > 0.0);
         assert_eq!(t1.to_bits(), t2.to_bits());
         assert_eq!(s1.to_bits(), s2.to_bits());
+    }
+
+    #[test]
+    fn charge_uniform_ring_matches_explicit_schedule_bitwise() {
+        // The closed form must walk clocks through exactly the same
+        // floating-point additions as replaying the explicit ring hop
+        // plan, at a q large enough to exercise accumulated rounding.
+        let q = 600;
+        let bytes = 1234.0;
+        let mut exact = SimComm::new(q, LinkModel::ethernet());
+        exact.advance(0, 0.125);
+        exact.barrier(); // uniform non-zero starting clocks
+        let mut fast = exact.clone();
+        let rounds: Vec<Vec<(usize, usize, f64)>> = (0..q - 1)
+            .map(|_| (0..q).map(|i| (i, (i + 1) % q, bytes)).collect())
+            .collect();
+        exact.schedule(&rounds).unwrap();
+        fast.charge_uniform_ring(bytes, q - 1);
+        for r in 0..q {
+            assert_eq!(
+                exact.time(r).to_bits(),
+                fast.time(r).to_bits(),
+                "rank {r} clock diverged"
+            );
+        }
+        // comm_seconds is mathematically equal but accumulated in a
+        // different association order — approximate agreement only.
+        let rel = (exact.comm_seconds() - fast.comm_seconds()).abs() / exact.comm_seconds();
+        assert!(rel < 1e-9, "comm_seconds diverged by {rel}");
+    }
+
+    #[test]
+    fn uniform_link_detection() {
+        let eth = LinkModel::ethernet();
+        let ib = LinkModel::infiniband();
+        assert_eq!(Topology::flat(4, eth).uniform_link(), Some(eth));
+        // One node: intra link applies everywhere.
+        assert_eq!(
+            Topology::two_level(vec![0, 0, 0], ib, eth).uniform_link(),
+            Some(ib)
+        );
+        // Two nodes, distinct links: not uniform.
+        assert_eq!(Topology::two_level(vec![0, 1], ib, eth).uniform_link(), None);
+        // Two nodes but identical links: uniform.
+        assert_eq!(
+            Topology::two_level(vec![0, 1], eth, eth).uniform_link(),
+            Some(eth)
+        );
     }
 
     #[test]

@@ -507,6 +507,59 @@ pub fn butterfly_rounds(size: usize, live: &[usize], lens_by_pos: &[u64]) -> Rou
     rounds
 }
 
+/// [`butterfly_rounds`] for the uniform-contribution case, in
+/// `O(q log q)` instead of the slow builder's `O(q²)` held-set
+/// bookkeeping — the event engine's fast path for large `p`.
+///
+/// Produces a hop-for-hop identical schedule to
+/// `butterfly_rounds(size, live, &vec![len; live.len()])`: when every
+/// contribution weighs `len` bytes, the slot set a core position holds
+/// before the round with exchange mask `m` is exactly its aligned
+/// window of `m` core positions plus the extras attached below
+/// `q - q2`, so the encoded message length follows from the held
+/// *count* alone and the per-position slot vectors never need to be
+/// materialised.
+pub fn butterfly_rounds_uniform(size: usize, live: &[usize], len: u64) -> Rounds {
+    let q = live.len();
+    if q <= 1 {
+        return Vec::new();
+    }
+    let q2 = prev_pow2(q);
+    // Core positions `< extras` have the extra `pos + q2` folded in.
+    let extras = q - q2;
+    let mut rounds: Rounds = Vec::new();
+    if q > q2 {
+        rounds.push(
+            (q2..q)
+                .map(|e| (live[e], live[e - q2], encoded_slots_len(size, &[len])))
+                .collect(),
+        );
+    }
+    let mut mask = 1usize;
+    while mask < q2 {
+        let round: Vec<Hop> = (0..q2)
+            .map(|pos| {
+                let base = pos & !(mask - 1);
+                // Extras attached inside the window [base, base+mask).
+                let attached = (base + mask).min(extras).saturating_sub(base);
+                let held = (mask + attached) as u64;
+                (
+                    live[pos],
+                    live[pos ^ mask],
+                    8 + size as u64 + held * (8 + len),
+                )
+            })
+            .collect();
+        rounds.push(round);
+        mask <<= 1;
+    }
+    if q > q2 {
+        let full = 8 + size as u64 + q as u64 * (8 + len);
+        rounds.push((q2..q).map(|e| (live[e - q2], live[e], full)).collect());
+    }
+    rounds
+}
+
 /// Tree barrier schedule: a zero-byte binomial fan-in to the lowest
 /// live rank followed by a zero-byte binomial fan-out —
 /// `2 ceil(log2 q)` latency-only rounds.
@@ -571,6 +624,33 @@ mod tests {
                 expect.sort_unstable();
                 assert_eq!(members, expect);
             }
+        }
+    }
+
+    #[test]
+    fn butterfly_rounds_uniform_matches_slow_builder() {
+        // Exact Vec equality: the fast builder must be hop-for-hop
+        // identical so virtual-time charges stay bit-identical when
+        // the event engine swaps it in.
+        for q in 1..=33 {
+            let l = live(q);
+            for len in [0u64, 1, 17] {
+                let lens = vec![len; q];
+                assert_eq!(
+                    butterfly_rounds_uniform(q + 3, &l, len),
+                    butterfly_rounds(q + 3, &l, &lens),
+                    "q={q} len={len}"
+                );
+            }
+        }
+        for q in [100usize, 101, 600, 601, 1000] {
+            let l = live(q);
+            let lens = vec![24u64; q];
+            assert_eq!(
+                butterfly_rounds_uniform(q, &l, 24),
+                butterfly_rounds(q, &l, &lens),
+                "q={q}"
+            );
         }
     }
 

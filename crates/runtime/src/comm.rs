@@ -113,7 +113,7 @@ pub enum ReduceOp {
 }
 
 impl ReduceOp {
-    fn fold(self, acc: f64, x: f64) -> f64 {
+    pub(crate) fn fold(self, acc: f64, x: f64) -> f64 {
         match self {
             ReduceOp::Sum => acc + x,
             ReduceOp::Min => acc.min(x),
@@ -267,6 +267,7 @@ pub struct RuntimeConfig {
     sink: Arc<dyn TraceSink>,
     sim: Option<Topology>,
     algorithms: AlgorithmPolicy,
+    engine: crate::sim::SimEngine,
 }
 
 impl std::fmt::Debug for RuntimeConfig {
@@ -275,6 +276,7 @@ impl std::fmt::Debug for RuntimeConfig {
             .field("plan", &self.plan)
             .field("sim", &self.sim.is_some())
             .field("algorithms", &self.algorithms)
+            .field("engine", &self.engine)
             .finish_non_exhaustive()
     }
 }
@@ -287,6 +289,7 @@ impl RuntimeConfig {
             sink: Arc::new(*null_sink()),
             sim: None,
             algorithms: AlgorithmPolicy::default(),
+            engine: crate::sim::SimEngine::Thread,
         }
     }
 
@@ -302,7 +305,19 @@ impl RuntimeConfig {
             sink: Arc::new(*null_sink()),
             sim: Some(topo),
             algorithms: AlgorithmPolicy::default(),
+            engine: crate::sim::SimEngine::Thread,
         }
+    }
+
+    /// Selects the simulation engine (CLI: `--sim-engine`). The
+    /// default [`crate::sim::SimEngine::Thread`] keeps one OS thread
+    /// per rank; [`crate::sim::SimEngine::Event`] runs the
+    /// discrete-event interpreter (sim backend only — see
+    /// [`crate::sim`]).
+    #[must_use]
+    pub fn with_engine(mut self, engine: crate::sim::SimEngine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Attaches a fault plan.
@@ -334,6 +349,19 @@ impl RuntimeConfig {
 
     pub(crate) fn sink_ref(&self) -> &Arc<dyn TraceSink> {
         &self.sink
+    }
+
+    pub(crate) fn sim_topology_ref(&self) -> Option<&Topology> {
+        self.sim.as_ref()
+    }
+
+    pub(crate) fn policy_ref(&self) -> AlgorithmPolicy {
+        self.algorithms
+    }
+
+    /// The configured simulation engine.
+    pub fn engine(&self) -> crate::sim::SimEngine {
+        self.engine
     }
 
     /// Builds `size` connected rank handles.
@@ -449,6 +477,15 @@ impl RuntimeHandle {
             .sim
             .as_ref()
             .map(|s| s.lock().expect("sim poisoned").comm_seconds())
+    }
+
+    /// Per-rank virtual clocks (sim backend only) — the quantity the
+    /// event engine pins bit-identical in its parity tests.
+    pub fn virtual_times(&self) -> Option<Vec<f64>> {
+        self.plane.sim.as_ref().map(|s| {
+            let sim = s.lock().expect("sim poisoned");
+            (0..self.plane.size).map(|r| sim.time(r)).collect()
+        })
     }
 }
 

@@ -148,6 +148,14 @@ where
     F: FnOnce() -> DynamicContext + Send,
     M: Fn(usize, u64) -> Result<Point, CoreError> + Sync,
 {
+    if config.engine() == crate::sim::SimEngine::Event {
+        // The event engine runs the same per-rank programs as
+        // resumable state machines on one thread — no rank threads,
+        // no comms to build.
+        return crate::sim::balance::run_event_balance(
+            &config, size, make_ctx, measure, max_steps, mode,
+        );
+    }
     let plan = config.plan_ref().clone();
     let sink = config.sink_ref().clone();
     let (comms, handle) = config.build_with_handle(size);

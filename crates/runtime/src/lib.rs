@@ -43,6 +43,7 @@ pub mod comm;
 pub mod error;
 pub mod executor;
 pub mod fault;
+pub mod sim;
 pub mod wire;
 
 pub use collective::{Algorithm, AlgorithmPolicy};
@@ -58,4 +59,5 @@ pub use executor::{
     run_to_balance_distributed, run_to_balance_distributed_with, BalanceOutcome, OverlapMode,
 };
 pub use fault::{DeathRule, DelayRule, DropRule, FaultPlan, StragglerRule};
+pub use sim::{EventSim, SimEngine};
 pub use wire::Wire;

@@ -1,0 +1,724 @@
+//! Event-engine parity suite: the discrete-event simulator core must
+//! be **bit-identical** to the thread-backed sim wherever the thread
+//! backend is deterministic — per-rank virtual clocks, every
+//! collective result, per-rank `comm`/`fault` trace streams, and the
+//! balancing executor's steps — across `hub`/`ring`/`tree`/`auto`,
+//! fault-free and under fail-stop rank death, at `p ∈ {1, 3, 4, 6,
+//! 16, 64}` (non-powers-of-two included so the binomial/butterfly
+//! edge cases are on the hook).
+//!
+//! This is the contract that makes `--sim-engine` a pure scale knob:
+//! switching engines never changes an answer or a virtual timestamp,
+//! only how many ranks fit in one host (see `docs/RUNTIME.md` §9).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use fupermod_core::dynamic::DynamicContext;
+use fupermod_core::model::{Model, PiecewiseModel};
+use fupermod_core::partition::GeometricPartitioner;
+use fupermod_core::trace::{MemorySink, TraceEvent};
+use fupermod_core::{CoreError, Point};
+use fupermod_platform::comm::LinkModel;
+use fupermod_runtime::sim::RankResults;
+use fupermod_runtime::{
+    run_ranks, run_to_balance_distributed_with, AlgorithmPolicy, Communicator, EventSim,
+    FaultPlan, OverlapMode, ReduceOp, RuntimeConfig, RuntimeError, SimEngine, ThreadedComm,
+};
+use proptest::prelude::*;
+
+fn policies() -> Vec<(&'static str, AlgorithmPolicy)> {
+    vec![
+        ("hub", AlgorithmPolicy::hub()),
+        ("ring", AlgorithmPolicy::ring()),
+        ("tree", AlgorithmPolicy::tree()),
+        ("auto", AlgorithmPolicy::auto()),
+    ]
+}
+
+/// Deterministic pseudo-random payload for `(seed, rank)` — finite
+/// doubles with full-mantissa noise so float-identity bugs cannot
+/// hide behind round numbers.
+fn payload(seed: u64, rank: usize, len: usize) -> Vec<f64> {
+    let mut state = seed ^ (rank as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 1e3 - 500.0
+        })
+        .collect()
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn contribution(own: &[f64], rank: usize) -> f64 {
+    own.first().copied().unwrap_or(0.125 * (rank as f64 + 1.0))
+}
+
+/// Per-rank trace streams: events are compared rank by rank because
+/// the thread backend's *global* interleaving is racy while each
+/// rank's own sequence is deterministic. Events without a rank field
+/// (partition steps, convergence) all come from the root's program
+/// and form their own bucket.
+fn streams(events: Vec<TraceEvent>) -> BTreeMap<Option<usize>, Vec<String>> {
+    let mut out: BTreeMap<Option<usize>, Vec<String>> = BTreeMap::new();
+    for e in events {
+        let rank = match &e {
+            TraceEvent::BenchmarkSample { rank, .. }
+            | TraceEvent::BenchmarkDone { rank, .. }
+            | TraceEvent::Comm { rank, .. }
+            | TraceEvent::Fault { rank, .. }
+            | TraceEvent::Metrics { rank, .. } => Some(*rank),
+            // ModelUpdate carries the measured rank but is emitted by
+            // the root while absorbing, so on the thread backend it
+            // races against that rank's own comm events. Bucket it
+            // with the other root-emitted events, where ordering is
+            // sequential.
+            TraceEvent::ModelUpdate { .. }
+            | TraceEvent::PartitionStep { .. }
+            | TraceEvent::DynamicConverged { .. } => None,
+        };
+        out.entry(rank).or_default().push(e.to_jsonl());
+    }
+    out
+}
+
+/// What one rank observed from a full sweep of the collective API,
+/// floats stored as bits so equality is bitwise. Errors are compared
+/// by display string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Sweep {
+    bcast: Vec<u64>,
+    scatter: Vec<u64>,
+    gather_root: Option<Vec<Vec<u64>>>,
+    gather_avail: Option<Vec<Option<Vec<u64>>>>,
+    allgather: Vec<Vec<u64>>,
+    allgather_avail: Vec<Option<Vec<u64>>>,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+fn scatter_parts(seed: u64, size: usize, len: usize) -> Vec<Vec<f64>> {
+    (0..size)
+        .map(|r| payload(seed ^ 0xABCD, r, (r + len) % 5))
+        .collect()
+}
+
+/// The fault-free program, thread side.
+fn thread_sweep(
+    mut c: ThreadedComm,
+    seed: u64,
+    root: usize,
+    len: usize,
+) -> Result<Sweep, RuntimeError> {
+    let rank = c.rank();
+    let size = c.size();
+    c.barrier()?;
+    let own = payload(seed, rank, len);
+    let bcast = c.bcast(root, (rank == root).then(|| payload(seed, root, len)).as_ref())?;
+    let parts = (rank == root).then(|| scatter_parts(seed, size, len));
+    let scatter = c.scatterv(root, parts.as_deref())?;
+    let gather_root = c.gatherv(root, &own)?;
+    let gather_avail = c.gather_available(root, &own)?;
+    let allgather = c.allgatherv(&own)?;
+    let allgather_avail = c.allgatherv_available(&own)?;
+    let x = contribution(&own, rank);
+    let sum = c.allreduce(x, ReduceOp::Sum)?;
+    let min = c.allreduce(x, ReduceOp::Min)?;
+    let max = c.allreduce(x, ReduceOp::Max)?;
+    c.barrier()?;
+    Ok(Sweep {
+        bcast: bits(&bcast),
+        scatter: bits(&scatter),
+        gather_root: gather_root.map(|g| g.iter().map(|v| bits(v)).collect()),
+        gather_avail: gather_avail.map(|g| g.into_iter().map(|s| s.map(|v| bits(&v))).collect()),
+        allgather: allgather.iter().map(|v| bits(v)).collect(),
+        allgather_avail: allgather_avail
+            .into_iter()
+            .map(|s| s.map(|v| bits(&v)))
+            .collect(),
+        sum: sum.to_bits(),
+        min: min.to_bits(),
+        max: max.to_bits(),
+    })
+}
+
+/// Sticky per-rank accumulator over the engine's cohort results: a
+/// rank keeps the first error it hits (the engine has already halted
+/// it, so later collectives skip it — the `?`-propagation mirror).
+struct Acc {
+    err: Vec<Option<RuntimeError>>,
+}
+
+impl Acc {
+    fn new(size: usize) -> Self {
+        Acc {
+            err: (0..size).map(|_| None).collect(),
+        }
+    }
+    fn put<T>(&mut self, res: RankResults<T>, mut store: impl FnMut(usize, T)) {
+        for (rank, slot) in res.into_iter().enumerate() {
+            match slot {
+                Some(Ok(v)) => store(rank, v),
+                Some(Err(e)) if self.err[rank].is_none() => self.err[rank] = Some(e),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// The fault-free program, event side: same ops, same payloads, all
+/// ranks driven through one [`EventSim`].
+fn event_sweep(
+    sim: &mut EventSim,
+    seed: u64,
+    root: usize,
+    len: usize,
+) -> Vec<Result<Sweep, RuntimeError>> {
+    let size = sim.size();
+    let own: Vec<Vec<f64>> = (0..size).map(|r| payload(seed, r, len)).collect();
+    let mut acc = Acc::new(size);
+    acc.put(sim.barrier(), |_, ()| {});
+    let mut bcast = vec![Vec::new(); size];
+    acc.put(sim.bcast(root, &payload(seed, root, len)), |r, v: Vec<f64>| {
+        bcast[r] = v;
+    });
+    let mut scatter = vec![Vec::new(); size];
+    acc.put(
+        sim.scatterv(root, &scatter_parts(seed, size, len)),
+        |r, v: Vec<f64>| scatter[r] = v,
+    );
+    let mut gather_root = vec![None; size];
+    acc.put(sim.gatherv(root, &own), |r, v| gather_root[r] = v);
+    let mut gather_avail = vec![None; size];
+    acc.put(sim.gather_available(root, &own), |r, v| gather_avail[r] = v);
+    let mut allgather: Vec<_> = (0..size).map(|_| Arc::new(Vec::new())).collect();
+    acc.put(sim.allgatherv(&own), |r, v| allgather[r] = v);
+    let mut allgather_avail: Vec<_> = (0..size).map(|_| Arc::new(Vec::new())).collect();
+    acc.put(sim.allgatherv_available(&own), |r, v| allgather_avail[r] = v);
+    let xs: Vec<f64> = (0..size).map(|r| contribution(&own[r], r)).collect();
+    let (mut sum, mut min, mut max) = (vec![0u64; size], vec![0u64; size], vec![0u64; size]);
+    acc.put(sim.allreduce(&xs, ReduceOp::Sum), |r, v| sum[r] = v.to_bits());
+    acc.put(sim.allreduce(&xs, ReduceOp::Min), |r, v| min[r] = v.to_bits());
+    acc.put(sim.allreduce(&xs, ReduceOp::Max), |r, v| max[r] = v.to_bits());
+    acc.put(sim.barrier(), |_, ()| {});
+    (0..size)
+        .map(|r| match acc.err[r].take() {
+            Some(e) => Err(e),
+            None => Ok(Sweep {
+                bcast: bits(&bcast[r]),
+                scatter: bits(&scatter[r]),
+                gather_root: gather_root[r]
+                    .take()
+                    .map(|g: Arc<Vec<Vec<f64>>>| g.iter().map(|v| bits(v)).collect()),
+                gather_avail: gather_avail[r].take().map(|g: Arc<Vec<Option<Vec<f64>>>>| {
+                    g.iter().map(|s| s.as_ref().map(|v| bits(v))).collect()
+                }),
+                allgather: allgather[r].iter().map(|v| bits(v)).collect(),
+                allgather_avail: allgather_avail[r]
+                    .iter()
+                    .map(|s| s.as_ref().map(|v| bits(v)))
+                    .collect(),
+                sum: sum[r],
+                min: min[r],
+                max: max[r],
+            }),
+        })
+        .collect()
+}
+
+/// Runs one scenario on both engines and asserts full parity: results
+/// (or errors, by display string) per rank, virtual clocks bitwise,
+/// per-rank trace streams verbatim, and total comm seconds to 1e-9
+/// relative (its accumulation order differs between engines).
+fn assert_parity<T, FT, FE>(
+    label: &str,
+    policy: AlgorithmPolicy,
+    plan: FaultPlan,
+    size: usize,
+    thread_prog: FT,
+    event_prog: FE,
+) where
+    T: std::fmt::Debug + PartialEq + Send,
+    FT: Fn(ThreadedComm) -> Result<T, RuntimeError> + Sync,
+    FE: FnOnce(&mut EventSim) -> Vec<Result<T, RuntimeError>>,
+{
+    let t_sink = Arc::new(MemorySink::new());
+    let (comms, handle) = RuntimeConfig::sim(size, LinkModel::ethernet())
+        .with_algorithms(policy)
+        .with_plan(plan.clone())
+        .with_trace(t_sink.clone())
+        .build_with_handle(size);
+    let thread_out = run_ranks(comms, &thread_prog);
+    let thread_times = handle.virtual_times().expect("sim backend has clocks");
+    let thread_comm = handle.virtual_comm_seconds().expect("sim backend");
+
+    let e_sink = Arc::new(MemorySink::new());
+    let config = RuntimeConfig::sim(size, LinkModel::ethernet())
+        .with_algorithms(policy)
+        .with_plan(plan)
+        .with_trace(e_sink.clone())
+        .with_engine(SimEngine::Event);
+    let mut sim = EventSim::from_config(&config, size).expect("event engine builds");
+    let event_out = event_prog(&mut sim);
+    let event_times = sim.virtual_times();
+    let event_comm = sim.comm_seconds();
+
+    assert_eq!(thread_out.len(), event_out.len(), "{label}: rank count");
+    for (rank, (t, e)) in thread_out.iter().zip(event_out.iter()).enumerate() {
+        match (t, e) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "{label}: rank {rank} results differ"),
+            (Err(a), Err(b)) => assert_eq!(
+                a.to_string(),
+                b.to_string(),
+                "{label}: rank {rank} errors differ"
+            ),
+            _ => panic!("{label}: rank {rank} outcome kind differs: thread={t:?} event={e:?}"),
+        }
+    }
+    for (rank, (a, b)) in thread_times.iter().zip(event_times.iter()).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{label}: rank {rank} virtual clock differs: thread={a:.9e} event={b:.9e}"
+        );
+    }
+    let denom = thread_comm.abs().max(1e-30);
+    assert!(
+        ((thread_comm - event_comm) / denom).abs() <= 1e-9,
+        "{label}: comm_seconds differ: thread={thread_comm:.12e} event={event_comm:.12e}"
+    );
+    assert_eq!(
+        streams(t_sink.take()),
+        streams(e_sink.take()),
+        "{label}: per-rank trace streams differ"
+    );
+}
+
+/// The tentpole pin: full collective sweeps at `p ∈ {1, 3, 4, 6, 16,
+/// 64}` (non-powers-of-two included), every policy, fault-free, with
+/// a non-zero root.
+#[test]
+fn fault_free_sweeps_are_bit_identical() {
+    for &size in &[1usize, 3, 4, 6, 16, 64] {
+        for (name, policy) in policies() {
+            let seed = 0x5EED ^ (size as u64) << 8;
+            let root = (size - 1).min(2);
+            let len = 7;
+            assert_parity(
+                &format!("fault-free p={size} {name}"),
+                policy,
+                FaultPlan::default(),
+                size,
+                move |c| thread_sweep(c, seed, root, len),
+                move |sim| event_sweep(sim, seed, root, len),
+            );
+        }
+    }
+}
+
+/// The death program: the victim (last rank) fail-stops at its second
+/// operation, so the membership settles at the second barrier and
+/// every later collective degrades around the hole identically on
+/// both engines.
+/// Per-rank outcome of the death program: bcast and scatter payload
+/// bits, the root's available-gather view, the available all-gather
+/// slots and the folded sum.
+type DeathSweep = (
+    Vec<u64>,
+    Vec<u64>,
+    Option<Vec<Option<Vec<u64>>>>,
+    Vec<Option<Vec<u64>>>,
+    u64,
+);
+
+fn thread_death_prog(
+    mut c: ThreadedComm,
+    seed: u64,
+    len: usize,
+) -> Result<DeathSweep, RuntimeError> {
+    let rank = c.rank();
+    let size = c.size();
+    c.barrier()?;
+    c.barrier()?;
+    let own = payload(seed, rank, len);
+    let bcast = c.bcast(0, (rank == 0).then(|| payload(seed, 0, len)).as_ref())?;
+    let parts = (rank == 0).then(|| scatter_parts(seed, size, len));
+    let scatter = c.scatterv(0, parts.as_deref())?;
+    let gather_avail = c.gather_available(0, &own)?;
+    let allgather_avail = c.allgatherv_available(&own)?;
+    let sum = c.allreduce(contribution(&own, rank), ReduceOp::Sum)?;
+    c.barrier()?;
+    Ok((
+        bits(&bcast),
+        bits(&scatter),
+        gather_avail.map(|g| g.into_iter().map(|s| s.map(|v| bits(&v))).collect()),
+        allgather_avail
+            .into_iter()
+            .map(|s| s.map(|v| bits(&v)))
+            .collect(),
+        sum.to_bits(),
+    ))
+}
+
+fn event_death_prog(
+    sim: &mut EventSim,
+    seed: u64,
+    len: usize,
+) -> Vec<Result<DeathSweep, RuntimeError>> {
+    let size = sim.size();
+    let own: Vec<Vec<f64>> = (0..size).map(|r| payload(seed, r, len)).collect();
+    let mut acc = Acc::new(size);
+    acc.put(sim.barrier(), |_, ()| {});
+    acc.put(sim.barrier(), |_, ()| {});
+    let mut bcast = vec![Vec::new(); size];
+    acc.put(sim.bcast(0, &payload(seed, 0, len)), |r, v: Vec<f64>| {
+        bcast[r] = v;
+    });
+    let mut scatter = vec![Vec::new(); size];
+    acc.put(
+        sim.scatterv(0, &scatter_parts(seed, size, len)),
+        |r, v: Vec<f64>| scatter[r] = v,
+    );
+    let mut gather_avail = vec![None; size];
+    acc.put(sim.gather_available(0, &own), |r, v| gather_avail[r] = v);
+    let mut allgather_avail: Vec<_> = (0..size).map(|_| Arc::new(Vec::new())).collect();
+    acc.put(sim.allgatherv_available(&own), |r, v| allgather_avail[r] = v);
+    let xs: Vec<f64> = (0..size).map(|r| contribution(&own[r], r)).collect();
+    let mut sum = vec![0u64; size];
+    acc.put(sim.allreduce(&xs, ReduceOp::Sum), |r, v| sum[r] = v.to_bits());
+    acc.put(sim.barrier(), |_, ()| {});
+    (0..size)
+        .map(|r| match acc.err[r].take() {
+            Some(e) => Err(e),
+            None => Ok((
+                bits(&bcast[r]),
+                bits(&scatter[r]),
+                gather_avail[r].take().map(|g: Arc<Vec<Option<Vec<f64>>>>| {
+                    g.iter().map(|s| s.as_ref().map(|v| bits(v))).collect()
+                }),
+                allgather_avail[r]
+                    .iter()
+                    .map(|s| s.as_ref().map(|v| bits(v)))
+                    .collect(),
+                sum[r],
+            )),
+        })
+        .collect()
+}
+
+/// Settled death: the victim completes the first barrier and dies at
+/// the second, so every collective after it runs with an agreed,
+/// stable hole.
+#[test]
+fn settled_death_is_bit_identical() {
+    for &size in &[3usize, 4, 6, 16, 64] {
+        let victim = size - 1;
+        let plan = FaultPlan::from_json(&format!(
+            r#"{{"deadline": 20.0, "deaths": [{{"rank": {victim}, "after_ops": 1}}]}}"#
+        ))
+        .expect("valid plan");
+        for (name, policy) in policies() {
+            let seed = 0xDEAD ^ (size as u64) << 8;
+            assert_parity(
+                &format!("settled-death p={size} {name}"),
+                policy,
+                plan.clone(),
+                size,
+                move |c| thread_death_prog(c, seed, 5),
+                move |sim| event_death_prog(sim, seed, 5),
+            );
+        }
+    }
+}
+
+/// Mid-phase death: the victim dies at the `op_begin` of a rootless
+/// collective, *before* any barrier has settled the membership — the
+/// survivors must degrade edge-wise through the unsettled hole
+/// identically on both engines.
+#[test]
+fn mid_phase_death_is_bit_identical() {
+    for &size in &[3usize, 4, 6, 16, 64] {
+        let victim = size - 1;
+        let plan = FaultPlan::from_json(&format!(
+            r#"{{"deadline": 20.0, "deaths": [{{"rank": {victim}, "after_ops": 1}}]}}"#
+        ))
+        .expect("valid plan");
+        for (name, policy) in policies() {
+            let seed = 0x31D ^ (size as u64);
+            assert_parity(
+                &format!("mid-phase-death p={size} {name}"),
+                policy,
+                plan.clone(),
+                size,
+                move |mut c: ThreadedComm| {
+                    let rank = c.rank();
+                    c.barrier()?;
+                    let own = payload(seed, rank, 4);
+                    let slots = c.allgatherv_available(&own)?;
+                    let sum = c.allreduce(contribution(&own, rank), ReduceOp::Sum)?;
+                    Ok((
+                        slots
+                            .into_iter()
+                            .map(|s| s.map(|v| bits(&v)))
+                            .collect::<Vec<_>>(),
+                        sum.to_bits(),
+                    ))
+                },
+                move |sim| {
+                    let size = sim.size();
+                    let own: Vec<Vec<f64>> = (0..size).map(|r| payload(seed, r, 4)).collect();
+                    let mut acc = Acc::new(size);
+                    acc.put(sim.barrier(), |_, ()| {});
+                    let mut slots: Vec<_> = (0..size).map(|_| Arc::new(Vec::new())).collect();
+                    acc.put(sim.allgatherv_available(&own), |r, v| slots[r] = v);
+                    let xs: Vec<f64> =
+                        (0..size).map(|r| contribution(&own[r], r)).collect();
+                    let mut sum = vec![0u64; size];
+                    acc.put(sim.allreduce(&xs, ReduceOp::Sum), |r, v| {
+                        sum[r] = v.to_bits();
+                    });
+                    (0..size)
+                        .map(|r| match acc.err[r].take() {
+                            Some(e) => Err(e),
+                            None => Ok((
+                                slots[r]
+                                    .iter()
+                                    .map(|s| s.as_ref().map(|v| bits(v)))
+                                    .collect::<Vec<_>>(),
+                                sum[r],
+                            )),
+                        })
+                        .collect()
+                },
+            );
+        }
+    }
+}
+
+// ----- balancing executor parity -------------------------------------
+
+const SPEEDS: [f64; 4] = [120.0, 40.0, 80.0, 20.0];
+
+fn measure(rank: usize, d: u64) -> Result<Point, CoreError> {
+    Ok(Point::single(d, d as f64 / SPEEDS[rank]))
+}
+
+fn make_ctx(total: u64, eps: f64, size: usize) -> DynamicContext {
+    let models: Vec<Box<dyn Model>> = (0..size)
+        .map(|_| Box::new(PiecewiseModel::new()) as Box<dyn Model>)
+        .collect();
+    DynamicContext::new(Box::new(GeometricPartitioner::default()), models, total, eps)
+}
+
+/// Runs the balancing loop on both engines under `plan` and asserts
+/// the outcomes line up: same steps (bitwise observations), same
+/// final sizes, same dead ranks, same per-rank error strings, same
+/// virtual makespan bits, same per-rank trace streams.
+fn assert_balance_parity(label: &str, plan: FaultPlan, mode: OverlapMode) {
+    let size = 4;
+    let run = |engine: SimEngine| {
+        let sink = Arc::new(MemorySink::new());
+        let config = RuntimeConfig::sim(size, LinkModel::ethernet())
+            .with_plan(plan.clone())
+            .with_trace(sink.clone())
+            .with_engine(engine);
+        let outcome = run_to_balance_distributed_with(
+            config,
+            size,
+            || make_ctx(9_000, 0.04, size),
+            measure,
+            25,
+            mode,
+        )
+        .expect("balancing run returns rank 0's success");
+        (outcome, sink.take())
+    };
+    let (t, t_events) = run(SimEngine::Thread);
+    let (e, e_events) = run(SimEngine::Event);
+    assert_eq!(t.steps, e.steps, "{label}: steps differ");
+    assert_eq!(t.final_sizes, e.final_sizes, "{label}: final sizes differ");
+    assert_eq!(t.dead_ranks, e.dead_ranks, "{label}: dead ranks differ");
+    let errs = |o: &fupermod_runtime::BalanceOutcome| -> Vec<Option<String>> {
+        o.rank_errors
+            .iter()
+            .map(|e| e.as_ref().map(ToString::to_string))
+            .collect()
+    };
+    assert_eq!(errs(&t), errs(&e), "{label}: rank errors differ");
+    let (tv, ev) = (
+        t.virtual_time.expect("sim backend"),
+        e.virtual_time.expect("event engine"),
+    );
+    assert_eq!(
+        tv.to_bits(),
+        ev.to_bits(),
+        "{label}: virtual makespan differs: thread={tv:.9e} event={ev:.9e}"
+    );
+    assert_eq!(
+        streams(t_events),
+        streams(e_events),
+        "{label}: per-rank trace streams differ"
+    );
+}
+
+#[test]
+fn balance_fault_free_blocking_matches() {
+    assert_balance_parity("balance blocking", FaultPlan::default(), OverlapMode::Blocking);
+}
+
+#[test]
+fn balance_fault_free_overlapped_matches() {
+    assert_balance_parity(
+        "balance overlapped",
+        FaultPlan::default(),
+        OverlapMode::Overlapped,
+    );
+}
+
+#[test]
+fn balance_under_straggler_and_death_matches() {
+    // Rank 1 computes 3x slow (straggler), rank 3 fail-stops after 9
+    // operations — mid-loop, so the root must degrade around it.
+    let plan = FaultPlan::from_json(
+        r#"{"deadline": 20.0,
+            "deaths": [{"rank": 3, "after_ops": 9}],
+            "stragglers": [{"rank": 1, "comm_seconds": 0.0, "compute_factor": 3.0}]}"#,
+    )
+    .expect("valid plan");
+    assert_balance_parity("balance faulted blocking", plan.clone(), OverlapMode::Blocking);
+    assert_balance_parity("balance faulted overlapped", plan, OverlapMode::Overlapped);
+}
+
+/// The executor's documented three-rank fixture must land on the same
+/// converged distribution on the event engine.
+#[test]
+fn balance_three_rank_fixture_converges_on_event_engine() {
+    let config = RuntimeConfig::sim(3, LinkModel::ethernet()).with_engine(SimEngine::Event);
+    let outcome = run_to_balance_distributed_with(
+        config,
+        3,
+        || {
+            let models: Vec<Box<dyn Model>> = (0..3)
+                .map(|_| Box::new(PiecewiseModel::new()) as Box<dyn Model>)
+                .collect();
+            DynamicContext::new(Box::new(GeometricPartitioner::default()), models, 700, 0.05)
+        },
+        |rank, d| Ok(Point::single(d, d as f64 / [100.0, 25.0, 50.0][rank])),
+        20,
+        OverlapMode::Blocking,
+    )
+    .unwrap();
+    assert!(outcome.converged());
+    assert_eq!(outcome.final_sizes, vec![400, 100, 200]);
+    assert!(outcome.rank_errors.iter().all(Option::is_none));
+}
+
+// ----- satellite: Hockney closed form + survivor agreement at p=1024 --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For a random point-to-point hop plan, the event engine's
+    /// virtual clocks equal the closed-form Hockney recurrence
+    /// evaluated with the exact same float operations: per hop
+    /// `(src, dst, n)`, `ready = clock[src] + α + m/β` with
+    /// `m = 8 + n` (the wire length prefix), the sender pays `α`,
+    /// and the receiver advances to `max(clock[dst], ready)`.
+    #[test]
+    fn hockney_hop_chain_matches_closed_form(
+        hops in collection::vec((0usize..8, 0usize..8, 0usize..2048), 1..24),
+    ) {
+        let size = 8;
+        let link = LinkModel::ethernet();
+        let config = RuntimeConfig::sim(size, link)
+            .with_engine(SimEngine::Event);
+        let mut sim = EventSim::from_config(&config, size).expect("event engine builds");
+        let mut clock = vec![0.0f64; size];
+        for &(src, dst, n) in &hops {
+            prop_assume!(src != dst);
+            let msg = vec![0u8; n];
+            sim.send(src, dst, &msg).expect("send on live ranks");
+            let got: Vec<u8> = sim.recv(dst, src).expect("recv on live ranks");
+            prop_assert_eq!(got.len(), n);
+            // Closed form, in the engine's own charge order: the
+            // sender half runs when the receiver takes the message.
+            let m = (8 + n) as f64;
+            let ready = clock[src] + link.cost(m);
+            clock[src] += link.latency_sec;
+            clock[dst] = clock[dst].max(ready);
+        }
+        let got = sim.virtual_times();
+        for (rank, (a, b)) in clock.iter().zip(got.iter()).enumerate() {
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "rank {} clock: closed-form {:.9e} vs engine {:.9e}", rank, a, b
+            );
+        }
+    }
+}
+
+/// Survivor agreement at scale: under fail-stop death of one rank in
+/// a 1024-rank event run, every survivor sees the same availability
+/// vector (victim `None`, all live slots present) and the same
+/// bitwise reduction over the surviving contributions, in rank order.
+#[test]
+fn survivors_agree_under_death_at_p1024() {
+    let size = 1024usize;
+    let victim = 777usize;
+    let plan = FaultPlan::from_json(&format!(
+        r#"{{"deadline": 20.0, "deaths": [{{"rank": {victim}, "after_ops": 1}}]}}"#
+    ))
+    .expect("valid plan");
+    let config = RuntimeConfig::sim(size, LinkModel::ethernet())
+        .with_plan(plan)
+        .with_engine(SimEngine::Event);
+    let mut sim = EventSim::from_config(&config, size).expect("event engine builds");
+
+    let own: Vec<Vec<f64>> = (0..size).map(|r| payload(424_242, r, 2)).collect();
+    let mut acc = Acc::new(size);
+    acc.put(sim.barrier(), |_, ()| {});
+    acc.put(sim.barrier(), |_, ()| {});
+    let mut slots: Vec<_> = (0..size).map(|_| Arc::new(Vec::new())).collect();
+    acc.put(sim.allgatherv_available(&own), |r, v| slots[r] = v);
+    let xs: Vec<f64> = (0..size).map(|r| contribution(&own[r], r)).collect();
+    let mut sums = vec![None; size];
+    acc.put(sim.allreduce(&xs, ReduceOp::Sum), |r, v| {
+        sums[r] = Some(v.to_bits());
+    });
+
+    let expected: f64 = (0..size)
+        .filter(|&r| r != victim)
+        .map(|r| xs[r])
+        .fold(0.0, |acc, x| acc + x);
+    let reference: Vec<Option<Vec<u64>>> = (0..size)
+        .map(|r| (r != victim).then(|| bits(&own[r])))
+        .collect();
+    for rank in 0..size {
+        if rank == victim {
+            assert!(acc.err[rank].is_some(), "victim must report its death");
+            continue;
+        }
+        assert!(
+            acc.err[rank].is_none(),
+            "survivor {rank} failed: {:?}",
+            acc.err[rank]
+        );
+        let view: Vec<Option<Vec<u64>>> = slots[rank]
+            .iter()
+            .map(|s| s.as_ref().map(|v| bits(v)))
+            .collect();
+        assert_eq!(view, reference, "survivor {rank} availability disagrees");
+        assert_eq!(
+            sums[rank],
+            Some(expected.to_bits()),
+            "survivor {rank} reduction disagrees"
+        );
+    }
+    assert_eq!(sim.dead_ranks(), vec![victim]);
+}

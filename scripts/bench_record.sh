@@ -30,8 +30,19 @@
 #     the wall wins are bounded by how much real compute the delay can
 #     hide under (see host.cpus).
 #
+#   MODE=pr7 — discrete-event simulator scale evidence (default
+#     OUT=BENCH_PR7.json; see docs/RUNTIME.md §9). Records the
+#     `sim_scale/p{64,1k,10k,100k}_{ring,tree}` benches — host
+#     wall-clock of the event engine simulating one collective round —
+#     plus the `sim_scale/p100k_ring_balance` acceptance scenario and
+#     the `# metric` lines the bench prints (dispatch events/sec at
+#     p = 100k, peak RSS).
+#
 # Runs the relevant criterion benches RUNS times (default 3) and takes
-# the per-benchmark median time.
+# the per-benchmark median time. Every benchmark also gets a
+# `results_stats` entry with the across-run mean, its 95% confidence
+# half-width (1.96·stdev/√n) and the coefficient of variation, so a
+# reader can tell a stable 2x from a noisy one.
 #
 #   RUNS=5 OUT=BENCH_PR2.json scripts/bench_record.sh
 #   MODE=pr4 scripts/bench_record.sh
@@ -43,8 +54,9 @@ case "$MODE" in
 pr2) OUT=${OUT:-BENCH_PR2.json} ;;
 pr4) OUT=${OUT:-BENCH_PR4.json} ;;
 pr6) OUT=${OUT:-BENCH_PR6.json} ;;
+pr7) OUT=${OUT:-BENCH_PR7.json} ;;
 *)
-    echo "unknown MODE=$MODE (expected pr2, pr4 or pr6)" >&2
+    echo "unknown MODE=$MODE (expected pr2, pr4, pr6 or pr7)" >&2
     exit 2
     ;;
 esac
@@ -64,6 +76,9 @@ for i in $(seq "$RUNS"); do
     elif [ "$MODE" = pr6 ]; then
         cargo bench -q -p fupermod-bench \
             --bench overlap >>"$raw"
+    elif [ "$MODE" = pr7 ]; then
+        cargo bench -q -p fupermod-bench \
+            --bench sim_scale >>"$raw"
     else
         cargo bench -q -p fupermod-bench \
             --bench comm_collectives >>"$raw"
@@ -71,7 +86,7 @@ for i in $(seq "$RUNS"); do
 done
 
 python3 - "$raw" "$OUT" "$RUNS" "$SCHEMA" "$MODE" <<'PY'
-import json, os, platform, re, statistics, sys
+import json, math, os, platform, re, statistics, sys
 from datetime import datetime, timezone
 
 raw_path, out_path, runs, schema_path, mode = (
@@ -82,20 +97,47 @@ raw_path, out_path, runs, schema_path, mode = (
 LINE = re.compile(
     r"^(\S+)\s+([0-9.]+)\s*(ns|µs|us|ms|s)\s*/iter\s+\((\d+) iters\)\s*$"
 )
+# Bench-emitted derived metrics: `# metric NAME VALUE`.
+METRIC = re.compile(r"^# metric (\S+) ([0-9eE+.-]+)\s*$")
 SCALE = {"ns": 1e-9, "µs": 1e-6, "us": 1e-6, "ms": 1e-3, "s": 1.0}
 
 samples = {}
+metric_samples = {}
 with open(raw_path, encoding="utf-8") as f:
     for line in f:
-        m = LINE.match(line.rstrip("\n"))
+        line = line.rstrip("\n")
+        m = LINE.match(line)
         if m:
             name, value, unit, _iters = m.groups()
             samples.setdefault(name, []).append(float(value) * SCALE[unit])
+            continue
+        m = METRIC.match(line)
+        if m:
+            metric_samples.setdefault(m.group(1), []).append(float(m.group(2)))
 
 if not samples:
     sys.exit("no benchmark lines parsed — did the benches run?")
 
 results = {name: statistics.median(vals) for name, vals in sorted(samples.items())}
+
+def spread(vals):
+    """Across-run mean, 95% CI half-width and coefficient of variation."""
+    n = len(vals)
+    mean = statistics.fmean(vals)
+    stdev = statistics.stdev(vals) if n > 1 else 0.0
+    return {
+        "mean": mean,
+        "ci95": 1.96 * stdev / math.sqrt(n) if n > 1 else 0.0,
+        "cov": stdev / mean if mean else 0.0,
+    }
+
+results_stats = {name: spread(vals) for name, vals in sorted(samples.items())}
+
+def metric(name):
+    """Median of a bench-emitted `# metric` line across runs."""
+    if name not in metric_samples:
+        sys.exit(f"missing bench metric: {name}")
+    return statistics.median(metric_samples[name])
 
 def ratio(baseline, optimised):
     """Speedup of `optimised` over `baseline` (>1 means faster)."""
@@ -121,6 +163,24 @@ elif mode == "pr6":
         for metric in ("vtime", "wall")
         for app in ("matmul_pipeline", "balance_overlap")
     }
+elif mode == "pr7":
+    if "sim_scale/p100k_ring_balance" not in results:
+        sys.exit("missing benchmark: sim_scale/p100k_ring_balance")
+    derived = {
+        "sim_scale_p100k_events_per_sec": metric("sim_scale_p100k_events_per_sec"),
+        "sim_scale_peak_rss_mib": metric("sim_scale_peak_rss_mib"),
+        "p100k_ring_balance_wall_s": results["sim_scale/p100k_ring_balance"],
+        # Wall-clock growth for 10x more ranks — near 10 means the
+        # engine scales linearly in p.
+        "ring_wall_scale_100k_over_10k": (
+            results["sim_scale/p100k_ring"] / results["sim_scale/p10k_ring"]
+        ),
+    }
+    if derived["p100k_ring_balance_wall_s"] >= 60.0:
+        sys.exit(
+            "acceptance violation: p100k_ring_balance took "
+            f"{derived['p100k_ring_balance_wall_s']:.1f}s (must be < 60s)"
+        )
 else:
     derived = {
         f"vtime_p{p}_{alg}_speedup": ratio(
@@ -139,6 +199,7 @@ doc = {
     },
     "runs": runs,
     "results_s": results,
+    "results_stats": results_stats,
     "derived": derived,
 }
 
@@ -160,6 +221,8 @@ def check(obj, required, where):
 check(doc, schema["required"], "")
 check(doc["host"], schema["host_required"], "host.")
 check(doc["derived"], schema["derived_required_by_mode"][mode], "derived.")
+for name, stats in doc["results_stats"].items():
+    check(stats, schema["results_stats_required"], f"results_stats.{name}.")
 
 with open(out_path, "w", encoding="utf-8") as f:
     json.dump(doc, f, indent=2, sort_keys=False)
@@ -167,5 +230,8 @@ with open(out_path, "w", encoding="utf-8") as f:
 
 print(f"wrote {out_path} ({len(results)} benchmarks, median of {runs} runs)")
 for k, v in doc["derived"].items():
-    print(f"  {k}: {v:.2f}x")
+    # pr7 derives absolute quantities (events/sec, MiB, seconds, a
+    # scale factor), not speedup ratios.
+    suffix = "" if mode == "pr7" else "x"
+    print(f"  {k}: {v:.2f}{suffix}")
 PY

@@ -42,6 +42,21 @@ run ./target/release/fupermod_tracetool validate \
     --schema scripts/tracetool_schema.json "$TRACE_TMP/summary.json"
 run ./target/release/fupermod_tracetool export "$TRACE_FILE" \
     --format chrome --out "$TRACE_TMP/chrome.json"
+# Event-engine scale smoke: the discrete-event interpreter must drive
+# a traced p = 10 000 balancing run through the same observability
+# contract as the thread backend — exp2's dynamic leg at scale, then
+# tracetool merge/report/validate on the result (docs/RUNTIME.md §9).
+# Bounded: the run takes single-digit seconds; a hang is a regression.
+run env FUPERMOD_TRACE_DIR="$TRACE_TMP/event" \
+    timeout 120 ./target/release/exp2_dynamic_cost --quick \
+    --ranks 10000 --sim-engine event
+EVENT_TRACE="$TRACE_TMP/event/exp2_dynamic_cost.trace.jsonl"
+run ./target/release/fupermod_tracetool merge "$EVENT_TRACE" \
+    --out "$TRACE_TMP/event_merged.jsonl"
+run ./target/release/fupermod_tracetool report "$TRACE_TMP/event_merged.jsonl" \
+    --json --out "$TRACE_TMP/event_summary.json"
+run ./target/release/fupermod_tracetool validate \
+    --schema scripts/tracetool_schema.json "$TRACE_TMP/event_summary.json"
 # Overlap gate: on a fault-free sim plan the pipelined (ibcast
 # double-buffered) matmul must produce a product **bit-identical** to
 # the blocking schedule — the request API's drop-in contract (see
@@ -54,10 +69,12 @@ run ./target/release/fupermod_simulate \
     --app matmul --pipeline overlapped --runtime sim --size 8 \
     | grep '^product checksum:' > "$TRACE_TMP/matmul_overlapped.txt"
 run diff "$TRACE_TMP/matmul_blocking.txt" "$TRACE_TMP/matmul_overlapped.txt"
-# The runtime crate must also be clippy-clean on its own (the
-# workspace pass below covers it too, but a targeted run keeps the
-# collective layer's lints enforced even when other crates are
-# temporarily excluded from a gate).
+# The runtime crate must also be clippy-clean on its own — including
+# the discrete-event simulator (`src/sim/`), whose hot dispatch loop
+# is exactly where sloppy clones and needless collects would hide.
+# (The workspace pass below covers it too, but a targeted run keeps
+# these lints enforced even when other crates are temporarily excluded
+# from a gate.)
 run cargo clippy -p fupermod-runtime --all-targets "${EXTRA[@]+"${EXTRA[@]}"}" -- -D warnings
 RUSTDOCFLAGS="-D warnings" run cargo doc --workspace --no-deps -q "${EXTRA[@]+"${EXTRA[@]}"}"
 run cargo clippy --workspace --all-targets "${EXTRA[@]+"${EXTRA[@]}"}" -- -D warnings

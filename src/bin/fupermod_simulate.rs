@@ -3,10 +3,11 @@
 //!
 //! ```text
 //! Usage: fupermod_simulate --app matmul|jacobi|heat|balance
-//!                          [--platform NAME] [--seed S] [--size N]
+//!                          [--platform NAME] [--ranks P] [--seed S] [--size N]
 //!                          [--algorithm even|constant|geometric|numerical]
 //!                          [--parallelism N]
 //!                          [--runtime thread|sim] [--fault-plan SPEC]
+//!                          [--sim-engine thread|event]
 //!                          [--collectives hub|ring|tree|auto]
 //!                          [--pipeline blocking|overlapped] [--overlap yes]
 //!                          [--trace PATH | --trace-dir DIR]
@@ -14,6 +15,10 @@
 //!   --app           which application to simulate; `balance` runs the
 //!                   distributed dynamic-balancing loop on the runtime
 //!   --platform      uniform4 | two-speed | multicore | hybrid | grid (default: two-speed)
+//!   --ranks, -p     scale the named platform family to P devices
+//!                   (grid is fixed at 16 and rejects this flag);
+//!                   P = 0 is rejected, and the thread engine refuses
+//!                   P > 512 rather than spawning that many OS threads
 //!   --seed          platform/workload seed (default: 1)
 //!   --size          problem size: matmul = blocks per side (default 128),
 //!                   jacobi/heat = rows (default 600),
@@ -29,6 +34,10 @@
 //!                   product checksum suitable for bit-identity diffing
 //!   --runtime       (balance, matmul --pipeline) thread (wall clocks,
 //!                   default) or sim (deterministic Hockney virtual clocks)
+//!   --sim-engine    (balance) thread (one OS thread per rank, default)
+//!                   or event (single-threaded discrete-event
+//!                   interpreter, 10⁴–10⁶ ranks; implies --runtime sim;
+//!                   see docs/RUNTIME.md §9)
 //!   --fault-plan    (balance, matmul --pipeline) inline JSON or a JSON
 //!                   file injecting delays/drops/stragglers/death (see
 //!                   docs/RUNTIME.md)
@@ -64,7 +73,15 @@ fn main() {
     let get = |k: &str, default: &str| args.get(k).cloned().unwrap_or_else(|| default.to_owned());
     let app = get("app", "");
     let seed: u64 = get("seed", "1").parse().expect("seed must be an integer");
-    let platform = cli::pick_platform(&get("platform", "two-speed"), seed);
+    let platform_name = get("platform", "two-speed");
+    let ranks = cli::ranks(&args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let platform = match ranks {
+        Some(p) => cli::scaled_platform(&platform_name, p, seed),
+        None => cli::pick_platform(&platform_name, seed),
+    };
     let algorithm = get("algorithm", "geometric");
     let sink = cli::open_trace_sink(&args);
     let events: Arc<dyn TraceSink> = sink
@@ -77,6 +94,13 @@ fn main() {
             use fupermod::apps::workload::random_matrix;
             use fupermod::runtime::OverlapMode;
 
+            if cli::sim_engine(&args) == fupermod::runtime::SimEngine::Event {
+                eprintln!(
+                    "--sim-engine event runs --app balance only; \
+                     --pipeline needs the thread engine"
+                );
+                std::process::exit(2);
+            }
             let mode = match get("pipeline", "blocking").as_str() {
                 "blocking" => OverlapMode::Blocking,
                 "overlapped" | "pipelined" => OverlapMode::Overlapped,

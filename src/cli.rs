@@ -15,7 +15,50 @@ use fupermod_core::partition::{
 };
 use fupermod_core::trace::{metrics, CsvSink, JsonlSink, TraceSink};
 use fupermod_platform::Platform;
-use fupermod_runtime::{AlgorithmPolicy, FaultPlan, RuntimeConfig};
+use fupermod_runtime::{AlgorithmPolicy, FaultPlan, RuntimeConfig, SimEngine};
+
+/// Largest rank count the thread engine will accept: one OS thread per
+/// rank stops being a simulation strategy and starts being a
+/// fork bomb well before the default pthread limits bite. Past this,
+/// `--sim-engine event` runs the same scenarios in one thread.
+pub const THREAD_RANKS_CAP: usize = 512;
+
+/// A rejected process-count / engine combination from the `--ranks`
+/// (`-p`) and `--sim-engine` flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliArgError {
+    /// `--ranks 0`: a run needs at least one rank.
+    ZeroRanks,
+    /// `--ranks` value that does not parse as a positive integer.
+    BadRanks(String),
+    /// The thread engine was asked for more ranks than
+    /// [`THREAD_RANKS_CAP`]; it would spawn that many OS threads.
+    ThreadCapExceeded {
+        /// Requested rank count.
+        ranks: usize,
+    },
+}
+
+impl std::fmt::Display for CliArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliArgError::ZeroRanks => {
+                write!(f, "--ranks must be at least 1 (got 0)")
+            }
+            CliArgError::BadRanks(s) => {
+                write!(f, "invalid --ranks value {s:?} (want a positive integer)")
+            }
+            CliArgError::ThreadCapExceeded { ranks } => write!(
+                f,
+                "the thread engine spawns one OS thread per rank and is \
+                 capped at {THREAD_RANKS_CAP} ranks (asked for {ranks}); \
+                 use --sim-engine event for large p"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CliArgError {}
 
 /// Parses `--flag value` pairs from the process arguments into a map
 /// (keys without the leading `--`). Exits with status 2 on a flag
@@ -48,6 +91,88 @@ pub fn pick_platform(name: &str, seed: u64) -> Platform {
             eprintln!("unknown platform '{other}'");
             std::process::exit(2);
         }
+    }
+}
+
+/// Parses the `--ranks N` (alias `-p N`) process-count override.
+/// Returns `None` when the flag is absent.
+///
+/// # Errors
+///
+/// [`CliArgError::ZeroRanks`] for `--ranks 0`,
+/// [`CliArgError::BadRanks`] for a non-integer value.
+pub fn ranks(args: &HashMap<String, String>) -> Result<Option<usize>, CliArgError> {
+    let raw = args
+        .get("ranks")
+        .or_else(|| args.get("-p"))
+        .or_else(|| args.get("p"));
+    match raw {
+        None => Ok(None),
+        Some(s) => match s.parse::<usize>() {
+            Ok(0) => Err(CliArgError::ZeroRanks),
+            Ok(n) => Ok(Some(n)),
+            Err(_) => Err(CliArgError::BadRanks(s.clone())),
+        },
+    }
+}
+
+/// Checks a rank count against the engine that would run it: the
+/// thread engine refuses more than [`THREAD_RANKS_CAP`] ranks rather
+/// than hanging while it spawns (and then schedules) that many OS
+/// threads.
+///
+/// # Errors
+///
+/// [`CliArgError::ThreadCapExceeded`] past the cap on the thread
+/// engine. The event engine has no cap.
+pub fn check_engine_ranks(engine: SimEngine, ranks: usize) -> Result<(), CliArgError> {
+    if engine == SimEngine::Thread && ranks > THREAD_RANKS_CAP {
+        return Err(CliArgError::ThreadCapExceeded { ranks });
+    }
+    Ok(())
+}
+
+/// Resolves a simulated platform by name at a caller-chosen size —
+/// the `--ranks` form of [`pick_platform`]. The named families scale:
+/// `uniform4` becomes `p` identical cores, `two-speed` splits `p`
+/// between fast and slow halves, `multicore`/`hybrid` become a
+/// `p`-core node. `grid` is a fixed 16-device site and exits with
+/// status 2 under `--ranks`, as does an unknown name.
+pub fn scaled_platform(name: &str, p: usize, seed: u64) -> Platform {
+    match name {
+        "uniform4" => Platform::uniform(p, seed),
+        "two-speed" => Platform::two_speed(p.div_ceil(2), p / 2, seed),
+        "multicore" => Platform::multicore_node(p, seed),
+        "hybrid" => {
+            if p < 2 {
+                eprintln!("--platform hybrid needs --ranks of at least 2 (got {p})");
+                std::process::exit(2);
+            }
+            Platform::hybrid_node(p, seed)
+        }
+        "grid" => {
+            eprintln!("--platform grid is a fixed 16-device site; drop --ranks or pick a scalable family");
+            std::process::exit(2);
+        }
+        other => {
+            eprintln!("unknown platform '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parses the `--sim-engine thread|event` flag (default `thread`, the
+/// original one-OS-thread-per-rank backend). `event` selects the
+/// single-threaded discrete-event interpreter — same virtual clocks,
+/// `10⁴`–`10⁶` ranks (see `docs/RUNTIME.md` §9). Exits with status 2
+/// on an unknown spelling.
+pub fn sim_engine(args: &HashMap<String, String>) -> SimEngine {
+    match args.get("sim-engine") {
+        None => SimEngine::default(),
+        Some(s) => SimEngine::parse(s).unwrap_or_else(|e| {
+            eprintln!("--sim-engine: {e}");
+            std::process::exit(2);
+        }),
     }
 }
 
@@ -120,25 +245,50 @@ pub fn collectives(args: &HashMap<String, String>) -> AlgorithmPolicy {
 }
 
 /// Builds the runtime configuration selected by `--runtime thread|sim`
-/// (default `thread`) for a distributed run on `platform`, applying
-/// [`fault_plan`], the [`collectives`] algorithm policy, and routing
-/// runtime `comm`/`fault` trace events to `sink` when given. Exits
-/// with status 2 on an unknown backend.
+/// (default `thread`) and `--sim-engine thread|event` for a
+/// distributed run on `platform`, applying [`fault_plan`], the
+/// [`collectives`] algorithm policy, and routing runtime
+/// `comm`/`fault` trace events to `sink` when given.
+///
+/// `--sim-engine event` needs the virtual-clock backend, so it
+/// implies `--runtime sim` when `--runtime` is absent and rejects an
+/// explicit `--runtime thread`. The thread engine is capped at
+/// [`THREAD_RANKS_CAP`] ranks ([`check_engine_ranks`]). Exits with
+/// status 2 on an unknown backend or a rejected combination.
 pub fn runtime_config(
     args: &HashMap<String, String>,
     platform: &Platform,
     sink: Option<&Arc<dyn TraceSink>>,
 ) -> RuntimeConfig {
-    let backend = args.get("runtime").map(String::as_str).unwrap_or("thread");
+    let engine = sim_engine(args);
+    let backend = match args.get("runtime").map(String::as_str) {
+        Some(b) => b,
+        None if engine == SimEngine::Event => "sim",
+        None => "thread",
+    };
     let config = match backend {
-        "thread" => RuntimeConfig::thread(),
+        "thread" => {
+            if engine == SimEngine::Event {
+                eprintln!(
+                    "--sim-engine event needs the virtual-clock backend: \
+                     use --runtime sim (or drop --sim-engine)"
+                );
+                std::process::exit(2);
+            }
+            RuntimeConfig::thread()
+        }
         "sim" => RuntimeConfig::sim(platform.size(), platform.link()),
         other => {
             eprintln!("--runtime must be thread or sim (got '{other}')");
             std::process::exit(2);
         }
     };
+    if let Err(e) = check_engine_ranks(engine, platform.size()) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
     let config = config
+        .with_engine(engine)
         .with_plan(fault_plan(args))
         .with_algorithms(collectives(args));
     match sink {
