@@ -1,0 +1,179 @@
+//! Criterion bench: the TCP transport against the threaded backend it
+//! mirrors, over real loopback sockets (`scripts/bench_record.sh
+//! MODE=pr8` → `BENCH_PR8.json`; see docs/RUNTIME.md §10).
+//!
+//! Three questions, all on one host so the numbers isolate *transport*
+//! cost (frame codec, reader threads, kernel socket hops) from network
+//! cost:
+//!
+//! * `net_collectives/p4_{tcp,threaded}` — wall time of one balancing
+//!   style collective round (`bcast` + `allgatherv` + `allreduce`) on
+//!   4 ranks. Rank 0 times the loop; rendezvous/boot is outside the
+//!   timed region.
+//! * `net_p2p/rtt_{tcp,threaded}` — small-message round-trip latency
+//!   between two ranks (one 8-byte float each way per iter).
+//! * `# metric net_{tcp,threaded}_bulk_mib_per_sec` — one-way bulk
+//!   throughput: 8 × 4 MiB messages, sender-start to ack-received.
+//!
+//! The derived ratios recorded by `bench_record.sh` are TCP ÷
+//! threaded — the socket transport's cost factor over shared-memory
+//! mailboxes for the same data plane.
+
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fupermod_runtime::net::{connect, connect_with_listener, TcpComm, TcpConfig};
+use fupermod_runtime::{run_ranks, Communicator, ReduceOp, RuntimeConfig, RuntimeError};
+
+const WORLD: usize = 4;
+const VEC_LEN: usize = 64;
+const BULK_BYTES: usize = 1 << 22; // 4 MiB per message
+const BULK_REPS: usize = 8;
+
+/// Runs `f` on `world` TCP ranks over loopback — one thread per rank,
+/// each with its own data plane, joined only by sockets — and returns
+/// rank 0's result. Boot (rendezvous + mesh dial) happens before `f`.
+fn tcp_world<T, F>(world: usize, f: F) -> T
+where
+    T: Send,
+    F: Fn(&mut TcpComm) -> Result<T, RuntimeError> + Sync,
+{
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("listener addr").to_string();
+    let mut listener = Some(listener);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..world)
+            .map(|rank| {
+                let cfg = TcpConfig::new(rank, world, addr.clone())
+                    .with_boot_timeout(Duration::from_secs(20));
+                let listener = (rank == 0).then(|| listener.take().expect("rank 0 listener"));
+                let f = &f;
+                s.spawn(move || {
+                    let mut comm = match listener {
+                        Some(l) => connect_with_listener(cfg, l),
+                        None => connect(cfg),
+                    }
+                    .unwrap_or_else(|e| panic!("rank {rank} failed to connect: {e}"));
+                    let out = f(&mut comm);
+                    comm.shutdown();
+                    out.unwrap_or_else(|e| panic!("rank {rank} failed: {e}"))
+                })
+            })
+            .collect();
+        let mut outs: Vec<T> = handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect();
+        outs.swap_remove(0)
+    })
+}
+
+/// One balancing-style collective round: share a root vector, gather
+/// everyone's contribution, agree on a sum.
+fn collective_round<C: Communicator>(
+    c: &mut C,
+    payload: &Vec<f64>,
+) -> Result<f64, RuntimeError> {
+    let rank = c.rank();
+    let b = c.bcast(0, (rank == 0).then_some(payload))?;
+    let contribution = payload[..8].to_vec();
+    let g = c.allgatherv(&contribution)?;
+    c.allreduce(b[0] + g[rank][0], ReduceOp::Sum)
+}
+
+/// `iters` collective rounds, timed from after an aligning barrier.
+fn timed_rounds<C: Communicator>(c: &mut C, iters: u64) -> Result<Duration, RuntimeError> {
+    let payload = vec![1.5f64; VEC_LEN];
+    c.barrier()?;
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(collective_round(c, &payload)?);
+    }
+    Ok(start.elapsed())
+}
+
+/// `iters` two-rank ping-pongs of a single float, timed on rank 0.
+fn timed_pingpong<C: Communicator>(c: &mut C, iters: u64) -> Result<Duration, RuntimeError> {
+    let token = vec![0.5f64];
+    c.barrier()?;
+    let start = Instant::now();
+    if c.rank() == 0 {
+        for _ in 0..iters {
+            c.send(1, &token)?;
+            let _: Vec<f64> = c.recv(1)?;
+        }
+    } else {
+        for _ in 0..iters {
+            let t: Vec<f64> = c.recv(0)?;
+            c.send(0, &t)?;
+        }
+    }
+    Ok(start.elapsed())
+}
+
+/// One-way bulk stream: rank 0 pushes `BULK_REPS` × `BULK_BYTES`
+/// messages, rank 1 acks once after draining them all.
+fn timed_bulk<C: Communicator>(c: &mut C) -> Result<Duration, RuntimeError> {
+    let payload = vec![0.25f64; BULK_BYTES / std::mem::size_of::<f64>()];
+    c.barrier()?;
+    let start = Instant::now();
+    if c.rank() == 0 {
+        for _ in 0..BULK_REPS {
+            c.send(1, &payload)?;
+        }
+        let _: Vec<f64> = c.recv(1)?;
+    } else {
+        for _ in 0..BULK_REPS {
+            let m: Vec<f64> = c.recv(0)?;
+            black_box(m);
+        }
+        c.send(0, &vec![1.0f64])?;
+    }
+    Ok(start.elapsed())
+}
+
+/// Rank 0's result of `f` on the threaded (shared-memory) backend.
+fn threaded_world<T, F>(world: usize, f: F) -> T
+where
+    T: Send,
+    F: Fn(&mut fupermod_runtime::ThreadedComm) -> Result<T, RuntimeError> + Send + Sync + Clone,
+{
+    let comms = RuntimeConfig::thread().build(world);
+    let mut outs = run_ranks(comms, move |mut c| f(&mut c));
+    outs.swap_remove(0).expect("threaded rank 0 failed")
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    c.bench_function("net_collectives/p4_tcp", |bch| {
+        bch.iter_custom(|iters| tcp_world(WORLD, |comm| timed_rounds(comm, iters)))
+    });
+    c.bench_function("net_collectives/p4_threaded", |bch| {
+        bch.iter_custom(|iters| threaded_world(WORLD, move |comm| timed_rounds(comm, iters)))
+    });
+}
+
+fn bench_p2p_rtt(c: &mut Criterion) {
+    c.bench_function("net_p2p/rtt_tcp", |bch| {
+        bch.iter_custom(|iters| tcp_world(2, |comm| timed_pingpong(comm, iters)))
+    });
+    c.bench_function("net_p2p/rtt_threaded", |bch| {
+        bch.iter_custom(|iters| threaded_world(2, move |comm| timed_pingpong(comm, iters)))
+    });
+}
+
+/// Emits the `# metric` lines `bench_record.sh MODE=pr8` records:
+/// bulk throughput on each backend, in MiB/s.
+fn emit_metrics(_c: &mut Criterion) {
+    let mib = (BULK_REPS * BULK_BYTES) as f64 / (1u64 << 20) as f64;
+    let tcp = tcp_world(2, timed_bulk::<TcpComm>);
+    let threaded = threaded_world(2, timed_bulk);
+    println!("# metric net_tcp_bulk_mib_per_sec {:.1}", mib / tcp.as_secs_f64());
+    println!(
+        "# metric net_threaded_bulk_mib_per_sec {:.1}",
+        mib / threaded.as_secs_f64()
+    );
+}
+
+criterion_group!(benches, bench_collectives, bench_p2p_rtt, emit_metrics);
+criterion_main!(benches);

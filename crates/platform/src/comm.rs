@@ -2,28 +2,27 @@
 //!
 //! FuPerMod proper is an MPI library; the repro band for this paper
 //! flags Rust MPI bindings as the thin spot, so instead of binding MPI
-//! we provide two interchangeable communicators:
+//! this crate provides [`SimComm`] — a *simulated* communicator with
+//! one virtual clock per rank and a Hockney (`α + m/β`) link cost
+//! model. The heterogeneous experiments run on this: computation
+//! advances a rank's clock by the device model's time, communication
+//! advances clocks by the link model's cost, and "application
+//! execution time" is the maximum clock.
 //!
-//! * [`SimComm`] — a *simulated* communicator with one virtual clock per
-//!   rank and a Hockney (`α + m/β`) link cost model. The heterogeneous
-//!   experiments run on this: computation advances a rank's clock by the
-//!   device model's time, communication advances clocks by the link
-//!   model's cost, and "application execution time" is the maximum
-//!   clock.
-//! * [`ThreadComm`] — a *real* in-process communicator built on
-//!   crossbeam channels and a barrier, used by the applications' real
-//!   (numerically verified) runs.
+//! *Real* (wall-clock) execution lives in `fupermod-runtime`: the
+//! threaded backend (`ThreadedComm`) multiplexes ranks as OS threads
+//! in one process, and the TCP backend (`TcpComm`) runs one rank per
+//! process over sockets. The old `ThreadComm` shim that used to live
+//! here has been removed; port callers to those backends.
 
 use std::collections::VecDeque;
-use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use serde::{Deserialize, Serialize};
 
 /// Error produced by the communication substrate.
 ///
 /// Historically the per-rank byte-count paths (`allgatherv`,
-/// `scatterv`, `gatherv`, `redistribute`) and the [`ThreadComm`]
+/// `scatterv`, `gatherv`, `redistribute`) and the in-process
 /// point-to-point operations panicked on malformed input or a
 /// disconnected peer; they now surface these conditions as typed
 /// errors so callers (in particular long-running dynamic-balancing
@@ -809,275 +808,7 @@ impl SimComm {
     }
 }
 
-/// Message exchanged between [`ThreadComm`] handles.
-type Payload = Vec<f64>;
-
-/// Per-rank handle of the real in-process communicator.
-///
-/// Created in a set via [`ThreadComm::create`]; each handle is moved
-/// into its own worker thread. Supports the operations the applications
-/// need: barrier, broadcast, all-gather, and point-to-point exchange.
-///
-/// A dropped peer handle no longer poisons the whole run: `send` and
-/// `recv` (and the collectives built on them) return
-/// [`PlatformError::Disconnected`] instead of panicking.
-#[deprecated(
-    since = "0.1.0",
-    note = "superseded by `fupermod_runtime::ThreadedComm`, which adds typed \
-            payloads, deadlines and fault injection; this minimal f64-payload \
-            communicator is kept as a compatibility shim"
-)]
-#[derive(Debug)]
-pub struct ThreadComm {
-    rank: usize,
-    size: usize,
-    barrier: Arc<std::sync::Barrier>,
-    txs: Vec<Sender<(usize, Payload)>>,
-    rx: Receiver<(usize, Payload)>,
-    /// Messages that arrived while waiting for a different source.
-    pending: Vec<VecDeque<Payload>>,
-}
-
-#[allow(deprecated)]
-impl ThreadComm {
-    /// Creates `size` connected handles, one per rank.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `size` is zero.
-    pub fn create(size: usize) -> Vec<ThreadComm> {
-        assert!(size > 0, "communicator needs at least one rank");
-        let barrier = Arc::new(std::sync::Barrier::new(size));
-        let mut txs = Vec::with_capacity(size);
-        let mut rxs = Vec::with_capacity(size);
-        for _ in 0..size {
-            let (tx, rx) = unbounded();
-            txs.push(tx);
-            rxs.push(rx);
-        }
-        rxs.into_iter()
-            .enumerate()
-            .map(|(rank, rx)| ThreadComm {
-                rank,
-                size,
-                barrier: Arc::clone(&barrier),
-                txs: txs.clone(),
-                rx,
-                pending: vec![VecDeque::new(); size],
-            })
-            .collect()
-    }
-
-    /// This handle's rank.
-    pub fn rank(&self) -> usize {
-        self.rank
-    }
-
-    /// World size.
-    pub fn size(&self) -> usize {
-        self.size
-    }
-
-    /// Blocks until every rank has reached the barrier.
-    pub fn barrier(&self) {
-        self.barrier.wait();
-    }
-
-    /// Sends `data` to `dst` (non-blocking, unbounded buffering).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PlatformError::Disconnected`] if the destination's
-    /// handle has been dropped.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `dst` is out of range.
-    pub fn send(&self, dst: usize, data: Vec<f64>) -> Result<(), PlatformError> {
-        self.txs[dst]
-            .send((self.rank, data))
-            .map_err(|_| PlatformError::Disconnected {
-                op: "send",
-                rank: self.rank,
-            })
-    }
-
-    /// Receives the next message from `src`, buffering messages from
-    /// other sources until they are asked for.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PlatformError::Disconnected`] if every sender hung up
-    /// before a matching message arrived.
-    pub fn recv(&mut self, src: usize) -> Result<Vec<f64>, PlatformError> {
-        if let Some(msg) = self.pending[src].pop_front() {
-            return Ok(msg);
-        }
-        loop {
-            let (from, data) = self.rx.recv().map_err(|_| PlatformError::Disconnected {
-                op: "recv",
-                rank: self.rank,
-            })?;
-            if from == src {
-                return Ok(data);
-            }
-            self.pending[from].push_back(data);
-        }
-    }
-
-    /// Broadcast: `root`'s `data` is distributed to every rank;
-    /// non-roots ignore their input value. Returns the broadcast data.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PlatformError::Disconnected`] if a peer hung up.
-    pub fn bcast(&mut self, root: usize, data: Vec<f64>) -> Result<Vec<f64>, PlatformError> {
-        if self.rank == root {
-            for dst in 0..self.size {
-                if dst != root {
-                    self.send(dst, data.clone())?;
-                }
-            }
-            Ok(data)
-        } else {
-            self.recv(root)
-        }
-    }
-
-    /// All-gather of one f64 per rank; result is indexed by rank.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PlatformError::Disconnected`] if a peer hung up.
-    pub fn allgather(&mut self, value: f64) -> Result<Vec<f64>, PlatformError> {
-        for dst in 0..self.size {
-            if dst != self.rank {
-                self.send(dst, vec![value])?;
-            }
-        }
-        let rank = self.rank;
-        let mut out = vec![0.0; self.size];
-        out[rank] = value;
-        for (src, slot) in out.iter_mut().enumerate() {
-            if src != rank {
-                let v = self.recv(src)?;
-                *slot = v[0];
-            }
-        }
-        Ok(out)
-    }
-
-    /// Scatter: rank `root` supplies one vector per rank (`chunks`,
-    /// indexed by rank; ignored elsewhere) and every rank receives its
-    /// chunk.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PlatformError::SizeMismatch`] at the root if
-    /// `chunks.len() != self.size()` and
-    /// [`PlatformError::Disconnected`] if a peer hung up.
-    pub fn scatterv(
-        &mut self,
-        root: usize,
-        chunks: Vec<Vec<f64>>,
-    ) -> Result<Vec<f64>, PlatformError> {
-        if self.rank == root {
-            if chunks.len() != self.size {
-                return Err(PlatformError::SizeMismatch {
-                    op: "scatterv",
-                    expected: self.size,
-                    got: chunks.len(),
-                });
-            }
-            let mut own = Vec::new();
-            for (dst, chunk) in chunks.into_iter().enumerate() {
-                if dst == root {
-                    own = chunk;
-                } else {
-                    self.send(dst, chunk)?;
-                }
-            }
-            Ok(own)
-        } else {
-            self.recv(root)
-        }
-    }
-
-    /// Gather: every rank contributes `data`; the root returns
-    /// `Some(vec indexed by rank)`, other ranks return `None`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PlatformError::Disconnected`] if a peer hung up.
-    pub fn gatherv(
-        &mut self,
-        root: usize,
-        data: Vec<f64>,
-    ) -> Result<Option<Vec<Vec<f64>>>, PlatformError> {
-        if self.rank == root {
-            let mut out = vec![Vec::new(); self.size];
-            for (src, slot) in out.iter_mut().enumerate() {
-                *slot = if src == root {
-                    data.clone()
-                } else {
-                    self.recv(src)?
-                };
-            }
-            Ok(Some(out))
-        } else {
-            self.send(root, data)?;
-            Ok(None)
-        }
-    }
-
-    /// Sum-reduction to `root`: returns `Some(total)` at the root,
-    /// `None` elsewhere.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PlatformError::Disconnected`] if a peer hung up.
-    pub fn reduce_sum(&mut self, root: usize, value: f64) -> Result<Option<f64>, PlatformError> {
-        Ok(self
-            .gatherv(root, vec![value])?
-            .map(|all| all.iter().map(|v| v[0]).sum()))
-    }
-
-    /// Sum all-reduction: every rank returns the global sum.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PlatformError::Disconnected`] if a peer hung up.
-    pub fn allreduce_sum(&mut self, value: f64) -> Result<f64, PlatformError> {
-        Ok(self.allgather(value)?.iter().sum())
-    }
-
-    /// All-gather of a variable-length vector per rank; result is
-    /// indexed by rank.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PlatformError::Disconnected`] if a peer hung up.
-    pub fn allgatherv(&mut self, data: Vec<f64>) -> Result<Vec<Vec<f64>>, PlatformError> {
-        for dst in 0..self.size {
-            if dst != self.rank {
-                self.send(dst, data.clone())?;
-            }
-        }
-        let rank = self.rank;
-        let mut out = vec![Vec::new(); self.size];
-        for (src, slot) in out.iter_mut().enumerate() {
-            *slot = if src == rank {
-                data.clone()
-            } else {
-                self.recv(src)?
-            };
-        }
-        Ok(out)
-    }
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -1357,26 +1088,6 @@ mod tests {
     }
 
     #[test]
-    fn thread_comm_send_to_dropped_peer_is_an_error() {
-        let mut comms = ThreadComm::create(2);
-        let c1 = comms.pop().expect("two handles");
-        let c0 = comms.pop().expect("two handles");
-        drop(c1);
-        // The peer's receiver is gone: send must surface an error, not
-        // panic (regression: a dropped handle used to poison matmul
-        // worker threads).
-        assert_eq!(
-            c0.send(1, vec![1.0]),
-            Err(PlatformError::Disconnected {
-                op: "send",
-                rank: 0
-            })
-        );
-        // Messages already queued from the dropped peer stay readable.
-        assert!(c0.pending[1].is_empty());
-    }
-
-    #[test]
     fn trace_records_compute_comm_and_idle() {
         let mut c = SimComm::new(2, LinkModel::ethernet());
         c.enable_trace();
@@ -1420,151 +1131,6 @@ mod tests {
                 assert!(e.start >= last_end - 1e-12, "overlap on rank {rank}");
                 last_end = e.end;
             }
-        }
-    }
-
-    #[test]
-    fn thread_comm_barrier_and_allgather() {
-        let comms = ThreadComm::create(4);
-        let handles: Vec<_> = comms
-            .into_iter()
-            .map(|mut comm| {
-                std::thread::spawn(move || {
-                    comm.barrier();
-                    let gathered = comm.allgather(comm.rank() as f64 * 10.0).unwrap();
-                    comm.barrier();
-                    gathered
-                })
-            })
-            .collect();
-        for h in handles {
-            let gathered = h.join().expect("worker panicked");
-            assert_eq!(gathered, vec![0.0, 10.0, 20.0, 30.0]);
-        }
-    }
-
-    #[test]
-    fn thread_comm_bcast_delivers_roots_data() {
-        let comms = ThreadComm::create(3);
-        let handles: Vec<_> = comms
-            .into_iter()
-            .map(|mut comm| {
-                std::thread::spawn(move || {
-                    let data = if comm.rank() == 1 {
-                        vec![1.0, 2.0, 3.0]
-                    } else {
-                        Vec::new()
-                    };
-                    comm.bcast(1, data).unwrap()
-                })
-            })
-            .collect();
-        for h in handles {
-            assert_eq!(h.join().expect("worker panicked"), vec![1.0, 2.0, 3.0]);
-        }
-    }
-
-    #[test]
-    fn thread_comm_p2p_is_fifo_and_source_matched() {
-        let mut comms = ThreadComm::create(2);
-        let c1 = comms.pop().expect("two handles");
-        let mut c0 = comms.pop().expect("two handles");
-        let t = std::thread::spawn(move || {
-            c1.send(0, vec![1.0]).unwrap();
-            c1.send(0, vec![2.0]).unwrap();
-        });
-        assert_eq!(c0.recv(1).unwrap(), vec![1.0]);
-        assert_eq!(c0.recv(1).unwrap(), vec![2.0]);
-        t.join().expect("worker panicked");
-    }
-
-    #[test]
-    fn thread_scatterv_distributes_chunks() {
-        let comms = ThreadComm::create(3);
-        let handles: Vec<_> = comms
-            .into_iter()
-            .map(|mut comm| {
-                std::thread::spawn(move || {
-                    let chunks = if comm.rank() == 0 {
-                        vec![vec![0.0], vec![1.0, 1.0], vec![2.0, 2.0, 2.0]]
-                    } else {
-                        Vec::new()
-                    };
-                    (comm.rank(), comm.scatterv(0, chunks).unwrap())
-                })
-            })
-            .collect();
-        for h in handles {
-            let (rank, chunk) = h.join().expect("worker panicked");
-            assert_eq!(chunk, vec![rank as f64; rank + 1]);
-        }
-    }
-
-    #[test]
-    fn thread_gatherv_collects_at_root() {
-        let comms = ThreadComm::create(3);
-        let handles: Vec<_> = comms
-            .into_iter()
-            .map(|mut comm| {
-                std::thread::spawn(move || {
-                    let mine = vec![comm.rank() as f64 * 5.0];
-                    (comm.rank(), comm.gatherv(2, mine).unwrap())
-                })
-            })
-            .collect();
-        for h in handles {
-            let (rank, gathered) = h.join().expect("worker panicked");
-            if rank == 2 {
-                let g = gathered.expect("root must receive");
-                assert_eq!(g, vec![vec![0.0], vec![5.0], vec![10.0]]);
-            } else {
-                assert!(gathered.is_none());
-            }
-        }
-    }
-
-    #[test]
-    fn thread_reductions_sum_correctly() {
-        let comms = ThreadComm::create(4);
-        let handles: Vec<_> = comms
-            .into_iter()
-            .map(|mut comm| {
-                std::thread::spawn(move || {
-                    let partial = (comm.rank() + 1) as f64;
-                    let reduced = comm.reduce_sum(0, partial).unwrap();
-                    let all = comm.allreduce_sum(partial).unwrap();
-                    (comm.rank(), reduced, all)
-                })
-            })
-            .collect();
-        for h in handles {
-            let (rank, reduced, all) = h.join().expect("worker panicked");
-            assert_eq!(all, 10.0);
-            if rank == 0 {
-                assert_eq!(reduced, Some(10.0));
-            } else {
-                assert_eq!(reduced, None);
-            }
-        }
-    }
-
-    #[test]
-    fn allgatherv_returns_everyones_rows() {
-        let comms = ThreadComm::create(3);
-        let handles: Vec<_> = comms
-            .into_iter()
-            .map(|mut comm| {
-                std::thread::spawn(move || {
-                    let mine = vec![comm.rank() as f64; comm.rank() + 1];
-                    comm.allgatherv(mine).unwrap()
-                })
-            })
-            .collect();
-        for h in handles {
-            let all = h.join().expect("worker panicked");
-            assert_eq!(all[0], vec![0.0]);
-            assert_eq!(all[1], vec![1.0, 1.0]);
-            assert_eq!(all[2], vec![2.0, 2.0, 2.0]);
         }
     }
 

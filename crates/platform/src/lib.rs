@@ -32,7 +32,5 @@ pub mod profile;
 
 pub use cluster::Platform;
 pub use comm::{Activity, LinkModel, PlatformError, SimComm, Topology, TraceEvent};
-#[allow(deprecated)]
-pub use comm::ThreadComm;
 pub use device::{Device, DeviceSpec};
 pub use profile::WorkloadProfile;

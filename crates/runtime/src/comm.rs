@@ -7,8 +7,8 @@
 //! sense-reversing barrier). The difference is the clock:
 //!
 //! * the **thread** backend times operations with wall clocks — real
-//!   in-process parallelism, the successor of the deprecated
-//!   `fupermod_platform::ThreadComm`;
+//!   in-process parallelism, the successor of the old
+//!   `fupermod_platform::ThreadComm` (since removed);
 //! * the **sim** backend additionally drives a Hockney-model
 //!   [`SimComm`] (`α + m/β` virtual clocks): every collective is
 //!   executed BSP-style (data phase, then a closing barrier) and the
@@ -402,6 +402,7 @@ impl RuntimeConfig {
                 ops: vec![0; size],
                 delay_counts: vec![0; self.plan.delays.len()],
                 drop_counts: vec![0; self.plan.drops.len()],
+                op_deadline: vec![None; size],
             }),
             cv: Condvar::new(),
             mode: if sim.is_some() {
@@ -415,6 +416,7 @@ impl RuntimeConfig {
             deadline_secs: deadline,
             sink: self.sink,
             policy: self.algorithms,
+            net: None,
         });
         let comms = (0..size)
             .map(|rank| ThreadedComm {
@@ -424,6 +426,57 @@ impl RuntimeConfig {
             .collect();
         (comms, RuntimeHandle { plane })
     }
+}
+
+/// Builds the shared plane for one rank of a multi-process TCP run:
+/// wall clocks, no sim, the transport half attached. Mail slots exist
+/// for every global rank but only `mail[local]` is ever filled — the
+/// per-peer reader threads (see [`crate::net`]) deliver into it.
+pub(crate) fn build_net_plane(
+    size: usize,
+    plan: FaultPlan,
+    sink: Arc<dyn TraceSink>,
+    policy: AlgorithmPolicy,
+    net: crate::net::NetPlane,
+) -> Arc<Plane> {
+    let deadline = plan.deadline.unwrap_or(DEFAULT_DEADLINE_SECS);
+    Arc::new(Plane {
+        size,
+        state: Mutex::new(PlaneState {
+            mail: (0..size).map(|_| VecDeque::new()).collect(),
+            dead: vec![false; size],
+            agreed_alive: vec![true; size],
+            arrived: 0,
+            generation: 0,
+            lamport: vec![0; size],
+            pending_charge: None,
+            overlap_base: vec![None; size],
+            coll_pending: vec![false; size],
+            ops: vec![0; size],
+            delay_counts: vec![0; plan.delays.len()],
+            drop_counts: vec![0; plan.drops.len()],
+            op_deadline: vec![None; size],
+        }),
+        cv: Condvar::new(),
+        mode: ClockMode::Wall,
+        sim: None,
+        plan,
+        deadline: Duration::from_secs_f64(deadline),
+        deadline_secs: deadline,
+        sink,
+        policy,
+        net: Some(net),
+    })
+}
+
+/// Builds the local rank's handle onto a net-backed plane.
+pub(crate) fn comm_for(plane: Arc<Plane>, rank: usize) -> ThreadedComm {
+    ThreadedComm { rank, plane }
+}
+
+/// Builds an inspection handle onto a net-backed plane.
+pub(crate) fn handle_for(plane: Arc<Plane>) -> RuntimeHandle {
+    RuntimeHandle { plane }
 }
 
 /// A view onto the shared runtime state that outlives the rank
@@ -489,20 +542,20 @@ impl RuntimeHandle {
     }
 }
 
-struct Envelope {
-    src: usize,
-    bytes: Vec<u8>,
+pub(crate) struct Envelope {
+    pub(crate) src: usize,
+    pub(crate) bytes: Vec<u8>,
     /// Injected delivery delay, seconds (0 = none). Wall mode holds
     /// the message until `sent_at + delay`; sim mode delivers
     /// immediately and charges the receiver's virtual clock.
-    delay: f64,
-    sent_at: Instant,
+    pub(crate) delay: f64,
+    pub(crate) sent_at: Instant,
     /// Sender's Lamport clock at enqueue time (schema v3): the causal
     /// stamp piggybacked on every message, merged into the receiver's
     /// clock at delivery (`c := max(c, stamp + 1)`). Rides the
     /// envelope, not the payload, so every `Wire`-encoded message of
     /// every schedule carries it without touching the codec.
-    lamport: u64,
+    pub(crate) lamport: u64,
     /// Virtual instant at which this message is ready for delivery,
     /// pre-computed by a nonblocking send ([`ThreadedComm::isend`])
     /// which charged the sender's clock at *post* time. `None` for
@@ -512,7 +565,7 @@ struct Envelope {
     /// keeping the sender's virtual timeline a function of its own
     /// program order regardless of when the receiver drains the
     /// mailbox.
-    vready: Option<f64>,
+    pub(crate) vready: Option<f64>,
 }
 
 /// A virtual-time charge for one collective, deposited by its root
@@ -539,9 +592,9 @@ fn charge_of(rounds: &Rounds) -> Charge {
     }
 }
 
-struct PlaneState {
-    mail: Vec<VecDeque<Envelope>>,
-    dead: Vec<bool>,
+pub(crate) struct PlaneState {
+    pub(crate) mail: Vec<VecDeque<Envelope>>,
+    pub(crate) dead: Vec<bool>,
     /// The membership recorded by the completer of the last barrier
     /// generation, under the lock — identical for every rank of the
     /// following generation. Collective schedules are built over
@@ -550,9 +603,9 @@ struct PlaneState {
     /// through the hole), while a death landing mid-operation only
     /// degrades edges of the already-agreed structure (no divergent
     /// snapshots, no stray mailbox traffic).
-    agreed_alive: Vec<bool>,
-    arrived: usize,
-    generation: u64,
+    pub(crate) agreed_alive: Vec<bool>,
+    pub(crate) arrived: usize,
+    pub(crate) generation: u64,
     /// Per-rank Lamport clocks (schema v3). Every operation ticks its
     /// rank's clock in `op_begin`, message delivery merges the
     /// sender's piggybacked stamp, and a completing barrier
@@ -561,7 +614,7 @@ struct PlaneState {
     /// stamps are a schedule-independent function of the program's
     /// communication structure (identical across the thread and sim
     /// backends, which is what makes merged timelines deterministic).
-    lamport: Vec<u64>,
+    pub(crate) lamport: Vec<u64>,
     pending_charge: Option<Charge>,
     /// Per-rank virtual clock snapshots taken when a rank *posts* a
     /// nonblocking collective ([`ThreadedComm::ibcast`] /
@@ -586,33 +639,46 @@ struct PlaneState {
     ops: Vec<u64>,
     delay_counts: Vec<u64>,
     drop_counts: Vec<u64>,
+    /// Per-rank wall-clock deadline of the operation currently in
+    /// flight, anchored at `op_begin` (after any straggler charge).
+    /// Every blocking wait inside the same operation measures against
+    /// this one instant — a collective whose data phase needs several
+    /// sequential receives gets *one* deadline for the whole
+    /// operation, not one per receive — matching the anchoring `§8`
+    /// pins for nonblocking requests and shared verbatim by the
+    /// threaded and TCP backends.
+    op_deadline: Vec<Option<Instant>>,
 }
 
 impl PlaneState {
-    fn live_count(&self) -> usize {
+    pub(crate) fn live_count(&self) -> usize {
         self.dead.iter().filter(|&&d| !d).count()
     }
 }
 
-struct Plane {
-    size: usize,
-    state: Mutex<PlaneState>,
-    cv: Condvar,
+pub(crate) struct Plane {
+    pub(crate) size: usize,
+    pub(crate) state: Mutex<PlaneState>,
+    pub(crate) cv: Condvar,
     mode: ClockMode,
     sim: Option<Mutex<SimComm>>,
-    plan: FaultPlan,
-    deadline: Duration,
-    deadline_secs: f64,
-    sink: Arc<dyn TraceSink>,
-    policy: AlgorithmPolicy,
+    pub(crate) plan: FaultPlan,
+    pub(crate) deadline: Duration,
+    pub(crate) deadline_secs: f64,
+    pub(crate) sink: Arc<dyn TraceSink>,
+    pub(crate) policy: AlgorithmPolicy,
+    /// TCP transport half, present when this plane fronts one rank of
+    /// a multi-process run (see [`crate::net`]). `None` keeps the
+    /// in-process shared-memory fast path byte-for-byte unchanged.
+    pub(crate) net: Option<crate::net::NetPlane>,
 }
 
 impl Plane {
-    fn lock(&self) -> MutexGuard<'_, PlaneState> {
+    pub(crate) fn lock(&self) -> MutexGuard<'_, PlaneState> {
         self.state.lock().expect("runtime plane poisoned")
     }
 
-    fn fault(&self, rank: usize, kind: &str, peer: i64, attempt: u32, seconds: f64) {
+    pub(crate) fn fault(&self, rank: usize, kind: &str, peer: i64, attempt: u32, seconds: f64) {
         self.sink.record(&TraceEvent::Fault {
             rank,
             kind: kind.to_owned(),
@@ -687,16 +753,60 @@ impl Plane {
         self.cv.notify_all();
     }
 
+    /// Completes the current barrier generation if every live
+    /// participant has arrived; returns whether it completed. In
+    /// process, any rank may be the completer; over TCP only the hub
+    /// (the lowest agreed-live rank — the only rank ARRIVE frames are
+    /// addressed to, so the only one whose `arrived` counter grows)
+    /// completes, and it announces the completion to every peer with
+    /// a RELEASE frame carrying the joined Lamport clock and the new
+    /// agreed membership.
+    pub(crate) fn maybe_complete(&self, st: &mut PlaneState) -> bool {
+        if st.arrived == 0 || st.arrived < st.live_count() {
+            return false;
+        }
+        match &self.net {
+            None => self.complete_generation(st),
+            Some(net) => self.complete_generation_net(net, st),
+        }
+        true
+    }
+
+    /// Hub-side TCP barrier completion: the network twin of
+    /// [`complete_generation`](Self::complete_generation). The joined
+    /// clock uses the hub's per-rank Lamport views, which at
+    /// completion time hold each live peer's clock as stamped on its
+    /// ARRIVE frame — exactly the value the in-process join reads, so
+    /// fault-free stamps stay identical across backends.
+    fn complete_generation_net(&self, net: &crate::net::NetPlane, st: &mut PlaneState) {
+        st.arrived = 0;
+        st.generation = st.generation.wrapping_add(1);
+        let join = st.lamport.iter().copied().max().unwrap_or(0).wrapping_add(1);
+        for (c, &dead) in st.lamport.iter_mut().zip(&st.dead) {
+            if !dead {
+                *c = join;
+            }
+        }
+        for (agreed, &dead) in st.agreed_alive.iter_mut().zip(&st.dead) {
+            *agreed = !dead;
+        }
+        // No sim over TCP: a deposited charge has nothing to bill.
+        st.pending_charge = None;
+        for b in st.overlap_base.iter_mut() {
+            *b = None;
+        }
+        net.broadcast_release(st.generation, join, &st.agreed_alive, &st.dead);
+        self.cv.notify_all();
+    }
+
     /// Marks `rank` dead (fail-stop), completes a barrier the death
     /// unblocks, and wakes every waiter.
-    fn mark_dead(&self, st: &mut PlaneState, rank: usize) {
+    pub(crate) fn mark_dead(&self, st: &mut PlaneState, rank: usize) {
         if st.dead[rank] {
             return;
         }
         st.dead[rank] = true;
-        if st.arrived > 0 && st.arrived >= st.live_count() {
-            self.complete_generation(st);
-        }
+        self.maybe_complete(st);
         self.cv.notify_all();
     }
 
@@ -819,11 +929,29 @@ impl ThreadedComm {
             plane.fault(self.rank, "straggler", -1, 0, straggle);
             plane.charge_latency(self.rank, straggle);
         }
+        // Anchor the operation's one wall-clock deadline *after* the
+        // straggler charge, so injected latency does not eat into the
+        // budget the operation's blocking waits share.
+        let wall = Instant::now();
+        plane.lock().op_deadline[self.rank] = Some(wall + plane.deadline);
         Ok(OpStart {
-            wall: Instant::now(),
+            wall,
             virt: plane.virtual_time_of(self.rank),
             gen,
         })
+    }
+
+    /// Wall-clock instant at which the operation currently in flight
+    /// times out — anchored once per operation in
+    /// [`op_begin`](Self::op_begin), so a collective whose data phase
+    /// performs several sequential blocking waits spends one shared
+    /// budget instead of restarting the clock per wait. This is the
+    /// same anchoring `docs/RUNTIME.md` §8 pins for nonblocking
+    /// requests, and it is shared verbatim by the threaded and TCP
+    /// backends.
+    fn op_deadline_at(&self) -> Instant {
+        self.plane.lock().op_deadline[self.rank]
+            .unwrap_or_else(|| Instant::now() + self.plane.deadline)
     }
 
     /// Common op epilogue: emits the `comm` trace event with the
@@ -861,9 +989,15 @@ impl ThreadedComm {
         });
     }
 
-    /// Fail-stop on a deadline violation.
+    /// Fail-stop on a deadline violation. Over TCP the dying rank
+    /// additionally announces itself with best-effort BYE frames, so
+    /// peers map the fail-stop onto the same death path a graceful
+    /// shutdown takes instead of waiting for a socket error.
     fn timeout(&self, op: &'static str, st: &mut PlaneState) -> RuntimeError {
         self.plane.mark_dead(st, self.rank);
+        if let Some(net) = &self.plane.net {
+            net.send_bye_all();
+        }
         self.plane
             .fault(self.rank, "timeout", -1, 0, self.plane.deadline_secs);
         RuntimeError::Timeout {
@@ -947,6 +1081,30 @@ impl ThreadedComm {
             // Causal stamp: the sender's clock at enqueue time,
             // merged by the receiver at delivery.
             let stamp = st.lamport[self.rank];
+            // Remote destination: the envelope travels as a DATA
+            // frame (stamp and generation in the header) and the
+            // peer's reader thread re-materialises it in the
+            // destination mailbox. Fault rules were already evaluated
+            // above — injection is sender-side over TCP.
+            if let Some(net) = &plane.net {
+                if dst != self.rank {
+                    let gen = st.generation;
+                    drop(st);
+                    if delay > 0.0 {
+                        plane.fault(self.rank, "delay", dst as i64, 0, delay);
+                    }
+                    return match net.send_data(dst, stamp, gen, delay, &bytes) {
+                        Ok(()) => Ok(()),
+                        Err(_) => {
+                            let mut st = plane.lock();
+                            plane.mark_dead(&mut st, dst);
+                            drop(st);
+                            plane.fault(self.rank, "disconnect", dst as i64, 0, 0.0);
+                            Err(RuntimeError::RankDead { op, rank: dst })
+                        }
+                    };
+                }
+            }
             st.mail[dst].push_back(Envelope {
                 src: self.rank,
                 bytes,
@@ -974,7 +1132,7 @@ impl ThreadedComm {
         src: usize,
         charge_p2p: bool,
     ) -> Result<Vec<u8>, RuntimeError> {
-        self.raw_recv_deadline(op, src, charge_p2p, Instant::now() + self.plane.deadline)
+        self.raw_recv_deadline(op, src, charge_p2p, self.op_deadline_at())
     }
 
     /// [`raw_recv`](Self::raw_recv) against a caller-supplied deadline
@@ -1114,7 +1272,7 @@ impl ThreadedComm {
         default_charge: Option<Charge>,
     ) -> Result<u64, RuntimeError> {
         let gen = self.raw_barrier_arrive(op, default_charge)?;
-        self.raw_barrier_wait(op, gen, Instant::now() + self.plane.deadline)
+        self.raw_barrier_wait(op, gen, self.op_deadline_at())
     }
 
     /// Arrival half of [`raw_barrier`](Self::raw_barrier): joins the
@@ -1140,10 +1298,26 @@ impl ThreadedComm {
                 st.pending_charge = Some(charge);
             }
         }
-        st.arrived += 1;
         let gen = st.generation;
-        if st.arrived >= st.live_count() {
-            plane.complete_generation(&mut st);
+        if let Some(net) = &plane.net {
+            // TCP barrier: arrivals rendezvous at the hub (the lowest
+            // agreed-live rank — the same rank the hub collective
+            // schedules route through). The hub counts its own
+            // arrival locally; everyone else announces theirs with an
+            // ARRIVE frame stamped with the current Lamport clock.
+            let hub = crate::net::hub_of(&st.agreed_alive);
+            if self.rank == hub {
+                st.arrived += 1;
+                plane.maybe_complete(&mut st);
+            } else {
+                let stamp = st.lamport[self.rank];
+                net.send_arrive(hub, gen, stamp);
+            }
+        } else {
+            st.arrived += 1;
+            if st.arrived >= st.live_count() {
+                plane.complete_generation(&mut st);
+            }
         }
         Ok(gen)
     }
@@ -1164,8 +1338,7 @@ impl ThreadedComm {
             if st.generation != gen {
                 return Ok(gen);
             }
-            if st.arrived >= st.live_count() {
-                plane.complete_generation(&mut st);
+            if plane.maybe_complete(&mut st) {
                 return Ok(gen);
             }
             let now = Instant::now();
@@ -1191,11 +1364,7 @@ impl ThreadedComm {
         if st.generation != gen {
             return true;
         }
-        if st.arrived > 0 && st.arrived >= st.live_count() {
-            plane.complete_generation(&mut st);
-            return true;
-        }
-        false
+        plane.maybe_complete(&mut st)
     }
 
     /// Liveness snapshot under the lock.

@@ -87,6 +87,13 @@ pub enum RuntimeError {
         /// The posting rank.
         rank: usize,
     },
+    /// The TCP transport failed outside any single peer's death:
+    /// rendezvous/handshake errors, a listener that cannot bind, a
+    /// corrupt frame (bad magic, version, length or checksum), or a
+    /// bootstrap that timed out. Per-peer socket failures during
+    /// normal operation map onto [`RuntimeError::RankDead`] via the
+    /// agreed-membership death path instead.
+    Net(String),
     /// A fault plan could not be parsed or validated.
     InvalidPlan(String),
     /// The platform substrate rejected an operation.
@@ -125,6 +132,7 @@ impl fmt::Display for RuntimeError {
                     "{op}: rank {rank} already has an outstanding collective request"
                 )
             }
+            RuntimeError::Net(msg) => write!(f, "tcp transport: {msg}"),
             RuntimeError::InvalidPlan(msg) => write!(f, "invalid fault plan: {msg}"),
             RuntimeError::Platform(e) => write!(f, "platform error: {e}"),
             RuntimeError::App(msg) => write!(f, "application error: {msg}"),

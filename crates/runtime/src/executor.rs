@@ -166,42 +166,16 @@ where
     let results = run_ranks(comms, |mut comm: ThreadedComm| {
         let rank = comm.rank();
         let factor = plan.straggler_factor(rank);
-        if rank == 0 {
+        let ctx = (rank == 0).then(|| {
             let make = ctx_slot
                 .lock()
                 .expect("ctx slot poisoned")
                 .take()
                 .expect("make_ctx taken once");
-            // Route the context's partition_step/dynamic_converged
-            // events into the run's trace sink, so a traced
-            // distributed run records its full dynamic history (the
-            // report tool rebuilds the imbalance table from it).
-            let mut ctx = make().with_trace(sink.clone());
-            assert_eq!(
-                ctx.dist().sizes().len(),
-                size,
-                "context size must match communicator size"
-            );
-            match mode {
-                OverlapMode::Blocking => {
-                    root_loop(&mut comm, &mut ctx, &measure, factor, max_steps, &sink)
-                }
-                OverlapMode::Overlapped => {
-                    root_loop_overlapped(&comm, &mut ctx, &measure, factor, max_steps, &sink)
-                }
-            }
-            .map(|steps| (steps, ctx.dist().sizes()))
-        } else {
-            match mode {
-                OverlapMode::Blocking => {
-                    worker_loop(&mut comm, &measure, factor, max_steps, &sink)
-                }
-                OverlapMode::Overlapped => {
-                    worker_loop_overlapped(&comm, &measure, factor, max_steps, &sink)
-                }
-            }
-            .map(|()| (vec![], vec![]))
-        }
+            make()
+        });
+        run_balance_rank(&mut comm, ctx, &measure, max_steps, mode, factor, &sink)
+            .map(|r| r.unwrap_or_default())
     });
 
     let mut rank_errors: Vec<Option<RuntimeError>> = Vec::with_capacity(size);
@@ -230,6 +204,79 @@ where
         rank_errors,
         virtual_time: handle.virtual_time(),
     })
+}
+
+/// One rank's whole side of the distributed balancing loop — the
+/// per-rank entry point shared by [`run_to_balance_distributed_with`]
+/// (which multiplexes all ranks as threads of this process) and the
+/// multi-process TCP path (where each OS process drives exactly one
+/// rank over [`crate::net::connect`] and calls this directly).
+///
+/// * `ctx` must be `Some` exactly on rank 0 (the models and the
+///   partitioner live only there); workers pass `None`.
+/// * `straggler_factor` is this rank's compute inflation
+///   ([`crate::fault::FaultPlan::straggler_factor`]) — under TCP each
+///   process evaluates its own plan, so the factor is passed in
+///   rather than read from a shared plan.
+///
+/// Returns `Some((steps, final_sizes))` on rank 0, `None` on workers.
+///
+/// # Errors
+///
+/// This rank's failure: measurement/model errors
+/// ([`RuntimeError::App`]) or communication failures.
+///
+/// # Panics
+///
+/// Panics if `ctx` presence does not match the rank, or if rank 0's
+/// context does not have `comm.size()` processes.
+#[allow(clippy::type_complexity)]
+pub fn run_balance_rank<M>(
+    comm: &mut ThreadedComm,
+    ctx: Option<DynamicContext>,
+    measure: &M,
+    max_steps: usize,
+    mode: OverlapMode,
+    straggler_factor: f64,
+    sink: &std::sync::Arc<dyn fupermod_core::trace::TraceSink>,
+) -> Result<Option<(Vec<DynamicStep>, Vec<u64>)>, RuntimeError>
+where
+    M: Fn(usize, u64) -> Result<Point, CoreError> + Sync,
+{
+    let rank = comm.rank();
+    let size = comm.size();
+    if rank == 0 {
+        // Route the context's partition_step/dynamic_converged events
+        // into the run's trace sink, so a traced distributed run
+        // records its full dynamic history (the report tool rebuilds
+        // the imbalance table from it).
+        let mut ctx = ctx.expect("rank 0 owns the context").with_trace(sink.clone());
+        assert_eq!(
+            ctx.dist().sizes().len(),
+            size,
+            "context size must match communicator size"
+        );
+        match mode {
+            OverlapMode::Blocking => {
+                root_loop(comm, &mut ctx, measure, straggler_factor, max_steps, sink)
+            }
+            OverlapMode::Overlapped => {
+                root_loop_overlapped(comm, &mut ctx, measure, straggler_factor, max_steps, sink)
+            }
+        }
+        .map(|steps| Some((steps, ctx.dist().sizes())))
+    } else {
+        assert!(ctx.is_none(), "only rank 0 owns the context");
+        match mode {
+            OverlapMode::Blocking => {
+                worker_loop(comm, measure, straggler_factor, max_steps, sink)
+            }
+            OverlapMode::Overlapped => {
+                worker_loop_overlapped(comm, measure, straggler_factor, max_steps, sink)
+            }
+        }
+        .map(|()| None)
+    }
 }
 
 /// Measures this rank's share, applying the straggler compute factor.

@@ -16,13 +16,19 @@
 //!   recursive-doubling butterfly for rootless ones, all bitwise
 //!   identical to the compatibility hub on fault-free plans (see
 //!   [`collective`]).
-//! * Two backends behind one [`RuntimeConfig`]:
-//!   * a **threaded** backend — every rank is an OS thread in this
-//!     process, wall-clock timing (generalises the old
-//!     `fupermod_platform::ThreadComm`, now a deprecated alias);
-//!   * a **simulated** backend — the same threads, but every
-//!     operation charges the Hockney virtual clocks of the existing
-//!     `fupermod_platform::SimComm`, deterministically.
+//! * Three backends behind one API:
+//!   * a **threaded** backend ([`RuntimeConfig::thread`]) — every
+//!     rank is an OS thread in this process, wall-clock timing
+//!     (generalises the old `fupermod_platform::ThreadComm`, since
+//!     removed);
+//!   * a **simulated** backend ([`RuntimeConfig::sim`]) — the same
+//!     threads, but every operation charges the Hockney virtual
+//!     clocks of the existing `fupermod_platform::SimComm`,
+//!     deterministically;
+//!   * a **TCP** backend ([`connect`] / [`TcpConfig`]) — one rank
+//!     per OS process, peers linked by length-prefixed checksummed
+//!     frames over sockets, so the same programs run across real
+//!     processes and hosts (see `docs/RUNTIME.md` §10).
 //! * A **fault layer** ([`FaultPlan`]): message delays, drops with
 //!   bounded retry and exponential backoff, stragglers, and fail-stop
 //!   rank death, all surfacing as typed [`RuntimeError`]s and
@@ -43,6 +49,7 @@ pub mod comm;
 pub mod error;
 pub mod executor;
 pub mod fault;
+pub mod net;
 pub mod sim;
 pub mod wire;
 
@@ -56,8 +63,10 @@ pub use comm::{
 };
 pub use error::RuntimeError;
 pub use executor::{
-    run_to_balance_distributed, run_to_balance_distributed_with, BalanceOutcome, OverlapMode,
+    run_balance_rank, run_to_balance_distributed, run_to_balance_distributed_with,
+    BalanceOutcome, OverlapMode,
 };
 pub use fault::{DeathRule, DelayRule, DropRule, FaultPlan, StragglerRule};
+pub use net::{connect, connect_with_listener, TcpComm, TcpConfig};
 pub use sim::{EventSim, SimEngine};
 pub use wire::Wire;

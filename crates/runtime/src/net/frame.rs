@@ -1,0 +1,268 @@
+//! Wire framing for the TCP transport: fixed 44-byte little-endian
+//! header, length-prefixed payload, CRC-32 payload checksum.
+//!
+//! Every byte that crosses a socket is one frame. The header carries
+//! the schema-v3 causal stamps (`lamport`, `gen`) *in the framing*,
+//! not inside the payload — the network twin of the in-process
+//! [`crate::comm`] envelope, so every `Wire`-encoded message of every
+//! collective schedule is stamped without touching the codec.
+//!
+//! Layout (offsets in bytes, all fields little-endian):
+//!
+//! | off | size | field   | meaning                                  |
+//! |-----|------|---------|------------------------------------------|
+//! | 0   | 4    | magic   | `b"FPM1"`                                |
+//! | 4   | 1    | version | frame protocol version (currently 1)     |
+//! | 5   | 1    | kind    | [`FrameKind`] discriminant               |
+//! | 6   | 2    | reserved| zero                                     |
+//! | 8   | 4    | src     | sending rank                             |
+//! | 12  | 8    | lamport | sender's Lamport clock at enqueue        |
+//! | 20  | 8    | gen     | barrier generation (kind-dependent)      |
+//! | 28  | 8    | delay   | injected delivery delay, seconds (f64)   |
+//! | 36  | 4    | len     | payload length                           |
+//! | 40  | 4    | crc     | CRC-32 (IEEE) of the payload             |
+//!
+//! A reader rejects a frame *before allocating* its payload if the
+//! magic, version, or length cap ([`MAX_FRAME_LEN`]) fails — the
+//! socket-facing twin of the [`crate::wire`] decode hardening.
+
+use std::io::{self, Read, Write};
+
+/// Frame magic: `b"FPM1"` as a little-endian `u32`.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"FPM1");
+
+/// Frame protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Header length in bytes.
+pub const HEADER_LEN: usize = 44;
+
+/// Hard cap on a frame payload, matching the decode-side payload cap
+/// ([`crate::wire::MAX_WIRE_LEN`]): an oversized length prefix is a
+/// protocol error rejected before any allocation.
+pub const MAX_FRAME_LEN: usize = crate::wire::MAX_WIRE_LEN;
+
+/// What a frame means to the transport state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Bootstrap: joiner -> rank 0. Payload: `world listen_addr` as
+    /// UTF-8 bytes; `src` is the joiner's claimed rank.
+    Hello = 0,
+    /// Bootstrap: rank 0 -> joiner. Payload: per-rank listener
+    /// addresses (`Vec<Vec<u8>>`, UTF-8 each, rank order).
+    Peers = 1,
+    /// Bootstrap: higher rank -> lower rank on a fresh mesh link,
+    /// identifying the initiator (`src`). No payload.
+    Ident = 2,
+    /// A point-to-point message envelope: payload is the
+    /// `Wire`-encoded application bytes; `lamport` is the causal
+    /// stamp merged at delivery; `delay` a fault-injected delivery
+    /// hold.
+    Data = 3,
+    /// Barrier arrival announcement to the hub: `gen` is the joined
+    /// generation, `lamport` the arriver's clock. No payload.
+    Arrive = 4,
+    /// Barrier completion broadcast from the hub: `gen` is the *new*
+    /// generation, `lamport` the joined clock, payload the agreed
+    /// membership (`Vec<bool>`, rank order).
+    Release = 5,
+    /// Graceful goodbye: the sender is leaving (teardown or
+    /// fail-stop). Peers map it onto the rank-death path. No payload.
+    Bye = 6,
+}
+
+impl FrameKind {
+    fn from_u8(x: u8) -> Option<Self> {
+        Some(match x {
+            0 => FrameKind::Hello,
+            1 => FrameKind::Peers,
+            2 => FrameKind::Ident,
+            3 => FrameKind::Data,
+            4 => FrameKind::Arrive,
+            5 => FrameKind::Release,
+            6 => FrameKind::Bye,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Frame meaning.
+    pub kind: FrameKind,
+    /// Sending rank.
+    pub src: usize,
+    /// Sender's Lamport clock at enqueue time.
+    pub lamport: u64,
+    /// Barrier generation (meaning depends on `kind`).
+    pub gen: u64,
+    /// Injected delivery delay, seconds.
+    pub delay: f64,
+    /// Payload bytes (already checksum-verified).
+    pub payload: Vec<u8>,
+}
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn corrupt(detail: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, detail)
+}
+
+/// Encodes one frame into a single buffer (header + payload), ready
+/// for one atomic `write_all` under the per-peer writer lock.
+pub fn encode_frame(
+    kind: FrameKind,
+    src: usize,
+    lamport: u64,
+    gen: u64,
+    delay: f64,
+    payload: &[u8],
+) -> Vec<u8> {
+    assert!(payload.len() <= MAX_FRAME_LEN, "frame payload exceeds cap");
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.push(VERSION);
+    buf.push(kind as u8);
+    buf.extend_from_slice(&0u16.to_le_bytes());
+    buf.extend_from_slice(&(src as u32).to_le_bytes());
+    buf.extend_from_slice(&lamport.to_le_bytes());
+    buf.extend_from_slice(&gen.to_le_bytes());
+    buf.extend_from_slice(&delay.to_bits().to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Writes one frame to `w`.
+pub fn write_frame(
+    w: &mut impl Write,
+    kind: FrameKind,
+    src: usize,
+    lamport: u64,
+    gen: u64,
+    delay: f64,
+    payload: &[u8],
+) -> io::Result<()> {
+    w.write_all(&encode_frame(kind, src, lamport, gen, delay, payload))
+}
+
+/// Reads one frame from `r`. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary (the peer closed its write half); an EOF inside a
+/// frame, a bad magic/version/kind, an oversized length prefix, or a
+/// checksum mismatch is an [`io::ErrorKind::InvalidData`] /
+/// [`io::ErrorKind::UnexpectedEof`] error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
+    let mut header = [0u8; HEADER_LEN];
+    // First byte distinguishes clean close from a truncated frame.
+    let mut got = 0usize;
+    while got < HEADER_LEN {
+        match r.read(&mut header[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("eof after {got} header bytes"),
+                ))
+            }
+            n => got += n,
+        }
+    }
+    let word = |o: usize| u32::from_le_bytes(header[o..o + 4].try_into().expect("4 bytes"));
+    let quad = |o: usize| u64::from_le_bytes(header[o..o + 8].try_into().expect("8 bytes"));
+    if word(0) != MAGIC {
+        return Err(corrupt(format!("bad magic {:#010x}", word(0))));
+    }
+    if header[4] != VERSION {
+        return Err(corrupt(format!("unsupported frame version {}", header[4])));
+    }
+    let kind = FrameKind::from_u8(header[5])
+        .ok_or_else(|| corrupt(format!("unknown frame kind {}", header[5])))?;
+    let len = word(36) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(corrupt(format!(
+            "frame payload of {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let crc = word(40);
+    let actual = crc32(&payload);
+    if crc != actual {
+        return Err(corrupt(format!(
+            "payload checksum mismatch: header {crc:#010x}, computed {actual:#010x}"
+        )));
+    }
+    Ok(Some(Frame {
+        kind,
+        src: word(8) as usize,
+        lamport: quad(12),
+        gen: quad(20),
+        delay: f64::from_bits(quad(28)),
+        payload,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let buf = encode_frame(FrameKind::Data, 3, 41, 7, 0.25, b"payload");
+        let mut r = &buf[..];
+        let f = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(f.kind, FrameKind::Data);
+        assert_eq!(f.src, 3);
+        assert_eq!(f.lamport, 41);
+        assert_eq!(f.gen, 7);
+        assert_eq!(f.delay, 0.25);
+        assert_eq!(f.payload, b"payload");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean eof");
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected_not_trusted() {
+        // Flipped payload byte: checksum catches it.
+        let mut buf = encode_frame(FrameKind::Data, 0, 0, 0, 0.0, b"abc");
+        *buf.last_mut().unwrap() ^= 0xFF;
+        assert_eq!(
+            read_frame(&mut &buf[..]).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+        // Bad magic.
+        let mut buf = encode_frame(FrameKind::Bye, 0, 0, 0, 0.0, b"");
+        buf[0] ^= 0xFF;
+        assert!(read_frame(&mut &buf[..]).is_err());
+        // Hostile length prefix: rejected before allocation.
+        let mut buf = encode_frame(FrameKind::Data, 0, 0, 0, 0.0, b"");
+        buf[36..40].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("cap"), "{err}");
+        // Truncated mid-frame: UnexpectedEof, not a hang or panic.
+        let buf = encode_frame(FrameKind::Data, 0, 0, 0, 0.0, b"abcdef");
+        let err = read_frame(&mut &buf[..HEADER_LEN + 2]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The classic IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

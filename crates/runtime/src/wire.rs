@@ -10,8 +10,28 @@
 use crate::error::RuntimeError;
 use fupermod_core::Point;
 
+/// Upper bound on the byte length of any single decodable payload.
+///
+/// [`Wire::decode`] rejects larger buffers before touching them, and
+/// the vector decoder bounds both its element count and its
+/// pre-allocation by the same cap, so a hostile or corrupted frame
+/// can neither over-allocate nor spin: the work done by a failed
+/// decode is proportional to the bytes actually received, never to a
+/// length a sender merely *claimed*. The network transport enforces
+/// the same cap on incoming frames before allocating
+/// (`net::MAX_FRAME_LEN`).
+pub const MAX_WIRE_LEN: usize = 64 << 20;
+
 /// A value that can cross the runtime as a message payload.
 pub trait Wire: Sized {
+    /// A lower bound, in bytes, on the encoding of any value of this
+    /// type. Used by the vector decoder to reject hostile length
+    /// prefixes (`claimed elements × MIN_ENCODED_LEN` can never
+    /// exceed the bytes that follow) *before* allocating. Zero is
+    /// legal (`()` encodes to nothing) — such elements fall back to
+    /// the [`MAX_WIRE_LEN`] count cap instead.
+    const MIN_ENCODED_LEN: usize;
+
     /// Appends the encoding of `self` to `out`.
     fn encode(&self, out: &mut Vec<u8>);
 
@@ -36,8 +56,17 @@ pub trait Wire: Sized {
     /// # Errors
     ///
     /// Returns [`RuntimeError::Decode`] on truncated, malformed or
-    /// trailing input.
+    /// trailing input, and on buffers longer than [`MAX_WIRE_LEN`].
     fn decode(bytes: &[u8]) -> Result<Self, RuntimeError> {
+        if bytes.len() > MAX_WIRE_LEN {
+            return Err(RuntimeError::Decode {
+                what: "payload",
+                detail: format!(
+                    "{} bytes exceeds the {MAX_WIRE_LEN}-byte payload cap",
+                    bytes.len()
+                ),
+            });
+        }
         let (value, used) = Self::decode_from(bytes)?;
         if used != bytes.len() {
             return Err(RuntimeError::Decode {
@@ -62,6 +91,7 @@ fn take<const N: usize>(bytes: &[u8], what: &'static str) -> Result<[u8; N], Run
 macro_rules! impl_wire_scalar {
     ($ty:ty, $what:literal) => {
         impl Wire for $ty {
+            const MIN_ENCODED_LEN: usize = std::mem::size_of::<$ty>();
             fn encode(&self, out: &mut Vec<u8>) {
                 out.extend_from_slice(&self.to_le_bytes());
             }
@@ -80,6 +110,7 @@ impl_wire_scalar!(u64, "u64");
 impl_wire_scalar!(f64, "f64");
 
 impl Wire for bool {
+    const MIN_ENCODED_LEN: usize = 1;
     fn encode(&self, out: &mut Vec<u8>) {
         out.push(u8::from(*self));
     }
@@ -97,6 +128,7 @@ impl Wire for bool {
 }
 
 impl Wire for () {
+    const MIN_ENCODED_LEN: usize = 0;
     fn encode(&self, _out: &mut Vec<u8>) {}
     fn decode_from(_bytes: &[u8]) -> Result<(Self, usize), RuntimeError> {
         Ok(((), 0))
@@ -104,6 +136,9 @@ impl Wire for () {
 }
 
 impl<T: Wire> Wire for Vec<T> {
+    // The u64 element-count prefix.
+    const MIN_ENCODED_LEN: usize = 8;
+
     fn encode(&self, out: &mut Vec<u8>) {
         (self.len() as u64).encode(out);
         for item in self {
@@ -116,9 +151,18 @@ impl<T: Wire> Wire for Vec<T> {
             what: "vec length",
             detail: "length exceeds usize".to_owned(),
         })?;
-        // Guard against hostile prefixes: a vector element occupies at
-        // least one byte on the wire.
-        if len > bytes.len() {
+        // Guard against hostile prefixes before allocating: `len`
+        // elements need at least `len × MIN_ENCODED_LEN` bytes after
+        // the prefix. Zero-width elements (`()` and compositions of
+        // it) cannot be bounded by the remaining bytes, so their
+        // count falls back to the global payload cap — keeping the
+        // decode loop finite either way.
+        let remaining = bytes.len() - used;
+        let hostile = match T::MIN_ENCODED_LEN {
+            0 => len > MAX_WIRE_LEN,
+            min => len > remaining / min,
+        };
+        if hostile {
             return Err(RuntimeError::Decode {
                 what: "vec length",
                 detail: format!("{len} elements in a {}-byte payload", bytes.len()),
@@ -148,6 +192,9 @@ impl<T: Wire> Wire for Vec<T> {
 /// order, skipping `None` slots* — so the float result is bitwise
 /// identical across algorithms (see `comm.rs` for the fold itself).
 impl<T: Wire> Wire for Option<T> {
+    // The one-byte presence tag.
+    const MIN_ENCODED_LEN: usize = 1;
+
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
             None => out.push(0),
@@ -174,6 +221,9 @@ impl<T: Wire> Wire for Option<T> {
 }
 
 impl Wire for Point {
+    // d: u64 + t: f64 + reps: u32 + ci: f64.
+    const MIN_ENCODED_LEN: usize = 28;
+
     fn encode(&self, out: &mut Vec<u8>) {
         self.d.encode(out);
         self.t.encode(out);
@@ -243,10 +293,86 @@ mod tests {
         assert!(Vec::<u64>::decode(&bytes).is_err(), "hostile length prefix");
     }
 
+    /// A hostile element count must be rejected *before* any
+    /// allocation: `len × MIN_ENCODED_LEN` can never exceed the bytes
+    /// that actually follow the prefix, so claiming `u64::MAX`
+    /// elements of any type fails in O(1) without reserving memory.
+    #[test]
+    fn hostile_length_prefixes_never_allocate() {
+        let huge = u64::MAX.to_le_bytes().to_vec();
+        assert!(Vec::<u64>::decode(&huge).is_err());
+        assert!(Vec::<u8>::decode(&huge).is_err());
+        assert!(Vec::<Vec<u64>>::decode(&huge).is_err());
+        assert!(Vec::<Option<u8>>::decode(&huge).is_err());
+        assert!(Vec::<Point>::decode(&huge).is_err());
+        // Zero-width elements bypass the per-byte bound; the count cap
+        // still keeps the decode loop finite.
+        assert!(Vec::<()>::decode(&huge).is_err());
+        assert!(Vec::<Vec<()>>::decode(&huge).is_err());
+        // One-byte elements: claiming one more element than the
+        // payload holds is the tightest rejected prefix.
+        let bytes = [5u64.to_le_bytes().to_vec(), vec![1u8; 4]].concat();
+        assert!(Vec::<u8>::decode(&bytes).is_err());
+        let ok = [4u64.to_le_bytes().to_vec(), vec![1u8; 4]].concat();
+        assert_eq!(Vec::<u8>::decode(&ok).unwrap(), vec![1u8; 4]);
+        // A legal count of zero-width elements still round-trips.
+        round_trip(vec![(), (), ()]);
+    }
+
+    #[test]
+    fn oversized_payloads_are_rejected_by_the_cap() {
+        let oversized = vec![0u8; MAX_WIRE_LEN + 1];
+        match Vec::<u8>::decode(&oversized) {
+            Err(RuntimeError::Decode { what, .. }) => assert_eq!(what, "payload"),
+            other => panic!("expected Decode error, got {other:?}"),
+        }
+        // At the cap itself the decode is still legal.
+        let mut at_cap = ((MAX_WIRE_LEN - 8) as u64).to_le_bytes().to_vec();
+        at_cap.resize(MAX_WIRE_LEN, 7);
+        assert_eq!(Vec::<u8>::decode(&at_cap).unwrap().len(), MAX_WIRE_LEN - 8);
+    }
+
     #[test]
     fn encoding_is_deterministic() {
         let v = vec![Point::single(5, 0.25), Point::single(7, 1.0 / 3.0)];
         assert_eq!(v.to_bytes(), v.to_bytes());
+    }
+
+    /// Asserts the fuzz property for one payload type: decoding
+    /// arbitrary bytes either fails with a typed error or produces a
+    /// value whose canonical re-encoding is exactly the input.
+    fn decode_is_total_and_canonical<T: Wire>(bytes: &[u8]) {
+        if let Ok(value) = T::decode(bytes) {
+            assert_eq!(value.to_bytes(), bytes, "non-canonical decode");
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(512))]
+
+        /// Fuzz-style decoder property: feeding *arbitrary* bytes to
+        /// every payload type in use must either fail with a typed
+        /// [`RuntimeError::Decode`] or round-trip canonically — never
+        /// panic, hang or over-allocate. (Errors surface as
+        /// `Result`s, so "no panic" is checked simply by running to
+        /// completion.)
+        #[test]
+        fn decode_survives_arbitrary_bytes(
+            bytes in proptest::collection::vec(0u8..=255u8, 0usize..64)
+        ) {
+            decode_is_total_and_canonical::<u8>(&bytes);
+            decode_is_total_and_canonical::<u32>(&bytes);
+            decode_is_total_and_canonical::<u64>(&bytes);
+            decode_is_total_and_canonical::<f64>(&bytes);
+            decode_is_total_and_canonical::<bool>(&bytes);
+            decode_is_total_and_canonical::<Point>(&bytes);
+            decode_is_total_and_canonical::<Vec<u8>>(&bytes);
+            decode_is_total_and_canonical::<Vec<u64>>(&bytes);
+            decode_is_total_and_canonical::<Vec<Vec<u32>>>(&bytes);
+            decode_is_total_and_canonical::<Vec<Point>>(&bytes);
+            decode_is_total_and_canonical::<Option<Vec<u64>>>(&bytes);
+            decode_is_total_and_canonical::<Vec<Option<Vec<u8>>>>(&bytes);
+        }
     }
 
     #[test]

@@ -19,7 +19,12 @@
 //! * survivor traces from a run where a rank **dies** under a
 //!   `FaultPlan` still merge into a gap-free, causally consistent
 //!   timeline: all participants of every surviving collective carry
-//!   the same stamp, and no event of a live rank is lost.
+//!   the same stamp, and no event of a live rank is lost;
+//! * per-process trace files from a **TCP** run — each rank a
+//!   separate data plane joined only by sockets, each with its own
+//!   private sink, the real multi-process layout — stitch into one
+//!   gap-free causally ordered timeline whose structure matches the
+//!   threaded backend's.
 
 use std::sync::Arc;
 
@@ -187,6 +192,133 @@ fn streaming_file_merge_matches_in_memory_merge() {
     assert_eq!(se, me);
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Runs [`workload`] on `world` TCP ranks — one thread per rank, but
+/// each holding its own *full data plane* joined only over loopback
+/// sockets, each writing to its own private sink. This is the
+/// multi-process trace layout: no rank ever sees another's events.
+fn tcp_traced_run(world: usize) -> Vec<Vec<TraceEvent>> {
+    use fupermod_runtime::net::{connect, connect_with_listener, TcpConfig};
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("listener addr").to_string();
+    let sinks: Vec<Arc<MemorySink>> = (0..world).map(|_| Arc::new(MemorySink::new())).collect();
+    let mut listener = Some(listener);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..world)
+            .map(|rank| {
+                let cfg = TcpConfig::new(rank, world, addr.clone())
+                    .with_trace(sinks[rank].clone())
+                    .with_boot_timeout(std::time::Duration::from_secs(20));
+                let listener = (rank == 0).then(|| listener.take().expect("rank 0 listener"));
+                s.spawn(move || {
+                    let comm = match listener {
+                        Some(l) => connect_with_listener(cfg, l),
+                        None => connect(cfg),
+                    }
+                    .unwrap_or_else(|e| panic!("rank {rank} failed to connect: {e}"));
+                    // `workload` consumes the handle; drop tears the
+                    // rank down gracefully (BYE to peers).
+                    workload(comm)
+                })
+            })
+            .collect();
+        for (rank, h) in handles.into_iter().enumerate() {
+            h.join()
+                .expect("rank thread panicked")
+                .unwrap_or_else(|e| panic!("tcp rank {rank} failed: {e}"));
+        }
+    });
+    sinks.iter().map(|s| s.events()).collect()
+}
+
+#[test]
+fn tcp_per_process_traces_stitch_into_one_causal_timeline() {
+    let world = 4;
+    let per_rank = tcp_traced_run(world);
+    for (r, events) in per_rank.iter().enumerate() {
+        assert!(!events.is_empty(), "rank {r} produced no events");
+        assert!(
+            events.iter().all(|e| fupermod_trace::event_rank(e) == r),
+            "rank {r}'s private sink holds another rank's events"
+        );
+    }
+
+    // Round-trip through per-rank JSONL files and the streaming merge
+    // — exactly the `fupermod_tracetool merge` path over the files a
+    // real multi-process run leaves behind.
+    let dir = std::env::temp_dir().join(format!("fupermod-tcp-stitch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut paths = Vec::new();
+    for (r, rank_events) in per_rank.iter().enumerate() {
+        let path = dir.join(format!("rank{r}.trace.jsonl"));
+        let mut text = String::from("{\"trace\":\"fupermod\",\"schema\":3}\n");
+        for e in rank_events {
+            text.push_str(&e.to_jsonl());
+            text.push('\n');
+        }
+        std::fs::write(&path, text).unwrap();
+        paths.push(path);
+    }
+    let merged: Vec<StampedEvent> = Merge::open(&paths)
+        .unwrap()
+        .collect::<Result<_, _>>()
+        .unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(
+        merged.len(),
+        per_rank.iter().map(Vec::len).sum::<usize>(),
+        "merge lost or duplicated events"
+    );
+
+    // Causal order: keys never go backwards.
+    let keys: Vec<(u64, u64, usize)> = merged
+        .iter()
+        .map(|s| (s.lamport, s.gen, s.rank))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "stitched timeline is out of causal order");
+
+    // Gap-free: fault-free run, so every collective generation must
+    // carry *all* ranks, all with the same Lamport stamp.
+    use std::collections::BTreeMap;
+    let mut by_gen: BTreeMap<(u64, String), Vec<(usize, u64)>> = BTreeMap::new();
+    for s in &merged {
+        if let TraceEvent::Comm { op, .. } = &s.event {
+            if !matches!(op.as_str(), "send" | "recv") {
+                by_gen
+                    .entry((s.gen, op.clone()))
+                    .or_default()
+                    .push((s.rank, s.lamport));
+            }
+        }
+    }
+    assert!(!by_gen.is_empty(), "no collectives traced");
+    for ((gen, op), members) in &by_gen {
+        let lamports: Vec<u64> = members.iter().map(|&(_, l)| l).collect();
+        assert!(
+            lamports.windows(2).all(|w| w[0] == w[1]),
+            "collective gen {gen} ({op}) has inconsistent stamps: {members:?}"
+        );
+        let mut ranks: Vec<usize> = members.iter().map(|&(r, _)| r).collect();
+        ranks.sort_unstable();
+        assert_eq!(
+            ranks,
+            (0..world).collect::<Vec<_>>(),
+            "collective gen {gen} ({op}) is missing a rank"
+        );
+    }
+
+    // Same workload on the threaded backend: identical causal
+    // structure, socket hops and all.
+    let threaded = merge_events(split_by_rank(&traced_run(RuntimeConfig::thread(), world)));
+    assert_eq!(
+        structure(&merged),
+        structure(&threaded),
+        "tcp stitch diverges from the threaded backend's causal structure"
+    );
 }
 
 #[test]

@@ -38,6 +38,15 @@
 #     the `# metric` lines the bench prints (dispatch events/sec at
 #     p = 100k, peak RSS).
 #
+#   MODE=pr8 — multi-process TCP transport evidence (default
+#     OUT=BENCH_PR8.json; see docs/RUNTIME.md §10). Records the
+#     `net_collectives/p4_{tcp,threaded}` and `net_p2p/rtt_{tcp,threaded}`
+#     benches — the same collective round and small-message ping-pong
+#     on the socket transport vs the shared-memory threaded backend,
+#     all on loopback — plus the bulk-throughput `# metric` lines. The
+#     derived ratios are TCP ÷ threaded: the socket transport's cost
+#     factor for the identical data plane.
+#
 # Runs the relevant criterion benches RUNS times (default 3) and takes
 # the per-benchmark median time. Every benchmark also gets a
 # `results_stats` entry with the across-run mean, its 95% confidence
@@ -55,8 +64,9 @@ pr2) OUT=${OUT:-BENCH_PR2.json} ;;
 pr4) OUT=${OUT:-BENCH_PR4.json} ;;
 pr6) OUT=${OUT:-BENCH_PR6.json} ;;
 pr7) OUT=${OUT:-BENCH_PR7.json} ;;
+pr8) OUT=${OUT:-BENCH_PR8.json} ;;
 *)
-    echo "unknown MODE=$MODE (expected pr2, pr4, pr6 or pr7)" >&2
+    echo "unknown MODE=$MODE (expected pr2, pr4, pr6, pr7 or pr8)" >&2
     exit 2
     ;;
 esac
@@ -79,6 +89,9 @@ for i in $(seq "$RUNS"); do
     elif [ "$MODE" = pr7 ]; then
         cargo bench -q -p fupermod-bench \
             --bench sim_scale >>"$raw"
+    elif [ "$MODE" = pr8 ]; then
+        cargo bench -q -p fupermod-bench \
+            --bench net_transport >>"$raw"
     else
         cargo bench -q -p fupermod-bench \
             --bench comm_collectives >>"$raw"
@@ -181,6 +194,19 @@ elif mode == "pr7":
             "acceptance violation: p100k_ring_balance took "
             f"{derived['p100k_ring_balance_wall_s']:.1f}s (must be < 60s)"
         )
+elif mode == "pr8":
+    derived = {
+        # TCP time / threaded time: the socket transport's cost factor
+        # (> 1 means the wire path is slower, as expected on loopback).
+        "net_collective_tcp_over_threaded": ratio(
+            "net_collectives/p4_tcp", "net_collectives/p4_threaded"
+        ),
+        "net_p2p_rtt_tcp_over_threaded": ratio(
+            "net_p2p/rtt_tcp", "net_p2p/rtt_threaded"
+        ),
+        "net_tcp_bulk_mib_per_sec": metric("net_tcp_bulk_mib_per_sec"),
+        "net_threaded_bulk_mib_per_sec": metric("net_threaded_bulk_mib_per_sec"),
+    }
 else:
     derived = {
         f"vtime_p{p}_{alg}_speedup": ratio(
@@ -230,8 +256,8 @@ with open(out_path, "w", encoding="utf-8") as f:
 
 print(f"wrote {out_path} ({len(results)} benchmarks, median of {runs} runs)")
 for k, v in doc["derived"].items():
-    # pr7 derives absolute quantities (events/sec, MiB, seconds, a
-    # scale factor), not speedup ratios.
-    suffix = "" if mode == "pr7" else "x"
+    # pr7/pr8 derive (some) absolute quantities (events/sec, MiB/s,
+    # seconds), not only speedup ratios.
+    suffix = "" if mode in ("pr7", "pr8") else "x"
     print(f"  {k}: {v:.2f}{suffix}")
 PY

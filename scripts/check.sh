@@ -69,6 +69,40 @@ run ./target/release/fupermod_simulate \
     --app matmul --pipeline overlapped --runtime sim --size 8 \
     | grep '^product checksum:' > "$TRACE_TMP/matmul_overlapped.txt"
 run diff "$TRACE_TMP/matmul_blocking.txt" "$TRACE_TMP/matmul_overlapped.txt"
+# Multi-process transport gate: a 4-process localhost TCP run of the
+# balance app must print output byte-identical to the single-process
+# threaded run (bit-identical final partitions), and the per-process
+# trace files must stitch into one causally ordered timeline that
+# passes schema validation (docs/RUNTIME.md §10).
+TCP_DIR="$TRACE_TMP/tcp"
+mkdir -p "$TCP_DIR"
+echo "==> tcp gate: single-process reference run"
+./target/release/fupermod_simulate --app balance --platform two-speed \
+    --ranks 4 --seed 7 --size 20000 > "$TCP_DIR/reference.txt"
+TCP_PORT=$((20000 + $$ % 20000))
+declare -a TCP_PIDS=()
+for r in 1 2 3; do
+    timeout 120 ./target/release/fupermod_simulate --app balance \
+        --platform two-speed --ranks 4 --seed 7 --size 20000 \
+        --transport tcp --rank-id "$r" --world 4 \
+        --rendezvous "127.0.0.1:$TCP_PORT" --trace-dir "$TCP_DIR" &
+    TCP_PIDS[$r]=$!
+done
+echo "==> tcp gate: 4-process localhost run (rank 0 foreground, port $TCP_PORT)"
+timeout 120 ./target/release/fupermod_simulate --app balance \
+    --platform two-speed --ranks 4 --seed 7 --size 20000 \
+    --transport tcp --rank-id 0 --world 4 \
+    --rendezvous "127.0.0.1:$TCP_PORT" --trace-dir "$TCP_DIR" \
+    > "$TCP_DIR/rank0.txt"
+for r in 1 2 3; do wait "${TCP_PIDS[$r]}"; done
+run diff "$TCP_DIR/reference.txt" "$TCP_DIR/rank0.txt"
+run ./target/release/fupermod_tracetool merge \
+    "$TCP_DIR"/fupermod_simulate.rank*.trace.jsonl \
+    --out "$TCP_DIR/tcp_merged.jsonl"
+run ./target/release/fupermod_tracetool report "$TCP_DIR/tcp_merged.jsonl" \
+    --json --out "$TCP_DIR/tcp_summary.json"
+run ./target/release/fupermod_tracetool validate \
+    --schema scripts/tracetool_schema.json "$TCP_DIR/tcp_summary.json"
 # The runtime crate must also be clippy-clean on its own — including
 # the discrete-event simulator (`src/sim/`), whose hot dispatch loop
 # is exactly where sloppy clones and needless collects would hide.

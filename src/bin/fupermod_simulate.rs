@@ -10,6 +10,8 @@
 //!                          [--sim-engine thread|event]
 //!                          [--collectives hub|ring|tree|auto]
 //!                          [--pipeline blocking|overlapped] [--overlap yes]
+//!                          [--transport local|tcp] [--rank-id K] [--world N]
+//!                          [--rendezvous HOST:PORT]
 //!                          [--trace PATH | --trace-dir DIR]
 //!                          [--trace-format jsonl|csv]
 //!   --app           which application to simulate; `balance` runs the
@@ -47,6 +49,15 @@
 //!                   root's own measurement and push shares with eager
 //!                   isends — nonblocking requests instead of blocking
 //!                   collectives (see docs/RUNTIME.md §8)
+//!   --transport     (balance only) local (default: all ranks are threads
+//!                   of this process) or tcp (this process drives ONE rank
+//!                   of a multi-process job over sockets; launch one
+//!                   process per rank — see docs/RUNTIME.md §10)
+//!   --rank-id,      (tcp) this process's rank, the job's total process
+//!   --world         count; every process must agree on --world, the
+//!                   platform flags and --seed
+//!   --rendezvous    (tcp) rank 0's HOST:PORT; rank 0 listens there and
+//!                   the other ranks dial it with retry/backoff
 //!   --trace         write a structured trace (see docs/OBSERVABILITY.md)
 //!   --trace-dir     like --trace, but write DIR/fupermod_simulate.trace.jsonl
 //!                   (FUPERMOD_TRACE_DIR in the environment acts the same)
@@ -83,7 +94,14 @@ fn main() {
         None => cli::pick_platform(&platform_name, seed),
     };
     let algorithm = get("algorithm", "geometric");
-    let sink = cli::open_trace_sink(&args);
+    let tcp = cli::tcp_transport(&args);
+    if tcp.is_some() && app != "balance" {
+        eprintln!("--transport tcp runs --app balance only");
+        std::process::exit(2);
+    }
+    // Each process of a TCP job writes its own trace file
+    // (`fupermod_tracetool merge` stitches them back together).
+    let sink = cli::open_trace_sink_for_rank(&args, tcp.as_ref().map(|t| t.rank));
     let events: Arc<dyn TraceSink> = sink
         .clone()
         .unwrap_or_else(|| Arc::new(fupermod::core::trace::NullSink));
@@ -224,47 +242,119 @@ fn main() {
 
             let total: u64 = get("size", "100000").parse().expect("size must be an integer");
             let profile = WorkloadProfile::matrix_update(16);
-            let config = cli::runtime_config(&args, &platform, sink.as_ref());
             let size = platform.size();
             let mode = if get("overlap", "no") == "yes" {
                 OverlapMode::Overlapped
             } else {
                 OverlapMode::Blocking
             };
-            let outcome = run_to_balance_distributed_with(
-                config,
-                size,
-                || {
-                    let models: Vec<Box<dyn Model>> = (0..size)
-                        .map(|_| Box::new(PiecewiseModel::new()) as Box<dyn Model>)
-                        .collect();
-                    DynamicContext::new(cli::pick_partitioner(&algorithm), models, total, 0.05)
-                },
-                |rank, d| {
-                    fupermod::apps::matmul::measure_device_point(
-                        &platform,
-                        rank,
-                        &profile,
-                        d,
-                        &fupermod::core::Precision::quick(),
-                    )
-                },
-                25,
-                mode,
-            )
-            .expect("distributed balance run failed");
-            println!("platform: {}", platform.name());
-            println!(
-                "converged: {} in {} steps",
-                outcome.converged(),
-                outcome.steps.len()
-            );
-            if let Some(last) = outcome.steps.last() {
-                println!("final imbalance: {:.4}", last.imbalance);
-            }
-            println!("final distribution: {:?}", outcome.final_sizes);
-            if !outcome.dead_ranks.is_empty() {
-                println!("dead ranks: {:?}", outcome.dead_ranks);
+            let make_ctx = || {
+                let models: Vec<Box<dyn Model>> = (0..size)
+                    .map(|_| Box::new(PiecewiseModel::new()) as Box<dyn Model>)
+                    .collect();
+                DynamicContext::new(cli::pick_partitioner(&algorithm), models, total, 0.05)
+            };
+            let measure = |rank: usize, d: u64| {
+                fupermod::apps::matmul::measure_device_point(
+                    &platform,
+                    rank,
+                    &profile,
+                    d,
+                    &fupermod::core::Precision::quick(),
+                )
+            };
+            if let Some(tcp) = &tcp {
+                // Multi-process path: this process drives exactly one
+                // rank; the platform/context are rebuilt identically
+                // in every process from the shared seed and flags.
+                use fupermod::runtime::net::{connect, TcpConfig};
+                use fupermod::runtime::{run_balance_rank, Communicator, SimEngine};
+
+                if get("runtime", "thread") != "thread"
+                    || cli::sim_engine(&args) != SimEngine::Thread
+                {
+                    eprintln!(
+                        "--transport tcp is wall-clock only: drop --runtime sim \
+                         and --sim-engine event"
+                    );
+                    std::process::exit(2);
+                }
+                if tcp.world != size {
+                    eprintln!(
+                        "--world {} does not match the platform's {} devices \
+                         (scale the platform with --ranks)",
+                        tcp.world, size
+                    );
+                    std::process::exit(2);
+                }
+                let plan = cli::fault_plan(&args);
+                let factor = plan.straggler_factor(tcp.rank);
+                let mut cfg = TcpConfig::new(tcp.rank, tcp.world, tcp.rendezvous.clone())
+                    .with_plan(plan)
+                    .with_algorithms(cli::collectives(&args));
+                if let Some(s) = &sink {
+                    cfg = cfg.with_trace(s.clone());
+                }
+                let mut comm = connect(cfg).unwrap_or_else(|e| {
+                    eprintln!("rank {}: tcp connect failed: {e}", tcp.rank);
+                    std::process::exit(1);
+                });
+                let ctx = (tcp.rank == 0).then(make_ctx);
+                let result =
+                    run_balance_rank(comm.inner_mut(), ctx, &measure, 25, mode, factor, &events);
+                match result {
+                    Ok(root_outcome) => {
+                        // Deaths *during* the run: read before the
+                        // closing barrier, while surviving peers are
+                        // still blocked in it — after it they start
+                        // tearing down, and their goodbyes would show
+                        // up as deaths here.
+                        let dead = comm.handle().dead_ranks();
+                        // Settle membership before the goodbye, so no
+                        // peer still needs this rank mid-collective.
+                        let _ = comm.barrier();
+                        if let Some((steps, final_sizes)) = root_outcome {
+                            println!("platform: {}", platform.name());
+                            println!(
+                                "converged: {} in {} steps",
+                                steps.last().is_some_and(|s| s.converged),
+                                steps.len()
+                            );
+                            if let Some(last) = steps.last() {
+                                println!("final imbalance: {:.4}", last.imbalance);
+                            }
+                            println!("final distribution: {final_sizes:?}");
+                            if !dead.is_empty() {
+                                println!("dead ranks: {dead:?}");
+                            }
+                        }
+                        comm.shutdown();
+                    }
+                    Err(e) => {
+                        eprintln!("rank {} failed: {e}", tcp.rank);
+                        comm.shutdown();
+                        cli::finish_trace(sink.as_ref());
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                let config = cli::runtime_config(&args, &platform, sink.as_ref());
+                let outcome =
+                    run_to_balance_distributed_with(config, size, make_ctx, measure, 25, mode)
+                        .expect("distributed balance run failed");
+                println!("platform: {}", platform.name());
+                println!(
+                    "converged: {} in {} steps",
+                    outcome.converged(),
+                    outcome.steps.len()
+                );
+                if let Some(last) = outcome.steps.last() {
+                    println!("final imbalance: {:.4}", last.imbalance);
+                }
+                println!("final distribution: {:?}", outcome.final_sizes);
+                if !outcome.dead_ranks.is_empty() {
+                    println!("dead ranks: {:?}", outcome.dead_ranks);
+                }
             }
         }
         other => {

@@ -191,6 +191,60 @@ pub fn pick_partitioner(name: &str) -> Box<dyn Partitioner> {
     }
 }
 
+/// Coordinates of one process of a multi-process TCP job, from the
+/// `--transport tcp --rank-id K --world N --rendezvous HOST:PORT`
+/// flags (see `docs/RUNTIME.md` §10).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpTransport {
+    /// This process's rank (`--rank-id`, `0..world`).
+    pub rank: usize,
+    /// Total process count of the job (`--world`).
+    pub world: usize,
+    /// Rank 0's rendezvous address, `host:port` (`--rendezvous`).
+    /// Rank 0 listens on it; every other rank dials it.
+    pub rendezvous: String,
+}
+
+/// Parses the `--transport` flag family. Returns `None` for the
+/// default in-process transport (`--transport local` or absent);
+/// `Some` for `--transport tcp`, which requires `--rank-id`,
+/// `--world` and `--rendezvous`. Exits with status 2 on an unknown
+/// transport, a missing companion flag, or out-of-range coordinates.
+pub fn tcp_transport(args: &HashMap<String, String>) -> Option<TcpTransport> {
+    match args.get("transport").map(String::as_str) {
+        None | Some("local") => return None,
+        Some("tcp") => {}
+        Some(other) => {
+            eprintln!("--transport must be local or tcp (got '{other}')");
+            std::process::exit(2);
+        }
+    }
+    let need = |flag: &str| -> String {
+        args.get(flag).cloned().unwrap_or_else(|| {
+            eprintln!("--transport tcp requires --{flag}");
+            std::process::exit(2);
+        })
+    };
+    let parse_usize = |flag: &str, raw: &str| -> usize {
+        raw.parse().unwrap_or_else(|_| {
+            eprintln!("invalid --{flag} value {raw:?} (want a non-negative integer)");
+            std::process::exit(2);
+        })
+    };
+    let rank = parse_usize("rank-id", &need("rank-id"));
+    let world = parse_usize("world", &need("world"));
+    let rendezvous = need("rendezvous");
+    if world == 0 || rank >= world {
+        eprintln!("--rank-id {rank} outside --world {world}");
+        std::process::exit(2);
+    }
+    Some(TcpTransport {
+        rank,
+        world,
+        rendezvous,
+    })
+}
+
 /// Parses the `--parallelism N` flag: model-build worker-thread count.
 /// Defaults to `1` (serial — the reproducible default); `0` means one
 /// worker per available core. Parallel and serial builds produce
@@ -304,8 +358,28 @@ pub fn runtime_config(
 /// `.trace.csv` under `--trace-format csv`), where `name` is the
 /// binary's own name. Returns `None` when tracing was not requested.
 pub fn trace_path(args: &HashMap<String, String>) -> Option<String> {
+    trace_path_for_rank(args, None)
+}
+
+/// [`trace_path`] for one process of a multi-process (`--transport
+/// tcp`) job: the rank is woven into the file name so concurrent
+/// processes never clobber each other's trace. The directory forms
+/// produce `DIR/<name>.rank<k>.trace.jsonl`; an explicit `--trace
+/// PATH` gains a `.rank<k>` infix before its extension
+/// (`out.jsonl` → `out.rank2.jsonl`). `fupermod_tracetool merge`
+/// stitches the per-rank files back into one causal timeline.
+pub fn trace_path_for_rank(
+    args: &HashMap<String, String>,
+    rank: Option<usize>,
+) -> Option<String> {
     if let Some(path) = args.get("trace") {
-        return Some(path.clone());
+        let Some(rank) = rank else {
+            return Some(path.clone());
+        };
+        return Some(match path.rsplit_once('.') {
+            Some((stem, ext)) => format!("{stem}.rank{rank}.{ext}"),
+            None => format!("{path}.rank{rank}"),
+        });
     }
     let dir = args
         .get("trace-dir")
@@ -319,7 +393,8 @@ pub fn trace_path(args: &HashMap<String, String>) -> Option<String> {
         Some("csv") => "csv",
         _ => "jsonl",
     };
-    Some(format!("{dir}/{name}.trace.{ext}"))
+    let infix = rank.map(|r| format!(".rank{r}")).unwrap_or_default();
+    Some(format!("{dir}/{name}{infix}.trace.{ext}"))
 }
 
 /// Opens the structured-trace sink requested by `--trace PATH`,
@@ -333,7 +408,17 @@ pub fn trace_path(args: &HashMap<String, String>) -> Option<String> {
 /// Exits with status 2 on an unknown format and status 1 when the file
 /// cannot be created.
 pub fn open_trace_sink(args: &HashMap<String, String>) -> Option<Arc<dyn TraceSink>> {
-    let path = &trace_path(args)?;
+    open_trace_sink_for_rank(args, None)
+}
+
+/// [`open_trace_sink`] for one process of a multi-process
+/// (`--transport tcp`) job — the file name carries the rank (see
+/// [`trace_path_for_rank`]).
+pub fn open_trace_sink_for_rank(
+    args: &HashMap<String, String>,
+    rank: Option<usize>,
+) -> Option<Arc<dyn TraceSink>> {
+    let path = &trace_path_for_rank(args, rank)?;
     let format = args
         .get("trace-format")
         .map(String::as_str)
