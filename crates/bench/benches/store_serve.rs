@@ -1,0 +1,118 @@
+//! Criterion bench: the partitioning-as-a-service hot paths
+//! (`fupermod-store`, PR 9 / `BENCH_PR9.json`).
+//!
+//! * `store_serve/cold_build_partition` — what every request costs
+//!   *without* the service: rebuild the member Akima models from their
+//!   saved points and re-solve the partition from scratch.
+//! * `store_serve/warm_lookup` — the same partition query answered by a
+//!   warm [`ModelStore`]: sharded entry lookup, epoch stamp, plan-cache
+//!   hit. The acceptance bar is warm >= 10x cold.
+//! * `store_ingest/incremental` vs `store_ingest/rebuild` — streaming
+//!   640 observations over 128 distinct sizes through the
+//!   incrementally-patching ingest path vs the from-scratch-rebuild
+//!   reference path (the two are bit-identical by construction; see the
+//!   store's `prefix_identity` suite). The acceptance bar is
+//!   incremental >= 2x rebuild at >= 100 absorbed points.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fupermod_core::model::{AkimaModel, Model};
+use fupermod_core::partition::{NumericalPartitioner, Partitioner};
+use fupermod_core::Point;
+use fupermod_store::{EntryConfig, ModelEntry, ModelStore, StoreConfig, StoreKey};
+
+/// Deterministic per-member model points: 12 sizes, smoothly varying
+/// times so the numerical partitioner has real curvature to work with.
+fn member_points(member: usize) -> Vec<Point> {
+    (0..12)
+        .map(|i| {
+            let d = (64u64 << i.min(10)) + i;
+            let t = d as f64 * 1e-6 * (1.0 + member as f64 * 0.37) * (1.0 + 0.02 * i as f64);
+            Point { d, t, reps: 5, ci: t * 0.01 }
+        })
+        .collect()
+}
+
+const MEMBERS: usize = 8;
+const TOTAL: u64 = 100_000;
+
+fn bench_serve(c: &mut Criterion) {
+    let partitioner = NumericalPartitioner::default();
+
+    // Cold path: rebuild every member model from its points, then solve.
+    let all_points: Vec<Vec<Point>> = (0..MEMBERS).map(member_points).collect();
+    c.bench_function("store_serve/cold_build_partition", |b| {
+        b.iter(|| {
+            let models: Vec<AkimaModel> = all_points
+                .iter()
+                .map(|pts| {
+                    let mut m = AkimaModel::new();
+                    for &p in pts {
+                        m.update(p).unwrap();
+                    }
+                    m
+                })
+                .collect();
+            let refs: Vec<&dyn Model> = models.iter().map(|m| m as &dyn Model).collect();
+            partitioner.partition(black_box(TOTAL), &refs).unwrap()
+        })
+    });
+
+    // Warm path: the same query against a populated store — after the
+    // first solve, every iteration is a plan-cache hit.
+    let store = ModelStore::new(StoreConfig::default());
+    let keys: Vec<StoreKey> = (0..MEMBERS)
+        .map(|m| StoreKey::new(format!("dev{m}"), "gemm", "default"))
+        .collect();
+    for (key, pts) in keys.iter().zip(&all_points) {
+        for &p in pts {
+            store.ingest_point(key, p).unwrap();
+        }
+    }
+    c.bench_function("store_serve/warm_lookup", |b| {
+        b.iter(|| {
+            store
+                .partition(black_box(&keys), TOTAL, &partitioner, "numerical")
+                .unwrap()
+        })
+    });
+}
+
+/// 128 distinct sizes, then 4 more observations of each (640 total):
+/// past the first sighting of a size the incremental path patches one
+/// spline window instead of rebuilding the 128-node model.
+fn ingest_stream() -> Vec<(u64, f64)> {
+    let sizes: Vec<u64> = (0..128).map(|i| 100 + 37 * i as u64).collect();
+    let mut stream: Vec<(u64, f64)> = sizes.iter().map(|&d| (d, d as f64 * 1e-5)).collect();
+    for rep in 1..=4 {
+        for &d in &sizes {
+            stream.push((d, d as f64 * 1e-5 * (1.0 + 0.003 * rep as f64)));
+        }
+    }
+    stream
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let stream = ingest_stream();
+    let config = EntryConfig::default();
+    c.bench_function("store_ingest/incremental", |b| {
+        b.iter(|| {
+            let mut entry = ModelEntry::new(config);
+            for &(d, t) in black_box(&stream) {
+                entry.ingest_sample(d, t).unwrap();
+            }
+            entry.epoch()
+        })
+    });
+    c.bench_function("store_ingest/rebuild", |b| {
+        b.iter(|| {
+            let mut entry = ModelEntry::new(config);
+            for &(d, t) in black_box(&stream) {
+                entry.ingest_sample_rebuilding(d, t).unwrap();
+            }
+            entry.epoch()
+        })
+    });
+}
+
+criterion_group!(benches, bench_serve, bench_ingest);
+criterion_main!(benches);

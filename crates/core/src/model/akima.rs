@@ -2,7 +2,7 @@ use serde::{Deserialize, Serialize};
 
 use fupermod_num::interp::{AkimaSpline, Interpolation};
 
-use super::{insert_point, Model};
+use super::{insert_point, insert_point_indexed, Model, Refresh};
 use crate::{CoreError, Point};
 
 /// The Akima-spline functional performance model of Rychkov et al.
@@ -48,6 +48,85 @@ impl AkimaModel {
         }
         self.spline = Some(AkimaSpline::new(&xs, &ys).map_err(CoreError::from)?);
         Ok(())
+    }
+
+    /// After the point at sorted index `i` changed (same size, new
+    /// time), patch the matching spline node instead of rebuilding.
+    /// Node `i + 1` because the spline is anchored at the origin.
+    /// Bit-identical to [`Self::refresh`] by the `AkimaSpline::set_y`
+    /// contract; falls back to a rebuild when no spline exists yet.
+    fn patch_node(&mut self, i: usize) -> Result<Refresh, CoreError> {
+        match self.spline.as_mut() {
+            Some(spline) if spline.xs().len() == self.points.len() + 1 => {
+                spline
+                    .set_y(i + 1, self.points[i].t)
+                    .map_err(CoreError::from)?;
+                Ok(Refresh::Patched)
+            }
+            _ => {
+                self.refresh()?;
+                Ok(Refresh::Rebuilt)
+            }
+        }
+    }
+
+    /// Adds (or merges) an experimental point exactly like
+    /// [`Model::update`], but refreshes the approximation
+    /// *incrementally* when it can: a measurement merging into an
+    /// already-known size moves one spline node, so only the affected
+    /// Akima window is recomputed (O(1)); a new size still rebuilds
+    /// (O(n)). The resulting model is **bit-identical** to the
+    /// `update` path either way — the returned [`Refresh`] only
+    /// reports which path ran (the model store's refresh counters and
+    /// the `store_serve` bench consume it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Model`] on an invalid point, like
+    /// [`Model::update`].
+    pub fn absorb(&mut self, point: Point) -> Result<Refresh, CoreError> {
+        match insert_point_indexed(&mut self.points, point)? {
+            None => Ok(Refresh::Patched), // zero-size: nothing moved
+            Some((i, true)) => self.patch_node(i),
+            Some((_, false)) => {
+                self.refresh()?;
+                Ok(Refresh::Rebuilt)
+            }
+        }
+    }
+
+    /// Replaces the experimental point for `point.d` wholesale (no
+    /// weighted merge), inserting it if the size is new, and refreshes
+    /// incrementally like [`Self::absorb`]. This is the entry point
+    /// for maintainers that own the per-size statistics themselves —
+    /// the model store recomputes each point from its
+    /// `IncrementalStats` sample and pushes the *result* here, so the
+    /// merge arithmetic must not run twice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Model`] on an invalid point.
+    pub fn set_point(&mut self, point: Point) -> Result<Refresh, CoreError> {
+        if !point.t.is_finite() || (point.d > 0 && point.t <= 0.0) || point.t < 0.0 {
+            return Err(CoreError::Model(format!(
+                "invalid experimental point: d={}, t={}",
+                point.d, point.t
+            )));
+        }
+        if point.d == 0 {
+            return Ok(Refresh::Patched);
+        }
+        match self.points.binary_search_by(|p| p.d.cmp(&point.d)) {
+            Ok(i) => {
+                self.points[i] = point;
+                self.patch_node(i)
+            }
+            Err(i) => {
+                self.points.insert(i, point);
+                self.refresh()?;
+                Ok(Refresh::Rebuilt)
+            }
+        }
     }
 
     /// A floor for predicted times: a tiny fraction of the fastest
@@ -171,6 +250,76 @@ mod tests {
             let x = i as f64;
             assert!(m.time(x).unwrap() > 0.0, "non-positive time at {x}");
         }
+    }
+
+    /// The two models must agree bit-for-bit, not merely compare
+    /// equal: probe times at many abscissas via `to_bits`.
+    fn assert_models_bitwise_eq(a: &AkimaModel, b: &AkimaModel, ctx: &str) {
+        assert_eq!(a, b, "{ctx}: structural mismatch");
+        for i in 0..200 {
+            let x = i as f64 * 7.3;
+            let (ta, tb) = (a.time(x), b.time(x));
+            match (ta, tb) {
+                (Some(ta), Some(tb)) => {
+                    assert_eq!(ta.to_bits(), tb.to_bits(), "{ctx}: time({x})");
+                }
+                (None, None) => {}
+                _ => panic!("{ctx}: readiness mismatch at {x}"),
+            }
+        }
+    }
+
+    #[test]
+    fn absorb_is_bitwise_identical_to_update_at_every_step() {
+        // A stream mixing new sizes (rebuild path) and repeats of known
+        // sizes (patch path), including first/last nodes where the
+        // virtual-slope window moves.
+        let stream = [
+            (100u64, 2.0),
+            (400, 9.0),
+            (100, 2.4), // patch interior-near-left
+            (900, 30.0),
+            (50, 1.1),
+            (900, 28.0), // patch last node
+            (200, 4.5),
+            (50, 0.9),  // patch first measured node
+            (400, 8.0), // patch interior
+        ];
+        let mut inc = AkimaModel::new();
+        let mut ref_model = AkimaModel::new();
+        let mut patched = 0;
+        for (step, &(d, t)) in stream.iter().enumerate() {
+            let kind = inc.absorb(Point::single(d, t)).unwrap();
+            ref_model.update(Point::single(d, t)).unwrap();
+            if kind == Refresh::Patched {
+                patched += 1;
+            }
+            assert_models_bitwise_eq(&inc, &ref_model, &format!("step {step}"));
+        }
+        assert!(patched >= 4, "patch path never exercised: {patched}");
+    }
+
+    #[test]
+    fn set_point_replaces_without_merging() {
+        let mut m = AkimaModel::new();
+        m.set_point(Point::single(10, 1.0)).unwrap();
+        m.set_point(Point::single(20, 3.0)).unwrap();
+        let kind = m.set_point(Point::single(10, 2.0)).unwrap();
+        assert_eq!(kind, Refresh::Patched);
+        // Replacement, not a weighted merge: t(10) is exactly 2.
+        let mut fresh = AkimaModel::new();
+        fresh.update(Point::single(10, 2.0)).unwrap();
+        fresh.update(Point::single(20, 3.0)).unwrap();
+        assert_models_bitwise_eq(&m, &fresh, "after replace");
+    }
+
+    #[test]
+    fn set_point_rejects_invalid_points() {
+        let mut m = AkimaModel::new();
+        assert!(m.set_point(Point::single(10, 0.0)).is_err());
+        assert!(m.set_point(Point::single(10, f64::NAN)).is_err());
+        assert!(m.set_point(Point::single(10, -1.0)).is_err());
+        assert!(m.points().is_empty());
     }
 
     #[test]

@@ -34,6 +34,21 @@ pub use piecewise::PiecewiseModel;
 
 use crate::{CoreError, Point};
 
+/// How an incremental model update was absorbed — reported by
+/// [`AkimaModel::absorb`] so callers (the model store's refresh
+/// counters, benchmarks) can tell the O(1) patch path from the O(n)
+/// rebuild path. Both paths produce bit-identical models; the variant
+/// only describes the work done.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Refresh {
+    /// An existing node's ordinate moved; only the affected spline
+    /// window was recomputed.
+    Patched,
+    /// The approximation was rebuilt from scratch (new node inserted,
+    /// or no approximation existed yet).
+    Rebuilt,
+}
+
 /// A computation performance model of one process.
 ///
 /// Implementations keep the experimental points sorted by problem size
@@ -73,6 +88,18 @@ pub trait Model {
 /// Validates a point and inserts it into a sorted point list, merging
 /// with an existing measurement of the same size (weighted by reps).
 pub(crate) fn insert_point(points: &mut Vec<Point>, point: Point) -> Result<(), CoreError> {
+    insert_point_indexed(points, point).map(|_| ())
+}
+
+/// [`insert_point`], reporting *where* the point landed: `Some((i,
+/// merged))` with the sorted index and whether it merged into an
+/// existing size, or `None` for an ignored zero-size point. The index
+/// is what lets [`AkimaModel::absorb`] patch the matching spline node
+/// instead of rebuilding.
+pub(crate) fn insert_point_indexed(
+    points: &mut Vec<Point>,
+    point: Point,
+) -> Result<Option<(usize, bool)>, CoreError> {
     if !point.t.is_finite() || (point.d > 0 && point.t <= 0.0) || point.t < 0.0 {
         return Err(CoreError::Model(format!(
             "invalid experimental point: d={}, t={}",
@@ -81,7 +108,7 @@ pub(crate) fn insert_point(points: &mut Vec<Point>, point: Point) -> Result<(), 
     }
     if point.d == 0 {
         // Zero-size points carry no information: t(0) = 0 by definition.
-        return Ok(());
+        return Ok(None);
     }
     match points.binary_search_by(|p| p.d.cmp(&point.d)) {
         Ok(i) => {
@@ -94,10 +121,13 @@ pub(crate) fn insert_point(points: &mut Vec<Point>, point: Point) -> Result<(), 
                 reps: old.reps.saturating_add(point.reps),
                 ci: old.ci.max(point.ci),
             };
+            Ok(Some((i, true)))
         }
-        Err(i) => points.insert(i, point),
+        Err(i) => {
+            points.insert(i, point);
+            Ok(Some((i, false)))
+        }
     }
-    Ok(())
 }
 
 #[cfg(test)]

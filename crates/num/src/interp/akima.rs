@@ -61,6 +61,23 @@ pub(crate) fn hermite_from_nodes(h: f64, y0: f64, y1: f64, d0: f64, d1: f64) -> 
     (c2, c3)
 }
 
+/// Akima node derivative from the four surrounding secant slopes
+/// `m[i-2], m[i-1], m[i], m[i+1]` — a weighted mean of the two central
+/// slopes, weighted by the slope variation on the far sides. Factored
+/// out so that [`AkimaSpline::new`] and the incremental
+/// [`AkimaSpline::set_y`] patch use the *same* arithmetic and stay
+/// bit-identical.
+#[inline]
+fn akima_derivative(m_im2: f64, m_im1: f64, m_i: f64, m_ip1: f64) -> f64 {
+    let w1 = (m_ip1 - m_i).abs();
+    let w2 = (m_im1 - m_im2).abs();
+    if w1 + w2 == 0.0 {
+        0.5 * (m_im1 + m_i)
+    } else {
+        (w1 * m_im1 + w2 * m_i) / (w1 + w2)
+    }
+}
+
 impl AkimaSpline {
     /// Builds the spline.
     ///
@@ -97,17 +114,7 @@ impl AkimaSpline {
         // slopes, weighted by the slope variation on the far sides.
         let mut ds = vec![0.0; n];
         for (i, d) in ds.iter_mut().enumerate() {
-            let m_im2 = ext[i];
-            let m_im1 = ext[i + 1];
-            let m_i = ext[i + 2];
-            let m_ip1 = ext[i + 3];
-            let w1 = (m_ip1 - m_i).abs();
-            let w2 = (m_im1 - m_im2).abs();
-            *d = if w1 + w2 == 0.0 {
-                0.5 * (m_im1 + m_i)
-            } else {
-                (w1 * m_im1 + w2 * m_i) / (w1 + w2)
-            };
+            *d = akima_derivative(ext[i], ext[i + 1], ext[i + 2], ext[i + 3]);
         }
 
         // Precompute per-segment Hermite coefficients once. Evaluation
@@ -153,6 +160,95 @@ impl AkimaSpline {
     #[inline]
     fn hermite(&self, seg: usize) -> (f64, f64, f64, f64) {
         (self.ys[seg], self.ds[seg], self.c2[seg], self.c3[seg])
+    }
+
+    /// Replaces node `i`'s ordinate and repairs the spline *locally*.
+    ///
+    /// A node ordinate only reaches the spline through the two secant
+    /// slopes it touches, so the damage is bounded: the node
+    /// derivatives `ds[i-2 ..= i+2]` and the segment coefficients of
+    /// segments `i-3 ..= i+2` (clipped to the spline; slightly wider
+    /// when `i` is near an end, where the virtual extrapolated slopes
+    /// also move). `set_y` recomputes exactly that window with the
+    /// same arithmetic [`Self::new`] uses, so the result is
+    /// **bit-identical** to a from-scratch rebuild over the updated
+    /// ordinates — the property the incremental model store's
+    /// refresh path is pinned to (see `fupermod-store`). Cost is O(1)
+    /// per call instead of the O(n) rebuild.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] when `y` is not finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn set_y(&mut self, i: usize, y: f64) -> Result<(), NumError> {
+        if !y.is_finite() {
+            return Err(NumError::InvalidInput(format!(
+                "node ordinate must be finite, got {y}"
+            )));
+        }
+        let n = self.xs.len();
+        assert!(i < n, "node index {i} out of range for {n} nodes");
+        self.ys[i] = y;
+        if n == 2 {
+            // Degenerate straight line: both derivatives are the
+            // single secant, one segment.
+            let m = (self.ys[1] - self.ys[0]) / (self.xs[1] - self.xs[0]);
+            self.ds[0] = m;
+            self.ds[1] = m;
+            let h = self.xs[1] - self.xs[0];
+            let (a, b) = hermite_from_nodes(h, self.ys[0], self.ys[1], m, m);
+            self.c2[0] = a;
+            self.c3[0] = b;
+            return Ok(());
+        }
+        // Extended secant array entry `e` (`ext[e + 2] = m[e]` in
+        // `new`'s indexing), recomputed on demand from the current
+        // ordinates with the exact construction-time formulas.
+        let m = |j: usize| (self.ys[j + 1] - self.ys[j]) / (self.xs[j + 1] - self.xs[j]);
+        let ext = |e: usize| -> f64 {
+            if (2..=n).contains(&e) {
+                m(e - 2)
+            } else if e == 1 {
+                2.0 * m(0) - m(1)
+            } else if e == 0 {
+                let e1 = 2.0 * m(0) - m(1);
+                2.0 * e1 - m(0)
+            } else if e == n + 1 {
+                2.0 * m(n - 2) - m(n - 3)
+            } else {
+                let enp1 = 2.0 * m(n - 2) - m(n - 3);
+                2.0 * enp1 - m(n - 2)
+            }
+        };
+        // Changed secants are m[i-1] and m[i] (ext entries i+1, i+2);
+        // each ext entry e feeds derivatives e-3 ..= e, and the
+        // virtual-end entries that may move are already inside this
+        // window when i is near an end — so ds[i-2 ..= i+2] is a
+        // (tight enough) superset of everything that can change.
+        let d_lo = i.saturating_sub(2);
+        let d_hi = (i + 2).min(n - 1);
+        for j in d_lo..=d_hi {
+            self.ds[j] = akima_derivative(ext(j), ext(j + 1), ext(j + 2), ext(j + 3));
+        }
+        // Segment seg reads ys/ds at seg and seg+1: patch i-3 ..= i+2.
+        let s_lo = i.saturating_sub(3);
+        let s_hi = (i + 2).min(n - 2);
+        for seg in s_lo..=s_hi {
+            let h = self.xs[seg + 1] - self.xs[seg];
+            let (a, b) = hermite_from_nodes(
+                h,
+                self.ys[seg],
+                self.ys[seg + 1],
+                self.ds[seg],
+                self.ds[seg + 1],
+            );
+            self.c2[seg] = a;
+            self.c3[seg] = b;
+        }
+        Ok(())
     }
 }
 
@@ -297,6 +393,58 @@ mod tests {
             let want_d = ds[seg] + t * (2.0 * c2 + t * 3.0 * c3);
             assert_eq!(f.derivative(x).to_bits(), want_d.to_bits(), "segment {seg}");
         }
+    }
+
+    /// Bitwise equality of every stored coefficient array — stricter
+    /// than `PartialEq` (which would conflate `0.0` and `-0.0`).
+    fn assert_bitwise_eq(a: &AkimaSpline, b: &AkimaSpline, ctx: &str) {
+        assert_eq!(a.xs().len(), b.xs().len(), "{ctx}: node count");
+        for (i, (x, y)) in a.xs().iter().zip(b.xs()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: xs[{i}]");
+        }
+        for (i, (x, y)) in a.ys().iter().zip(b.ys()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: ys[{i}]");
+        }
+        for (i, (x, y)) in a.derivatives().iter().zip(b.derivatives()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: ds[{i}]");
+        }
+        for (i, (x, y)) in a.c2.iter().zip(&b.c2).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: c2[{i}]");
+        }
+        for (i, (x, y)) in a.c3.iter().zip(&b.c3).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: c3[{i}]");
+        }
+    }
+
+    #[test]
+    fn set_y_matches_rebuild_bitwise_at_every_node() {
+        // Patch each node in turn (including both ends, where the
+        // virtual extrapolated slopes move) and compare against a
+        // from-scratch rebuild — every coefficient bit-identical.
+        for n in [2usize, 3, 4, 5, 8, 13] {
+            let xs: Vec<f64> = (0..n).map(|i| (i * i + i + 1) as f64 * 0.5).collect();
+            let mut ys: Vec<f64> = xs.iter().map(|x| (x * 0.7).sin() + 0.1 * x).collect();
+            let mut patched = AkimaSpline::new(&xs, &ys).unwrap();
+            for i in 0..n {
+                let y = ys[i] * 1.25 - 0.3;
+                patched.set_y(i, y).unwrap();
+                ys[i] = y;
+                let rebuilt = AkimaSpline::new(&xs, &ys).unwrap();
+                assert_bitwise_eq(&patched, &rebuilt, &format!("n={n} node {i}"));
+            }
+        }
+    }
+
+    #[test]
+    fn set_y_rejects_non_finite() {
+        let mut f = AkimaSpline::new(&[0.0, 1.0, 2.0], &[0.0, 1.0, 0.0]).unwrap();
+        assert!(f.set_y(1, f64::NAN).is_err());
+        assert!(f.set_y(1, f64::INFINITY).is_err());
+        // The failed calls must not have corrupted the spline... but a
+        // rejected ordinate is never written: ys is only assigned
+        // after validation.
+        let g = AkimaSpline::new(&[0.0, 1.0, 2.0], &[0.0, f.ys()[1], 0.0]).unwrap();
+        assert_bitwise_eq(&f, &g, "after rejected set_y");
     }
 
     #[test]

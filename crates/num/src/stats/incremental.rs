@@ -182,6 +182,47 @@ impl IncrementalStats {
         let rejected = (self.arrived.len() - kept.len()) as u64;
         (kept.into_iter().collect(), rejected)
     }
+
+    /// Per-sample keep/reject flags of the `k`-MAD filter, arrival
+    /// order. Degenerate cases (empty, zero MAD) keep everything,
+    /// matching [`Self::filtered`].
+    fn kept_flags(&self, k: f64) -> Vec<bool> {
+        let (Some(m), Some(mad)) = (self.median(), self.mad()) else {
+            return vec![true; self.arrived.len()];
+        };
+        if mad == 0.0 {
+            return vec![true; self.arrived.len()];
+        }
+        let radius = k * mad;
+        self.arrived.iter().map(|&x| (x - m).abs() <= radius).collect()
+    }
+
+    /// Adds one observation and reports whether it changed the
+    /// `k`-MAD outlier classification of any *previously arrived*
+    /// sample (the median/MAD shift can pull old samples in or out of
+    /// the kept set).
+    ///
+    /// This flag exists for incremental-maintenance layers
+    /// (`fupermod-store`): a push that reclassifies history means a
+    /// derived summary point cannot be patched from the new sample
+    /// alone and the consumer should fall back to a full re-derive.
+    /// [`Self::filtered`] itself is always bit-identical to the
+    /// reference regardless of this flag — it only selects the cheap
+    /// path, never correctness.
+    ///
+    /// Costs O(n): two classification passes around the O(log n)
+    /// insert.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not positive; debug-asserts `x` finite.
+    pub fn push_detecting_reclassification(&mut self, x: f64, k: f64) -> bool {
+        assert!(k > 0.0, "rejection threshold must be positive");
+        let before = self.kept_flags(k);
+        self.push(x);
+        let after = self.kept_flags(k);
+        before.iter().zip(&after).any(|(b, a)| b != a)
+    }
 }
 
 /// `k`-th smallest (0-based) element of the merge of two ascending
@@ -331,6 +372,44 @@ mod tests {
                 let got = kth_of_two_sorted(&|i| a[i], a.len(), &|i| b[i], b.len(), k);
                 assert_eq!(got, want, "split {split} k {k}");
             }
+        }
+    }
+
+    #[test]
+    fn reclassification_is_detected_and_push_stays_equivalent() {
+        // A tight cluster, then a spike that is rejected on arrival
+        // (arrival itself is not a *re*classification), then enough
+        // far samples that the median migrates and the spike is pulled
+        // back into the kept set — that migration must be flagged.
+        let k = 3.0;
+        let mut inc = IncrementalStats::new();
+        let mut plain = IncrementalStats::new();
+        let mut flagged = Vec::new();
+        for &x in &[1.0, 1.1, 0.9, 1.05, 50.0, 48.0, 52.0, 49.0, 51.0, 50.5] {
+            let re = inc.push_detecting_reclassification(x, k);
+            plain.push(x);
+            flagged.push(re);
+            // The detecting push must not perturb the statistics.
+            let (a, ar) = inc.filtered(k);
+            let (b, br) = plain.filtered(k);
+            assert_eq!(ar, br);
+            assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+        }
+        assert!(
+            flagged.iter().any(|&f| f),
+            "median migration never flagged: {flagged:?}"
+        );
+        // And the flag agrees with a brute-force before/after check.
+        let mut reference = IncrementalStats::new();
+        for (&x, &want) in [1.0, 1.1, 0.9, 1.05, 50.0, 48.0, 52.0, 49.0, 51.0, 50.5]
+            .iter()
+            .zip(&flagged)
+        {
+            let before = reference.kept_flags(k);
+            reference.push(x);
+            let after = reference.kept_flags(k);
+            let got = before.iter().zip(&after).any(|(b, a)| b != a);
+            assert_eq!(got, want);
         }
     }
 

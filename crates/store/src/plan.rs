@@ -1,0 +1,205 @@
+//! The partition-plan cache: memoized `Partitioner` results.
+//!
+//! A plan is keyed by the member models' `(StoreKey, epoch)` pairs
+//! plus the total workload and the algorithm name. Epochs are *part
+//! of the key*: when any member model absorbs an observation its
+//! epoch advances, every dependent key changes, and the stale plan
+//! can never be served again — invalidation by construction, no
+//! notification machinery. Stale entries age out through the LRU
+//! eviction that also enforces the configurable byte budget.
+
+use std::collections::{BTreeMap, HashMap};
+
+use fupermod_core::partition::Distribution;
+
+use crate::StoreKey;
+
+/// Cache key of one memoized partition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// The member models and the epoch each was at, in rank order.
+    pub members: Vec<(StoreKey, u64)>,
+    /// Total workload in computation units.
+    pub total: u64,
+    /// Partitioning algorithm name (`even`, `constant`, `geometric`,
+    /// `numerical`).
+    pub algorithm: String,
+}
+
+impl PlanKey {
+    fn approx_bytes(&self) -> usize {
+        let members: usize = self
+            .members
+            .iter()
+            .map(|(k, _)| k.approx_bytes() + 8)
+            .sum();
+        members + self.algorithm.len() + 48
+    }
+}
+
+#[derive(Debug)]
+struct CachedPlan {
+    dist: Distribution,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// An LRU plan cache bounded by an approximate byte budget.
+#[derive(Debug)]
+pub struct PlanCache {
+    budget: usize,
+    bytes: usize,
+    tick: u64,
+    map: HashMap<PlanKey, CachedPlan>,
+    /// Recency index: `last_used` tick → key. Ticks are unique (one
+    /// per get/insert), so this is a faithful LRU order.
+    lru: BTreeMap<u64, PlanKey>,
+}
+
+/// Approximate cached size of one plan: key strings + per-member
+/// epoch + one `(d, t)` pair per rank + fixed bookkeeping. The exact
+/// constants matter only for the budget arithmetic being stable and
+/// testable, not for matching the allocator byte-for-byte.
+pub fn plan_cost(key: &PlanKey, dist: &Distribution) -> usize {
+    key.approx_bytes() + dist.parts().len() * 16 + 64
+}
+
+impl PlanCache {
+    /// An empty cache with the given byte budget.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            budget: budget_bytes,
+            bytes: 0,
+            tick: 0,
+            map: HashMap::new(),
+            lru: BTreeMap::new(),
+        }
+    }
+
+    /// Cached plans currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate bytes currently held.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Looks up a plan, refreshing its recency on hit.
+    pub fn get(&mut self, key: &PlanKey) -> Option<Distribution> {
+        self.tick += 1;
+        let tick = self.tick;
+        let plan = self.map.get_mut(key)?;
+        self.lru.remove(&plan.last_used);
+        plan.last_used = tick;
+        self.lru.insert(tick, key.clone());
+        Some(plan.dist.clone())
+    }
+
+    /// Inserts (or replaces) a plan, then evicts least-recently-used
+    /// plans until the budget holds again. Returns how many plans
+    /// were evicted. A plan larger than the whole budget is not
+    /// cached at all (and evicts nothing).
+    pub fn insert(&mut self, key: PlanKey, dist: Distribution) -> u64 {
+        let bytes = plan_cost(&key, &dist);
+        if bytes > self.budget {
+            return 0;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(old) = self.map.remove(&key) {
+            self.lru.remove(&old.last_used);
+            self.bytes -= old.bytes;
+        }
+        self.bytes += bytes;
+        self.lru.insert(tick, key.clone());
+        self.map.insert(
+            key,
+            CachedPlan {
+                dist,
+                bytes,
+                last_used: tick,
+            },
+        );
+        let mut evicted = 0;
+        while self.bytes > self.budget {
+            let (&oldest, _) = self.lru.iter().next().expect("bytes > 0 implies entries");
+            let victim = self.lru.remove(&oldest).expect("just observed");
+            let plan = self.map.remove(&victim).expect("index is consistent");
+            self.bytes -= plan.bytes;
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(name: &str, epoch: u64, total: u64) -> PlanKey {
+        PlanKey {
+            members: vec![(StoreKey::new(name, "gemm", "default"), epoch)],
+            total,
+            algorithm: "geometric".to_owned(),
+        }
+    }
+
+    fn dist(p: usize) -> Distribution {
+        Distribution::even(1000, p)
+    }
+
+    #[test]
+    fn get_after_insert_hits_and_epoch_change_misses() {
+        let mut c = PlanCache::new(1 << 20);
+        c.insert(key("a", 1, 1000), dist(4));
+        assert!(c.get(&key("a", 1, 1000)).is_some());
+        assert!(c.get(&key("a", 2, 1000)).is_none(), "epoch advanced");
+        assert!(c.get(&key("a", 1, 2000)).is_none(), "different total");
+    }
+
+    #[test]
+    fn lru_evicts_oldest_and_respects_budget() {
+        let one = plan_cost(&key("a", 1, 1000), &dist(4));
+        // Room for exactly two plans.
+        let mut c = PlanCache::new(2 * one);
+        assert_eq!(c.insert(key("a", 1, 1000), dist(4)), 0);
+        assert_eq!(c.insert(key("b", 1, 1000), dist(4)), 0);
+        // Touch "a" so "b" becomes the LRU victim.
+        assert!(c.get(&key("a", 1, 1000)).is_some());
+        assert_eq!(c.insert(key("c", 1, 1000), dist(4)), 1);
+        assert!(c.bytes() <= c.budget());
+        assert!(c.get(&key("b", 1, 1000)).is_none(), "LRU victim evicted");
+        assert!(c.get(&key("a", 1, 1000)).is_some());
+        assert!(c.get(&key("c", 1, 1000)).is_some());
+    }
+
+    #[test]
+    fn oversized_plan_is_not_cached() {
+        let mut c = PlanCache::new(8);
+        assert_eq!(c.insert(key("a", 1, 1000), dist(4)), 0);
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_leaking_bytes() {
+        let mut c = PlanCache::new(1 << 20);
+        c.insert(key("a", 1, 1000), dist(4));
+        let b1 = c.bytes();
+        c.insert(key("a", 1, 1000), dist(4));
+        assert_eq!(c.bytes(), b1);
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,664 @@
+//! The daemon's line-delimited JSON protocol (`docs/SERVE.md`).
+//!
+//! One request object per line in, one response object per line out,
+//! over a plain TCP stream. The vocabulary is deliberately flat —
+//! scalar fields plus arrays of scalars — so the hand-rolled parser
+//! below (the build environment has no serde_json) stays small and
+//! auditable. Floats are emitted with
+//! [`fupermod_core::trace::fmt_float`], the repo-wide shortest
+//! round-trip encoding, so a value survives
+//! serve → parse → re-serve bit-exactly.
+//!
+//! | op | request fields | response |
+//! |---|---|---|
+//! | `ingest` | key fields, `d`, `t` | `refresh`, `epoch` |
+//! | `ingest_point` | key fields, `d`, `t`, `reps`, `ci` | `refresh`, `epoch` |
+//! | `lookup` | key fields | `epoch`, `ds`, `ts`, `reps`, `cis` |
+//! | `partition` | `fingerprints`, `kernel`, `config`, `total`, `algorithm` | `cached`, `ds`, `ts`, `makespan`, `imbalance` |
+//! | `stats` | — | counter fields |
+//! | `shutdown` | — | `ok` |
+//!
+//! Key fields are `fingerprint`, `kernel`, `config`. Every response
+//! carries `"ok": true|false`; failures carry `"error"` instead of
+//! result fields.
+
+use fupermod_core::model::Refresh;
+use fupermod_core::partition::{
+    ConstantPartitioner, EvenPartitioner, GeometricPartitioner, NumericalPartitioner,
+    Partitioner,
+};
+use fupermod_core::trace::fmt_float;
+use fupermod_core::Point;
+
+use crate::entry::IngestOutcome;
+use crate::store::ModelStore;
+use crate::{StoreError, StoreKey};
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Stream one raw observation into a model entry.
+    Ingest {
+        /// Target model.
+        key: StoreKey,
+        /// Problem size.
+        d: u64,
+        /// Observed time, seconds.
+        t: f64,
+    },
+    /// Absorb one aggregated point (bulk load, merge semantics).
+    IngestPoint {
+        /// Target model.
+        key: StoreKey,
+        /// The aggregated point.
+        point: Point,
+    },
+    /// Fetch a model's epoch and points.
+    Lookup {
+        /// Target model.
+        key: StoreKey,
+    },
+    /// Partition `total` units over the named members.
+    Partition {
+        /// Member models, rank order.
+        keys: Vec<StoreKey>,
+        /// Total workload.
+        total: u64,
+        /// Algorithm name (`even`, `constant`, `geometric`,
+        /// `numerical`).
+        algorithm: String,
+    },
+    /// Fetch the store counters.
+    Stats,
+    /// Stop the daemon after responding.
+    Shutdown,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// [`StoreError::Protocol`] on malformed JSON, unknown `op`, or
+/// missing/mistyped fields.
+pub fn parse_request(line: &str) -> Result<Request, StoreError> {
+    let fields = json::parse_flat_object(line).map_err(StoreError::Protocol)?;
+    let op = json::get_str(&fields, "op")?;
+    match op.as_str() {
+        "ingest" => Ok(Request::Ingest {
+            key: key_of(&fields)?,
+            d: json::get_u64(&fields, "d")?,
+            t: json::get_f64(&fields, "t")?,
+        }),
+        "ingest_point" => Ok(Request::IngestPoint {
+            key: key_of(&fields)?,
+            point: Point {
+                d: json::get_u64(&fields, "d")?,
+                t: json::get_f64(&fields, "t")?,
+                reps: json::get_u64(&fields, "reps")? as u32,
+                ci: json::get_f64(&fields, "ci")?,
+            },
+        }),
+        "lookup" => Ok(Request::Lookup {
+            key: key_of(&fields)?,
+        }),
+        "partition" => {
+            let fingerprints = json::get_str_array(&fields, "fingerprints")?;
+            let kernel = json::get_str(&fields, "kernel")?;
+            let config = json::get_str(&fields, "config")?;
+            let keys = fingerprints
+                .into_iter()
+                .map(|fp| StoreKey::new(fp, kernel.clone(), config.clone()))
+                .collect();
+            Ok(Request::Partition {
+                keys,
+                total: json::get_u64(&fields, "total")?,
+                algorithm: json::get_str(&fields, "algorithm")?,
+            })
+        }
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(StoreError::Protocol(format!("unknown op '{other}'"))),
+    }
+}
+
+fn key_of(fields: &[(String, json::Value)]) -> Result<StoreKey, StoreError> {
+    Ok(StoreKey::new(
+        json::get_str(fields, "fingerprint")?,
+        json::get_str(fields, "kernel")?,
+        json::get_str(fields, "config")?,
+    ))
+}
+
+/// The partitioner for a protocol algorithm name (the same vocabulary
+/// as the CLI's `--algorithm` flag).
+///
+/// # Errors
+///
+/// [`StoreError::Protocol`] for an unknown name.
+pub fn pick_partitioner(name: &str) -> Result<Box<dyn Partitioner>, StoreError> {
+    match name {
+        "even" => Ok(Box::new(EvenPartitioner)),
+        "constant" => Ok(Box::new(ConstantPartitioner)),
+        "geometric" => Ok(Box::new(GeometricPartitioner::default())),
+        "numerical" => Ok(Box::new(NumericalPartitioner::default())),
+        other => Err(StoreError::Protocol(format!("unknown algorithm '{other}'"))),
+    }
+}
+
+fn refresh_tag(r: Refresh) -> &'static str {
+    match r {
+        Refresh::Patched => "patched",
+        Refresh::Rebuilt => "rebuilt",
+    }
+}
+
+fn outcome_tag(o: IngestOutcome) -> &'static str {
+    match o {
+        IngestOutcome::Patched => "patched",
+        IngestOutcome::Rebuilt => "rebuilt",
+        IngestOutcome::FallbackRebuilt => "fallback_rebuilt",
+    }
+}
+
+fn error_line(e: &StoreError) -> String {
+    format!("{{\"ok\":false,\"error\":{}}}", json::quote(&e.to_string()))
+}
+
+fn num_array(values: impl Iterator<Item = String>) -> String {
+    let mut s = String::from("[");
+    for (i, v) in values.enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&v);
+    }
+    s.push(']');
+    s
+}
+
+/// Executes one request against `store` and renders the response
+/// line (without the trailing newline). Infallible: failures render
+/// as `{"ok":false,"error":...}` lines.
+pub fn handle(store: &ModelStore, request: &Request) -> String {
+    match try_handle(store, request) {
+        Ok(line) => line,
+        Err(e) => error_line(&e),
+    }
+}
+
+fn try_handle(store: &ModelStore, request: &Request) -> Result<String, StoreError> {
+    match request {
+        Request::Ingest { key, d, t } => {
+            let (outcome, epoch) = store.ingest_sample(key, *d, *t)?;
+            Ok(format!(
+                "{{\"ok\":true,\"refresh\":\"{}\",\"epoch\":{epoch}}}",
+                outcome_tag(outcome)
+            ))
+        }
+        Request::IngestPoint { key, point } => {
+            let (refresh, epoch) = store.ingest_point(key, *point)?;
+            Ok(format!(
+                "{{\"ok\":true,\"refresh\":\"{}\",\"epoch\":{epoch}}}",
+                refresh_tag(refresh)
+            ))
+        }
+        Request::Lookup { key } => {
+            let (epoch, points) = store
+                .lookup(key)
+                .ok_or_else(|| StoreError::UnknownKey(key.to_string()))?;
+            Ok(format!(
+                "{{\"ok\":true,\"epoch\":{epoch},\"ds\":{},\"ts\":{},\"reps\":{},\"cis\":{}}}",
+                num_array(points.iter().map(|p| p.d.to_string())),
+                num_array(points.iter().map(|p| fmt_float(p.t))),
+                num_array(points.iter().map(|p| p.reps.to_string())),
+                num_array(points.iter().map(|p| fmt_float(p.ci))),
+            ))
+        }
+        Request::Partition {
+            keys,
+            total,
+            algorithm,
+        } => {
+            let partitioner = pick_partitioner(algorithm)?;
+            let (dist, cached) = store.partition(keys, *total, partitioner.as_ref(), algorithm)?;
+            Ok(format!(
+                "{{\"ok\":true,\"cached\":{cached},\"ds\":{},\"ts\":{},\"makespan\":{},\"imbalance\":{}}}",
+                num_array(dist.parts().iter().map(|p| p.d.to_string())),
+                num_array(dist.parts().iter().map(|p| fmt_float(p.t))),
+                fmt_float(dist.predicted_makespan()),
+                fmt_float(dist.predicted_imbalance()),
+            ))
+        }
+        Request::Stats => {
+            let s = store.metrics().snapshot();
+            let (plans, plan_bytes, plan_budget) = store.plan_cache_stats();
+            Ok(format!(
+                "{{\"ok\":true,\"entries\":{},\"model_hits\":{},\"model_misses\":{},\"refresh_patched\":{},\"refresh_rebuilt\":{},\"refresh_fallbacks\":{},\"plan_hits\":{},\"plan_misses\":{},\"plan_evictions\":{},\"plans\":{plans},\"plan_bytes\":{plan_bytes},\"plan_budget\":{plan_budget}}}",
+                store.len(),
+                s.model_hits,
+                s.model_misses,
+                s.refresh_patched,
+                s.refresh_rebuilt,
+                s.refresh_fallbacks,
+                s.plan_hits,
+                s.plan_misses,
+                s.plan_evictions,
+            ))
+        }
+        Request::Shutdown => Ok("{\"ok\":true,\"shutting_down\":true}".to_owned()),
+    }
+}
+
+/// Minimal flat-JSON support for the protocol: objects whose values
+/// are strings, numbers, booleans, `null`, or arrays of strings /
+/// numbers. (The trace module's flat parser is private and only
+/// handles numeric arrays, so the protocol carries its own.)
+pub mod json {
+    /// A parsed value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// A string.
+        Str(String),
+        /// A number (JSON numbers are all doubles).
+        Num(f64),
+        /// A boolean.
+        Bool(bool),
+        /// `null`.
+        Null,
+        /// An array of strings.
+        StrArray(Vec<String>),
+        /// An array of numbers (also produced for `[]`).
+        NumArray(Vec<f64>),
+    }
+
+    /// Parses one flat JSON object into `(key, value)` pairs in
+    /// document order.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first syntax error.
+    pub fn parse_flat_object(s: &str) -> Result<Vec<(String, Value)>, String> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        p.expect(b'{')?;
+        let mut fields = Vec::new();
+        p.skip_ws();
+        if p.peek() == Some(b'}') {
+            p.pos += 1;
+        } else {
+            loop {
+                p.skip_ws();
+                let key = p.parse_string()?;
+                p.skip_ws();
+                p.expect(b':')?;
+                p.skip_ws();
+                let value = p.parse_value()?;
+                fields.push((key, value));
+                p.skip_ws();
+                match p.next() {
+                    Some(b',') => continue,
+                    Some(b'}') => break,
+                    other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                }
+            }
+        }
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err("trailing bytes after object".to_owned());
+        }
+        Ok(fields)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+        fn next(&mut self) -> Option<u8> {
+            let b = self.peek()?;
+            self.pos += 1;
+            Some(b)
+        }
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                self.pos += 1;
+            }
+        }
+        fn expect(&mut self, want: u8) -> Result<(), String> {
+            match self.next() {
+                Some(b) if b == want => Ok(()),
+                other => Err(format!("expected {:?}, got {other:?}", want as char)),
+            }
+        }
+
+        fn parse_string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.next() {
+                    None => return Err("unterminated string".to_owned()),
+                    Some(b'"') => return Ok(out),
+                    Some(b'\\') => match self.next() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let d = self
+                                    .next()
+                                    .and_then(|b| (b as char).to_digit(16))
+                                    .ok_or("bad \\u escape")?;
+                                code = code * 16 + d;
+                            }
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or("surrogate \\u escapes unsupported")?,
+                            );
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    },
+                    Some(b) if b < 0x20 => {
+                        return Err("unescaped control character in string".to_owned())
+                    }
+                    Some(b) => {
+                        // Re-assemble UTF-8 multibyte sequences verbatim.
+                        let start = self.pos - 1;
+                        let len = utf8_len(b)?;
+                        if start + len > self.bytes.len() {
+                            return Err("truncated UTF-8 sequence".to_owned());
+                        }
+                        self.pos = start + len;
+                        let chunk = std::str::from_utf8(&self.bytes[start..start + len])
+                            .map_err(|_| "invalid UTF-8 in string".to_owned())?;
+                        out.push_str(chunk);
+                    }
+                }
+            }
+        }
+
+        fn parse_number(&mut self) -> Result<f64, String> {
+            let start = self.pos;
+            while matches!(
+                self.peek(),
+                Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+            ) {
+                self.pos += 1;
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| "invalid number".to_owned())
+        }
+
+        fn parse_value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(b'[') => self.parse_array(),
+                Some(_) => Ok(Value::Num(self.parse_number()?)),
+                None => Err("expected value, got end of input".to_owned()),
+            }
+        }
+
+        fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(value)
+            } else {
+                Err(format!("expected literal '{word}'"))
+            }
+        }
+
+        fn parse_array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::NumArray(Vec::new()));
+            }
+            if self.peek() == Some(b'"') {
+                let mut items = Vec::new();
+                loop {
+                    self.skip_ws();
+                    items.push(self.parse_string()?);
+                    self.skip_ws();
+                    match self.next() {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(Value::StrArray(items)),
+                        other => return Err(format!("expected ',' or ']', got {other:?}")),
+                    }
+                }
+            }
+            let mut items = Vec::new();
+            loop {
+                self.skip_ws();
+                items.push(self.parse_number()?);
+                self.skip_ws();
+                match self.next() {
+                    Some(b',') => continue,
+                    Some(b']') => return Ok(Value::NumArray(items)),
+                    other => return Err(format!("expected ',' or ']', got {other:?}")),
+                }
+            }
+        }
+    }
+
+    fn utf8_len(first: u8) -> Result<usize, String> {
+        match first {
+            0x00..=0x7f => Ok(1),
+            0xc0..=0xdf => Ok(2),
+            0xe0..=0xef => Ok(3),
+            0xf0..=0xf7 => Ok(4),
+            _ => Err("invalid UTF-8 lead byte".to_owned()),
+        }
+    }
+
+    /// Renders a JSON string literal (quotes + escapes).
+    pub fn quote(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    use crate::StoreError;
+
+    fn find<'a>(fields: &'a [(String, Value)], key: &str) -> Result<&'a Value, StoreError> {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| StoreError::Protocol(format!("missing field '{key}'")))
+    }
+
+    /// Extracts a string field.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Protocol`] when missing or not a string.
+    pub fn get_str(fields: &[(String, Value)], key: &str) -> Result<String, StoreError> {
+        match find(fields, key)? {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(StoreError::Protocol(format!(
+                "field '{key}' must be a string, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Extracts a finite numeric field.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Protocol`] when missing or not a number.
+    pub fn get_f64(fields: &[(String, Value)], key: &str) -> Result<f64, StoreError> {
+        match find(fields, key)? {
+            Value::Num(v) => Ok(*v),
+            other => Err(StoreError::Protocol(format!(
+                "field '{key}' must be a number, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Extracts a non-negative integer field.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Protocol`] when missing, non-numeric, negative,
+    /// or not integral.
+    pub fn get_u64(fields: &[(String, Value)], key: &str) -> Result<u64, StoreError> {
+        let v = get_f64(fields, key)?;
+        if v < 0.0 || v.fract() != 0.0 || v > u64::MAX as f64 {
+            return Err(StoreError::Protocol(format!(
+                "field '{key}' must be a non-negative integer, got {v}"
+            )));
+        }
+        Ok(v as u64)
+    }
+
+    /// Extracts a string-array field (an empty array qualifies).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Protocol`] when missing or not a string array.
+    pub fn get_str_array(
+        fields: &[(String, Value)],
+        key: &str,
+    ) -> Result<Vec<String>, StoreError> {
+        match find(fields, key)? {
+            Value::StrArray(v) => Ok(v.clone()),
+            Value::NumArray(v) if v.is_empty() => Ok(Vec::new()),
+            other => Err(StoreError::Protocol(format!(
+                "field '{key}' must be an array of strings, got {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+
+    #[test]
+    fn parses_every_op() {
+        let r = parse_request(
+            r#"{"op":"ingest","fingerprint":"fp","kernel":"gemm","config":"c","d":100,"t":0.5}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r,
+            Request::Ingest {
+                key: StoreKey::new("fp", "gemm", "c"),
+                d: 100,
+                t: 0.5
+            }
+        );
+        let r = parse_request(
+            r#"{"op":"partition","fingerprints":["a","b"],"kernel":"gemm","config":"c","total":1000,"algorithm":"geometric"}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Partition { keys, total, algorithm } => {
+                assert_eq!(keys.len(), 2);
+                assert_eq!(keys[0].fingerprint, "a");
+                assert_eq!(total, 1000);
+                assert_eq!(algorithm, "geometric");
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{ "op" : "shutdown" }"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("{").is_err());
+        assert!(parse_request(r#"{"op":"nope"}"#).is_err());
+        assert!(parse_request(r#"{"op":"ingest","fingerprint":"f"}"#).is_err());
+        assert!(parse_request(r#"{"op":"ingest","fingerprint":1,"kernel":"k","config":"c","d":1,"t":1.0}"#).is_err());
+        assert!(parse_request(r#"{"op":"stats"} trailing"#).is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let quoted = json::quote("a\"b\\c\nd\te\u{1}f");
+        let line = format!("{{\"op\":\"lookup\",\"fingerprint\":{quoted},\"kernel\":\"k\",\"config\":\"c\"}}");
+        match parse_request(&line).unwrap() {
+            Request::Lookup { key } => assert_eq!(key.fingerprint, "a\"b\\c\nd\te\u{1}f"),
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ingested_float_survives_serve_round_trip() {
+        // A value with no short decimal representation must come back
+        // from the lookup response bit-exactly.
+        let t = 0.1 + 0.2; // 0.30000000000000004
+        let store = ModelStore::new(StoreConfig::default());
+        let line = format!(
+            "{{\"op\":\"ingest\",\"fingerprint\":\"fp\",\"kernel\":\"k\",\"config\":\"c\",\"d\":100,\"t\":{}}}",
+            fmt_float(t)
+        );
+        let req = parse_request(&line).unwrap();
+        let resp = handle(&store, &req);
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        let lookup = parse_request(
+            r#"{"op":"lookup","fingerprint":"fp","kernel":"k","config":"c"}"#,
+        )
+        .unwrap();
+        let resp = handle(&store, &lookup);
+        let fields = json::parse_flat_object(&resp).unwrap();
+        let ts = match fields.iter().find(|(k, _)| k == "ts").map(|(_, v)| v) {
+            Some(json::Value::NumArray(v)) => v.clone(),
+            other => panic!("bad ts field: {other:?}"),
+        };
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].to_bits(), t.to_bits());
+    }
+
+    #[test]
+    fn errors_render_as_error_lines() {
+        let store = ModelStore::new(StoreConfig::default());
+        let req = parse_request(
+            r#"{"op":"lookup","fingerprint":"absent","kernel":"k","config":"c"}"#,
+        )
+        .unwrap();
+        let resp = handle(&store, &req);
+        assert!(resp.starts_with("{\"ok\":false,\"error\":"), "{resp}");
+        let fields = json::parse_flat_object(&resp).unwrap();
+        assert!(matches!(
+            fields.iter().find(|(k, _)| k == "ok").map(|(_, v)| v),
+            Some(json::Value::Bool(false))
+        ));
+    }
+}

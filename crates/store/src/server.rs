@@ -1,0 +1,199 @@
+//! The TCP serving loop behind `fupermod_served`.
+//!
+//! One OS thread per connection (the multi-tenant model of the rest
+//! of the runtime layer), line-delimited JSON requests answered in
+//! lockstep on the same stream. A `shutdown` request flips a shared
+//! flag; the accept loop polls it between (non-blocking) accepts, so
+//! the daemon drains and exits without being killed.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::protocol::{self, Request};
+use crate::store::ModelStore;
+
+/// How often the accept loop re-checks the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Runs the serving loop on `listener` until a client sends
+/// `shutdown` (or `stop` is flipped externally). Blocks the calling
+/// thread; connection handlers run on their own threads and are
+/// joined before returning, so every in-flight response is flushed.
+///
+/// # Errors
+///
+/// Propagates listener I/O errors (per-connection errors only end
+/// that connection).
+pub fn serve(
+    listener: TcpListener,
+    store: Arc<ModelStore>,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut handles = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let store = Arc::clone(&store);
+                let stop = Arc::clone(&stop);
+                handles.push(thread::spawn(move || {
+                    let _ = handle_connection(stream, &store, &stop);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) => return Err(e),
+        }
+        // Reap finished handlers so a long-lived daemon does not
+        // accumulate join handles.
+        handles.retain(|h| !h.is_finished());
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    store: &ModelStore,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, is_shutdown) = match protocol::parse_request(&line) {
+            Ok(request) => {
+                let is_shutdown = request == Request::Shutdown;
+                (protocol::handle(store, &request), is_shutdown)
+            }
+            Err(e) => (
+                format!(
+                    "{{\"ok\":false,\"error\":{}}}",
+                    protocol::json::quote(&e.to_string())
+                ),
+                false,
+            ),
+        };
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if is_shutdown {
+            stop.store(true, Ordering::SeqCst);
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// A client connection: sends one request line at a time and reads
+/// the matching response line (the protocol is strictly lockstep per
+/// connection).
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection I/O errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request line and returns the response line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; an empty response (peer closed) maps to
+    /// [`std::io::ErrorKind::UnexpectedEof`].
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        Ok(response.trim_end_matches('\n').to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+
+    /// End-to-end over a real socket: two concurrent clients stream
+    /// into different entries, then one queries a partition and shuts
+    /// the daemon down; serve() must return.
+    #[test]
+    fn serves_concurrent_clients_and_shuts_down() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let store = Arc::new(ModelStore::new(StoreConfig::default()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let server = {
+            let (store, stop) = (Arc::clone(&store), Arc::clone(&stop));
+            thread::spawn(move || serve(listener, store, stop))
+        };
+
+        let feeders: Vec<_> = (0..2)
+            .map(|r| {
+                thread::spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    for d in [100u64, 400, 900] {
+                        let t = d as f64 * 1e-3 * (r + 1) as f64;
+                        let line = format!(
+                            "{{\"op\":\"ingest\",\"fingerprint\":\"dev{r}\",\"kernel\":\"gemm\",\"config\":\"c\",\"d\":{d},\"t\":{t}}}"
+                        );
+                        let resp = client.request(&line).unwrap();
+                        assert!(resp.contains("\"ok\":true"), "{resp}");
+                    }
+                })
+            })
+            .collect();
+        for f in feeders {
+            f.join().unwrap();
+        }
+
+        let mut client = Client::connect(addr).unwrap();
+        let resp = client
+            .request(r#"{"op":"partition","fingerprints":["dev0","dev1"],"kernel":"gemm","config":"c","total":1000,"algorithm":"geometric"}"#)
+            .unwrap();
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        assert!(resp.contains("\"cached\":false"), "{resp}");
+        let again = client
+            .request(r#"{"op":"partition","fingerprints":["dev0","dev1"],"kernel":"gemm","config":"c","total":1000,"algorithm":"geometric"}"#)
+            .unwrap();
+        assert!(again.contains("\"cached\":true"), "{again}");
+        let resp = client.request(r#"{"op":"shutdown"}"#).unwrap();
+        assert!(resp.contains("\"shutting_down\":true"), "{resp}");
+        server.join().unwrap().unwrap();
+        assert_eq!(store.len(), 2);
+    }
+}

@@ -1,0 +1,433 @@
+//! The sharded concurrent model store and its observability counters.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use fupermod_core::model::{Model, Refresh};
+use fupermod_core::partition::{Distribution, Partitioner};
+use fupermod_core::trace::{TraceEvent, TraceSink};
+use fupermod_core::Point;
+
+use crate::entry::{EntryConfig, IngestOutcome, ModelEntry};
+use crate::plan::{PlanCache, PlanKey};
+use crate::{StoreError, StoreKey};
+
+/// Configuration of a [`ModelStore`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreConfig {
+    /// Number of shards the key space is hashed over. More shards
+    /// mean less lock contention under concurrent tenants; each shard
+    /// is an independently locked hash map.
+    pub shards: usize,
+    /// Byte budget of the partition-plan cache (LRU-evicted).
+    pub plan_budget_bytes: usize,
+    /// Statistical configuration applied to new entries.
+    pub entry: EntryConfig,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            plan_budget_bytes: 1 << 20,
+            entry: EntryConfig::default(),
+        }
+    }
+}
+
+/// Monotonic store counters: model-lookup hits/misses, incremental
+/// refresh outcomes, plan-cache hits/misses/evictions. Always-on
+/// relaxed atomics, mirroring `fupermod_core::trace::Metrics`;
+/// exported as `metrics` trace events by [`StoreMetrics::export_events`].
+#[derive(Debug, Default)]
+pub struct StoreMetrics {
+    model_hits: AtomicU64,
+    model_misses: AtomicU64,
+    refresh_patched: AtomicU64,
+    refresh_rebuilt: AtomicU64,
+    refresh_fallbacks: AtomicU64,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    plan_evictions: AtomicU64,
+}
+
+/// A point-in-time copy of [`StoreMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreMetricsSnapshot {
+    /// Model lookups that found an entry.
+    pub model_hits: u64,
+    /// Model lookups that found nothing.
+    pub model_misses: u64,
+    /// Ingests absorbed by patching one spline window.
+    pub refresh_patched: u64,
+    /// Ingests that rebuilt the model (new size inserted).
+    pub refresh_rebuilt: u64,
+    /// Ingests that took the outlier-reclassification full-rebuild
+    /// fallback.
+    pub refresh_fallbacks: u64,
+    /// Partition queries answered from the plan cache.
+    pub plan_hits: u64,
+    /// Partition queries that had to run the partitioner.
+    pub plan_misses: u64,
+    /// Plans evicted by the LRU byte budget.
+    pub plan_evictions: u64,
+}
+
+impl StoreMetrics {
+    /// Reads all counters at once.
+    pub fn snapshot(&self) -> StoreMetricsSnapshot {
+        StoreMetricsSnapshot {
+            model_hits: self.model_hits.load(Ordering::Relaxed),
+            model_misses: self.model_misses.load(Ordering::Relaxed),
+            refresh_patched: self.refresh_patched.load(Ordering::Relaxed),
+            refresh_rebuilt: self.refresh_rebuilt.load(Ordering::Relaxed),
+            refresh_fallbacks: self.refresh_fallbacks.load(Ordering::Relaxed),
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            plan_evictions: self.plan_evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Emits one `metrics` trace event per non-zero counter (scope
+    /// `store.<counter>`, the counter value in `count`, no latency
+    /// payload — `sum = 0`, empty buckets), following the
+    /// `Metrics::export_histogram_events` convention. Returns how
+    /// many events were written.
+    pub fn export_events(&self, rank: usize, sink: &dyn TraceSink) -> usize {
+        let s = self.snapshot();
+        let counters = [
+            ("store.model.hit", s.model_hits),
+            ("store.model.miss", s.model_misses),
+            ("store.refresh.patched", s.refresh_patched),
+            ("store.refresh.rebuilt", s.refresh_rebuilt),
+            ("store.refresh.fallback", s.refresh_fallbacks),
+            ("store.plan.hit", s.plan_hits),
+            ("store.plan.miss", s.plan_misses),
+            ("store.plan.eviction", s.plan_evictions),
+        ];
+        let mut emitted = 0;
+        for (scope, count) in counters {
+            if count == 0 {
+                continue;
+            }
+            sink.record(&TraceEvent::Metrics {
+                rank,
+                scope: scope.to_owned(),
+                count,
+                sum: 0.0,
+                buckets: Vec::new(),
+            });
+            emitted += 1;
+        }
+        emitted
+    }
+
+    fn count_outcome(&self, outcome: IngestOutcome) {
+        let counter = match outcome {
+            IngestOutcome::Patched => &self.refresh_patched,
+            IngestOutcome::Rebuilt => &self.refresh_rebuilt,
+            IngestOutcome::FallbackRebuilt => &self.refresh_fallbacks,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The sharded, concurrently usable model store.
+///
+/// Keys are hashed (stable FNV-1a) onto `shards` independently locked
+/// hash maps, so tenants streaming into different devices do not
+/// contend. The partition-plan cache sits beside the shards under its
+/// own lock; no operation holds two locks at once.
+#[derive(Debug)]
+pub struct ModelStore {
+    shards: Vec<Mutex<HashMap<StoreKey, ModelEntry>>>,
+    plans: Mutex<PlanCache>,
+    metrics: StoreMetrics,
+    config: StoreConfig,
+}
+
+impl Default for ModelStore {
+    fn default() -> Self {
+        Self::new(StoreConfig::default())
+    }
+}
+
+impl ModelStore {
+    /// Creates a store with the given configuration (`shards` is
+    /// clamped to at least 1).
+    pub fn new(config: StoreConfig) -> Self {
+        let shards = config.shards.max(1);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            plans: Mutex::new(PlanCache::new(config.plan_budget_bytes)),
+            metrics: StoreMetrics::default(),
+            config: StoreConfig {
+                shards,
+                ..config
+            },
+        }
+    }
+
+    /// The store's configuration (after clamping).
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// The store's counters.
+    pub fn metrics(&self) -> &StoreMetrics {
+        &self.metrics
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("store shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard(&self, key: &StoreKey) -> &Mutex<HashMap<StoreKey, ModelEntry>> {
+        let i = (key.hash64() % self.shards.len() as u64) as usize;
+        &self.shards[i]
+    }
+
+    /// Streams one raw observation into `key`'s entry (created on
+    /// first use), refreshing the model incrementally. Returns the
+    /// refresh outcome and the entry's new epoch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError::Ingest`] for invalid observations.
+    pub fn ingest_sample(
+        &self,
+        key: &StoreKey,
+        d: u64,
+        t: f64,
+    ) -> Result<(IngestOutcome, u64), StoreError> {
+        let mut shard = self.shard(key).lock().expect("store shard poisoned");
+        let entry = shard
+            .entry(key.clone())
+            .or_insert_with(|| ModelEntry::new(self.config.entry));
+        let outcome = entry.ingest_sample(d, t)?;
+        let epoch = entry.epoch();
+        drop(shard);
+        self.metrics.count_outcome(outcome);
+        Ok((outcome, epoch))
+    }
+
+    /// Absorbs an aggregated point into `key`'s entry (created on
+    /// first use) with repetition-weighted merge semantics — the bulk
+    /// load path. Returns the refresh kind and the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates entry errors (invalid point, mixed ingestion modes).
+    pub fn ingest_point(
+        &self,
+        key: &StoreKey,
+        point: Point,
+    ) -> Result<(Refresh, u64), StoreError> {
+        let mut shard = self.shard(key).lock().expect("store shard poisoned");
+        let entry = shard
+            .entry(key.clone())
+            .or_insert_with(|| ModelEntry::new(self.config.entry));
+        let refresh = entry.ingest_point(point)?;
+        let epoch = entry.epoch();
+        drop(shard);
+        match refresh {
+            Refresh::Patched => self.metrics.count_outcome(IngestOutcome::Patched),
+            Refresh::Rebuilt => self.metrics.count_outcome(IngestOutcome::Rebuilt),
+        }
+        Ok((refresh, epoch))
+    }
+
+    /// Looks up `key`'s entry, returning its epoch and model points
+    /// (`None` when absent). Counts a model hit or miss.
+    pub fn lookup(&self, key: &StoreKey) -> Option<(u64, Vec<Point>)> {
+        let shard = self.shard(key).lock().expect("store shard poisoned");
+        match shard.get(key) {
+            Some(entry) => {
+                let out = (entry.epoch(), entry.model().points().to_vec());
+                self.metrics.model_hits.fetch_add(1, Ordering::Relaxed);
+                Some(out)
+            }
+            None => {
+                self.metrics.model_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// The epoch of `key`'s entry, if present (no hit/miss counting).
+    pub fn epoch_of(&self, key: &StoreKey) -> Option<u64> {
+        let shard = self.shard(key).lock().expect("store shard poisoned");
+        shard.get(key).map(|e| e.epoch())
+    }
+
+    /// Runs `f` against `key`'s entry under the shard lock (tests,
+    /// maintenance). `None` when absent.
+    pub fn with_entry<R>(&self, key: &StoreKey, f: impl FnOnce(&ModelEntry) -> R) -> Option<R> {
+        let shard = self.shard(key).lock().expect("store shard poisoned");
+        shard.get(key).map(f)
+    }
+
+    /// Partitions `total` units over the member models, answering from
+    /// the plan cache when the same query was solved against the same
+    /// member epochs. Returns the distribution and whether it came
+    /// from cache. A cached answer is bit-identical to recomputation:
+    /// the models at those epochs are deterministic, and epochs are
+    /// part of the cache key.
+    ///
+    /// `algorithm` is the cache discriminator for `partitioner` —
+    /// callers must pass distinct names for distinct partitioners
+    /// (the protocol layer derives both from the same request field).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownKey`] if any member has no entry;
+    /// [`StoreError::Core`] if the partitioner fails.
+    pub fn partition(
+        &self,
+        members: &[StoreKey],
+        total: u64,
+        partitioner: &dyn Partitioner,
+        algorithm: &str,
+    ) -> Result<(Distribution, bool), StoreError> {
+        if members.is_empty() {
+            return Err(StoreError::UnknownKey("<empty member list>".to_owned()));
+        }
+        // Hot path: stamp epochs only — cloning the member models is
+        // deferred to the miss path, so a cache hit never copies model
+        // state.
+        let mut stamped = Vec::with_capacity(members.len());
+        for key in members {
+            let shard = self.shard(key).lock().expect("store shard poisoned");
+            let entry = shard
+                .get(key)
+                .ok_or_else(|| StoreError::UnknownKey(key.to_string()))?;
+            stamped.push((key.clone(), entry.epoch()));
+        }
+        let mut plan_key = PlanKey {
+            members: stamped,
+            total,
+            algorithm: algorithm.to_owned(),
+        };
+        if let Some(dist) = self
+            .plans
+            .lock()
+            .expect("plan cache poisoned")
+            .get(&plan_key)
+        {
+            self.metrics.plan_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((dist, true));
+        }
+        self.metrics.plan_misses.fetch_add(1, Ordering::Relaxed);
+        // Miss: re-read each member, cloning its model and re-stamping
+        // its (possibly advanced) epoch, so the plan is cached under
+        // exactly the epochs of the models it was computed from.
+        let mut models = Vec::with_capacity(members.len());
+        for (slot, key) in plan_key.members.iter_mut().zip(members) {
+            let shard = self.shard(key).lock().expect("store shard poisoned");
+            let entry = shard
+                .get(key)
+                .ok_or_else(|| StoreError::UnknownKey(key.to_string()))?;
+            slot.1 = entry.epoch();
+            models.push(entry.model().clone());
+        }
+        let refs: Vec<&dyn Model> = models.iter().map(|m| m as &dyn Model).collect();
+        let dist = partitioner.partition(total, &refs)?;
+        let evicted = self
+            .plans
+            .lock()
+            .expect("plan cache poisoned")
+            .insert(plan_key, dist.clone());
+        if evicted > 0 {
+            self.metrics
+                .plan_evictions
+                .fetch_add(evicted, Ordering::Relaxed);
+        }
+        Ok((dist, false))
+    }
+
+    /// Plan-cache occupancy `(plans, bytes, budget)` for the `stats`
+    /// protocol op.
+    pub fn plan_cache_stats(&self) -> (usize, usize, usize) {
+        let plans = self.plans.lock().expect("plan cache poisoned");
+        (plans.len(), plans.bytes(), plans.budget())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fupermod_core::partition::GeometricPartitioner;
+
+    fn fed_store() -> (ModelStore, Vec<StoreKey>) {
+        let store = ModelStore::new(StoreConfig::default());
+        let keys = vec![
+            StoreKey::new("dev0", "gemm", "default"),
+            StoreKey::new("dev1", "gemm", "default"),
+        ];
+        for (r, key) in keys.iter().enumerate() {
+            for d in [100u64, 400, 900] {
+                let t = (d as f64) * 1e-3 * (r + 1) as f64;
+                store.ingest_sample(key, d, t).unwrap();
+            }
+        }
+        (store, keys)
+    }
+
+    #[test]
+    fn sharding_routes_consistently() {
+        let (store, keys) = fed_store();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.epoch_of(&keys[0]), Some(3));
+        assert!(store.lookup(&keys[0]).is_some());
+        assert!(store.lookup(&StoreKey::new("nope", "gemm", "default")).is_none());
+        let snap = store.metrics().snapshot();
+        assert_eq!(snap.model_hits, 1);
+        assert_eq!(snap.model_misses, 1);
+    }
+
+    #[test]
+    fn partition_caches_and_epoch_invalidates() {
+        let (store, keys) = fed_store();
+        let part = GeometricPartitioner::default();
+        let (d1, cached1) = store.partition(&keys, 1000, &part, "geometric").unwrap();
+        assert!(!cached1);
+        let (d2, cached2) = store.partition(&keys, 1000, &part, "geometric").unwrap();
+        assert!(cached2);
+        assert_eq!(d1, d2);
+        // Epoch bump on one member invalidates the dependent plan.
+        store.ingest_sample(&keys[0], 100, 0.11).unwrap();
+        let (_, cached3) = store.partition(&keys, 1000, &part, "geometric").unwrap();
+        assert!(!cached3, "stale plan served after epoch advance");
+        let snap = store.metrics().snapshot();
+        assert_eq!(snap.plan_hits, 1);
+        assert_eq!(snap.plan_misses, 2);
+    }
+
+    #[test]
+    fn export_events_emits_nonzero_counters() {
+        use fupermod_core::trace::MemorySink;
+        let (store, keys) = fed_store();
+        let part = GeometricPartitioner::default();
+        store.partition(&keys, 1000, &part, "geometric").unwrap();
+        store.partition(&keys, 1000, &part, "geometric").unwrap();
+        let sink = MemorySink::new();
+        let emitted = store.metrics().export_events(0, &sink);
+        assert!(emitted >= 3, "expected refresh + plan counters, got {emitted}");
+        let events = sink.events();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::Metrics { scope, count, .. }
+                if scope == "store.plan.hit" && *count == 1
+        )));
+    }
+}

@@ -1,0 +1,153 @@
+//! Eviction and invalidation behaviour of the sharded store: epoch
+//! bumps invalidate dependent plans, the LRU respects its byte
+//! budget, and the counters record every transition.
+
+use std::sync::Arc;
+use std::thread;
+
+use fupermod_core::partition::{GeometricPartitioner, NumericalPartitioner};
+use fupermod_store::plan::plan_cost;
+use fupermod_store::{ModelStore, PlanKey, StoreConfig, StoreKey};
+
+fn key(i: usize) -> StoreKey {
+    StoreKey::new(format!("dev{i}"), "gemm", "default")
+}
+
+fn feed(store: &ModelStore, i: usize) {
+    let k = key(i);
+    for d in [100u64, 400, 900, 1600] {
+        let t = d as f64 * 1e-3 * (i + 1) as f64;
+        store.ingest_sample(&k, d, t).unwrap();
+    }
+}
+
+#[test]
+fn epoch_bump_invalidates_dependent_plans_only() {
+    let store = ModelStore::new(StoreConfig::default());
+    for i in 0..3 {
+        feed(&store, i);
+    }
+    let geo = GeometricPartitioner::default();
+    let pair_a = [key(0), key(1)];
+    let pair_b = [key(1), key(2)];
+    assert!(!store.partition(&pair_a, 1000, &geo, "geometric").unwrap().1);
+    assert!(!store.partition(&pair_b, 1000, &geo, "geometric").unwrap().1);
+    assert!(store.partition(&pair_a, 1000, &geo, "geometric").unwrap().1);
+    assert!(store.partition(&pair_b, 1000, &geo, "geometric").unwrap().1);
+    // Bump dev0: only the plan depending on dev0 is invalidated.
+    store.ingest_sample(&key(0), 100, 0.101).unwrap();
+    assert!(
+        !store.partition(&pair_a, 1000, &geo, "geometric").unwrap().1,
+        "plan over bumped member must re-solve"
+    );
+    assert!(
+        store.partition(&pair_b, 1000, &geo, "geometric").unwrap().1,
+        "plan over untouched members must stay warm"
+    );
+    let snap = store.metrics().snapshot();
+    assert_eq!(snap.plan_hits, 3);
+    assert_eq!(snap.plan_misses, 3);
+}
+
+#[test]
+fn algorithm_is_part_of_the_plan_key() {
+    let store = ModelStore::new(StoreConfig::default());
+    for i in 0..2 {
+        feed(&store, i);
+    }
+    let members = [key(0), key(1)];
+    let geo = GeometricPartitioner::default();
+    let num = NumericalPartitioner::default();
+    assert!(!store.partition(&members, 1000, &geo, "geometric").unwrap().1);
+    assert!(
+        !store.partition(&members, 1000, &num, "numerical").unwrap().1,
+        "different algorithm must not hit the geometric plan"
+    );
+    assert!(store.partition(&members, 1000, &num, "numerical").unwrap().1);
+}
+
+#[test]
+fn lru_respects_byte_budget_and_counts_evictions() {
+    // Size the budget from the real cost formula: room for exactly
+    // two of the plans this test creates.
+    let probe_key = PlanKey {
+        members: vec![(key(0), 4), (key(1), 4)],
+        total: 1000,
+        algorithm: "geometric".to_owned(),
+    };
+    let probe_cost = {
+        let store = ModelStore::new(StoreConfig::default());
+        feed(&store, 0);
+        feed(&store, 1);
+        let geo = GeometricPartitioner::default();
+        let (dist, _) = store.partition(&[key(0), key(1)], 1000, &geo, "geometric").unwrap();
+        plan_cost(&probe_key, &dist)
+    };
+
+    let store = ModelStore::new(StoreConfig {
+        plan_budget_bytes: 2 * probe_cost + probe_cost / 2,
+        ..StoreConfig::default()
+    });
+    for i in 0..4 {
+        feed(&store, i);
+    }
+    let geo = GeometricPartitioner::default();
+    // Three distinct same-shape plans: the third insert must evict
+    // the least recently used (the first).
+    for i in 0..3 {
+        let members = [key(i), key((i + 1) % 4)];
+        store.partition(&members, 1000, &geo, "geometric").unwrap();
+    }
+    let snap = store.metrics().snapshot();
+    assert!(snap.plan_evictions >= 1, "no eviction under byte pressure");
+    let (plans, bytes, budget) = store.plan_cache_stats();
+    assert!(bytes <= budget, "cache over budget: {bytes} > {budget}");
+    assert!(plans <= 2);
+    // The first plan was evicted → recomputed (miss); the last is warm.
+    assert!(!store.partition(&[key(0), key(1)], 1000, &geo, "geometric").unwrap().1);
+    let snap = store.metrics().snapshot();
+    assert_eq!(snap.plan_hits, 0);
+    assert_eq!(snap.plan_misses, 4);
+}
+
+#[test]
+fn concurrent_tenants_stream_into_disjoint_shards() {
+    let store = Arc::new(ModelStore::new(StoreConfig {
+        shards: 4,
+        ..StoreConfig::default()
+    }));
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let store = Arc::clone(&store);
+            thread::spawn(move || {
+                for rep in 0..20 {
+                    let k = key(i);
+                    for d in [100u64, 400, 900] {
+                        let t = d as f64 * 1e-3 * (1.0 + 0.001 * rep as f64);
+                        store.ingest_sample(&k, d, t).unwrap();
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(store.len(), 8);
+    for i in 0..8 {
+        assert_eq!(store.epoch_of(&key(i)), Some(60));
+        // Concurrent incremental maintenance still matches a cold
+        // rebuild bitwise.
+        store
+            .with_entry(&key(i), |e| {
+                let cold = e.cold_rebuild().unwrap();
+                assert_eq!(e.model(), &cold, "tenant {i} diverged");
+            })
+            .unwrap();
+    }
+    let snap = store.metrics().snapshot();
+    assert_eq!(
+        snap.refresh_patched + snap.refresh_rebuilt + snap.refresh_fallbacks,
+        8 * 60
+    );
+}

@@ -1,0 +1,159 @@
+//! The store's central guarantee, pinned property-style: streaming
+//! observations through [`ModelEntry::ingest_sample`]'s incremental
+//! refresh yields a model — and the partitions computed from it —
+//! **bit-identical** to a from-scratch cold rebuild over the same
+//! observation stream, at *every* prefix, including prefixes where
+//! the outlier-reclassification full-rebuild fallback fires.
+
+use fupermod_core::model::{AkimaModel, Model};
+use fupermod_core::partition::{NumericalPartitioner, Partitioner};
+use fupermod_store::{EntryConfig, IngestOutcome, ModelEntry};
+use proptest::prelude::*;
+
+/// Probes two models at many abscissas and requires bit equality.
+fn assert_model_bits_equal(incremental: &AkimaModel, rebuilt: &AkimaModel, ctx: &str) {
+    assert_eq!(incremental, rebuilt, "{ctx}: structural mismatch");
+    assert_eq!(
+        incremental.points().len(),
+        rebuilt.points().len(),
+        "{ctx}: point count"
+    );
+    for (a, b) in incremental.points().iter().zip(rebuilt.points()) {
+        assert_eq!(a.d, b.d, "{ctx}: point size");
+        assert_eq!(a.t.to_bits(), b.t.to_bits(), "{ctx}: point time d={}", a.d);
+        assert_eq!(a.reps, b.reps, "{ctx}: point reps d={}", a.d);
+        assert_eq!(a.ci.to_bits(), b.ci.to_bits(), "{ctx}: point ci d={}", a.d);
+    }
+    for i in 0..64 {
+        let x = 13.7 * i as f64;
+        match (incremental.time(x), rebuilt.time(x)) {
+            (Some(a), Some(b)) => assert_eq!(a.to_bits(), b.to_bits(), "{ctx}: time({x})"),
+            (None, None) => {}
+            _ => panic!("{ctx}: readiness mismatch at {x}"),
+        }
+    }
+}
+
+/// One observation: an index into a small size grid plus a time.
+/// Spikes (occasional huge times) drive the outlier machinery.
+fn stream_strategy() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    let sizes = [100u64, 250, 400, 900, 1600, 2500];
+    proptest::collection::vec(
+        (0usize..sizes.len(), 0.5f64..2.0, 0u32..10),
+        1..40,
+    )
+    .prop_map(move |raw| {
+        raw.into_iter()
+            .map(|(i, t, spike)| {
+                let d = sizes[i];
+                let base = t * d as f64 * 1e-3;
+                (d, if spike < 2 { base * 40.0 } else { base })
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Model coefficients bit-identical to a cold rebuild at every
+    /// prefix of a random spike-laden stream.
+    #[test]
+    fn incremental_model_equals_cold_rebuild_at_every_prefix(
+        stream in stream_strategy()
+    ) {
+        // A tight threshold so spikes actually reject and reclassify.
+        let config = EntryConfig { outlier_k: 3.0, confidence: 0.95 };
+        let mut entry = ModelEntry::new(EntryConfig { ..config });
+        let mut reference = ModelEntry::new(config);
+        for (i, &(d, t)) in stream.iter().enumerate() {
+            entry.ingest_sample(d, t).unwrap();
+            reference.ingest_sample_rebuilding(d, t).unwrap();
+            let cold = entry.cold_rebuild().unwrap();
+            assert_model_bits_equal(entry.model(), &cold, &format!("prefix {}", i + 1));
+            assert_model_bits_equal(entry.model(), reference.model(), &format!("ref prefix {}", i + 1));
+        }
+    }
+
+    /// Partitions over store-maintained models bit-identical to
+    /// partitions over cold-rebuilt models at every prefix.
+    #[test]
+    fn partitions_equal_cold_rebuild_partitions_at_every_prefix(
+        stream_a in stream_strategy(),
+        stream_b in stream_strategy(),
+    ) {
+        let config = EntryConfig { outlier_k: 3.0, confidence: 0.95 };
+        let mut a = ModelEntry::new(config);
+        let mut b = ModelEntry::new(config);
+        // Interleave the two streams; partition after each step once
+        // both members have data.
+        let steps = stream_a.len().max(stream_b.len());
+        let partitioner = NumericalPartitioner::default();
+        for i in 0..steps {
+            if let Some(&(d, t)) = stream_a.get(i) {
+                a.ingest_sample(d, t).unwrap();
+            }
+            if let Some(&(d, t)) = stream_b.get(i) {
+                b.ingest_sample(d, t).unwrap();
+            }
+            if a.model().is_ready() && b.model().is_ready() {
+                let warm: Vec<&dyn Model> = vec![a.model(), b.model()];
+                let cold_a = a.cold_rebuild().unwrap();
+                let cold_b = b.cold_rebuild().unwrap();
+                let cold: Vec<&dyn Model> = vec![&cold_a, &cold_b];
+                let dw = partitioner.partition(5000, &warm).unwrap();
+                let dc = partitioner.partition(5000, &cold).unwrap();
+                prop_assert_eq!(dw.sizes(), dc.sizes(), "sizes differ at step {}", i);
+                for (pw, pc) in dw.parts().iter().zip(dc.parts()) {
+                    prop_assert_eq!(pw.t.to_bits(), pc.t.to_bits(), "part time bits at step {}", i);
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic regression: a stream engineered so the median
+/// migrates and previously-rejected samples are pulled back into the
+/// kept set — the fallback path must fire *and* stay bit-identical.
+#[test]
+fn fallback_path_fires_and_stays_identical() {
+    let config = EntryConfig {
+        outlier_k: 3.0,
+        confidence: 0.95,
+    };
+    let mut entry = ModelEntry::new(config);
+    // Second size keeps the model non-trivial (two nodes + origin).
+    entry.ingest_sample(500, 1.0).unwrap();
+    let stream = [1.0, 1.1, 0.9, 1.05, 50.0, 48.0, 52.0, 49.0, 51.0, 50.5];
+    let mut outcomes = Vec::new();
+    for (i, &t) in stream.iter().enumerate() {
+        let outcome = entry.ingest_sample(100, t).unwrap();
+        outcomes.push(outcome);
+        let cold = entry.cold_rebuild().unwrap();
+        assert_model_bits_equal(entry.model(), &cold, &format!("fallback prefix {}", i + 1));
+    }
+    assert!(
+        outcomes.contains(&IngestOutcome::FallbackRebuilt),
+        "reclassification fallback never fired: {outcomes:?}"
+    );
+    assert!(
+        outcomes.contains(&IngestOutcome::Patched),
+        "patch path never fired: {outcomes:?}"
+    );
+}
+
+/// The three outcome kinds partition the ingestion work faithfully on
+/// a hand-built stream (new size → rebuilt, repeat → patched,
+/// reclassifying spike run → fallback).
+#[test]
+fn outcome_kinds_cover_all_paths() {
+    let mut entry = ModelEntry::new(EntryConfig {
+        outlier_k: 3.0,
+        confidence: 0.95,
+    });
+    assert_eq!(entry.ingest_sample(100, 1.0).unwrap(), IngestOutcome::Rebuilt);
+    assert_eq!(entry.ingest_sample(400, 4.0).unwrap(), IngestOutcome::Rebuilt);
+    assert_eq!(entry.ingest_sample(100, 1.02).unwrap(), IngestOutcome::Patched);
+    assert_eq!(entry.ingest_sample(400, 4.04).unwrap(), IngestOutcome::Patched);
+    assert_eq!(entry.epoch(), 4);
+}

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Statistical regression gate over two BENCH_PR*.json files produced
+# by scripts/bench_record.sh:
+#
+#   scripts/bench_compare.sh BASELINE.json CURRENT.json
+#
+# For every benchmark present in both files it compares the across-run
+# 95% confidence intervals (results_stats: mean ± ci95). A benchmark
+# REGRESSES when the current mean is slower than the baseline mean and
+# the two intervals do not overlap — i.e. the slowdown is
+# distinguishable from run-to-run noise at the recorded confidence,
+# not merely a noisy re-measurement. Any regression fails the script
+# (exit 1); improvements and overlapping intervals pass.
+#
+# Opt-in wiring in scripts/check.sh: set
+#
+#   BENCH_COMPARE_BASELINE=old.json BENCH_COMPARE_CURRENT=new.json scripts/check.sh
+#
+# and the gate runs after the test suite. It is opt-in because it
+# needs two recorded files from the *same host* to be meaningful —
+# cross-host comparisons conflate hardware with code (check host.cpus
+# and git.sha/git.dirty in the files when reading a failure).
+set -euo pipefail
+
+if [ "$#" -ne 2 ]; then
+    echo "usage: $0 BASELINE.json CURRENT.json" >&2
+    exit 2
+fi
+
+python3 - "$1" "$2" <<'PY'
+import json, sys
+
+baseline_path, current_path = sys.argv[1], sys.argv[2]
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if "results_stats" not in doc:
+        sys.exit(f"{path}: no results_stats — re-record with scripts/bench_record.sh")
+    return doc
+
+baseline, current = load(baseline_path), load(current_path)
+
+for name, doc in (("baseline", baseline), ("current", current)):
+    git = doc.get("git", {})
+    sha = git.get("sha", "unknown")[:12]
+    dirty = "+dirty" if git.get("dirty") else ""
+    print(f"{name}: {sha}{dirty} on {doc.get('host', {}).get('os', '?')}")
+
+shared = sorted(set(baseline["results_stats"]) & set(current["results_stats"]))
+if not shared:
+    sys.exit("no benchmarks in common — comparing unrelated recordings?")
+
+regressions = []
+for name in shared:
+    b, c = baseline["results_stats"][name], current["results_stats"][name]
+    change = (c["mean"] - b["mean"]) / b["mean"] if b["mean"] else 0.0
+    # Slower, and the intervals are disjoint: the current run's fastest
+    # plausible mean is still slower than the baseline's slowest.
+    regressed = (
+        c["mean"] > b["mean"]
+        and c["mean"] - c["ci95"] > b["mean"] + b["ci95"]
+    )
+    verdict = "REGRESSED" if regressed else ("ok (slower, within noise)" if change > 0 else "ok")
+    print(
+        f"  {name}: {b['mean']:.3e}s ±{b['ci95']:.1e} -> "
+        f"{c['mean']:.3e}s ±{c['ci95']:.1e} ({change:+.1%}) {verdict}"
+    )
+    if regressed:
+        regressions.append(name)
+
+only = sorted(set(current["results_stats"]) - set(baseline["results_stats"]))
+if only:
+    print(f"  (no baseline for: {', '.join(only)})")
+
+if regressions:
+    sys.exit(
+        f"{len(regressions)} benchmark(s) regressed beyond the 95% CI: "
+        + ", ".join(regressions)
+    )
+print(f"no regressions across {len(shared)} shared benchmark(s)")
+PY

@@ -38,6 +38,16 @@
 #     the `# metric` lines the bench prints (dispatch events/sec at
 #     p = 100k, peak RSS).
 #
+#   MODE=pr9 — partitioning-as-a-service evidence (default
+#     OUT=BENCH_PR9.json; see docs/SERVE.md). Records the
+#     `store_serve/{cold_build_partition,warm_lookup}` and
+#     `store_ingest/{incremental,rebuild}` benches. The derived ratios
+#     are cold ÷ warm (what a plan-cache hit saves over rebuilding the
+#     models and re-solving per request; must be >= 10x) and rebuild ÷
+#     incremental (what window-patching saves over from-scratch model
+#     rebuilds while streaming 640 observations over 128 sizes; must
+#     be >= 2x) — both ratios are acceptance-checked here.
+#
 #   MODE=pr8 — multi-process TCP transport evidence (default
 #     OUT=BENCH_PR8.json; see docs/RUNTIME.md §10). Records the
 #     `net_collectives/p4_{tcp,threaded}` and `net_p2p/rtt_{tcp,threaded}`
@@ -65,8 +75,9 @@ pr4) OUT=${OUT:-BENCH_PR4.json} ;;
 pr6) OUT=${OUT:-BENCH_PR6.json} ;;
 pr7) OUT=${OUT:-BENCH_PR7.json} ;;
 pr8) OUT=${OUT:-BENCH_PR8.json} ;;
+pr9) OUT=${OUT:-BENCH_PR9.json} ;;
 *)
-    echo "unknown MODE=$MODE (expected pr2, pr4, pr6, pr7 or pr8)" >&2
+    echo "unknown MODE=$MODE (expected pr2, pr4, pr6, pr7, pr8 or pr9)" >&2
     exit 2
     ;;
 esac
@@ -92,6 +103,9 @@ for i in $(seq "$RUNS"); do
     elif [ "$MODE" = pr8 ]; then
         cargo bench -q -p fupermod-bench \
             --bench net_transport >>"$raw"
+    elif [ "$MODE" = pr9 ]; then
+        cargo bench -q -p fupermod-bench \
+            --bench store_serve >>"$raw"
     else
         cargo bench -q -p fupermod-bench \
             --bench comm_collectives >>"$raw"
@@ -99,7 +113,7 @@ for i in $(seq "$RUNS"); do
 done
 
 python3 - "$raw" "$OUT" "$RUNS" "$SCHEMA" "$MODE" <<'PY'
-import json, math, os, platform, re, statistics, sys
+import json, math, os, platform, re, statistics, subprocess, sys
 from datetime import datetime, timezone
 
 raw_path, out_path, runs, schema_path, mode = (
@@ -207,6 +221,31 @@ elif mode == "pr8":
         "net_tcp_bulk_mib_per_sec": metric("net_tcp_bulk_mib_per_sec"),
         "net_threaded_bulk_mib_per_sec": metric("net_threaded_bulk_mib_per_sec"),
     }
+elif mode == "pr9":
+    derived = {
+        # What a warm plan-cache hit saves over rebuilding the member
+        # models and re-solving the partition per request.
+        "warm_over_cold_lookup_speedup": ratio(
+            "store_serve/cold_build_partition", "store_serve/warm_lookup"
+        ),
+        # What incremental window-patching saves over from-scratch
+        # model rebuilds while streaming observations.
+        "incremental_over_rebuild_speedup": ratio(
+            "store_ingest/rebuild", "store_ingest/incremental"
+        ),
+    }
+    if derived["warm_over_cold_lookup_speedup"] < 10.0:
+        sys.exit(
+            "acceptance violation: warm lookup only "
+            f"{derived['warm_over_cold_lookup_speedup']:.1f}x over cold "
+            "build+partition (must be >= 10x)"
+        )
+    if derived["incremental_over_rebuild_speedup"] < 2.0:
+        sys.exit(
+            "acceptance violation: incremental ingest only "
+            f"{derived['incremental_over_rebuild_speedup']:.1f}x over "
+            "rebuilding ingest (must be >= 2x)"
+        )
 else:
     derived = {
         f"vtime_p{p}_{alg}_speedup": ratio(
@@ -216,13 +255,29 @@ else:
         for alg in ("ring", "tree")
     }
 
+def git_provenance():
+    """The commit the numbers were measured at, and whether the tree
+    had uncommitted changes — so a recorded file can be tied back to
+    (or disqualified as evidence for) an exact source state."""
+    def run(*argv):
+        return subprocess.run(
+            argv, capture_output=True, text=True, check=True
+        ).stdout.strip()
+    try:
+        sha = run("git", "rev-parse", "HEAD")
+        dirty = bool(run("git", "status", "--porcelain"))
+    except (OSError, subprocess.CalledProcessError):
+        sys.exit("cannot determine git provenance — run from the repo checkout")
+    return {"sha": sha, "dirty": dirty}
+
 doc = {
-    "schema_version": 1,
+    "schema_version": 2,
     "generated_utc": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
     "host": {
         "cpus": os.cpu_count() or 1,
         "os": f"{platform.system()} {platform.release()} {platform.machine()}",
     },
+    "git": git_provenance(),
     "runs": runs,
     "results_s": results,
     "results_stats": results_stats,
@@ -233,7 +288,7 @@ doc = {
 with open(schema_path, encoding="utf-8") as f:
     schema = json.load(f)
 
-TYPES = {"int": int, "float": (int, float), "str": str, "dict": dict}
+TYPES = {"int": int, "float": (int, float), "str": str, "dict": dict, "bool": bool}
 
 def check(obj, required, where):
     for key, tname in required.items():
@@ -246,6 +301,7 @@ def check(obj, required, where):
 
 check(doc, schema["required"], "")
 check(doc["host"], schema["host_required"], "host.")
+check(doc["git"], schema["git_required"], "git.")
 check(doc["derived"], schema["derived_required_by_mode"][mode], "derived.")
 for name, stats in doc["results_stats"].items():
     check(stats, schema["results_stats_required"], f"results_stats.{name}.")

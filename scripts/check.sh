@@ -103,6 +103,57 @@ run ./target/release/fupermod_tracetool report "$TCP_DIR/tcp_merged.jsonl" \
     --json --out "$TCP_DIR/tcp_summary.json"
 run ./target/release/fupermod_tracetool validate \
     --schema scripts/tracetool_schema.json "$TCP_DIR/tcp_summary.json"
+# Serving gate: the partitioning-as-a-service daemon (fupermod_served,
+# docs/SERVE.md) must accept concurrent clients streaming model points
+# and answer a partition query **byte-identical** to the offline
+# fupermod_builder + fupermod_partitioner pipeline over the same
+# points, then shut down cleanly — all under a timeout so a wedged
+# accept loop is a failure, not a hang.
+SERVE_DIR="$TRACE_TMP/serve"
+mkdir -p "$SERVE_DIR"
+run ./target/release/fupermod_builder --platform two-speed --points 8 \
+    --lo 64 --hi 8192 --out "$SERVE_DIR/models" > /dev/null
+echo "==> serve gate: offline reference partition"
+./target/release/fupermod_partitioner --models "$SERVE_DIR/models" \
+    --total 20000 --algorithm numerical --model akima \
+    > "$SERVE_DIR/offline.txt"
+echo "==> serve gate: daemon + 2 concurrent ingest clients"
+timeout 120 ./target/release/fupermod_served --mode serve \
+    --listen 127.0.0.1:0 > "$SERVE_DIR/daemon.out" 2>/dev/null &
+SERVE_PID=$!
+for _ in $(seq 100); do
+    grep -q '^listening on ' "$SERVE_DIR/daemon.out" && break
+    sleep 0.1
+done
+SERVE_ADDR=$(sed -n 's/^listening on //p' "$SERVE_DIR/daemon.out")
+[ -n "$SERVE_ADDR" ] || { echo "daemon never announced its address" >&2; exit 1; }
+declare -a SERVE_PIDS=()
+i=0
+for f in "$SERVE_DIR"/models/*.points; do
+    timeout 60 ./target/release/fupermod_served --mode ingest \
+        --connect "$SERVE_ADDR" --points "$f" \
+        --fingerprint "$(basename "$f")" > /dev/null &
+    SERVE_PIDS[$i]=$!
+    i=$((i + 1))
+done
+for pid in "${SERVE_PIDS[@]}"; do wait "$pid"; done
+FPS=$(cd "$SERVE_DIR/models" && ls -- *.points | paste -sd, -)
+echo "==> serve gate: partition query against the warm daemon"
+timeout 60 ./target/release/fupermod_served --mode partition \
+    --connect "$SERVE_ADDR" --fingerprints "$FPS" \
+    --total 20000 --algorithm numerical > "$SERVE_DIR/served.txt" 2>/dev/null
+run diff "$SERVE_DIR/offline.txt" "$SERVE_DIR/served.txt"
+run timeout 60 ./target/release/fupermod_served --mode shutdown \
+    --connect "$SERVE_ADDR"
+wait "$SERVE_PID"
+# Bench regression gate (opt-in — needs two recorded BENCH_PR*.json
+# files from this host; see scripts/bench_compare.sh):
+#   BENCH_COMPARE_BASELINE=old.json BENCH_COMPARE_CURRENT=new.json scripts/check.sh
+if [ -n "${BENCH_COMPARE_BASELINE:-}" ] || [ -n "${BENCH_COMPARE_CURRENT:-}" ]; then
+    : "${BENCH_COMPARE_BASELINE:?set both BENCH_COMPARE_BASELINE and BENCH_COMPARE_CURRENT}"
+    : "${BENCH_COMPARE_CURRENT:?set both BENCH_COMPARE_BASELINE and BENCH_COMPARE_CURRENT}"
+    run scripts/bench_compare.sh "$BENCH_COMPARE_BASELINE" "$BENCH_COMPARE_CURRENT"
+fi
 # The runtime crate must also be clippy-clean on its own — including
 # the discrete-event simulator (`src/sim/`), whose hot dispatch loop
 # is exactly where sloppy clones and needless collects would hide.

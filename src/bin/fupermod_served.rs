@@ -1,0 +1,287 @@
+//! `fupermod_served` — the partitioning-as-a-service daemon and its
+//! command-line client, built on the `fupermod-store` crate: a sharded,
+//! incrementally-maintained cache of device models plus an
+//! epoch-invalidated partition-plan cache, served over line-delimited
+//! JSON on TCP (protocol reference: `docs/SERVE.md`).
+//!
+//! ```text
+//! Usage: fupermod_served [--mode serve|ingest|partition|lookup|stats|shutdown]
+//!
+//! serve (default):
+//!   --listen ADDR   bind address (default 127.0.0.1:7070; port 0 picks
+//!                   a free port — the chosen one is printed)
+//!   --shards N      store shard count (default 8)
+//!   --plan-budget B plan-cache byte budget (default 1048576)
+//!   --outlier-k K   outlier rejection threshold (default 5)
+//!   --confidence C  confidence level for point CIs (default 0.95)
+//!   --trace PATH | --trace-dir DIR | --trace-format jsonl|csv
+//!                   export store counters as metrics trace events on
+//!                   shutdown (see docs/OBSERVABILITY.md)
+//!
+//! client modes (all take --connect ADDR):
+//!   ingest:    --points FILE --fingerprint NAME [--kernel K] [--config C]
+//!              stream a *.points file into one model entry
+//!   partition: --fingerprints a,b,c --total D [--algorithm NAME]
+//!              [--kernel K] [--config C]
+//!              print the distribution in fupermod_partitioner's format
+//!   lookup:    --fingerprint NAME [--kernel K] [--config C]
+//!   stats:     print the daemon's counters
+//!   shutdown:  stop the daemon
+//! ```
+//!
+//! The daemon prints `listening on ADDR` (flushed) once the socket is
+//! bound, so scripts can scrape the actual port when binding port 0.
+
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use fupermod::cli;
+use fupermod::core::model::io;
+use fupermod::core::trace::fmt_float;
+use fupermod::store::protocol::json::{self, Value};
+use fupermod::store::server::{serve, Client};
+use fupermod::store::ModelStore;
+
+fn main() {
+    let args = cli::parse_args();
+    let mode = args.get("mode").map(String::as_str).unwrap_or("serve");
+    match mode {
+        "serve" => run_serve(&args),
+        "ingest" => run_ingest(&mut connect(&args), &args),
+        "partition" => run_partition(&mut connect(&args), &args),
+        "lookup" => run_lookup(&mut connect(&args), &args),
+        "stats" => run_stats(&mut connect(&args)),
+        "shutdown" => run_shutdown(&mut connect(&args)),
+        other => {
+            eprintln!("unknown --mode '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_serve(args: &HashMap<String, String>) {
+    let addr = args
+        .get("listen")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:7070");
+    let config = cli::store_config(args);
+    let sink = cli::open_trace_sink(args);
+
+    let listener = TcpListener::bind(addr).unwrap_or_else(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    let local = listener.local_addr().expect("local address");
+    println!("listening on {local}");
+    use std::io::Write as _;
+    std::io::stdout().flush().expect("flush stdout");
+
+    let store = Arc::new(ModelStore::new(config));
+    let stop = Arc::new(AtomicBool::new(false));
+    if let Err(e) = serve(listener, Arc::clone(&store), stop) {
+        eprintln!("serve loop failed: {e}");
+        std::process::exit(1);
+    }
+    if let Some(sink) = &sink {
+        store.metrics().export_events(0, sink.as_ref());
+    }
+    cli::finish_trace(sink.as_ref());
+    let s = store.metrics().snapshot();
+    eprintln!(
+        "stopped: {} entries, plan hits {} / misses {} / evictions {}",
+        store.len(),
+        s.plan_hits,
+        s.plan_misses,
+        s.plan_evictions
+    );
+}
+
+fn connect(args: &HashMap<String, String>) -> Client {
+    let addr = args.get("connect").unwrap_or_else(|| {
+        eprintln!("--connect ADDR is required for client modes");
+        std::process::exit(2);
+    });
+    Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// Sends one line and parses the response object, exiting non-zero on
+/// transport errors or an `"ok": false` response.
+fn exchange(client: &mut Client, line: &str) -> Vec<(String, Value)> {
+    let response = client.request(line).unwrap_or_else(|e| {
+        eprintln!("request failed: {e}");
+        std::process::exit(1);
+    });
+    let fields = json::parse_flat_object(&response).unwrap_or_else(|e| {
+        eprintln!("unparsable response {response:?}: {e}");
+        std::process::exit(1);
+    });
+    let ok = matches!(field(&fields, "ok"), Some(Value::Bool(true)));
+    if !ok {
+        match field(&fields, "error") {
+            Some(Value::Str(msg)) => eprintln!("daemon error: {msg}"),
+            _ => eprintln!("daemon error: {response}"),
+        }
+        std::process::exit(1);
+    }
+    fields
+}
+
+fn field<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn nums(fields: &[(String, Value)], key: &str) -> Vec<f64> {
+    match field(fields, key) {
+        Some(Value::NumArray(v)) => v.clone(),
+        other => {
+            eprintln!("response field '{key}' missing or mistyped: {other:?}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn num(fields: &[(String, Value)], key: &str) -> f64 {
+    match field(fields, key) {
+        Some(Value::Num(v)) => *v,
+        other => {
+            eprintln!("response field '{key}' missing or mistyped: {other:?}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn required<'a>(args: &'a HashMap<String, String>, key: &str) -> &'a str {
+    args.get(key).map(String::as_str).unwrap_or_else(|| {
+        eprintln!("--{key} is required");
+        std::process::exit(2);
+    })
+}
+
+fn key_fields(args: &HashMap<String, String>, fingerprint: &str) -> String {
+    format!(
+        "\"fingerprint\":{},\"kernel\":{},\"config\":{}",
+        json::quote(fingerprint),
+        json::quote(args.get("kernel").map(String::as_str).unwrap_or("default")),
+        json::quote(args.get("config").map(String::as_str).unwrap_or("default")),
+    )
+}
+
+fn run_ingest(client: &mut Client, args: &HashMap<String, String>) {
+    let path = required(args, "points");
+    let fingerprint = required(args, "fingerprint");
+    let file = std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        std::process::exit(1);
+    });
+    let points = io::read_points(std::io::BufReader::new(file)).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let mut epoch = 0.0;
+    for p in &points {
+        // Aggregated file points go through the merge-semantics path,
+        // which absorbs them exactly like `io::load_into_model` feeds a
+        // local model — the daemon's models stay bit-identical to an
+        // offline build over the same file.
+        let line = format!(
+            "{{\"op\":\"ingest_point\",{},\"d\":{},\"t\":{},\"reps\":{},\"ci\":{}}}",
+            key_fields(args, fingerprint),
+            p.d,
+            fmt_float(p.t),
+            p.reps,
+            fmt_float(p.ci),
+        );
+        let fields = exchange(client, &line);
+        epoch = num(&fields, "epoch");
+    }
+    println!(
+        "ingested {} points from {path} into {fingerprint} (epoch {epoch})",
+        points.len()
+    );
+}
+
+fn run_partition(client: &mut Client, args: &HashMap<String, String>) {
+    let fingerprints = cli::csv_list(required(args, "fingerprints"));
+    if fingerprints.is_empty() {
+        eprintln!("--fingerprints must name at least one model");
+        std::process::exit(2);
+    }
+    let total: u64 = required(args, "total").parse().unwrap_or_else(|_| {
+        eprintln!("--total must be an integer");
+        std::process::exit(2);
+    });
+    let algorithm = args
+        .get("algorithm")
+        .map(String::as_str)
+        .unwrap_or("geometric");
+    let quoted: Vec<String> = fingerprints.iter().map(|f| json::quote(f)).collect();
+    let line = format!(
+        "{{\"op\":\"partition\",\"fingerprints\":[{}],\"kernel\":{},\"config\":{},\"total\":{total},\"algorithm\":{}}}",
+        quoted.join(","),
+        json::quote(args.get("kernel").map(String::as_str).unwrap_or("default")),
+        json::quote(args.get("config").map(String::as_str).unwrap_or("default")),
+        json::quote(algorithm),
+    );
+    let fields = exchange(client, &line);
+    let ds = nums(&fields, "ds");
+    let ts = nums(&fields, "ts");
+    let cached = matches!(field(&fields, "cached"), Some(Value::Bool(true)));
+
+    // Exactly fupermod_partitioner's output (fingerprints stand in for
+    // the model file names), so the two are byte-diffable.
+    println!("# rank  file  d  predicted_t");
+    for (rank, (fp, (d, t))) in fingerprints.iter().zip(ds.iter().zip(&ts)).enumerate() {
+        println!("{rank} {fp} {} {t:.6}", *d as u64);
+    }
+    println!(
+        "# total {} / predicted makespan {:.6} s / predicted imbalance {:.4}",
+        ds.iter().map(|d| *d as u64).sum::<u64>(),
+        num(&fields, "makespan"),
+        num(&fields, "imbalance"),
+    );
+    eprintln!("plan cache: {}", if cached { "hit" } else { "miss" });
+}
+
+fn run_lookup(client: &mut Client, args: &HashMap<String, String>) {
+    let fingerprint = required(args, "fingerprint");
+    let line = format!("{{\"op\":\"lookup\",{}}}", key_fields(args, fingerprint));
+    let fields = exchange(client, &line);
+    let ds = nums(&fields, "ds");
+    let ts = nums(&fields, "ts");
+    let reps = nums(&fields, "reps");
+    let cis = nums(&fields, "cis");
+    println!("# epoch {}", num(&fields, "epoch"));
+    println!("# d  t  reps  ci");
+    for i in 0..ds.len() {
+        println!(
+            "{} {} {} {}",
+            ds[i] as u64,
+            fmt_float(ts[i]),
+            reps[i] as u64,
+            fmt_float(cis[i])
+        );
+    }
+}
+
+fn run_stats(client: &mut Client) {
+    let fields = exchange(client, r#"{"op":"stats"}"#);
+    for (k, v) in &fields {
+        if k == "ok" {
+            continue;
+        }
+        match v {
+            Value::Num(n) => println!("{k} {}", fmt_float(*n)),
+            other => println!("{k} {other:?}"),
+        }
+    }
+}
+
+fn run_shutdown(client: &mut Client) {
+    exchange(client, r#"{"op":"shutdown"}"#);
+    println!("daemon shutting down");
+}

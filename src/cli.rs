@@ -467,3 +467,44 @@ pub fn finish_trace(sink: Option<&Arc<dyn TraceSink>>) {
     }
     eprintln!("{}", metrics().summary());
 }
+
+/// Builds the model-store configuration for `fupermod_served` from
+/// the `--shards N`, `--plan-budget BYTES`, `--outlier-k K` and
+/// `--confidence CL` flags (all optional; defaults are
+/// `StoreConfig::default()`'s). Exits with status 2 on an unparsable
+/// value, matching the other flag helpers.
+pub fn store_config(args: &HashMap<String, String>) -> fupermod_store::StoreConfig {
+    fn parsed<T: std::str::FromStr>(
+        args: &HashMap<String, String>,
+        key: &str,
+        default: T,
+    ) -> T {
+        match args.get(key) {
+            None => default,
+            Some(raw) => raw.parse().unwrap_or_else(|_| {
+                eprintln!("invalid --{key} value {raw:?}");
+                std::process::exit(2);
+            }),
+        }
+    }
+    let defaults = fupermod_store::StoreConfig::default();
+    fupermod_store::StoreConfig {
+        shards: parsed(args, "shards", defaults.shards),
+        plan_budget_bytes: parsed(args, "plan-budget", defaults.plan_budget_bytes),
+        entry: fupermod_store::EntryConfig {
+            outlier_k: parsed(args, "outlier-k", defaults.entry.outlier_k),
+            confidence: parsed(args, "confidence", defaults.entry.confidence),
+        },
+    }
+}
+
+/// Splits a comma-separated flag value (`--fingerprints a,b,c`) into
+/// its non-empty items.
+pub fn csv_list(value: &str) -> Vec<String> {
+    value
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect()
+}

@@ -18,6 +18,7 @@
 //! | [`kernels`] | `fupermod-kernels` | GEMM, Jacobi sweep, synthetic kernels |
 //! | [`core`] | `fupermod-core` | benchmarking, performance models, partitioning |
 //! | [`runtime`] | `fupermod-runtime` | rank-based message-passing runtime, fault injection, distributed balancing |
+//! | [`store`] | `fupermod-store` | sharded incrementally-maintained model store, plan cache, serving protocol |
 //! | [`apps`] | `fupermod-apps` | matrix multiplication and Jacobi use cases |
 //! | [`trace`] | `fupermod-trace` | causal trace merge, critical-path reports, Perfetto export |
 //!
@@ -67,4 +68,5 @@ pub use fupermod_kernels as kernels;
 pub use fupermod_num as num;
 pub use fupermod_platform as platform;
 pub use fupermod_runtime as runtime;
+pub use fupermod_store as store;
 pub use fupermod_trace as trace;
