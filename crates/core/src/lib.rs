@@ -29,6 +29,10 @@
 //! [`trace`] module: benchmark samples and summaries, model updates and
 //! dynamic repartitioning steps, recorded as JSONL or CSV with a
 //! versioned schema (see `docs/OBSERVABILITY.md` in the repository).
+//! The [`telemetry`] module adds the *live* side of the same story: a
+//! lock-free registry of labelled counters, gauges and latency
+//! histograms, snapshotable at any time and renderable as Prometheus
+//! text exposition (the `/metrics` endpoint of `fupermod_served`).
 //!
 //! # Quick start
 //!
@@ -81,6 +85,7 @@ pub mod model;
 pub mod partition;
 pub mod point;
 pub mod precision;
+pub mod telemetry;
 pub mod trace;
 
 mod error;

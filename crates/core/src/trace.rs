@@ -53,9 +53,12 @@ use crate::{CoreError, Point};
 /// `lamport`/`gen` stamps on `comm` events (which make per-rank
 /// traces mergeable into one globally ordered timeline — see
 /// `fupermod-trace` and `fupermod_tracetool merge`) and the
-/// `metrics` event carrying latency-histogram snapshots. v1/v2
-/// traces remain readable.
-pub const SCHEMA_VERSION: u32 = 3;
+/// `metrics` event carrying latency-histogram snapshots. v4 adds the
+/// `kind`/`labels` fields on `metrics` events so the live telemetry
+/// registry (`telemetry` module) can export labelled counters and
+/// gauges alongside histograms. Every addition is additive: v1–v3
+/// traces remain readable, with the missing fields defaulting.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// A typed observability event emitted by the measurement and
 /// partitioning machinery.
@@ -178,28 +181,44 @@ pub enum TraceEvent {
         /// (0 when not applicable).
         seconds: f64,
     },
-    /// A latency-histogram snapshot (schema v3), exported by
-    /// [`Metrics::export_histogram_events`] — typically once, at the
-    /// end of a traced run.
+    /// A metric sample (schema v3; `kind`/`labels` are the schema-v4
+    /// addendum): a latency-histogram snapshot exported by
+    /// [`Metrics::export_histogram_events`], or a labelled counter /
+    /// gauge / histogram exported by the live telemetry registry
+    /// (`telemetry` module).
     Metrics {
-        /// Rank the snapshot describes (`0` for process-wide
-        /// histograms, which is what the built-in facade exports).
+        /// Rank the sample describes (`0` for process-wide
+        /// metrics, which is what the built-in facades export).
         rank: usize,
-        /// Histogram scope tag: `comm.<op>` (per-operation
-        /// communication latency) or `bench.rep` (benchmark
-        /// repetition time).
+        /// Metric scope tag: `comm.<op>` (per-operation
+        /// communication latency), `bench.rep` (benchmark repetition
+        /// time), or a registry metric name such as
+        /// `served_requests_total`.
         scope: String,
-        /// Samples recorded.
+        /// Samples recorded (histograms), or the counter value.
+        /// `0` for gauges, whose value rides in `sum`.
         count: u64,
-        /// Sum of recorded latencies, seconds (nanosecond
-        /// resolution).
+        /// Sum of recorded latencies in seconds (histograms), the
+        /// gauge value, or `0` for counters.
         sum: f64,
         /// Log-bucketed counts, length
         /// [`HISTOGRAM_BUCKETS`]` + 2`: `buckets[0]` is the
         /// underflow bin (`< 1 ns`), `buckets[1 + k]` covers
         /// `[2^k, 2^(k+1))` nanoseconds, and the last bin is the
-        /// overflow (`>= 2^HISTOGRAM_BUCKETS` ns).
+        /// overflow (`>= 2^HISTOGRAM_BUCKETS` ns). Empty for
+        /// counters and gauges.
         buckets: Vec<u64>,
+        /// Metric kind (schema v4): `counter`, `gauge`, or
+        /// `histogram`. Empty in pre-v4 traces, which carried only
+        /// histogram snapshots (and unlabeled store counters whose
+        /// empty `buckets` distinguish them).
+        kind: String,
+        /// Label set (schema v4): `;`-separated `key=value` pairs in
+        /// sorted key order (e.g. `op=ingest;outcome=ok`), restricted
+        /// to escape-free tags without `,`/`;`/`=` in the values.
+        /// Empty when the metric carries no labels (all pre-v4
+        /// traces).
+        labels: String,
     },
 }
 
@@ -331,11 +350,15 @@ impl TraceEvent {
                 count,
                 sum,
                 buckets,
+                kind,
+                labels,
             } => {
                 push_num(&mut s, "rank", *rank as f64);
                 push_str(&mut s, "scope", scope);
                 push_int(&mut s, "count", *count);
                 push_float(&mut s, "sum", *sum);
+                push_str(&mut s, "kind", kind);
+                push_str(&mut s, "labels", labels);
                 s.push_str(",\"buckets\":[");
                 for (i, b) in buckets.iter().enumerate() {
                     if i > 0 {
@@ -469,6 +492,10 @@ impl TraceEvent {
                     count: num("count")? as u64,
                     sum: num("sum")?,
                     buckets,
+                    // `kind`/`labels` are the schema-v4 addendum;
+                    // pre-v4 traces lack them — decode as empty.
+                    kind: text("kind").unwrap_or_default(),
+                    labels: text("labels").unwrap_or_default(),
                 })
             }
             other => Err(CoreError::Trace(format!("unknown event tag '{other}'"))),
@@ -481,8 +508,10 @@ impl TraceEvent {
         //          elapsed,outliers_rejected,t,points,imbalance,
         //          units_moved,steps,dist,op,kind,peer,bytes,seconds,
         //          attempt,algorithm,rounds,lamport,gen,scope,count,
-        //          sum,buckets
-        let mut c: [String; CSV_COLUMNS] = Default::default();
+        //          sum,buckets,labels
+        // (`kind` — column 19 — is shared by fault and metrics rows,
+        // like rank/peer/seconds are shared across variants.)
+        let mut c: [String; CSV_COLUMNS] = std::array::from_fn(|_| String::new());
         c[0] = self.name().to_owned();
         match self {
             TraceEvent::BenchmarkSample {
@@ -587,8 +616,11 @@ impl TraceEvent {
                 count,
                 sum,
                 buckets,
+                kind,
+                labels,
             } => {
                 c[2] = rank.to_string();
+                c[19] = kind.clone();
                 c[28] = scope.clone();
                 c[29] = count.to_string();
                 c[30] = fmt_float(*sum);
@@ -597,6 +629,7 @@ impl TraceEvent {
                     .map(|b| b.to_string())
                     .collect::<Vec<_>>()
                     .join(";");
+                c[32] = labels.clone();
             }
         }
         c.join(",")
@@ -713,6 +746,8 @@ impl TraceEvent {
                 count: req_u64(29, "count")?,
                 sum: req_f64(30, "sum")?,
                 buckets: semis(31, "buckets")?,
+                kind: cell(19).to_owned(),
+                labels: cell(32).to_owned(),
             }),
             other => Err(CoreError::Trace(format!("unknown event tag '{other}'"))),
         }
@@ -731,22 +766,24 @@ fn parse_csv_float(cell: &str) -> Option<f64> {
 }
 
 /// Number of columns in the canonical CSV layout ([`CSV_HEADER`]).
-pub const CSV_COLUMNS: usize = 32;
+pub const CSV_COLUMNS: usize = 33;
 
 /// Column header row of the CSV encoding (preceded in files by the
-/// `# fupermod-trace schema=3` comment line). The six columns
+/// `# fupermod-trace schema=4` comment line). The six columns
 /// starting at `op` (`op..attempt`) are the schema-v2 additions for
 /// the `comm`/`fault` events; `algorithm,rounds` are the schema-v2
 /// *addendum* columns describing the collective schedule a `comm`
 /// event used; `lamport,gen` are the schema-v3 causal stamps on
 /// `comm` rows, and `scope,count,sum,buckets` carry the schema-v3
 /// `metrics` event (histogram snapshots — `buckets` is
-/// `;`-separated like `dist`). Absent columns are empty/`0` for
-/// older rows and non-applicable events.
+/// `;`-separated like `dist`). Schema v4 adds `labels` (the metric
+/// label set, `;`-separated `key=value` pairs) and reuses `kind` for
+/// the metric kind tag on `metrics` rows. Absent columns are
+/// empty/`0` for older rows and non-applicable events.
 pub const CSV_HEADER: &str = "event,iter,rank,d,rep,reps,time,mean,stderr,ci_rel,\
 elapsed,outliers_rejected,t,points,imbalance,units_moved,steps,dist,\
 op,kind,peer,bytes,seconds,attempt,algorithm,rounds,lamport,gen,\
-scope,count,sum,buckets";
+scope,count,sum,buckets,labels";
 
 /// Formats a float for both encodings: shortest round-trip via Rust's
 /// `Display`, with non-finite values mapped to `null`-compatible text
@@ -1650,8 +1687,13 @@ impl Metrics {
 
     /// Records one communication-operation latency into the per-op
     /// histogram. `op` must be one of [`COMM_OPS`] (unknown tags are
-    /// ignored); a no-op unless histograms are enabled.
+    /// ignored); a no-op unless histograms are enabled. The sample is
+    /// also offered to the live telemetry registry
+    /// (`fupermod_comm_duration_seconds{op=...}`), which applies its
+    /// own single-relaxed-load gate, so scrapeable runs need no extra
+    /// instrumentation at the call sites.
     pub fn record_comm_latency(&self, op: &str, seconds: f64) {
+        crate::telemetry::record_comm(op, seconds);
         if !self.histograms_enabled() {
             return;
         }
@@ -1700,6 +1742,8 @@ impl Metrics {
                 count: snap.count,
                 sum: snap.sum_seconds,
                 buckets: snap.buckets,
+                kind: "histogram".to_owned(),
+                labels: String::new(),
             });
             emitted += 1;
         }
@@ -1711,6 +1755,8 @@ impl Metrics {
                 count: snap.count,
                 sum: snap.sum_seconds,
                 buckets: snap.buckets,
+                kind: "histogram".to_owned(),
+                labels: String::new(),
             });
             emitted += 1;
         }
@@ -1816,6 +1862,17 @@ mod tests {
                     b[21] = 7;
                     b
                 },
+                kind: "histogram".to_owned(),
+                labels: String::new(),
+            },
+            TraceEvent::Metrics {
+                rank: 0,
+                scope: "served_requests_total".to_owned(),
+                count: 42,
+                sum: 0.0,
+                buckets: Vec::new(),
+                kind: "counter".to_owned(),
+                labels: "op=ingest;outcome=ok".to_owned(),
             },
         ]
     }
@@ -1912,6 +1969,47 @@ mod tests {
         );
         assert!(TraceEvent::from_csv_row("comm,oops").is_err());
         assert!(TraceEvent::from_csv_row(&"nope,".repeat(30)).is_err());
+    }
+
+    #[test]
+    fn pre_v4_metrics_rows_decode_with_defaults() {
+        // A 32-column v3 metrics row lacks the `labels` column and
+        // the `kind` cell; both must decode as empty.
+        let bins = vec!["0"; HISTOGRAM_BUCKETS + 2].join(";");
+        let mut cols = vec![String::new(); 32];
+        cols[0] = "metrics".to_owned();
+        cols[2] = "0".to_owned();
+        cols[28] = "comm.send".to_owned();
+        cols[29] = "3".to_owned();
+        cols[30] = "0.001".to_owned();
+        cols[31] = bins;
+        let row = cols.join(",");
+        assert_eq!(row.split(',').count(), 32);
+        match TraceEvent::from_csv_row(&row).unwrap() {
+            TraceEvent::Metrics {
+                scope,
+                count,
+                kind,
+                labels,
+                ..
+            } => {
+                assert_eq!(scope, "comm.send");
+                assert_eq!(count, 3);
+                assert_eq!(kind, "");
+                assert_eq!(labels, "");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        // Likewise for a v3 JSONL metrics line (no kind/labels keys).
+        let line = "{\"event\":\"metrics\",\"rank\":0,\"scope\":\"comm.send\",\
+                    \"count\":3,\"sum\":0.001,\"buckets\":[1,2]}";
+        match TraceEvent::from_jsonl(line).unwrap() {
+            TraceEvent::Metrics { kind, labels, .. } => {
+                assert_eq!(kind, "");
+                assert_eq!(labels, "");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

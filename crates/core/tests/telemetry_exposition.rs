@@ -1,0 +1,187 @@
+//! Golden and property tests for the Prometheus text exposition and
+//! the telemetry registry's concurrency contract.
+//!
+//! The golden tests pin the exact exposition bytes — escaping, label
+//! ordering, and the cumulative `_bucket`/`_sum`/`_count` shape — so
+//! a scraper-visible format change must show up as a reviewed diff
+//! here. The property test hammers one counter family from many
+//! threads and checks that no increment is lost and that every
+//! mid-flight snapshot is internally consistent.
+
+use std::sync::Arc;
+
+use fupermod_core::telemetry::Registry;
+use fupermod_core::trace::HistogramSnapshot;
+use proptest::prelude::*;
+
+#[test]
+fn golden_counter_and_gauge_exposition() {
+    let registry = Registry::new(true);
+    let hits = registry.counter(
+        "requests_total",
+        "Requests handled.",
+        &[("outcome", "ok"), ("op", "ingest")],
+    );
+    let errors = registry.counter(
+        "requests_total",
+        "Requests handled.",
+        &[("op", "lookup"), ("outcome", "error")],
+    );
+    let uptime = registry.gauge("uptime_seconds", "Seconds since start.", &[]);
+    hits.add(3);
+    errors.inc();
+    uptime.set(1.5);
+
+    // Labels render in sorted key order no matter the registration
+    // order; series within a family sort by their canonical label set.
+    let expected = "\
+# HELP requests_total Requests handled.
+# TYPE requests_total counter
+requests_total{op=\"ingest\",outcome=\"ok\"} 3
+requests_total{op=\"lookup\",outcome=\"error\"} 1
+# HELP uptime_seconds Seconds since start.
+# TYPE uptime_seconds gauge
+uptime_seconds 1.5
+";
+    assert_eq!(registry.snapshot().render_prometheus(), expected);
+}
+
+#[test]
+fn golden_label_value_escaping() {
+    let registry = Registry::new(true);
+    let c = registry.counter(
+        "odd_total",
+        "Values with every escape.",
+        &[("path", "a\\b\"c\nd")],
+    );
+    c.inc();
+    let expected = "\
+# HELP odd_total Values with every escape.
+# TYPE odd_total counter
+odd_total{path=\"a\\\\b\\\"c\\nd\"} 1
+";
+    assert_eq!(registry.snapshot().render_prometheus(), expected);
+}
+
+#[test]
+fn histogram_exposition_buckets_are_cumulative_and_match_invariants() {
+    let registry = Registry::new(true);
+    let h = registry.histogram("op_duration_seconds", "Op latency.", &[("op", "x")]);
+    for seconds in [1e-6, 2e-6, 1e-3, 5.0] {
+        h.record(seconds);
+    }
+    let text = registry.snapshot().render_prometheus();
+
+    // Parse the _bucket lines back: cumulative counts must be
+    // monotone, le values strictly increasing, the last bucket +Inf
+    // carrying the total count, and _count equal to that total.
+    let mut last_cum = 0u64;
+    let mut last_le = f64::NEG_INFINITY;
+    let mut buckets = 0usize;
+    let mut inf_cum = None;
+    for line in text.lines().filter(|l| l.starts_with("op_duration_seconds_bucket")) {
+        buckets += 1;
+        let le_raw = line
+            .split("le=\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .expect("le label");
+        let cum: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(cum >= last_cum, "non-monotone cumulative counts:\n{text}");
+        last_cum = cum;
+        if le_raw == "+Inf" {
+            inf_cum = Some(cum);
+        } else {
+            let le: f64 = le_raw.parse().expect("numeric le");
+            assert!(le > last_le, "le not increasing: {le_raw}\n{text}");
+            last_le = le;
+        }
+    }
+    assert_eq!(
+        buckets,
+        fupermod_core::trace::HISTOGRAM_BUCKETS + 2,
+        "one _bucket line per bin plus +Inf"
+    );
+    assert_eq!(inf_cum, Some(4), "+Inf bucket must carry the total");
+    assert!(
+        text.contains("op_duration_seconds_count{op=\"x\"} 4"),
+        "count line:\n{text}"
+    );
+    // The le bounds are the histogram's own bin uppers, in seconds.
+    let first_le: f64 = text
+        .lines()
+        .find(|l| l.contains("_bucket"))
+        .and_then(|l| l.split("le=\"").nth(1))
+        .and_then(|s| s.split('"').next())
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(first_le, HistogramSnapshot::bin_upper_seconds(0));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Concurrent increments from N threads never lose counts, and a
+    /// snapshot taken while they run is internally consistent: every
+    /// series value is between 0 and its final total.
+    #[test]
+    fn concurrent_increments_are_lossless(
+        threads in 2usize..8,
+        per_thread in 1u64..400,
+    ) {
+        let registry = Arc::new(Registry::new(true));
+        let counter = registry.counter("work_total", "", &[("kind", "x")]);
+        let max_total = threads as u64 * per_thread;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = counter.clone();
+                let r = Arc::clone(&registry);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        c.inc();
+                        // Interleave snapshots with increments: a
+                        // mid-flight snapshot never over-counts.
+                        if i % 64 == 0 {
+                            let snap = r.snapshot();
+                            assert!(snap.counter_total("work_total") <= max_total);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = registry.snapshot().counter_total("work_total");
+        prop_assert_eq!(total, threads as u64 * per_thread);
+    }
+
+    /// Concurrent histogram records: the snapshot's count equals the
+    /// number of records and the bucket sum equals the count.
+    #[test]
+    fn concurrent_histogram_records_are_consistent(
+        threads in 2usize..6,
+        per_thread in 1u64..200,
+    ) {
+        let registry = Arc::new(Registry::new(true));
+        let hist = registry.histogram("lat_seconds", "", &[]);
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = hist.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        h.record(1e-6 * (t as f64 + 1.0) * (i as f64 + 1.0));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = hist.snapshot();
+        let expected = threads as u64 * per_thread;
+        prop_assert_eq!(snap.count, expected);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), expected);
+    }
+}

@@ -48,6 +48,10 @@ const KINDS: [&str; 7] = [
     "degraded",
 ];
 const SCOPES: [&str; 3] = ["comm.send", "comm.allreduce", "bench.rep"];
+// Schema-v4 metric kind/label addendum values, including the empty
+// legacy spellings.
+const METRIC_KINDS: [&str; 4] = ["", "counter", "gauge", "histogram"];
+const LABEL_SETS: [&str; 4] = ["", "op=ingest;outcome=ok", "kind=retry", "shard=3"];
 
 #[allow(clippy::too_many_arguments)]
 fn make_event(
@@ -121,6 +125,8 @@ fn make_event(
             count: big,
             sum: f1,
             buckets,
+            kind: METRIC_KINDS[pick % METRIC_KINDS.len()].to_owned(),
+            labels: LABEL_SETS[pick % LABEL_SETS.len()].to_owned(),
         },
     }
 }

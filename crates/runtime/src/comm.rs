@@ -679,6 +679,7 @@ impl Plane {
     }
 
     pub(crate) fn fault(&self, rank: usize, kind: &str, peer: i64, attempt: u32, seconds: f64) {
+        fupermod_core::telemetry::record_fault(kind);
         self.sink.record(&TraceEvent::Fault {
             rank,
             kind: kind.to_owned(),

@@ -294,6 +294,7 @@ where
     if factor != 1.0 {
         let extra = point.t * (factor - 1.0);
         point.t *= factor;
+        fupermod_core::telemetry::record_fault("straggler");
         sink.record(&TraceEvent::Fault {
             rank,
             kind: "straggler".to_owned(),
@@ -332,6 +333,7 @@ where
                     // Rank died: repartition its load across survivors.
                     if ctx.active()[rank] {
                         ctx.deactivate(rank);
+                        fupermod_core::telemetry::record_fault("degraded");
                         sink.record(&TraceEvent::Fault {
                             rank: comm.rank(),
                             kind: "degraded".to_owned(),
@@ -449,6 +451,7 @@ where
                     // Rank died: repartition its load across survivors.
                     if ctx.active()[src] {
                         ctx.deactivate(src);
+                        fupermod_core::telemetry::record_fault("degraded");
                         sink.record(&TraceEvent::Fault {
                             rank: comm.rank(),
                             kind: "degraded".to_owned(),

@@ -139,6 +139,7 @@ where
     if factor != 1.0 {
         let extra = point.t * (factor - 1.0);
         point.t *= factor;
+        fupermod_core::telemetry::record_fault("straggler");
         sink.record(&TraceEvent::Fault {
             rank,
             kind: "straggler".to_owned(),
@@ -204,6 +205,7 @@ fn absorb_on_root(
                 // Rank died: repartition its load across survivors.
                 if ctx.active()[rank] {
                     ctx.deactivate(rank);
+                    fupermod_core::telemetry::record_fault("degraded");
                     sink.record(&TraceEvent::Fault {
                         rank: 0,
                         kind: "degraded".to_owned(),

@@ -275,6 +275,7 @@ impl EventSim {
     // ----- op lifecycle mirrors ---------------------------------------
 
     pub(super) fn fault(&self, rank: usize, kind: &str, peer: i64, attempt: u32, seconds: f64) {
+        fupermod_core::telemetry::record_fault(kind);
         self.sink.record(&TraceEvent::Fault {
             rank,
             kind: kind.to_owned(),

@@ -30,11 +30,15 @@
 //!   the TCP serving loop behind the `fupermod_served` daemon
 //!   (`docs/SERVE.md`).
 //!
-//! Hit/miss/refresh/eviction counters are exported through the
-//! existing `metrics` trace events
-//! ([`StoreMetrics::export_events`]).
+//! Hit/miss/refresh/eviction counters live in a shared
+//! [`fupermod_core::telemetry::Registry`] on the store; they are
+//! exported through the existing `metrics` trace events
+//! ([`StoreMetrics::export_events`]) and served live by the [`http`]
+//! module (`GET /metrics` Prometheus exposition plus
+//! `/healthz`/`/readyz` probes — `docs/OBSERVABILITY.md` §9).
 
 pub mod entry;
+pub mod http;
 pub mod key;
 pub mod plan;
 pub mod protocol;

@@ -27,6 +27,7 @@ use fupermod_core::partition::{
     ConstantPartitioner, EvenPartitioner, GeometricPartitioner, NumericalPartitioner,
     Partitioner,
 };
+use fupermod_core::telemetry::SampleValue;
 use fupermod_core::trace::fmt_float;
 use fupermod_core::Point;
 
@@ -72,6 +73,21 @@ pub enum Request {
     Stats,
     /// Stop the daemon after responding.
     Shutdown,
+}
+
+impl Request {
+    /// Stable op tag (the request's `op` field; also the `op` label
+    /// on the daemon's per-request telemetry).
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Ingest { .. } => "ingest",
+            Request::IngestPoint { .. } => "ingest_point",
+            Request::Lookup { .. } => "lookup",
+            Request::Partition { .. } => "partition",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
 }
 
 /// Parses one request line.
@@ -230,19 +246,37 @@ fn try_handle(store: &ModelStore, request: &Request) -> Result<String, StoreErro
             ))
         }
         Request::Stats => {
-            let s = store.metrics().snapshot();
+            // One source of truth with the `/metrics` endpoint: both
+            // refresh the sampled gauges and read the same registry
+            // snapshot (the counters are the handles the store
+            // increments — see `StoreMetrics`).
+            store.refresh_gauges();
+            let snap = store.registry().snapshot();
+            let counter = |name: &str, labels: &[(&str, &str)]| -> u64 {
+                match snap.find(name, labels) {
+                    Some(SampleValue::Counter(v)) => *v,
+                    _ => 0,
+                }
+            };
+            let gauge = |name: &str| -> f64 {
+                match snap.find(name, &[]) {
+                    Some(SampleValue::Gauge(v)) => *v,
+                    _ => 0.0,
+                }
+            };
             let (plans, plan_bytes, plan_budget) = store.plan_cache_stats();
             Ok(format!(
-                "{{\"ok\":true,\"entries\":{},\"model_hits\":{},\"model_misses\":{},\"refresh_patched\":{},\"refresh_rebuilt\":{},\"refresh_fallbacks\":{},\"plan_hits\":{},\"plan_misses\":{},\"plan_evictions\":{},\"plans\":{plans},\"plan_bytes\":{plan_bytes},\"plan_budget\":{plan_budget}}}",
-                store.len(),
-                s.model_hits,
-                s.model_misses,
-                s.refresh_patched,
-                s.refresh_rebuilt,
-                s.refresh_fallbacks,
-                s.plan_hits,
-                s.plan_misses,
-                s.plan_evictions,
+                "{{\"ok\":true,\"entries\":{},\"model_hits\":{},\"model_misses\":{},\"refresh_patched\":{},\"refresh_rebuilt\":{},\"refresh_fallbacks\":{},\"plan_hits\":{},\"plan_misses\":{},\"plan_evictions\":{},\"plans\":{plans},\"plan_bytes\":{plan_bytes},\"plan_budget\":{plan_budget},\"uptime_seconds\":{}}}",
+                gauge("store_entries") as u64,
+                counter("store_model_lookups_total", &[("result", "hit")]),
+                counter("store_model_lookups_total", &[("result", "miss")]),
+                counter("store_refresh_total", &[("outcome", "patched")]),
+                counter("store_refresh_total", &[("outcome", "rebuilt")]),
+                counter("store_refresh_total", &[("outcome", "fallback")]),
+                counter("store_plan_requests_total", &[("result", "hit")]),
+                counter("store_plan_requests_total", &[("result", "miss")]),
+                counter("store_plan_evictions_total", &[]),
+                fmt_float(gauge("uptime_seconds")),
             ))
         }
         Request::Shutdown => Ok("{\"ok\":true,\"shutting_down\":true}".to_owned()),

@@ -5,13 +5,23 @@
 //! lockstep on the same stream. A `shutdown` request flips a shared
 //! flag; the accept loop polls it between (non-blocking) accepts, so
 //! the daemon drains and exits without being killed.
+//!
+//! Every request is wrapped in a telemetry span recorded into the
+//! store's registry: `served_requests_total{op,outcome}`,
+//! `served_request_duration_seconds{op}` latency histograms and
+//! `served_bytes_total{direction}` — the series `GET /metrics`
+//! exposes (see [`crate::http`]). Requests slower than the
+//! configurable [`ServeOptions::slow_request`] threshold are logged
+//! to stderr.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use fupermod_core::telemetry::{Counter, Histogram, Registry};
 
 use crate::protocol::{self, Request};
 use crate::store::ModelStore;
@@ -19,10 +29,88 @@ use crate::store::ModelStore;
 /// How often the accept loop re-checks the shutdown flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(20);
 
+/// Request op tags the per-request telemetry is keyed by: the
+/// protocol ops plus `invalid` for lines that fail to parse.
+pub const REQUEST_OPS: [&str; 7] = [
+    "ingest",
+    "ingest_point",
+    "lookup",
+    "partition",
+    "stats",
+    "shutdown",
+    "invalid",
+];
+
+/// Tuning knobs of the serving loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeOptions {
+    /// Log requests slower than this to stderr (`None` disables the
+    /// slow-request log).
+    pub slow_request: Option<Duration>,
+}
+
+/// Pre-registered per-request telemetry handles (one registration at
+/// startup; the per-request hot path never takes the registry lock).
+#[derive(Debug, Clone)]
+struct RequestSpans {
+    /// `[ok, error]` counters per [`REQUEST_OPS`] entry.
+    requests: Vec<[Counter; 2]>,
+    /// Latency histogram per [`REQUEST_OPS`] entry.
+    durations: Vec<Histogram>,
+    bytes_in: Counter,
+    bytes_out: Counter,
+}
+
+impl RequestSpans {
+    fn new(registry: &Registry) -> Self {
+        let requests = REQUEST_OPS
+            .iter()
+            .map(|op| {
+                ["ok", "error"].map(|outcome| {
+                    registry.counter(
+                        "served_requests_total",
+                        "Requests handled, by op and outcome.",
+                        &[("op", op), ("outcome", outcome)],
+                    )
+                })
+            })
+            .collect();
+        let durations = REQUEST_OPS
+            .iter()
+            .map(|op| {
+                registry.histogram(
+                    "served_request_duration_seconds",
+                    "Request handling latency (parse + execute + respond), by op.",
+                    &[("op", op)],
+                )
+            })
+            .collect();
+        Self {
+            requests,
+            durations,
+            bytes_in: registry.counter(
+                "served_bytes_total",
+                "Protocol bytes moved, by direction.",
+                &[("direction", "in")],
+            ),
+            bytes_out: registry.counter(
+                "served_bytes_total",
+                "Protocol bytes moved, by direction.",
+                &[("direction", "out")],
+            ),
+        }
+    }
+
+    fn op_index(op: &str) -> usize {
+        REQUEST_OPS.iter().position(|&o| o == op).unwrap_or(REQUEST_OPS.len() - 1)
+    }
+}
+
 /// Runs the serving loop on `listener` until a client sends
-/// `shutdown` (or `stop` is flipped externally). Blocks the calling
-/// thread; connection handlers run on their own threads and are
-/// joined before returning, so every in-flight response is flushed.
+/// `shutdown` (or `stop` is flipped externally), with default
+/// options. Blocks the calling thread; connection handlers run on
+/// their own threads and are joined before returning, so every
+/// in-flight response is flushed.
 ///
 /// # Errors
 ///
@@ -33,15 +121,32 @@ pub fn serve(
     store: Arc<ModelStore>,
     stop: Arc<AtomicBool>,
 ) -> std::io::Result<()> {
+    serve_with(listener, store, stop, ServeOptions::default())
+}
+
+/// [`serve`] with explicit [`ServeOptions`].
+///
+/// # Errors
+///
+/// Propagates listener I/O errors (per-connection errors only end
+/// that connection).
+pub fn serve_with(
+    listener: TcpListener,
+    store: Arc<ModelStore>,
+    stop: Arc<AtomicBool>,
+    options: ServeOptions,
+) -> std::io::Result<()> {
     listener.set_nonblocking(true)?;
+    let spans = RequestSpans::new(store.registry());
     let mut handles = Vec::new();
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let store = Arc::clone(&store);
                 let stop = Arc::clone(&stop);
+                let spans = spans.clone();
                 handles.push(thread::spawn(move || {
-                    let _ = handle_connection(stream, &store, &stop);
+                    let _ = handle_connection(stream, &store, &stop, &spans, options);
                 }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -63,6 +168,8 @@ fn handle_connection(
     stream: TcpStream,
     store: &ModelStore,
     stop: &AtomicBool,
+    spans: &RequestSpans,
+    options: ServeOptions,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
@@ -72,12 +179,15 @@ fn handle_connection(
         if line.trim().is_empty() {
             continue;
         }
-        let (response, is_shutdown) = match protocol::parse_request(&line) {
+        let started = Instant::now();
+        spans.bytes_in.add(line.len() as u64 + 1); // + newline
+        let (op, response, is_shutdown) = match protocol::parse_request(&line) {
             Ok(request) => {
                 let is_shutdown = request == Request::Shutdown;
-                (protocol::handle(store, &request), is_shutdown)
+                (request.op(), protocol::handle(store, &request), is_shutdown)
             }
             Err(e) => (
+                "invalid",
                 format!(
                     "{{\"ok\":false,\"error\":{}}}",
                     protocol::json::quote(&e.to_string())
@@ -88,6 +198,21 @@ fn handle_connection(
         writer.write_all(response.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
+        spans.bytes_out.add(response.len() as u64 + 1);
+        let elapsed = started.elapsed();
+        let i = RequestSpans::op_index(op);
+        let ok = response.starts_with("{\"ok\":true");
+        spans.requests[i][usize::from(!ok)].inc();
+        spans.durations[i].record(elapsed.as_secs_f64());
+        if let Some(threshold) = options.slow_request {
+            if elapsed > threshold {
+                eprintln!(
+                    "slow request: op={op} took {:.3} ms (threshold {:.3} ms)",
+                    elapsed.as_secs_f64() * 1e3,
+                    threshold.as_secs_f64() * 1e3,
+                );
+            }
+        }
         if is_shutdown {
             stop.store(true, Ordering::SeqCst);
             break;

@@ -1,11 +1,12 @@
 //! The sharded concurrent model store and its observability counters.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use fupermod_core::model::{Model, Refresh};
 use fupermod_core::partition::{Distribution, Partitioner};
+use fupermod_core::telemetry::{Counter, Gauge, Registry};
 use fupermod_core::trace::{TraceEvent, TraceSink};
 use fupermod_core::Point;
 
@@ -37,19 +38,26 @@ impl Default for StoreConfig {
 }
 
 /// Monotonic store counters: model-lookup hits/misses, incremental
-/// refresh outcomes, plan-cache hits/misses/evictions. Always-on
-/// relaxed atomics, mirroring `fupermod_core::trace::Metrics`;
-/// exported as `metrics` trace events by [`StoreMetrics::export_events`].
-#[derive(Debug, Default)]
+/// refresh outcomes, plan-cache hits/misses/evictions. Since PR 10
+/// these are handles into the store's live telemetry [`Registry`]
+/// (`store_model_lookups_total{result=...}`,
+/// `store_refresh_total{outcome=...}`,
+/// `store_plan_requests_total{result=...}`,
+/// `store_plan_evictions_total`) — the same series `/metrics`
+/// exposes, so the `stats` protocol op and the scrape endpoint read
+/// one source of truth. Recording stays relaxed-atomic and lock-free;
+/// the legacy dotted-scope trace export
+/// ([`StoreMetrics::export_events`]) is unchanged.
+#[derive(Debug)]
 pub struct StoreMetrics {
-    model_hits: AtomicU64,
-    model_misses: AtomicU64,
-    refresh_patched: AtomicU64,
-    refresh_rebuilt: AtomicU64,
-    refresh_fallbacks: AtomicU64,
-    plan_hits: AtomicU64,
-    plan_misses: AtomicU64,
-    plan_evictions: AtomicU64,
+    model_hits: Counter,
+    model_misses: Counter,
+    refresh_patched: Counter,
+    refresh_rebuilt: Counter,
+    refresh_fallbacks: Counter,
+    plan_hits: Counter,
+    plan_misses: Counter,
+    plan_evictions: Counter,
 }
 
 /// A point-in-time copy of [`StoreMetrics`].
@@ -75,17 +83,56 @@ pub struct StoreMetricsSnapshot {
 }
 
 impl StoreMetrics {
+    /// Registers the store's counter series in `registry` and returns
+    /// the handle bundle. Idempotent per registry.
+    fn new(registry: &Registry) -> Self {
+        let lookups = "Model lookups by result.";
+        let refreshes = "Model refreshes by outcome (incremental patch, rebuild, \
+                         outlier-reclassification fallback).";
+        let plans = "Partition queries by plan-cache result.";
+        Self {
+            model_hits: registry.counter("store_model_lookups_total", lookups, &[("result", "hit")]),
+            model_misses: registry.counter(
+                "store_model_lookups_total",
+                lookups,
+                &[("result", "miss")],
+            ),
+            refresh_patched: registry.counter(
+                "store_refresh_total",
+                refreshes,
+                &[("outcome", "patched")],
+            ),
+            refresh_rebuilt: registry.counter(
+                "store_refresh_total",
+                refreshes,
+                &[("outcome", "rebuilt")],
+            ),
+            refresh_fallbacks: registry.counter(
+                "store_refresh_total",
+                refreshes,
+                &[("outcome", "fallback")],
+            ),
+            plan_hits: registry.counter("store_plan_requests_total", plans, &[("result", "hit")]),
+            plan_misses: registry.counter("store_plan_requests_total", plans, &[("result", "miss")]),
+            plan_evictions: registry.counter(
+                "store_plan_evictions_total",
+                "Plans evicted by the LRU byte budget.",
+                &[],
+            ),
+        }
+    }
+
     /// Reads all counters at once.
     pub fn snapshot(&self) -> StoreMetricsSnapshot {
         StoreMetricsSnapshot {
-            model_hits: self.model_hits.load(Ordering::Relaxed),
-            model_misses: self.model_misses.load(Ordering::Relaxed),
-            refresh_patched: self.refresh_patched.load(Ordering::Relaxed),
-            refresh_rebuilt: self.refresh_rebuilt.load(Ordering::Relaxed),
-            refresh_fallbacks: self.refresh_fallbacks.load(Ordering::Relaxed),
-            plan_hits: self.plan_hits.load(Ordering::Relaxed),
-            plan_misses: self.plan_misses.load(Ordering::Relaxed),
-            plan_evictions: self.plan_evictions.load(Ordering::Relaxed),
+            model_hits: self.model_hits.get(),
+            model_misses: self.model_misses.get(),
+            refresh_patched: self.refresh_patched.get(),
+            refresh_rebuilt: self.refresh_rebuilt.get(),
+            refresh_fallbacks: self.refresh_fallbacks.get(),
+            plan_hits: self.plan_hits.get(),
+            plan_misses: self.plan_misses.get(),
+            plan_evictions: self.plan_evictions.get(),
         }
     }
 
@@ -117,6 +164,8 @@ impl StoreMetrics {
                 count,
                 sum: 0.0,
                 buckets: Vec::new(),
+                kind: "counter".to_owned(),
+                labels: String::new(),
             });
             emitted += 1;
         }
@@ -129,7 +178,7 @@ impl StoreMetrics {
             IngestOutcome::Rebuilt => &self.refresh_rebuilt,
             IngestOutcome::FallbackRebuilt => &self.refresh_fallbacks,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.inc();
     }
 }
 
@@ -143,8 +192,13 @@ impl StoreMetrics {
 pub struct ModelStore {
     shards: Vec<Mutex<HashMap<StoreKey, ModelEntry>>>,
     plans: Mutex<PlanCache>,
+    registry: Arc<Registry>,
     metrics: StoreMetrics,
     config: StoreConfig,
+    created: Instant,
+    uptime: Gauge,
+    entries_gauge: Gauge,
+    shard_gauges: Vec<Gauge>,
 }
 
 impl Default for ModelStore {
@@ -155,17 +209,41 @@ impl Default for ModelStore {
 
 impl ModelStore {
     /// Creates a store with the given configuration (`shards` is
-    /// clamped to at least 1).
+    /// clamped to at least 1) and a fresh, always-enabled telemetry
+    /// registry of its own.
     pub fn new(config: StoreConfig) -> Self {
         let shards = config.shards.max(1);
+        let registry = Arc::new(Registry::new(true));
+        let metrics = StoreMetrics::new(&registry);
+        let uptime = registry.gauge(
+            "uptime_seconds",
+            "Seconds since the store (daemon) was created.",
+            &[],
+        );
+        let entries_gauge = registry.gauge("store_entries", "Model entries in the store.", &[]);
+        let shard_gauges = (0..shards)
+            .map(|i| {
+                let shard = i.to_string();
+                registry.gauge(
+                    "store_shard_entries",
+                    "Model entries per shard.",
+                    &[("shard", shard.as_str())],
+                )
+            })
+            .collect();
         Self {
             shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             plans: Mutex::new(PlanCache::new(config.plan_budget_bytes)),
-            metrics: StoreMetrics::default(),
+            registry,
+            metrics,
             config: StoreConfig {
                 shards,
                 ..config
             },
+            created: Instant::now(),
+            uptime,
+            entries_gauge,
+            shard_gauges,
         }
     }
 
@@ -177,6 +255,44 @@ impl ModelStore {
     /// The store's counters.
     pub fn metrics(&self) -> &StoreMetrics {
         &self.metrics
+    }
+
+    /// The store's telemetry registry — the single source of truth
+    /// behind both the `stats` protocol op and the `/metrics`
+    /// exposition endpoint. The serving layer registers its own
+    /// request/uptime series here too.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Entry count of every shard, in shard order (feeds the
+    /// `store_shard_entries{shard=...}` gauges at scrape time).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("store shard poisoned").len())
+            .collect()
+    }
+
+    /// Refreshes the sampled gauges (`uptime_seconds`,
+    /// `store_entries`, `store_shard_entries{shard=...}`) from live
+    /// state. Called right before a registry snapshot is taken — by
+    /// the `/metrics` endpoint and the `stats` protocol op — so both
+    /// read identical, current values.
+    pub fn refresh_gauges(&self) {
+        self.uptime.set(self.created.elapsed().as_secs_f64());
+        let sizes = self.shard_sizes();
+        self.entries_gauge.set(sizes.iter().sum::<usize>() as f64);
+        for (gauge, size) in self.shard_gauges.iter().zip(sizes) {
+            gauge.set(size as f64);
+        }
+    }
+
+    /// Whether every shard (and the plan cache) can still be locked —
+    /// i.e. no mutex has been poisoned by a panicking holder. The
+    /// `/readyz` probe.
+    pub fn responsive(&self) -> bool {
+        !self.shards.iter().any(|s| s.is_poisoned()) && !self.plans.is_poisoned()
     }
 
     /// Total entries across all shards.
@@ -254,11 +370,11 @@ impl ModelStore {
         match shard.get(key) {
             Some(entry) => {
                 let out = (entry.epoch(), entry.model().points().to_vec());
-                self.metrics.model_hits.fetch_add(1, Ordering::Relaxed);
+                self.metrics.model_hits.inc();
                 Some(out)
             }
             None => {
-                self.metrics.model_misses.fetch_add(1, Ordering::Relaxed);
+                self.metrics.model_misses.inc();
                 None
             }
         }
@@ -324,10 +440,10 @@ impl ModelStore {
             .expect("plan cache poisoned")
             .get(&plan_key)
         {
-            self.metrics.plan_hits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.plan_hits.inc();
             return Ok((dist, true));
         }
-        self.metrics.plan_misses.fetch_add(1, Ordering::Relaxed);
+        self.metrics.plan_misses.inc();
         // Miss: re-read each member, cloning its model and re-stamping
         // its (possibly advanced) epoch, so the plan is cached under
         // exactly the epochs of the models it was computed from.
@@ -348,9 +464,7 @@ impl ModelStore {
             .expect("plan cache poisoned")
             .insert(plan_key, dist.clone());
         if evicted > 0 {
-            self.metrics
-                .plan_evictions
-                .fetch_add(evicted, Ordering::Relaxed);
+            self.metrics.plan_evictions.add(evicted);
         }
         Ok((dist, false))
     }

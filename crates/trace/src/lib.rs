@@ -18,12 +18,16 @@
 //!   (`chrome://tracing`, [Perfetto](https://ui.perfetto.dev)): one
 //!   track per rank, duration slices for benchmark/communication
 //!   spans reconstructed barrier-aligned from the merged order.
+//! * [`mod@tail`] — **live** follow of growing JSONL traces: the same
+//!   causal order the batch merge produces, printed as the files
+//!   grow, with rolling per-op latency quantiles (torn-write-safe;
+//!   picks up files that appear late in a `--trace-dir`).
 //! * [`json`] / [`schema`] — a std-only JSON parser and a small
 //!   JSON-Schema-subset validator, enough to check tracetool output
 //!   against committed schemas in an offline build environment.
 //!
 //! The `fupermod_tracetool` binary (in the facade crate) fronts all
-//! of this with `merge`, `report`, `export`, and `validate`
+//! of this with `merge`, `report`, `export`, `validate`, and `tail`
 //! subcommands.
 
 pub mod chrome;
@@ -31,9 +35,11 @@ pub mod json;
 pub mod merge;
 pub mod report;
 pub mod schema;
+pub mod tail;
 
 pub use chrome::export_chrome;
 pub use json::Json;
 pub use merge::{event_rank, merge_events, Merge, StampedEvent};
 pub use report::Report;
 pub use schema::validate;
+pub use tail::{tail, TailOptions};

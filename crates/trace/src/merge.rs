@@ -57,7 +57,7 @@ pub struct StampedEvent {
 
 impl StampedEvent {
     /// The total-order key the merge sorts by.
-    fn key(&self) -> (u64, u64, usize, u64, usize) {
+    pub fn key(&self) -> (u64, u64, usize, u64, usize) {
         (self.lamport, self.gen, self.rank, self.seq, self.source)
     }
 }
@@ -76,15 +76,18 @@ pub fn event_rank(event: &TraceEvent) -> usize {
 }
 
 /// Per-source stamping state: the last `(lamport, gen)` each rank
-/// recorded, inherited by that rank's unstamped events.
+/// recorded, inherited by that rank's unstamped events. Public so
+/// incremental consumers ([`mod@crate::tail`]) can stamp a stream
+/// event-by-event under the same contract the batch merge uses.
 #[derive(Debug, Default)]
-struct Stamper {
+pub struct Stamper {
     last: Vec<(u64, u64)>, // indexed by rank, grown on demand
     seq: Vec<u64>,
 }
 
 impl Stamper {
-    fn stamp(&mut self, source: usize, event: TraceEvent) -> StampedEvent {
+    /// Stamps one event of source `source` in file order.
+    pub fn stamp(&mut self, source: usize, event: TraceEvent) -> StampedEvent {
         let rank = event_rank(&event);
         if rank >= self.last.len() {
             self.last.resize(rank + 1, (0, 0));
@@ -105,6 +108,7 @@ impl Stamper {
             event,
         }
     }
+
 }
 
 /// One input of the streaming merge.

@@ -243,6 +243,7 @@ impl Report {
                     count,
                     sum,
                     buckets,
+                    ..
                 } => {
                     let snap = HistogramSnapshot::from_parts(count, sum, buckets);
                     let (mean_s, p50_s, p99_s) = snap
@@ -677,6 +678,8 @@ mod tests {
                     b[11] = 2; // 2^10..2^11 ns ≈ 1–2 µs
                     b
                 },
+                kind: "histogram".to_owned(),
+                labels: String::new(),
             },
         ]);
         let json = Json::parse(&r.render_json()).unwrap();

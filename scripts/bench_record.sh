@@ -48,6 +48,14 @@
 #     rebuilds while streaming 640 observations over 128 sizes; must
 #     be >= 2x) — both ratios are acceptance-checked here.
 #
+#   MODE=pr10 — live telemetry registry overhead evidence (default
+#     OUT=BENCH_PR10.json; see docs/OBSERVABILITY.md §9). Records the
+#     `telemetry_overhead/{no_telemetry,registry_disabled,
+#     registry_enabled,global_disabled}` benches. The derived values
+#     are absolute ns/op plus the disabled-path overhead over the bare
+#     baseline, acceptance-checked here: a disabled registry call must
+#     cost no more than a few ns/op (one relaxed AtomicBool load).
+#
 #   MODE=pr8 — multi-process TCP transport evidence (default
 #     OUT=BENCH_PR8.json; see docs/RUNTIME.md §10). Records the
 #     `net_collectives/p4_{tcp,threaded}` and `net_p2p/rtt_{tcp,threaded}`
@@ -76,8 +84,9 @@ pr6) OUT=${OUT:-BENCH_PR6.json} ;;
 pr7) OUT=${OUT:-BENCH_PR7.json} ;;
 pr8) OUT=${OUT:-BENCH_PR8.json} ;;
 pr9) OUT=${OUT:-BENCH_PR9.json} ;;
+pr10) OUT=${OUT:-BENCH_PR10.json} ;;
 *)
-    echo "unknown MODE=$MODE (expected pr2, pr4, pr6, pr7, pr8 or pr9)" >&2
+    echo "unknown MODE=$MODE (expected pr2, pr4, pr6, pr7, pr8, pr9 or pr10)" >&2
     exit 2
     ;;
 esac
@@ -106,6 +115,9 @@ for i in $(seq "$RUNS"); do
     elif [ "$MODE" = pr9 ]; then
         cargo bench -q -p fupermod-bench \
             --bench store_serve >>"$raw"
+    elif [ "$MODE" = pr10 ]; then
+        cargo bench -q -p fupermod-bench \
+            --bench telemetry_overhead >>"$raw"
     else
         cargo bench -q -p fupermod-bench \
             --bench comm_collectives >>"$raw"
@@ -246,6 +258,33 @@ elif mode == "pr9":
             f"{derived['incremental_over_rebuild_speedup']:.1f}x over "
             "rebuilding ingest (must be >= 2x)"
         )
+elif mode == "pr10":
+    names = {
+        "baseline": "telemetry_overhead/no_telemetry",
+        "disabled": "telemetry_overhead/registry_disabled",
+        "enabled": "telemetry_overhead/registry_enabled",
+        "global_disabled": "telemetry_overhead/global_disabled",
+    }
+    for n in names.values():
+        if n not in results:
+            sys.exit(f"missing benchmark: {n}")
+    derived = {
+        "telemetry_baseline_ns_per_op": results[names["baseline"]] * 1e9,
+        "telemetry_disabled_ns_per_op": results[names["disabled"]] * 1e9,
+        "telemetry_enabled_ns_per_op": results[names["enabled"]] * 1e9,
+        "telemetry_global_disabled_ns_per_op": results[names["global_disabled"]] * 1e9,
+        # The untraced-run price: disabled-registry call minus the bare
+        # loop. Can dip slightly negative from run-to-run noise.
+        "telemetry_disabled_overhead_ns": (
+            results[names["disabled"]] - results[names["baseline"]]
+        ) * 1e9,
+    }
+    if derived["telemetry_disabled_overhead_ns"] >= 10.0:
+        sys.exit(
+            "acceptance violation: disabled telemetry costs "
+            f"{derived['telemetry_disabled_overhead_ns']:.1f}ns/op over the "
+            "bare baseline (must be < 10ns — one relaxed load)"
+        )
 else:
     derived = {
         f"vtime_p{p}_{alg}_speedup": ratio(
@@ -314,6 +353,6 @@ print(f"wrote {out_path} ({len(results)} benchmarks, median of {runs} runs)")
 for k, v in doc["derived"].items():
     # pr7/pr8 derive (some) absolute quantities (events/sec, MiB/s,
     # seconds), not only speedup ratios.
-    suffix = "" if mode in ("pr7", "pr8") else "x"
+    suffix = "" if mode in ("pr7", "pr8", "pr10") else "x"
     print(f"  {k}: {v:.2f}{suffix}")
 PY

@@ -42,6 +42,12 @@ run ./target/release/fupermod_tracetool validate \
     --schema scripts/tracetool_schema.json "$TRACE_TMP/summary.json"
 run ./target/release/fupermod_tracetool export "$TRACE_FILE" \
     --format chrome --out "$TRACE_TMP/chrome.json"
+# Live-tail parity: following the (already complete) trace until idle
+# must print exactly the sequence the batch merge produces
+# (docs/OBSERVABILITY.md §9).
+run ./target/release/fupermod_tracetool tail "$TRACE_FILE" \
+    --idle-exit 1 --stats-every 0 --out "$TRACE_TMP/tailed.jsonl"
+run diff "$TRACE_TMP/merged.jsonl" "$TRACE_TMP/tailed.jsonl"
 # Event-engine scale smoke: the discrete-event interpreter must drive
 # a traced p = 10 000 balancing run through the same observability
 # contract as the thread backend — exp2's dynamic leg at scale, then
@@ -117,9 +123,10 @@ echo "==> serve gate: offline reference partition"
 ./target/release/fupermod_partitioner --models "$SERVE_DIR/models" \
     --total 20000 --algorithm numerical --model akima \
     > "$SERVE_DIR/offline.txt"
-echo "==> serve gate: daemon + 2 concurrent ingest clients"
+echo "==> serve gate: daemon + concurrent ingest clients + live /metrics"
 timeout 120 ./target/release/fupermod_served --mode serve \
-    --listen 127.0.0.1:0 > "$SERVE_DIR/daemon.out" 2>/dev/null &
+    --listen 127.0.0.1:0 --metrics-listen 127.0.0.1:0 \
+    > "$SERVE_DIR/daemon.out" 2>/dev/null &
 SERVE_PID=$!
 for _ in $(seq 100); do
     grep -q '^listening on ' "$SERVE_DIR/daemon.out" && break
@@ -127,15 +134,27 @@ for _ in $(seq 100); do
 done
 SERVE_ADDR=$(sed -n 's/^listening on //p' "$SERVE_DIR/daemon.out")
 [ -n "$SERVE_ADDR" ] || { echo "daemon never announced its address" >&2; exit 1; }
+METRICS_ADDR=$(sed -n 's/^metrics on //p' "$SERVE_DIR/daemon.out")
+[ -n "$METRICS_ADDR" ] || { echo "daemon never announced its metrics address" >&2; exit 1; }
+run timeout 60 ./target/release/fupermod_served --mode scrape \
+    --connect "$METRICS_ADDR" --path /healthz
+run timeout 60 ./target/release/fupermod_served --mode scrape \
+    --connect "$METRICS_ADDR" --path /readyz
 declare -a SERVE_PIDS=()
 i=0
 for f in "$SERVE_DIR"/models/*.points; do
     timeout 60 ./target/release/fupermod_served --mode ingest \
         --connect "$SERVE_ADDR" --points "$f" \
-        --fingerprint "$(basename "$f")" > /dev/null &
+        --fingerprint "$(basename "$f")" > "$SERVE_DIR/client_$i.out" &
     SERVE_PIDS[$i]=$!
     i=$((i + 1))
 done
+# Scrape the health endpoints while the ingest clients are running:
+# the observability plane must answer during load, not just at rest.
+timeout 60 ./target/release/fupermod_served --mode scrape \
+    --connect "$METRICS_ADDR" --path /healthz > /dev/null
+timeout 60 ./target/release/fupermod_served --mode scrape \
+    --connect "$METRICS_ADDR" --path /metrics > /dev/null
 for pid in "${SERVE_PIDS[@]}"; do wait "$pid"; done
 FPS=$(cd "$SERVE_DIR/models" && ls -- *.points | paste -sd, -)
 echo "==> serve gate: partition query against the warm daemon"
@@ -143,16 +162,106 @@ timeout 60 ./target/release/fupermod_served --mode partition \
     --connect "$SERVE_ADDR" --fingerprints "$FPS" \
     --total 20000 --algorithm numerical > "$SERVE_DIR/served.txt" 2>/dev/null
 run diff "$SERVE_DIR/offline.txt" "$SERVE_DIR/served.txt"
+echo "==> serve gate: exposition parses and counters match client totals"
+timeout 60 ./target/release/fupermod_served --mode scrape \
+    --connect "$METRICS_ADDR" --path /metrics > "$SERVE_DIR/metrics.txt"
+python3 - "$SERVE_DIR" <<'PY'
+import glob, re, sys
+
+serve_dir = sys.argv[1]
+text = open(f"{serve_dir}/metrics.txt", encoding="utf-8").read()
+
+# Every non-comment line must parse as `name{labels} value`.
+sample = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? '
+    r"(-?[0-9.eE+-]+|\+Inf|-Inf|NaN)$"
+)
+lines = [l for l in text.splitlines() if l and not l.startswith("#")]
+if not lines:
+    sys.exit("no samples in /metrics output")
+for l in lines:
+    if not sample.match(l):
+        sys.exit(f"unparsable exposition line: {l!r}")
+
+def counter_total(name, **labels):
+    total = 0
+    for l in lines:
+        if not l.startswith(name):
+            continue
+        head, value = l.rsplit(" ", 1)
+        if all(f'{k}="{v}"' in head for k, v in labels.items()):
+            total += int(float(value))
+    return total
+
+# Each client printed `ingested N points ...`; every point was one
+# ingest_point request, so the ok-counter must equal the client total.
+expected = 0
+for path in glob.glob(f"{serve_dir}/client_*.out"):
+    for line in open(path, encoding="utf-8"):
+        m = re.match(r"^ingested (\d+) points", line)
+        if m:
+            expected += int(m.group(1))
+if expected == 0:
+    sys.exit("ingest clients reported no points — gate is vacuous")
+got = counter_total("served_requests_total", op="ingest_point", outcome="ok")
+if got != expected:
+    sys.exit(f"served_requests_total[ingest_point,ok] = {got}, clients sent {expected}")
+if counter_total("served_requests_total", op="partition", outcome="ok") < 1:
+    sys.exit("partition request not counted")
+if counter_total("served_requests_total", outcome="error") != 0:
+    sys.exit("unexpected error-outcome requests during the gate")
+print(f"exposition ok: {len(lines)} samples, "
+      f"{got} ingest_point requests matched the client total")
+PY
+# The protocol `stats` op must read the same registry snapshot the
+# exposition serves (one source of truth), including uptime.
+timeout 60 ./target/release/fupermod_served --mode stats \
+    --connect "$SERVE_ADDR" > "$SERVE_DIR/stats.txt"
+grep -q '^uptime_seconds ' "$SERVE_DIR/stats.txt" \
+    || { echo "stats output missing uptime_seconds" >&2; exit 1; }
 run timeout 60 ./target/release/fupermod_served --mode shutdown \
     --connect "$SERVE_ADDR"
 wait "$SERVE_PID"
+# After shutdown the observability plane must be gone with the daemon:
+# a scrape that still succeeds means the listener out-lived serve().
+if timeout 10 ./target/release/fupermod_served --mode scrape \
+    --connect "$METRICS_ADDR" --path /readyz > /dev/null 2>&1; then
+    echo "metrics listener still answering after shutdown" >&2
+    exit 1
+fi
 # Bench regression gate (opt-in — needs two recorded BENCH_PR*.json
 # files from this host; see scripts/bench_compare.sh):
 #   BENCH_COMPARE_BASELINE=old.json BENCH_COMPARE_CURRENT=new.json scripts/check.sh
+# When only BENCH_COMPARE_CURRENT is set, the baseline defaults to the
+# newest committed BENCH_*.json that shares at least one benchmark
+# with the current file (different recording MODEs measure disjoint
+# bench sets, which bench_compare.sh rightly refuses to compare).
 if [ -n "${BENCH_COMPARE_BASELINE:-}" ] || [ -n "${BENCH_COMPARE_CURRENT:-}" ]; then
-    : "${BENCH_COMPARE_BASELINE:?set both BENCH_COMPARE_BASELINE and BENCH_COMPARE_CURRENT}"
-    : "${BENCH_COMPARE_CURRENT:?set both BENCH_COMPARE_BASELINE and BENCH_COMPARE_CURRENT}"
-    run scripts/bench_compare.sh "$BENCH_COMPARE_BASELINE" "$BENCH_COMPARE_CURRENT"
+    : "${BENCH_COMPARE_CURRENT:?set both BENCH_COMPARE_BASELINE and BENCH_COMPARE_CURRENT (or at least CURRENT)}"
+    if [ -z "${BENCH_COMPARE_BASELINE:-}" ]; then
+        for candidate in $(ls -t BENCH_*.json 2>/dev/null \
+                | grep -vFx "$BENCH_COMPARE_CURRENT" || true); do
+            if python3 -c '
+import json, sys
+names = lambda p: set(json.load(open(p)).get("results_stats", {}))
+sys.exit(0 if names(sys.argv[1]) & names(sys.argv[2]) else 1)
+' "$candidate" "$BENCH_COMPARE_CURRENT" 2>/dev/null; then
+                BENCH_COMPARE_BASELINE=$candidate
+                break
+            fi
+        done
+        if [ -n "${BENCH_COMPARE_BASELINE:-}" ]; then
+            echo "==> bench compare baseline auto-selected: $BENCH_COMPARE_BASELINE"
+        else
+            # First recording of a new MODE has nothing to diff
+            # against — note it and move on rather than fail.
+            echo "==> bench compare skipped: no BENCH_*.json shares benchmarks with $BENCH_COMPARE_CURRENT"
+        fi
+    fi
+    if [ -n "${BENCH_COMPARE_BASELINE:-}" ]; then
+        run scripts/bench_compare.sh "$BENCH_COMPARE_BASELINE" "$BENCH_COMPARE_CURRENT"
+    fi
 fi
 # The runtime crate must also be clippy-clean on its own — including
 # the discrete-event simulator (`src/sim/`), whose hot dispatch loop

@@ -10,13 +10,19 @@
 //! serve (default):
 //!   --listen ADDR   bind address (default 127.0.0.1:7070; port 0 picks
 //!                   a free port — the chosen one is printed)
+//!   --metrics-listen ADDR
+//!                   also serve GET /metrics (Prometheus text
+//!                   exposition), /healthz and /readyz over HTTP on
+//!                   ADDR (port 0 picks a free port — printed as
+//!                   `metrics on ADDR`); see docs/OBSERVABILITY.md §9
+//!   --slow-ms N     log requests slower than N milliseconds to stderr
 //!   --shards N      store shard count (default 8)
 //!   --plan-budget B plan-cache byte budget (default 1048576)
 //!   --outlier-k K   outlier rejection threshold (default 5)
 //!   --confidence C  confidence level for point CIs (default 0.95)
 //!   --trace PATH | --trace-dir DIR | --trace-format jsonl|csv
-//!                   export store counters as metrics trace events on
-//!                   shutdown (see docs/OBSERVABILITY.md)
+//!                   export the telemetry registry as metrics trace
+//!                   events on shutdown (see docs/OBSERVABILITY.md)
 //!
 //! client modes (all take --connect ADDR):
 //!   ingest:    --points FILE --fingerprint NAME [--kernel K] [--config C]
@@ -25,8 +31,13 @@
 //!              [--kernel K] [--config C]
 //!              print the distribution in fupermod_partitioner's format
 //!   lookup:    --fingerprint NAME [--kernel K] [--config C]
-//!   stats:     print the daemon's counters
+//!   stats:     print the daemon's counters (the same registry snapshot
+//!              /metrics exposes)
 //!   shutdown:  stop the daemon
+//!
+//! scrape mode (no daemon protocol — plain HTTP GET, no curl needed):
+//!   scrape:    --connect ADDR [--path /metrics]   print body, exit
+//!              non-zero unless the response status is 200
 //! ```
 //!
 //! The daemon prints `listening on ADDR` (flushed) once the socket is
@@ -40,8 +51,9 @@ use std::sync::Arc;
 use fupermod::cli;
 use fupermod::core::model::io;
 use fupermod::core::trace::fmt_float;
+use fupermod::store::http::{http_get, serve_http};
 use fupermod::store::protocol::json::{self, Value};
-use fupermod::store::server::{serve, Client};
+use fupermod::store::server::{serve_with, Client, ServeOptions};
 use fupermod::store::ModelStore;
 
 fn main() {
@@ -54,6 +66,7 @@ fn main() {
         "lookup" => run_lookup(&mut connect(&args), &args),
         "stats" => run_stats(&mut connect(&args)),
         "shutdown" => run_shutdown(&mut connect(&args)),
+        "scrape" => run_scrape(&args),
         other => {
             eprintln!("unknown --mode '{other}'");
             std::process::exit(2);
@@ -68,24 +81,57 @@ fn run_serve(args: &HashMap<String, String>) {
         .unwrap_or("127.0.0.1:7070");
     let config = cli::store_config(args);
     let sink = cli::open_trace_sink(args);
+    let options = ServeOptions {
+        slow_request: args.get("slow-ms").map(|raw| {
+            let ms: u64 = raw.parse().unwrap_or_else(|_| {
+                eprintln!("invalid --slow-ms value {raw:?} (want milliseconds)");
+                std::process::exit(2);
+            });
+            std::time::Duration::from_millis(ms)
+        }),
+    };
 
     let listener = TcpListener::bind(addr).unwrap_or_else(|e| {
         eprintln!("cannot bind {addr}: {e}");
         std::process::exit(1);
     });
     let local = listener.local_addr().expect("local address");
+
+    let store = Arc::new(ModelStore::new(config));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // The observability side-listener shares the stop flag: a protocol
+    // `shutdown` turns /readyz 503 and winds the HTTP loop down too.
+    let http_handle = args.get("metrics-listen").map(|metrics_addr| {
+        let metrics_listener = TcpListener::bind(metrics_addr).unwrap_or_else(|e| {
+            eprintln!("cannot bind metrics listener {metrics_addr}: {e}");
+            std::process::exit(1);
+        });
+        let metrics_local = metrics_listener.local_addr().expect("metrics address");
+        println!("metrics on {metrics_local}");
+        let (store, stop) = (Arc::clone(&store), Arc::clone(&stop));
+        std::thread::spawn(move || serve_http(metrics_listener, store, stop))
+    });
+
     println!("listening on {local}");
     use std::io::Write as _;
     std::io::stdout().flush().expect("flush stdout");
 
-    let store = Arc::new(ModelStore::new(config));
-    let stop = Arc::new(AtomicBool::new(false));
-    if let Err(e) = serve(listener, Arc::clone(&store), stop) {
+    if let Err(e) = serve_with(listener, Arc::clone(&store), Arc::clone(&stop), options) {
         eprintln!("serve loop failed: {e}");
         std::process::exit(1);
     }
+    if let Some(handle) = http_handle {
+        if let Err(e) = handle.join().expect("metrics listener panicked") {
+            eprintln!("metrics listener failed: {e}");
+        }
+    }
     if let Some(sink) = &sink {
+        // Legacy dotted-scope counter events first (stable consumers),
+        // then the full labelled registry snapshot (schema v4).
         store.metrics().export_events(0, sink.as_ref());
+        store.refresh_gauges();
+        store.registry().snapshot().export_trace_events(0, sink.as_ref());
     }
     cli::finish_trace(sink.as_ref());
     let s = store.metrics().snapshot();
@@ -96,6 +142,23 @@ fn run_serve(args: &HashMap<String, String>) {
         s.plan_misses,
         s.plan_evictions
     );
+}
+
+fn run_scrape(args: &HashMap<String, String>) {
+    let addr = required(args, "connect");
+    let path = args.get("path").map(String::as_str).unwrap_or("/metrics");
+    match http_get(addr, path) {
+        Ok((200, body)) => print!("{body}"),
+        Ok((code, body)) => {
+            eprintln!("GET {path}: HTTP {code}");
+            print!("{body}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("GET {path} from {addr} failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn connect(args: &HashMap<String, String>) -> Client {

@@ -26,6 +26,15 @@
 //!   validate --schema SCHEMA.json FILE
 //!       Validate a JSON document against a committed JSON-Schema
 //!       subset (used by scripts/check.sh to gate report output).
+//!
+//!   tail FILE... | --trace-dir DIR [--poll MS] [--idle-exit SECS]
+//!        [--stats-every SECS] [--out PATH]
+//!       Follow growing JSONL traces live: print events in the batch
+//!       merge's causal order as they arrive (torn-write-safe), with
+//!       rolling per-op p50/p99 on stderr. --trace-dir rescans DIR
+//!       each poll, adopting files that appear late. --idle-exit
+//!       returns once every file has been quiet that long (otherwise
+//!       follow forever); --stats-every 0 silences the rolling stats.
 //! ```
 //!
 //! Exit codes: 0 ok, 1 data/validation error, 2 usage error.
@@ -35,7 +44,9 @@ use std::io::{self, BufWriter, Read, Write};
 use std::path::PathBuf;
 
 use fupermod::core::trace::SCHEMA_VERSION;
-use fupermod::trace::{export_chrome, validate, Json, Merge, Report, StampedEvent};
+use fupermod::trace::{
+    export_chrome, tail, validate, Json, Merge, Report, StampedEvent, TailOptions,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,9 +59,12 @@ fn main() {
         "report" => cmd_report(rest),
         "export" => cmd_export(rest),
         "validate" => cmd_validate(rest),
+        "tail" => cmd_tail(rest),
         "--help" | "-h" | "help" => usage(),
         other => {
-            eprintln!("unknown command '{other}' (want merge, report, export or validate)");
+            eprintln!(
+                "unknown command '{other}' (want merge, report, export, validate or tail)"
+            );
             2
         }
     };
@@ -64,7 +78,9 @@ fn usage() -> ! {
          merge    FILE... [--out PATH]              merged global JSONL timeline\n\
          report   FILE... [--json] [--out PATH]     summary report (text or JSON)\n\
          export   FILE... [--format chrome] [--out PATH]  Perfetto/Chrome JSON\n\
-         validate --schema SCHEMA.json FILE         check JSON against a schema"
+         validate --schema SCHEMA.json FILE         check JSON against a schema\n\
+         tail     FILE... | --trace-dir DIR [--poll MS] [--idle-exit SECS]\n\
+                  [--stats-every SECS] [--out PATH] follow growing traces live"
     );
     std::process::exit(2);
 }
@@ -83,7 +99,8 @@ fn split_args(rest: &[String]) -> (Vec<(String, String)>, Vec<String>, Vec<PathB
                     switches.push(flag.to_owned());
                     i += 1;
                 }
-                "out" | "format" | "schema" => {
+                "out" | "format" | "schema" | "trace-dir" | "poll" | "idle-exit"
+                | "stats-every" => {
                     let Some(v) = rest.get(i + 1) else {
                         eprintln!("--{flag} needs a value");
                         std::process::exit(2);
@@ -232,6 +249,43 @@ fn cmd_export(rest: &[String]) -> i32 {
     match result {
         Ok(()) => 0,
         Err(e) => fail("export", &e),
+    }
+}
+
+fn cmd_tail(rest: &[String]) -> i32 {
+    let (opts, _, files) = split_args(rest);
+    let dir = opt(&opts, "trace-dir").map(PathBuf::from);
+    if files.is_empty() && dir.is_none() {
+        eprintln!("tail needs trace FILEs or --trace-dir DIR");
+        return 2;
+    }
+    let parse_secs = |key: &str| -> Option<f64> {
+        opt(&opts, key).map(|raw| {
+            raw.parse().unwrap_or_else(|_| {
+                eprintln!("--{key} wants a number (got {raw:?})");
+                std::process::exit(2);
+            })
+        })
+    };
+    let mut options = TailOptions::default();
+    if let Some(ms) = parse_secs("poll") {
+        options.poll = std::time::Duration::from_millis(ms.max(1.0) as u64);
+    }
+    if let Some(secs) = parse_secs("idle-exit") {
+        options.idle_exit = Some(std::time::Duration::from_secs_f64(secs.max(0.0)));
+    }
+    if let Some(secs) = parse_secs("stats-every") {
+        options.stats_every = (secs > 0.0)
+            .then(|| std::time::Duration::from_secs_f64(secs));
+    }
+    let mut out = match out_writer(&opts) {
+        Ok(w) => w,
+        Err(e) => return fail("tail", &e.to_string()),
+    };
+    let mut stats = io::stderr();
+    match tail(files, dir.as_deref(), &options, &mut out, &mut stats) {
+        Ok(()) => 0,
+        Err(e) => fail("tail", &e.to_string()),
     }
 }
 

@@ -450,16 +450,22 @@ pub fn open_trace_sink_for_rank(
         }
     };
     metrics().set_histograms_enabled(true);
+    fupermod_core::telemetry::global().set_enabled(true);
     Some(sink)
 }
 
-/// Exports the latency-histogram snapshots as `metrics` events, then
-/// flushes the optional trace sink, exiting with status 1 on a
-/// deferred write error, and prints the process-wide metrics summary
-/// to stderr. Call once, right before the binary exits.
+/// Exports the latency-histogram snapshots and the process-wide
+/// telemetry registry ([`fupermod_core::telemetry::global`]) as
+/// `metrics` events, then flushes the optional trace sink, exiting
+/// with status 1 on a deferred write error, and prints the
+/// process-wide metrics summary to stderr. Call once, right before
+/// the binary exits.
 pub fn finish_trace(sink: Option<&Arc<dyn TraceSink>>) {
     if let Some(sink) = sink {
         metrics().export_histogram_events(sink.as_ref());
+        fupermod_core::telemetry::global()
+            .snapshot()
+            .export_trace_events(0, sink.as_ref());
         if let Err(e) = sink.flush() {
             eprintln!("trace write failed: {e}");
             std::process::exit(1);
